@@ -1,0 +1,251 @@
+//! The four single-tier applications of §6.1.2, as behavioural models.
+//!
+//! Every constructor returns a [`ServiceSpec`] whose parameters are
+//! *private* to this module: Ditto never reads them — it recovers
+//! equivalent parameters from kernel traces, instruction traces and perf
+//! counters. The magnitudes are hand-tuned to the services' well-known
+//! characters: Memcached is memory-bound with a small code footprint;
+//! NGINX is branchy with a mid-sized footprint; MongoDB is disk-bound
+//! with a large footprint; Redis is small, single-threaded and fast.
+
+use std::sync::Arc;
+
+use ditto_hw::codegen::BodyParams;
+use ditto_hw::isa::{BranchBehavior, InstrClass};
+use ditto_kernel::{Cluster, NodeId};
+
+use crate::handlers::{BehaviorHandler, FileReadSpec};
+use crate::service::{NetworkModel, ServiceSpec, DATA_REGION, SHARED_REGION};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+const GB: u64 = 1024 * 1024 * 1024;
+
+fn base_params(instructions: u64, pc_base: u64, seed: u64) -> BodyParams {
+    let mut p = BodyParams::minimal(instructions, pc_base, seed);
+    p.data_region = DATA_REGION;
+    p.shared_region = SHARED_REGION;
+    p
+}
+
+/// Memcached 1.6-like: four epoll worker threads, 10K × (30 B key, 4 KB
+/// value) in-memory store, driven open-loop (mutated).
+pub fn memcached(port: u16) -> ServiceSpec {
+    let mut p = base_params(9_000, 0x0040_0000, 0x6d63);
+    p.mix = vec![
+        (InstrClass::IntAlu, 0.30),
+        (InstrClass::Mov, 0.17),
+        (InstrClass::Load, 0.26),
+        (InstrClass::Store, 0.08),
+        (InstrClass::CondBranch, 0.16),
+        (InstrClass::Jump, 0.02),
+        (InstrClass::RepString, 0.01),
+    ];
+    p.branch_rates = vec![
+        (BranchBehavior::new(0.5, 0.5), 0.25),
+        (BranchBehavior::new(0.25, 0.25), 0.35),
+        (BranchBehavior::new(0.0625, 0.0625), 0.40),
+    ];
+    // 40 MB value store dominates the tail; hash buckets and connection
+    // state fill the middle.
+    p.data_working_sets = vec![
+        (4 * KB, 0.30),
+        (64 * KB, 0.20),
+        (MB, 0.15),
+        (64 * MB, 0.35),
+    ];
+    p.instr_working_sets = vec![(8 * KB, 0.55), (32 * KB, 0.35), (128 * KB, 0.10)];
+    p.dep_distances = vec![(2, 0.25), (8, 0.45), (32, 0.30)];
+    p.shared_fraction = 0.12; // shared hash table + LRU lists
+    p.chase_fraction = 0.06; // bucket chains
+    p.rep_bytes = 4096; // value memcpy
+    let handler = BehaviorHandler::new(&p).with_response_bytes(4 * KB);
+    ServiceSpec {
+        name: "memcached".into(),
+        port,
+        network: NetworkModel::EpollWorkers { workers: 4 },
+        handler: Arc::new(handler),
+        downstreams: Vec::new(),
+        collector: None,
+        data_bytes: 128 * MB,
+        shared_bytes: 64 * MB,
+    }
+}
+
+/// NGINX 1.20-like: one worker process serving static content out of the
+/// page cache, driven by tcpkali-style HTTP load.
+pub fn nginx(cluster: &mut Cluster, node: NodeId, port: u16) -> ServiceSpec {
+    // Static content, pre-warmed so serving never touches disk.
+    let content = cluster.machine_mut(node).fs.create(256 * MB);
+    cluster.machine_mut(node).fs.warm(content, 256 * MB);
+
+    let mut p = base_params(22_000, 0x0080_0000, 0x6e67);
+    p.mix = vec![
+        (InstrClass::IntAlu, 0.33),
+        (InstrClass::Mov, 0.18),
+        (InstrClass::Load, 0.22),
+        (InstrClass::Store, 0.06),
+        (InstrClass::CondBranch, 0.18), // header parsing is branch-heavy
+        (InstrClass::Jump, 0.02),
+        (InstrClass::RepString, 0.01),
+    ];
+    p.branch_rates = vec![
+        (BranchBehavior::new(0.5, 0.5), 0.35),
+        (BranchBehavior::new(0.125, 0.125), 0.40),
+        (BranchBehavior::new(0.03125, 0.03125), 0.25),
+    ];
+    p.data_working_sets = vec![(4 * KB, 0.40), (64 * KB, 0.35), (2 * MB, 0.25)];
+    // The paper highlights NGINX's frontend stalls: mid-size footprint.
+    p.instr_working_sets = vec![(16 * KB, 0.30), (64 * KB, 0.45), (256 * KB, 0.25)];
+    p.dep_distances = vec![(2, 0.30), (8, 0.40), (32, 0.30)];
+    p.shared_fraction = 0.02;
+    p.chase_fraction = 0.03;
+    p.rep_bytes = 2048;
+    let handler = BehaviorHandler::new(&p)
+        .with_file_read(FileReadSpec {
+            file: content,
+            span: 256 * MB,
+            bytes: 8 * KB,
+            probability: 1.0,
+        })
+        .with_response_bytes(8 * KB);
+    ServiceSpec {
+        name: "nginx".into(),
+        port,
+        network: NetworkModel::EpollWorkers { workers: 0 },
+        handler: Arc::new(handler),
+        downstreams: Vec::new(),
+        collector: None,
+        data_bytes: 16 * MB,
+        shared_bytes: 4 * MB,
+    }
+}
+
+/// MongoDB 4.4-like: thread-per-connection, 40 GB dataset read uniformly
+/// (YCSB all-reads), bottlenecked on disk I/O.
+///
+/// `cache_bytes` configures the machine's page cache (the paper's point
+/// in §3.1: a small in-memory cache pushes reads to disk).
+pub fn mongodb(cluster: &mut Cluster, node: NodeId, port: u16, cache_bytes: u64) -> ServiceSpec {
+    let m = cluster.machine_mut(node);
+    m.fs = ditto_kernel::fs::FileSystem::new(cache_bytes);
+    let dataset = m.fs.create(40 * GB);
+
+    let mut p = base_params(85_000, 0x00C0_0000, 0x6d67);
+    p.mix = vec![
+        (InstrClass::IntAlu, 0.32),
+        (InstrClass::Mov, 0.19),
+        (InstrClass::Load, 0.23),
+        (InstrClass::Store, 0.08),
+        (InstrClass::CondBranch, 0.14),
+        (InstrClass::Jump, 0.02),
+        (InstrClass::IntMul, 0.01),
+        (InstrClass::RepString, 0.01),
+    ];
+    p.branch_rates = vec![
+        (BranchBehavior::new(0.5, 0.25), 0.30),
+        (BranchBehavior::new(0.125, 0.125), 0.45),
+        (BranchBehavior::new(0.03125, 0.03125), 0.25),
+    ];
+    p.data_working_sets = vec![
+        (8 * KB, 0.30),
+        (256 * KB, 0.25),
+        (4 * MB, 0.25),
+        (128 * MB, 0.20),
+    ];
+    // Large binary: query planner, BSON, storage engine.
+    p.instr_working_sets = vec![(32 * KB, 0.25), (128 * KB, 0.45), (512 * KB, 0.30)];
+    p.dep_distances = vec![(2, 0.30), (8, 0.45), (32, 0.25)];
+    p.shared_fraction = 0.08;
+    p.chase_fraction = 0.08; // B-tree descent
+    p.rep_bytes = 4096;
+    let handler = BehaviorHandler::new(&p)
+        .with_file_read(FileReadSpec {
+            file: dataset,
+            span: 40 * GB,
+            bytes: 4 * KB,
+            probability: 1.0,
+        })
+        .with_response_bytes(4 * KB);
+    ServiceSpec {
+        name: "mongodb".into(),
+        port,
+        network: NetworkModel::ThreadPerConn,
+        handler: Arc::new(handler),
+        downstreams: Vec::new(),
+        collector: None,
+        data_bytes: 256 * MB,
+        shared_bytes: 64 * MB,
+    }
+}
+
+/// Redis 6.2-like: single-threaded epoll loop, 100K records in memory,
+/// persistence disabled, driven closed-loop (YCSB).
+pub fn redis(port: u16) -> ServiceSpec {
+    let mut p = base_params(6_500, 0x0100_0000, 0x7264);
+    p.mix = vec![
+        (InstrClass::IntAlu, 0.31),
+        (InstrClass::Mov, 0.18),
+        (InstrClass::Load, 0.25),
+        (InstrClass::Store, 0.07),
+        (InstrClass::CondBranch, 0.15),
+        (InstrClass::Jump, 0.02),
+        (InstrClass::RepString, 0.02),
+    ];
+    p.branch_rates = vec![
+        (BranchBehavior::new(0.5, 0.5), 0.20),
+        (BranchBehavior::new(0.25, 0.125), 0.40),
+        (BranchBehavior::new(0.0625, 0.0625), 0.40),
+    ];
+    p.data_working_sets = vec![(4 * KB, 0.35), (64 * KB, 0.25), (16 * MB, 0.40)];
+    p.instr_working_sets = vec![(8 * KB, 0.65), (32 * KB, 0.35)];
+    p.dep_distances = vec![(2, 0.35), (8, 0.40), (32, 0.25)];
+    p.shared_fraction = 0.0; // single-threaded
+    p.chase_fraction = 0.07; // dict chains
+    p.rep_bytes = 1024;
+    let handler = BehaviorHandler::new(&p).with_response_bytes(KB);
+    ServiceSpec {
+        name: "redis".into(),
+        port,
+        network: NetworkModel::EpollWorkers { workers: 0 },
+        handler: Arc::new(handler),
+        downstreams: Vec::new(),
+        collector: None,
+        data_bytes: 32 * MB,
+        shared_bytes: 4 * MB,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ditto_hw::platform::PlatformSpec;
+
+    #[test]
+    fn specs_have_expected_skeletons() {
+        assert_eq!(memcached(9000).network, NetworkModel::EpollWorkers { workers: 4 });
+        assert_eq!(redis(9001).network, NetworkModel::EpollWorkers { workers: 0 });
+        let mut c = Cluster::single(PlatformSpec::c(), 1);
+        let n = nginx(&mut c, NodeId(0), 9002);
+        assert_eq!(n.network, NetworkModel::EpollWorkers { workers: 0 });
+        let mg = mongodb(&mut c, NodeId(0), 9003, 4 * GB);
+        assert_eq!(mg.network, NetworkModel::ThreadPerConn);
+        assert_eq!(mg.handler.files().len(), 1);
+    }
+
+    #[test]
+    fn mongodb_configures_page_cache() {
+        let mut c = Cluster::single(PlatformSpec::a(), 1);
+        mongodb(&mut c, NodeId(0), 9000, 2 * GB);
+        // Dataset is 40 GB; cache only holds 2 GB → uniform reads miss.
+        let m = c.machine_mut(NodeId(0));
+        let f = ditto_kernel::FileId(0);
+        assert_eq!(m.fs.size(f), Some(40 * GB));
+        let mut misses = 0;
+        for i in 0..100u64 {
+            let plan = m.fs.read(f, (i * 397 * MB) % (39 * GB), 4096).unwrap();
+            misses += plan.miss_pages;
+        }
+        assert!(misses > 90, "uniform reads over 40GB must miss a 2GB cache, misses={misses}");
+    }
+}

@@ -1,0 +1,200 @@
+//! A parametric request handler built from behavioural parameters.
+//!
+//! Original applications are `BehaviorHandler`s with hand-written,
+//! *private* parameters; Ditto-generated clones are `BehaviorHandler`s
+//! with parameters recovered from profiles. Neither side is special-cased
+//! anywhere downstream.
+
+use ditto_hw::codegen::{Body, BodyParams};
+use ditto_kernel::FileId;
+use ditto_sim::rng::SimRng;
+
+use crate::service::{HandlerPlan, HandlerStep, RequestHandler};
+
+/// Probabilistic file-read behaviour of a handler.
+#[derive(Debug, Clone)]
+pub struct FileReadSpec {
+    /// File to read from.
+    pub file: FileId,
+    /// Uniform offset range `[0, span)`.
+    pub span: u64,
+    /// Bytes per read.
+    pub bytes: u64,
+    /// Probability a request performs the read.
+    pub probability: f64,
+}
+
+/// A probabilistic downstream call.
+#[derive(Debug, Clone)]
+pub struct RpcEdge {
+    /// Index into the service's downstream list.
+    pub downstream: usize,
+    /// Probability the call is issued per request (values > 1 mean
+    /// multiple calls: floor + Bernoulli on the fraction).
+    pub calls_per_request: f64,
+    /// Request payload bytes.
+    pub bytes: u64,
+}
+
+/// A handler whose per-request behaviour is fully described by
+/// distributional parameters.
+pub struct BehaviorHandler {
+    body: Body,
+    file_read: Option<FileReadSpec>,
+    rpcs: Vec<RpcEdge>,
+    response_bytes: u64,
+}
+
+impl std::fmt::Debug for BehaviorHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BehaviorHandler")
+            .field("mean_instructions", &self.body.mean_instructions())
+            .field("rpcs", &self.rpcs.len())
+            .field("response_bytes", &self.response_bytes)
+            .finish()
+    }
+}
+
+impl BehaviorHandler {
+    /// Builds a handler: `params` describe the compute body; I/O and RPC
+    /// behaviour are added with the builder methods.
+    pub fn new(params: &BodyParams) -> Self {
+        BehaviorHandler {
+            body: Body::new(params),
+            file_read: None,
+            rpcs: Vec::new(),
+            response_bytes: 512,
+        }
+    }
+
+    /// Adds a probabilistic file read.
+    pub fn with_file_read(mut self, spec: FileReadSpec) -> Self {
+        self.file_read = Some(spec);
+        self
+    }
+
+    /// Adds a downstream RPC edge.
+    pub fn with_rpc(mut self, edge: RpcEdge) -> Self {
+        self.rpcs.push(edge);
+        self
+    }
+
+    /// Sets the response payload size.
+    pub fn with_response_bytes(mut self, bytes: u64) -> Self {
+        self.response_bytes = bytes;
+        self
+    }
+
+    /// The compute body (used by profilers in tests).
+    pub fn body(&self) -> &Body {
+        &self.body
+    }
+}
+
+impl RequestHandler for BehaviorHandler {
+    fn plan(&self, rng: &mut SimRng) -> HandlerPlan {
+        let mut steps = Vec::with_capacity(2 + self.rpcs.len());
+        steps.push(HandlerStep::Compute(self.body.instantiate(rng)));
+        if let Some(fr) = &self.file_read {
+            if rng.chance(fr.probability) {
+                let offset = if fr.span > fr.bytes {
+                    rng.below(fr.span - fr.bytes)
+                } else {
+                    0
+                };
+                steps.push(HandlerStep::FileRead { file: fr.file, offset, bytes: fr.bytes });
+            }
+        }
+        for edge in &self.rpcs {
+            let mut calls = edge.calls_per_request.floor() as u32;
+            if rng.chance(edge.calls_per_request - f64::from(calls)) {
+                calls += 1;
+            }
+            for _ in 0..calls {
+                steps.push(HandlerStep::Rpc { downstream: edge.downstream, bytes: edge.bytes });
+            }
+        }
+        HandlerPlan { steps, response_bytes: self.response_bytes }
+    }
+
+    fn files(&self) -> Vec<FileId> {
+        self.file_read.iter().map(|f| f.file).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handler() -> BehaviorHandler {
+        BehaviorHandler::new(&BodyParams::minimal(5_000, 0x40_0000, 3))
+            .with_response_bytes(1024)
+            .with_rpc(RpcEdge { downstream: 0, calls_per_request: 0.5, bytes: 100 })
+            .with_file_read(FileReadSpec {
+                file: FileId(0),
+                span: 1 << 20,
+                bytes: 4096,
+                probability: 1.0,
+            })
+    }
+
+    #[test]
+    fn plan_contains_compute_file_and_rpcs() {
+        let h = handler();
+        let mut rng = SimRng::seed(1);
+        let mut rpc_count = 0usize;
+        let mut file_count = 0usize;
+        for _ in 0..1000 {
+            let plan = h.plan(&mut rng);
+            assert!(matches!(plan.steps[0], HandlerStep::Compute(_)));
+            assert_eq!(plan.response_bytes, 1024);
+            for s in &plan.steps[1..] {
+                match s {
+                    HandlerStep::Rpc { .. } => rpc_count += 1,
+                    HandlerStep::FileRead { .. } => file_count += 1,
+                    HandlerStep::Compute(_) => {}
+                }
+            }
+        }
+        assert_eq!(file_count, 1000, "probability 1.0 reads always");
+        assert!((400..600).contains(&rpc_count), "rpc count {rpc_count}");
+    }
+
+    #[test]
+    fn files_declared() {
+        assert_eq!(handler().files(), vec![FileId(0)]);
+        let plain = BehaviorHandler::new(&BodyParams::minimal(1_000, 0x40_0000, 3));
+        assert!(plain.files().is_empty());
+    }
+
+    #[test]
+    fn fanout_above_one_issues_multiple_calls() {
+        let h = BehaviorHandler::new(&BodyParams::minimal(1_000, 0x40_0000, 3))
+            .with_rpc(RpcEdge { downstream: 0, calls_per_request: 2.5, bytes: 64 });
+        let mut rng = SimRng::seed(2);
+        let total: usize = (0..1000)
+            .map(|_| {
+                h.plan(&mut rng)
+                    .steps
+                    .iter()
+                    .filter(|s| matches!(s, HandlerStep::Rpc { .. }))
+                    .count()
+            })
+            .sum();
+        let mean = total as f64 / 1000.0;
+        assert!((mean - 2.5).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn offsets_stay_in_span() {
+        let h = handler();
+        let mut rng = SimRng::seed(3);
+        for _ in 0..200 {
+            for s in h.plan(&mut rng).steps {
+                if let HandlerStep::FileRead { offset, bytes, .. } = s {
+                    assert!(offset + bytes <= 1 << 20);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Original application models for the Ditto reproduction (§6.1.2).
+//!
+//! This crate plays the role of the *target services* the paper clones:
+//! behavioural models of Memcached, NGINX, MongoDB, Redis and the Social
+//! Network microservice topology, all deployed through a common service
+//! framework ([`service`]) onto the simulated OS. The behavioural
+//! parameters in [`apps`] and [`social`] are private ground truth: the
+//! Ditto pipeline (`ditto-core`) only ever sees traces and counters.
+//!
+//! [`stressors`] provides the stress-ng / iBench / iperf3 equivalents for
+//! the interference study (Figure 10).
+
+pub mod apps;
+pub mod handlers;
+pub mod service;
+pub mod social;
+pub mod stressors;
+
+pub use handlers::{BehaviorHandler, FileReadSpec, RpcEdge};
+pub use service::{HandlerPlan, HandlerStep, NetworkModel, RequestHandler, ServiceSpec};
+pub use social::{deploy_social_network, SocialNetwork};
+pub use stressors::{deploy_flood_sink, spawn_stressors, StressKind};

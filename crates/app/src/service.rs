@@ -1,0 +1,798 @@
+//! The generic service framework: application skeletons (§4.3).
+//!
+//! A [`ServiceSpec`] combines a network model (I/O-multiplexing with a
+//! worker pool, single-threaded multiplexing, or blocking
+//! thread-per-connection), a [`RequestHandler`] that plans per-request
+//! work (compute bodies, file reads, downstream RPCs), and optional
+//! distributed tracing. Both the *original* applications in this crate and
+//! the *synthetic clones* emitted by `ditto-core` are deployed through
+//! this framework — the difference is only where the handler's behavioural
+//! parameters come from.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use ditto_hw::isa::Program;
+use ditto_kernel::{
+    Action, Cluster, Fd, FileId, Msg, MsgMeta, NodeId, Pid, Syscall, SysResult, ThreadBody,
+    ThreadCtx,
+};
+use ditto_sim::rng::SimRng;
+use ditto_sim::time::{SimDuration, SimTime};
+use ditto_trace::{SpanContext, TraceCollector};
+use parking_lot::Mutex;
+
+/// Region id handlers use for thread-private data (allocated first).
+pub const DATA_REGION: u32 = 1;
+/// Region id handlers use for cross-thread shared data.
+pub const SHARED_REGION: u32 = 2;
+
+/// One step of request handling.
+pub enum HandlerStep {
+    /// Execute user-space code.
+    Compute(Program),
+    /// `pread` from a file (page cache / disk via the kernel).
+    FileRead {
+        /// File to read.
+        file: FileId,
+        /// Absolute offset.
+        offset: u64,
+        /// Bytes to read.
+        bytes: u64,
+    },
+    /// Synchronous RPC to a downstream service.
+    Rpc {
+        /// Index into the service's `downstreams` list.
+        downstream: usize,
+        /// Request payload bytes.
+        bytes: u64,
+    },
+}
+
+impl std::fmt::Debug for HandlerStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandlerStep::Compute(p) => write!(f, "Compute({} instrs)", p.dynamic_instructions()),
+            HandlerStep::FileRead { offset, bytes, .. } => {
+                write!(f, "FileRead(off={offset}, {bytes}B)")
+            }
+            HandlerStep::Rpc { downstream, bytes } => write!(f, "Rpc(#{downstream}, {bytes}B)"),
+        }
+    }
+}
+
+/// The planned work for one request.
+#[derive(Debug)]
+pub struct HandlerPlan {
+    /// Steps executed in order.
+    pub steps: Vec<HandlerStep>,
+    /// Response payload bytes.
+    pub response_bytes: u64,
+}
+
+/// Plans per-request work. Implementations must be cheap: `plan` runs for
+/// every simulated request.
+pub trait RequestHandler: Send + Sync {
+    /// Produces the work plan for one incoming request.
+    fn plan(&self, rng: &mut SimRng) -> HandlerPlan;
+
+    /// Files the handler reads (pre-opened by each worker).
+    fn files(&self) -> Vec<FileId> {
+        Vec::new()
+    }
+}
+
+/// The network/thread skeleton of a service (§4.3.1, §4.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkModel {
+    /// A main thread accepts and distributes connections to `workers`
+    /// epoll loops (Memcached-style). `workers == 0` collapses accept and
+    /// handling into one thread (Redis/NGINX single-worker style).
+    EpollWorkers {
+        /// Worker thread count.
+        workers: usize,
+    },
+    /// Blocking thread-per-connection (MongoDB-style); threads scale with
+    /// concurrent connections.
+    ThreadPerConn,
+}
+
+/// A deployable service.
+#[derive(Clone)]
+pub struct ServiceSpec {
+    /// Service name (appears in spans).
+    pub name: String,
+    /// Listening port.
+    pub port: u16,
+    /// Skeleton.
+    pub network: NetworkModel,
+    /// Per-request work planner.
+    pub handler: Arc<dyn RequestHandler>,
+    /// Downstream services, addressed by `HandlerStep::Rpc` indices.
+    pub downstreams: Vec<(NodeId, u16)>,
+    /// Trace collector, if tracing is enabled.
+    pub collector: Option<TraceCollector>,
+    /// Bytes of private data region to map.
+    pub data_bytes: u64,
+    /// Bytes of shared data region to map.
+    pub shared_bytes: u64,
+}
+
+impl std::fmt::Debug for ServiceSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceSpec")
+            .field("name", &self.name)
+            .field("port", &self.port)
+            .field("network", &self.network)
+            .field("downstreams", &self.downstreams)
+            .finish()
+    }
+}
+
+impl ServiceSpec {
+    /// Deploys the service on `node`, returning its pid.
+    pub fn deploy(&self, cluster: &mut Cluster, node: NodeId) -> Pid {
+        let pid = cluster.spawn_process(node);
+        let m = cluster.machine_mut(node);
+        let data = m.alloc_region(pid, self.data_bytes.max(4096));
+        let shared = m.alloc_region(pid, self.shared_bytes.max(4096));
+        debug_assert_eq!(data, DATA_REGION);
+        debug_assert_eq!(shared, SHARED_REGION);
+
+        match self.network {
+            NetworkModel::EpollWorkers { workers } => {
+                let registry = Arc::new(Mutex::new(Vec::new()));
+                for w in 0..workers {
+                    cluster.spawn_thread(
+                        node,
+                        pid,
+                        Box::new(EpollWorker::new(self.clone(), Some(registry.clone()), w)),
+                    );
+                }
+                cluster.spawn_thread(
+                    node,
+                    pid,
+                    Box::new(Acceptor::new(self.clone(), workers, registry)),
+                );
+            }
+            NetworkModel::ThreadPerConn => {
+                cluster.spawn_thread(node, pid, Box::new(BlockingAcceptor::new(self.clone())));
+            }
+        }
+        pid
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accept path
+// ---------------------------------------------------------------------------
+
+enum AcceptorState {
+    WaitWorkers,
+    Listen,
+    Accept,
+    Register,
+}
+
+/// Main thread for [`NetworkModel::EpollWorkers`] with `workers > 0`:
+/// accepts connections and registers them on worker epolls round-robin.
+/// With `workers == 0` it becomes a single-threaded epoll server itself.
+struct Acceptor {
+    spec: ServiceSpec,
+    workers: usize,
+    registry: Arc<Mutex<Vec<Fd>>>,
+    state: AcceptorState,
+    listener: Option<Fd>,
+    next_worker: usize,
+    /// Inline worker logic when `workers == 0`.
+    inline: Option<EpollWorker>,
+}
+
+impl Acceptor {
+    fn new(spec: ServiceSpec, workers: usize, registry: Arc<Mutex<Vec<Fd>>>) -> Self {
+        let inline = if workers == 0 {
+            Some(EpollWorker::new(spec.clone(), None, 0))
+        } else {
+            None
+        };
+        Acceptor {
+            spec,
+            workers,
+            registry,
+            state: AcceptorState::WaitWorkers,
+            listener: None,
+            next_worker: 0,
+            inline,
+        }
+    }
+}
+
+impl ThreadBody for Acceptor {
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        if let Some(inline) = &mut self.inline {
+            // Single-threaded server: delegate everything to the worker
+            // logic, which also owns the listener.
+            return inline.step(ctx);
+        }
+        loop {
+            match self.state {
+                AcceptorState::WaitWorkers => {
+                    if self.registry.lock().len() < self.workers {
+                        return Action::Syscall(Syscall::Nanosleep {
+                            dur: SimDuration::from_micros(200),
+                        });
+                    }
+                    self.state = AcceptorState::Listen;
+                }
+                AcceptorState::Listen => {
+                    self.state = AcceptorState::Accept;
+                    return Action::Syscall(Syscall::Listen { port: self.spec.port });
+                }
+                AcceptorState::Accept => {
+                    if self.listener.is_none() {
+                        match ctx.last.fd() {
+                            Some(fd) => self.listener = Some(fd),
+                            None => return Action::Exit,
+                        }
+                    }
+                    self.state = AcceptorState::Register;
+                    return Action::Syscall(Syscall::Accept {
+                        listener: self.listener.expect("set above"),
+                    });
+                }
+                AcceptorState::Register => {
+                    let Some(conn_fd) = ctx.last.fd() else {
+                        return Action::Exit;
+                    };
+                    let ep = {
+                        let reg = self.registry.lock();
+                        reg[self.next_worker % reg.len()]
+                    };
+                    self.next_worker += 1;
+                    self.state = AcceptorState::Accept;
+                    return Action::Syscall(Syscall::EpollCtl { ep, watch: conn_fd });
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "acceptor"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Epoll worker
+// ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Epoll worker
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerState {
+    /// Issue `epoll_create`.
+    CreateEpoll,
+    /// Collect the epoll fd, then open handler files one by one.
+    OpenFiles { at: usize },
+    /// Connect to downstream services one by one.
+    ConnectDownstreams { at: usize },
+    /// Standalone worker: bind the listener.
+    Listen,
+    /// Standalone worker: register the listener on the epoll.
+    WatchListener,
+    /// Issue/collect `epoll_wait`, drain the ready queue.
+    Wait,
+    /// Issued `recv` on `recv_fd`; classify the result.
+    Recv,
+    /// Issued `accept`; register the new connection.
+    AcceptedConn,
+    /// Compute step finished; continue the plan.
+    Execute,
+    /// Issued the RPC `send`; now receive the reply.
+    RpcSent,
+    /// Issued `recv` for the RPC reply.
+    RpcReply,
+    /// Issued a file `read`; continue the plan when it returns.
+    AwaitDisk,
+    /// Issued the response `send`; finish the request.
+    Respond,
+}
+
+struct ActiveRequest {
+    fd: Fd,
+    meta: MsgMeta,
+    started: SimTime,
+    span: SpanContext,
+    steps: VecDeque<HandlerStep>,
+    response_bytes: u64,
+}
+
+/// One epoll event loop: waits for readiness, receives requests, executes
+/// handler plans (compute, file I/O, synchronous RPCs), responds.
+struct EpollWorker {
+    spec: ServiceSpec,
+    registry: Option<Arc<Mutex<Vec<Fd>>>>,
+    state: WorkerState,
+    ep: Option<Fd>,
+    listener: Option<Fd>,
+    files: Vec<(FileId, Fd)>,
+    downstream_fds: Vec<Fd>,
+    ready: VecDeque<Fd>,
+    recv_fd: Option<Fd>,
+    rpc_fd: Option<Fd>,
+    current: Option<ActiveRequest>,
+    #[allow(dead_code)]
+    index: usize,
+}
+
+impl EpollWorker {
+    fn new(spec: ServiceSpec, registry: Option<Arc<Mutex<Vec<Fd>>>>, index: usize) -> Self {
+        EpollWorker {
+            spec,
+            registry,
+            state: WorkerState::CreateEpoll,
+            ep: None,
+            listener: None,
+            files: Vec::new(),
+            downstream_fds: Vec::new(),
+            ready: VecDeque::new(),
+            recv_fd: None,
+            rpc_fd: None,
+            current: None,
+            index,
+        }
+    }
+
+    fn standalone(&self) -> bool {
+        self.registry.is_none()
+    }
+
+    fn fd_for(&self, file: FileId) -> Fd {
+        self.files
+            .iter()
+            .find(|(f, _)| *f == file)
+            .map(|(_, fd)| *fd)
+            .expect("handler read from undeclared file")
+    }
+
+    /// Starts handling a freshly received request.
+    fn begin_request(&mut self, msg: Msg, fd: Fd, ctx: &mut ThreadCtx<'_>) {
+        let span = match (&self.spec.collector, msg.meta.trace_id) {
+            (Some(col), tid) if tid != 0 => col.child_of(SpanContext { trace_id: tid, span_id: 1 }),
+            _ => SpanContext::default(),
+        };
+        let plan = self.spec.handler.plan(ctx.rng);
+        self.current = Some(ActiveRequest {
+            fd,
+            meta: msg.meta,
+            started: ctx.now,
+            span,
+            steps: plan.steps.into(),
+            response_bytes: plan.response_bytes,
+        });
+    }
+
+    /// Pops the next plan step and returns its action.
+    fn execute_next(&mut self) -> Action {
+        let req = self.current.as_mut().expect("active request");
+        match req.steps.pop_front() {
+            Some(HandlerStep::Compute(p)) => {
+                self.state = WorkerState::Execute;
+                Action::Compute(p)
+            }
+            Some(HandlerStep::FileRead { file, offset, bytes }) => {
+                self.state = WorkerState::AwaitDisk;
+                let fd = self.fd_for(file);
+                Action::Syscall(Syscall::Read { fd, bytes, offset: Some(offset) })
+            }
+            Some(HandlerStep::Rpc { downstream, bytes }) => {
+                self.state = WorkerState::RpcSent;
+                let fd = self.downstream_fds[downstream];
+                self.rpc_fd = Some(fd);
+                let meta = MsgMeta {
+                    tag: req.meta.tag,
+                    trace_id: req.span.trace_id,
+                    span_id: req.span.span_id,
+                };
+                Action::Syscall(Syscall::Send { fd, bytes, meta })
+            }
+            None => {
+                self.state = WorkerState::Respond;
+                Action::Syscall(Syscall::Send {
+                    fd: req.fd,
+                    bytes: req.response_bytes,
+                    meta: req.meta,
+                })
+            }
+        }
+    }
+
+    fn finish_request(&mut self, now: SimTime) {
+        if let Some(req) = self.current.take() {
+            if let Some(col) = &self.spec.collector {
+                if req.span.is_sampled() {
+                    col.record(req.span, req.meta.span_id, &self.spec.name, "handle", req.started, now);
+                }
+            }
+        }
+    }
+}
+
+impl ThreadBody for EpollWorker {
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        loop {
+            match self.state {
+                WorkerState::CreateEpoll => {
+                    self.state = WorkerState::OpenFiles { at: 0 };
+                    return Action::Syscall(Syscall::EpollCreate);
+                }
+                WorkerState::OpenFiles { at } => {
+                    if at == 0 {
+                        let Some(fd) = ctx.last.fd() else { return Action::Exit };
+                        self.ep = Some(fd);
+                    } else {
+                        let Some(fd) = ctx.last.fd() else { return Action::Exit };
+                        let file = self.spec.handler.files()[at - 1];
+                        self.files.push((file, fd));
+                    }
+                    let wanted = self.spec.handler.files();
+                    if at < wanted.len() {
+                        self.state = WorkerState::OpenFiles { at: at + 1 };
+                        return Action::Syscall(Syscall::Open { file: wanted[at] });
+                    }
+                    self.state = WorkerState::ConnectDownstreams { at: 0 };
+                    // No pending syscall: fall through immediately.
+                    if self.spec.downstreams.is_empty() {
+                        continue;
+                    }
+                    let (node, port) = self.spec.downstreams[0];
+                    self.state = WorkerState::ConnectDownstreams { at: 1 };
+                    return Action::Syscall(Syscall::Connect { node, port });
+                }
+                WorkerState::ConnectDownstreams { at } => {
+                    if at > 0 {
+                        match ctx.last.fd() {
+                            Some(fd) => self.downstream_fds.push(fd),
+                            None => return Action::Exit,
+                        }
+                    }
+                    if at < self.spec.downstreams.len() {
+                        let (node, port) = self.spec.downstreams[at];
+                        self.state = WorkerState::ConnectDownstreams { at: at + 1 };
+                        return Action::Syscall(Syscall::Connect { node, port });
+                    }
+                    if self.standalone() {
+                        self.state = WorkerState::Listen;
+                    } else {
+                        self.registry
+                            .as_ref()
+                            .expect("pool worker has a registry")
+                            .lock()
+                            .push(self.ep.expect("epoll created"));
+                        self.state = WorkerState::Wait;
+                        return Action::Syscall(Syscall::EpollWait {
+                            ep: self.ep.expect("epoll created"),
+                            timeout: Some(SimDuration::from_millis(100)),
+                        });
+                    }
+                }
+                WorkerState::Listen => {
+                    self.state = WorkerState::WatchListener;
+                    return Action::Syscall(Syscall::Listen { port: self.spec.port });
+                }
+                WorkerState::WatchListener => {
+                    let Some(fd) = ctx.last.fd() else { return Action::Exit };
+                    self.listener = Some(fd);
+                    self.state = WorkerState::Wait;
+                    return Action::Syscall(Syscall::EpollCtl {
+                        ep: self.ep.expect("epoll created"),
+                        watch: fd,
+                    });
+                }
+                WorkerState::Wait => {
+                    if let SysResult::Ready(fds) = &ctx.last {
+                        self.ready.extend(fds.iter().copied());
+                        ctx.last = SysResult::None;
+                    }
+                    match self.ready.pop_front() {
+                        Some(fd) if Some(fd) == self.listener => {
+                            self.state = WorkerState::AcceptedConn;
+                            return Action::Syscall(Syscall::Accept {
+                                listener: self.listener.expect("listener bound"),
+                            });
+                        }
+                        Some(fd) => {
+                            self.state = WorkerState::Recv;
+                            self.recv_fd = Some(fd);
+                            return Action::Syscall(Syscall::Recv { fd });
+                        }
+                        None => {
+                            return Action::Syscall(Syscall::EpollWait {
+                                ep: self.ep.expect("epoll created"),
+                                timeout: Some(SimDuration::from_millis(100)),
+                            });
+                        }
+                    }
+                }
+                WorkerState::AcceptedConn => {
+                    let Some(fd) = ctx.last.fd() else {
+                        self.state = WorkerState::Wait;
+                        continue;
+                    };
+                    self.state = WorkerState::Wait;
+                    return Action::Syscall(Syscall::EpollCtl {
+                        ep: self.ep.expect("epoll created"),
+                        watch: fd,
+                    });
+                }
+                WorkerState::Recv => match ctx.last.msg() {
+                    Some(msg) => {
+                        let fd = self.recv_fd.take().expect("recv fd recorded");
+                        self.begin_request(msg, fd, ctx);
+                        return self.execute_next();
+                    }
+                    None => {
+                        self.recv_fd = None;
+                        self.state = WorkerState::Wait;
+                        ctx.last = SysResult::None;
+                    }
+                },
+                WorkerState::Execute => {
+                    return self.execute_next();
+                }
+                WorkerState::RpcSent => {
+                    let fd = self.rpc_fd.expect("rpc fd recorded");
+                    self.state = WorkerState::RpcReply;
+                    return Action::Syscall(Syscall::Recv { fd });
+                }
+                WorkerState::RpcReply => {
+                    self.rpc_fd = None;
+                    // Reply (or error) received; continue the plan either way.
+                    return self.execute_next();
+                }
+                WorkerState::AwaitDisk => {
+                    return self.execute_next();
+                }
+                WorkerState::Respond => {
+                    self.finish_request(ctx.now);
+                    self.state = WorkerState::Wait;
+                    ctx.last = SysResult::None;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "worker"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-per-connection (blocking) skeleton
+// ---------------------------------------------------------------------------
+
+enum BlockingAcceptorState {
+    Listen,
+    Accept,
+}
+
+/// Accept loop for [`NetworkModel::ThreadPerConn`]: spawns one
+/// [`ConnWorker`] per accepted connection (the paper notes MongoDB's
+/// thread count scales with concurrent connections).
+struct BlockingAcceptor {
+    spec: ServiceSpec,
+    state: BlockingAcceptorState,
+    listener: Option<Fd>,
+}
+
+impl BlockingAcceptor {
+    fn new(spec: ServiceSpec) -> Self {
+        BlockingAcceptor { spec, state: BlockingAcceptorState::Listen, listener: None }
+    }
+}
+
+impl ThreadBody for BlockingAcceptor {
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        match self.state {
+            BlockingAcceptorState::Listen => {
+                self.state = BlockingAcceptorState::Accept;
+                Action::Syscall(Syscall::Listen { port: self.spec.port })
+            }
+            BlockingAcceptorState::Accept => {
+                if self.listener.is_none() {
+                    match ctx.last.fd() {
+                        Some(fd) => {
+                            self.listener = Some(fd);
+                            return Action::Syscall(Syscall::Accept { listener: fd });
+                        }
+                        None => return Action::Exit,
+                    }
+                }
+                match ctx.last.fd() {
+                    Some(conn_fd) => {
+                        // Hand the connection to a fresh worker thread.
+                        let worker = ConnWorker::new(self.spec.clone(), conn_fd);
+                        self.state = BlockingAcceptorState::Accept;
+                        // After spawning, the next step's result is the
+                        // child's Tid; we then accept again via the
+                        // listener saved above.
+                        Action::Syscall(Syscall::Spawn { body: Box::new(worker) })
+                    }
+                    None => Action::Syscall(Syscall::Accept {
+                        listener: self.listener.expect("listener bound"),
+                    }),
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "blocking-acceptor"
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnWorkerState {
+    Setup { at: usize },
+    Recv,
+    Execute,
+    RpcSent,
+    RpcReply,
+    AwaitDisk,
+    Respond,
+}
+
+/// Per-connection blocking worker: `recv → handle → send` loop.
+struct ConnWorker {
+    spec: ServiceSpec,
+    conn_fd: Fd,
+    state: ConnWorkerState,
+    files: Vec<(FileId, Fd)>,
+    downstream_fds: Vec<Fd>,
+    rpc_fd: Option<Fd>,
+    current: Option<ActiveRequest>,
+}
+
+impl ConnWorker {
+    fn new(spec: ServiceSpec, conn_fd: Fd) -> Self {
+        ConnWorker {
+            spec,
+            conn_fd,
+            state: ConnWorkerState::Setup { at: 0 },
+            files: Vec::new(),
+            downstream_fds: Vec::new(),
+            rpc_fd: None,
+            current: None,
+        }
+    }
+
+    fn fd_for(&self, file: FileId) -> Fd {
+        self.files
+            .iter()
+            .find(|(f, _)| *f == file)
+            .map(|(_, fd)| *fd)
+            .expect("handler read from undeclared file")
+    }
+
+    fn execute_next(&mut self) -> Action {
+        let req = self.current.as_mut().expect("active request");
+        match req.steps.pop_front() {
+            Some(HandlerStep::Compute(p)) => {
+                self.state = ConnWorkerState::Execute;
+                Action::Compute(p)
+            }
+            Some(HandlerStep::FileRead { file, offset, bytes }) => {
+                self.state = ConnWorkerState::AwaitDisk;
+                let fd = self.fd_for(file);
+                Action::Syscall(Syscall::Read { fd, bytes, offset: Some(offset) })
+            }
+            Some(HandlerStep::Rpc { downstream, bytes }) => {
+                self.state = ConnWorkerState::RpcSent;
+                let fd = self.downstream_fds[downstream];
+                self.rpc_fd = Some(fd);
+                let meta = MsgMeta {
+                    tag: req.meta.tag,
+                    trace_id: req.span.trace_id,
+                    span_id: req.span.span_id,
+                };
+                Action::Syscall(Syscall::Send { fd, bytes, meta })
+            }
+            None => {
+                self.state = ConnWorkerState::Respond;
+                Action::Syscall(Syscall::Send {
+                    fd: req.fd,
+                    bytes: req.response_bytes,
+                    meta: req.meta,
+                })
+            }
+        }
+    }
+}
+
+impl ThreadBody for ConnWorker {
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        loop {
+            match self.state {
+                ConnWorkerState::Setup { at } => {
+                    let files = self.spec.handler.files();
+                    if at > 0 {
+                        let Some(fd) = ctx.last.fd() else { return Action::Exit };
+                        if at <= files.len() {
+                            self.files.push((files[at - 1], fd));
+                        } else {
+                            self.downstream_fds.push(fd);
+                        }
+                    }
+                    if at < files.len() {
+                        self.state = ConnWorkerState::Setup { at: at + 1 };
+                        return Action::Syscall(Syscall::Open { file: files[at] });
+                    }
+                    let d = at - files.len();
+                    if d < self.spec.downstreams.len() {
+                        let (node, port) = self.spec.downstreams[d];
+                        self.state = ConnWorkerState::Setup { at: at + 1 };
+                        return Action::Syscall(Syscall::Connect { node, port });
+                    }
+                    self.state = ConnWorkerState::Recv;
+                    return Action::Syscall(Syscall::Recv { fd: self.conn_fd });
+                }
+                ConnWorkerState::Recv => match ctx.last.msg() {
+                    Some(msg) => {
+                        let span = match (&self.spec.collector, msg.meta.trace_id) {
+                            (Some(col), tid) if tid != 0 => {
+                                col.child_of(SpanContext { trace_id: tid, span_id: 1 })
+                            }
+                            _ => SpanContext::default(),
+                        };
+                        let plan = self.spec.handler.plan(ctx.rng);
+                        self.current = Some(ActiveRequest {
+                            fd: self.conn_fd,
+                            meta: msg.meta,
+                            started: ctx.now,
+                            span,
+                            steps: plan.steps.into(),
+                            response_bytes: plan.response_bytes,
+                        });
+                        return self.execute_next();
+                    }
+                    None => return Action::Exit, // connection closed
+                },
+                ConnWorkerState::Execute | ConnWorkerState::AwaitDisk => {
+                    return self.execute_next();
+                }
+                ConnWorkerState::RpcSent => {
+                    let fd = self.rpc_fd.expect("rpc fd recorded");
+                    self.state = ConnWorkerState::RpcReply;
+                    return Action::Syscall(Syscall::Recv { fd });
+                }
+                ConnWorkerState::RpcReply => {
+                    self.rpc_fd = None;
+                    return self.execute_next();
+                }
+                ConnWorkerState::Respond => {
+                    if let Some(req) = self.current.take() {
+                        if let Some(col) = &self.spec.collector {
+                            if req.span.is_sampled() {
+                                col.record(
+                                    req.span,
+                                    req.meta.span_id,
+                                    &self.spec.name,
+                                    "handle",
+                                    req.started,
+                                    ctx.now,
+                                );
+                            }
+                        }
+                    }
+                    self.state = ConnWorkerState::Recv;
+                    return Action::Syscall(Syscall::Recv { fd: self.conn_fd });
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "conn-worker"
+    }
+}

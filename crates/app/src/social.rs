@@ -1,0 +1,365 @@
+//! The Social Network microservice topology (DeathStarBench-like).
+//!
+//! An 18-tier service graph mirroring the paper's §6.1.2 deployment: an
+//! NGINX-like frontend fanning out to compose-post / home-timeline /
+//! user-timeline subtrees over Thrift-style synchronous RPCs, with
+//! memcached-, redis- and mongodb-like storage tiers at the leaves. The
+//! social graph is sized like socfb-Reed98 (962 users, 18.8K follow
+//! edges). `TextService` and `SocialGraphService` — the two tiers plotted
+//! in Figures 5, 7 and 8 — get distinctive bodies: text parsing is
+//! branchy, graph traversal pointer-chases a large working set.
+
+use std::sync::Arc;
+
+use ditto_hw::codegen::BodyParams;
+use ditto_hw::isa::{BranchBehavior, InstrClass};
+use ditto_kernel::{Cluster, NodeId, Pid};
+use ditto_trace::TraceCollector;
+
+use crate::handlers::{BehaviorHandler, RpcEdge};
+use crate::service::{NetworkModel, ServiceSpec, DATA_REGION, SHARED_REGION};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// Number of users in the composed social graph (socfb-Reed98).
+pub const USERS: u64 = 962;
+/// Number of follow edges (socfb-Reed98).
+pub const FOLLOW_EDGES: u64 = 18_812;
+
+/// One deployed tier.
+#[derive(Debug, Clone)]
+pub struct DeployedTier {
+    /// Service name.
+    pub name: String,
+    /// Node it runs on.
+    pub node: NodeId,
+    /// Listening port.
+    pub port: u16,
+    /// Process id.
+    pub pid: Pid,
+}
+
+/// A deployed Social Network.
+#[derive(Debug, Clone)]
+pub struct SocialNetwork {
+    /// All tiers, frontend first.
+    pub tiers: Vec<DeployedTier>,
+    /// The entry point for load generators.
+    pub frontend: (NodeId, u16),
+}
+
+impl SocialNetwork {
+    /// Finds a tier by name.
+    pub fn tier(&self, name: &str) -> Option<&DeployedTier> {
+        self.tiers.iter().find(|t| t.name == name)
+    }
+}
+
+fn tier_params(instructions: u64, pc_base: u64, seed: u64) -> BodyParams {
+    let mut p = BodyParams::minimal(instructions, pc_base, seed);
+    p.data_region = DATA_REGION;
+    p.shared_region = SHARED_REGION;
+    p.instr_working_sets = vec![(16 * KB, 0.45), (64 * KB, 0.40), (256 * KB, 0.15)];
+    p.data_working_sets = vec![(4 * KB, 0.40), (64 * KB, 0.30), (4 * MB, 0.30)];
+    p.branch_rates = vec![
+        (BranchBehavior::new(0.5, 0.25), 0.3),
+        (BranchBehavior::new(0.125, 0.125), 0.4),
+        (BranchBehavior::new(0.03125, 0.03125), 0.3),
+    ];
+    p.dep_distances = vec![(2, 0.3), (8, 0.4), (32, 0.3)];
+    p
+}
+
+struct TierDef {
+    name: &'static str,
+    handler: BehaviorHandler,
+    downstreams: Vec<&'static str>,
+    workers: usize,
+}
+
+fn tiers(collector_seedless: ()) -> Vec<TierDef> {
+    let _ = collector_seedless;
+    let mk = |instructions: u64, seed: u64, response: u64| {
+        BehaviorHandler::new(&tier_params(instructions, 0x0200_0000 + seed * 0x0040_0000, seed))
+            .with_response_bytes(response)
+    };
+    let rpc = |i: usize, calls: f64, bytes: u64| RpcEdge {
+        downstream: i,
+        calls_per_request: calls,
+        bytes,
+    };
+
+    vec![
+        // The entry tier: routes request types by probability
+        // (10% compose, 60% home timeline, 30% user timeline).
+        TierDef {
+            name: "frontend",
+            handler: mk(18_000, 1, 8 * KB)
+                .with_rpc(rpc(0, 0.10, 2 * KB)) // compose-post
+                .with_rpc(rpc(1, 0.60, 256)) // home-timeline
+                .with_rpc(rpc(2, 0.30, 256)), // user-timeline
+            downstreams: vec!["compose-post", "home-timeline", "user-timeline"],
+            workers: 2,
+        },
+        TierDef {
+            name: "compose-post",
+            handler: mk(25_000, 2, KB)
+                .with_rpc(rpc(0, 1.0, 128)) // unique-id
+                .with_rpc(rpc(1, 1.0, KB)) // text
+                .with_rpc(rpc(2, 1.0, 256)) // user
+                .with_rpc(rpc(3, 0.30, 4 * KB)) // media
+                .with_rpc(rpc(4, 1.0, 2 * KB)), // post-storage
+            downstreams: vec!["unique-id", "text", "user", "media", "post-storage"],
+            workers: 2,
+        },
+        TierDef {
+            name: "home-timeline",
+            handler: mk(16_000, 3, 4 * KB)
+                .with_rpc(rpc(0, 1.0, 256)) // social-graph
+                .with_rpc(rpc(1, 1.0, 512)), // post-storage
+            downstreams: vec!["social-graph", "post-storage"],
+            workers: 2,
+        },
+        TierDef {
+            name: "user-timeline",
+            handler: mk(14_000, 4, 4 * KB)
+                .with_rpc(rpc(0, 0.80, 512)) // post-storage
+                .with_rpc(rpc(1, 1.0, 256)), // timeline-redis
+            downstreams: vec!["post-storage", "timeline-redis"],
+            workers: 2,
+        },
+        TierDef {
+            name: "unique-id",
+            handler: mk(5_000, 5, 128),
+            downstreams: vec![],
+            workers: 1,
+        },
+        // TextService: manages the text users add to composed posts
+        // (branch-heavy parsing, mid-size footprint).
+        TierDef {
+            name: "text",
+            handler: {
+                let mut p = tier_params(20_000, 0x0200_0000 + 6 * 0x0040_0000, 6);
+                p.mix = vec![
+                    (InstrClass::IntAlu, 0.32),
+                    (InstrClass::Mov, 0.17),
+                    (InstrClass::Load, 0.21),
+                    (InstrClass::Store, 0.06),
+                    (InstrClass::CondBranch, 0.20),
+                    (InstrClass::Jump, 0.02),
+                    (InstrClass::RepString, 0.02),
+                ];
+                p.branch_rates = vec![
+                    (BranchBehavior::new(0.5, 0.5), 0.4),
+                    (BranchBehavior::new(0.25, 0.25), 0.35),
+                    (BranchBehavior::new(0.0625, 0.0625), 0.25),
+                ];
+                BehaviorHandler::new(&p)
+                    .with_response_bytes(KB)
+                    .with_rpc(RpcEdge { downstream: 0, calls_per_request: 0.4, bytes: 256 })
+                    .with_rpc(RpcEdge { downstream: 1, calls_per_request: 0.6, bytes: 256 })
+            },
+            downstreams: vec!["url-shorten", "user-mention"],
+            workers: 2,
+        },
+        TierDef {
+            name: "user",
+            handler: mk(8_000, 7, 512)
+                .with_rpc(RpcEdge { downstream: 0, calls_per_request: 0.3, bytes: 256 }),
+            downstreams: vec!["user-mongodb"],
+            workers: 1,
+        },
+        TierDef {
+            name: "media",
+            handler: mk(12_000, 8, 8 * KB),
+            downstreams: vec![],
+            workers: 1,
+        },
+        TierDef {
+            name: "url-shorten",
+            handler: mk(6_000, 9, 256),
+            downstreams: vec![],
+            workers: 1,
+        },
+        TierDef {
+            name: "user-mention",
+            handler: mk(7_000, 10, 512)
+                .with_rpc(RpcEdge { downstream: 0, calls_per_request: 1.0, bytes: 256 }),
+            downstreams: vec!["user-mongodb"],
+            workers: 1,
+        },
+        TierDef {
+            name: "post-storage",
+            handler: mk(15_000, 11, 4 * KB)
+                .with_rpc(RpcEdge { downstream: 0, calls_per_request: 1.0, bytes: 512 })
+                .with_rpc(RpcEdge { downstream: 1, calls_per_request: 0.35, bytes: 2 * KB }),
+            downstreams: vec!["post-memcached", "post-mongodb"],
+            workers: 2,
+        },
+        // SocialGraphService: manages follow relationships — graph
+        // traversal over the 18.8K-edge adjacency structure, pointer
+        // chasing across a large working set.
+        TierDef {
+            name: "social-graph",
+            handler: {
+                let mut p = tier_params(13_000, 0x0200_0000 + 12 * 0x0040_0000, 12);
+                p.data_working_sets =
+                    vec![(4 * KB, 0.25), (256 * KB, 0.30), (8 * MB, 0.45)];
+                p.chase_fraction = 0.15;
+                p.shared_fraction = 0.10;
+                BehaviorHandler::new(&p)
+                    .with_response_bytes(2 * KB)
+                    .with_rpc(RpcEdge { downstream: 0, calls_per_request: 1.0, bytes: 256 })
+                    .with_rpc(RpcEdge { downstream: 1, calls_per_request: 0.15, bytes: 512 })
+            },
+            downstreams: vec!["social-graph-redis", "social-graph-mongodb"],
+            workers: 2,
+        },
+        TierDef {
+            name: "post-memcached",
+            handler: mk(6_000, 13, 4 * KB),
+            downstreams: vec![],
+            workers: 2,
+        },
+        TierDef {
+            name: "post-mongodb",
+            handler: mk(20_000, 14, 4 * KB),
+            downstreams: vec![],
+            workers: 1,
+        },
+        TierDef {
+            name: "timeline-redis",
+            handler: mk(5_500, 15, KB),
+            downstreams: vec![],
+            workers: 1,
+        },
+        TierDef {
+            name: "social-graph-redis",
+            handler: mk(5_500, 16, KB),
+            downstreams: vec![],
+            workers: 1,
+        },
+        TierDef {
+            name: "social-graph-mongodb",
+            handler: mk(18_000, 17, 2 * KB),
+            downstreams: vec![],
+            workers: 1,
+        },
+        TierDef {
+            name: "user-mongodb",
+            handler: mk(16_000, 18, KB),
+            downstreams: vec![],
+            workers: 1,
+        },
+    ]
+}
+
+/// Deploys the Social Network across `nodes` (round-robin placement;
+/// a single node reproduces the paper's local deployment), optionally
+/// tracing via `collector`. Ports are assigned from `base_port`.
+pub fn deploy_social_network(
+    cluster: &mut Cluster,
+    nodes: &[NodeId],
+    base_port: u16,
+    collector: Option<TraceCollector>,
+) -> SocialNetwork {
+    assert!(!nodes.is_empty(), "need at least one node");
+    deploy_social_network_placed(cluster, &|_, i| nodes[i % nodes.len()], base_port, collector)
+}
+
+/// Like [`deploy_social_network`], with explicit placement: `place` maps
+/// `(tier name, tier index)` to a node. Used to pin tiers on dedicated
+/// machines for per-tier measurement.
+pub fn deploy_social_network_placed(
+    cluster: &mut Cluster,
+    place: &dyn Fn(&str, usize) -> NodeId,
+    base_port: u16,
+    collector: Option<TraceCollector>,
+) -> SocialNetwork {
+    let defs = tiers(());
+    // Leaves must be deployed before their callers so Connect succeeds:
+    // deploy in reverse topological order (the defs list is top-down).
+    let name_port: Vec<(String, NodeId, u16)> = defs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.name.to_string(), place(d.name, i), base_port + i as u16))
+        .collect();
+    let addr_of = |name: &str| {
+        name_port
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, node, port)| (*node, *port))
+            .expect("downstream tier must exist")
+    };
+
+    let mut deployed = Vec::new();
+    for (i, def) in defs.into_iter().enumerate().rev() {
+        let (node, port) = (name_port[i].1, name_port[i].2);
+        let spec = ServiceSpec {
+            name: def.name.to_string(),
+            port,
+            network: NetworkModel::EpollWorkers { workers: def.workers },
+            handler: Arc::new(def.handler),
+            downstreams: def.downstreams.iter().map(|d| addr_of(d)).collect(),
+            collector: collector.clone(),
+            data_bytes: 64 * MB,
+            shared_bytes: 16 * MB,
+        };
+        let pid = spec.deploy(cluster, node);
+        deployed.push(DeployedTier { name: def.name.to_string(), node, port, pid });
+    }
+    deployed.reverse();
+    let frontend = (deployed[0].node, deployed[0].port);
+    SocialNetwork { tiers: deployed, frontend }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_is_consistent() {
+        let defs = tiers(());
+        assert!(defs.len() >= 16, "paper deploys 20+ tiers; we model {}", defs.len());
+        let names: Vec<&str> = defs.iter().map(|d| d.name).collect();
+        for d in &defs {
+            for ds in &d.downstreams {
+                assert!(names.contains(ds), "{} depends on missing {ds}", d.name);
+            }
+        }
+        assert!(names.contains(&"text"));
+        assert!(names.contains(&"social-graph"));
+    }
+
+    #[test]
+    fn topology_is_acyclic() {
+        let defs = tiers(());
+        let idx = |n: &str| defs.iter().position(|d| d.name == n).unwrap();
+        // DFS cycle check.
+        fn visit(
+            u: usize,
+            defs: &[TierDef],
+            idx: &dyn Fn(&str) -> usize,
+            state: &mut Vec<u8>,
+        ) {
+            state[u] = 1;
+            for d in &defs[u].downstreams {
+                let v = idx(d);
+                assert_ne!(state[v], 1, "cycle through {}", defs[v].name);
+                if state[v] == 0 {
+                    visit(v, defs, idx, state);
+                }
+            }
+            state[u] = 2;
+        }
+        let mut state = vec![0u8; defs.len()];
+        visit(0, &defs, &idx, &mut state);
+    }
+
+    #[test]
+    fn graph_constants_match_dataset() {
+        assert_eq!(USERS, 962);
+        assert_eq!(FOLLOW_EDGES, 18_812);
+    }
+}

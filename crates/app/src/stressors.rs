@@ -1,0 +1,223 @@
+//! Interference stressors (§6.5): the stress-ng / iBench / iperf3
+//! equivalents used in Figure 10.
+
+use std::sync::Arc;
+
+use ditto_hw::codegen::{Body, BodyParams};
+use ditto_hw::isa::InstrClass;
+use ditto_kernel::{Action, Cluster, Fd, MsgMeta, NodeId, Syscall, ThreadBody, ThreadCtx};
+use ditto_sim::time::SimDuration;
+
+use crate::service::{NetworkModel, ServiceSpec, HandlerPlan, RequestHandler};
+
+const KB: u64 = 1024;
+
+/// Which resource a stressor attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StressKind {
+    /// Pure issue-slot pressure (stress-ng CPU method) — hurts through
+    /// SMT sharing when co-located on sibling logical cores.
+    HyperThread,
+    /// Streams through a working set of the given size, polluting the
+    /// corresponding cache level (stress-ng cache / iBench LLC).
+    CacheThrash {
+        /// Bytes of the polluted working set.
+        working_set: u64,
+    },
+    /// Bulk transfers competing for NIC bandwidth (iperf3). Requires a
+    /// flood sink (see [`deploy_flood_sink`]) on the target. Paced to
+    /// `target_bps` per flooder thread — TCP's ACK clocking keeps real
+    /// iperf3 from queueing unboundedly, and so does this.
+    NetFlood {
+        /// Sink machine.
+        to: NodeId,
+        /// Sink port.
+        port: u16,
+        /// Bytes per message.
+        msg_bytes: u64,
+        /// Offered load per flooder, bits per second.
+        target_bps: u64,
+    },
+}
+
+struct StressBody {
+    body: Body,
+}
+
+impl ThreadBody for StressBody {
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        Action::Compute(self.body.instantiate(ctx.rng))
+    }
+    fn label(&self) -> &str {
+        "stressor"
+    }
+}
+
+enum FloodState {
+    Connect,
+    Send,
+    Pace,
+}
+
+struct NetFlooder {
+    to: NodeId,
+    port: u16,
+    msg_bytes: u64,
+    gap: SimDuration,
+    fd: Option<Fd>,
+    state: FloodState,
+}
+
+impl ThreadBody for NetFlooder {
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        match self.state {
+            FloodState::Connect => {
+                self.state = FloodState::Send;
+                Action::Syscall(Syscall::Connect { node: self.to, port: self.port })
+            }
+            FloodState::Send => {
+                if self.fd.is_none() {
+                    match ctx.last.fd() {
+                        Some(fd) => self.fd = Some(fd),
+                        None => {
+                            self.state = FloodState::Connect;
+                            return Action::Syscall(Syscall::Nanosleep {
+                                dur: SimDuration::from_millis(50),
+                            });
+                        }
+                    }
+                }
+                self.state = FloodState::Pace;
+                Action::Syscall(Syscall::Send {
+                    fd: self.fd.expect("connected"),
+                    bytes: self.msg_bytes,
+                    meta: MsgMeta::default(),
+                })
+            }
+            FloodState::Pace => {
+                self.state = FloodState::Send;
+                Action::Syscall(Syscall::Nanosleep { dur: self.gap })
+            }
+        }
+    }
+    fn label(&self) -> &str {
+        "net-flooder"
+    }
+}
+
+/// Spawns `count` stressor threads of `kind` on `node`.
+pub fn spawn_stressors(cluster: &mut Cluster, node: NodeId, kind: StressKind, count: usize) {
+    let pid = cluster.spawn_process(node);
+    // Stressors get their own large region so they don't share lines with
+    // the service under test (the caches themselves are the shared medium).
+    let region = cluster.machine_mut(node).alloc_region(pid, 256 * 1024 * KB);
+    for i in 0..count {
+        let body: Box<dyn ThreadBody> = match kind {
+            StressKind::HyperThread => Box::new(StressBody {
+                body: Body::new(&{
+                    let mut p = BodyParams::minimal(200_000, 0x7000_0000, 300 + i as u64);
+                    p.mix = vec![(InstrClass::IntAlu, 0.8), (InstrClass::Mov, 0.2)];
+                    p.data_region = region;
+                    p.shared_region = region;
+                    p
+                }),
+            }),
+            StressKind::CacheThrash { working_set } => Box::new(StressBody {
+                body: Body::new(&{
+                    let mut p = BodyParams::minimal(200_000, 0x7100_0000, 400 + i as u64);
+                    p.mix = vec![
+                        (InstrClass::Load, 0.45),
+                        (InstrClass::Store, 0.15),
+                        (InstrClass::IntAlu, 0.30),
+                        (InstrClass::Mov, 0.10),
+                    ];
+                    p.data_working_sets = vec![(working_set, 1.0)];
+                    p.data_region = region;
+                    p.shared_region = region;
+                    p
+                }),
+            }),
+            StressKind::NetFlood { to, port, msg_bytes, target_bps } => Box::new(NetFlooder {
+                to,
+                port,
+                msg_bytes,
+                gap: SimDuration::from_secs_f64(
+                    msg_bytes as f64 * 8.0 / target_bps.max(1) as f64,
+                ),
+                fd: None,
+                state: FloodState::Connect,
+            }),
+        };
+        cluster.spawn_thread(node, pid, body);
+    }
+}
+
+struct SinkHandler;
+
+impl RequestHandler for SinkHandler {
+    fn plan(&self, _rng: &mut ditto_sim::rng::SimRng) -> HandlerPlan {
+        HandlerPlan { steps: Vec::new(), response_bytes: 1 }
+    }
+}
+
+/// Deploys a discard sink for [`StressKind::NetFlood`] on `(node, port)`.
+pub fn deploy_flood_sink(cluster: &mut Cluster, node: NodeId, port: u16) {
+    let spec = ServiceSpec {
+        name: "flood-sink".into(),
+        port,
+        network: NetworkModel::EpollWorkers { workers: 0 },
+        handler: Arc::new(SinkHandler),
+        downstreams: Vec::new(),
+        collector: None,
+        data_bytes: 4096,
+        shared_bytes: 4096,
+    };
+    spec.deploy(cluster, node);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ditto_hw::platform::PlatformSpec;
+
+    #[test]
+    fn cache_thrash_stressor_consumes_cpu_and_misses() {
+        let mut c = Cluster::single(PlatformSpec::c(), 5);
+        spawn_stressors(&mut c, NodeId(0), StressKind::CacheThrash { working_set: 16 * 1024 * 1024 }, 2);
+        c.run_for(SimDuration::from_millis(20));
+        let counters = c.machine(NodeId(0)).counters();
+        assert!(counters.instructions > 1_000_000, "{counters:?}");
+        assert!(counters.llc_misses > 1_000, "LLC thrash expected: {counters:?}");
+    }
+
+    #[test]
+    fn hyperthread_stressor_runs_hot() {
+        let mut c = Cluster::single(PlatformSpec::c(), 5);
+        spawn_stressors(&mut c, NodeId(0), StressKind::HyperThread, 8);
+        c.run_for(SimDuration::from_millis(10));
+        let counters = c.machine(NodeId(0)).counters();
+        assert!(counters.instructions > 2_000_000, "stressors must run hot: {counters:?}");
+        assert!(counters.ipc() > 0.8, "ALU spam should sustain decent IPC: {}", counters.ipc());
+    }
+
+    #[test]
+    fn net_flood_saturates_nic() {
+        let mut c = Cluster::new(vec![PlatformSpec::c(), PlatformSpec::c()], 5);
+        deploy_flood_sink(&mut c, NodeId(1), 7777);
+        c.run_for(SimDuration::from_millis(5));
+        spawn_stressors(
+            &mut c,
+            NodeId(0),
+            StressKind::NetFlood {
+                to: NodeId(1),
+                port: 7777,
+                msg_bytes: 128 * KB,
+                target_bps: 600_000_000,
+            },
+            2,
+        );
+        c.run_for(SimDuration::from_millis(100));
+        let nic = c.machine(NodeId(0)).nic.stats();
+        assert!(nic.bytes > 1_000_000, "flood must push bytes: {nic:?}");
+    }
+}

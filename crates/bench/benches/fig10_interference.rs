@@ -1,0 +1,137 @@
+//! Figure 10: interference impact on NGINX — IPC, p99 latency and cache
+//! miss rates under co-located stressors (stress-ng HT/L1d/L2, iBench
+//! LLC, iperf3 network), actual vs synthetic. The synthetic application
+//! was profiled in ISOLATION; matching behaviour under interference is
+//! the paper's §6.5 claim.
+
+use ditto_app::stressors::{deploy_flood_sink, spawn_stressors, StressKind};
+use ditto_bench::report::{fmt, table};
+use ditto_bench::AppId;
+use ditto_core::harness::{LoadKind, Testbed};
+use ditto_core::{Ditto, FineTuner};
+use ditto_kernel::{Cluster, NodeId, Pid};
+
+#[derive(Clone, Copy)]
+enum Condition {
+    Baseline,
+    Ht,
+    L1d,
+    L2,
+    Llc,
+    Net,
+}
+
+impl Condition {
+    fn name(self) -> &'static str {
+        match self {
+            Condition::Baseline => "Orig.",
+            Condition::Ht => "HT",
+            Condition::L1d => "L1d",
+            Condition::L2 => "L2",
+            Condition::Llc => "LLC",
+            Condition::Net => "Net",
+        }
+    }
+
+    /// Applies the stressor. HT/L1d/L2 co-locate on the SMT sibling of
+    /// the single active core (stress-ng pinning); LLC pollutes the shared
+    /// socket from other cores (iBench); Net floods the NIC (iperf3).
+    fn apply(self, cluster: &mut Cluster, _service_pid: Pid) {
+        let node = NodeId(0);
+        match self {
+            Condition::Baseline => cluster.machine_mut(node).set_active_cores(1),
+            Condition::Ht => {
+                cluster.machine_mut(node).set_active_cores(1);
+                spawn_stressors(cluster, node, StressKind::HyperThread, 1);
+            }
+            Condition::L1d => {
+                cluster.machine_mut(node).set_active_cores(1);
+                spawn_stressors(cluster, node, StressKind::CacheThrash { working_set: 32 * 1024 }, 1);
+            }
+            Condition::L2 => {
+                cluster.machine_mut(node).set_active_cores(1);
+                spawn_stressors(cluster, node, StressKind::CacheThrash { working_set: 1024 * 1024 }, 1);
+            }
+            Condition::Llc => {
+                cluster.machine_mut(node).set_active_cores(4);
+                spawn_stressors(
+                    cluster,
+                    node,
+                    StressKind::CacheThrash { working_set: 32 * 1024 * 1024 },
+                    3,
+                );
+            }
+            Condition::Net => {
+                cluster.machine_mut(node).set_active_cores(1);
+                deploy_flood_sink(cluster, NodeId(1), 7777);
+                cluster.run_for(ditto_sim::time::SimDuration::from_millis(5));
+                // Two flooders at 4 Gb/s each: ~80% of the 10 GbE link.
+                spawn_stressors(
+                    cluster,
+                    node,
+                    StressKind::NetFlood {
+                        to: NodeId(1),
+                        port: 7777,
+                        msg_bytes: 256 * 1024,
+                        target_bps: 4_000_000_000,
+                    },
+                    2,
+                );
+            }
+        }
+    }
+}
+
+fn main() {
+    let app = AppId::Nginx;
+    // Single active core: keep the load gentle enough to leave headroom.
+    let load = LoadKind::OpenLoop { qps: 1_500.0, connections: 4 };
+    let bed = Testbed::default_ab(0xF1A0);
+
+    // Profile + tune in ISOLATION (single-core baseline).
+    let profiled = bed.run_with(
+        |c, n| app.deploy(c, n),
+        &load,
+        true,
+        |c, p| Condition::Baseline.apply(c, p),
+    );
+    let profile = profiled.profile.as_ref().expect("profiled");
+    let tuner = FineTuner { max_iterations: 4, tolerance_pct: 10.0, gain: 0.6 };
+    let (tuned, _) = bed.tune_clone(&Ditto::new(), profile, &load, &tuner);
+
+    let mut rows = Vec::new();
+    for cond in [
+        Condition::Baseline,
+        Condition::Ht,
+        Condition::L1d,
+        Condition::L2,
+        Condition::Llc,
+        Condition::Net,
+    ] {
+        let orig = bed.run_with(|c, n| app.deploy(c, n), &load, false, |c, p| cond.apply(c, p));
+        let synth = bed.run_with(
+            |c, n| tuned.clone_service(c, n, ditto_core::harness::SERVICE_PORT, profile),
+            &load,
+            false,
+            |c, p| cond.apply(c, p),
+        );
+        for (kind, out) in [("actual", &orig), ("synthetic", &synth)] {
+            rows.push(vec![
+                cond.name().into(),
+                kind.into(),
+                fmt(out.metrics.ipc),
+                format!("{:.2}", out.load.latency.p99.as_millis_f64()),
+                format!("{:.1}%", out.metrics.l1i_miss_rate * 100.0),
+                format!("{:.1}%", out.metrics.l1d_miss_rate * 100.0),
+                format!("{:.1}%", out.metrics.l2_miss_rate * 100.0),
+                format!("{:.1}%", out.metrics.llc_miss_rate * 100.0),
+            ]);
+        }
+    }
+
+    table(
+        "Figure 10: interference impact on NGINX (profiled in isolation)",
+        &["stressor", "kind", "IPC", "p99(ms)", "L1i", "L1d", "L2", "LLC"],
+        &rows,
+    );
+}

@@ -1,0 +1,65 @@
+//! Figure 11: 99th-percentile latency of actual and synthetic Memcached
+//! under varying CPU frequency and core count, against a 1 ms QoS — the
+//! power-management case study of §6.6.
+
+use ditto_bench::report::table;
+use ditto_bench::AppId;
+use ditto_core::harness::{LoadKind, Testbed};
+use ditto_core::{Ditto, FineTuner};
+use ditto_kernel::NodeId;
+
+const CORES: [usize; 4] = [4, 8, 12, 16];
+const FREQS_GHZ: [f64; 3] = [1.1, 1.7, 2.1];
+const QOS_MS: f64 = 1.0;
+
+fn main() {
+    let app = AppId::Memcached;
+    let load = LoadKind::OpenLoop { qps: 10_000.0, connections: 8 };
+    let bed = Testbed::default_ab(0xF1B0);
+
+    let profiled = bed.run(|c, n| app.deploy(c, n), &load, true);
+    let profile = profiled.profile.as_ref().expect("profiled");
+    let tuner = FineTuner { max_iterations: 4, tolerance_pct: 10.0, gain: 0.6 };
+    let (tuned, _) = bed.tune_clone(&Ditto::new(), profile, &load, &tuner);
+
+    let mut rows = Vec::new();
+    for &freq in FREQS_GHZ.iter().rev() {
+        for (kind_idx, kind) in ["actual", "synthetic"].iter().enumerate() {
+            let mut row = vec![format!("{freq:.1}GHz"), kind.to_string()];
+            for &cores in &CORES {
+                let configure = move |c: &mut ditto_kernel::Cluster, _p: ditto_kernel::Pid| {
+                    let m = c.machine_mut(NodeId(0));
+                    m.set_active_cores(cores);
+                    m.set_frequency(freq);
+                };
+                let out = if kind_idx == 0 {
+                    bed.run_with(|c, n| app.deploy(c, n), &load, false, configure)
+                } else {
+                    bed.run_with(
+                        |c, n| tuned.clone_service(c, n, ditto_core::harness::SERVICE_PORT, profile),
+                        &load,
+                        false,
+                        configure,
+                    )
+                };
+                let p99 = out.load.latency.p99.as_millis_f64();
+                let cell = if p99 > QOS_MS || out.load.received < out.load.sent / 2 {
+                    format!("{p99:.2} X")
+                } else {
+                    format!("{p99:.2}")
+                };
+                row.push(cell);
+            }
+            rows.push(row);
+        }
+    }
+
+    let mut header = vec!["frequency".to_string(), "kind".to_string()];
+    header.extend(CORES.iter().map(|c| format!("{c} cores")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    table(
+        "Figure 11: Memcached p99 (ms) under core/frequency scaling; X = QoS (1ms) violated",
+        &header_refs,
+        &rows,
+    );
+}

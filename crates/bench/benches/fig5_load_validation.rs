@@ -1,0 +1,73 @@
+//! Figure 5: CPU metrics, network/disk bandwidth and latency under
+//! low/medium/high load, original vs synthetic, for the four single-tier
+//! services (the Social Network tiers are covered by `fig6_social_e2e`
+//! and `fig8_topdown`). Also prints the §6.2.1 average-error summary.
+//!
+//! Clones are generated from profiling at MEDIUM load only, like the
+//! paper ("Ditto has not profiled any other load"), then validated at all
+//! three load points.
+
+use ditto_bench::report::{fmt, fmt_bw, table, ErrorSummary};
+use ditto_bench::AppId;
+use ditto_core::harness::Testbed;
+use ditto_core::{Ditto, FineTuner};
+
+fn main() {
+    let mut summary = ErrorSummary::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for app in AppId::ALL {
+        let testbed = Testbed::default_ab(0xF160_0000 ^ app.name().len() as u64);
+
+        // Profile at medium load only.
+        let medium = app.medium_load();
+        let profiled = testbed.run(|c, n| app.deploy(c, n), &medium, true);
+        let profile = profiled.profile.as_ref().expect("profiled");
+
+        // Fine-tune the clone at the profiling load (§4.5).
+        let tuner = FineTuner { max_iterations: 4, tolerance_pct: 8.0, gain: 0.6 };
+        let (tuned, trace) = testbed.tune_clone(&Ditto::new(), profile, &medium, &tuner);
+        eprintln!(
+            "[fig5] {}: tuned in {} iterations (converged={})",
+            app.name(),
+            trace.iterations,
+            trace.converged
+        );
+
+        for (load_name, load) in app.loads() {
+            let orig = testbed.run(|c, n| app.deploy(c, n), &load, false);
+            let synth = testbed.run_clone(&tuned, profile, &load);
+
+            summary.add(&orig.metrics.errors_vs(&synth.metrics));
+            for (kind, out) in [("actual", &orig), ("synthetic", &synth)] {
+                rows.push(vec![
+                    app.name().into(),
+                    load_name.into(),
+                    kind.into(),
+                    fmt(out.metrics.ipc),
+                    fmt(out.metrics.branch_miss_rate),
+                    fmt(out.metrics.l1i_miss_rate),
+                    fmt(out.metrics.l1d_miss_rate),
+                    fmt(out.metrics.l2_miss_rate),
+                    fmt(out.metrics.llc_miss_rate),
+                    fmt_bw(out.metrics.net_bandwidth),
+                    fmt_bw(out.metrics.disk_bandwidth),
+                    format!("{:.0}", out.load.throughput_qps),
+                    format!("{:.2}", out.load.latency.mean.as_millis_f64()),
+                    format!("{:.2}", out.load.latency.p95.as_millis_f64()),
+                    format!("{:.2}", out.load.latency.p99.as_millis_f64()),
+                ]);
+            }
+        }
+    }
+
+    table(
+        "Figure 5: validation on varying loads (platform A)",
+        &[
+            "service", "load", "kind", "IPC", "BrMR", "L1i", "L1d", "L2", "LLC", "NetBW",
+            "DiskBW", "QPS", "avg(ms)", "p95(ms)", "p99(ms)",
+        ],
+        &rows,
+    );
+    summary.print("Average relative errors across services and loads (§6.2.1)");
+}

@@ -1,0 +1,42 @@
+//! Figure 6: end-to-end Social Network latency (p50/p95/p99) vs QPS when
+//! every individual microservice is replaced with a synthetic one.
+
+use ditto_bench::report::table;
+use ditto_bench::social_experiment::{run_original, run_synthetic};
+use ditto_core::Ditto;
+use ditto_hw::platform::PlatformSpec;
+
+fn main() {
+    let platform = PlatformSpec::a();
+
+    // Profile once at a medium load (like the paper: one profiling pass).
+    let profiled = run_original(&platform, 1_000.0, 0xF16_6, true);
+    let graph = profiled.graph.as_ref().expect("graph traced");
+    eprintln!(
+        "[fig6] traced {} services, {} edges",
+        graph.services.len(),
+        graph.edges.len()
+    );
+    let ditto = Ditto::new();
+
+    let mut rows = Vec::new();
+    for qps in [200.0, 500.0, 1_000.0, 2_000.0] {
+        let orig = run_original(&platform, qps, 0xF16_60 ^ qps as u64, false);
+        let synth = run_synthetic(&platform, &ditto, graph, &profiled.profiles, qps, 0xF16_61 ^ qps as u64);
+        for (kind, run) in [("actual", &orig), ("synthetic", &synth)] {
+            rows.push(vec![
+                format!("{qps:.0}"),
+                kind.to_string(),
+                format!("{:.0}", run.e2e.throughput_qps),
+                format!("{:.2}", run.e2e.latency.p50.as_millis_f64()),
+                format!("{:.2}", run.e2e.latency.p95.as_millis_f64()),
+                format!("{:.2}", run.e2e.latency.p99.as_millis_f64()),
+            ]);
+        }
+    }
+    table(
+        "Figure 6: end-to-end latency, fully synthetic Social Network",
+        &["QPS", "kind", "achieved", "p50(ms)", "p95(ms)", "p99(ms)"],
+        &rows,
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 7: cross-platform validation. Every service is profiled ONLY on
+//! Platform A; the same clone (same profile, same knobs — no reprofiling)
+//! is then run on Platforms A, B and C next to the original, exactly the
+//! paper's portability claim (§6.2.2).
+
+use ditto_bench::report::{fmt, fmt_bw, table, ErrorSummary};
+use ditto_bench::AppId;
+use ditto_core::harness::Testbed;
+use ditto_core::{Ditto, FineTuner};
+use ditto_hw::platform::PlatformSpec;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut summary = ErrorSummary::new();
+
+    for app in AppId::ALL {
+        // Profile + tune on Platform A only.
+        let bed_a = Testbed::default_ab(0xF17 ^ app.name().len() as u64);
+        let load = app.medium_load();
+        let profiled = bed_a.run(|c, n| app.deploy(c, n), &load, true);
+        let profile = profiled.profile.as_ref().expect("profiled");
+        let tuner = FineTuner { max_iterations: 3, tolerance_pct: 10.0, gain: 0.6 };
+        let (tuned, _) = bed_a.tune_clone(&Ditto::new(), profile, &load, &tuner);
+
+        for platform in PlatformSpec::table1() {
+            let bed = Testbed { server: platform.clone(), ..bed_a.clone() };
+            let orig = bed.run(|c, n| app.deploy(c, n), &load, false);
+            let synth = bed.run_clone(&tuned, profile, &load);
+            summary.add(&orig.metrics.errors_vs(&synth.metrics));
+            for (kind, out) in [("actual", &orig), ("synthetic", &synth)] {
+                rows.push(vec![
+                    app.name().into(),
+                    platform.name.clone(),
+                    kind.into(),
+                    fmt(out.metrics.ipc),
+                    fmt(out.metrics.branch_miss_rate),
+                    fmt(out.metrics.l1i_miss_rate),
+                    fmt(out.metrics.l1d_miss_rate),
+                    fmt(out.metrics.l2_miss_rate),
+                    fmt(out.metrics.llc_miss_rate),
+                    fmt_bw(out.metrics.net_bandwidth),
+                    fmt_bw(out.metrics.disk_bandwidth),
+                    format!("{:.2}", out.load.latency.mean.as_millis_f64()),
+                    format!("{:.2}", out.load.latency.p99.as_millis_f64()),
+                ]);
+            }
+        }
+    }
+
+    table(
+        "Figure 7: validation across platforms (profiled on A only)",
+        &[
+            "service", "platform", "kind", "IPC", "BrMR", "L1i", "L1d", "L2", "LLC", "NetBW",
+            "DiskBW", "avg(ms)", "p99(ms)",
+        ],
+        &rows,
+    );
+    summary.print("Average relative errors across services and platforms");
+}

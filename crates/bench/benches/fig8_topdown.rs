@@ -1,0 +1,57 @@
+//! Figure 8: CPI top-down breakdown (retiring / front-end / bad
+//! speculation / back-end), actual vs synthetic, for the six services.
+
+use ditto_bench::report::table;
+use ditto_bench::social_experiment::{run_original, run_synthetic};
+use ditto_bench::AppId;
+use ditto_core::harness::Testbed;
+use ditto_core::{Ditto, FineTuner};
+use ditto_hw::counters::TopDown;
+use ditto_hw::platform::PlatformSpec;
+
+fn row(service: &str, kind: &str, cpi: f64, td: TopDown) -> Vec<String> {
+    vec![
+        service.to_string(),
+        kind.to_string(),
+        format!("{cpi:.2}"),
+        format!("{:.1}%", td.retiring * 100.0),
+        format!("{:.1}%", td.frontend * 100.0),
+        format!("{:.1}%", td.bad_speculation * 100.0),
+        format!("{:.1}%", td.backend * 100.0),
+    ]
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    for app in AppId::ALL {
+        let bed = Testbed::default_ab(0xF18 ^ app.name().len() as u64);
+        let load = app.medium_load();
+        let profiled = bed.run(|c, n| app.deploy(c, n), &load, true);
+        let profile = profiled.profile.as_ref().expect("profiled");
+        let tuner = FineTuner { max_iterations: 4, tolerance_pct: 10.0, gain: 0.6 };
+        let (tuned, _) = bed.tune_clone(&Ditto::new(), profile, &load, &tuner);
+        let synth = bed.run_clone(&tuned, profile, &load);
+        rows.push(row(app.name(), "actual", profiled.metrics.counters.cpi(), profiled.metrics.topdown));
+        rows.push(row(app.name(), "synthetic", synth.metrics.counters.cpi(), synth.metrics.topdown));
+    }
+
+    // TextService and SocialGraphService from the Social Network.
+    let platform = PlatformSpec::a();
+    let orig = run_original(&platform, 1_000.0, 0xF18_50, true);
+    let graph = orig.graph.as_ref().expect("traced");
+    let synth = run_synthetic(&platform, &Ditto::new(), graph, &orig.profiles, 1_000.0, 0xF18_51);
+    for tier in ["text", "social-graph"] {
+        let label = if tier == "text" { "TextService" } else { "SocialGraphService" };
+        let a = &orig.tier_metrics[tier];
+        let s = &synth.tier_metrics[tier];
+        rows.push(row(label, "actual", a.counters.cpi(), a.topdown));
+        rows.push(row(label, "synthetic", s.counters.cpi(), s.topdown));
+    }
+
+    table(
+        "Figure 8: top-down cycles breakdown (A: actual, S: synthetic)",
+        &["service", "kind", "CPI", "retiring", "front-end", "bad-spec", "back-end"],
+        &rows,
+    );
+}

@@ -1,0 +1,67 @@
+//! Figure 9: decomposition of Ditto's accuracy for MongoDB — IPC,
+//! instructions, cycles and p99 latency as generator mechanisms are
+//! enabled one at a time (A: skeleton → I: fine tuning).
+
+use ditto_bench::report::table;
+use ditto_bench::AppId;
+use ditto_core::harness::Testbed;
+use ditto_core::{Ditto, FineTuner, GeneratorStages};
+
+fn main() {
+    let app = AppId::MongoDb;
+    let bed = Testbed::default_ab(0xF19);
+    let load = app.medium_load();
+
+    let original = bed.run(|c, n| app.deploy(c, n), &load, true);
+    let profile = original.profile.as_ref().expect("profiled");
+    let target = &original.metrics;
+    eprintln!(
+        "[fig9] target: ipc={:.3} instructions={} cycles={} p99={:.2}ms",
+        target.ipc,
+        target.counters.instructions,
+        target.counters.cycles,
+        original.load.latency.p99.as_millis_f64()
+    );
+
+    let mut rows = Vec::new();
+    rows.push(vec![
+        "target".into(),
+        format!("{:.3}", target.ipc),
+        format!("{:.2e}", target.counters.instructions as f64),
+        format!("{:.2e}", target.counters.cycles as f64),
+        format!("{:.2}", original.load.latency.p99.as_millis_f64()),
+        String::new(),
+    ]);
+
+    for (label, stages) in GeneratorStages::ladder() {
+        let ditto = if stages.tune {
+            // Stage I: close the feedback loop.
+            let base = Ditto::with_stages(stages);
+            let tuner = FineTuner { max_iterations: 8, tolerance_pct: 5.0, gain: 0.6 };
+            let (tuned, trace) = bed.tune_clone(&base, profile, &load, &tuner);
+            eprintln!(
+                "[fig9] fine tuning: {} iterations, converged={}",
+                trace.iterations, trace.converged
+            );
+            tuned
+        } else {
+            Ditto::with_stages(stages)
+        };
+        let out = bed.run_clone(&ditto, profile, &load);
+        let ipc_err = ditto_sim::stats::relative_error_pct(target.ipc, out.metrics.ipc);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", out.metrics.ipc),
+            format!("{:.2e}", out.metrics.counters.instructions as f64),
+            format!("{:.2e}", out.metrics.counters.cycles as f64),
+            format!("{:.2}", out.load.latency.p99.as_millis_f64()),
+            format!("{ipc_err:.0}%"),
+        ]);
+    }
+
+    table(
+        "Figure 9: accuracy decomposition for MongoDB (stages A..I)",
+        &["stage", "IPC", "instructions", "cycles", "p99(ms)", "IPC err"],
+        &rows,
+    );
+}

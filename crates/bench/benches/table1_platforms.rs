@@ -1,0 +1,30 @@
+//! Table 1: server platform specifications.
+
+use ditto_bench::report::table;
+use ditto_hw::platform::PlatformSpec;
+
+fn main() {
+    let specs = PlatformSpec::table1();
+    let row = |name: &str, f: &dyn Fn(&PlatformSpec) -> String| {
+        let mut r = vec![name.to_string()];
+        r.extend(specs.iter().map(|s| f(s)));
+        r
+    };
+    let rows = vec![
+        row("CPU model", &|s| s.cpu_model.clone()),
+        row("Base frequency", &|s| format!("{:.2}GHz", s.core.freq_ghz)),
+        row("CPU cores", &|s| s.cores.to_string()),
+        row("CPU family", &|s| s.family.clone()),
+        row("L1i/L1d", &|s| format!("{}KB/{}KB", s.l1i.size / 1024, s.l1d.size / 1024)),
+        row("L2", &|s| format!("{}KB", s.l2.size / 1024)),
+        row("LLC", &|s| format!("{:.2}MB", s.llc.size as f64 / (1024.0 * 1024.0))),
+        row("RAM", &|s| format!("{}GB", s.ram_bytes >> 30)),
+        row("Disk", &|s| format!("{:?}", s.disk.kind)),
+        row("Network", &|s| format!("{}Gbe", s.nic.bandwidth_bps / 1_000_000_000)),
+    ];
+    table(
+        "Table 1: server platform specifications",
+        &["", "Platform A", "Platform B", "Platform C"],
+        &rows,
+    );
+}

@@ -1,0 +1,129 @@
+//! Plain-text table rendering for the figure harnesses.
+
+use ditto_sim::stats::Running;
+
+/// Renders an aligned text table.
+pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a float compactly.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Formats bytes/s in human units.
+pub fn fmt_bw(bps: f64) -> String {
+    if bps >= 1e9 {
+        format!("{:.2}GB/s", bps / 1e9)
+    } else if bps >= 1e6 {
+        format!("{:.2}MB/s", bps / 1e6)
+    } else if bps >= 1e3 {
+        format!("{:.1}KB/s", bps / 1e3)
+    } else {
+        format!("{bps:.0}B/s")
+    }
+}
+
+/// Accumulates per-metric relative errors across experiments and prints
+/// the §6.2.1-style averages.
+#[derive(Debug, Default)]
+pub struct ErrorSummary {
+    entries: Vec<(&'static str, Running)>,
+}
+
+impl ErrorSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        ErrorSummary::default()
+    }
+
+    /// Adds one experiment's `(metric, error%)` list.
+    pub fn add(&mut self, errors: &[(&'static str, f64)]) {
+        for &(name, e) in errors {
+            match self.entries.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, r)) => r.push(e),
+                None => {
+                    let mut r = Running::new();
+                    r.push(e);
+                    self.entries.push((name, r));
+                }
+            }
+        }
+    }
+
+    /// Prints the average error per metric.
+    pub fn print(&self, title: &str) {
+        let rows: Vec<Vec<String>> = self
+            .entries
+            .iter()
+            .map(|(n, r)| vec![n.to_string(), format!("{:.1}%", r.mean())])
+            .collect();
+        table(title, &["metric", "avg |error|"], &rows);
+    }
+
+    /// Mean error for a metric, if recorded.
+    pub fn mean_of(&self, name: &str) -> Option<f64> {
+        self.entries.iter().find(|(n, _)| *n == name).map(|(_, r)| r.mean())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_summary_averages() {
+        let mut s = ErrorSummary::new();
+        s.add(&[("IPC", 10.0), ("L1d", 4.0)]);
+        s.add(&[("IPC", 20.0)]);
+        assert_eq!(s.mean_of("IPC"), Some(15.0));
+        assert_eq!(s.mean_of("L1d"), Some(4.0));
+        assert_eq!(s.mean_of("nope"), None);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.0), "1234");
+        assert_eq!(fmt(12.34), "12.3");
+        assert_eq!(fmt(0.1234), "0.123");
+        assert_eq!(fmt_bw(2.5e9), "2.50GB/s");
+        assert_eq!(fmt_bw(500.0), "500B/s");
+    }
+}

@@ -1,0 +1,159 @@
+//! Social Network experiment plumbing shared by Figures 5–8.
+//!
+//! The topology is deployed with `text` and `social-graph` pinned on
+//! dedicated platform machines so their hardware counters can be read in
+//! isolation (the paper plots those two tiers); all other tiers share the
+//! primary server, and the client load generator runs on its own machine.
+
+use std::collections::HashMap;
+
+use ditto_app::social::{deploy_social_network_placed, SocialNetwork};
+use ditto_core::Ditto;
+use ditto_hw::platform::PlatformSpec;
+use ditto_kernel::{Cluster, NodeId};
+use ditto_profile::{AppProfile, MetricSet, Profiler};
+use ditto_sim::time::SimDuration;
+use ditto_trace::{ServiceGraph, TraceCollector};
+use ditto_workload::{LoadSummary, OpenLoopConfig, Recorder};
+
+/// Node roles in the social testbed.
+pub const MAIN_NODE: NodeId = NodeId(0);
+/// Dedicated node for TextService.
+pub const TEXT_NODE: NodeId = NodeId(1);
+/// Dedicated node for SocialGraphService.
+pub const GRAPH_NODE: NodeId = NodeId(2);
+/// Client machine.
+pub const CLIENT_NODE: NodeId = NodeId(3);
+
+fn placement(name: &str) -> NodeId {
+    match name {
+        "text" | "synthetic-text" => TEXT_NODE,
+        "social-graph" | "synthetic-social-graph" => GRAPH_NODE,
+        _ => MAIN_NODE,
+    }
+}
+
+/// Measured outcome of one Social Network run.
+pub struct SocialRun {
+    /// End-to-end latency/throughput at the frontend.
+    pub e2e: LoadSummary,
+    /// Per-tier metrics for the pinned tiers (`text`, `social-graph`).
+    pub tier_metrics: HashMap<String, MetricSet>,
+    /// Per-tier profiles (when profiling was requested).
+    pub profiles: HashMap<String, AppProfile>,
+    /// The traced dependency graph (when profiling was requested).
+    pub graph: Option<ServiceGraph>,
+}
+
+fn cluster_for(server: &PlatformSpec, seed: u64) -> Cluster {
+    Cluster::new(
+        vec![server.clone(), server.clone(), server.clone(), PlatformSpec::c()],
+        seed,
+    )
+}
+
+fn drive(
+    cluster: &mut Cluster,
+    frontend: (NodeId, u16),
+    qps: f64,
+    warmup: SimDuration,
+    window: SimDuration,
+    collector: Option<TraceCollector>,
+    profilers: Vec<(String, Profiler)>,
+) -> (LoadSummary, HashMap<String, MetricSet>, HashMap<String, AppProfile>) {
+    let recorder = Recorder::new();
+    let mut cfg = OpenLoopConfig::new(frontend.0, frontend.1, qps);
+    cfg.connections = 8;
+    cfg.collector = collector;
+    cfg.spawn(cluster, CLIENT_NODE, &recorder);
+    cluster.run_for(warmup);
+
+    for node in [MAIN_NODE, TEXT_NODE, GRAPH_NODE] {
+        MetricSet::begin(cluster, node);
+    }
+    recorder.start_window(cluster.now());
+    cluster.run_for(window);
+    recorder.end_window(cluster.now());
+
+    let mut tier_metrics = HashMap::new();
+    tier_metrics.insert("text".to_string(), MetricSet::end(cluster, TEXT_NODE, window));
+    tier_metrics.insert("social-graph".to_string(), MetricSet::end(cluster, GRAPH_NODE, window));
+
+    let mut profiles = HashMap::new();
+    for (name, p) in profilers {
+        profiles.insert(name, p.finish(cluster));
+    }
+    (recorder.summary(window), tier_metrics, profiles)
+}
+
+/// Runs the original Social Network at `qps`, optionally collecting
+/// per-tier profiles and the traced dependency graph.
+pub fn run_original(server: &PlatformSpec, qps: f64, seed: u64, profile: bool) -> SocialRun {
+    let mut cluster = cluster_for(server, seed);
+    let collector = TraceCollector::new(1.0, seed);
+    let sn: SocialNetwork = deploy_social_network_placed(
+        &mut cluster,
+        &|name, _| placement(name),
+        9100,
+        Some(collector.clone()),
+    );
+    cluster.run_for(SimDuration::from_millis(20));
+
+    let profilers: Vec<(String, Profiler)> = if profile {
+        sn.tiers
+            .iter()
+            .map(|t| (t.name.clone(), Profiler::attach(&mut cluster, t.node, t.pid)))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let (e2e, tier_metrics, profiles) = drive(
+        &mut cluster,
+        sn.frontend,
+        qps,
+        SimDuration::from_millis(60),
+        SimDuration::from_millis(300),
+        Some(collector.clone()),
+        profilers,
+    );
+
+    let graph = profile.then(|| ServiceGraph::from_spans(&collector.spans()));
+    SocialRun { e2e, tier_metrics, profiles, graph }
+}
+
+/// Deploys the fully synthetic Social Network (every tier replaced by its
+/// clone, wired per the traced DAG) and measures it at `qps`.
+pub fn run_synthetic(
+    server: &PlatformSpec,
+    ditto: &Ditto,
+    graph: &ServiceGraph,
+    profiles: &HashMap<String, AppProfile>,
+    qps: f64,
+    seed: u64,
+) -> SocialRun {
+    let mut cluster = cluster_for(server, seed);
+    let tiers = ditto.clone_graph_placed(
+        &mut cluster,
+        &|name| placement(name),
+        9100,
+        graph,
+        profiles,
+        None,
+    );
+    cluster.run_for(SimDuration::from_millis(20));
+    let frontend = (tiers[0].1, tiers[0].2);
+
+    let (e2e, mut tier_metrics, _) = drive(
+        &mut cluster,
+        frontend,
+        qps,
+        SimDuration::from_millis(60),
+        SimDuration::from_millis(300),
+        None,
+        Vec::new(),
+    );
+    // Rename keys to the tier names for symmetric comparison.
+    let renamed: HashMap<String, MetricSet> = tier_metrics.drain().collect();
+    SocialRun { e2e, tier_metrics: renamed, profiles: HashMap::new(), graph: None }
+}

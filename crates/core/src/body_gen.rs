@@ -1,0 +1,390 @@
+//! The application-body generator (§4.4): profile → behavioural
+//! parameters → synthetic code.
+//!
+//! Converts a profiled [`AppProfile`] into the [`BodyParams`] that
+//! `ditto_hw::codegen` materialises, honouring the enabled
+//! [`GeneratorStages`]: Equation (1) for data working sets, Equation (2)
+//! for instruction working sets, log-quantized branch rates, exponential
+//! dependency bins, the profiled shared and pointer-chasing fractions,
+//! and the measured `rep` lengths.
+
+use ditto_hw::codegen::BodyParams;
+use ditto_hw::isa::{BranchBehavior, InstrClass};
+use ditto_profile::AppProfile;
+use ditto_sim::quant::{dep_from_bin, DEP_BINS};
+
+use crate::stages::GeneratorStages;
+
+/// Caps applied during generation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GeneratorConfig {
+    /// Largest synthetic data working set.
+    pub max_data_ws: u64,
+    /// Largest synthetic instruction working set.
+    pub max_instr_ws: u64,
+    /// PC base of the generated code (distinct from any original).
+    pub pc_base: u64,
+    /// Seed for materialization.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            max_data_ws: 512 * 1024 * 1024,
+            max_instr_ws: 8 * 1024 * 1024,
+            pc_base: 0x5000_0000,
+            seed: 0xd177_0bed,
+        }
+    }
+}
+
+/// Tunable multipliers adjusted by the fine tuner (§4.5). All default to
+/// 1.0 (no adjustment).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TuneKnobs {
+    /// Scales instruction working-set sizes (frontend group, tuned jointly
+    /// with branch rates per the paper's knob grouping).
+    pub imem_scale: f64,
+    /// Scales data working-set sizes (backend group).
+    pub dmem_scale: f64,
+    /// Scales the per-request instruction count.
+    pub instr_scale: f64,
+    /// Scales branch minority/transition rates (frontend group).
+    pub branch_scale: f64,
+    /// Shifts data-access weight between the smallest window and the rest:
+    /// positive moves the given fraction of accesses to 64 B (more L1d
+    /// hits), negative moves L1-resident weight to the largest window.
+    /// Corrects the cross-class interleaving inflation of the profiled
+    /// reuse distances that §4.5 attributes to skeleton/body interaction.
+    pub dmem_locality: f64,
+    /// Same, for instruction working sets (L1i control).
+    pub imem_locality: f64,
+    /// ILP/MLP group (§4.4.6): scales dependency distances up (more
+    /// instruction-level parallelism) and pointer-chasing down (more
+    /// memory-level parallelism) when the clone's IPC falls short, and
+    /// vice versa.
+    pub ilp_scale: f64,
+}
+
+impl Default for TuneKnobs {
+    fn default() -> Self {
+        TuneKnobs {
+            imem_scale: 1.0,
+            dmem_scale: 1.0,
+            instr_scale: 1.0,
+            branch_scale: 1.0,
+            dmem_locality: 0.0,
+            imem_locality: 0.0,
+            ilp_scale: 1.0,
+        }
+    }
+}
+
+/// Applies a locality shift to a `(size, weight)` distribution:
+/// `locality > 0` moves that fraction of total weight into the smallest
+/// bin; `locality < 0` moves up to that fraction of small-bin (≤ 32 KB)
+/// weight into the largest bin.
+fn shift_locality(sets: &mut Vec<(u64, f64)>, locality: f64) {
+    if sets.is_empty() || locality == 0.0 {
+        return;
+    }
+    let total: f64 = sets.iter().map(|&(_, w)| w).sum();
+    if total <= 0.0 {
+        return;
+    }
+    if locality > 0.0 {
+        let l = locality.min(0.95);
+        for (_, w) in sets.iter_mut() {
+            *w *= 1.0 - l;
+        }
+        let min_size = sets.iter().map(|&(s, _)| s).min().unwrap_or(64).min(64);
+        if let Some(slot) = sets.iter_mut().find(|(s, _)| *s == min_size) {
+            slot.1 += total * l;
+        } else {
+            sets.push((64, total * l));
+        }
+    } else {
+        let l = (-locality).min(0.95);
+        let mut moved = 0.0;
+        for (s, w) in sets.iter_mut() {
+            if *s <= 32 * 1024 {
+                let take = *w * l;
+                *w -= take;
+                moved += take;
+            }
+        }
+        let max_size = sets.iter().map(|&(s, _)| s).max().unwrap_or(64);
+        if let Some(slot) = sets.iter_mut().find(|(s, _)| *s == max_size) {
+            slot.1 += moved;
+        }
+    }
+    sets.retain(|&(_, w)| w > 0.0);
+}
+
+fn scale_pow2(bytes: u64, scale: f64, max: u64) -> u64 {
+    let scaled = (bytes as f64 * scale).max(64.0);
+    (scaled as u64).next_power_of_two().min(max)
+}
+
+/// Generates body parameters from a profile under the enabled stages.
+pub fn generate_body_params(
+    profile: &AppProfile,
+    stages: GeneratorStages,
+    config: &GeneratorConfig,
+    knobs: &TuneKnobs,
+) -> BodyParams {
+    // --- Instruction count (stage C) ---
+    let instructions = if stages.instr_count {
+        (profile.instructions_per_request() * knobs.instr_scale).max(64.0) as u64
+    } else {
+        // Stage A/B: empty handler body — a token few instructions so the
+        // skeleton still runs.
+        64
+    };
+
+    // --- Instruction mix (stage D) ---
+    let mix: Vec<(InstrClass, f64)> = if stages.instr_mix {
+        profile
+            .instr
+            .mix()
+            .into_iter()
+            // The synthetic body regenerates compute/memory/branch work;
+            // unconditional jumps re-enter as loop overhead and are folded
+            // into the ALU share.
+            .map(|(c, w)| if c == InstrClass::Jump { (InstrClass::IntAlu, w) } else { (c, w) })
+            .collect()
+    } else {
+        // Stage C fallback: `add rax, rax` filler.
+        vec![(InstrClass::IntAlu, 1.0)]
+    };
+
+    // --- Branch behaviour (stage E) ---
+    let branch_rates: Vec<(BranchBehavior, f64)> = if stages.branch {
+        profile
+            .instr
+            .branch_rates()
+            .into_iter()
+            .map(|((taken, trans), w)| {
+                (
+                    BranchBehavior::new(
+                        (taken * knobs.branch_scale).clamp(0.0, 0.5),
+                        (trans * knobs.branch_scale).clamp(0.0, 1.0),
+                    ),
+                    w,
+                )
+            })
+            .collect()
+    } else {
+        // Paper: "assume the highest branch taken/transition rate".
+        vec![(BranchBehavior::new(0.5, 0.5), 1.0)]
+    };
+
+    // --- Data working sets: Equation (1) (stage G) ---
+    let data_working_sets: Vec<(u64, f64)> = if stages.data_mem {
+        let parts = profile.instr.data_curve.accesses_per_working_set(config.max_data_ws);
+        let mut sets: Vec<(u64, f64)> = parts
+            .into_iter()
+            .filter(|&(_, a)| a > 0)
+            .map(|(s, a)| (scale_pow2(s, knobs.dmem_scale, config.max_data_ws), a as f64))
+            .collect();
+        shift_locality(&mut sets, knobs.dmem_locality);
+        if sets.is_empty() {
+            vec![(64, 1.0)]
+        } else {
+            sets
+        }
+    } else {
+        // Paper: "all memory operations accessing the smallest working sets".
+        vec![(64, 1.0)]
+    };
+
+    // --- Instruction working sets: Equation (2) (stage F) ---
+    let instr_working_sets: Vec<(u64, f64)> = if stages.instr_mem {
+        let parts = profile.instr.instr_curve.executions_per_working_set(config.max_instr_ws);
+        let mut sets: Vec<(u64, f64)> = parts
+            .into_iter()
+            .filter(|&(_, e)| e > 0)
+            .map(|(s, e)| (scale_pow2(s, knobs.imem_scale, config.max_instr_ws), e as f64))
+            .collect();
+        shift_locality(&mut sets, knobs.imem_locality);
+        if sets.is_empty() {
+            vec![(4096, 1.0)]
+        } else {
+            sets
+        }
+    } else {
+        // Tiny loop: everything fits one i-cache set's worth of lines.
+        vec![(1024, 1.0)]
+    };
+
+    // --- Dependencies / MLP (stage H) ---
+    let (dep_distances, chase_fraction) = if stages.data_dep {
+        let weights = profile.instr.raw.weights();
+        let ilp = knobs.ilp_scale.max(0.05);
+        let deps: Vec<(u64, f64)> = (0..DEP_BINS)
+            .filter(|&b| weights.get(b).copied().unwrap_or(0.0) > 0.0)
+            .map(|b| (((dep_from_bin(b) as f64 * ilp).round() as u64).max(1), weights[b]))
+            .collect();
+        let deps = if deps.is_empty() { vec![(8, 1.0)] } else { deps };
+        (deps, (profile.instr.chase_fraction / ilp).clamp(0.0, 1.0))
+    } else {
+        // Paper: "strongest data dependencies".
+        (vec![(1, 1.0)], 0.0)
+    };
+
+    let shared_fraction = if stages.data_mem { profile.instr.shared_fraction } else { 0.0 };
+
+    BodyParams {
+        instructions,
+        mix,
+        branch_rates,
+        data_working_sets,
+        instr_working_sets,
+        dep_distances,
+        shared_fraction,
+        chase_fraction,
+        rep_bytes: profile.instr.rep_bytes_mean.clamp(64, 1 << 20) as u32,
+        data_region: ditto_app::service::DATA_REGION,
+        shared_region: ditto_app::service::SHARED_REGION,
+        pc_base: config.pc_base,
+        seed: config.seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ditto_profile::{InstrProfiler, MetricSet, SyscallProfile, ThreadModelProfile};
+    use ditto_hw::core_model::{RetireEvent, RetireSink};
+    use ditto_hw::counters::PerfCounters;
+    use ditto_hw::isa::{Instr, MemRef, Reg};
+    use ditto_sim::time::SimDuration;
+
+    fn synthetic_profile() -> AppProfile {
+        // Hand-feed an InstrProfiler a known stream.
+        let mut p = InstrProfiler::new(true);
+        let alu = Instr::alu(InstrClass::IntAlu, Reg(4), Reg(5), Reg::NONE);
+        let ld = Instr::load(Reg(6), MemRef::read(1, 0));
+        let br = Instr::cond_branch(0);
+        for i in 0..1000u64 {
+            p.retire(&RetireEvent { thread_key: 0, pc: 0x1000 + (i % 64) * 4, instr: &alu, addr: None, taken: None });
+            p.retire(&RetireEvent {
+                thread_key: 0,
+                pc: 0x2000,
+                instr: &ld,
+                addr: Some((i % 128) * 64),
+                taken: None,
+            });
+            p.retire(&RetireEvent { thread_key: 0, pc: 0x3000, instr: &br, addr: None, taken: Some(i % 4 == 0) });
+        }
+        let instr = p.finish();
+        AppProfile {
+            instr,
+            syscalls: SyscallProfile::default(),
+            threads: ThreadModelProfile {
+                clusters: Vec::new(),
+                network: ditto_profile::InferredNetworkModel::Unknown,
+            },
+            metrics: MetricSet {
+                ipc: 1.0,
+                branch_miss_rate: 0.05,
+                l1i_miss_rate: 0.01,
+                l1d_miss_rate: 0.05,
+                l2_miss_rate: 0.3,
+                llc_miss_rate: 0.2,
+                net_bandwidth: 0.0,
+                disk_bandwidth: 0.0,
+                topdown: Default::default(),
+                counters: PerfCounters::new(),
+            },
+            requests: 10,
+            window: SimDuration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn full_stages_recover_profile_shape() {
+        let profile = synthetic_profile();
+        let params = generate_body_params(
+            &profile,
+            GeneratorStages::all(),
+            &GeneratorConfig::default(),
+            &TuneKnobs::default(),
+        );
+        // 3000 instrs / 10 requests = 300/request.
+        assert_eq!(params.instructions, 300);
+        // Mix: 1/3 each of alu, load, branch.
+        let w = |c: InstrClass| {
+            params.mix.iter().find(|&&(mc, _)| mc == c).map(|&(_, w)| w).unwrap_or(0.0)
+        };
+        assert!((w(InstrClass::Load) - 1.0 / 3.0).abs() < 0.01);
+        assert!((w(InstrClass::CondBranch) - 1.0 / 3.0).abs() < 0.01);
+        // Data working set: 128 lines → 8KB window must dominate.
+        let big: f64 = params
+            .data_working_sets
+            .iter()
+            .filter(|&&(s, _)| s >= 4096)
+            .map(|&(_, w)| w)
+            .sum();
+        let total: f64 = params.data_working_sets.iter().map(|&(_, w)| w).sum();
+        assert!(big / total > 0.8, "{:?}", params.data_working_sets);
+        // Branch: taken rate 1/4 → minority 0.25.
+        assert!(params
+            .branch_rates
+            .iter()
+            .any(|(b, _)| (b.taken_rate - 0.25).abs() < 0.01));
+    }
+
+    #[test]
+    fn skeleton_stage_produces_empty_body() {
+        let profile = synthetic_profile();
+        let params = generate_body_params(
+            &profile,
+            GeneratorStages::skeleton_only(),
+            &GeneratorConfig::default(),
+            &TuneKnobs::default(),
+        );
+        assert_eq!(params.instructions, 64);
+        assert_eq!(params.mix, vec![(InstrClass::IntAlu, 1.0)]);
+        assert_eq!(params.data_working_sets, vec![(64, 1.0)]);
+    }
+
+    #[test]
+    fn stage_c_uses_filler_mix() {
+        let profile = synthetic_profile();
+        let mut stages = GeneratorStages::skeleton_only();
+        stages.syscalls = true;
+        stages.instr_count = true;
+        let params = generate_body_params(
+            &profile,
+            stages,
+            &GeneratorConfig::default(),
+            &TuneKnobs::default(),
+        );
+        assert_eq!(params.instructions, 300);
+        assert_eq!(params.mix, vec![(InstrClass::IntAlu, 1.0)]);
+        // Highest branch rates assumed before stage E.
+        assert_eq!(params.branch_rates[0].0.taken_rate, 0.5);
+    }
+
+    #[test]
+    fn knobs_scale_working_sets() {
+        let profile = synthetic_profile();
+        let base = generate_body_params(
+            &profile,
+            GeneratorStages::all(),
+            &GeneratorConfig::default(),
+            &TuneKnobs::default(),
+        );
+        let scaled = generate_body_params(
+            &profile,
+            GeneratorStages::all(),
+            &GeneratorConfig::default(),
+            &TuneKnobs { dmem_scale: 4.0, ..Default::default() },
+        );
+        let max_base = base.data_working_sets.iter().map(|&(s, _)| s).max().unwrap();
+        let max_scaled = scaled.data_working_sets.iter().map(|&(s, _)| s).max().unwrap();
+        assert!(max_scaled >= max_base * 4, "base {max_base} scaled {max_scaled}");
+    }
+}

@@ -1,0 +1,224 @@
+//! The `Ditto` facade: profile in, deployable synthetic service out.
+//!
+//! Single-tier cloning combines the skeleton generator, the body
+//! generator and syscall synthesis into a [`ServiceSpec`] in the same
+//! representation original applications use — so the clone runs on the
+//! identical substrate and is compared by the same counters. Multi-tier
+//! cloning walks the traced RPC dependency DAG (§4.2) and emits one clone
+//! per tier with the traced per-edge call ratios.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ditto_app::handlers::{BehaviorHandler, FileReadSpec, RpcEdge};
+use ditto_app::service::ServiceSpec;
+use ditto_kernel::{Cluster, NodeId};
+use ditto_profile::AppProfile;
+use ditto_trace::{ServiceGraph, TraceCollector};
+
+use crate::body_gen::{generate_body_params, GeneratorConfig, TuneKnobs};
+use crate::skeleton::generate_network_model;
+use crate::stages::GeneratorStages;
+
+/// The cloning pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Ditto {
+    /// Enabled generator mechanisms (all, unless running Figure 9).
+    pub stages: GeneratorStages,
+    /// Generation limits and seeds.
+    pub config: GeneratorConfig,
+    /// Fine-tuner knob state (identity unless tuned).
+    pub knobs: TuneKnobs,
+}
+
+impl Ditto {
+    /// A fully-enabled pipeline.
+    pub fn new() -> Self {
+        Ditto::default()
+    }
+
+    /// A pipeline restricted to the given stages (Figure 9's ladder).
+    pub fn with_stages(stages: GeneratorStages) -> Self {
+        Ditto { stages, ..Ditto::default() }
+    }
+
+    /// Builds the synthetic handler (body + syscall synthesis) and the
+    /// data-region sizing for one profiled service. `seed_mix` perturbs
+    /// the materialization seed (distinct tiers must not share code).
+    fn build_handler(
+        &self,
+        cluster: &mut Cluster,
+        node: NodeId,
+        profile: &AppProfile,
+        seed_mix: u64,
+    ) -> (BehaviorHandler, u64) {
+        let mut params = generate_body_params(profile, self.stages, &self.config, &self.knobs);
+        params.seed ^= seed_mix;
+        let mut handler = BehaviorHandler::new(&params);
+
+        // Response size: observed bytes per send.
+        let sends = profile.syscalls.get("sendmsg");
+        let response_bytes = if sends.count > 0 { sends.mean_bytes().max(1) } else { 64 };
+        handler = handler.with_response_bytes(response_bytes);
+
+        // Syscall synthesis (stage B): file reads with the observed
+        // frequency, size and offset span, against a synthetic dataset.
+        if self.stages.syscalls {
+            let p = profile.syscalls.get("pread");
+            let r = profile.syscalls.get("read");
+            let reads = p.count + r.count;
+            if reads > 0 {
+                let per_request = reads as f64 / profile.requests.max(1) as f64;
+                let mean_bytes = (p.total_bytes + r.total_bytes) / reads;
+                let span = profile.syscalls.file_span().max(mean_bytes.max(4096));
+                let file = cluster.machine_mut(node).fs.create(span);
+                // Reproduce the observed page-cache behaviour: the blocked
+                // fraction of reads is the disk-bound fraction; warm the
+                // synthetic dataset to match (NGINX's content is fully
+                // cache-resident, MongoDB's 40 GB mostly is not).
+                let warm = (span as f64 * (1.0 - profile.syscalls.read_block_rate())) as u64;
+                cluster.machine_mut(node).fs.warm(file, warm);
+                handler = handler.with_file_read(FileReadSpec {
+                    file,
+                    span,
+                    bytes: mean_bytes.max(1),
+                    probability: per_request.min(1.0),
+                });
+            }
+        }
+
+        let data_bytes = params
+            .data_working_sets
+            .iter()
+            .map(|&(s, _)| s)
+            .max()
+            .unwrap_or(4096)
+            .saturating_mul(2);
+        (handler, data_bytes)
+    }
+
+    /// Clones a single-tier service from its profile. The synthetic
+    /// service listens on `port` on `node`.
+    pub fn clone_service(
+        &self,
+        cluster: &mut Cluster,
+        node: NodeId,
+        port: u16,
+        profile: &AppProfile,
+    ) -> ServiceSpec {
+        let (handler, data_bytes) = self.build_handler(cluster, node, profile, 0);
+        ServiceSpec {
+            name: "synthetic".into(),
+            port,
+            network: generate_network_model(profile),
+            handler: Arc::new(handler),
+            downstreams: Vec::new(),
+            collector: None,
+            data_bytes,
+            shared_bytes: data_bytes,
+        }
+    }
+
+    /// Clones a whole microservice topology: one synthetic tier per traced
+    /// service, connected per the dependency DAG's call ratios, deployed
+    /// leaves-first across `nodes` (round-robin). Returns
+    /// `(name, node, port)` per tier with an entry (root) tier first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a traced service has no profile in `profiles`.
+    pub fn clone_graph(
+        &self,
+        cluster: &mut Cluster,
+        nodes: &[NodeId],
+        base_port: u16,
+        graph: &ServiceGraph,
+        profiles: &HashMap<String, AppProfile>,
+        collector: Option<TraceCollector>,
+    ) -> Vec<(String, NodeId, u16)> {
+        assert!(!nodes.is_empty(), "need at least one node");
+        let by_index: HashMap<&str, NodeId> = graph
+            .services
+            .iter()
+            .enumerate()
+            .map(|(ix, name)| (name.as_str(), nodes[ix % nodes.len()]))
+            .collect();
+        self.clone_graph_placed(cluster, &|name| by_index[name], base_port, graph, profiles, collector)
+    }
+
+    /// Like [`Ditto::clone_graph`], but with explicit per-tier placement —
+    /// used when specific synthetic tiers must land on dedicated machines
+    /// for per-tier counter measurement (Figures 5, 7 and 8 plot
+    /// TextService and SocialGraphService in isolation).
+    pub fn clone_graph_placed(
+        &self,
+        cluster: &mut Cluster,
+        place: &dyn Fn(&str) -> NodeId,
+        base_port: u16,
+        graph: &ServiceGraph,
+        profiles: &HashMap<String, AppProfile>,
+        collector: Option<TraceCollector>,
+    ) -> Vec<(String, NodeId, u16)> {
+        let order = graph.topo_order();
+        let addr: HashMap<usize, (NodeId, u16)> = order
+            .iter()
+            .map(|&ix| (ix, (place(&graph.services[ix]), base_port + ix as u16)))
+            .collect();
+
+        // Deploy leaves first so upstream connects succeed.
+        for &ix in order.iter().rev() {
+            let name = &graph.services[ix];
+            let (node, port) = addr[&ix];
+            let profile = profiles
+                .get(name)
+                .unwrap_or_else(|| panic!("missing profile for tier {name}"));
+            let (mut handler, data_bytes) =
+                self.build_handler(cluster, node, profile, 0x9e37 ^ ix as u64);
+
+            // Wire downstream edges with traced call ratios; RPC payload
+            // sizes approximated by the tier's mean send size.
+            let rpc_bytes = {
+                let s = profile.syscalls.get("sendmsg");
+                if s.count > 0 {
+                    s.mean_bytes().max(1)
+                } else {
+                    256
+                }
+            };
+            let mut downstreams = Vec::new();
+            for (slot, edge) in graph.children_of(ix).into_iter().enumerate() {
+                downstreams.push(addr[&edge.to]);
+                handler = handler.with_rpc(RpcEdge {
+                    downstream: slot,
+                    calls_per_request: edge.calls_per_request,
+                    bytes: rpc_bytes,
+                });
+            }
+
+            let spec = ServiceSpec {
+                name: format!("synthetic-{name}"),
+                port,
+                network: generate_network_model(profile),
+                handler: Arc::new(handler),
+                downstreams,
+                collector: collector.clone(),
+                data_bytes,
+                shared_bytes: data_bytes,
+            };
+            spec.deploy(cluster, node);
+        }
+
+        // Entry tiers (roots) first in the returned listing.
+        let roots = graph.roots();
+        let mut out: Vec<(String, NodeId, u16)> = Vec::new();
+        for &ix in &order {
+            let entry = (graph.services[ix].clone(), addr[&ix].0, addr[&ix].1);
+            if roots.contains(&ix) {
+                out.insert(0, entry);
+            } else {
+                out.push(entry);
+            }
+        }
+        out
+    }
+}

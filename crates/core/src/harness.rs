@@ -1,0 +1,188 @@
+//! Reusable single-tier experiment harness: deploy a service (original or
+//! clone) on a two-machine testbed, drive it with a load generator,
+//! measure hardware metrics and latency — and close the fine-tuning loop.
+//!
+//! Every evaluation figure builds on this: Figure 5/7 run original and
+//! clone side by side; Figure 9 sweeps generator stages; Figures 10/11
+//! add stressors or scale cores/frequency before driving.
+
+use ditto_app::service::ServiceSpec;
+use ditto_hw::platform::PlatformSpec;
+use ditto_kernel::{Cluster, NodeId, Pid};
+use ditto_profile::{AppProfile, MetricSet, Profiler};
+use ditto_sim::time::SimDuration;
+use ditto_workload::{ClosedLoopConfig, LoadSummary, OpenLoopConfig, Recorder};
+
+use crate::body_gen::TuneKnobs;
+use crate::clone::Ditto;
+use crate::tuner::{FineTuner, TuneResult};
+
+/// The service port used by the harness.
+pub const SERVICE_PORT: u16 = 9000;
+
+/// Which load generator drives the service (§6.1.2 uses open-loop for
+/// Memcached/NGINX/Social Network, closed-loop YCSB for MongoDB/Redis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadKind {
+    /// Poisson open-loop at a target QPS.
+    OpenLoop {
+        /// Aggregate target QPS.
+        qps: f64,
+        /// Client connections.
+        connections: usize,
+    },
+    /// Closed-loop with one outstanding request per connection.
+    ClosedLoop {
+        /// Concurrent connections.
+        connections: usize,
+        /// Think time between requests.
+        think: SimDuration,
+    },
+}
+
+impl LoadKind {
+    fn spawn(&self, cluster: &mut Cluster, server: NodeId, client: NodeId, recorder: &Recorder) {
+        match *self {
+            LoadKind::OpenLoop { qps, connections } => {
+                let mut cfg = OpenLoopConfig::new(server, SERVICE_PORT, qps);
+                cfg.connections = connections;
+                cfg.spawn(cluster, client, recorder);
+            }
+            LoadKind::ClosedLoop { connections, think } => {
+                let mut cfg = ClosedLoopConfig::new(server, SERVICE_PORT, connections);
+                cfg.think = think;
+                cfg.spawn(cluster, client, recorder);
+            }
+        }
+    }
+}
+
+/// A two-machine testbed configuration.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// Platform of the server under test (node 0).
+    pub server: PlatformSpec,
+    /// Platform of the client machine (node 1).
+    pub client: PlatformSpec,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Warmup before the measurement window opens.
+    pub warmup: SimDuration,
+    /// Measurement window length.
+    pub window: SimDuration,
+}
+
+impl Testbed {
+    /// A platform-A server driven from a platform-C client.
+    pub fn default_ab(seed: u64) -> Self {
+        Testbed {
+            server: PlatformSpec::a(),
+            client: PlatformSpec::c(),
+            seed,
+            warmup: SimDuration::from_millis(40),
+            window: SimDuration::from_millis(200),
+        }
+    }
+}
+
+/// The measured outcome of one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Hardware metrics over the window.
+    pub metrics: MetricSet,
+    /// Load-side latency/throughput.
+    pub load: LoadSummary,
+    /// Full profile, when profiling was requested.
+    pub profile: Option<AppProfile>,
+}
+
+impl Testbed {
+    /// Deploys the service produced by `deploy` on node 0, drives it with
+    /// `load` from node 1, and measures. With `profile = true` the full
+    /// Ditto profilers are attached for the window.
+    ///
+    /// `deploy` receives the cluster (for dataset/file setup) and the
+    /// server node, and must return the service spec to deploy.
+    pub fn run<F>(&self, deploy: F, load: &LoadKind, profile: bool) -> RunOutcome
+    where
+        F: FnOnce(&mut Cluster, NodeId) -> ServiceSpec,
+    {
+        self.run_with(deploy, load, profile, |_, _| {})
+    }
+
+    /// Like [`Testbed::run`], with a `configure` hook executed after the
+    /// service starts but before load begins — used to add stressors
+    /// (Figure 10) or scale cores/frequency (Figure 11). Metrics are read
+    /// per-process so co-located work does not pollute them.
+    pub fn run_with<F, C>(&self, deploy: F, load: &LoadKind, profile: bool, configure: C) -> RunOutcome
+    where
+        F: FnOnce(&mut Cluster, NodeId) -> ServiceSpec,
+        C: FnOnce(&mut Cluster, Pid),
+    {
+        let server = NodeId(0);
+        let client = NodeId(1);
+        let mut cluster =
+            Cluster::new(vec![self.server.clone(), self.client.clone()], self.seed);
+        let spec = deploy(&mut cluster, server);
+        let pid: Pid = spec.deploy(&mut cluster, server);
+        cluster.run_for(SimDuration::from_millis(10));
+        configure(&mut cluster, pid);
+
+        let recorder = Recorder::new();
+        load.spawn(&mut cluster, server, client, &recorder);
+        cluster.run_for(self.warmup);
+
+        let profiler = profile.then(|| Profiler::attach(&mut cluster, server, pid));
+        if profiler.is_none() {
+            MetricSet::begin(&mut cluster, server);
+        }
+        recorder.start_window(cluster.now());
+        cluster.run_for(self.window);
+        recorder.end_window(cluster.now());
+
+        let (metrics, app_profile) = match profiler {
+            Some(p) => {
+                let prof = p.finish(&mut cluster);
+                (prof.metrics, Some(prof))
+            }
+            None => (MetricSet::end_for_pid(&cluster, server, pid, self.window), None),
+        };
+        RunOutcome { metrics, load: recorder.summary(self.window), profile: app_profile }
+    }
+
+    /// Runs the generated clone of `profile` under the same load.
+    pub fn run_clone(
+        &self,
+        ditto: &Ditto,
+        profile: &AppProfile,
+        load: &LoadKind,
+    ) -> RunOutcome {
+        self.run(
+            |cluster, node| ditto.clone_service(cluster, node, SERVICE_PORT, profile),
+            load,
+            false,
+        )
+    }
+
+    /// Closes the fine-tuning loop (§4.5): repeatedly regenerates the
+    /// clone with adjusted knobs, measures it on this testbed, and
+    /// converges on the profiled target metrics. Returns the tuned
+    /// pipeline and the tuning trace.
+    pub fn tune_clone(
+        &self,
+        base: &Ditto,
+        profile: &AppProfile,
+        load: &LoadKind,
+        tuner: &FineTuner,
+    ) -> (Ditto, TuneResult) {
+        let mut seed_bump = 0u64;
+        let result = tuner.tune(&profile.metrics, |knobs: &TuneKnobs| {
+            seed_bump += 1;
+            let candidate = Ditto { knobs: *knobs, ..base.clone() };
+            let bed = Testbed { seed: self.seed ^ (seed_bump << 16), ..self.clone() };
+            bed.run_clone(&candidate, profile, load).metrics
+        });
+        let tuned = Ditto { knobs: result.knobs, ..base.clone() };
+        (tuned, result)
+    }
+}

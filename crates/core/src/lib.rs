@@ -1,0 +1,32 @@
+//! Ditto's cloning pipeline — the paper's primary contribution (§4, §5).
+//!
+//! The pipeline mirrors Figure 3:
+//!
+//! 1. **Microservice topology** — the traced RPC dependency DAG
+//!    (`ditto_trace::ServiceGraph`) drives multi-tier cloning
+//!    ([`clone::Ditto::clone_graph`]).
+//! 2. **Application skeleton** — the profiled thread/network model picks
+//!    the synthetic skeleton ([`skeleton`]).
+//! 3. **Application body** — syscalls, instruction mix, branch behaviour,
+//!    data memory (Equation 1), instruction memory (Equation 2) and data
+//!    dependencies become behavioural parameters ([`body_gen`]) that
+//!    `ditto_hw::codegen` materialises into synthetic code.
+//! 4. **Fine tuning** — grouped-knob feedback against hardware counters
+//!    ([`tuner`]).
+//!
+//! [`stages::GeneratorStages`] gates each mechanism for the accuracy
+//! decomposition of Figure 9.
+
+pub mod body_gen;
+pub mod clone;
+pub mod harness;
+pub mod skeleton;
+pub mod stages;
+pub mod tuner;
+
+pub use body_gen::{generate_body_params, GeneratorConfig, TuneKnobs};
+pub use clone::Ditto;
+pub use harness::{LoadKind, RunOutcome, Testbed};
+pub use skeleton::generate_network_model;
+pub use stages::GeneratorStages;
+pub use tuner::{FineTuner, TuneResult, TuneStep};

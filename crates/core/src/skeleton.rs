@@ -1,0 +1,75 @@
+//! The skeleton generator (§4.3): inferred thread/network model →
+//! deployable service skeleton.
+
+use ditto_app::service::NetworkModel;
+use ditto_profile::{AppProfile, InferredNetworkModel};
+
+/// Chooses the clone's network model from the profiled skeleton.
+///
+/// I/O-multiplexing processes become epoll worker pools of the observed
+/// size (a single multiplexing thread collapses accept+handle into one
+/// loop, like Redis/NGINX); blocking processes become
+/// thread-per-connection servers whose thread count scales with load,
+/// like the original.
+pub fn generate_network_model(profile: &AppProfile) -> NetworkModel {
+    match profile.threads.network {
+        InferredNetworkModel::IoMultiplexing { workers } => {
+            if workers <= 1 {
+                NetworkModel::EpollWorkers { workers: 0 }
+            } else {
+                NetworkModel::EpollWorkers { workers }
+            }
+        }
+        InferredNetworkModel::ThreadPerConnection | InferredNetworkModel::Unknown => {
+            NetworkModel::ThreadPerConn
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ditto_hw::counters::PerfCounters;
+    use ditto_profile::{MetricSet, SyscallProfile, ThreadModelProfile};
+    use ditto_sim::time::SimDuration;
+
+    fn profile_with(network: InferredNetworkModel) -> AppProfile {
+        AppProfile {
+            instr: ditto_profile::InstrProfiler::new(true).finish(),
+            syscalls: SyscallProfile::default(),
+            threads: ThreadModelProfile { clusters: Vec::new(), network },
+            metrics: MetricSet {
+                ipc: 0.0,
+                branch_miss_rate: 0.0,
+                l1i_miss_rate: 0.0,
+                l1d_miss_rate: 0.0,
+                l2_miss_rate: 0.0,
+                llc_miss_rate: 0.0,
+                net_bandwidth: 0.0,
+                disk_bandwidth: 0.0,
+                topdown: Default::default(),
+                counters: PerfCounters::new(),
+            },
+            requests: 0,
+            window: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn worker_pool_is_reproduced() {
+        let p = profile_with(InferredNetworkModel::IoMultiplexing { workers: 4 });
+        assert_eq!(generate_network_model(&p), NetworkModel::EpollWorkers { workers: 4 });
+    }
+
+    #[test]
+    fn single_multiplexer_collapses() {
+        let p = profile_with(InferredNetworkModel::IoMultiplexing { workers: 1 });
+        assert_eq!(generate_network_model(&p), NetworkModel::EpollWorkers { workers: 0 });
+    }
+
+    #[test]
+    fn blocking_becomes_thread_per_conn() {
+        let p = profile_with(InferredNetworkModel::ThreadPerConnection);
+        assert_eq!(generate_network_model(&p), NetworkModel::ThreadPerConn);
+    }
+}

@@ -1,0 +1,113 @@
+//! Generator stages for the accuracy-decomposition study (Figure 9).
+//!
+//! The paper evaluates Ditto by enabling its mechanisms one at a time:
+//! A: skeleton only → B: +syscalls → C: +instruction count → D: +mix →
+//! E: +branch behaviour → F: +instruction memory → G: +data memory →
+//! H: +data dependencies → I: +fine tuning. Each stage is a flag; the
+//! generator degrades to the paper's described fallback when a flag is
+//! off (e.g. without D, the body is `add rax, rax` filler; without G, all
+//! memory ops hit the smallest working set).
+
+use serde::{Deserialize, Serialize};
+
+/// A set of enabled generator mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneratorStages {
+    /// Reproduce the syscall distribution (B).
+    pub syscalls: bool,
+    /// Match the dynamic instruction count (C).
+    pub instr_count: bool,
+    /// Sample the profiled instruction mix (D).
+    pub instr_mix: bool,
+    /// Clone branch taken/transition rates (E).
+    pub branch: bool,
+    /// Synthesise instruction working sets (F).
+    pub instr_mem: bool,
+    /// Synthesise data working sets and shared accesses (G).
+    pub data_mem: bool,
+    /// Assign registers from dependency distances and add pointer chasing (H).
+    pub data_dep: bool,
+    /// Run the feedback fine-tuner (I).
+    pub tune: bool,
+}
+
+impl GeneratorStages {
+    /// Stage A: skeleton only.
+    pub fn skeleton_only() -> Self {
+        GeneratorStages {
+            syscalls: false,
+            instr_count: false,
+            instr_mix: false,
+            branch: false,
+            instr_mem: false,
+            data_mem: false,
+            data_dep: false,
+            tune: false,
+        }
+    }
+
+    /// Everything enabled (the shipping configuration).
+    pub fn all() -> Self {
+        GeneratorStages {
+            syscalls: true,
+            instr_count: true,
+            instr_mix: true,
+            branch: true,
+            instr_mem: true,
+            data_mem: true,
+            data_dep: true,
+            tune: true,
+        }
+    }
+
+    /// The cumulative ladder A..=I in Figure 9's order.
+    pub fn ladder() -> Vec<(&'static str, GeneratorStages)> {
+        let mut s = Self::skeleton_only();
+        let mut out = vec![("A:Skeleton", s)];
+        s.syscalls = true;
+        out.push(("B:Syscall", s));
+        s.instr_count = true;
+        out.push(("C:#insts", s));
+        s.instr_mix = true;
+        out.push(("D:Inst. mix", s));
+        s.branch = true;
+        out.push(("E:Branch", s));
+        s.instr_mem = true;
+        out.push(("F:I-mem", s));
+        s.data_mem = true;
+        out.push(("G:D-mem", s));
+        s.data_dep = true;
+        out.push(("H:Data dep.", s));
+        s.tune = true;
+        out.push(("I:Tune", s));
+        out
+    }
+}
+
+impl Default for GeneratorStages {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone() {
+        let ladder = GeneratorStages::ladder();
+        assert_eq!(ladder.len(), 9);
+        assert_eq!(ladder[0].1, GeneratorStages::skeleton_only());
+        assert_eq!(ladder[8].1, GeneratorStages::all());
+        let count = |s: GeneratorStages| {
+            [s.syscalls, s.instr_count, s.instr_mix, s.branch, s.instr_mem, s.data_mem, s.data_dep, s.tune]
+                .iter()
+                .filter(|&&b| b)
+                .count()
+        };
+        for w in ladder.windows(2) {
+            assert_eq!(count(w[1].1), count(w[0].1) + 1, "each rung adds one mechanism");
+        }
+    }
+}

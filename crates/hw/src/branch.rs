@@ -1,0 +1,227 @@
+//! Branch prediction: a gshare direction predictor plus a finite BTB.
+//!
+//! The paper (§4.4.3) observes that besides per-branch taken/transition
+//! rates, *instruction locality and the number of static branch sites*
+//! drive misprediction, because large code footprints overflow predictor
+//! tables. Both effects are modelled: the pattern-history table is indexed
+//! by PC xor global history (aliasing grows with static branch count), and
+//! a set-associative BTB makes taken branches at cold sites pay a misfetch.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{Cache, CacheSpec};
+
+/// Geometry of the branch prediction structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchPredictorSpec {
+    /// log2 of the number of 2-bit pattern-history counters.
+    pub pht_bits: u32,
+    /// Bits of global history mixed into the index.
+    pub history_bits: u32,
+    /// BTB entries (modelled 4-way set-associative).
+    pub btb_entries: usize,
+}
+
+impl Default for BranchPredictorSpec {
+    fn default() -> Self {
+        // Roughly Skylake-class structures.
+        BranchPredictorSpec { pht_bits: 14, history_bits: 12, btb_entries: 4096 }
+    }
+}
+
+/// The per-logical-core predictor state.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    spec: BranchPredictorSpec,
+    pht: Vec<u8>,
+    history: u64,
+    btb: Cache,
+}
+
+/// Outcome of one prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Direction mispredicted (or taken-target unknown in the BTB).
+    pub mispredicted: bool,
+    /// The misprediction came from a BTB miss on a taken branch.
+    pub btb_miss: bool,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with weakly-not-taken initial counters.
+    pub fn new(spec: BranchPredictorSpec) -> Self {
+        // The BTB is modelled as a cache of branch PCs: 4-way, one "line"
+        // per entry (tags are PCs shifted so each instruction is distinct).
+        let ways = 4;
+        let entries = spec.btb_entries.max(ways).next_power_of_two();
+        let btb = Cache::new(CacheSpec::new(entries as u64 * 64, ways, 0));
+        BranchPredictor {
+            spec,
+            pht: vec![1; 1 << spec.pht_bits],
+            history: 0,
+            btb,
+        }
+    }
+
+    /// The spec used to build this predictor.
+    pub fn spec(&self) -> BranchPredictorSpec {
+        self.spec
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        let hist_mask = (1u64 << self.spec.history_bits) - 1;
+        let idx = (pc >> 2) ^ (self.history & hist_mask);
+        (idx & ((1 << self.spec.pht_bits) - 1)) as usize
+    }
+
+    /// Predicts the branch at `pc`, observes the actual outcome, updates
+    /// all structures, and reports whether a flush-worthy misprediction
+    /// occurred.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> Prediction {
+        let idx = self.index(pc);
+        let counter = self.pht[idx];
+        let predicted_taken = counter >= 2;
+
+        // Direction update (2-bit saturating).
+        self.pht[idx] = if taken { (counter + 1).min(3) } else { counter.saturating_sub(1) };
+        self.history = (self.history << 1) | u64::from(taken);
+
+        // BTB: taken branches need a target. Key by instruction address.
+        let key = pc >> 2;
+        let mut btb_miss = false;
+        if taken {
+            if self.btb.access(key).is_none() {
+                btb_miss = true;
+                self.btb.fill(key, 0);
+            }
+        }
+
+        let mispredicted = predicted_taken != taken || (taken && btb_miss);
+        Prediction { mispredicted, btb_miss }
+    }
+
+    /// Clears all learned state.
+    pub fn reset(&mut self) {
+        for c in &mut self.pht {
+            *c = 1;
+        }
+        self.history = 0;
+        self.btb.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ditto_sim::rng::SimRng;
+
+    fn fresh() -> BranchPredictor {
+        BranchPredictor::new(BranchPredictorSpec::default())
+    }
+
+    fn mispredict_rate(p: &mut BranchPredictor, pc: u64, outcomes: impl Iterator<Item = bool>) -> f64 {
+        let mut total = 0u64;
+        let mut miss = 0u64;
+        for taken in outcomes {
+            total += 1;
+            if p.predict_and_update(pc, taken).mispredicted {
+                miss += 1;
+            }
+        }
+        miss as f64 / total as f64
+    }
+
+    #[test]
+    fn always_taken_is_learned() {
+        let mut p = fresh();
+        let rate = mispredict_rate(&mut p, 0x1000, std::iter::repeat(true).take(10_000));
+        assert!(rate < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn always_not_taken_is_learned() {
+        let mut p = fresh();
+        let rate = mispredict_rate(&mut p, 0x1000, std::iter::repeat(false).take(10_000));
+        assert!(rate < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn random_5050_mispredicts_heavily() {
+        let mut p = fresh();
+        let mut rng = SimRng::seed(1);
+        let outcomes: Vec<bool> = (0..20_000).map(|_| rng.chance(0.5)).collect();
+        let rate = mispredict_rate(&mut p, 0x1000, outcomes.into_iter());
+        assert!(rate > 0.30, "rate {rate}");
+    }
+
+    #[test]
+    fn skewed_random_mispredicts_near_minority_rate() {
+        let mut p = fresh();
+        let mut rng = SimRng::seed(2);
+        let outcomes: Vec<bool> = (0..40_000).map(|_| rng.chance(1.0 / 16.0)).collect();
+        let rate = mispredict_rate(&mut p, 0x1000, outcomes.into_iter());
+        // Should approach the minority-direction rate, far below 50%.
+        assert!(rate < 0.20, "rate {rate}");
+        assert!(rate > 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn low_transition_rate_predicts_well_despite_5050_taken() {
+        // Long runs of the same direction (transition rate 1/64) are easy.
+        let mut p = fresh();
+        let mut rng = SimRng::seed(3);
+        let mut cur = false;
+        let outcomes: Vec<bool> = (0..40_000)
+            .map(|_| {
+                if rng.chance(1.0 / 64.0) {
+                    cur = !cur;
+                }
+                cur
+            })
+            .collect();
+        let rate = mispredict_rate(&mut p, 0x1000, outcomes.into_iter());
+        assert!(rate < 0.08, "rate {rate}");
+    }
+
+    #[test]
+    fn many_static_sites_alias_and_hurt() {
+        // One hot site: near zero. 64k alternating sites: aliasing drives errors up.
+        let mut p = fresh();
+        let few = mispredict_rate(&mut p, 0x1000, std::iter::repeat(true).take(40_000));
+        let mut p = fresh();
+        let mut rng = SimRng::seed(4);
+        let mut miss = 0u64;
+        let n = 40_000u64;
+        for i in 0..n {
+            let pc = 0x1000 + (i % 65_536) * 4;
+            let taken = rng.chance(0.5);
+            if p.predict_and_update(pc, taken).mispredicted {
+                miss += 1;
+            }
+        }
+        let many = miss as f64 / n as f64;
+        assert!(many > few + 0.2, "many {many} few {few}");
+    }
+
+    #[test]
+    fn btb_miss_reported_for_cold_taken_branches() {
+        let mut p = fresh();
+        let r = p.predict_and_update(0x4000, true);
+        assert!(r.btb_miss);
+        // Warm now.
+        p.predict_and_update(0x4000, true);
+        let r = p.predict_and_update(0x4000, true);
+        assert!(!r.btb_miss);
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut p = fresh();
+        for _ in 0..100 {
+            p.predict_and_update(0x1000, true);
+        }
+        p.reset();
+        let r = p.predict_and_update(0x1000, true);
+        assert!(r.mispredicted, "weakly-not-taken after reset");
+    }
+}

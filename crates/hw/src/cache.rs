@@ -1,0 +1,534 @@
+//! Set-associative caches with LRU replacement, an inclusive shared LLC,
+//! and invalidation-based coherence.
+//!
+//! The hierarchy mirrors the paper's platforms (Table 1): private L1i/L1d
+//! and L2 per physical core, one LLC shared by all cores of a machine.
+//! Coherence is invalidation-based and enforced on every write, as real
+//! hardware does: a store to a line cached by other cores knocks their
+//! copies out, producing the coherence misses multi-threaded services
+//! exhibit (§4.4.4). The LLC doubles as the directory (presence bitmaps
+//! per line) and is inclusive, so LLC evictions back-invalidate.
+
+use serde::{Deserialize, Serialize};
+
+/// Cache line size in bytes; fixed at 64 like all three platforms.
+pub const LINE: u64 = 64;
+
+/// Geometry and hit latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheSpec {
+    /// Capacity in bytes.
+    pub size: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Hit latency in core cycles (beyond the pipeline's base latency).
+    pub latency: u32,
+}
+
+impl CacheSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero size/ways, or fewer
+    /// lines than ways).
+    pub fn new(size: u64, ways: usize, latency: u32) -> Self {
+        assert!(size >= LINE && ways > 0, "degenerate cache");
+        assert!(size / LINE >= ways as u64, "fewer lines than ways");
+        CacheSpec { size, ways, latency }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        ((self.size / LINE) as usize / self.ways).max(1)
+    }
+}
+
+/// Which level of the hierarchy served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HitLevel {
+    /// First-level hit.
+    L1,
+    /// Second-level hit.
+    L2,
+    /// Last-level (shared) hit.
+    L3,
+    /// Served from DRAM.
+    Mem,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LineState {
+    tag: u64,
+    valid: bool,
+    /// Presence bitmap: which cores' private caches may hold this line.
+    /// Only maintained by the LLC.
+    presence: u64,
+}
+
+const EMPTY_LINE: LineState = LineState { tag: 0, valid: false, presence: 0 };
+
+/// One set-associative LRU cache. Ways within a set are kept in recency
+/// order (index 0 = MRU), so hit handling is a scan + rotate.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    spec: CacheSpec,
+    set_mask: u64,
+    lines: Vec<LineState>, // sets * ways, row-major per set in LRU order
+}
+
+impl Cache {
+    /// Creates an empty cache with the given spec.
+    pub fn new(spec: CacheSpec) -> Self {
+        let sets = spec.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two (size {} ways {})", spec.size, spec.ways);
+        Cache {
+            spec,
+            set_mask: sets as u64 - 1,
+            lines: vec![EMPTY_LINE; sets * spec.ways],
+        }
+    }
+
+    /// The spec this cache was built from.
+    pub fn spec(&self) -> CacheSpec {
+        self.spec
+    }
+
+    fn set_range(&self, line_addr: u64) -> (usize, u64) {
+        let set = (line_addr & self.set_mask) as usize;
+        (set * self.spec.ways, line_addr)
+    }
+
+    /// Looks up `line_addr` (an address already divided by [`LINE`]),
+    /// updating recency. Returns the line's presence metadata on hit.
+    pub fn access(&mut self, line_addr: u64) -> Option<u64> {
+        let (base, tag) = self.set_range(line_addr);
+        let ways = self.spec.ways;
+        let set = &mut self.lines[base..base + ways];
+        for i in 0..ways {
+            if set[i].valid && set[i].tag == tag {
+                let hit = set[i];
+                set[..=i].rotate_right(1);
+                set[0] = hit;
+                return Some(hit.presence);
+            }
+        }
+        None
+    }
+
+    /// Inserts `line_addr` as MRU with the given presence metadata,
+    /// returning the evicted line (tag, presence) if a valid line was
+    /// displaced.
+    pub fn fill(&mut self, line_addr: u64, presence: u64) -> Option<(u64, u64)> {
+        let (base, tag) = self.set_range(line_addr);
+        let ways = self.spec.ways;
+        let set = &mut self.lines[base..base + ways];
+        let victim = set[ways - 1];
+        set.rotate_right(1);
+        set[0] = LineState { tag, valid: true, presence };
+        if victim.valid {
+            Some((victim.tag, victim.presence))
+        } else {
+            None
+        }
+    }
+
+    /// Looks up `line_addr` without touching recency; returns presence.
+    pub fn peek(&self, line_addr: u64) -> Option<u64> {
+        let (base, tag) = self.set_range(line_addr);
+        self.lines[base..base + self.spec.ways]
+            .iter()
+            .find(|l| l.valid && l.tag == tag)
+            .map(|l| l.presence)
+    }
+
+    /// Updates the presence metadata of a resident line without touching
+    /// recency. No-op if the line is absent.
+    pub fn set_presence(&mut self, line_addr: u64, presence: u64) {
+        let (base, tag) = self.set_range(line_addr);
+        for l in &mut self.lines[base..base + self.spec.ways] {
+            if l.valid && l.tag == tag {
+                l.presence = presence;
+                return;
+            }
+        }
+    }
+
+    /// Removes `line_addr` if present. Returns whether it was resident.
+    pub fn invalidate(&mut self, line_addr: u64) -> bool {
+        let (base, tag) = self.set_range(line_addr);
+        for l in &mut self.lines[base..base + self.spec.ways] {
+            if l.valid && l.tag == tag {
+                l.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether `line_addr` is resident (without recency update).
+    pub fn contains(&self, line_addr: u64) -> bool {
+        let (base, tag) = self.set_range(line_addr);
+        self.lines[base..base + self.spec.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates everything.
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            l.valid = false;
+        }
+    }
+}
+
+/// Latencies charged for hits at each level and for DRAM, in core cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemLatencies {
+    /// Extra cycles for an L2 hit.
+    pub l2: u32,
+    /// Extra cycles for an LLC hit.
+    pub l3: u32,
+    /// Extra cycles for DRAM.
+    pub mem: u32,
+}
+
+/// The private-plus-shared cache complex of one machine.
+///
+/// Indexed by *physical core*; SMT siblings share a path.
+#[derive(Debug)]
+pub struct MemorySystem {
+    l1i: Vec<Cache>,
+    l1d: Vec<Cache>,
+    l2: Vec<Cache>,
+    llc: Cache,
+    latencies: MemLatencies,
+}
+
+/// The outcome of a data access: the serving level plus whether a
+/// coherence invalidation was triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Serving level.
+    pub level: HitLevel,
+    /// Lines invalidated in other cores' private caches (coherence).
+    pub invalidations: u32,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy for `cores` physical cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or `cores > 64` (presence bitmap width).
+    pub fn new(cores: usize, l1i: CacheSpec, l1d: CacheSpec, l2: CacheSpec, llc: CacheSpec, latencies: MemLatencies) -> Self {
+        assert!(cores > 0 && cores <= 64, "1..=64 cores supported");
+        MemorySystem {
+            l1i: (0..cores).map(|_| Cache::new(l1i)).collect(),
+            l1d: (0..cores).map(|_| Cache::new(l1d)).collect(),
+            l2: (0..cores).map(|_| Cache::new(l2)).collect(),
+            llc: Cache::new(llc),
+            latencies,
+        }
+    }
+
+    /// Number of physical cores served.
+    pub fn cores(&self) -> usize {
+        self.l1d.len()
+    }
+
+    /// The configured latencies.
+    pub fn latencies(&self) -> MemLatencies {
+        self.latencies
+    }
+
+    /// Cycles charged for a given level (0 for L1: the pipeline's load
+    /// latency already covers it).
+    pub fn penalty(&self, level: HitLevel) -> u32 {
+        match level {
+            HitLevel::L1 => 0,
+            HitLevel::L2 => self.latencies.l2,
+            HitLevel::L3 => self.latencies.l3,
+            HitLevel::Mem => self.latencies.mem,
+        }
+    }
+
+    fn invalidate_private(&mut self, line: u64, presence: u64, except: usize) -> u32 {
+        let mut n = 0;
+        let mut bits = presence;
+        while bits != 0 {
+            let c = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if c == except || c >= self.l1d.len() {
+                continue;
+            }
+            let mut hit = false;
+            hit |= self.l1d[c].invalidate(line);
+            hit |= self.l1i[c].invalidate(line);
+            hit |= self.l2[c].invalidate(line);
+            if hit {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Performs a data access by `core` to byte address `addr`.
+    ///
+    /// Coherence is invalidation-based and enforced on every write: a
+    /// store to a line present in other cores' private caches knocks those
+    /// copies out (the `shared` hint from the program is irrelevant here —
+    /// hardware sees only addresses).
+    pub fn access_data(&mut self, core: usize, addr: u64, write: bool, shared: bool) -> AccessOutcome {
+        let _ = shared;
+        let line = addr >> LINE.trailing_zeros();
+        let mut invalidations = 0;
+
+        if self.l1d[core].access(line).is_some() {
+            if write {
+                // Consult the LLC directory (recency untouched) and knock
+                // out other cores' copies.
+                if let Some(presence) = self.llc.peek(line) {
+                    if presence & !(1 << core) != 0 {
+                        invalidations = self.invalidate_private(line, presence, core);
+                        self.llc.set_presence(line, 1 << core);
+                    }
+                }
+            }
+            return AccessOutcome { level: HitLevel::L1, invalidations };
+        }
+
+        if self.l2[core].access(line).is_some() {
+            self.fill_l1d(core, line);
+            if write {
+                if let Some(presence) = self.llc.peek(line) {
+                    if presence & !(1 << core) != 0 {
+                        invalidations = self.invalidate_private(line, presence, core);
+                        self.llc.set_presence(line, 1 << core);
+                    }
+                }
+            }
+            return AccessOutcome { level: HitLevel::L2, invalidations };
+        }
+
+        if let Some(presence) = self.llc.access(line) {
+            let new_presence = if write && presence & !(1 << core) != 0 {
+                invalidations = self.invalidate_private(line, presence, core);
+                1 << core
+            } else {
+                presence | (1 << core)
+            };
+            self.llc.set_presence(line, new_presence);
+            self.fill_l2(core, line);
+            self.fill_l1d(core, line);
+            return AccessOutcome { level: HitLevel::L3, invalidations };
+        }
+
+        // DRAM fill; inclusive LLC evictions back-invalidate private copies.
+        if let Some((victim, presence)) = self.llc.fill(line, 1 << core) {
+            self.invalidate_private(victim, presence, usize::MAX);
+        }
+        self.fill_l2(core, line);
+        self.fill_l1d(core, line);
+        AccessOutcome { level: HitLevel::Mem, invalidations }
+    }
+
+    /// Performs an instruction fetch by `core` of the line containing `pc`.
+    pub fn access_instr(&mut self, core: usize, pc: u64) -> HitLevel {
+        let line = pc >> LINE.trailing_zeros();
+        if self.l1i[core].access(line).is_some() {
+            return HitLevel::L1;
+        }
+        if self.l2[core].access(line).is_some() {
+            self.l1i[core].fill(line, 0);
+            return HitLevel::L2;
+        }
+        if let Some(presence) = self.llc.access(line) {
+            self.llc.set_presence(line, presence | (1 << core));
+            self.fill_l2(core, line);
+            self.l1i[core].fill(line, 0);
+            return HitLevel::L3;
+        }
+        if let Some((victim, presence)) = self.llc.fill(line, 1 << core) {
+            self.invalidate_private(victim, presence, usize::MAX);
+        }
+        self.fill_l2(core, line);
+        self.l1i[core].fill(line, 0);
+        HitLevel::Mem
+    }
+
+    fn fill_l1d(&mut self, core: usize, line: u64) {
+        self.l1d[core].fill(line, 0);
+    }
+
+    fn fill_l2(&mut self, core: usize, line: u64) {
+        self.l2[core].fill(line, 0);
+    }
+
+    /// Invalidates every cache (used between experiment phases).
+    pub fn flush(&mut self) {
+        for c in self.l1i.iter_mut().chain(&mut self.l1d).chain(&mut self.l2) {
+            c.flush();
+        }
+        self.llc.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(lines: u64, ways: usize) -> CacheSpec {
+        CacheSpec::new(lines * LINE, ways, 10)
+    }
+
+    fn small_system() -> MemorySystem {
+        MemorySystem::new(
+            2,
+            tiny_spec(8, 2),
+            tiny_spec(8, 2),
+            tiny_spec(32, 4),
+            tiny_spec(128, 8),
+            MemLatencies { l2: 12, l3: 40, mem: 200 },
+        )
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = Cache::new(tiny_spec(4, 4)); // 1 set, 4 ways
+        for l in 0..4 {
+            assert!(c.access(l).is_none());
+            c.fill(l, 0);
+        }
+        assert!(c.access(0).is_some()); // 0 becomes MRU
+        c.fill(4, 0); // evicts LRU = 1
+        assert!(c.contains(0));
+        assert!(!c.contains(1));
+        assert!(c.contains(4));
+    }
+
+    #[test]
+    fn set_indexing_separates_lines() {
+        let mut c = Cache::new(tiny_spec(8, 2)); // 4 sets
+        c.fill(0, 0); // set 0
+        c.fill(1, 0); // set 1
+        assert!(c.contains(0));
+        assert!(c.contains(1));
+        c.invalidate(0);
+        assert!(!c.contains(0));
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_always_misses() {
+        let mut c = Cache::new(tiny_spec(4, 4));
+        // Sequentially loop over 8 lines > 4-line capacity: all misses after warmup.
+        for _ in 0..3 {
+            for l in 0..8u64 {
+                if c.access(l).is_none() {
+                    c.fill(l, 0);
+                }
+            }
+        }
+        let misses: usize = (0..8u64)
+            .filter(|&l| {
+                let hit = c.access(l).is_some();
+                if !hit {
+                    c.fill(l, 0);
+                }
+                !hit
+            })
+            .count();
+        assert_eq!(misses, 8, "sequential over-capacity loop must thrash LRU");
+    }
+
+    #[test]
+    fn hierarchy_miss_path_then_hits() {
+        let mut m = small_system();
+        let o = m.access_data(0, 0x1000, false, false);
+        assert_eq!(o.level, HitLevel::Mem);
+        let o = m.access_data(0, 0x1000, false, false);
+        assert_eq!(o.level, HitLevel::L1);
+        // Other core misses privately but hits shared LLC.
+        let o = m.access_data(1, 0x1000, false, false);
+        assert_eq!(o.level, HitLevel::L3);
+    }
+
+    #[test]
+    fn coherence_write_invalidates_other_copies() {
+        let mut m = small_system();
+        m.access_data(0, 0x2000, false, true);
+        m.access_data(1, 0x2000, false, true);
+        // Core 1 writes the shared line: core 0's copy must die.
+        let o = m.access_data(1, 0x2000, true, true);
+        assert_eq!(o.level, HitLevel::L1);
+        assert_eq!(o.invalidations, 1);
+        // Core 0 now misses privately (coherence miss) and hits LLC.
+        let o = m.access_data(0, 0x2000, false, true);
+        assert_eq!(o.level, HitLevel::L3);
+    }
+
+    #[test]
+    fn writes_invalidate_regardless_of_hint() {
+        // Hardware coherence does not consult program hints: a write to a
+        // line cached by another core always invalidates it.
+        let mut m = small_system();
+        m.access_data(0, 0x3000, false, false);
+        m.access_data(1, 0x3000, false, false);
+        let o = m.access_data(1, 0x3000, true, false);
+        assert_eq!(o.invalidations, 1);
+        assert_eq!(m.access_data(0, 0x3000, false, false).level, HitLevel::L3);
+    }
+
+    #[test]
+    fn truly_private_writes_do_not_invalidate() {
+        let mut m = small_system();
+        m.access_data(0, 0x3000, false, false);
+        let o = m.access_data(0, 0x3000, true, false);
+        assert_eq!(o.invalidations, 0);
+    }
+
+    #[test]
+    fn inclusive_llc_eviction_back_invalidates() {
+        let mut m = MemorySystem::new(
+            1,
+            tiny_spec(8, 2),
+            tiny_spec(8, 2),
+            tiny_spec(32, 4),
+            tiny_spec(4, 4), // 4-line LLC, smaller than L2 (contrived)
+            MemLatencies { l2: 12, l3: 40, mem: 200 },
+        );
+        for i in 0..5u64 {
+            m.access_data(0, i * LINE * 4, false, false); // distinct LLC sets? 1 set here
+        }
+        // First line evicted from the 4-way LLC; private copies must be gone.
+        let o = m.access_data(0, 0, false, false);
+        assert_eq!(o.level, HitLevel::Mem, "back-invalidation must force a DRAM refetch");
+    }
+
+    #[test]
+    fn instruction_path_fills_l1i() {
+        let mut m = small_system();
+        assert_eq!(m.access_instr(0, 0x40_0000), HitLevel::Mem);
+        assert_eq!(m.access_instr(0, 0x40_0000), HitLevel::L1);
+        assert_eq!(m.access_instr(0, 0x40_0004), HitLevel::L1, "same line");
+        assert_eq!(m.access_instr(0, 0x40_0040), HitLevel::Mem, "next line is cold");
+    }
+
+    #[test]
+    fn penalties_follow_spec() {
+        let m = small_system();
+        assert_eq!(m.penalty(HitLevel::L1), 0);
+        assert_eq!(m.penalty(HitLevel::L2), 12);
+        assert_eq!(m.penalty(HitLevel::L3), 40);
+        assert_eq!(m.penalty(HitLevel::Mem), 200);
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let mut m = small_system();
+        m.access_data(0, 0x1000, false, false);
+        m.flush();
+        assert_eq!(m.access_data(0, 0x1000, false, false).level, HitLevel::Mem);
+    }
+}

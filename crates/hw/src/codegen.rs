@@ -1,0 +1,513 @@
+//! Code materialization: turning behavioural parameters into executable
+//! instruction blocks.
+//!
+//! This is the mechanical layer under both sides of the experiment:
+//! `ditto-app` materialises *original* services from hand-written
+//! behavioural parameters, and `ditto-core` materialises *synthetic clones*
+//! from profiled parameters. The layout follows the paper's generated code
+//! (Figure 3, right): a sequence of assembly blocks, one per instruction
+//! working set, looping with per-block trip counts; memory operands walk
+//! power-of-two data working-set windows (Figure 4); conditional branches
+//! carry sampled taken/transition rates; registers are assigned from
+//! sampled dependency distances; a fraction of loads pointer-chase.
+
+use std::sync::Arc;
+
+use ditto_sim::dist::Discrete;
+use ditto_sim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::isa::{BranchBehavior, CodeBlock, Instr, InstrClass, MemRef, Program, Reg};
+
+/// Behavioural parameters of one handler body.
+///
+/// All distributions are `(value, weight)` lists; weights need not be
+/// normalised.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BodyParams {
+    /// Mean dynamic user instructions per invocation.
+    pub instructions: u64,
+    /// Instruction-class mix (including `Load`, `Store`, `CondBranch`).
+    pub mix: Vec<(InstrClass, f64)>,
+    /// Conditional-branch behaviour distribution.
+    pub branch_rates: Vec<(BranchBehavior, f64)>,
+    /// Data working-set distribution: `(bytes, share of accesses)` —
+    /// the paper's `A_d(2^i)` (Equation 1).
+    pub data_working_sets: Vec<(u64, f64)>,
+    /// Instruction working-set distribution: `(bytes, share of dynamic
+    /// executions)` — the paper's `E_i(2^j)` (Equation 2).
+    pub instr_working_sets: Vec<(u64, f64)>,
+    /// RAW dependency-distance distribution `(instructions, weight)`.
+    pub dep_distances: Vec<(u64, f64)>,
+    /// Fraction of memory accesses to thread-shared data.
+    pub shared_fraction: f64,
+    /// Fraction of loads converted to pointer-chasing (MLP control).
+    pub chase_fraction: f64,
+    /// Bytes moved per `RepString` instruction.
+    pub rep_bytes: u32,
+    /// Region id of the thread-private data array.
+    pub data_region: u32,
+    /// Region id of the shared data array.
+    pub shared_region: u32,
+    /// Base instruction address of the generated code.
+    pub pc_base: u64,
+    /// Seed for the deterministic materialization.
+    pub seed: u64,
+}
+
+impl BodyParams {
+    /// A small, boring default body: mostly ALU with light memory traffic.
+    pub fn minimal(instructions: u64, pc_base: u64, seed: u64) -> Self {
+        BodyParams {
+            instructions,
+            mix: vec![
+                (InstrClass::IntAlu, 0.55),
+                (InstrClass::Mov, 0.15),
+                (InstrClass::Load, 0.15),
+                (InstrClass::Store, 0.05),
+                (InstrClass::CondBranch, 0.10),
+            ],
+            branch_rates: vec![(BranchBehavior::new(0.5, 0.25), 1.0)],
+            data_working_sets: vec![(4096, 1.0)],
+            instr_working_sets: vec![(4096, 1.0)],
+            dep_distances: vec![(8, 1.0)],
+            shared_fraction: 0.0,
+            chase_fraction: 0.0,
+            rep_bytes: 512,
+            data_region: 1,
+            shared_region: 2,
+            pc_base,
+            seed,
+        }
+    }
+}
+
+/// Maximum static instructions per generated block (bounds memory).
+const MAX_STATIC_INSTRS: u64 = 1 << 20;
+/// General-purpose register pool for dependency assignment (r4..r15);
+/// r0..r3 are reserved for loop counters and base addresses like the
+/// paper's generated code reserves registers.
+const GP_POOL: std::ops::Range<u8> = 4..16;
+/// SIMD register pool (x16..x31).
+const SIMD_POOL: std::ops::Range<u8> = 16..32;
+
+#[derive(Debug, Clone)]
+struct Segment {
+    block: Arc<CodeBlock>,
+    mean_iters: f64,
+}
+
+/// A materialised handler body. Call [`Body::instantiate`] per request to
+/// get the executable [`Program`] (trip counts are rounded
+/// probabilistically so means are preserved).
+#[derive(Debug, Clone)]
+pub struct Body {
+    segments: Vec<Segment>,
+    params: BodyParams,
+}
+
+impl Body {
+    /// Materialises a body from parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix or working-set distributions are empty or have
+    /// non-positive total weight.
+    pub fn new(params: &BodyParams) -> Self {
+        assert!(!params.mix.is_empty(), "empty instruction mix");
+        let mut rng = SimRng::seed(params.seed);
+        let mix = Discrete::new(params.mix.clone()).expect("invalid mix weights");
+        let branch_rates = if params.branch_rates.is_empty() {
+            Discrete::new(vec![(BranchBehavior::new(0.5, 0.25), 1.0)]).unwrap()
+        } else {
+            Discrete::new(params.branch_rates.clone()).expect("invalid branch weights")
+        };
+        let data_ws = Discrete::new(
+            params
+                .data_working_sets
+                .iter()
+                .map(|&(b, w)| (b.max(64).next_power_of_two(), w))
+                .collect(),
+        )
+        .expect("invalid data working-set weights");
+        let dep = Discrete::new(params.dep_distances.clone()).expect("invalid dep weights");
+
+        // Normalise the instruction working-set weights.
+        let iws_total: f64 = params.instr_working_sets.iter().map(|&(_, w)| w).sum();
+        assert!(iws_total > 0.0, "instruction working sets need positive weight");
+
+        let mut segments = Vec::new();
+        let mut pc = params.pc_base;
+        for &(ws_bytes, w) in &params.instr_working_sets {
+            let share = w / iws_total;
+            let dyn_execs = params.instructions as f64 * share;
+            if dyn_execs < 1.0 {
+                continue;
+            }
+            // Static size: the working-set footprint (4 B/instr), bounded
+            // by the dynamic budget and the safety cap.
+            let footprint_instrs = (ws_bytes / 4).max(16);
+            let static_instrs =
+                footprint_instrs.min(MAX_STATIC_INSTRS).min(dyn_execs.ceil() as u64) as usize;
+            let block = build_block(
+                pc,
+                static_instrs,
+                params,
+                &mix,
+                &branch_rates,
+                &data_ws,
+                &dep,
+                &mut rng,
+            );
+            pc += block.code_bytes().max(64);
+            let mean_iters = dyn_execs / static_instrs as f64;
+            segments.push(Segment { block: Arc::new(block), mean_iters });
+        }
+        assert!(!segments.is_empty(), "no segments materialised; instruction budget too small");
+        Body { segments, params: params.clone() }
+    }
+
+    /// The parameters this body was materialised from.
+    pub fn params(&self) -> &BodyParams {
+        &self.params
+    }
+
+    /// Static code footprint in bytes.
+    pub fn code_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.block.code_bytes()).sum()
+    }
+
+    /// Builds one invocation's program, sampling fractional trip counts.
+    /// Each run starts its working-set walk at a random phase so that
+    /// successive invocations cover the whole window instead of re-touching
+    /// the same lines (the generated code's base register keeps advancing
+    /// across requests).
+    pub fn instantiate(&self, rng: &mut SimRng) -> Program {
+        let mut p = Program::new();
+        for seg in &self.segments {
+            let base = seg.mean_iters.floor();
+            let frac = seg.mean_iters - base;
+            let iters = base as u32 + u32::from(rng.chance(frac));
+            if iters > 0 {
+                let phase = rng.next_u64() as u32;
+                p.push_with_phase(seg.block.clone(), iters, phase);
+            }
+        }
+        p
+    }
+
+    /// Mean dynamic instructions per invocation implied by the segments.
+    pub fn mean_instructions(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| s.block.instrs.len() as f64 * s.mean_iters)
+            .sum()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_block(
+    pc_base: u64,
+    n: usize,
+    params: &BodyParams,
+    mix: &Discrete<InstrClass>,
+    branch_rates: &Discrete<BranchBehavior>,
+    data_ws: &Discrete<u64>,
+    dep: &Discrete<u64>,
+    rng: &mut SimRng,
+) -> CodeBlock {
+    let mut block = CodeBlock::new(pc_base);
+    // Per data-working-set bookkeeping: how many static memory slots have
+    // been placed in this block for each window, to lay out consecutive
+    // lines (Figure 4's sequential walk).
+    let mut ws_slots: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    let mut classes = Vec::with_capacity(n);
+    for _ in 0..n {
+        classes.push(*mix.sample(rng));
+    }
+
+    // Pass 1: count memory slots per sampled window so strides cover the
+    // window across iterations.
+    let mut mem_choices: Vec<Option<(u64, bool, bool)>> = Vec::with_capacity(n);
+    for class in &classes {
+        if class.is_memory() {
+            let ws = *data_ws.sample(rng);
+            let shared = rng.chance(params.shared_fraction);
+            let chased = *class == InstrClass::Load && rng.chance(params.chase_fraction);
+            *ws_slots.entry(ws).or_insert(0) += 1;
+            mem_choices.push(Some((ws, shared, chased)));
+        } else {
+            mem_choices.push(None);
+        }
+    }
+
+    // Pass 2: emit instructions with operands.
+    let mut ws_placed: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    let mut last_write = [i64::MIN / 2; Reg::COUNT];
+    for (t, (&class, memc)) in classes.iter().zip(&mem_choices).enumerate() {
+        let t_pos = t as i64;
+        let pick_reg = |pool: std::ops::Range<u8>, target: i64, last_write: &[i64; Reg::COUNT]| {
+            let mut best = pool.start;
+            let mut best_d = i64::MAX;
+            for r in pool {
+                let d = (last_write[r as usize] - target).abs();
+                if d < best_d {
+                    best_d = d;
+                    best = r;
+                }
+            }
+            Reg(best)
+        };
+        let pool = if matches!(class, InstrClass::Float | InstrClass::Simd) {
+            SIMD_POOL
+        } else {
+            GP_POOL
+        };
+
+        let mem = memc.map(|(ws, shared, chased)| {
+            let placed = ws_placed.entry(ws).or_insert(0);
+            let k = *placed;
+            *placed += 1;
+            let slots = *ws_slots.get(&ws).unwrap_or(&1);
+            let window_mask = (ws - 1) as u32;
+            let lines = (ws / 64).max(1) as u32;
+            MemRef {
+                region: if shared { params.shared_region } else { params.data_region },
+                // Start mid-window per Figure 4, lines laid out consecutively.
+                offset: ((ws / 2) as u32 + k * 64) & window_mask,
+                stride: (slots * 64) % lines.max(1).saturating_mul(64).max(64),
+                window_mask,
+                write: class == InstrClass::Store
+                    || (class == InstrClass::LockPrefixed && true)
+                    || (class == InstrClass::RepString && false),
+                shared,
+                chased,
+            }
+        });
+
+        let instr = match class {
+            InstrClass::CondBranch => {
+                let b = *branch_rates.sample(rng);
+                let idx = block.add_branch(b);
+                Instr::cond_branch(idx)
+            }
+            InstrClass::Load => {
+                let raw_d = *dep.sample(rng);
+                let dst = pick_reg(pool.clone(), t_pos - raw_d as i64, &last_write);
+                last_write[dst.0 as usize] = t_pos;
+                let mut i = Instr::load(dst, mem.unwrap());
+                if let Some(m) = &mut i.mem {
+                    m.write = false;
+                }
+                i
+            }
+            InstrClass::Store => {
+                let raw_d = *dep.sample(rng);
+                let src = pick_reg(pool.clone(), t_pos - raw_d as i64, &last_write);
+                Instr::store(src, mem.unwrap())
+            }
+            InstrClass::RepString | InstrClass::LockPrefixed => {
+                let dst = pick_reg(pool.clone(), t_pos, &last_write);
+                last_write[dst.0 as usize] = t_pos;
+                let mut i = Instr {
+                    class,
+                    dst,
+                    src1: Reg::NONE,
+                    src2: Reg::NONE,
+                    mem,
+                    branch: None,
+                    imm: if class == InstrClass::RepString { params.rep_bytes } else { 0 },
+                };
+                if let Some(m) = &mut i.mem {
+                    m.write = class == InstrClass::LockPrefixed;
+                }
+                i
+            }
+            InstrClass::Jump | InstrClass::Nop => Instr {
+                class,
+                dst: Reg::NONE,
+                src1: Reg::NONE,
+                src2: Reg::NONE,
+                mem: None,
+                branch: None,
+                imm: 0,
+            },
+            _ => {
+                // ALU-like: two sources at sampled RAW distances, one dest
+                // at a sampled WAW distance.
+                let raw1 = *dep.sample(rng);
+                let raw2 = *dep.sample(rng);
+                let waw = *dep.sample(rng);
+                let src1 = pick_reg(pool.clone(), t_pos - raw1 as i64, &last_write);
+                let src2 = pick_reg(pool.clone(), t_pos - raw2 as i64, &last_write);
+                let dst = pick_reg(pool.clone(), t_pos - waw as i64, &last_write);
+                last_write[dst.0 as usize] = t_pos;
+                Instr::alu(class, dst, src1, src2)
+            }
+        };
+        block.instrs.push(instr);
+    }
+    block
+}
+
+/// A program that just copies `bytes` through the given region with
+/// `rep`-style string operations — the kernel's `memcpy` path.
+pub fn copy_program(pc_base: u64, region: u32, bytes: u64) -> Program {
+    let mut p = Program::new();
+    if bytes == 0 {
+        return p;
+    }
+    const CHUNK: u64 = 64 * 1024;
+    let mut block = CodeBlock::new(pc_base);
+    let chunk = bytes.min(CHUNK) as u32;
+    let mut i = Instr::load(Reg(4), MemRef::read(region, 0));
+    i.class = InstrClass::RepString;
+    i.imm = chunk;
+    if let Some(m) = &mut i.mem {
+        // Walk the buffer across iterations.
+        m.stride = chunk;
+        m.window_mask = (bytes.max(64).next_power_of_two() - 1) as u32;
+    }
+    block.instrs.push(i);
+    let iters = bytes.div_ceil(u64::from(chunk)) as u32;
+    p.push(Arc::new(block), iters.max(1));
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_params() -> BodyParams {
+        BodyParams::minimal(10_000, 0x40_0000, 7)
+    }
+
+    #[test]
+    fn body_hits_instruction_budget() {
+        let body = Body::new(&default_params());
+        let mean = body.mean_instructions();
+        assert!((mean - 10_000.0).abs() / 10_000.0 < 0.05, "mean {mean}");
+        let mut rng = SimRng::seed(1);
+        let avg: f64 = (0..200)
+            .map(|_| body.instantiate(&mut rng).dynamic_instructions() as f64)
+            .sum::<f64>()
+            / 200.0;
+        assert!((avg - 10_000.0).abs() / 10_000.0 < 0.1, "avg {avg}");
+    }
+
+    #[test]
+    fn mix_is_respected() {
+        let body = Body::new(&default_params());
+        let mut rng = SimRng::seed(2);
+        let p = body.instantiate(&mut rng);
+        let mut loads = 0u64;
+        let mut total = 0u64;
+        for run in &p.runs {
+            for i in &run.block.instrs {
+                total += u64::from(run.iterations);
+                if i.class == InstrClass::Load {
+                    loads += u64::from(run.iterations);
+                }
+            }
+        }
+        let frac = loads as f64 / total as f64;
+        assert!((frac - 0.15).abs() < 0.05, "load fraction {frac}");
+    }
+
+    #[test]
+    fn instr_working_set_controls_code_footprint() {
+        let mut small = default_params();
+        small.instr_working_sets = vec![(1024, 1.0)];
+        let mut big = default_params();
+        big.instr_working_sets = vec![(64 * 1024, 1.0)];
+        let s = Body::new(&small);
+        let b = Body::new(&big);
+        assert!(b.code_bytes() > s.code_bytes() * 8, "big {} small {}", b.code_bytes(), s.code_bytes());
+        assert!(s.code_bytes() <= 2048);
+    }
+
+    #[test]
+    fn data_window_masks_match_working_sets() {
+        let mut p = default_params();
+        p.data_working_sets = vec![(64 * 1024, 1.0)];
+        let body = Body::new(&p);
+        let mut rng = SimRng::seed(3);
+        let prog = body.instantiate(&mut rng);
+        let mut saw_mem = false;
+        for run in &prog.runs {
+            for i in &run.block.instrs {
+                if let Some(m) = i.mem {
+                    saw_mem = true;
+                    assert_eq!(m.window_mask, 64 * 1024 - 1);
+                }
+            }
+        }
+        assert!(saw_mem);
+    }
+
+    #[test]
+    fn shared_and_chase_fractions_apply() {
+        let mut p = default_params();
+        p.shared_fraction = 1.0;
+        p.chase_fraction = 1.0;
+        let body = Body::new(&p);
+        let mut rng = SimRng::seed(4);
+        let prog = body.instantiate(&mut rng);
+        for run in &prog.runs {
+            for i in &run.block.instrs {
+                if let Some(m) = i.mem {
+                    assert!(m.shared);
+                    assert_eq!(m.region, p.shared_region);
+                    if i.class == InstrClass::Load {
+                        assert!(m.chased);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn materialization_is_deterministic() {
+        let a = Body::new(&default_params());
+        let b = Body::new(&default_params());
+        let pa: Vec<_> = a.segments.iter().map(|s| s.block.instrs.len()).collect();
+        let pb: Vec<_> = b.segments.iter().map(|s| s.block.instrs.len()).collect();
+        assert_eq!(pa, pb);
+        assert_eq!(a.segments[0].block.instrs, b.segments[0].block.instrs);
+    }
+
+    #[test]
+    fn dep_distance_influences_register_reuse() {
+        // Tight dependencies (distance 1) should reuse very few registers.
+        let mut tight = default_params();
+        tight.dep_distances = vec![(1, 1.0)];
+        tight.mix = vec![(InstrClass::IntAlu, 1.0)];
+        let mut loose = default_params();
+        loose.dep_distances = vec![(1024, 1.0)];
+        loose.mix = vec![(InstrClass::IntAlu, 1.0)];
+        let count_regs = |b: &Body| {
+            let mut used = std::collections::HashSet::new();
+            for s in &b.segments {
+                for i in &s.block.instrs {
+                    if i.src1.is_some() {
+                        used.insert(i.src1.0);
+                    }
+                }
+            }
+            used.len()
+        };
+        let t = count_regs(&Body::new(&tight));
+        let l = count_regs(&Body::new(&loose));
+        assert!(t <= l, "tight {t} loose {l}");
+    }
+
+    #[test]
+    fn copy_program_scales() {
+        let small = copy_program(0x1000, 1, 1024);
+        let large = copy_program(0x1000, 1, 1024 * 1024);
+        let small_iters: u32 = small.runs.iter().map(|r| r.iterations).sum();
+        let large_iters: u32 = large.runs.iter().map(|r| r.iterations).sum();
+        assert!(large_iters > small_iters);
+        assert!(copy_program(0x1000, 1, 0).runs.is_empty());
+    }
+}

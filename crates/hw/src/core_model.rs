@@ -1,0 +1,818 @@
+//! The CPU timing model.
+//!
+//! A scoreboard model with an issue width, per-class port pressure, a
+//! reorder-buffer window, and register-dependency tracking. It is not a
+//! full out-of-order pipeline simulation, but it is sensitive to exactly
+//! the characteristics the paper profiles and regenerates (§4.4):
+//! instruction mix (per-class latency and ports), branch behaviour
+//! (mispredict flushes), instruction working sets (L1i/L2/LLC fetch
+//! stalls), data working sets (load-to-use penalties), data dependencies
+//! (register-ready scoreboard; ILP), and pointer chasing (serialised miss
+//! chains; MLP). Cycle losses are attributed to the four top-down slots.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use ditto_sim::rng::SimRng;
+use ditto_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::branch::BranchPredictor;
+use crate::cache::{HitLevel, MemorySystem, LINE};
+use crate::counters::PerfCounters;
+use crate::isa::{Instr, InstrClass, Program, Reg};
+
+/// Microarchitectural parameters of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreSpec {
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Issue slots per cycle.
+    pub issue_width: u32,
+    /// Reorder-buffer capacity (bounds how far ahead the core runs).
+    pub rob: usize,
+    /// Cycles lost on a branch mispredict flush.
+    pub mispredict_penalty: u32,
+}
+
+impl Default for CoreSpec {
+    fn default() -> Self {
+        CoreSpec { freq_ghz: 2.1, issue_width: 4, rob: 224, mispredict_penalty: 15 }
+    }
+}
+
+/// Resolves `(region, offset)` memory operands to flat addresses.
+///
+/// The kernel assigns each process's regions real base addresses; programs
+/// executed outside a kernel (unit tests, microbenches) fall back to an
+/// automatic non-overlapping layout.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryMap {
+    bases: Vec<u64>,
+}
+
+impl MemoryMap {
+    /// An empty map using only the automatic layout.
+    pub fn new() -> Self {
+        MemoryMap::default()
+    }
+
+    /// Sets the base address of `region`.
+    pub fn set_base(&mut self, region: u32, base: u64) {
+        let r = region as usize;
+        if r >= self.bases.len() {
+            self.bases.resize(r + 1, 0);
+        }
+        self.bases[r] = base;
+    }
+
+    /// The flat address of `(region, offset)`.
+    pub fn resolve(&self, region: u32, offset: u32) -> u64 {
+        match self.bases.get(region as usize) {
+            Some(&b) if b != 0 => b + u64::from(offset),
+            // Auto layout: 16 GiB-spaced region bases, far from code.
+            _ => 0x1000_0000_0000 + u64::from(region) * 0x4_0000_0000 + u64::from(offset),
+        }
+    }
+}
+
+/// Multiply-shift hasher for the hot branch-state map.
+#[derive(Default)]
+pub struct U64Hasher(u64);
+
+impl Hasher for U64Hasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+}
+
+/// Per-thread Markov state of every conditional branch site the thread has
+/// executed, keyed by static branch address.
+#[derive(Default)]
+pub struct BranchStates {
+    map: HashMap<u64, bool, BuildHasherDefault<U64Hasher>>,
+}
+
+impl BranchStates {
+    /// Creates an empty state table.
+    pub fn new() -> Self {
+        BranchStates::default()
+    }
+
+    fn next_outcome(&mut self, site: u64, taken_rate: f64, flip: (f64, f64), rng: &mut SimRng) -> bool {
+        match self.map.get_mut(&site) {
+            Some(state) => {
+                let (a, b) = flip;
+                let p_flip = if *state { a } else { b };
+                if rng.chance(p_flip) {
+                    *state = !*state;
+                }
+                *state
+            }
+            None => {
+                let init = rng.chance(taken_rate);
+                self.map.insert(site, init);
+                init
+            }
+        }
+    }
+
+    /// Number of branch sites with state.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no sites have state.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl std::fmt::Debug for BranchStates {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BranchStates").field("sites", &self.map.len()).finish()
+    }
+}
+
+/// One retired instruction, as seen by an attached tracer (the simulated
+/// equivalent of Intel SDE's instruction log).
+#[derive(Debug, Clone, Copy)]
+pub struct RetireEvent<'a> {
+    /// Key identifying the executing thread (for shared-data detection).
+    pub thread_key: u64,
+    /// Static instruction address.
+    pub pc: u64,
+    /// The instruction.
+    pub instr: &'a Instr,
+    /// Resolved data address, if the instruction accessed memory.
+    pub addr: Option<u64>,
+    /// Branch outcome, for conditional branches.
+    pub taken: Option<bool>,
+}
+
+/// Consumer of retired-instruction events.
+pub trait RetireSink {
+    /// Observes one retired instruction.
+    fn retire(&mut self, ev: &RetireEvent<'_>);
+}
+
+/// Everything a core needs from its surroundings to execute a program.
+pub struct ExecEnv<'a> {
+    /// The machine's cache hierarchy.
+    pub mem: &'a mut MemorySystem,
+    /// This logical core's branch predictor.
+    pub predictor: &'a mut BranchPredictor,
+    /// The executing process's memory map.
+    pub memmap: &'a MemoryMap,
+    /// The executing thread's branch Markov states.
+    pub branch_states: &'a mut BranchStates,
+    /// The executing thread's RNG.
+    pub rng: &'a mut SimRng,
+    /// Whether the SMT sibling is busy (halves effective issue width).
+    pub smt_contended: bool,
+    /// Whether this program is kernel code (for user/kernel accounting).
+    pub kernel_mode: bool,
+    /// Key identifying the executing thread, forwarded to tracers.
+    pub thread_key: u64,
+    /// Optional instruction tracer.
+    pub tracer: Option<&'a mut dyn RetireSink>,
+}
+
+/// The outcome of executing one program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecResult {
+    /// Core cycles consumed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+}
+
+/// One physical core: a [`CoreSpec`] plus accumulated [`PerfCounters`].
+#[derive(Debug, Clone)]
+pub struct Core {
+    spec: CoreSpec,
+    id: usize,
+    counters: PerfCounters,
+}
+
+const NCLASS: usize = InstrClass::ALL.len();
+/// Cap on modelled `rep` string lengths, in cache lines.
+const REP_LINE_CAP: u32 = 4096;
+
+impl Core {
+    /// Creates core number `id` with the given spec.
+    pub fn new(id: usize, spec: CoreSpec) -> Self {
+        Core { spec, id, counters: PerfCounters::new() }
+    }
+
+    /// This core's index in the machine.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The spec.
+    pub fn spec(&self) -> CoreSpec {
+        self.spec
+    }
+
+    /// Mutable access to the spec (frequency-scaling experiments).
+    pub fn spec_mut(&mut self) -> &mut CoreSpec {
+        &mut self.spec
+    }
+
+    /// Accumulated counters.
+    pub fn counters(&self) -> &PerfCounters {
+        &self.counters
+    }
+
+    /// Resets the counters to zero.
+    pub fn reset_counters(&mut self) {
+        self.counters = PerfCounters::new();
+    }
+
+    /// Converts a cycle count to wall-clock simulated time at this core's
+    /// current frequency.
+    pub fn cycles_to_duration(&self, cycles: u64) -> SimDuration {
+        SimDuration::from_nanos((cycles as f64 / self.spec.freq_ghz).round() as u64)
+    }
+
+    fn record_data_level(counters: &mut PerfCounters, level: HitLevel) {
+        counters.l1d_accesses += 1;
+        if level == HitLevel::L1 {
+            return;
+        }
+        counters.l1d_misses += 1;
+        counters.l2_accesses += 1;
+        if level == HitLevel::L2 {
+            return;
+        }
+        counters.l2_misses += 1;
+        counters.llc_accesses += 1;
+        if level == HitLevel::L3 {
+            return;
+        }
+        counters.llc_misses += 1;
+    }
+
+    fn record_instr_level(counters: &mut PerfCounters, level: HitLevel) {
+        counters.l1i_accesses += 1;
+        if level == HitLevel::L1 {
+            return;
+        }
+        counters.l1i_misses += 1;
+        counters.l2_accesses += 1;
+        if level == HitLevel::L2 {
+            return;
+        }
+        counters.l2_misses += 1;
+        counters.llc_accesses += 1;
+        if level == HitLevel::L3 {
+            return;
+        }
+        counters.llc_misses += 1;
+    }
+
+    /// Executes `program` to completion, updating counters and returning
+    /// the consumed cycles.
+    ///
+    /// Execution is non-preemptive: the scheduler charges the returned
+    /// time as one slice. Long-running bodies should be split into
+    /// multiple compute actions.
+    pub fn execute(&mut self, program: &Program, env: &mut ExecEnv<'_>) -> ExecResult {
+        let width = if env.smt_contended {
+            (self.spec.issue_width / 2).max(1)
+        } else {
+            self.spec.issue_width
+        };
+        let wq = u64::from(width);
+
+        let mut cycle: u64 = 0; // current issue cycle
+        let mut slots: u32 = 0; // slots used in current cycle
+        let mut reg_ready = [0u64; Reg::COUNT];
+        let rob_cap = self.spec.rob.max(1);
+        let mut rob = vec![0u64; rob_cap];
+        let mut issued: u64 = 0;
+        let mut fetch_ready: u64 = 0;
+        let mut fetch_is_badspec = false;
+        let mut last_fetch_line = u64::MAX;
+        let mut chase_ready: u64 = 0;
+        let mut port_free_q = [0u64; NCLASS]; // quarter-cycle granularity
+        let mut max_completion: u64 = 0;
+
+        let mut instructions: u64 = 0;
+        let counters = &mut self.counters;
+        let slots_at_entry = counters.slots_retiring
+            + counters.slots_frontend
+            + counters.slots_bad_speculation
+            + counters.slots_backend;
+
+        for run in &program.runs {
+            let block = &*run.block;
+            let phase = run.phase;
+            for raw_iter in 0..run.iterations {
+                let iter = raw_iter.wrapping_add(phase);
+                for (idx, instr) in block.instrs.iter().enumerate() {
+                    let pc = block.base_pc + idx as u64 * 4;
+
+                    // --- Fetch ---
+                    let fetch_line = pc >> LINE.trailing_zeros();
+                    if fetch_line != last_fetch_line {
+                        last_fetch_line = fetch_line;
+                        let level = env.mem.access_instr(self.id, pc);
+                        Self::record_instr_level(counters, level);
+                        if level != HitLevel::L1 {
+                            let pen = u64::from(env.mem.penalty(level));
+                            fetch_ready = fetch_ready.max(cycle) + pen;
+                            fetch_is_badspec = false;
+                        }
+                    }
+
+                    // --- Dependencies and structural constraints ---
+                    let timing = instr.class.timing();
+                    let mut dep_ready = 0u64;
+                    if instr.src1.is_some() {
+                        dep_ready = dep_ready.max(reg_ready[instr.src1.0 as usize]);
+                    }
+                    if instr.src2.is_some() {
+                        dep_ready = dep_ready.max(reg_ready[instr.src2.0 as usize]);
+                    }
+                    // Port pressure.
+                    let cls = instr.class.index();
+                    dep_ready = dep_ready.max(port_free_q[cls] / 4);
+                    // ROB window.
+                    if issued >= rob_cap as u64 {
+                        dep_ready = dep_ready.max(rob[(issued % rob_cap as u64) as usize]);
+                    }
+
+                    // --- Memory ---
+                    let mut lat = u64::from(timing.latency);
+                    let mut addr_out = None;
+                    if let Some(m) = instr.mem {
+                        let addr = env.memmap.resolve(m.region, m.offset_at(iter));
+                        addr_out = Some(addr);
+                        if m.chased {
+                            dep_ready = dep_ready.max(chase_ready);
+                        }
+                        let outcome = env.mem.access_data(self.id, addr, m.write, m.shared);
+                        Self::record_data_level(counters, outcome.level);
+                        counters.coherence_invalidations += u64::from(outcome.invalidations);
+                        lat += u64::from(env.mem.penalty(outcome.level));
+                        if instr.class == InstrClass::RepString {
+                            // Touch the remaining lines of the string op.
+                            let lines = (instr.imm / LINE as u32).min(REP_LINE_CAP);
+                            for l in 1..lines {
+                                let o = env.mem.access_data(
+                                    self.id,
+                                    addr + u64::from(l) * LINE,
+                                    m.write,
+                                    m.shared,
+                                );
+                                Self::record_data_level(counters, o.level);
+                            }
+                            lat += u64::from(instr.imm / 16); // ~16 B/cycle rep throughput
+                        }
+                    } else if instr.class == InstrClass::RepString {
+                        lat += u64::from(instr.imm / 16);
+                    }
+
+                    // --- Stall attribution + issue ---
+                    let frontier = fetch_ready.max(dep_ready);
+                    if frontier > cycle {
+                        let lost = (frontier - cycle) * wq - u64::from(slots);
+                        if fetch_ready >= dep_ready {
+                            if fetch_is_badspec {
+                                counters.slots_bad_speculation += lost;
+                            } else {
+                                counters.slots_frontend += lost;
+                            }
+                        } else {
+                            counters.slots_backend += lost;
+                        }
+                        cycle = frontier;
+                        slots = 0;
+                    }
+                    let issue_cycle = cycle;
+                    slots += 1;
+                    if slots >= width {
+                        cycle += 1;
+                        slots = 0;
+                    }
+
+                    // Port becomes free again after 4/per_cycle quarter-cycles;
+                    // rep-string ops are unpipelined and hold their port for
+                    // the whole operation.
+                    let q = if instr.class == InstrClass::RepString {
+                        lat * 4
+                    } else {
+                        4 / u64::from(timing.per_cycle.max(1))
+                    };
+                    port_free_q[cls] = port_free_q[cls].max(issue_cycle * 4) + q;
+
+                    let completion = issue_cycle + lat;
+                    max_completion = max_completion.max(completion);
+                    if instr.dst.is_some() {
+                        reg_ready[instr.dst.0 as usize] = completion;
+                    }
+                    if let Some(m) = instr.mem {
+                        if m.chased {
+                            chase_ready = completion;
+                        }
+                    }
+                    rob[(issued % rob_cap as u64) as usize] = completion;
+                    issued += 1;
+
+                    // --- Branches ---
+                    let mut taken_out = None;
+                    if instr.class == InstrClass::CondBranch {
+                        counters.branches += 1;
+                        let behavior = instr
+                            .branch
+                            .and_then(|b| block.branches.get(b as usize))
+                            .copied()
+                            .unwrap_or(crate::isa::BranchBehavior::new(0.5, 0.5));
+                        let taken = env.branch_states.next_outcome(
+                            pc,
+                            behavior.taken_rate,
+                            behavior.flip_probs(),
+                            env.rng,
+                        );
+                        taken_out = Some(taken);
+                        let pred = env.predictor.predict_and_update(pc, taken);
+                        if pred.mispredicted {
+                            counters.branch_misses += 1;
+                            fetch_ready = fetch_ready
+                                .max(completion)
+                                .max(cycle)
+                                + u64::from(self.spec.mispredict_penalty);
+                            fetch_is_badspec = true;
+                        }
+                    }
+
+                    // --- Retire bookkeeping ---
+                    instructions += 1;
+                    counters.slots_retiring += 1;
+                    if let Some(tracer) = env.tracer.as_deref_mut() {
+                        tracer.retire(&RetireEvent {
+                            thread_key: env.thread_key,
+                            pc,
+                            instr,
+                            addr: addr_out,
+                            taken: taken_out,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Drain: account cycles until the last instruction completes, and
+        // charge slots not otherwise attributed (port/latency drain) to the
+        // backend so the four top-down categories tile the slot budget.
+        let end_cycle = max_completion.max(cycle + u64::from(slots > 0));
+        let total_slots = end_cycle * wq;
+        let attributed_this_call = counters.slots_retiring
+            + counters.slots_frontend
+            + counters.slots_bad_speculation
+            + counters.slots_backend
+            - slots_at_entry;
+        counters.slots_backend += total_slots.saturating_sub(attributed_this_call);
+
+        counters.cycles += end_cycle;
+        counters.instructions += instructions;
+        if !env.kernel_mode {
+            counters.user_instructions += instructions;
+        }
+
+        ExecResult { cycles: end_cycle, instructions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::BranchPredictorSpec;
+    use crate::cache::{CacheSpec, MemLatencies};
+    use crate::isa::{BranchBehavior, CodeBlock, MemRef};
+    use std::sync::Arc;
+
+    fn test_mem() -> MemorySystem {
+        MemorySystem::new(
+            1,
+            CacheSpec::new(32 * 1024, 8, 0),
+            CacheSpec::new(32 * 1024, 8, 0),
+            CacheSpec::new(256 * 1024, 8, 12),
+            CacheSpec::new(8 * 1024 * 1024, 16, 40),
+            MemLatencies { l2: 12, l3: 40, mem: 200 },
+        )
+    }
+
+    struct Env {
+        mem: MemorySystem,
+        pred: BranchPredictor,
+        map: MemoryMap,
+        states: BranchStates,
+        rng: SimRng,
+    }
+
+    impl Env {
+        fn new() -> Self {
+            Env {
+                mem: test_mem(),
+                pred: BranchPredictor::new(BranchPredictorSpec::default()),
+                map: MemoryMap::new(),
+                states: BranchStates::new(),
+                rng: SimRng::seed(42),
+            }
+        }
+
+        fn exec(&mut self, core: &mut Core, p: &Program) -> ExecResult {
+            let mut env = ExecEnv {
+                mem: &mut self.mem,
+                predictor: &mut self.pred,
+                memmap: &self.map,
+                branch_states: &mut self.states,
+                rng: &mut self.rng,
+                smt_contended: false,
+                kernel_mode: false,
+                thread_key: 0,
+                tracer: None,
+            };
+            core.execute(p, &mut env)
+        }
+    }
+
+    fn program_of(block: CodeBlock, iters: u32) -> Program {
+        let mut p = Program::new();
+        p.push(Arc::new(block), iters);
+        p
+    }
+
+    #[test]
+    fn independent_alu_achieves_high_ipc() {
+        let mut b = CodeBlock::new(0x1000);
+        for i in 0..8u8 {
+            b.instrs.push(Instr::alu(InstrClass::IntAlu, Reg(i % 8), Reg::NONE, Reg::NONE));
+        }
+        let p = program_of(b, 10_000);
+        let mut core = Core::new(0, CoreSpec::default());
+        let mut env = Env::new();
+        let r = env.exec(&mut core, &p);
+        let ipc = r.instructions as f64 / r.cycles as f64;
+        assert!(ipc > 3.0, "ipc {ipc}");
+    }
+
+    #[test]
+    fn dependency_chain_limits_ilp() {
+        // Each instruction depends on the previous one: IPC ≈ 1.
+        let mut b = CodeBlock::new(0x1000);
+        for _ in 0..8 {
+            b.instrs.push(Instr::alu(InstrClass::IntAlu, Reg(0), Reg(0), Reg::NONE));
+        }
+        let p = program_of(b, 10_000);
+        let mut core = Core::new(0, CoreSpec::default());
+        let mut env = Env::new();
+        let r = env.exec(&mut core, &p);
+        let ipc = r.instructions as f64 / r.cycles as f64;
+        assert!(ipc < 1.2, "ipc {ipc}");
+        assert!(ipc > 0.8, "ipc {ipc}");
+    }
+
+    #[test]
+    fn long_latency_class_is_slower() {
+        let mk = |class| {
+            let mut b = CodeBlock::new(0x1000);
+            for _ in 0..8 {
+                b.instrs.push(Instr::alu(class, Reg(0), Reg(0), Reg::NONE));
+            }
+            program_of(b, 2_000)
+        };
+        let mut env = Env::new();
+        let mut c1 = Core::new(0, CoreSpec::default());
+        let fast = env.exec(&mut c1, &mk(InstrClass::IntAlu));
+        let mut env2 = Env::new();
+        let mut c2 = Core::new(0, CoreSpec::default());
+        let slow = env2.exec(&mut c2, &mk(InstrClass::IntDiv));
+        assert!(slow.cycles > fast.cycles * 10, "div {} alu {}", slow.cycles, fast.cycles);
+    }
+
+    #[test]
+    fn cache_misses_slow_dependent_loads() {
+        // Pointer-chased loads over a large working set: every load serialised.
+        let mut b = CodeBlock::new(0x1000);
+        for i in 0..16u32 {
+            let mut m = MemRef::read(0, i * 64 * 1024); // 64KB stride: L1/L2 misses
+            m.chased = true;
+            b.instrs.push(Instr::load(Reg(1), m));
+        }
+        let p = program_of(b, 200);
+        let mut core = Core::new(0, CoreSpec::default());
+        let mut env = Env::new();
+        let r = env.exec(&mut core, &p);
+        let cpi = r.cycles as f64 / r.instructions as f64;
+        assert!(cpi > 20.0, "chased misses must dominate, cpi {cpi}");
+        assert!(core.counters().l1d_misses > 0);
+    }
+
+    #[test]
+    fn independent_loads_overlap_mlp() {
+        let mk = |chased: bool| {
+            let mut b = CodeBlock::new(0x1000);
+            for i in 0..16u32 {
+                let mut m = MemRef::read(0, i * 2 * 1024 * 1024); // always DRAM
+                m.chased = chased;
+                b.instrs.push(Instr::load(Reg((i % 8) as u8 + 1), m));
+            }
+            program_of(b, 100)
+        };
+        let mut env = Env::new();
+        let mut c1 = Core::new(0, CoreSpec::default());
+        let parallel = env.exec(&mut c1, &mk(false));
+        let mut env2 = Env::new();
+        let mut c2 = Core::new(0, CoreSpec::default());
+        let serial = env2.exec(&mut c2, &mk(true));
+        assert!(
+            serial.cycles as f64 > parallel.cycles as f64 * 2.0,
+            "serial {} parallel {}",
+            serial.cycles,
+            parallel.cycles
+        );
+    }
+
+    #[test]
+    fn small_working_set_hits_l1() {
+        let mut b = CodeBlock::new(0x1000);
+        for i in 0..16u32 {
+            b.instrs.push(Instr::load(Reg((i % 8) as u8), MemRef::read(0, (i * 64) % 4096)));
+        }
+        let p = program_of(b, 1_000);
+        let mut core = Core::new(0, CoreSpec::default());
+        let mut env = Env::new();
+        env.exec(&mut core, &p);
+        let mr = core.counters().l1d_miss_rate();
+        assert!(mr < 0.02, "l1d miss rate {mr}");
+    }
+
+    #[test]
+    fn random_branches_cost_cycles() {
+        let mk = |taken_rate: f64, transition: f64| {
+            let mut b = CodeBlock::new(0x1000);
+            let idx = b.add_branch(BranchBehavior::new(taken_rate, transition));
+            for _ in 0..4 {
+                b.instrs.push(Instr::alu(InstrClass::IntAlu, Reg(0), Reg::NONE, Reg::NONE));
+            }
+            b.instrs.push(Instr::cond_branch(idx));
+            program_of(b, 20_000)
+        };
+        let mut envp = Env::new();
+        let mut cp = Core::new(0, CoreSpec::default());
+        let predictable = envp.exec(&mut cp, &mk(1.0, 0.0));
+        let mut envr = Env::new();
+        let mut cr = Core::new(0, CoreSpec::default());
+        let random = envr.exec(&mut cr, &mk(0.5, 0.5));
+        assert!(random.cycles > predictable.cycles * 2, "rand {} pred {}", random.cycles, predictable.cycles);
+        assert!(cr.counters().branch_miss_rate() > 0.3);
+        assert!(cp.counters().branch_miss_rate() < 0.02);
+    }
+
+    #[test]
+    fn large_instruction_footprint_stalls_frontend() {
+        // 64KB of straight-line code (16k instrs) overflows the 32KB L1i.
+        let mut big = CodeBlock::new(0x10_0000);
+        for i in 0..16_384u32 {
+            big.instrs.push(Instr::alu(InstrClass::IntAlu, Reg((i % 8) as u8), Reg::NONE, Reg::NONE));
+        }
+        let p = program_of(big, 20);
+        let mut core = Core::new(0, CoreSpec::default());
+        let mut env = Env::new();
+        env.exec(&mut core, &p);
+        let c = core.counters();
+        assert!(c.l1i_miss_rate() > 0.5, "l1i miss rate {}", c.l1i_miss_rate());
+        let td = c.topdown();
+        assert!(td.frontend > 0.1, "frontend {td:?}");
+    }
+
+    #[test]
+    fn smt_contention_halves_throughput() {
+        let mut b = CodeBlock::new(0x1000);
+        for i in 0..8u8 {
+            b.instrs.push(Instr::alu(InstrClass::IntAlu, Reg(i % 8), Reg::NONE, Reg::NONE));
+        }
+        let p = program_of(b, 5_000);
+        let mut env = Env::new();
+        let mut core = Core::new(0, CoreSpec::default());
+        let alone = env.exec(&mut core, &p);
+        let mut env2 = Env::new();
+        let mut core2 = Core::new(0, CoreSpec::default());
+        let mut e = ExecEnv {
+            mem: &mut env2.mem,
+            predictor: &mut env2.pred,
+            memmap: &env2.map,
+            branch_states: &mut env2.states,
+            rng: &mut env2.rng,
+            smt_contended: true,
+            kernel_mode: false,
+            thread_key: 0,
+            tracer: None,
+        };
+        let contended = core2.execute(&p, &mut e);
+        assert!(contended.cycles as f64 > alone.cycles as f64 * 1.7);
+    }
+
+    #[test]
+    fn counters_accumulate_and_track_kernel_mode() {
+        let mut b = CodeBlock::new(0x1000);
+        b.instrs.push(Instr::alu(InstrClass::IntAlu, Reg(0), Reg::NONE, Reg::NONE));
+        let p = program_of(b, 10);
+        let mut core = Core::new(0, CoreSpec::default());
+        let mut env = Env::new();
+        env.exec(&mut core, &p);
+        assert_eq!(core.counters().user_instructions, 10);
+        let mut e = ExecEnv {
+            mem: &mut env.mem,
+            predictor: &mut env.pred,
+            memmap: &env.map,
+            branch_states: &mut env.states,
+            rng: &mut env.rng,
+            smt_contended: false,
+            kernel_mode: true,
+            thread_key: 0,
+            tracer: None,
+        };
+        core.execute(&p, &mut e);
+        assert_eq!(core.counters().instructions, 20);
+        assert_eq!(core.counters().user_instructions, 10);
+    }
+
+    #[test]
+    fn tracer_sees_every_instruction() {
+        struct Count(u64, u64);
+        impl RetireSink for Count {
+            fn retire(&mut self, ev: &RetireEvent<'_>) {
+                self.0 += 1;
+                if ev.addr.is_some() {
+                    self.1 += 1;
+                }
+            }
+        }
+        let mut b = CodeBlock::new(0x1000);
+        b.instrs.push(Instr::alu(InstrClass::IntAlu, Reg(0), Reg::NONE, Reg::NONE));
+        b.instrs.push(Instr::load(Reg(1), MemRef::read(0, 0)));
+        let p = program_of(b, 5);
+        let mut core = Core::new(0, CoreSpec::default());
+        let mut env = Env::new();
+        let mut sink = Count(0, 0);
+        let mut e = ExecEnv {
+            mem: &mut env.mem,
+            predictor: &mut env.pred,
+            memmap: &env.map,
+            branch_states: &mut env.states,
+            rng: &mut env.rng,
+            smt_contended: false,
+            kernel_mode: false,
+            thread_key: 0,
+            tracer: Some(&mut sink),
+        };
+        core.execute(&p, &mut e);
+        assert_eq!(sink.0, 10);
+        assert_eq!(sink.1, 5);
+    }
+
+    #[test]
+    fn rep_string_costs_scale_with_count() {
+        let mk = |imm: u32| {
+            let mut b = CodeBlock::new(0x1000);
+            let mut i = Instr::load(Reg(1), MemRef::read(0, 0));
+            i.class = InstrClass::RepString;
+            i.imm = imm;
+            b.instrs.push(i);
+            program_of(b, 100)
+        };
+        let mut env = Env::new();
+        let mut c1 = Core::new(0, CoreSpec::default());
+        let small = env.exec(&mut c1, &mk(64));
+        let mut env2 = Env::new();
+        let mut c2 = Core::new(0, CoreSpec::default());
+        let big = env2.exec(&mut c2, &mk(4096));
+        assert!(big.cycles > small.cycles * 4, "big {} small {}", big.cycles, small.cycles);
+    }
+
+    #[test]
+    fn memory_map_resolution() {
+        let mut m = MemoryMap::new();
+        m.set_base(2, 0xdead_0000);
+        assert_eq!(m.resolve(2, 0x10), 0xdead_0010);
+        // Unset regions fall back to the auto layout, distinct per region.
+        let a = m.resolve(5, 0);
+        let b = m.resolve(6, 0);
+        assert_ne!(a, b);
+        assert!(a >= 0x1000_0000_0000);
+    }
+}

@@ -1,0 +1,265 @@
+//! Performance counters.
+//!
+//! The simulated equivalent of `perf`/VTune: every core accumulates event
+//! counts while executing, and the evaluation harness reads deltas. Derived
+//! metrics (IPC, miss rates, MPKI, the four top-down fractions) match the
+//! quantities plotted in Figures 5, 7, 8 and 10.
+
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Raw event counts. All fields are public on purpose: this is a passive
+/// data record, written by the core model and read everywhere.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfCounters {
+    /// Core cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Retired in user mode (vs kernel mode).
+    pub user_instructions: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub branch_misses: u64,
+    /// L1 instruction-cache fetches (one per 64-byte line transition).
+    pub l1i_accesses: u64,
+    /// L1i misses.
+    pub l1i_misses: u64,
+    /// L1 data-cache accesses.
+    pub l1d_accesses: u64,
+    /// L1d misses.
+    pub l1d_misses: u64,
+    /// L2 accesses (i+d fills from L1 misses).
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// LLC accesses.
+    pub llc_accesses: u64,
+    /// LLC misses (DRAM fills).
+    pub llc_misses: u64,
+    /// Coherence invalidations caused by this core's writes.
+    pub coherence_invalidations: u64,
+    /// Top-down: slots retiring useful uops.
+    pub slots_retiring: u64,
+    /// Top-down: slots lost to fetch stalls.
+    pub slots_frontend: u64,
+    /// Top-down: slots lost to mispredict flushes.
+    pub slots_bad_speculation: u64,
+    /// Top-down: slots lost to backend (dependency/memory/port) stalls.
+    pub slots_backend: u64,
+}
+
+impl PerfCounters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        PerfCounters::default()
+    }
+
+    /// Instructions per cycle; zero if no cycles elapsed.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per instruction; zero if no instructions retired.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Branch misprediction rate in `[0, 1]`.
+    pub fn branch_miss_rate(&self) -> f64 {
+        ratio(self.branch_misses, self.branches)
+    }
+
+    /// L1i miss rate.
+    pub fn l1i_miss_rate(&self) -> f64 {
+        ratio(self.l1i_misses, self.l1i_accesses)
+    }
+
+    /// L1d miss rate.
+    pub fn l1d_miss_rate(&self) -> f64 {
+        ratio(self.l1d_misses, self.l1d_accesses)
+    }
+
+    /// L2 miss rate.
+    pub fn l2_miss_rate(&self) -> f64 {
+        ratio(self.l2_misses, self.l2_accesses)
+    }
+
+    /// LLC miss rate.
+    pub fn llc_miss_rate(&self) -> f64 {
+        ratio(self.llc_misses, self.llc_accesses)
+    }
+
+    /// Misses per kilo-instruction for any miss counter.
+    pub fn mpki(&self, misses: u64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Top-down breakdown as fractions `(retiring, frontend, bad_spec,
+    /// backend)` summing to 1 when any slots were recorded.
+    pub fn topdown(&self) -> TopDown {
+        let total = self.slots_retiring
+            + self.slots_frontend
+            + self.slots_bad_speculation
+            + self.slots_backend;
+        if total == 0 {
+            return TopDown::default();
+        }
+        let t = total as f64;
+        TopDown {
+            retiring: self.slots_retiring as f64 / t,
+            frontend: self.slots_frontend as f64 / t,
+            bad_speculation: self.slots_bad_speculation as f64 / t,
+            backend: self.slots_backend as f64 / t,
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The four-slot top-down fractions (Yasin's taxonomy, Figure 2/8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TopDown {
+    /// Useful work.
+    pub retiring: f64,
+    /// Fetch-bound slots.
+    pub frontend: f64,
+    /// Slots wasted by mispredicted paths.
+    pub bad_speculation: f64,
+    /// Execution/memory-bound slots.
+    pub backend: f64,
+}
+
+impl Add for PerfCounters {
+    type Output = PerfCounters;
+    fn add(mut self, rhs: PerfCounters) -> PerfCounters {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for PerfCounters {
+    fn add_assign(&mut self, r: PerfCounters) {
+        self.cycles += r.cycles;
+        self.instructions += r.instructions;
+        self.user_instructions += r.user_instructions;
+        self.branches += r.branches;
+        self.branch_misses += r.branch_misses;
+        self.l1i_accesses += r.l1i_accesses;
+        self.l1i_misses += r.l1i_misses;
+        self.l1d_accesses += r.l1d_accesses;
+        self.l1d_misses += r.l1d_misses;
+        self.l2_accesses += r.l2_accesses;
+        self.l2_misses += r.l2_misses;
+        self.llc_accesses += r.llc_accesses;
+        self.llc_misses += r.llc_misses;
+        self.coherence_invalidations += r.coherence_invalidations;
+        self.slots_retiring += r.slots_retiring;
+        self.slots_frontend += r.slots_frontend;
+        self.slots_bad_speculation += r.slots_bad_speculation;
+        self.slots_backend += r.slots_backend;
+    }
+}
+
+impl Sub for PerfCounters {
+    type Output = PerfCounters;
+    fn sub(self, r: PerfCounters) -> PerfCounters {
+        PerfCounters {
+            cycles: self.cycles - r.cycles,
+            instructions: self.instructions - r.instructions,
+            user_instructions: self.user_instructions - r.user_instructions,
+            branches: self.branches - r.branches,
+            branch_misses: self.branch_misses - r.branch_misses,
+            l1i_accesses: self.l1i_accesses - r.l1i_accesses,
+            l1i_misses: self.l1i_misses - r.l1i_misses,
+            l1d_accesses: self.l1d_accesses - r.l1d_accesses,
+            l1d_misses: self.l1d_misses - r.l1d_misses,
+            l2_accesses: self.l2_accesses - r.l2_accesses,
+            l2_misses: self.l2_misses - r.l2_misses,
+            llc_accesses: self.llc_accesses - r.llc_accesses,
+            llc_misses: self.llc_misses - r.llc_misses,
+            coherence_invalidations: self.coherence_invalidations - r.coherence_invalidations,
+            slots_retiring: self.slots_retiring - r.slots_retiring,
+            slots_frontend: self.slots_frontend - r.slots_frontend,
+            slots_bad_speculation: self.slots_bad_speculation - r.slots_bad_speculation,
+            slots_backend: self.slots_backend - r.slots_backend,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let c = PerfCounters {
+            cycles: 200,
+            instructions: 100,
+            branches: 50,
+            branch_misses: 5,
+            l1d_accesses: 40,
+            l1d_misses: 4,
+            ..Default::default()
+        };
+        assert!((c.ipc() - 0.5).abs() < 1e-12);
+        assert!((c.cpi() - 2.0).abs() < 1e-12);
+        assert!((c.branch_miss_rate() - 0.1).abs() < 1e-12);
+        assert!((c.l1d_miss_rate() - 0.1).abs() < 1e-12);
+        assert!((c.mpki(c.l1d_misses) - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let c = PerfCounters::new();
+        assert_eq!(c.ipc(), 0.0);
+        assert_eq!(c.cpi(), 0.0);
+        assert_eq!(c.branch_miss_rate(), 0.0);
+        assert_eq!(c.topdown(), TopDown::default());
+    }
+
+    #[test]
+    fn topdown_fractions_sum_to_one() {
+        let c = PerfCounters {
+            slots_retiring: 40,
+            slots_frontend: 30,
+            slots_bad_speculation: 10,
+            slots_backend: 20,
+            ..Default::default()
+        };
+        let t = c.topdown();
+        let sum = t.retiring + t.frontend + t.bad_speculation + t.backend;
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((t.retiring - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_and_sub_are_inverse() {
+        let a = PerfCounters { cycles: 10, instructions: 5, ..Default::default() };
+        let b = PerfCounters { cycles: 3, instructions: 2, ..Default::default() };
+        let s = a + b;
+        assert_eq!(s.cycles, 13);
+        let back = s - b;
+        assert_eq!(back, a);
+    }
+}

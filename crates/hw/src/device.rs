@@ -1,0 +1,277 @@
+//! Storage and network device models.
+//!
+//! Both devices are FIFO queueing servers over simulated time: a request
+//! occupies the device for a service time (fixed per-request overhead plus
+//! a size-proportional transfer term) and completes when the queue drains
+//! to it. This reproduces the two behaviours the paper depends on: long
+//! queueing delays at saturation (§3.3.4) and the SSD-vs-HDD latency gap
+//! that dominates MongoDB's cross-platform results (§6.2.2).
+
+use ditto_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Storage device kind, setting per-request overhead and bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiskKind {
+    /// NVMe/SATA SSD: low random-access latency.
+    Ssd,
+    /// Spinning disk: seek + rotational latency per random request.
+    Hdd,
+}
+
+/// Parameters of a storage device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskSpec {
+    /// Kind (reported in Table 1).
+    pub kind: DiskKind,
+    /// Fixed per-request access latency.
+    pub access: SimDuration,
+    /// Sustained transfer bandwidth, bytes per second.
+    pub bandwidth_bps: u64,
+}
+
+impl DiskSpec {
+    /// A 1 TB-class SATA/NVMe SSD.
+    pub fn ssd() -> Self {
+        DiskSpec {
+            kind: DiskKind::Ssd,
+            access: SimDuration::from_micros(80),
+            bandwidth_bps: 500_000_000,
+        }
+    }
+
+    /// A 7200 RPM hard disk.
+    pub fn hdd() -> Self {
+        DiskSpec {
+            kind: DiskKind::Hdd,
+            access: SimDuration::from_millis(6),
+            bandwidth_bps: 150_000_000,
+        }
+    }
+}
+
+/// Cumulative device statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Requests served.
+    pub requests: u64,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Total busy time.
+    pub busy: SimDuration,
+}
+
+impl DeviceStats {
+    /// Mean bandwidth over `window`, in bytes per second.
+    pub fn bandwidth_over(&self, window: SimDuration) -> f64 {
+        let s = window.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / s
+        }
+    }
+
+    /// Utilization over `window`, in `[0, 1]` (can exceed 1 transiently if
+    /// the queue extends past the window's end).
+    pub fn utilization_over(&self, window: SimDuration) -> f64 {
+        let s = window.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / s
+        }
+    }
+}
+
+/// A FIFO queueing disk.
+#[derive(Debug, Clone)]
+pub struct Disk {
+    spec: DiskSpec,
+    busy_until: SimTime,
+    stats: DeviceStats,
+}
+
+impl Disk {
+    /// Creates an idle disk.
+    pub fn new(spec: DiskSpec) -> Self {
+        Disk { spec, busy_until: SimTime::ZERO, stats: DeviceStats::default() }
+    }
+
+    /// The spec.
+    pub fn spec(&self) -> DiskSpec {
+        self.spec
+    }
+
+    /// Submits a `bytes`-sized transfer at `now`; returns its completion
+    /// time (after queueing plus service).
+    pub fn submit(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let service = self.spec.access
+            + SimDuration::from_secs_f64(bytes as f64 / self.spec.bandwidth_bps as f64);
+        let start = self.busy_until.max(now);
+        self.busy_until = start + service;
+        self.stats.requests += 1;
+        self.stats.bytes += bytes;
+        self.stats.busy += service;
+        self.busy_until
+    }
+
+    /// When the device queue drains.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Zeroes the statistics (measurement-window boundaries).
+    pub fn reset_stats(&mut self) {
+        self.stats = DeviceStats::default();
+    }
+}
+
+/// Parameters of a network interface.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NicSpec {
+    /// Link bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way wire + switch latency per packet.
+    pub link_latency: SimDuration,
+}
+
+impl NicSpec {
+    /// A 10 GbE NIC.
+    pub fn gbe10() -> Self {
+        NicSpec { bandwidth_bps: 10_000_000_000, link_latency: SimDuration::from_micros(10) }
+    }
+
+    /// A 1 GbE NIC.
+    pub fn gbe1() -> Self {
+        NicSpec { bandwidth_bps: 1_000_000_000, link_latency: SimDuration::from_micros(20) }
+    }
+}
+
+/// A NIC transmit queue: serialization delay at link bandwidth plus link
+/// latency. Receive-side queueing is negligible by comparison and folded
+/// into the kernel's protocol-processing cost.
+#[derive(Debug, Clone)]
+pub struct Nic {
+    spec: NicSpec,
+    tx_busy_until: SimTime,
+    stats: DeviceStats,
+}
+
+impl Nic {
+    /// Creates an idle NIC.
+    pub fn new(spec: NicSpec) -> Self {
+        Nic { spec, tx_busy_until: SimTime::ZERO, stats: DeviceStats::default() }
+    }
+
+    /// The spec.
+    pub fn spec(&self) -> NicSpec {
+        self.spec
+    }
+
+    /// Transmits `bytes` at `now`; returns the time the last bit arrives
+    /// at the far end.
+    pub fn transmit(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let serialization =
+            SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.spec.bandwidth_bps as f64);
+        let start = self.tx_busy_until.max(now);
+        self.tx_busy_until = start + serialization;
+        self.stats.requests += 1;
+        self.stats.bytes += bytes;
+        self.stats.busy += serialization;
+        self.tx_busy_until + self.spec.link_latency
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Zeroes the statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = DeviceStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssd_beats_hdd_on_random_access() {
+        let mut ssd = Disk::new(DiskSpec::ssd());
+        let mut hdd = Disk::new(DiskSpec::hdd());
+        let t0 = SimTime::ZERO;
+        let ssd_done = ssd.submit(t0, 4096);
+        let hdd_done = hdd.submit(t0, 4096);
+        assert!(hdd_done.as_nanos() > ssd_done.as_nanos() * 10);
+    }
+
+    #[test]
+    fn disk_queueing_serialises_requests() {
+        let mut d = Disk::new(DiskSpec::ssd());
+        let t0 = SimTime::ZERO;
+        let c1 = d.submit(t0, 1_000_000);
+        let c2 = d.submit(t0, 1_000_000);
+        assert!(c2 > c1);
+        assert_eq!((c2 - c1).as_nanos(), (c1 - t0).as_nanos());
+    }
+
+    #[test]
+    fn idle_disk_starts_immediately() {
+        let mut d = Disk::new(DiskSpec::ssd());
+        let later = SimTime::from_nanos(1_000_000_000);
+        let done = d.submit(later, 0);
+        assert_eq!((done - later).as_nanos(), DiskSpec::ssd().access.as_nanos());
+    }
+
+    #[test]
+    fn disk_stats_accumulate() {
+        let mut d = Disk::new(DiskSpec::ssd());
+        d.submit(SimTime::ZERO, 1000);
+        d.submit(SimTime::ZERO, 2000);
+        let s = d.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.bytes, 3000);
+        d.reset_stats();
+        assert_eq!(d.stats().requests, 0);
+    }
+
+    #[test]
+    fn nic_serialization_scales_with_bandwidth() {
+        let mut fast = Nic::new(NicSpec::gbe10());
+        let mut slow = Nic::new(NicSpec::gbe1());
+        let bytes = 1_250_000; // 10 Mbit
+        let f = fast.transmit(SimTime::ZERO, bytes);
+        let s = slow.transmit(SimTime::ZERO, bytes);
+        // 10x bandwidth → ~10x less serialization (latencies differ slightly).
+        let f_ser = f.as_nanos() - NicSpec::gbe10().link_latency.as_nanos();
+        let s_ser = s.as_nanos() - NicSpec::gbe1().link_latency.as_nanos();
+        assert!((s_ser as f64 / f_ser as f64 - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn nic_saturation_queues() {
+        let mut n = Nic::new(NicSpec::gbe1());
+        let t0 = SimTime::ZERO;
+        let mut last = SimTime::ZERO;
+        for _ in 0..10 {
+            last = n.transmit(t0, 1_250_000); // 10 ms each at 1 Gb/s
+        }
+        assert!(last.as_secs_f64() > 0.09, "ten 10ms transmissions must queue");
+    }
+
+    #[test]
+    fn bandwidth_over_window() {
+        let mut n = Nic::new(NicSpec::gbe10());
+        n.transmit(SimTime::ZERO, 1_000_000);
+        let bw = n.stats().bandwidth_over(SimDuration::from_secs(1));
+        assert!((bw - 1_000_000.0).abs() < 1.0);
+        assert_eq!(n.stats().bandwidth_over(SimDuration::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,499 @@
+//! The program representation shared by original applications and clones.
+//!
+//! Following the paper's generated-code structure (Figure 3, right), a
+//! program is a sequence of [`CodeBlock`]s, each executed for a number of
+//! loop iterations. Blocks contain explicit [`Instr`]uctions with operand
+//! registers, optional memory references and optional conditional-branch
+//! behaviour. The same representation serves both sides of the experiment:
+//! `ditto-app` materialises "original" services into it, and `ditto-core`
+//! emits synthetic clones into it.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Dynamic instruction class, mirroring the paper's clustering of x86
+/// iforms by functionality, operands, and ALU usage (§4.4.2).
+///
+/// Per-class issue latencies and port widths live in
+/// [`ClassTiming`](crate::isa::ClassTiming).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum InstrClass {
+    /// Simple integer ALU op (`add`, `sub`, `xor`, `test`, …): 1 cycle, any port.
+    IntAlu,
+    /// Integer multiply: 3 cycles, single port.
+    IntMul,
+    /// Integer divide: long latency, unpipelined.
+    IntDiv,
+    /// Scalar floating point: 4 cycles.
+    Float,
+    /// SIMD / vector op: 1-2 cycles, restricted ports.
+    Simd,
+    /// Memory load (always carries a [`MemRef`]).
+    Load,
+    /// Memory store (always carries a [`MemRef`]).
+    Store,
+    /// Register-to-register move / lea.
+    Mov,
+    /// Conditional branch (carries a branch behaviour index).
+    CondBranch,
+    /// Unconditional jump / call / ret.
+    Jump,
+    /// Long-latency single-port op (`crc32`-like, §4.4.2's example).
+    LongLatency,
+    /// `lock`-prefixed atomic RMW: tens of cycles.
+    LockPrefixed,
+    /// `rep`-prefixed string op; cost scales with the repeat count stored
+    /// in the instruction's `imm` field.
+    RepString,
+    /// No-op / fence-like filler.
+    Nop,
+}
+
+impl InstrClass {
+    /// All classes, in a stable order (used for histograms).
+    pub const ALL: [InstrClass; 14] = [
+        InstrClass::IntAlu,
+        InstrClass::IntMul,
+        InstrClass::IntDiv,
+        InstrClass::Float,
+        InstrClass::Simd,
+        InstrClass::Load,
+        InstrClass::Store,
+        InstrClass::Mov,
+        InstrClass::CondBranch,
+        InstrClass::Jump,
+        InstrClass::LongLatency,
+        InstrClass::LockPrefixed,
+        InstrClass::RepString,
+        InstrClass::Nop,
+    ];
+
+    /// Stable index into [`InstrClass::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Class for a stable index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= InstrClass::ALL.len()`.
+    pub fn from_index(i: usize) -> InstrClass {
+        Self::ALL[i]
+    }
+
+    /// Whether instructions of this class access data memory.
+    pub fn is_memory(self) -> bool {
+        matches!(self, InstrClass::Load | InstrClass::Store | InstrClass::LockPrefixed | InstrClass::RepString)
+    }
+
+    /// Whether this is a control-flow instruction.
+    pub fn is_control(self) -> bool {
+        matches!(self, InstrClass::CondBranch | InstrClass::Jump)
+    }
+}
+
+impl std::fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            InstrClass::IntAlu => "int_alu",
+            InstrClass::IntMul => "int_mul",
+            InstrClass::IntDiv => "int_div",
+            InstrClass::Float => "float",
+            InstrClass::Simd => "simd",
+            InstrClass::Load => "load",
+            InstrClass::Store => "store",
+            InstrClass::Mov => "mov",
+            InstrClass::CondBranch => "cond_branch",
+            InstrClass::Jump => "jump",
+            InstrClass::LongLatency => "long_latency",
+            InstrClass::LockPrefixed => "lock",
+            InstrClass::RepString => "rep_string",
+            InstrClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Issue latency and throughput characteristics of an instruction class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassTiming {
+    /// Result latency in cycles (producer → consumer).
+    pub latency: u32,
+    /// How many of these can issue per cycle (port pressure proxy).
+    pub per_cycle: u32,
+}
+
+impl InstrClass {
+    /// Nominal Skylake-like timing for this class.
+    pub fn timing(self) -> ClassTiming {
+        match self {
+            InstrClass::IntAlu => ClassTiming { latency: 1, per_cycle: 4 },
+            InstrClass::IntMul => ClassTiming { latency: 3, per_cycle: 1 },
+            InstrClass::IntDiv => ClassTiming { latency: 24, per_cycle: 1 },
+            InstrClass::Float => ClassTiming { latency: 4, per_cycle: 2 },
+            InstrClass::Simd => ClassTiming { latency: 2, per_cycle: 2 },
+            InstrClass::Load => ClassTiming { latency: 4, per_cycle: 2 }, // + cache penalty
+            InstrClass::Store => ClassTiming { latency: 1, per_cycle: 1 },
+            InstrClass::Mov => ClassTiming { latency: 1, per_cycle: 4 },
+            InstrClass::CondBranch => ClassTiming { latency: 1, per_cycle: 1 },
+            InstrClass::Jump => ClassTiming { latency: 1, per_cycle: 1 },
+            InstrClass::LongLatency => ClassTiming { latency: 3, per_cycle: 1 },
+            InstrClass::LockPrefixed => ClassTiming { latency: 20, per_cycle: 1 },
+            InstrClass::RepString => ClassTiming { latency: 1, per_cycle: 1 }, // per element
+            InstrClass::Nop => ClassTiming { latency: 1, per_cycle: 4 },
+        }
+    }
+}
+
+/// An architectural register id. 0–15 model general-purpose registers,
+/// 16–31 SIMD registers; [`Reg::NONE`] marks an absent operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Sentinel for "no register".
+    pub const NONE: Reg = Reg(u8::MAX);
+    /// Number of modelled architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Whether this is a real register (not [`Reg::NONE`]).
+    pub fn is_some(self) -> bool {
+        self != Reg::NONE
+    }
+}
+
+/// A data-memory reference: a region handle plus an offset, resolved to a
+/// flat address at execution time via a [`MemoryMap`](crate::core_model::MemoryMap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Which memory region (heap array, file buffer, …) this access targets.
+    pub region: u32,
+    /// Byte offset within the region.
+    pub offset: u32,
+    /// Per-loop-iteration stride added to the offset (the generated code's
+    /// `[r10 + OFFSET]` with an advancing base register, §4.4.4).
+    pub stride: u32,
+    /// Wrap mask applied to the strided part, confining the walk to a
+    /// power-of-two working-set window. Zero means a fixed address.
+    pub window_mask: u32,
+    /// Whether the access writes.
+    pub write: bool,
+    /// Whether the line is shared between threads (drives coherence misses).
+    pub shared: bool,
+    /// Pointer-chasing access: the loaded value feeds the next chased
+    /// address, serialising outstanding misses (MLP = 1). See §4.4.6.
+    pub chased: bool,
+}
+
+impl MemRef {
+    /// A private read at `(region, offset)`.
+    pub fn read(region: u32, offset: u32) -> Self {
+        MemRef { region, offset, stride: 0, window_mask: 0, write: false, shared: false, chased: false }
+    }
+
+    /// A private write at `(region, offset)`.
+    pub fn write(region: u32, offset: u32) -> Self {
+        MemRef { region, offset, stride: 0, window_mask: 0, write: true, shared: false, chased: false }
+    }
+
+    /// The effective offset on loop iteration `iter`.
+    pub fn offset_at(&self, iter: u32) -> u32 {
+        if self.window_mask == 0 {
+            self.offset
+        } else {
+            (self.offset.wrapping_add(iter.wrapping_mul(self.stride))) & self.window_mask
+        }
+    }
+}
+
+/// Stochastic conditional-branch behaviour, parameterised the way the paper
+/// profiles and regenerates branches (§4.4.3): a stationary taken rate and
+/// a transition rate (probability the outcome flips between consecutive
+/// executions).
+///
+/// Ditto's generated code realises these rates with a `test reg, BITMASK` /
+/// `jz` pair whose mask has `M` high ones and `N` low zeros; behaviourally
+/// this is the two-state Markov process modelled here, which is what the
+/// branch predictor actually observes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BranchBehavior {
+    /// Stationary probability the branch is taken, in `[0, 1]`.
+    pub taken_rate: f64,
+    /// Probability the outcome differs from the previous execution.
+    pub transition_rate: f64,
+}
+
+impl BranchBehavior {
+    /// Creates a behaviour, clamping both rates into `[0, 1]` and the
+    /// transition rate into the feasible region for the taken rate.
+    pub fn new(taken_rate: f64, transition_rate: f64) -> Self {
+        let p = taken_rate.clamp(0.0, 1.0);
+        // Feasibility: a two-state chain with stationary p supports
+        // transition rates up to 2*min(p, 1-p).
+        let tmax = 2.0 * p.min(1.0 - p);
+        let t = transition_rate.clamp(0.0, tmax.max(0.0));
+        BranchBehavior { taken_rate: p, transition_rate: t }
+    }
+
+    /// Markov flip probabilities `(p_taken_to_not, p_not_to_taken)`.
+    ///
+    /// Solves `p = b/(a+b)`, `t = 2ab/(a+b)` for `(a, b)`.
+    pub fn flip_probs(self) -> (f64, f64) {
+        let p = self.taken_rate;
+        let t = self.transition_rate;
+        if p <= 0.0 {
+            return (1.0, 0.0);
+        }
+        if p >= 1.0 {
+            return (0.0, 1.0);
+        }
+        if t <= 0.0 {
+            return (0.0, 0.0);
+        }
+        (t / (2.0 * p), t / (2.0 * (1.0 - p)))
+    }
+}
+
+/// One instruction. Compact on purpose: the timing model retires hundreds
+/// of millions of these per experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Instr {
+    /// Functional class.
+    pub class: InstrClass,
+    /// Destination register ([`Reg::NONE`] if none).
+    pub dst: Reg,
+    /// First source register ([`Reg::NONE`] if none).
+    pub src1: Reg,
+    /// Second source register ([`Reg::NONE`] if none).
+    pub src2: Reg,
+    /// Data-memory operand.
+    pub mem: Option<MemRef>,
+    /// Index into the owning block's branch table for [`InstrClass::CondBranch`].
+    pub branch: Option<u16>,
+    /// Immediate: the repeat count for [`InstrClass::RepString`], unused otherwise.
+    pub imm: u32,
+}
+
+impl Instr {
+    /// A pure ALU instruction `dst = src1 op src2`.
+    pub fn alu(class: InstrClass, dst: Reg, src1: Reg, src2: Reg) -> Self {
+        Instr { class, dst, src1, src2, mem: None, branch: None, imm: 0 }
+    }
+
+    /// A load `dst = [mem]`.
+    pub fn load(dst: Reg, mem: MemRef) -> Self {
+        Instr {
+            class: InstrClass::Load,
+            dst,
+            src1: Reg::NONE,
+            src2: Reg::NONE,
+            mem: Some(MemRef { write: false, ..mem }),
+            branch: None,
+            imm: 0,
+        }
+    }
+
+    /// A store `[mem] = src1`.
+    pub fn store(src1: Reg, mem: MemRef) -> Self {
+        Instr {
+            class: InstrClass::Store,
+            dst: Reg::NONE,
+            src1,
+            src2: Reg::NONE,
+            mem: Some(MemRef { write: true, ..mem }),
+            branch: None,
+            imm: 0,
+        }
+    }
+
+    /// A conditional branch with behaviour `behavior_idx` in the block table.
+    pub fn cond_branch(behavior_idx: u16) -> Self {
+        Instr {
+            class: InstrClass::CondBranch,
+            dst: Reg::NONE,
+            src1: Reg::NONE,
+            src2: Reg::NONE,
+            mem: None,
+            branch: Some(behavior_idx),
+            imm: 0,
+        }
+    }
+}
+
+/// A static basic-block-like unit: a straight-line instruction sequence
+/// with a branch-behaviour table, placed at `base_pc` in the binary's
+/// instruction address space (4 bytes per instruction, as assumed by the
+/// paper's Equation 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CodeBlock {
+    /// Starting instruction address.
+    pub base_pc: u64,
+    /// The instructions.
+    pub instrs: Vec<Instr>,
+    /// Branch behaviours referenced by [`Instr::branch`].
+    pub branches: Vec<BranchBehavior>,
+}
+
+impl CodeBlock {
+    /// Creates a block at `base_pc`.
+    pub fn new(base_pc: u64) -> Self {
+        CodeBlock { base_pc, instrs: Vec::new(), branches: Vec::new() }
+    }
+
+    /// Code footprint in bytes (4 bytes per instruction).
+    pub fn code_bytes(&self) -> u64 {
+        self.instrs.len() as u64 * 4
+    }
+
+    /// Registers a branch behaviour and returns its table index.
+    pub fn add_branch(&mut self, b: BranchBehavior) -> u16 {
+        let idx = self.branches.len() as u16;
+        self.branches.push(b);
+        idx
+    }
+}
+
+/// One run of a block: execute its instruction sequence `iterations` times.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockRun {
+    /// The code.
+    pub block: Arc<CodeBlock>,
+    /// Loop trip count.
+    pub iterations: u32,
+    /// Starting phase of the working-set walk: strided memory operands
+    /// resolve as if `phase` loop iterations had already happened, so
+    /// successive invocations continue advancing through their windows
+    /// (the generated code's persistent base register).
+    pub phase: u32,
+}
+
+/// A program: an ordered list of block runs. This is the executable body of
+/// a request handler (original or synthetic).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Blocks executed in order.
+    pub runs: Vec<BlockRun>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Appends a run of `block` for `iterations` iterations.
+    pub fn push(&mut self, block: Arc<CodeBlock>, iterations: u32) {
+        self.runs.push(BlockRun { block, iterations, phase: 0 });
+    }
+
+    /// Appends a run starting its working-set walk at `phase`.
+    pub fn push_with_phase(&mut self, block: Arc<CodeBlock>, iterations: u32, phase: u32) {
+        self.runs.push(BlockRun { block, iterations, phase });
+    }
+
+    /// Total dynamic instruction count (`rep` counts excluded; each
+    /// `RepString` instruction retires once but costs `imm` cycles).
+    pub fn dynamic_instructions(&self) -> u64 {
+        self.runs
+            .iter()
+            .map(|r| r.block.instrs.len() as u64 * u64::from(r.iterations))
+            .sum()
+    }
+
+    /// Total static code footprint in bytes across distinct blocks.
+    pub fn static_code_bytes(&self) -> u64 {
+        // Blocks may be shared between runs; count each base_pc once.
+        self.runs
+            .iter()
+            .map(|r| (r.block.base_pc, r.block.code_bytes()))
+            .collect::<std::collections::BTreeMap<_, _>>()
+            .values()
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_index_roundtrip() {
+        for (i, c) in InstrClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(InstrClass::from_index(i), *c);
+        }
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(InstrClass::Load.is_memory());
+        assert!(InstrClass::Store.is_memory());
+        assert!(!InstrClass::IntAlu.is_memory());
+        assert!(InstrClass::CondBranch.is_control());
+        assert!(!InstrClass::Mov.is_control());
+    }
+
+    #[test]
+    fn branch_behavior_clamps_to_feasible() {
+        let b = BranchBehavior::new(0.1, 0.9);
+        assert!(b.transition_rate <= 0.2 + 1e-12);
+        let b2 = BranchBehavior::new(1.5, 0.5);
+        assert_eq!(b2.taken_rate, 1.0);
+        assert_eq!(b2.transition_rate, 0.0);
+    }
+
+    #[test]
+    fn flip_probs_solve_stationary_equations() {
+        let b = BranchBehavior::new(0.25, 0.2);
+        let (a, bb) = b.flip_probs();
+        // stationary taken = b/(a+b)
+        let p = bb / (a + bb);
+        let t = 2.0 * a * bb / (a + bb);
+        assert!((p - 0.25).abs() < 1e-12);
+        assert!((t - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flip_probs_degenerate() {
+        assert_eq!(BranchBehavior::new(0.0, 0.0).flip_probs(), (1.0, 0.0));
+        assert_eq!(BranchBehavior::new(1.0, 0.0).flip_probs(), (0.0, 1.0));
+        assert_eq!(BranchBehavior::new(0.5, 0.0).flip_probs(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn program_counts_dynamic_instructions() {
+        let mut block = CodeBlock::new(0x1000);
+        block.instrs.push(Instr::alu(InstrClass::IntAlu, Reg(0), Reg(1), Reg(2)));
+        block.instrs.push(Instr::alu(InstrClass::IntAlu, Reg(1), Reg(0), Reg(2)));
+        let block = Arc::new(block);
+        let mut p = Program::new();
+        p.push(block.clone(), 10);
+        p.push(block, 5);
+        assert_eq!(p.dynamic_instructions(), 30);
+        assert_eq!(p.static_code_bytes(), 8);
+    }
+
+    #[test]
+    fn block_branch_table() {
+        let mut b = CodeBlock::new(0);
+        let i = b.add_branch(BranchBehavior::new(0.5, 0.5));
+        assert_eq!(i, 0);
+        let j = b.add_branch(BranchBehavior::new(0.25, 0.1));
+        assert_eq!(j, 1);
+        assert_eq!(b.branches.len(), 2);
+    }
+
+    #[test]
+    fn instr_constructors() {
+        let ld = Instr::load(Reg(3), MemRef::read(1, 64));
+        assert_eq!(ld.class, InstrClass::Load);
+        assert!(!ld.mem.unwrap().write);
+        let st = Instr::store(Reg(4), MemRef::write(1, 128));
+        assert!(st.mem.unwrap().write);
+        let br = Instr::cond_branch(7);
+        assert_eq!(br.branch, Some(7));
+    }
+}

@@ -1,0 +1,29 @@
+//! Hardware timing models for the Ditto reproduction.
+//!
+//! This crate is the simulated replacement for the paper's physical
+//! testbed (Table 1). It models, at instruction granularity:
+//!
+//! - the ISA-level program representation shared by original applications
+//!   and synthetic clones ([`isa`]),
+//! - set-associative caches with LRU replacement, an inclusive shared LLC
+//!   and invalidation-based coherence ([`cache`]),
+//! - a gshare + BTB branch predictor ([`branch`]),
+//! - a scoreboard CPU timing model with issue width, ROB window, and
+//!   four-slot top-down cycle accounting ([`core_model`]),
+//! - disk (SSD/HDD) and NIC device models ([`device`]),
+//! - per-core performance counters ([`counters`]), and
+//! - platform specifications reproducing Table 1 ([`platform`]).
+
+pub mod branch;
+pub mod cache;
+pub mod codegen;
+pub mod core_model;
+pub mod counters;
+pub mod device;
+pub mod isa;
+pub mod platform;
+
+pub use core_model::{Core, ExecResult, MemoryMap};
+pub use counters::PerfCounters;
+pub use isa::{BlockRun, BranchBehavior, CodeBlock, Instr, InstrClass, MemRef, Program, Reg};
+pub use platform::PlatformSpec;

@@ -1,0 +1,175 @@
+//! Platform specifications reproducing Table 1.
+//!
+//! The three validation platforms differ in core count, frequency,
+//! microarchitecture generation (issue width / ROB / penalties), cache
+//! geometry, memory speed, storage and network — every axis the paper's
+//! cross-platform experiment (Figure 7) exercises.
+
+use serde::{Deserialize, Serialize};
+
+use crate::branch::BranchPredictorSpec;
+use crate::cache::{CacheSpec, MemLatencies, MemorySystem};
+use crate::core_model::CoreSpec;
+use crate::device::{DiskSpec, NicSpec};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// Full description of one server platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Human-readable name ("A", "B", "C").
+    pub name: String,
+    /// CPU model string as in Table 1.
+    pub cpu_model: String,
+    /// Microarchitecture family name.
+    pub family: String,
+    /// Physical cores (per machine; the paper's dual-socket counts are
+    /// folded into one shared-LLC domain, which is the granularity our
+    /// coherence model needs).
+    pub cores: usize,
+    /// Whether SMT (2 logical threads per core) is available.
+    pub smt: bool,
+    /// Per-core microarchitectural parameters.
+    pub core: CoreSpec,
+    /// Branch prediction structures.
+    pub branch: BranchPredictorSpec,
+    /// L1 instruction cache.
+    pub l1i: CacheSpec,
+    /// L1 data cache.
+    pub l1d: CacheSpec,
+    /// Private L2.
+    pub l2: CacheSpec,
+    /// Shared LLC.
+    pub llc: CacheSpec,
+    /// Cache/memory latencies in cycles.
+    pub latencies: MemLatencies,
+    /// RAM capacity in bytes (bounds the page cache).
+    pub ram_bytes: u64,
+    /// Storage device.
+    pub disk: DiskSpec,
+    /// Network interface.
+    pub nic: NicSpec,
+}
+
+impl PlatformSpec {
+    /// Platform A: 2× Xeon Gold 6152 (Skylake), 22 cores/socket @ 2.10 GHz,
+    /// 32K/32K L1, 1 MB L2, 30.25 MB LLC, 192 GB DDR4-2666, SSD, 10 GbE.
+    pub fn a() -> Self {
+        PlatformSpec {
+            name: "A".into(),
+            cpu_model: "Gold 6152".into(),
+            family: "Skylake".into(),
+            cores: 22,
+            smt: true,
+            core: CoreSpec { freq_ghz: 2.10, issue_width: 4, rob: 224, mispredict_penalty: 15 },
+            branch: BranchPredictorSpec { pht_bits: 14, history_bits: 12, btb_entries: 4096 },
+            l1i: CacheSpec::new(32 * KB, 8, 0),
+            l1d: CacheSpec::new(32 * KB, 8, 0),
+            l2: CacheSpec::new(MB, 16, 12),
+            // 30.25 MB rounded to a power-of-two set count: 32 MB, 16-way.
+            llc: CacheSpec::new(32 * MB, 16, 44),
+            latencies: MemLatencies { l2: 12, l3: 44, mem: 190 }, // ~90 ns @ 2.1 GHz
+            ram_bytes: 192 * 1024 * MB,
+            disk: DiskSpec::ssd(),
+            nic: NicSpec::gbe10(),
+        }
+    }
+
+    /// Platform B: 2× Xeon E5-2660 v3 (Haswell), 10 cores/socket @ 2.60 GHz,
+    /// 32K/32K L1, 256 KB L2, 25 MB LLC, 128 GB DDR4-2400, HDD, 1 GbE.
+    pub fn b() -> Self {
+        PlatformSpec {
+            name: "B".into(),
+            cpu_model: "E5-2660 v3".into(),
+            family: "Haswell".into(),
+            cores: 10,
+            smt: true,
+            core: CoreSpec { freq_ghz: 2.60, issue_width: 4, rob: 192, mispredict_penalty: 16 },
+            branch: BranchPredictorSpec { pht_bits: 13, history_bits: 11, btb_entries: 2048 },
+            l1i: CacheSpec::new(32 * KB, 8, 0),
+            l1d: CacheSpec::new(32 * KB, 8, 0),
+            l2: CacheSpec::new(256 * KB, 8, 12),
+            // 25 MB → 16 MB power-of-two geometry, 16-way.
+            llc: CacheSpec::new(16 * MB, 16, 40),
+            latencies: MemLatencies { l2: 12, l3: 40, mem: 240 }, // slower DRAM, higher clock
+            ram_bytes: 128 * 1024 * MB,
+            disk: DiskSpec::hdd(),
+            nic: NicSpec::gbe1(),
+        }
+    }
+
+    /// Platform C: 1× Xeon E3-1240 v5 (Skylake), 4 cores @ 3.50 GHz,
+    /// 32K/32K L1, 256 KB L2, 8 MB LLC, 32 GB DDR4-2133, HDD, 1 GbE.
+    pub fn c() -> Self {
+        PlatformSpec {
+            name: "C".into(),
+            cpu_model: "E3-1240 v5".into(),
+            family: "Skylake".into(),
+            cores: 4,
+            smt: true,
+            core: CoreSpec { freq_ghz: 3.50, issue_width: 4, rob: 224, mispredict_penalty: 15 },
+            branch: BranchPredictorSpec { pht_bits: 14, history_bits: 12, btb_entries: 4096 },
+            l1i: CacheSpec::new(32 * KB, 8, 0),
+            l1d: CacheSpec::new(32 * KB, 8, 0),
+            l2: CacheSpec::new(256 * KB, 8, 12),
+            llc: CacheSpec::new(8 * MB, 16, 38),
+            latencies: MemLatencies { l2: 12, l3: 38, mem: 320 }, // DDR4-2133 @ 3.5 GHz
+            ram_bytes: 32 * 1024 * MB,
+            disk: DiskSpec::hdd(),
+            nic: NicSpec::gbe1(),
+        }
+    }
+
+    /// All three platforms in Table 1 order.
+    pub fn table1() -> [PlatformSpec; 3] {
+        [Self::a(), Self::b(), Self::c()]
+    }
+
+    /// Builds the cache hierarchy described by this spec.
+    pub fn build_memory_system(&self) -> MemorySystem {
+        MemorySystem::new(self.cores, self.l1i, self.l1d, self.l2, self.llc, self.latencies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_headline_numbers() {
+        let a = PlatformSpec::a();
+        assert_eq!(a.cores, 22);
+        assert!((a.core.freq_ghz - 2.10).abs() < 1e-9);
+        assert_eq!(a.l2.size, MB);
+        assert_eq!(a.disk.kind, crate::device::DiskKind::Ssd);
+        assert_eq!(a.nic.bandwidth_bps, 10_000_000_000);
+
+        let b = PlatformSpec::b();
+        assert_eq!(b.cores, 10);
+        assert_eq!(b.l2.size, 256 * KB);
+        assert_eq!(b.family, "Haswell");
+        assert_eq!(b.disk.kind, crate::device::DiskKind::Hdd);
+
+        let c = PlatformSpec::c();
+        assert_eq!(c.cores, 4);
+        assert!((c.core.freq_ghz - 3.50).abs() < 1e-9);
+        assert_eq!(c.llc.size, 8 * MB);
+    }
+
+    #[test]
+    fn smaller_l2_on_b_and_c() {
+        let [a, b, c] = PlatformSpec::table1();
+        assert!(b.l2.size < a.l2.size);
+        assert!(c.l2.size < a.l2.size);
+        assert!(c.llc.size < b.llc.size);
+    }
+
+    #[test]
+    fn memory_systems_build() {
+        for p in PlatformSpec::table1() {
+            let m = p.build_memory_system();
+            assert_eq!(m.cores(), p.cores);
+        }
+    }
+}

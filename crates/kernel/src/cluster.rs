@@ -1,0 +1,867 @@
+//! The cluster: machines, the network fabric, and the event loop.
+//!
+//! Scheduling uses a run-to-block slice executor: when a thread is
+//! dispatched onto a logical CPU, its actions are simulated synchronously
+//! (compute on the core model, syscalls through the kernel paths) until it
+//! blocks, exits, or exhausts its quantum; the CPU is then busy until the
+//! accumulated local time, and side effects (message deliveries, disk
+//! completions, timer wakes) were emitted as future events along the way.
+
+use ditto_hw::platform::PlatformSpec;
+use ditto_sim::engine::EventQueue;
+use ditto_sim::time::{SimDuration, SimTime};
+
+use crate::ids::{ConnId, Fd, NodeId, Pid, Tid};
+use crate::machine::{BlockReason, FdObj, ListenerState, Machine, Thread};
+use crate::probe::{SyscallRecord, ThreadEvent};
+use crate::thread::{Action, Errno, MsgMeta, Syscall, SysResult, ThreadBody, ThreadCtx};
+use crate::net::NetState;
+
+/// Events in the global queue.
+#[derive(Debug)]
+enum Event {
+    SliceDone { node: NodeId, cpu: usize },
+    DeliverMsg { conn: ConnId, end: usize, bytes: u64, meta: MsgMeta },
+    ConnArrive { node: NodeId, port: u16, conn: ConnId },
+    Wake { node: NodeId, tid: Tid, token: u64 },
+    DiskDone { node: NodeId, tid: Tid, token: u64 },
+}
+
+enum SliceOutcome {
+    Preempted,
+    Blocked,
+    Exited,
+}
+
+enum Flow {
+    Continue,
+    Blocked,
+    Yielded,
+}
+
+/// A cluster of simulated machines connected by a fabric.
+pub struct Cluster {
+    machines: Vec<Machine>,
+    net: NetState,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    /// One-way latency for same-machine (loopback) messages, covering
+    /// softirq and scheduling costs not charged as instructions.
+    pub loopback_latency: SimDuration,
+    seed: u64,
+    spawn_counter: u64,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("machines", &self.machines.len())
+            .field("now", &self.now)
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Builds a cluster with one machine per spec.
+    pub fn new(specs: Vec<PlatformSpec>, seed: u64) -> Self {
+        let machines = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Machine::new(NodeId(i as u32), s, seed ^ (i as u64).wrapping_mul(0x9E37)))
+            .collect();
+        Cluster {
+            machines,
+            net: NetState::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            loopback_latency: SimDuration::from_micros(15),
+            seed,
+            spawn_counter: 0,
+        }
+    }
+
+    /// A single-machine cluster.
+    pub fn single(spec: PlatformSpec, seed: u64) -> Self {
+        Cluster::new(vec![spec], seed)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the cluster has no machines.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Access to a machine.
+    pub fn machine(&self, node: NodeId) -> &Machine {
+        &self.machines[node.index()]
+    }
+
+    /// Mutable access to a machine.
+    pub fn machine_mut(&mut self, node: NodeId) -> &mut Machine {
+        &mut self.machines[node.index()]
+    }
+
+    /// Creates a process on `node`.
+    pub fn spawn_process(&mut self, node: NodeId) -> Pid {
+        self.machines[node.index()].spawn_process()
+    }
+
+    /// Creates a runnable thread and dispatches if a CPU is free.
+    pub fn spawn_thread(&mut self, node: NodeId, pid: Pid, body: Box<dyn ThreadBody>) -> Tid {
+        self.spawn_counter += 1;
+        let seed = self.seed ^ self.spawn_counter.wrapping_mul(0x517c_c1b7_2722_0a95);
+        let m = &mut self.machines[node.index()];
+        let tid = m.create_thread(pid, body, seed);
+        m.emit_thread_event(self.now, tid, ThreadEvent::Spawned { parent: None });
+        m.run_queue.push_back(tid);
+        self.try_dispatch(node);
+        tid
+    }
+
+    /// Runs the event loop until simulated time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(ev_time) = self.queue.peek_time() {
+            if ev_time > t {
+                break;
+            }
+            let (ev_time, ev) = self.queue.pop().expect("peeked");
+            self.now = self.now.max(ev_time);
+            self.handle(ev);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs for a duration from the current time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Whether any events remain.
+    pub fn has_pending_events(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::SliceDone { node, cpu } => {
+                let m = &mut self.machines[node.index()];
+                // The slice may have been superseded if the thread ran again;
+                // only clear if the busy window has elapsed.
+                if m.cpus[cpu].busy_until <= self.now {
+                    m.cpus[cpu].running = None;
+                }
+                self.try_dispatch(node);
+            }
+            Event::DeliverMsg { conn, end, bytes, meta } => {
+                let arrived = self.now;
+                let ep = &mut self.net.conn_mut(conn).ends[end];
+                ep.rx.push_back(crate::thread::Msg { bytes, meta, arrived });
+                let node = ep.node;
+                let waiter = ep.recv_waiter.take();
+                let notify = (ep.pid, ep.fd);
+                if let Some(tid) = waiter {
+                    let msg = self.net.conn_mut(conn).ends[end].rx.pop_front().expect("just pushed");
+                    self.wake_thread(node, tid, SysResult::Msg(msg));
+                } else if let (Some(pid), Some(fd)) = notify {
+                    self.notify_epoll(node, pid, fd);
+                }
+                self.try_dispatch(node);
+            }
+            Event::ConnArrive { node, port, conn } => {
+                let m = &mut self.machines[node.index()];
+                let Some(listener) = m.listeners.get_mut(&port) else {
+                    // Listener vanished: refuse.
+                    self.net.conn_mut(conn).ends[0].peer_closed = true;
+                    return;
+                };
+                let lpid = listener.pid;
+                let lfd = listener.fd;
+                if let Some(tid) = listener.waiting.pop_front() {
+                    let fd = {
+                        let p = m.process_mut(lpid);
+                        p.insert_fd(FdObj::Sock { conn, end: 1 })
+                    };
+                    let ep = &mut self.net.conn_mut(conn).ends[1];
+                    ep.pid = Some(lpid);
+                    ep.fd = Some(fd);
+                    self.wake_thread(node, tid, SysResult::Fd(fd));
+                } else {
+                    listener.pending.push_back(conn);
+                    self.notify_epoll(node, lpid, lfd);
+                }
+                self.try_dispatch(node);
+            }
+            Event::Wake { node, tid, token } => {
+                let m = &mut self.machines[node.index()];
+                let Some(thread) = m.threads.get_mut(tid.index()).and_then(|t| t.as_mut()) else {
+                    return;
+                };
+                let matches = matches!(&thread.block, Some((_, t)) if *t == token);
+                if !matches {
+                    return;
+                }
+                let (reason, _) = thread.block.take().expect("matched above");
+                let result = match reason {
+                    BlockReason::Sleep => SysResult::None,
+                    BlockReason::Epoll { ep } => {
+                        let pid = thread.pid;
+                        let p = m.process_mut(pid);
+                        p.epoll_waiters.remove(&ep);
+                        let watched = match p.fds.get(&ep) {
+                            Some(FdObj::Epoll { watched }) => watched.clone(),
+                            _ => Vec::new(),
+                        };
+                        let ready = self.ready_fds(node, pid, &watched);
+                        SysResult::Ready(ready)
+                    }
+                    _ => SysResult::None,
+                };
+                self.wake_thread(node, tid, result);
+                self.try_dispatch(node);
+            }
+            Event::DiskDone { node, tid, token } => {
+                let m = &mut self.machines[node.index()];
+                let Some(thread) = m.threads.get_mut(tid.index()).and_then(|t| t.as_mut()) else {
+                    return;
+                };
+                let bytes = match &thread.block {
+                    Some((BlockReason::Disk { bytes }, t)) if *t == token => *bytes,
+                    _ => return,
+                };
+                thread.block = None;
+                self.wake_thread(node, tid, SysResult::Bytes(bytes));
+                self.try_dispatch(node);
+            }
+        }
+    }
+
+    fn ready_fds(&self, node: NodeId, pid: Pid, watched: &[Fd]) -> Vec<Fd> {
+        let m = &self.machines[node.index()];
+        let p = m.process(pid);
+        let mut ready = Vec::new();
+        for &fd in watched {
+            match p.fds.get(&fd) {
+                Some(FdObj::Sock { conn, end }) => {
+                    if self.net.conn(*conn).ends[*end].readable() {
+                        ready.push(fd);
+                    }
+                }
+                Some(FdObj::Listener { port }) => {
+                    if m.listeners.get(port).is_some_and(|l| !l.pending.is_empty()) {
+                        ready.push(fd);
+                    }
+                }
+                _ => {}
+            }
+        }
+        ready
+    }
+
+    fn wake_thread(&mut self, node: NodeId, tid: Tid, result: SysResult) {
+        let m = &mut self.machines[node.index()];
+        if let Some(thread) = m.threads.get_mut(tid.index()).and_then(|t| t.as_mut()) {
+            thread.block = None;
+            thread.pending = result;
+            m.run_queue.push_back(tid);
+            m.emit_thread_event(self.now, tid, ThreadEvent::Woken);
+        }
+    }
+
+    fn notify_epoll(&mut self, node: NodeId, pid: Pid, fd: Fd) {
+        let eps: Vec<Fd> = {
+            let m = &self.machines[node.index()];
+            m.process(pid).watch_index.get(&fd).cloned().unwrap_or_default()
+        };
+        for ep in eps {
+            let waiter = {
+                let m = &mut self.machines[node.index()];
+                m.process_mut(pid).epoll_waiters.remove(&ep)
+            };
+            if let Some(tid) = waiter {
+                let watched = {
+                    let m = &self.machines[node.index()];
+                    match m.process(pid).fds.get(&ep) {
+                        Some(FdObj::Epoll { watched }) => watched.clone(),
+                        _ => Vec::new(),
+                    }
+                };
+                let ready = self.ready_fds(node, pid, &watched);
+                self.wake_thread(node, tid, SysResult::Ready(ready));
+            }
+        }
+    }
+
+    fn try_dispatch(&mut self, node: NodeId) {
+        loop {
+            let m = &mut self.machines[node.index()];
+            let Some(cpu) = m.pick_free_cpu() else { break };
+            let Some(tid) = m.run_queue.pop_front() else { break };
+            // Skip stale queue entries (exited or re-blocked threads).
+            let ok = m
+                .threads
+                .get(tid.index())
+                .and_then(|t| t.as_ref())
+                .map(|t| !t.exited && t.block.is_none())
+                .unwrap_or(false);
+            if !ok {
+                continue;
+            }
+            self.run_slice(node, cpu, tid);
+        }
+    }
+
+    fn run_slice(&mut self, node: NodeId, cpu: usize, tid: Tid) {
+        let start = self.now;
+        let ni = node.index();
+        let mut thread = match self.machines[ni].threads[tid.index()].take() {
+            Some(t) => t,
+            None => return,
+        };
+        let prev = self.machines[ni].cpus[cpu].last_thread;
+        self.machines[ni].cpus[cpu].running = Some(tid);
+        let quantum = self.machines[ni].quantum;
+        let mut t_local = start;
+
+        if prev != Some(tid) {
+            let m = &mut self.machines[ni];
+            let prog = m.kcode.context_switch_program(&mut thread.rng);
+            t_local += m.exec_on_cpu(cpu, &mut thread, &prog, true);
+            m.emit_context_switch(start, cpu, prev, tid);
+        }
+        self.machines[ni].emit_thread_event_detached(start, &thread, ThreadEvent::Dispatched { cpu });
+
+        let mut steps = 0u32;
+        let outcome = loop {
+            steps += 1;
+            // Guard against bodies that spin without consuming time.
+            if steps > 100_000 || t_local.saturating_since(start) >= quantum {
+                break SliceOutcome::Preempted;
+            }
+            let last = std::mem::take(&mut thread.pending);
+            let action = {
+                let mut ctx = ThreadCtx { now: t_local, last, rng: &mut thread.rng, tid };
+                thread.body.step(&mut ctx)
+            };
+            match action {
+                Action::Compute(prog) => {
+                    let m = &mut self.machines[ni];
+                    t_local += m.exec_on_cpu(cpu, &mut thread, &prog, false);
+                }
+                Action::Syscall(sc) => match self.do_syscall(node, cpu, &mut thread, sc, &mut t_local) {
+                    Flow::Continue => {}
+                    Flow::Blocked => break SliceOutcome::Blocked,
+                    Flow::Yielded => break SliceOutcome::Preempted,
+                },
+                Action::Exit => break SliceOutcome::Exited,
+            }
+        };
+
+        let m = &mut self.machines[ni];
+        m.cpus[cpu].busy_until = t_local;
+        m.cpus[cpu].last_thread = Some(tid);
+        match outcome {
+            SliceOutcome::Preempted => {
+                m.emit_thread_event_detached(t_local, &thread, ThreadEvent::Preempted);
+                m.run_queue.push_back(tid);
+            }
+            SliceOutcome::Blocked => {
+                m.emit_thread_event_detached(t_local, &thread, ThreadEvent::Blocked);
+            }
+            SliceOutcome::Exited => {
+                thread.exited = true;
+                m.processes[thread.pid.index()].live_threads -= 1;
+                m.emit_thread_event_detached(t_local, &thread, ThreadEvent::Exited);
+            }
+        }
+        m.threads[tid.index()] = Some(thread);
+        self.queue.push(t_local, Event::SliceDone { node, cpu });
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn do_syscall(
+        &mut self,
+        node: NodeId,
+        cpu: usize,
+        thread: &mut Thread,
+        sc: Syscall,
+        t_local: &mut SimTime,
+    ) -> Flow {
+        let ni = node.index();
+        let pid = thread.pid;
+        let name = sc.name();
+        let copy_bytes = match &sc {
+            Syscall::Read { bytes, .. } | Syscall::Write { bytes, .. } | Syscall::Send { bytes, .. } => *bytes,
+            _ => 0,
+        };
+        let offset_arg = match &sc {
+            Syscall::Read { offset, .. } => offset.unwrap_or(0),
+            _ => 0,
+        };
+
+        // Charge the kernel path's instructions on this CPU.
+        {
+            let m = &mut self.machines[ni];
+            let prog = m.kcode.program_for(name, copy_bytes, 0, &mut thread.rng);
+            *t_local += m.exec_on_cpu(cpu, thread, &prog, true);
+        }
+
+        let mut blocked = false;
+        let flow = self.syscall_semantics(node, thread, sc, t_local, &mut blocked);
+
+        let rec = SyscallRecord {
+            time: *t_local,
+            tid: thread.tid,
+            pid,
+            name,
+            bytes: copy_bytes,
+            offset: offset_arg,
+            blocked,
+        };
+        self.machines[ni].emit_syscall(&rec);
+        flow
+    }
+
+    fn syscall_semantics(
+        &mut self,
+        node: NodeId,
+        thread: &mut Thread,
+        sc: Syscall,
+        t_local: &mut SimTime,
+        blocked: &mut bool,
+    ) -> Flow {
+        let ni = node.index();
+        let pid = thread.pid;
+        let tid = thread.tid;
+        match sc {
+            Syscall::Open { file } => {
+                let m = &mut self.machines[ni];
+                if m.fs.size(file).is_some() {
+                    let fd = m.process_mut(pid).insert_fd(FdObj::File { file, pos: 0 });
+                    thread.pending = SysResult::Fd(fd);
+                } else {
+                    thread.pending = SysResult::Err(Errno::NoEnt);
+                }
+                Flow::Continue
+            }
+            Syscall::Read { fd, bytes, offset } => {
+                let m = &mut self.machines[ni];
+                let (file, pos) = match m.process(pid).fds.get(&fd) {
+                    Some(FdObj::File { file, pos }) => (*file, *pos),
+                    _ => {
+                        thread.pending = SysResult::Err(Errno::BadFd);
+                        return Flow::Continue;
+                    }
+                };
+                let off = offset.unwrap_or(pos);
+                let Some(plan) = m.fs.read(file, off, bytes) else {
+                    thread.pending = SysResult::Err(Errno::NoEnt);
+                    return Flow::Continue;
+                };
+                if offset.is_none() {
+                    if let Some(FdObj::File { pos, .. }) = m.process_mut(pid).fds.get_mut(&fd) {
+                        *pos += plan.bytes;
+                    }
+                }
+                if plan.miss_pages > 0 {
+                    let done = m.disk.submit(*t_local, plan.miss_bytes());
+                    let token = m.next_wake_token();
+                    thread.block = Some((BlockReason::Disk { bytes: plan.bytes }, token));
+                    self.queue.push(done, Event::DiskDone { node, tid, token });
+                    *blocked = true;
+                    Flow::Blocked
+                } else {
+                    thread.pending = SysResult::Bytes(plan.bytes);
+                    Flow::Continue
+                }
+            }
+            Syscall::Write { fd, bytes } => {
+                let m = &mut self.machines[ni];
+                let file = match m.process(pid).fds.get(&fd) {
+                    Some(FdObj::File { file, .. }) => *file,
+                    _ => {
+                        thread.pending = SysResult::Err(Errno::BadFd);
+                        return Flow::Continue;
+                    }
+                };
+                let n = m.fs.write(file, 0, bytes).unwrap_or(0);
+                thread.pending = SysResult::Bytes(n);
+                Flow::Continue
+            }
+            Syscall::Close { fd } => {
+                let m = &mut self.machines[ni];
+                let obj = m.process_mut(pid).fds.remove(&fd);
+                match obj {
+                    Some(FdObj::Sock { conn, end }) => {
+                        let peer = &mut self.net.conn_mut(conn).ends[1 - end];
+                        peer.peer_closed = true;
+                        let peer_node = peer.node;
+                        let waiter = peer.recv_waiter.take();
+                        let notify = (peer.pid, peer.fd);
+                        if let Some(w) = waiter {
+                            self.wake_thread(peer_node, w, SysResult::Err(Errno::ConnClosed));
+                        } else if let (Some(ppid), Some(pfd)) = notify {
+                            self.notify_epoll(peer_node, ppid, pfd);
+                        }
+                    }
+                    Some(FdObj::Listener { port }) => {
+                        self.machines[ni].listeners.remove(&port);
+                    }
+                    _ => {}
+                }
+                thread.pending = SysResult::None;
+                Flow::Continue
+            }
+            Syscall::Listen { port } => {
+                let m = &mut self.machines[ni];
+                if m.listeners.contains_key(&port) {
+                    thread.pending = SysResult::Err(Errno::AddrInUse);
+                    return Flow::Continue;
+                }
+                let fd = m.process_mut(pid).insert_fd(FdObj::Listener { port });
+                m.listeners.insert(port, ListenerState { pid, fd, ..Default::default() });
+                thread.pending = SysResult::Fd(fd);
+                Flow::Continue
+            }
+            Syscall::Accept { listener } => {
+                let m = &mut self.machines[ni];
+                let port = match m.process(pid).fds.get(&listener) {
+                    Some(FdObj::Listener { port }) => *port,
+                    _ => {
+                        thread.pending = SysResult::Err(Errno::BadFd);
+                        return Flow::Continue;
+                    }
+                };
+                let l = m.listeners.get_mut(&port).expect("listener table in sync");
+                if let Some(conn) = l.pending.pop_front() {
+                    let fd = m.process_mut(pid).insert_fd(FdObj::Sock { conn, end: 1 });
+                    let ep = &mut self.net.conn_mut(conn).ends[1];
+                    ep.pid = Some(pid);
+                    ep.fd = Some(fd);
+                    thread.pending = SysResult::Fd(fd);
+                    Flow::Continue
+                } else {
+                    let token = m.next_wake_token();
+                    m.listeners.get_mut(&port).expect("checked").waiting.push_back(tid);
+                    thread.block = Some((BlockReason::Accept { port }, token));
+                    *blocked = true;
+                    Flow::Blocked
+                }
+            }
+            Syscall::Connect { node: target, port } => {
+                if target.index() >= self.machines.len()
+                    || !self.machines[target.index()].listeners.contains_key(&port)
+                {
+                    thread.pending = SysResult::Err(Errno::ConnRefused);
+                    return Flow::Continue;
+                }
+                let conn = self.net.create(node, target);
+                let m = &mut self.machines[ni];
+                let fd = m.process_mut(pid).insert_fd(FdObj::Sock { conn, end: 0 });
+                let ep = &mut self.net.conn_mut(conn).ends[0];
+                ep.pid = Some(pid);
+                ep.fd = Some(fd);
+                let latency = if target == node {
+                    self.loopback_latency
+                } else {
+                    self.machines[ni].nic.spec().link_latency
+                };
+                self.queue.push(*t_local + latency, Event::ConnArrive { node: target, port, conn });
+                thread.pending = SysResult::Fd(fd);
+                Flow::Continue
+            }
+            Syscall::Send { fd, bytes, meta } => {
+                let (conn, end) = match self.machines[ni].process(pid).fds.get(&fd) {
+                    Some(FdObj::Sock { conn, end }) => (*conn, *end),
+                    _ => {
+                        thread.pending = SysResult::Err(Errno::BadFd);
+                        return Flow::Continue;
+                    }
+                };
+                if self.net.conn(conn).ends[end].peer_closed {
+                    thread.pending = SysResult::Err(Errno::ConnClosed);
+                    return Flow::Continue;
+                }
+                let loopback = self.net.conn(conn).is_loopback();
+                let arrival = if loopback {
+                    *t_local + self.loopback_latency
+                } else {
+                    self.machines[ni].nic.transmit(*t_local, bytes)
+                };
+                self.queue.push(arrival, Event::DeliverMsg { conn, end: 1 - end, bytes, meta });
+                thread.pending = SysResult::Bytes(bytes);
+                Flow::Continue
+            }
+            Syscall::Recv { fd } => {
+                let (conn, end) = match self.machines[ni].process(pid).fds.get(&fd) {
+                    Some(FdObj::Sock { conn, end }) => (*conn, *end),
+                    _ => {
+                        thread.pending = SysResult::Err(Errno::BadFd);
+                        return Flow::Continue;
+                    }
+                };
+                let ep = &mut self.net.conn_mut(conn).ends[end];
+                if let Some(msg) = ep.rx.pop_front() {
+                    // Charge the inbound copy.
+                    let m = &mut self.machines[ni];
+                    let prog = ditto_hw::codegen::copy_program(
+                        crate::kcode::KERNEL_PC_BASE + 0x0B00_0000,
+                        crate::kcode::KERNEL_REGION,
+                        msg.bytes,
+                    );
+                    let cpu = m
+                        .cpus
+                        .iter()
+                        .position(|c| c.running == Some(tid))
+                        .unwrap_or(0);
+                    *t_local += m.exec_on_cpu(cpu, thread, &prog, true);
+                    thread.pending = SysResult::Msg(msg);
+                    Flow::Continue
+                } else if ep.peer_closed {
+                    thread.pending = SysResult::Err(Errno::ConnClosed);
+                    Flow::Continue
+                } else {
+                    ep.recv_waiter = Some(tid);
+                    let token = self.machines[ni].next_wake_token();
+                    thread.block = Some((BlockReason::Recv { conn, end }, token));
+                    *blocked = true;
+                    Flow::Blocked
+                }
+            }
+            Syscall::EpollCreate => {
+                let m = &mut self.machines[ni];
+                let fd = m.process_mut(pid).insert_fd(FdObj::Epoll { watched: Vec::new() });
+                thread.pending = SysResult::Fd(fd);
+                Flow::Continue
+            }
+            Syscall::EpollCtl { ep, watch } => {
+                let m = &mut self.machines[ni];
+                let p = m.process_mut(pid);
+                match p.fds.get_mut(&ep) {
+                    Some(FdObj::Epoll { watched }) => {
+                        if !watched.contains(&watch) {
+                            watched.push(watch);
+                            p.watch_index.entry(watch).or_default().push(ep);
+                        }
+                        thread.pending = SysResult::None;
+                    }
+                    _ => thread.pending = SysResult::Err(Errno::BadFd),
+                }
+                Flow::Continue
+            }
+            Syscall::EpollWait { ep, timeout } => {
+                let watched = {
+                    let m = &self.machines[ni];
+                    match m.process(pid).fds.get(&ep) {
+                        Some(FdObj::Epoll { watched }) => watched.clone(),
+                        _ => {
+                            thread.pending = SysResult::Err(Errno::BadFd);
+                            return Flow::Continue;
+                        }
+                    }
+                };
+                let ready = self.ready_fds(node, pid, &watched);
+                if !ready.is_empty() {
+                    thread.pending = SysResult::Ready(ready);
+                    return Flow::Continue;
+                }
+                let m = &mut self.machines[ni];
+                let token = m.next_wake_token();
+                m.process_mut(pid).epoll_waiters.insert(ep, tid);
+                thread.block = Some((BlockReason::Epoll { ep }, token));
+                if let Some(to) = timeout {
+                    self.queue.push(*t_local + to, Event::Wake { node, tid, token });
+                }
+                *blocked = true;
+                Flow::Blocked
+            }
+            Syscall::Spawn { body } => {
+                self.spawn_counter += 1;
+                let seed = self.seed ^ self.spawn_counter.wrapping_mul(0x517c_c1b7_2722_0a95);
+                let m = &mut self.machines[ni];
+                let child = m.create_thread(pid, body, seed);
+                m.run_queue.push_back(child);
+                m.emit_thread_event(*t_local, child, ThreadEvent::Spawned { parent: Some(tid) });
+                thread.pending = SysResult::Thread(child);
+                Flow::Continue
+            }
+            Syscall::FutexWait { key } => {
+                let m = &mut self.machines[ni];
+                let token = m.next_wake_token();
+                m.process_mut(pid).futexes.entry(key).or_default().push_back(tid);
+                thread.block = Some((BlockReason::Futex { key }, token));
+                *blocked = true;
+                Flow::Blocked
+            }
+            Syscall::FutexWake { key, n } => {
+                let waiters: Vec<Tid> = {
+                    let m = &mut self.machines[ni];
+                    let q = m.process_mut(pid).futexes.entry(key).or_default();
+                    (0..n).filter_map(|_| q.pop_front()).collect()
+                };
+                let woken = waiters.len() as u64;
+                for w in waiters {
+                    self.wake_thread(node, w, SysResult::None);
+                }
+                thread.pending = SysResult::Bytes(woken);
+                Flow::Continue
+            }
+            Syscall::Nanosleep { dur } => {
+                let m = &mut self.machines[ni];
+                let token = m.next_wake_token();
+                thread.block = Some((BlockReason::Sleep, token));
+                self.queue.push(*t_local + dur, Event::Wake { node, tid, token });
+                *blocked = true;
+                Flow::Blocked
+            }
+            Syscall::Mmap { bytes } => {
+                let region = self.machines[ni].alloc_region(pid, bytes);
+                thread.pending = SysResult::Region(region);
+                Flow::Continue
+            }
+            Syscall::SchedYield => {
+                thread.pending = SysResult::None;
+                Flow::Yielded
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ditto_hw::codegen::{Body, BodyParams};
+    use std::sync::Arc;
+    use parking_lot::Mutex;
+
+    fn cluster() -> Cluster {
+        Cluster::single(PlatformSpec::c(), 42)
+    }
+
+    /// A thread that runs a scripted list of actions.
+    struct Script {
+        actions: Vec<ScriptStep>,
+        at: usize,
+        results: Arc<Mutex<Vec<SysResult>>>,
+    }
+
+    enum ScriptStep {
+        Sys(fn() -> Syscall),
+        Compute(u64),
+    }
+
+    impl Script {
+        fn new(actions: Vec<ScriptStep>) -> (Self, Arc<Mutex<Vec<SysResult>>>) {
+            let results = Arc::new(Mutex::new(Vec::new()));
+            (Script { actions, at: 0, results: results.clone() }, results)
+        }
+    }
+
+    impl ThreadBody for Script {
+        fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+            if self.at > 0 {
+                self.results.lock().push(ctx.last.clone());
+            }
+            let i = self.at;
+            self.at += 1;
+            match self.actions.get(i) {
+                Some(ScriptStep::Sys(f)) => Action::Syscall(f()),
+                Some(ScriptStep::Compute(n)) => {
+                    let body = Body::new(&BodyParams::minimal(*n, 0x40_0000, 1));
+                    Action::Compute(body.instantiate(ctx.rng))
+                }
+                None => Action::Exit,
+            }
+        }
+        fn label(&self) -> &str {
+            "script"
+        }
+    }
+
+    #[test]
+    fn compute_advances_time_and_counters() {
+        let mut c = cluster();
+        let pid = c.spawn_process(NodeId(0));
+        let (s, _) = Script::new(vec![ScriptStep::Compute(50_000)]);
+        c.spawn_thread(NodeId(0), pid, Box::new(s));
+        c.run_for(SimDuration::from_millis(10));
+        let counters = c.machine(NodeId(0)).counters();
+        assert!(counters.user_instructions >= 40_000, "{counters:?}");
+        assert!(counters.instructions > counters.user_instructions, "kernel work must appear");
+    }
+
+    #[test]
+    fn nanosleep_wakes_after_duration() {
+        let mut c = cluster();
+        let pid = c.spawn_process(NodeId(0));
+        let (s, results) = Script::new(vec![
+            ScriptStep::Sys(|| Syscall::Nanosleep { dur: SimDuration::from_millis(5) }),
+            ScriptStep::Compute(1_000),
+        ]);
+        c.spawn_thread(NodeId(0), pid, Box::new(s));
+        c.run_for(SimDuration::from_millis(1));
+        assert!(results.lock().is_empty(), "still sleeping");
+        c.run_for(SimDuration::from_millis(10));
+        assert_eq!(results.lock().len(), 2, "woke and computed");
+    }
+
+    #[test]
+    fn mmap_and_open_read() {
+        let mut c = cluster();
+        let file = c.machine_mut(NodeId(0)).fs.create(1 << 20);
+        let pid = c.spawn_process(NodeId(0));
+        // This script can't capture `file`, so pre-warm assertion path uses FileId(0).
+        let _ = file;
+        let (s, results) = Script::new(vec![
+            ScriptStep::Sys(|| Syscall::Mmap { bytes: 1 << 20 }),
+            ScriptStep::Sys(|| Syscall::Open { file: crate::ids::FileId(0) }),
+            ScriptStep::Sys(|| Syscall::Read { fd: Fd(3), bytes: 4096, offset: Some(0) }),
+        ]);
+        c.spawn_thread(NodeId(0), pid, Box::new(s));
+        c.run_for(SimDuration::from_secs(1));
+        let r = results.lock();
+        assert!(matches!(r[0], SysResult::Region(_)), "{:?}", r[0]);
+        assert!(matches!(r[1], SysResult::Fd(_)), "{:?}", r[1]);
+        assert!(matches!(r[2], SysResult::Bytes(4096)), "{:?}", r[2]);
+    }
+
+    #[test]
+    fn disk_read_blocks_and_completes() {
+        let mut c = cluster();
+        c.machine_mut(NodeId(0)).fs.create(1 << 30);
+        let pid = c.spawn_process(NodeId(0));
+        let (s, results) = Script::new(vec![
+            ScriptStep::Sys(|| Syscall::Open { file: crate::ids::FileId(0) }),
+            ScriptStep::Sys(|| Syscall::Read { fd: Fd(3), bytes: 4096, offset: Some(512 * 1024 * 1024) }),
+        ]);
+        c.spawn_thread(NodeId(0), pid, Box::new(s));
+        // HDD access is ~6ms; after 1ms the read is still blocked.
+        c.run_for(SimDuration::from_millis(1));
+        assert_eq!(results.lock().len(), 1);
+        c.run_for(SimDuration::from_millis(20));
+        assert!(matches!(results.lock()[1], SysResult::Bytes(4096)));
+        assert!(c.machine(NodeId(0)).disk.stats().requests >= 1);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let mut c = cluster();
+        let pid = c.spawn_process(NodeId(0));
+        let (s, results) = Script::new(vec![ScriptStep::Sys(|| Syscall::Open {
+            file: crate::ids::FileId(55),
+        })]);
+        c.spawn_thread(NodeId(0), pid, Box::new(s));
+        c.run_for(SimDuration::from_millis(5));
+        assert!(matches!(results.lock()[0], SysResult::Err(Errno::NoEnt)));
+    }
+}

@@ -1,0 +1,228 @@
+//! The filesystem and page cache.
+//!
+//! Files are metadata-only (a size); reads hit an LRU page cache whose
+//! capacity is bounded by the platform's RAM. Misses produce disk I/O.
+//! This reproduces the configuration sensitivity the paper highlights
+//! (§3.1): shrink the cache and a database's reads spill to disk,
+//! inflating latency.
+
+use crate::ids::FileId;
+use crate::lru::LruSet;
+
+/// Page granularity for cache accounting. 64 KiB approximates the
+/// effective I/O unit with readahead; it keeps resident-set bookkeeping
+/// small enough to simulate hundreds of gigabytes.
+pub const PAGE_SIZE: u64 = 64 * 1024;
+
+/// Result of a page-cache probe for one read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadPlan {
+    /// Pages already cached.
+    pub hit_pages: u32,
+    /// Pages that must come from disk.
+    pub miss_pages: u32,
+    /// Bytes actually readable (clamped at EOF).
+    pub bytes: u64,
+}
+
+impl ReadPlan {
+    /// Bytes that must be fetched from the device.
+    pub fn miss_bytes(&self) -> u64 {
+        u64::from(self.miss_pages) * PAGE_SIZE
+    }
+}
+
+/// Cumulative page-cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageCacheStats {
+    /// Page lookups that hit.
+    pub hits: u64,
+    /// Page lookups that missed.
+    pub misses: u64,
+}
+
+impl PageCacheStats {
+    /// Miss ratio in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FileMeta {
+    size: u64,
+}
+
+/// A machine's filesystem: files plus the unified page cache.
+#[derive(Debug)]
+pub struct FileSystem {
+    files: Vec<FileMeta>,
+    cache: LruSet,
+    stats: PageCacheStats,
+}
+
+impl FileSystem {
+    /// Creates a filesystem whose page cache holds `cache_bytes`.
+    pub fn new(cache_bytes: u64) -> Self {
+        let pages = (cache_bytes / PAGE_SIZE).max(1) as usize;
+        FileSystem { files: Vec::new(), cache: LruSet::new(pages), stats: PageCacheStats::default() }
+    }
+
+    /// Creates a file of `size` bytes and returns its id.
+    pub fn create(&mut self, size: u64) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(FileMeta { size });
+        id
+    }
+
+    /// The size of `file`, or `None` if it does not exist.
+    pub fn size(&self, file: FileId) -> Option<u64> {
+        self.files.get(file.index()).map(|f| f.size)
+    }
+
+    /// Plans a read of `bytes` at `offset`, touching the page cache
+    /// (missed pages become resident — the disk fill is the caller's job).
+    ///
+    /// Returns `None` if the file does not exist.
+    pub fn read(&mut self, file: FileId, offset: u64, bytes: u64) -> Option<ReadPlan> {
+        let meta = self.files.get(file.index())?;
+        let avail = meta.size.saturating_sub(offset).min(bytes);
+        if avail == 0 {
+            return Some(ReadPlan { hit_pages: 0, miss_pages: 0, bytes: 0 });
+        }
+        let first = offset / PAGE_SIZE;
+        let last = (offset + avail - 1) / PAGE_SIZE;
+        let mut hits = 0;
+        let mut misses = 0;
+        for page in first..=last {
+            let key = (u64::from(file.0) << 40) | page;
+            if self.cache.touch_or_insert(key) {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+        }
+        self.stats.hits += u64::from(hits);
+        self.stats.misses += u64::from(misses);
+        Some(ReadPlan { hit_pages: hits, miss_pages: misses, bytes: avail })
+    }
+
+    /// Marks the pages of a write resident (write-back caching; the dirty
+    /// flush is not modelled — the paper's workloads are read-dominated).
+    pub fn write(&mut self, file: FileId, offset: u64, bytes: u64) -> Option<u64> {
+        let meta = self.files.get_mut(file.index())?;
+        meta.size = meta.size.max(offset + bytes);
+        if bytes > 0 {
+            let first = offset / PAGE_SIZE;
+            let last = (offset + bytes - 1) / PAGE_SIZE;
+            for page in first..=last {
+                let key = (u64::from(file.0) << 40) | page;
+                self.cache.touch_or_insert(key);
+            }
+        }
+        Some(bytes)
+    }
+
+    /// Pre-populates the cache with the first `bytes` of `file` (warmup).
+    pub fn warm(&mut self, file: FileId, bytes: u64) {
+        let end = bytes.min(self.size(file).unwrap_or(0));
+        let mut off = 0;
+        while off < end {
+            let key = (u64::from(file.0) << 40) | (off / PAGE_SIZE);
+            self.cache.touch_or_insert(key);
+            off += PAGE_SIZE;
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> PageCacheStats {
+        self.stats
+    }
+
+    /// Zeroes the statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = PageCacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_within_cached_pages_hits() {
+        let mut fs = FileSystem::new(10 * PAGE_SIZE);
+        let f = fs.create(PAGE_SIZE * 4);
+        let p1 = fs.read(f, 0, 1000).unwrap();
+        assert_eq!(p1.miss_pages, 1);
+        let p2 = fs.read(f, 100, 1000).unwrap();
+        assert_eq!(p2.hit_pages, 1);
+        assert_eq!(p2.miss_pages, 0);
+    }
+
+    #[test]
+    fn read_clamps_at_eof() {
+        let mut fs = FileSystem::new(10 * PAGE_SIZE);
+        let f = fs.create(100);
+        let p = fs.read(f, 50, 1000).unwrap();
+        assert_eq!(p.bytes, 50);
+        let p = fs.read(f, 200, 10).unwrap();
+        assert_eq!(p.bytes, 0);
+        assert_eq!(p.miss_pages, 0);
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        let mut fs = FileSystem::new(PAGE_SIZE);
+        assert!(fs.read(FileId(9), 0, 10).is_none());
+        assert!(fs.size(FileId(9)).is_none());
+    }
+
+    #[test]
+    fn small_cache_thrashes_on_big_file() {
+        // Cache of 4 pages, file of 64 pages, uniform random reads: high miss rate.
+        let mut fs = FileSystem::new(4 * PAGE_SIZE);
+        let f = fs.create(64 * PAGE_SIZE);
+        for i in 0..256u64 {
+            let off = ((i * 7919) % 60) * PAGE_SIZE;
+            fs.read(f, off, 100).unwrap();
+        }
+        assert!(fs.stats().miss_rate() > 0.8, "miss rate {}", fs.stats().miss_rate());
+    }
+
+    #[test]
+    fn big_cache_absorbs_working_set() {
+        let mut fs = FileSystem::new(128 * PAGE_SIZE);
+        let f = fs.create(64 * PAGE_SIZE);
+        fs.warm(f, 64 * PAGE_SIZE);
+        fs.reset_stats();
+        for i in 0..256u64 {
+            let off = ((i * 7919) % 60) * PAGE_SIZE;
+            fs.read(f, off, 100).unwrap();
+        }
+        assert_eq!(fs.stats().misses, 0);
+    }
+
+    #[test]
+    fn write_extends_file_and_populates_cache() {
+        let mut fs = FileSystem::new(16 * PAGE_SIZE);
+        let f = fs.create(0);
+        fs.write(f, 0, PAGE_SIZE * 2).unwrap();
+        assert_eq!(fs.size(f), Some(PAGE_SIZE * 2));
+        let p = fs.read(f, 0, 100).unwrap();
+        assert_eq!(p.hit_pages, 1);
+    }
+
+    #[test]
+    fn read_spanning_pages_counts_each() {
+        let mut fs = FileSystem::new(16 * PAGE_SIZE);
+        let f = fs.create(PAGE_SIZE * 8);
+        let p = fs.read(f, PAGE_SIZE - 10, 20).unwrap();
+        assert_eq!(p.hit_pages + p.miss_pages, 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! Identifier newtypes for kernel objects.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A machine (node) in the cluster.
+    NodeId
+);
+id_type!(
+    /// A process on a machine.
+    Pid
+);
+id_type!(
+    /// A thread on a machine (machine-scoped, not process-scoped).
+    Tid
+);
+id_type!(
+    /// A file descriptor (process-scoped).
+    Fd
+);
+id_type!(
+    /// A file on a machine's filesystem.
+    FileId
+);
+id_type!(
+    /// A connection in the cluster-wide connection table.
+    ConnId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compare_and_display() {
+        assert_eq!(Tid(3), Tid(3));
+        assert_ne!(Fd(1), Fd(2));
+        assert_eq!(Tid(7).index(), 7);
+        assert_eq!(format!("{}", NodeId(2)), "NodeId(2)");
+    }
+}

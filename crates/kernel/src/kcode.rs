@@ -1,0 +1,252 @@
+//! Kernel instruction footprints.
+//!
+//! The paper's key observation (§1, §3.3.2) is that cloud services spend a
+//! large fraction of their cycles in kernel mode, and that user/kernel
+//! alternation pressures the i-cache. Every syscall in this kernel
+//! therefore *executes instructions* on the calling core: a per-syscall
+//! code body with its own instruction footprint and branch behaviour,
+//! plus `rep`-style copy loops proportional to the bytes moved.
+
+use ditto_hw::codegen::{copy_program, Body, BodyParams};
+use ditto_hw::isa::{BranchBehavior, InstrClass, Program};
+use ditto_sim::rng::SimRng;
+
+/// Region id used for kernel data structures (shared machine-wide).
+pub const KERNEL_REGION: u32 = 0;
+/// Base PC of kernel text; distinct from all user code so the i-cache sees
+/// the mode switches.
+pub const KERNEL_PC_BASE: u64 = 0xFFFF_8000_0000;
+
+/// Instruction-count parameters for each syscall family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallCosts {
+    /// Entry/exit, mode switch, dispatch.
+    pub base: u64,
+    /// `open`/`close` path.
+    pub file_meta: u64,
+    /// Filesystem read/write path, excluding the copy.
+    pub file_data: u64,
+    /// Socket send/recv protocol processing per message.
+    pub net_proto: u64,
+    /// `accept`/`connect` handshake path.
+    pub net_setup: u64,
+    /// `epoll` wait/ctl path plus per-ready-event work.
+    pub epoll: u64,
+    /// Per-ready-event epoll cost.
+    pub epoll_per_event: u64,
+    /// `clone` thread creation.
+    pub spawn: u64,
+    /// Futex fast path.
+    pub futex: u64,
+    /// `mmap` allocation.
+    pub mmap: u64,
+    /// Scheduler context switch.
+    pub context_switch: u64,
+    /// Copied bytes per instruction-equivalent (rep throughput handled by
+    /// the core model; this governs the copy program's length).
+    pub copy_chunk: u64,
+}
+
+impl Default for SyscallCosts {
+    fn default() -> Self {
+        // Rough Linux-on-x86 magnitudes: a few hundred instructions for
+        // trivial calls, a few thousand for the network stack.
+        SyscallCosts {
+            base: 400,
+            file_meta: 1_200,
+            file_data: 1_800,
+            net_proto: 3_500,
+            net_setup: 4_500,
+            epoll: 900,
+            epoll_per_event: 150,
+            spawn: 8_000,
+            futex: 350,
+            mmap: 2_500,
+            context_switch: 1_600,
+            copy_chunk: 64 * 1024,
+        }
+    }
+}
+
+/// Pre-materialised kernel code bodies, one per syscall family.
+#[derive(Debug)]
+pub struct KernelCode {
+    costs: SyscallCosts,
+    base: Body,
+    file_meta: Body,
+    file_data: Body,
+    net_proto: Body,
+    net_setup: Body,
+    epoll: Body,
+    spawn: Body,
+    futex: Body,
+    mmap: Body,
+    context_switch: Body,
+}
+
+fn kernel_body(seed: u64, pc_off: u64, instructions: u64, iws: u64) -> Body {
+    let params = BodyParams {
+        instructions,
+        // Kernel code: branchy, pointer-heavy, little FP.
+        mix: vec![
+            (InstrClass::IntAlu, 0.40),
+            (InstrClass::Mov, 0.20),
+            (InstrClass::Load, 0.20),
+            (InstrClass::Store, 0.07),
+            (InstrClass::CondBranch, 0.12),
+            (InstrClass::LockPrefixed, 0.01),
+        ],
+        branch_rates: vec![
+            (BranchBehavior::new(0.5, 0.125), 0.3),
+            (BranchBehavior::new(0.125, 0.125), 0.4),
+            (BranchBehavior::new(0.03125, 0.03125), 0.3),
+        ],
+        // Kernel data structures: sk_buffs, dentries, runqueues — tens of KB.
+        data_working_sets: vec![(4 * 1024, 0.5), (64 * 1024, 0.35), (1024 * 1024, 0.15)],
+        instr_working_sets: vec![(iws, 1.0)],
+        dep_distances: vec![(2, 0.3), (8, 0.4), (32, 0.3)],
+        shared_fraction: 0.15,
+        chase_fraction: 0.08,
+        rep_bytes: 256,
+        data_region: KERNEL_REGION,
+        shared_region: KERNEL_REGION,
+        pc_base: KERNEL_PC_BASE + pc_off,
+        seed,
+    };
+    Body::new(&params)
+}
+
+impl KernelCode {
+    /// Materialises kernel text deterministically from `seed`.
+    pub fn new(seed: u64, costs: SyscallCosts) -> Self {
+        let mut s = SimRng::seed(seed);
+        let mut next_seed = || s.next_u64();
+        KernelCode {
+            costs,
+            base: kernel_body(next_seed(), 0x0000_0000, costs.base, 2 * 1024),
+            file_meta: kernel_body(next_seed(), 0x0100_0000, costs.file_meta, 8 * 1024),
+            file_data: kernel_body(next_seed(), 0x0200_0000, costs.file_data, 16 * 1024),
+            net_proto: kernel_body(next_seed(), 0x0300_0000, costs.net_proto, 32 * 1024),
+            net_setup: kernel_body(next_seed(), 0x0400_0000, costs.net_setup, 32 * 1024),
+            epoll: kernel_body(next_seed(), 0x0500_0000, costs.epoll, 4 * 1024),
+            spawn: kernel_body(next_seed(), 0x0600_0000, costs.spawn, 32 * 1024),
+            futex: kernel_body(next_seed(), 0x0700_0000, costs.futex, 2 * 1024),
+            mmap: kernel_body(next_seed(), 0x0800_0000, costs.mmap, 16 * 1024),
+            context_switch: kernel_body(next_seed(), 0x0900_0000, costs.context_switch, 8 * 1024),
+        }
+    }
+
+    /// The configured cost table.
+    pub fn costs(&self) -> SyscallCosts {
+        self.costs
+    }
+
+    fn with_base(&self, body: &Body, rng: &mut SimRng) -> Program {
+        let mut p = self.base.instantiate(rng);
+        p.runs.extend(body.instantiate(rng).runs);
+        p
+    }
+
+    /// Kernel program for a syscall, parameterised by the bytes copied and
+    /// (for epoll) the number of ready events.
+    pub fn program_for(&self, name: &str, bytes: u64, events: u32, rng: &mut SimRng) -> Program {
+        let mut p = match name {
+            "open" | "close" => self.with_base(&self.file_meta, rng),
+            "read" | "pread" | "write" => self.with_base(&self.file_data, rng),
+            "sendmsg" | "recvmsg" => self.with_base(&self.net_proto, rng),
+            "accept" | "connect" | "listen" => self.with_base(&self.net_setup, rng),
+            "epoll_wait" | "epoll_ctl" | "epoll_create" => {
+                let mut p = self.with_base(&self.epoll, rng);
+                for _ in 0..events.min(64) {
+                    p.runs.extend(self.epoll.instantiate(rng).runs.into_iter().take(1));
+                }
+                p
+            }
+            "clone" => self.with_base(&self.spawn, rng),
+            "futex_wait" | "futex_wake" => self.with_base(&self.futex, rng),
+            "mmap" => self.with_base(&self.mmap, rng),
+            _ => self.base.instantiate(rng),
+        };
+        if bytes > 0 {
+            let copy = copy_program(KERNEL_PC_BASE + 0x0A00_0000, KERNEL_REGION, bytes);
+            p.runs.extend(copy.runs);
+        }
+        p
+    }
+
+    /// Kernel program for a context switch.
+    pub fn context_switch_program(&self, rng: &mut SimRng) -> Program {
+        self.with_base(&self.context_switch, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syscall_programs_have_expected_magnitude() {
+        let k = KernelCode::new(1, SyscallCosts::default());
+        let mut rng = SimRng::seed(2);
+        let read = k.program_for("read", 0, 0, &mut rng);
+        let n = read.dynamic_instructions();
+        assert!((1_500..4_000).contains(&n), "read instrs {n}");
+        let net = k.program_for("sendmsg", 0, 0, &mut rng);
+        assert!(net.dynamic_instructions() > read.dynamic_instructions());
+    }
+
+    #[test]
+    fn copies_scale_with_bytes() {
+        let k = KernelCode::new(1, SyscallCosts::default());
+        let mut rng = SimRng::seed(3);
+        let small = k.program_for("read", 4 * 1024, 0, &mut rng);
+        let large = k.program_for("read", 1024 * 1024, 0, &mut rng);
+        let small_reps: u64 = program_rep_bytes(&small);
+        let large_reps: u64 = program_rep_bytes(&large);
+        assert!(large_reps >= small_reps * 100, "large {large_reps} small {small_reps}");
+    }
+
+    fn program_rep_bytes(p: &Program) -> u64 {
+        p.runs
+            .iter()
+            .map(|r| {
+                r.block
+                    .instrs
+                    .iter()
+                    .filter(|i| i.class == InstrClass::RepString)
+                    .map(|i| u64::from(i.imm))
+                    .sum::<u64>()
+                    * u64::from(r.iterations)
+            })
+            .sum()
+    }
+
+    #[test]
+    fn kernel_text_is_in_kernel_range() {
+        let k = KernelCode::new(1, SyscallCosts::default());
+        let mut rng = SimRng::seed(4);
+        let p = k.program_for("epoll_wait", 0, 3, &mut rng);
+        for r in &p.runs {
+            assert!(r.block.base_pc >= KERNEL_PC_BASE);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = KernelCode::new(9, SyscallCosts::default());
+        let b = KernelCode::new(9, SyscallCosts::default());
+        let mut ra = SimRng::seed(5);
+        let mut rb = SimRng::seed(5);
+        let pa = a.program_for("open", 0, 0, &mut ra);
+        let pb = b.program_for("open", 0, 0, &mut rb);
+        assert_eq!(pa.dynamic_instructions(), pb.dynamic_instructions());
+    }
+
+    #[test]
+    fn context_switch_program_nonempty() {
+        let k = KernelCode::new(1, SyscallCosts::default());
+        let mut rng = SimRng::seed(6);
+        let p = k.context_switch_program(&mut rng);
+        assert!(p.dynamic_instructions() > 500);
+    }
+}

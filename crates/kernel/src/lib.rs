@@ -1,0 +1,31 @@
+//! A simulated operating system for the Ditto reproduction.
+//!
+//! Cloud services spend a large fraction of their cycles in the kernel —
+//! the paper's central argument for end-to-end cloning (§1, §3.3.2). This
+//! crate provides that kernel over the `ditto-hw` timing models:
+//!
+//! - threads as action state machines ([`thread`]),
+//! - a run-to-block scheduler with context-switch costs and SMT-aware
+//!   placement ([`cluster`], [`machine`]),
+//! - a syscall layer (files, sockets, epoll, futexes, timers, `mmap`,
+//!   `clone`) where **every call executes kernel instructions** with its
+//!   own i-cache footprint ([`kcode`]),
+//! - a page cache bounded by platform RAM ([`fs`], [`lru`]),
+//! - cross-machine messaging through NIC queue models ([`net`]),
+//! - and SystemTap/eBPF-style instrumentation hooks ([`probe`]).
+
+pub mod cluster;
+pub mod fs;
+pub mod ids;
+pub mod kcode;
+pub mod lru;
+pub mod machine;
+pub mod net;
+pub mod probe;
+pub mod thread;
+
+pub use cluster::Cluster;
+pub use ids::{ConnId, Fd, FileId, NodeId, Pid, Tid};
+pub use machine::Machine;
+pub use probe::{KernelProbe, ProbeHandle, SyscallRecord, ThreadEvent};
+pub use thread::{Action, Errno, Msg, MsgMeta, Syscall, SysResult, ThreadBody, ThreadCtx};

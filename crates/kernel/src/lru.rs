@@ -1,0 +1,194 @@
+//! An intrusive-list LRU set, used by the page cache.
+
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// A fixed-capacity LRU set of `u64` keys with O(1) touch/insert/evict.
+#[derive(Debug)]
+pub struct LruSet {
+    capacity: usize,
+    map: HashMap<u64, u32>,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    head: u32, // MRU
+    tail: u32, // LRU
+}
+
+impl LruSet {
+    /// Creates an empty set holding at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        LruSet {
+            capacity,
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of resident keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no keys are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let node = self.nodes[idx as usize];
+        if node.prev != NIL {
+            self.nodes[node.prev as usize].next = node.next;
+        } else {
+            self.head = node.next;
+        }
+        if node.next != NIL {
+            self.nodes[node.next as usize].prev = node.prev;
+        } else {
+            self.tail = node.prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Touches `key`: returns `true` if it was resident (moved to MRU);
+    /// otherwise inserts it, evicting the LRU key if at capacity.
+    pub fn touch_or_insert(&mut self, key: u64) -> bool {
+        if let Some(&idx) = self.map.get(&key) {
+            self.unlink(idx);
+            self.push_front(idx);
+            return true;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            let vkey = self.nodes[victim as usize].key;
+            self.map.remove(&vkey);
+            self.free.push(victim);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = Node { key, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.nodes.push(Node { key, prev: NIL, next: NIL });
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+        false
+    }
+
+    /// Whether `key` is resident, without touching recency.
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Empties the set.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_hit() {
+        let mut l = LruSet::new(2);
+        assert!(!l.touch_or_insert(1));
+        assert!(l.touch_or_insert(1));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut l = LruSet::new(2);
+        l.touch_or_insert(1);
+        l.touch_or_insert(2);
+        l.touch_or_insert(1); // 2 is now LRU
+        l.touch_or_insert(3); // evicts 2
+        assert!(l.contains(1));
+        assert!(!l.contains(2));
+        assert!(l.contains(3));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn capacity_one_degenerate() {
+        let mut l = LruSet::new(1);
+        assert!(!l.touch_or_insert(10));
+        assert!(!l.touch_or_insert(20));
+        assert!(!l.touch_or_insert(10));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn reuses_freed_slots() {
+        let mut l = LruSet::new(2);
+        for k in 0..100 {
+            l.touch_or_insert(k);
+        }
+        assert_eq!(l.len(), 2);
+        assert!(l.contains(99));
+        assert!(l.contains(98));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut l = LruSet::new(4);
+        l.touch_or_insert(1);
+        l.clear();
+        assert!(l.is_empty());
+        assert!(!l.contains(1));
+        assert!(!l.touch_or_insert(1));
+    }
+
+    #[test]
+    fn sequential_scan_over_capacity_never_hits() {
+        let mut l = LruSet::new(4);
+        for _ in 0..3 {
+            for k in 0..8u64 {
+                assert!(!l.touch_or_insert(k), "LRU must thrash on sequential over-capacity scan");
+            }
+        }
+    }
+}

@@ -1,0 +1,632 @@
+//! One machine: cores, caches, kernel objects, scheduler state.
+//!
+//! The cross-machine orchestration (event loop, message delivery, the
+//! synchronous slice executor) lives in [`crate::cluster`]; this module
+//! owns the per-node state and the operations that touch only it.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use ditto_hw::branch::BranchPredictor;
+use ditto_hw::cache::MemorySystem;
+use ditto_hw::core_model::{BranchStates, Core, ExecEnv, MemoryMap, RetireSink};
+use ditto_hw::counters::PerfCounters;
+use ditto_hw::device::{Disk, Nic};
+use ditto_hw::isa::Program;
+use ditto_hw::platform::PlatformSpec;
+use ditto_sim::rng::SimRng;
+use ditto_sim::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+
+use crate::fs::FileSystem;
+use crate::ids::{ConnId, Fd, FileId, NodeId, Pid, Tid};
+use crate::kcode::{KernelCode, SyscallCosts, KERNEL_REGION};
+use crate::probe::{ProbeHandle, SyscallRecord, ThreadEvent};
+use crate::thread::{SysResult, ThreadBody};
+
+/// Why a thread is blocked, plus the bookkeeping to wake it correctly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockReason {
+    /// Waiting in `accept` on a listener port.
+    Accept {
+        /// Bound port.
+        port: u16,
+    },
+    /// Waiting in `recv` on a connection endpoint.
+    Recv {
+        /// Connection id.
+        conn: ConnId,
+        /// Endpoint index.
+        end: usize,
+    },
+    /// Waiting in `epoll_wait`.
+    Epoll {
+        /// The epoll descriptor.
+        ep: Fd,
+    },
+    /// Waiting on a futex key.
+    Futex {
+        /// Process-scoped key.
+        key: u32,
+    },
+    /// Sleeping until a timer.
+    Sleep,
+    /// Waiting for disk I/O; the read's byte count is delivered on wake.
+    Disk {
+        /// Bytes the read will return.
+        bytes: u64,
+    },
+}
+
+/// A thread control block.
+pub struct Thread {
+    /// Thread id (machine-scoped).
+    pub tid: Tid,
+    /// Owning process.
+    pub pid: Pid,
+    /// The thread's logic.
+    pub body: Box<dyn ThreadBody>,
+    /// Result to deliver on the next `step`.
+    pub pending: SysResult,
+    /// Block state; `None` when runnable/running.
+    pub block: Option<(BlockReason, u64)>,
+    /// Deterministic per-thread RNG.
+    pub rng: SimRng,
+    /// Per-thread branch Markov states.
+    pub branch_states: BranchStates,
+    /// Label from the body (for tracing).
+    pub label: String,
+    /// Accumulated CPU time.
+    pub cpu_time: SimDuration,
+    /// Whether the thread has exited.
+    pub exited: bool,
+}
+
+impl std::fmt::Debug for Thread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Thread")
+            .field("tid", &self.tid)
+            .field("pid", &self.pid)
+            .field("label", &self.label)
+            .field("block", &self.block)
+            .field("exited", &self.exited)
+            .finish()
+    }
+}
+
+/// A descriptor table entry.
+#[derive(Debug, Clone)]
+pub enum FdObj {
+    /// An open file with a cursor.
+    File {
+        /// Backing file.
+        file: FileId,
+        /// Read/write cursor.
+        pos: u64,
+    },
+    /// A listening socket.
+    Listener {
+        /// Bound port.
+        port: u16,
+    },
+    /// A connected socket endpoint.
+    Sock {
+        /// Connection id.
+        conn: ConnId,
+        /// Which end this process holds.
+        end: usize,
+    },
+    /// An epoll instance.
+    Epoll {
+        /// Watched descriptors.
+        watched: Vec<Fd>,
+    },
+}
+
+/// A process: address-space map, descriptor table, futexes.
+pub struct Process {
+    /// Process id.
+    pub pid: Pid,
+    /// Region → base address map.
+    pub memmap: MemoryMap,
+    /// Descriptor table.
+    pub fds: HashMap<Fd, FdObj>,
+    next_fd: u32,
+    next_region: u32,
+    /// Futex wait queues.
+    pub futexes: HashMap<u32, VecDeque<Tid>>,
+    /// fd → epoll fds watching it.
+    pub watch_index: HashMap<Fd, Vec<Fd>>,
+    /// epoll fd → thread blocked on it.
+    pub epoll_waiters: HashMap<Fd, Tid>,
+    /// Live (non-exited) thread count.
+    pub live_threads: usize,
+}
+
+impl std::fmt::Debug for Process {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Process")
+            .field("pid", &self.pid)
+            .field("fds", &self.fds.len())
+            .field("live_threads", &self.live_threads)
+            .finish()
+    }
+}
+
+impl Process {
+    fn new(pid: Pid) -> Self {
+        Process {
+            pid,
+            memmap: MemoryMap::new(),
+            fds: HashMap::new(),
+            next_fd: 3, // 0-2 conceptually stdio
+            next_region: 1,
+            futexes: HashMap::new(),
+            watch_index: HashMap::new(),
+            epoll_waiters: HashMap::new(),
+            live_threads: 0,
+        }
+    }
+
+    /// Allocates a descriptor for `obj`.
+    pub fn insert_fd(&mut self, obj: FdObj) -> Fd {
+        let fd = Fd(self.next_fd);
+        self.next_fd += 1;
+        self.fds.insert(fd, obj);
+        fd
+    }
+}
+
+/// State of one logical CPU.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuState {
+    /// Currently dispatched thread.
+    pub running: Option<Tid>,
+    /// When the current slice ends.
+    pub busy_until: SimTime,
+    /// Last thread that ran here (context-switch detection).
+    pub last_thread: Option<Tid>,
+}
+
+/// A single simulated server.
+pub struct Machine {
+    /// This machine's id.
+    pub node: NodeId,
+    /// The platform it models.
+    pub spec: PlatformSpec,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) mem: MemorySystem,
+    pub(crate) preds: Vec<BranchPredictor>,
+    /// Logical CPUs (cores × SMT ways).
+    pub cpus: Vec<CpuState>,
+    active_cores: usize,
+    pub(crate) threads: Vec<Option<Thread>>,
+    /// Runnable queue.
+    pub run_queue: VecDeque<Tid>,
+    pub(crate) processes: Vec<Process>,
+    /// Filesystem + page cache.
+    pub fs: FileSystem,
+    /// Storage device.
+    pub disk: Disk,
+    /// Network interface.
+    pub nic: Nic,
+    /// Listener table: port → (owner pid/fd, pending conns, waiting acceptors).
+    pub(crate) listeners: HashMap<u16, ListenerState>,
+    pub(crate) kcode: KernelCode,
+    pub(crate) probes: Vec<ProbeHandle>,
+    pub(crate) instr_tracers: HashMap<Pid, Arc<Mutex<dyn RetireSink + Send>>>,
+    proc_counters: HashMap<Pid, PerfCounters>,
+    next_alloc_base: u64,
+    /// Scheduler quantum.
+    pub quantum: SimDuration,
+    pub(crate) wake_token: u64,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("node", &self.node)
+            .field("platform", &self.spec.name)
+            .field("threads", &self.threads.len())
+            .field("runnable", &self.run_queue.len())
+            .finish()
+    }
+}
+
+/// Per-port listener bookkeeping.
+#[derive(Debug, Default)]
+pub struct ListenerState {
+    /// Owning process.
+    pub pid: Pid,
+    /// Listener fd in the owner.
+    pub fd: Fd,
+    /// Connections awaiting accept.
+    pub pending: VecDeque<ConnId>,
+    /// Threads blocked in accept.
+    pub waiting: VecDeque<Tid>,
+}
+
+impl Machine {
+    /// Builds a machine for `spec`. The page cache gets half the RAM, as a
+    /// rough Linux default under memory pressure.
+    pub fn new(node: NodeId, spec: PlatformSpec, seed: u64) -> Self {
+        let mem = spec.build_memory_system();
+        let smt_ways = if spec.smt { 2 } else { 1 };
+        let n_logical = spec.cores * smt_ways;
+        let cores = (0..spec.cores).map(|i| Core::new(i, spec.core)).collect();
+        let preds = (0..n_logical).map(|_| BranchPredictor::new(spec.branch)).collect();
+        let mut machine = Machine {
+            node,
+            cores,
+            mem,
+            preds,
+            cpus: vec![CpuState::default(); n_logical],
+            active_cores: spec.cores,
+            threads: Vec::new(),
+            run_queue: VecDeque::new(),
+            processes: Vec::new(),
+            fs: FileSystem::new(spec.ram_bytes / 2),
+            disk: Disk::new(spec.disk),
+            nic: Nic::new(spec.nic),
+            listeners: HashMap::new(),
+            kcode: KernelCode::new(seed ^ 0x6b63_6f64_6531, SyscallCosts::default()),
+            probes: Vec::new(),
+            instr_tracers: HashMap::new(),
+            proc_counters: HashMap::new(),
+            next_alloc_base: 0x2000_0000_0000,
+            quantum: SimDuration::from_millis(1),
+            wake_token: 0,
+            spec,
+        };
+        // Map the kernel region for every process via a shared base.
+        machine.next_alloc_base += 0x1000_0000;
+        machine
+    }
+
+    /// Creates a process and returns its pid.
+    pub fn spawn_process(&mut self) -> Pid {
+        let pid = Pid(self.processes.len() as u32);
+        let mut p = Process::new(pid);
+        // Kernel data region shared machine-wide.
+        p.memmap.set_base(KERNEL_REGION, 0x0100_0000_0000);
+        self.processes.push(p);
+        pid
+    }
+
+    /// Allocates an anonymous region of `bytes` in `pid`'s address space.
+    pub fn alloc_region(&mut self, pid: Pid, bytes: u64) -> u32 {
+        let p = &mut self.processes[pid.index()];
+        let region = p.next_region;
+        p.next_region += 1;
+        p.memmap.set_base(region, self.next_alloc_base);
+        self.next_alloc_base += bytes.max(4096).next_power_of_two().max(1 << 20);
+        region
+    }
+
+    /// Creates a thread in `pid` with the given body; the caller (cluster)
+    /// must enqueue it runnable.
+    pub fn create_thread(&mut self, pid: Pid, body: Box<dyn ThreadBody>, seed: u64) -> Tid {
+        let tid = Tid(self.threads.len() as u32);
+        let label = body.label().to_string();
+        self.threads.push(Some(Thread {
+            tid,
+            pid,
+            body,
+            pending: SysResult::None,
+            block: None,
+            rng: SimRng::seed(seed),
+            branch_states: BranchStates::new(),
+            label,
+            cpu_time: SimDuration::ZERO,
+            exited: false,
+        }));
+        self.processes[pid.index()].live_threads += 1;
+        tid
+    }
+
+    /// Access to a process.
+    pub fn process(&self, pid: Pid) -> &Process {
+        &self.processes[pid.index()]
+    }
+
+    /// Mutable access to a process.
+    pub fn process_mut(&mut self, pid: Pid) -> &mut Process {
+        &mut self.processes[pid.index()]
+    }
+
+    /// Access to a thread (None if exited and reaped, or tid invalid).
+    pub fn thread(&self, tid: Tid) -> Option<&Thread> {
+        self.threads.get(tid.index()).and_then(|t| t.as_ref())
+    }
+
+    /// Registers a kernel probe (SystemTap attach).
+    pub fn attach_probe(&mut self, probe: ProbeHandle) {
+        self.probes.push(probe);
+    }
+
+    /// Attaches an instruction tracer to every thread of `pid` (Intel SDE
+    /// attach).
+    pub fn attach_instr_tracer(&mut self, pid: Pid, tracer: Arc<Mutex<dyn RetireSink + Send>>) {
+        self.instr_tracers.insert(pid, tracer);
+    }
+
+    /// Detaches the instruction tracer from `pid`.
+    pub fn detach_instr_tracer(&mut self, pid: Pid) {
+        self.instr_tracers.remove(&pid);
+    }
+
+    /// Restricts scheduling to the first `n` physical cores (Fig. 11).
+    pub fn set_active_cores(&mut self, n: usize) {
+        self.active_cores = n.clamp(1, self.spec.cores);
+    }
+
+    /// Currently active physical cores.
+    pub fn active_cores(&self) -> usize {
+        self.active_cores
+    }
+
+    /// Sets every core's frequency (Fig. 11 DVFS).
+    pub fn set_frequency(&mut self, ghz: f64) {
+        for c in &mut self.cores {
+            c.spec_mut().freq_ghz = ghz;
+        }
+    }
+
+    /// Number of logical CPUs.
+    pub fn logical_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Physical core of a logical CPU.
+    pub fn physical_of(&self, cpu: usize) -> usize {
+        if self.spec.smt {
+            cpu / 2
+        } else {
+            cpu
+        }
+    }
+
+    /// The SMT sibling of a logical CPU, if any.
+    pub fn sibling_of(&self, cpu: usize) -> Option<usize> {
+        if self.spec.smt {
+            Some(cpu ^ 1)
+        } else {
+            None
+        }
+    }
+
+    /// Finds a free, active logical CPU, preferring ones whose sibling is
+    /// idle (the scheduler spreads across physical cores first).
+    pub fn pick_free_cpu(&self) -> Option<usize> {
+        let limit = self.active_cores * if self.spec.smt { 2 } else { 1 };
+        let mut fallback = None;
+        for cpu in 0..limit {
+            if self.cpus[cpu].running.is_some() {
+                continue;
+            }
+            match self.sibling_of(cpu) {
+                Some(s) if self.cpus[s].running.is_some() => {
+                    if fallback.is_none() {
+                        fallback = Some(cpu);
+                    }
+                }
+                _ => return Some(cpu),
+            }
+        }
+        fallback
+    }
+
+    /// Executes `prog` for thread `thread` on logical CPU `cpu`, returning
+    /// wall-clock duration. The thread must be temporarily detached from
+    /// the thread table (the cluster's slice executor does this).
+    pub fn exec_on_cpu(
+        &mut self,
+        cpu: usize,
+        thread: &mut Thread,
+        prog: &Program,
+        kernel_mode: bool,
+    ) -> SimDuration {
+        let phys = self.physical_of(cpu);
+        let smt_contended = self
+            .sibling_of(cpu)
+            .map(|s| self.cpus[s].running.is_some())
+            .unwrap_or(false);
+        let tracer_arc = self.instr_tracers.get(&thread.pid).cloned();
+        let mut guard = tracer_arc.as_ref().map(|a| a.lock());
+        let core = &mut self.cores[phys];
+        let before = *core.counters();
+        let mut env = ExecEnv {
+            mem: &mut self.mem,
+            predictor: &mut self.preds[cpu],
+            memmap: &self.processes[thread.pid.index()].memmap,
+            branch_states: &mut thread.branch_states,
+            rng: &mut thread.rng,
+            smt_contended,
+            kernel_mode,
+            thread_key: u64::from(thread.tid.0),
+            tracer: guard.as_deref_mut().map(|g| g as &mut dyn RetireSink),
+        };
+        let result = core.execute(prog, &mut env);
+        let delta = *core.counters() - before;
+        *self.proc_counters.entry(thread.pid).or_default() += delta;
+        let dur = core.cycles_to_duration(result.cycles);
+        thread.cpu_time += dur;
+        dur
+    }
+
+    /// Per-process counters (the `perf -p <pid>` view), accumulated since
+    /// the last [`Machine::reset_counters`].
+    pub fn process_counters(&self, pid: Pid) -> PerfCounters {
+        self.proc_counters.get(&pid).copied().unwrap_or_default()
+    }
+
+    /// Aggregated perf counters across all cores.
+    pub fn counters(&self) -> PerfCounters {
+        self.cores
+            .iter()
+            .fold(PerfCounters::new(), |acc, c| acc + *c.counters())
+    }
+
+    /// Zeroes all core counters and device stats (measurement windows).
+    pub fn reset_counters(&mut self) {
+        for c in &mut self.cores {
+            c.reset_counters();
+        }
+        self.proc_counters.clear();
+        self.disk.reset_stats();
+        self.nic.reset_stats();
+        self.fs.reset_stats();
+    }
+
+    pub(crate) fn next_wake_token(&mut self) -> u64 {
+        self.wake_token += 1;
+        self.wake_token
+    }
+
+    pub(crate) fn emit_syscall(&mut self, rec: &SyscallRecord) {
+        for p in &self.probes {
+            p.lock().on_syscall(rec);
+        }
+    }
+
+    pub(crate) fn emit_thread_event(&mut self, time: SimTime, tid: Tid, ev: ThreadEvent) {
+        if self.probes.is_empty() {
+            return;
+        }
+        let (pid, label) = match self.threads.get(tid.index()).and_then(|t| t.as_ref()) {
+            Some(t) => (t.pid, t.label.clone()),
+            None => return,
+        };
+        for p in &self.probes {
+            p.lock().on_thread_event(time, tid, pid, &label, ev);
+        }
+    }
+
+    pub(crate) fn emit_thread_event_detached(
+        &mut self,
+        time: SimTime,
+        thread: &Thread,
+        ev: ThreadEvent,
+    ) {
+        for p in &self.probes {
+            p.lock().on_thread_event(time, thread.tid, thread.pid, &thread.label, ev);
+        }
+    }
+
+    pub(crate) fn emit_context_switch(&mut self, time: SimTime, cpu: usize, from: Option<Tid>, to: Tid) {
+        for p in &self.probes {
+            p.lock().on_context_switch(time, cpu, from, to);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread::{Action, ThreadCtx};
+
+    struct Idle;
+    impl ThreadBody for Idle {
+        fn step(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
+            Action::Exit
+        }
+        fn label(&self) -> &str {
+            "idle"
+        }
+    }
+
+    fn machine() -> Machine {
+        Machine::new(NodeId(0), PlatformSpec::c(), 1)
+    }
+
+    #[test]
+    fn processes_and_threads_register() {
+        let mut m = machine();
+        let pid = m.spawn_process();
+        let tid = m.create_thread(pid, Box::new(Idle), 7);
+        assert_eq!(m.thread(tid).unwrap().pid, pid);
+        assert_eq!(m.process(pid).live_threads, 1);
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut m = machine();
+        let pid = m.spawn_process();
+        let r1 = m.alloc_region(pid, 1 << 20);
+        let r2 = m.alloc_region(pid, 1 << 20);
+        let p = m.process(pid);
+        let b1 = p.memmap.resolve(r1, 0);
+        let b2 = p.memmap.resolve(r2, 0);
+        assert_ne!(r1, r2);
+        assert!(b2 >= b1 + (1 << 20));
+    }
+
+    #[test]
+    fn cpu_topology_with_smt() {
+        let m = machine(); // platform C: 4 cores, SMT
+        assert_eq!(m.logical_cpus(), 8);
+        assert_eq!(m.physical_of(5), 2);
+        assert_eq!(m.sibling_of(4), Some(5));
+    }
+
+    #[test]
+    fn pick_free_cpu_prefers_idle_siblings() {
+        let mut m = machine();
+        // Occupy cpu 0; next pick should avoid cpu 1 (its sibling).
+        m.cpus[0].running = Some(Tid(0));
+        let pick = m.pick_free_cpu().unwrap();
+        assert_ne!(pick, 1, "should prefer a cpu with an idle sibling");
+        // Fill every even cpu; now only siblings remain.
+        for c in (0..8).step_by(2) {
+            m.cpus[c].running = Some(Tid(0));
+        }
+        let pick = m.pick_free_cpu().unwrap();
+        assert!(pick % 2 == 1);
+    }
+
+    #[test]
+    fn active_core_limit_respected() {
+        let mut m = machine();
+        m.set_active_cores(1);
+        for c in 0..2 {
+            m.cpus[c].running = Some(Tid(0));
+        }
+        assert_eq!(m.pick_free_cpu(), None, "cpus beyond active cores must not be picked");
+    }
+
+    #[test]
+    fn exec_on_cpu_charges_time() {
+        let mut m = machine();
+        let pid = m.spawn_process();
+        let tid = m.create_thread(pid, Box::new(Idle), 3);
+        let mut thread = m.threads[tid.index()].take().unwrap();
+        let body = ditto_hw::codegen::Body::new(&ditto_hw::codegen::BodyParams::minimal(
+            5_000, 0x40_0000, 11,
+        ));
+        let prog = body.instantiate(&mut thread.rng);
+        let dur = m.exec_on_cpu(0, &mut thread, &prog, false);
+        assert!(dur > SimDuration::ZERO);
+        assert_eq!(thread.cpu_time, dur);
+        m.threads[tid.index()] = Some(thread);
+        assert!(m.counters().instructions >= 4_000);
+    }
+
+    #[test]
+    fn frequency_scaling_changes_duration() {
+        let mut m = machine();
+        let pid = m.spawn_process();
+        let tid = m.create_thread(pid, Box::new(Idle), 3);
+        let mut thread = m.threads[tid.index()].take().unwrap();
+        let body = ditto_hw::codegen::Body::new(&ditto_hw::codegen::BodyParams::minimal(
+            5_000, 0x40_0000, 11,
+        ));
+        let warm = body.instantiate(&mut thread.rng);
+        m.exec_on_cpu(0, &mut thread, &warm, false);
+        let prog = body.instantiate(&mut thread.rng);
+        let fast = m.exec_on_cpu(0, &mut thread, &prog, false);
+        m.set_frequency(1.1);
+        let prog2 = body.instantiate(&mut thread.rng);
+        let slow = m.exec_on_cpu(0, &mut thread, &prog2, false);
+        assert!(slow.as_nanos() as f64 > fast.as_nanos() as f64 * 2.0);
+    }
+}

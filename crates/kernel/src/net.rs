@@ -1,0 +1,128 @@
+//! Cluster-wide connection state.
+//!
+//! Connections are byte-stream channels delivering discrete messages
+//! (the kernel's framing unit). Each has two endpoints; delivery timing is
+//! decided by the cluster (loopback latency or NIC serialization + link
+//! latency), and arrival pushes into the receiving endpoint's queue.
+
+use std::collections::VecDeque;
+
+use crate::ids::{ConnId, Fd, NodeId, Pid};
+use crate::thread::Msg;
+
+/// One side of a connection.
+#[derive(Debug)]
+pub struct Endpoint {
+    /// Machine this endpoint lives on.
+    pub node: NodeId,
+    /// Owning process (set when the fd is materialised).
+    pub pid: Option<Pid>,
+    /// Descriptor in the owning process (None until accepted).
+    pub fd: Option<Fd>,
+    /// Received, not-yet-consumed messages.
+    pub rx: VecDeque<Msg>,
+    /// Whether the peer closed.
+    pub peer_closed: bool,
+    /// Thread blocked in `recv` on this endpoint, if any (machine-local tid).
+    pub recv_waiter: Option<crate::ids::Tid>,
+}
+
+impl Endpoint {
+    fn new(node: NodeId) -> Self {
+        Endpoint { node, pid: None, fd: None, rx: VecDeque::new(), peer_closed: false, recv_waiter: None }
+    }
+
+    /// Whether a `recv` would complete immediately.
+    pub fn readable(&self) -> bool {
+        !self.rx.is_empty() || self.peer_closed
+    }
+}
+
+/// A two-endpoint connection.
+#[derive(Debug)]
+pub struct Connection {
+    /// `ends[0]` is the connecting (client) side, `ends[1]` the accepting side.
+    pub ends: [Endpoint; 2],
+}
+
+impl Connection {
+    /// Whether both ends are on the same machine.
+    pub fn is_loopback(&self) -> bool {
+        self.ends[0].node == self.ends[1].node
+    }
+}
+
+/// The cluster-wide connection table.
+#[derive(Debug, Default)]
+pub struct NetState {
+    conns: Vec<Connection>,
+}
+
+impl NetState {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        NetState::default()
+    }
+
+    /// Creates a connection between `client_node` and `server_node`.
+    pub fn create(&mut self, client_node: NodeId, server_node: NodeId) -> ConnId {
+        let id = ConnId(self.conns.len() as u32);
+        self.conns.push(Connection {
+            ends: [Endpoint::new(client_node), Endpoint::new(server_node)],
+        });
+        id
+    }
+
+    /// Shared access to a connection.
+    pub fn conn(&self, id: ConnId) -> &Connection {
+        &self.conns[id.index()]
+    }
+
+    /// Mutable access to a connection.
+    pub fn conn_mut(&mut self, id: ConnId) -> &mut Connection {
+        &mut self.conns[id.index()]
+    }
+
+    /// Number of connections ever created.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Whether no connections exist.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread::MsgMeta;
+    use ditto_sim::time::SimTime;
+
+    #[test]
+    fn create_and_access() {
+        let mut net = NetState::new();
+        let c = net.create(NodeId(0), NodeId(1));
+        assert!(!net.conn(c).is_loopback());
+        let c2 = net.create(NodeId(2), NodeId(2));
+        assert!(net.conn(c2).is_loopback());
+        assert_eq!(net.len(), 2);
+    }
+
+    #[test]
+    fn readability_tracks_queue_and_close() {
+        let mut net = NetState::new();
+        let c = net.create(NodeId(0), NodeId(0));
+        assert!(!net.conn(c).ends[1].readable());
+        net.conn_mut(c).ends[1].rx.push_back(Msg {
+            bytes: 10,
+            meta: MsgMeta::default(),
+            arrived: SimTime::ZERO,
+        });
+        assert!(net.conn(c).ends[1].readable());
+        net.conn_mut(c).ends[1].rx.clear();
+        net.conn_mut(c).ends[1].peer_closed = true;
+        assert!(net.conn(c).ends[1].readable());
+    }
+}

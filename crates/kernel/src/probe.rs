@@ -1,0 +1,112 @@
+//! Kernel instrumentation hooks — the SystemTap/eBPF equivalent.
+//!
+//! Profilers in `ditto-profile` register [`KernelProbe`]s on a machine and
+//! observe syscall entry/exit, thread lifecycle and scheduling events,
+//! exactly the observables the paper's skeleton analyzer consumes (§4.3).
+
+use std::sync::Arc;
+
+use ditto_sim::time::SimTime;
+use parking_lot::Mutex;
+
+use crate::ids::{Pid, Tid};
+
+/// One traced syscall.
+#[derive(Debug, Clone)]
+pub struct SyscallRecord {
+    /// When the call entered the kernel.
+    pub time: SimTime,
+    /// Calling thread.
+    pub tid: Tid,
+    /// Owning process.
+    pub pid: Pid,
+    /// Stable syscall name (see `Syscall::name`).
+    pub name: &'static str,
+    /// Byte argument (read/write/send sizes), 0 otherwise.
+    pub bytes: u64,
+    /// File offset argument (`pread`), 0 otherwise.
+    pub offset: u64,
+    /// Whether the call blocked the thread.
+    pub blocked: bool,
+}
+
+/// Thread lifecycle and scheduling events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadEvent {
+    /// Thread created (`clone`).
+    Spawned {
+        /// Parent thread, if spawned by one.
+        parent: Option<Tid>,
+    },
+    /// Thread exited.
+    Exited,
+    /// Thread blocked in the kernel.
+    Blocked,
+    /// Thread became runnable again.
+    Woken,
+    /// Thread dispatched onto a logical CPU.
+    Dispatched {
+        /// Logical CPU index.
+        cpu: usize,
+    },
+    /// Thread preempted at quantum expiry.
+    Preempted,
+}
+
+/// A kernel-side observer. All methods have empty defaults so probes can
+/// implement only what they need.
+pub trait KernelProbe: Send {
+    /// A syscall was executed.
+    fn on_syscall(&mut self, _rec: &SyscallRecord) {}
+
+    /// A thread lifecycle/scheduling event occurred.
+    fn on_thread_event(&mut self, _time: SimTime, _tid: Tid, _pid: Pid, _label: &str, _ev: ThreadEvent) {}
+
+    /// A context switch occurred on a logical CPU.
+    fn on_context_switch(&mut self, _time: SimTime, _cpu: usize, _from: Option<Tid>, _to: Tid) {}
+}
+
+/// Shared handle to a probe, registerable on a machine.
+pub type ProbeHandle = Arc<Mutex<dyn KernelProbe>>;
+
+/// Wraps a probe implementation into a registerable handle, returning both
+/// the handle to register and a typed handle to read results from later.
+pub fn probe_handle<P: KernelProbe + 'static>(probe: P) -> (ProbeHandle, Arc<Mutex<P>>) {
+    let typed = Arc::new(Mutex::new(probe));
+    (typed.clone() as ProbeHandle, typed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct CountingProbe {
+        syscalls: usize,
+        events: usize,
+    }
+
+    impl KernelProbe for CountingProbe {
+        fn on_syscall(&mut self, _rec: &SyscallRecord) {
+            self.syscalls += 1;
+        }
+        fn on_thread_event(&mut self, _t: SimTime, _tid: Tid, _p: Pid, _l: &str, _ev: ThreadEvent) {
+            self.events += 1;
+        }
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let (handle, typed) = probe_handle(CountingProbe::default());
+        handle.lock().on_syscall(&SyscallRecord {
+            time: SimTime::ZERO,
+            tid: Tid(0),
+            pid: Pid(0),
+            name: "read",
+            bytes: 10,
+            offset: 0,
+            blocked: false,
+        });
+        assert_eq!(typed.lock().syscalls, 1);
+    }
+}

@@ -1,0 +1,339 @@
+//! Threads as action state machines.
+//!
+//! Instead of coroutines, a thread's logic is a [`ThreadBody`]: the kernel
+//! repeatedly calls [`ThreadBody::step`], and the body returns the next
+//! [`Action`] — compute on the CPU, perform a system call, or exit. The
+//! result of the previous syscall is available in the [`ThreadCtx`], so
+//! bodies are ordinary Rust state machines.
+
+use ditto_hw::isa::Program;
+use ditto_sim::rng::SimRng;
+use ditto_sim::time::{SimDuration, SimTime};
+
+use crate::ids::{Fd, FileId, NodeId, Tid};
+
+/// Metadata carried by a network message. The kernel treats these as
+/// opaque numbers; the application/trace layers give them meaning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MsgMeta {
+    /// Request tag (application-level correlation id).
+    pub tag: u64,
+    /// Distributed-trace id (0 = untraced).
+    pub trace_id: u64,
+    /// Parent span id within the trace.
+    pub span_id: u64,
+}
+
+/// A message queued on a socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Msg {
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Opaque metadata.
+    pub meta: MsgMeta,
+    /// When the message arrived at the receiving socket.
+    pub arrived: SimTime,
+}
+
+/// System calls available to thread bodies.
+pub enum Syscall {
+    /// Opens a file; returns [`SysResult::Fd`].
+    Open {
+        /// The file to open.
+        file: FileId,
+    },
+    /// Reads from a file (at `offset` if given — `pread`); returns
+    /// [`SysResult::Bytes`]. Blocks on page-cache misses.
+    Read {
+        /// Open file descriptor.
+        fd: Fd,
+        /// Bytes to read.
+        bytes: u64,
+        /// Absolute offset (`pread`) or `None` to use the cursor.
+        offset: Option<u64>,
+    },
+    /// Writes to a file (buffered; no blocking); returns [`SysResult::Bytes`].
+    Write {
+        /// Open file descriptor.
+        fd: Fd,
+        /// Bytes to write.
+        bytes: u64,
+    },
+    /// Closes any descriptor; returns [`SysResult::None`].
+    Close {
+        /// Descriptor to close.
+        fd: Fd,
+    },
+    /// Creates a listening socket on `port`; returns [`SysResult::Fd`].
+    Listen {
+        /// Port to bind.
+        port: u16,
+    },
+    /// Accepts a pending connection, blocking if none; returns
+    /// [`SysResult::Fd`] for the new connection socket.
+    Accept {
+        /// Listener descriptor.
+        listener: Fd,
+    },
+    /// Connects to `(node, port)`; returns [`SysResult::Fd`].
+    Connect {
+        /// Target machine.
+        node: NodeId,
+        /// Target port.
+        port: u16,
+    },
+    /// Sends a message on a connected socket; returns [`SysResult::Bytes`].
+    Send {
+        /// Socket descriptor.
+        fd: Fd,
+        /// Payload size.
+        bytes: u64,
+        /// Opaque metadata delivered with the message.
+        meta: MsgMeta,
+    },
+    /// Receives one message, blocking if none; returns [`SysResult::Msg`].
+    Recv {
+        /// Socket descriptor.
+        fd: Fd,
+    },
+    /// Creates an epoll instance; returns [`SysResult::Fd`].
+    EpollCreate,
+    /// Adds `watch` to the epoll interest list; returns [`SysResult::None`].
+    EpollCtl {
+        /// Epoll descriptor.
+        ep: Fd,
+        /// Descriptor to watch (socket or listener).
+        watch: Fd,
+    },
+    /// Waits for readiness, blocking up to `timeout`; returns
+    /// [`SysResult::Ready`].
+    EpollWait {
+        /// Epoll descriptor.
+        ep: Fd,
+        /// Maximum wait; `None` blocks indefinitely.
+        timeout: Option<SimDuration>,
+    },
+    /// Spawns a new thread in the same process (`clone`); returns
+    /// [`SysResult::Thread`].
+    Spawn {
+        /// The new thread's body.
+        body: Box<dyn ThreadBody>,
+    },
+    /// Blocks until [`Syscall::FutexWake`] on the same key.
+    FutexWait {
+        /// Process-scoped futex key.
+        key: u32,
+    },
+    /// Wakes up to `n` waiters; returns [`SysResult::Bytes`] with the
+    /// number woken.
+    FutexWake {
+        /// Process-scoped futex key.
+        key: u32,
+        /// Maximum waiters to wake.
+        n: u32,
+    },
+    /// Sleeps for a duration.
+    Nanosleep {
+        /// Sleep length.
+        dur: SimDuration,
+    },
+    /// Allocates an anonymous memory region; returns [`SysResult::Region`].
+    Mmap {
+        /// Region size in bytes.
+        bytes: u64,
+    },
+    /// Yields the CPU (requeues the thread).
+    SchedYield,
+}
+
+impl std::fmt::Debug for Syscall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Syscall::{}", self.name())
+    }
+}
+
+impl Syscall {
+    /// Short stable name used by tracers and profiles.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Syscall::Open { .. } => "open",
+            Syscall::Read { offset: Some(_), .. } => "pread",
+            Syscall::Read { .. } => "read",
+            Syscall::Write { .. } => "write",
+            Syscall::Close { .. } => "close",
+            Syscall::Listen { .. } => "listen",
+            Syscall::Accept { .. } => "accept",
+            Syscall::Connect { .. } => "connect",
+            Syscall::Send { .. } => "sendmsg",
+            Syscall::Recv { .. } => "recvmsg",
+            Syscall::EpollCreate => "epoll_create",
+            Syscall::EpollCtl { .. } => "epoll_ctl",
+            Syscall::EpollWait { .. } => "epoll_wait",
+            Syscall::Spawn { .. } => "clone",
+            Syscall::FutexWait { .. } => "futex_wait",
+            Syscall::FutexWake { .. } => "futex_wake",
+            Syscall::Nanosleep { .. } => "nanosleep",
+            Syscall::Mmap { .. } => "mmap",
+            Syscall::SchedYield => "sched_yield",
+        }
+    }
+
+    /// Payload size carried by the call, for tracers.
+    pub fn byte_arg(&self) -> u64 {
+        match self {
+            Syscall::Read { bytes, .. }
+            | Syscall::Write { bytes, .. }
+            | Syscall::Send { bytes, .. }
+            | Syscall::Mmap { bytes } => *bytes,
+            _ => 0,
+        }
+    }
+}
+
+/// Error codes surfaced by syscalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Errno {
+    /// Descriptor does not exist or has the wrong type.
+    BadFd,
+    /// No such file.
+    NoEnt,
+    /// Remote endpoint unavailable.
+    ConnRefused,
+    /// Connection closed by the peer.
+    ConnClosed,
+    /// Port already bound.
+    AddrInUse,
+}
+
+impl std::fmt::Display for Errno {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Errno::BadFd => "bad file descriptor",
+            Errno::NoEnt => "no such file",
+            Errno::ConnRefused => "connection refused",
+            Errno::ConnClosed => "connection closed",
+            Errno::AddrInUse => "address in use",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Errno {}
+
+/// The result of the previous action, delivered on the next step.
+#[derive(Debug, Clone, Default)]
+pub enum SysResult {
+    /// First step, or result of a compute/yield action.
+    #[default]
+    None,
+    /// A descriptor (open/listen/accept/connect/epoll_create).
+    Fd(Fd),
+    /// A byte count (read/write/send) or generic count (futex_wake).
+    Bytes(u64),
+    /// A received message.
+    Msg(Msg),
+    /// Ready descriptors from epoll_wait (empty on timeout).
+    Ready(Vec<Fd>),
+    /// An allocated memory region id.
+    Region(u32),
+    /// A spawned thread id.
+    Thread(Tid),
+    /// The call failed.
+    Err(Errno),
+}
+
+impl SysResult {
+    /// The descriptor, if this is [`SysResult::Fd`].
+    pub fn fd(&self) -> Option<Fd> {
+        match self {
+            SysResult::Fd(fd) => Some(*fd),
+            _ => None,
+        }
+    }
+
+    /// The message, if this is [`SysResult::Msg`].
+    pub fn msg(&self) -> Option<Msg> {
+        match self {
+            SysResult::Msg(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// Whether the previous call failed.
+    pub fn is_err(&self) -> bool {
+        matches!(self, SysResult::Err(_))
+    }
+}
+
+/// What a thread does next.
+pub enum Action {
+    /// Execute user-space code on the CPU.
+    Compute(Program),
+    /// Perform a system call.
+    Syscall(Syscall),
+    /// Terminate the thread.
+    Exit,
+}
+
+impl std::fmt::Debug for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Action::Compute(p) => write!(f, "Compute({} instrs)", p.dynamic_instructions()),
+            Action::Syscall(s) => write!(f, "Syscall({})", s.name()),
+            Action::Exit => write!(f, "Exit"),
+        }
+    }
+}
+
+/// Context handed to a thread body on each step.
+pub struct ThreadCtx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Result of the previous action.
+    pub last: SysResult,
+    /// This thread's deterministic RNG.
+    pub rng: &'a mut SimRng,
+    /// This thread's id.
+    pub tid: Tid,
+}
+
+/// A thread's logic: a resumable state machine.
+///
+/// `step` is called each time the thread is scheduled with the previous
+/// action's result; it returns the next action. Returning [`Action::Exit`]
+/// terminates the thread.
+pub trait ThreadBody: Send {
+    /// Produces the next action.
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action;
+
+    /// A short label for tracing/clustering (e.g. "worker", "listener").
+    fn label(&self) -> &str {
+        "thread"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syscall_names_are_stable() {
+        assert_eq!(Syscall::EpollCreate.name(), "epoll_create");
+        assert_eq!(Syscall::Read { fd: Fd(0), bytes: 1, offset: Some(0) }.name(), "pread");
+        assert_eq!(Syscall::Read { fd: Fd(0), bytes: 1, offset: None }.name(), "read");
+    }
+
+    #[test]
+    fn byte_args_extracted() {
+        assert_eq!(Syscall::Write { fd: Fd(0), bytes: 77 }.byte_arg(), 77);
+        assert_eq!(Syscall::EpollCreate.byte_arg(), 0);
+    }
+
+    #[test]
+    fn sysresult_accessors() {
+        assert_eq!(SysResult::Fd(Fd(3)).fd(), Some(Fd(3)));
+        assert_eq!(SysResult::None.fd(), None);
+        assert!(SysResult::Err(Errno::BadFd).is_err());
+        assert!(!SysResult::None.is_err());
+    }
+}

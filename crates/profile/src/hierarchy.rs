@@ -1,0 +1,233 @@
+//! Clustering utilities: agglomerative clustering and ordered tree-edit
+//! distance.
+//!
+//! §4.3.2 clusters threads by the tree-edit distance between their call
+//! graphs using agglomerative clustering ("since the number of clusters is
+//! unknown in advance"); §4.4.2 clusters instructions hierarchically by
+//! their resource features. Both algorithms live here.
+
+/// Complete-linkage agglomerative clustering over a precomputed distance
+/// matrix. Merging stops when the closest pair is farther than
+/// `threshold`. Returns a cluster id per item.
+///
+/// # Panics
+///
+/// Panics if `dist` is not an `n × n` matrix.
+pub fn agglomerative(dist: &[Vec<f64>], threshold: f64) -> Vec<usize> {
+    let n = dist.len();
+    for row in dist {
+        assert_eq!(row.len(), n, "distance matrix must be square");
+    }
+    // clusters: list of member lists.
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+
+    let linkage = |a: &[usize], b: &[usize]| -> f64 {
+        let mut worst: f64 = 0.0;
+        for &i in a {
+            for &j in b {
+                worst = worst.max(dist[i][j]);
+            }
+        }
+        worst
+    };
+
+    loop {
+        if clusters.len() <= 1 {
+            break;
+        }
+        let mut best = (f64::INFINITY, 0usize, 0usize);
+        for i in 0..clusters.len() {
+            for j in i + 1..clusters.len() {
+                let d = linkage(&clusters[i], &clusters[j]);
+                if d < best.0 {
+                    best = (d, i, j);
+                }
+            }
+        }
+        if best.0 > threshold {
+            break;
+        }
+        let merged = clusters.remove(best.2);
+        clusters[best.1].extend(merged);
+    }
+
+    let mut ids = vec![0usize; n];
+    for (cid, members) in clusters.iter().enumerate() {
+        for &m in members {
+            ids[m] = cid;
+        }
+    }
+    ids
+}
+
+/// A labelled ordered tree for edit-distance comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tree {
+    /// Node label.
+    pub label: String,
+    /// Ordered children.
+    pub children: Vec<Tree>,
+}
+
+impl Tree {
+    /// A leaf node.
+    pub fn leaf(label: &str) -> Tree {
+        Tree { label: label.to_string(), children: Vec::new() }
+    }
+
+    /// An internal node.
+    pub fn node(label: &str, children: Vec<Tree>) -> Tree {
+        Tree { label: label.to_string(), children }
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(Tree::size).sum::<usize>()
+    }
+
+    /// Post-order traversal of (label, leftmost-leaf-index) — the
+    /// Zhang-Shasha preliminaries.
+    fn postorder(&self) -> (Vec<String>, Vec<usize>, Vec<usize>) {
+        // labels, leftmost leaf per node, keyroots
+        fn walk(t: &Tree, labels: &mut Vec<String>, lml: &mut Vec<usize>) -> usize {
+            let mut first_leaf = usize::MAX;
+            for c in &t.children {
+                let l = walk(c, labels, lml);
+                if first_leaf == usize::MAX {
+                    first_leaf = l;
+                }
+            }
+            labels.push(t.label.clone());
+            let own = labels.len() - 1;
+            let leftmost = if first_leaf == usize::MAX { own } else { first_leaf };
+            lml.push(leftmost);
+            leftmost
+        }
+        let mut labels = Vec::new();
+        let mut lml = Vec::new();
+        walk(self, &mut labels, &mut lml);
+        // keyroots: nodes with no left sibling sharing the leftmost leaf —
+        // i.e., the highest node for each distinct leftmost-leaf value.
+        let mut keyroots = Vec::new();
+        for i in 0..labels.len() {
+            if (i + 1..labels.len()).all(|j| lml[j] != lml[i]) {
+                keyroots.push(i);
+            }
+        }
+        (labels, lml, keyroots)
+    }
+}
+
+/// Zhang-Shasha ordered tree-edit distance with unit costs.
+pub fn tree_edit_distance(a: &Tree, b: &Tree) -> usize {
+    let (la, lmla, kra) = a.postorder();
+    let (lb, lmlb, krb) = b.postorder();
+    let (m, n) = (la.len(), lb.len());
+    let mut td = vec![vec![0usize; n]; m];
+
+    for &i in &kra {
+        for &j in &krb {
+            // forest distance for subtrees rooted at i, j
+            let (li, lj) = (lmla[i], lmlb[j]);
+            let rows = i - li + 2;
+            let cols = j - lj + 2;
+            let mut fd = vec![vec![0usize; cols]; rows];
+            for r in 1..rows {
+                fd[r][0] = fd[r - 1][0] + 1;
+            }
+            for c in 1..cols {
+                fd[0][c] = fd[0][c - 1] + 1;
+            }
+            for r in 1..rows {
+                for c in 1..cols {
+                    let (ai, bj) = (li + r - 1, lj + c - 1);
+                    if lmla[ai] == li && lmlb[bj] == lj {
+                        let rename = usize::from(la[ai] != lb[bj]);
+                        fd[r][c] = (fd[r - 1][c] + 1)
+                            .min(fd[r][c - 1] + 1)
+                            .min(fd[r - 1][c - 1] + rename);
+                        td[ai][bj] = fd[r][c];
+                    } else {
+                        let (ra, ca) = (lmla[ai] - li, lmlb[bj] - lj);
+                        fd[r][c] = (fd[r - 1][c] + 1)
+                            .min(fd[r][c - 1] + 1)
+                            .min(fd[ra][ca] + td[ai][bj]);
+                    }
+                }
+            }
+        }
+    }
+    td[m - 1][n - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_trees_distance_zero() {
+        let t = Tree::node("a", vec![Tree::leaf("b"), Tree::leaf("c")]);
+        assert_eq!(tree_edit_distance(&t, &t.clone()), 0);
+    }
+
+    #[test]
+    fn single_rename_costs_one() {
+        let a = Tree::node("a", vec![Tree::leaf("b")]);
+        let b = Tree::node("a", vec![Tree::leaf("x")]);
+        assert_eq!(tree_edit_distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn insertion_costs_one() {
+        let a = Tree::node("a", vec![Tree::leaf("b")]);
+        let b = Tree::node("a", vec![Tree::leaf("b"), Tree::leaf("c")]);
+        assert_eq!(tree_edit_distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Tree::node("root", vec![Tree::node("x", vec![Tree::leaf("y")]), Tree::leaf("z")]);
+        let b = Tree::node("root", vec![Tree::leaf("q")]);
+        assert_eq!(tree_edit_distance(&a, &b), tree_edit_distance(&b, &a));
+    }
+
+    #[test]
+    fn leaf_vs_deep_tree() {
+        let a = Tree::leaf("a");
+        let b = Tree::node("a", vec![Tree::node("b", vec![Tree::leaf("c")])]);
+        assert_eq!(tree_edit_distance(&a, &b), 2);
+    }
+
+    #[test]
+    fn agglomerative_groups_close_items() {
+        // Items 0,1 close; 2,3 close; the pairs far apart.
+        let d = vec![
+            vec![0.0, 0.1, 5.0, 5.0],
+            vec![0.1, 0.0, 5.0, 5.0],
+            vec![5.0, 5.0, 0.0, 0.2],
+            vec![5.0, 5.0, 0.2, 0.0],
+        ];
+        let ids = agglomerative(&d, 1.0);
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[2], ids[3]);
+        assert_ne!(ids[0], ids[2]);
+    }
+
+    #[test]
+    fn agglomerative_threshold_zero_keeps_singletons() {
+        let d = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let ids = agglomerative(&d, 0.5);
+        assert_ne!(ids[0], ids[1]);
+    }
+
+    #[test]
+    fn agglomerative_huge_threshold_merges_all() {
+        let d = vec![
+            vec![0.0, 2.0, 9.0],
+            vec![2.0, 0.0, 4.0],
+            vec![9.0, 4.0, 0.0],
+        ];
+        let ids = agglomerative(&d, 100.0);
+        assert!(ids.iter().all(|&i| i == ids[0]));
+    }
+}

@@ -1,0 +1,466 @@
+//! The combined instruction-stream profiler — the Intel SDE equivalent.
+//!
+//! A single [`RetireSink`] pass over a process's retired instructions
+//! collects everything §4.4 needs: the dynamic instruction mix (§4.4.2),
+//! per-site branch taken/transition rates quantized on the paper's log
+//! scale (§4.4.3), data and instruction reuse-distance curves
+//! (§4.4.4/§4.4.5), RAW/WAR/WAW register dependency distances (§4.4.6),
+//! the shared-data access fraction (coherence cloning), the
+//! pointer-chasing fraction (MLP cloning), and `rep` string lengths.
+
+use std::collections::HashMap;
+
+use ditto_hw::core_model::{RetireEvent, RetireSink};
+use ditto_hw::isa::InstrClass;
+use ditto_sim::quant::{dep_bin, rate_bin, BinHistogram, DEP_BINS, RATE_BINS};
+
+use crate::stackdist::{HitCurve, StackDistance};
+
+const NCLASS: usize = InstrClass::ALL.len();
+
+/// Serde support for the fixed-size class-count array.
+mod serde_arrays_class {
+    use super::NCLASS;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &[u64; NCLASS], s: S) -> Result<S::Ok, S::Error> {
+        v.as_slice().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u64; NCLASS], D::Error> {
+        let v: Vec<u64> = Vec::deserialize(d)?;
+        let mut out = [0u64; NCLASS];
+        for (i, x) in v.into_iter().take(NCLASS).enumerate() {
+            out[i] = x;
+        }
+        Ok(out)
+    }
+}
+
+fn merge_curves<'a>(dists: impl Iterator<Item = &'a StackDistance>) -> HitCurve {
+    let mut out = HitCurve::empty();
+    for d in dists {
+        out.merge(&d.curve());
+    }
+    out
+}
+
+#[derive(Debug, Clone, Default)]
+struct BranchSite {
+    execs: u64,
+    taken: u64,
+    transitions: u64,
+    last: Option<bool>,
+}
+
+/// Per-line ownership for shared-data detection: a line is shared once two
+/// different threads have touched it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineOwner {
+    One(u64),
+    Shared,
+}
+
+/// The streaming profiler. Attach via
+/// `Machine::attach_instr_tracer(pid, …)`, run load, then call
+/// [`InstrProfiler::finish`].
+pub struct InstrProfiler {
+    class_counts: [u64; NCLASS],
+    total: u64,
+    user_only: bool,
+    kernel_pc_floor: u64,
+    rep_bytes_total: u64,
+    rep_count: u64,
+    branch_sites: HashMap<u64, BranchSite>,
+    // Per-thread reuse-distance profiles: threads interleave arbitrarily
+    // on the global timeline, but cache locality is (mostly) per core;
+    // Valgrind likewise observes one thread at a time.
+    data_dist: HashMap<u64, StackDistance>,
+    instr_dist: HashMap<u64, StackDistance>,
+    last_fetch_line: HashMap<u64, u64>,
+    raw: BinHistogram,
+    war: BinHistogram,
+    waw: BinHistogram,
+    last_write: [u64; 32],
+    last_read: [u64; 32],
+    mem_accesses: u64,
+    writes: u64,
+    shared_writes: u64,
+    chased_loads: u64,
+    loads: u64,
+    line_owner: HashMap<u64, LineOwner>,
+}
+
+impl std::fmt::Debug for InstrProfiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstrProfiler")
+            .field("instructions", &self.total)
+            .field("branch_sites", &self.branch_sites.len())
+            .finish()
+    }
+}
+
+impl InstrProfiler {
+    /// Creates a profiler. With `user_only`, instructions whose PC is in
+    /// the kernel text range are excluded from the mix/branch/dependency
+    /// profiles (they are cloned by imitating syscalls instead, §4.4) but
+    /// still feed the i-cache curve, which genuinely mixes modes.
+    pub fn new(user_only: bool) -> Self {
+        InstrProfiler {
+            class_counts: [0; NCLASS],
+            total: 0,
+            user_only,
+            kernel_pc_floor: 0xFFFF_8000_0000,
+            rep_bytes_total: 0,
+            rep_count: 0,
+            branch_sites: HashMap::new(),
+            data_dist: HashMap::new(),
+            instr_dist: HashMap::new(),
+            last_fetch_line: HashMap::new(),
+            raw: BinHistogram::new(DEP_BINS),
+            war: BinHistogram::new(DEP_BINS),
+            waw: BinHistogram::new(DEP_BINS),
+            last_write: [0; 32],
+            last_read: [0; 32],
+            mem_accesses: 0,
+            writes: 0,
+            shared_writes: 0,
+            chased_loads: 0,
+            loads: 0,
+            line_owner: HashMap::new(),
+        }
+    }
+
+    /// Finalises into an [`InstrProfile`]. Non-consuming so the profiler
+    /// can stay attached through an `Arc<Mutex<…>>`.
+    pub fn finish(&self) -> InstrProfile {
+        let mut branch_rate_hist = vec![vec![0u64; RATE_BINS]; RATE_BINS];
+        for site in self.branch_sites.values() {
+            if site.execs < 2 {
+                continue;
+            }
+            let taken_rate = site.taken as f64 / site.execs as f64;
+            // Use the minority direction, as the paper's 2^-M encoding does.
+            let minority = taken_rate.min(1.0 - taken_rate);
+            let trans_rate = site.transitions as f64 / (site.execs - 1) as f64;
+            branch_rate_hist[rate_bin(minority.max(1e-9))][rate_bin(trans_rate.max(1e-9))] +=
+                site.execs;
+        }
+        InstrProfile {
+            class_counts: self.class_counts,
+            instructions: self.total,
+            rep_bytes_mean: if self.rep_count == 0 {
+                0
+            } else {
+                self.rep_bytes_total / self.rep_count
+            },
+            static_branches: self.branch_sites.len() as u64,
+            branch_rate_hist,
+            data_curve: merge_curves(self.data_dist.values()),
+            instr_curve: merge_curves(self.instr_dist.values()),
+            raw: self.raw.clone(),
+            war: self.war.clone(),
+            waw: self.waw.clone(),
+            shared_fraction: if self.writes == 0 {
+                0.0
+            } else {
+                self.shared_writes as f64 / self.writes as f64
+            },
+            chase_fraction: if self.loads == 0 {
+                0.0
+            } else {
+                self.chased_loads as f64 / self.loads as f64
+            },
+        }
+    }
+}
+
+impl RetireSink for InstrProfiler {
+    fn retire(&mut self, ev: &RetireEvent<'_>) {
+        // Instruction fetch stream (all modes; the i-cache sees both).
+        let fetch_line = ev.pc >> 6;
+        let last = self.last_fetch_line.entry(ev.thread_key).or_insert(u64::MAX);
+        if fetch_line != *last {
+            *last = fetch_line;
+            self.instr_dist
+                .entry(ev.thread_key)
+                .or_default()
+                .access(ev.pc);
+        }
+
+        let kernel = ev.pc >= self.kernel_pc_floor;
+        if self.user_only && kernel {
+            // Data stream from the kernel (socket buffers, page cache
+            // copies) still affects caches but is reproduced via syscall
+            // cloning; skip it in the user profile entirely.
+            return;
+        }
+
+        let t = self.total;
+        self.total += 1;
+        let instr = ev.instr;
+        self.class_counts[instr.class.index()] += 1;
+
+        if instr.class == InstrClass::RepString {
+            self.rep_count += 1;
+            self.rep_bytes_total += u64::from(instr.imm);
+        }
+
+        // Dependencies through registers.
+        for src in [instr.src1, instr.src2] {
+            if src.is_some() {
+                let r = src.0 as usize;
+                self.raw.add(dep_bin(t.saturating_sub(self.last_write[r]).max(1)), 1);
+                self.last_read[r] = t;
+            }
+        }
+        if instr.dst.is_some() {
+            let r = instr.dst.0 as usize;
+            self.war.add(dep_bin(t.saturating_sub(self.last_read[r]).max(1)), 1);
+            self.waw.add(dep_bin(t.saturating_sub(self.last_write[r]).max(1)), 1);
+            self.last_write[r] = t;
+        }
+
+        // Data memory stream.
+        if let Some(addr) = ev.addr {
+            self.mem_accesses += 1;
+            self.data_dist.entry(ev.thread_key).or_default().access(addr);
+            let line = addr >> 6;
+            let shared = match self.line_owner.get(&line) {
+                Some(LineOwner::Shared) => true,
+                Some(LineOwner::One(owner)) if *owner != ev.thread_key => {
+                    self.line_owner.insert(line, LineOwner::Shared);
+                    true
+                }
+                Some(LineOwner::One(_)) => false,
+                None => {
+                    self.line_owner.insert(line, LineOwner::One(ev.thread_key));
+                    false
+                }
+            };
+            if instr.mem.is_some_and(|m| m.write) {
+                self.writes += 1;
+                if shared {
+                    self.shared_writes += 1;
+                }
+            }
+            if instr.class == InstrClass::Load {
+                self.loads += 1;
+                // Address-dependent loads: the DCFG equivalent marks loads
+                // whose address comes from a prior load.
+                if instr.mem.is_some_and(|m| m.chased) {
+                    self.chased_loads += 1;
+                }
+            }
+        }
+
+        // Branch behaviour per static site.
+        if let (InstrClass::CondBranch, Some(taken)) = (instr.class, ev.taken) {
+            let site = self.branch_sites.entry(ev.pc).or_default();
+            site.execs += 1;
+            if taken {
+                site.taken += 1;
+            }
+            if let Some(last) = site.last {
+                if last != taken {
+                    site.transitions += 1;
+                }
+            }
+            site.last = Some(taken);
+        }
+    }
+}
+
+/// The finished instruction profile — everything the body generator needs.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct InstrProfile {
+    /// Dynamic count per [`InstrClass`].
+    #[serde(with = "serde_arrays_class")]
+    pub class_counts: [u64; NCLASS],
+    /// Total profiled (user) instructions.
+    pub instructions: u64,
+    /// Mean bytes per `rep` string op.
+    pub rep_bytes_mean: u64,
+    /// Static conditional-branch sites observed.
+    pub static_branches: u64,
+    /// `branch_rate_hist[taken_bin][transition_bin]` = dynamic executions,
+    /// bins per §4.4.3's `2^-1 … 2^-10` quantization.
+    pub branch_rate_hist: Vec<Vec<u64>>,
+    /// Data reuse-distance curve (`H_d`).
+    pub data_curve: HitCurve,
+    /// Instruction reuse-distance curve (`H_i`).
+    pub instr_curve: HitCurve,
+    /// RAW dependency-distance histogram (11 exponential bins).
+    pub raw: BinHistogram,
+    /// WAR dependency-distance histogram.
+    pub war: BinHistogram,
+    /// WAW dependency-distance histogram.
+    pub waw: BinHistogram,
+    /// Fraction of *writes* that hit lines touched by multiple threads —
+    /// the invalidation-producing accesses that matter for coherence
+    /// cloning (§4.4.4). Reads of shared lines follow for free.
+    pub shared_fraction: f64,
+    /// Fraction of loads that are address-dependent on a prior load.
+    pub chase_fraction: f64,
+}
+
+impl InstrProfile {
+    /// The instruction mix as `(class, weight)` pairs, zero-weight classes
+    /// omitted.
+    pub fn mix(&self) -> Vec<(InstrClass, f64)> {
+        let total = self.instructions.max(1) as f64;
+        InstrClass::ALL
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.class_counts[i] > 0)
+            .map(|(i, &c)| (c, self.class_counts[i] as f64 / total))
+            .collect()
+    }
+
+    /// The branch-rate distribution as `((taken_rate, transition_rate),
+    /// weight)` entries.
+    pub fn branch_rates(&self) -> Vec<((f64, f64), f64)> {
+        let mut out = Vec::new();
+        let mut total = 0u64;
+        for row in &self.branch_rate_hist {
+            for &c in row {
+                total += c;
+            }
+        }
+        if total == 0 {
+            return out;
+        }
+        for (tb, row) in self.branch_rate_hist.iter().enumerate() {
+            for (trb, &c) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push((
+                        (
+                            ditto_sim::quant::rate_from_bin(tb),
+                            ditto_sim::quant::rate_from_bin(trb),
+                        ),
+                        c as f64 / total as f64,
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ditto_hw::isa::{Instr, MemRef, Reg};
+
+    fn event<'a>(pc: u64, instr: &'a Instr, addr: Option<u64>, taken: Option<bool>, thread: u64) -> RetireEvent<'a> {
+        RetireEvent { thread_key: thread, pc, instr, addr, taken }
+    }
+
+    #[test]
+    fn mix_counts_classes() {
+        let mut p = InstrProfiler::new(true);
+        let alu = Instr::alu(InstrClass::IntAlu, Reg(4), Reg(5), Reg::NONE);
+        let ld = Instr::load(Reg(6), MemRef::read(1, 0));
+        for i in 0..10 {
+            p.retire(&event(0x1000 + i * 4, &alu, None, None, 0));
+        }
+        for i in 0..5 {
+            p.retire(&event(0x2000 + i * 4, &ld, Some(0x9000), None, 0));
+        }
+        let prof = p.finish();
+        assert_eq!(prof.instructions, 15);
+        assert_eq!(prof.class_counts[InstrClass::IntAlu.index()], 10);
+        assert_eq!(prof.class_counts[InstrClass::Load.index()], 5);
+        let mix = prof.mix();
+        assert_eq!(mix.len(), 2);
+    }
+
+    #[test]
+    fn kernel_instructions_excluded_when_user_only() {
+        let mut p = InstrProfiler::new(true);
+        let alu = Instr::alu(InstrClass::IntAlu, Reg(4), Reg::NONE, Reg::NONE);
+        p.retire(&event(0x1000, &alu, None, None, 0));
+        p.retire(&event(0xFFFF_8000_1000, &alu, None, None, 0));
+        let prof = p.finish();
+        assert_eq!(prof.instructions, 1);
+    }
+
+    #[test]
+    fn branch_rates_recovered() {
+        let mut p = InstrProfiler::new(true);
+        let br = Instr::cond_branch(0);
+        // Site A: always taken. Site B: alternating (transition rate 1.0 →
+        // clamps to the 2^-1 bin).
+        for i in 0..1000 {
+            p.retire(&event(0x1000, &br, None, Some(true), 0));
+            p.retire(&event(0x2000, &br, None, Some(i % 2 == 0), 0));
+        }
+        let prof = p.finish();
+        assert_eq!(prof.static_branches, 2);
+        let rates = prof.branch_rates();
+        assert!(!rates.is_empty());
+        // The always-taken site has minority rate ~0 → last bin.
+        let low_bin_weight: f64 = rates
+            .iter()
+            .filter(|((t, _), _)| *t <= ditto_sim::quant::rate_from_bin(RATE_BINS - 1) * 1.01)
+            .map(|(_, w)| w)
+            .sum();
+        assert!(low_bin_weight > 0.3, "{rates:?}");
+    }
+
+    #[test]
+    fn shared_write_fraction_detected_across_threads() {
+        let mut p = InstrProfiler::new(true);
+        let ld = Instr::load(Reg(6), MemRef::read(1, 0));
+        let st = Instr::store(Reg(6), MemRef::write(1, 0));
+        p.retire(&event(0x1000, &ld, Some(0x5000), None, 1));
+        p.retire(&event(0x1004, &ld, Some(0x5000), None, 2)); // other thread reads
+        // Thread 1 writes the now-shared line: a coherence-relevant write.
+        p.retire(&event(0x1008, &st, Some(0x5000), None, 1));
+        // Private write elsewhere.
+        p.retire(&event(0x100C, &st, Some(0x9000), None, 1));
+        let prof = p.finish();
+        assert!((prof.shared_fraction - 0.5).abs() < 1e-9, "{}", prof.shared_fraction);
+    }
+
+    #[test]
+    fn chase_fraction_measured() {
+        let mut p = InstrProfiler::new(true);
+        let mut chased = Instr::load(Reg(6), MemRef::read(1, 0));
+        if let Some(m) = &mut chased.mem {
+            m.chased = true;
+        }
+        let plain = Instr::load(Reg(7), MemRef::read(1, 64));
+        for i in 0..3 {
+            p.retire(&event(0x1000 + i * 4, &chased, Some(64 * i), None, 0));
+        }
+        p.retire(&event(0x2000, &plain, Some(0x8000), None, 0));
+        let prof = p.finish();
+        assert!((prof.chase_fraction - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependency_distances_binned() {
+        let mut p = InstrProfiler::new(true);
+        // r4 written at t=0, read at t=1 (RAW distance 1) and t=8.
+        let w = Instr::alu(InstrClass::IntAlu, Reg(4), Reg::NONE, Reg::NONE);
+        let r = Instr::alu(InstrClass::IntAlu, Reg(5), Reg(4), Reg::NONE);
+        p.retire(&event(0x1000, &w, None, None, 0));
+        p.retire(&event(0x1004, &r, None, None, 0));
+        let prof = p.finish();
+        assert!(prof.raw.total() > 0);
+        assert_eq!(prof.raw.count(dep_bin(1)), 1);
+    }
+
+    #[test]
+    fn rep_bytes_mean() {
+        let mut p = InstrProfiler::new(true);
+        let mut rep = Instr::load(Reg(4), MemRef::read(1, 0));
+        rep.class = InstrClass::RepString;
+        rep.imm = 1000;
+        p.retire(&event(0x1000, &rep, Some(0), None, 0));
+        rep.imm = 3000;
+        p.retire(&event(0x1004, &rep, Some(0), None, 0));
+        assert_eq!(p.finish().rep_bytes_mean, 2000);
+    }
+}

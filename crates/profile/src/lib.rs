@@ -1,0 +1,27 @@
+//! The profiling substrate: simulated equivalents of SystemTap, Intel
+//! SDE, Valgrind and perf (§4.3, §4.4, §5).
+//!
+//! - [`syscall_profile`] — syscall counts/arguments/blocking (SystemTap),
+//! - [`instr_profile`] — instruction mix, branch taken/transition rates,
+//!   dependency distances, shared/chased access fractions (Intel SDE),
+//! - [`stackdist`] — reuse-distance hit curves `H(2^i)` (Valgrind),
+//! - [`thread_model`] — thread clustering via tree-edit distance +
+//!   agglomerative clustering, network-model inference (§4.3),
+//! - [`hierarchy`] — the clustering algorithms themselves,
+//! - [`metrics`] — windowed hardware counters (perf/VTune),
+//! - [`profile`] — orchestration into one [`AppProfile`].
+
+pub mod hierarchy;
+pub mod instr_profile;
+pub mod metrics;
+pub mod profile;
+pub mod stackdist;
+pub mod syscall_profile;
+pub mod thread_model;
+
+pub use instr_profile::{InstrProfile, InstrProfiler};
+pub use metrics::MetricSet;
+pub use profile::{AppProfile, Profiler};
+pub use stackdist::{HitCurve, StackDistance};
+pub use syscall_profile::{SyscallProfile, SyscallProfiler};
+pub use thread_model::{InferredNetworkModel, ThreadModelAnalyzer, ThreadModelProfile};

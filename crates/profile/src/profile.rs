@@ -1,0 +1,212 @@
+//! Profiling orchestration: attach everything, run load, collect the
+//! [`AppProfile`] that feeds Ditto's generator.
+
+use std::sync::Arc;
+
+use ditto_kernel::{Cluster, NodeId, Pid};
+use ditto_sim::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+
+use crate::instr_profile::{InstrProfile, InstrProfiler};
+use crate::metrics::MetricSet;
+use crate::syscall_profile::{SyscallProfile, SyscallProfiler};
+use crate::thread_model::{ThreadModelAnalyzer, ThreadModelProfile};
+
+/// Everything Ditto learns about one service process.
+///
+/// Serializable: this is the artifact a provider can share publicly —
+/// post-processed statistics only, no application logic (§4.1, §7.2).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct AppProfile {
+    /// Instruction-stream profile (mix, branches, working sets, deps).
+    pub instr: InstrProfile,
+    /// Syscall distribution.
+    pub syscalls: SyscallProfile,
+    /// Thread/network skeleton profile.
+    pub threads: ThreadModelProfile,
+    /// Hardware metrics measured during profiling (fine-tuning targets).
+    pub metrics: MetricSet,
+    /// Requests served in the profiling window.
+    pub requests: u64,
+    /// Profiling window length.
+    pub window: SimDuration,
+}
+
+impl AppProfile {
+    /// Serialises the profile to JSON — the shareable clone recipe.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serializer error (should not happen for
+    /// well-formed profiles).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Loads a profile from JSON produced by [`AppProfile::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error if the JSON does not match the schema.
+    pub fn from_json(json: &str) -> Result<AppProfile, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Mean profiled user instructions per request.
+    pub fn instructions_per_request(&self) -> f64 {
+        self.instr.instructions as f64 / self.requests.max(1) as f64
+    }
+}
+
+/// An attached profiling session (SystemTap + SDE + perf, §5).
+pub struct Profiler {
+    node: NodeId,
+    pid: Pid,
+    instr: Arc<Mutex<InstrProfiler>>,
+    syscalls: Arc<Mutex<SyscallProfiler>>,
+    threads: Arc<Mutex<ThreadModelAnalyzer>>,
+    started: SimTime,
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profiler")
+            .field("node", &self.node)
+            .field("pid", &self.pid)
+            .finish()
+    }
+}
+
+impl Profiler {
+    /// Attaches all profilers to `(node, pid)` and opens a counter window.
+    pub fn attach(cluster: &mut Cluster, node: NodeId, pid: Pid) -> Profiler {
+        let instr = Arc::new(Mutex::new(InstrProfiler::new(true)));
+        let syscalls = Arc::new(Mutex::new(SyscallProfiler::new(pid)));
+        let threads = Arc::new(Mutex::new(ThreadModelAnalyzer::new(pid)));
+        let started = cluster.now();
+        {
+            let m = cluster.machine_mut(node);
+            m.attach_instr_tracer(pid, instr.clone());
+            m.attach_probe(syscalls.clone());
+            m.attach_probe(threads.clone());
+        }
+        MetricSet::begin(cluster, node);
+        Profiler { node, pid, instr, syscalls, threads, started }
+    }
+
+    /// Detaches and assembles the profile.
+    pub fn finish(self, cluster: &mut Cluster) -> AppProfile {
+        cluster.machine_mut(self.node).detach_instr_tracer(self.pid);
+        let now = cluster.now();
+        let window = now.saturating_since(self.started);
+        let metrics = MetricSet::end(cluster, self.node, window);
+        let instr = self.instr.lock().finish();
+        let syscalls = self.syscalls.lock().finish();
+        let threads = self.threads.lock().finish(now);
+        let requests = syscalls.requests();
+        AppProfile { instr, syscalls, threads, metrics, requests, window }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ditto_app::apps;
+    use ditto_hw::platform::PlatformSpec;
+    use ditto_workload::{OpenLoopConfig, Recorder};
+
+    #[test]
+    fn profile_memcached_end_to_end() {
+        let mut cluster = Cluster::new(vec![PlatformSpec::a(), PlatformSpec::c()], 77);
+        let pid = apps::memcached(9000).deploy(&mut cluster, NodeId(0));
+        cluster.run_for(SimDuration::from_millis(10));
+
+        let recorder = Recorder::new();
+        OpenLoopConfig::new(NodeId(0), 9000, 3_000.0).spawn(&mut cluster, NodeId(1), &recorder);
+        cluster.run_for(SimDuration::from_millis(50));
+
+        let profiler = Profiler::attach(&mut cluster, NodeId(0), pid);
+        cluster.run_for(SimDuration::from_millis(200));
+        let profile = profiler.finish(&mut cluster);
+
+        assert!(profile.requests > 200, "requests {}", profile.requests);
+        // Instruction budget: the handler runs ~9k user instructions.
+        let ipr = profile.instructions_per_request();
+        assert!((6_000.0..14_000.0).contains(&ipr), "instructions/request {ipr}");
+        // Skeleton: four epoll workers.
+        assert_eq!(
+            profile.threads.network,
+            crate::thread_model::InferredNetworkModel::IoMultiplexing { workers: 4 },
+            "{:?}",
+            profile.threads
+        );
+        // Syscalls: one response send per request.
+        let sends = profile.syscalls.per_request("sendmsg");
+        assert!((0.8..1.2).contains(&sends), "sendmsg/request {sends}");
+        // The 64MB value-store working set must appear in the data curve.
+        let a = profile.instr.data_curve.accesses_per_working_set(256 * 1024 * 1024);
+        let big: u64 = a.iter().filter(|&&(s, _)| s >= 8 * 1024 * 1024).map(|&(_, n)| n).sum();
+        assert!(
+            big as f64 > profile.instr.data_curve.total() as f64 * 0.1,
+            "large working set accesses {big} of {}",
+            profile.instr.data_curve.total()
+        );
+        // Branch sites and rates were observed.
+        assert!(profile.instr.static_branches > 10);
+        assert!(!profile.instr.branch_rates().is_empty());
+        // Shared hash-table lines detected across the 4 workers.
+        assert!(profile.instr.shared_fraction > 0.02, "{}", profile.instr.shared_fraction);
+        // Counters captured something sensible.
+        assert!(profile.metrics.ipc > 0.1 && profile.metrics.ipc < 4.0);
+        assert!(profile.metrics.net_bandwidth > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+    use crate::{InstrProfiler, MetricSet, SyscallProfile};
+    use ditto_hw::counters::PerfCounters;
+
+    #[test]
+    fn profile_json_roundtrip() {
+        let profile = AppProfile {
+            instr: InstrProfiler::new(true).finish(),
+            syscalls: SyscallProfile::default(),
+            threads: crate::thread_model::ThreadModelProfile {
+                clusters: Vec::new(),
+                network: crate::InferredNetworkModel::ThreadPerConnection,
+            },
+            metrics: MetricSet {
+                ipc: 1.25,
+                branch_miss_rate: 0.04,
+                l1i_miss_rate: 0.02,
+                l1d_miss_rate: 0.09,
+                l2_miss_rate: 0.3,
+                llc_miss_rate: 0.5,
+                net_bandwidth: 1e7,
+                disk_bandwidth: 0.0,
+                topdown: Default::default(),
+                counters: PerfCounters::new(),
+            },
+            requests: 123,
+            window: SimDuration::from_millis(250),
+        };
+        let json = profile.to_json().expect("serializes");
+        assert!(json.contains("\"requests\": 123"));
+        let back = AppProfile::from_json(&json).expect("parses");
+        assert_eq!(back.requests, 123);
+        assert!((back.metrics.ipc - 1.25).abs() < 1e-12);
+        assert_eq!(back.threads.network, crate::InferredNetworkModel::ThreadPerConnection);
+        assert_eq!(back.instr.instructions, profile.instr.instructions);
+        // The artifact carries statistics, never code.
+        assert!(!json.contains("instrs"));
+        assert!(!json.contains("CodeBlock"));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(AppProfile::from_json("{not json").is_err());
+        assert!(AppProfile::from_json("{}").is_err());
+    }
+}

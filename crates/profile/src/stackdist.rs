@@ -1,0 +1,362 @@
+//! Exact LRU reuse-distance profiling — the Valgrind-cachegrind
+//! equivalent (§4.4.4, §4.4.5).
+//!
+//! One pass over an address stream yields the hit counts `H(2^i)` for
+//! *every* power-of-two cache size simultaneously: a fully-associative LRU
+//! cache of capacity `C` lines hits an access exactly when its reuse
+//! distance (distinct lines touched since the previous access to the same
+//! line) is below `C`. The paper profiles per-size with Valgrind and notes
+//! associativity contributes only ~1.9% error, which justifies the
+//! fully-associative shortcut.
+//!
+//! Implementation: Olken's algorithm with a Fenwick tree over access
+//! timestamps (1 marks the *latest* access of a live line), compacted when
+//! the timestamp space fills.
+
+use std::collections::HashMap;
+
+/// Log2 of the maximum tracked working set in lines (2³⁰ lines = 64 GiB);
+/// deeper reuses saturate into the last bin.
+const MAX_BINS: usize = 31;
+
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick { tree: vec![0; n + 1] }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i32) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + i64::from(delta)) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of `[0, i]`.
+    fn prefix(&self, mut i: usize) -> u64 {
+        i += 1;
+        let mut s = 0u64;
+        while i > 0 {
+            s += u64::from(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Streaming reuse-distance histogram over 64-byte lines.
+pub struct StackDistance {
+    fen: Fenwick,
+    cap: usize,
+    last: HashMap<u64, u32>,
+    time: usize,
+    /// `bins[k]` counts accesses with working-set size in `(2^(k-1), 2^k]`
+    /// lines... concretely: reuse distance `d` lands in bin
+    /// `ceil(log2(d+1))`, so bin `k` covers `d+1 ∈ (2^(k-1), 2^k]`.
+    bins: [u64; MAX_BINS + 1],
+    cold: u64,
+    total: u64,
+}
+
+impl std::fmt::Debug for StackDistance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StackDistance")
+            .field("accesses", &self.total)
+            .field("distinct_lines", &self.last.len())
+            .finish()
+    }
+}
+
+impl StackDistance {
+    /// Creates a profiler with a timestamp window of `2^21` before
+    /// compaction.
+    pub fn new() -> Self {
+        let cap = 1 << 21;
+        StackDistance {
+            fen: Fenwick::new(cap),
+            cap,
+            last: HashMap::new(),
+            time: 0,
+            bins: [0; MAX_BINS + 1],
+            cold: 0,
+            total: 0,
+        }
+    }
+
+    fn compact(&mut self) {
+        let mut live: Vec<(u64, u32)> = self.last.iter().map(|(&l, &t)| (l, t)).collect();
+        live.sort_by_key(|&(_, t)| t);
+        self.fen = Fenwick::new(self.cap);
+        self.last.clear();
+        for (i, (line, _)) in live.into_iter().enumerate() {
+            self.last.insert(line, i as u32);
+            self.fen.add(i, 1);
+        }
+        self.time = self.last.len();
+    }
+
+    /// Records an access to the 64-byte line containing `addr`.
+    pub fn access(&mut self, addr: u64) {
+        let line = addr >> 6;
+        self.total += 1;
+        if self.time >= self.cap {
+            self.compact();
+        }
+        let t = self.time;
+        match self.last.insert(line, t as u32) {
+            Some(prev) => {
+                // Distinct lines accessed strictly after `prev`:
+                let after = self.fen.prefix(t.saturating_sub(1)) - self.fen.prefix(prev as usize);
+                let d = after; // excludes the line itself
+                let bin = (64 - (d + 1).leading_zeros().min(63)) as usize; // ceil(log2(d+1))
+                let bin = if (d + 1).is_power_of_two() { bin - 1 } else { bin };
+                self.bins[bin.min(MAX_BINS)] += 1;
+                self.fen.add(prev as usize, -1);
+                self.fen.add(t, 1);
+            }
+            None => {
+                self.cold += 1;
+                self.fen.add(t, 1);
+            }
+        }
+        self.time += 1;
+    }
+
+    /// Total accesses observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Cold (first-touch) accesses.
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+
+    /// Snapshots the current hit curve.
+    pub fn curve(&self) -> HitCurve {
+        HitCurve { bins: self.bins.to_vec(), cold: self.cold, total: self.total }
+    }
+
+    /// Finishes into a hit curve.
+    pub fn into_curve(self) -> HitCurve {
+        self.curve()
+    }
+}
+
+impl Default for StackDistance {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Hit counts per power-of-two cache size: the paper's `H(2^i)`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HitCurve {
+    /// `bins[k]`: accesses whose reuse needs a cache of exactly `2^k` lines.
+    bins: Vec<u64>,
+    cold: u64,
+    total: u64,
+}
+
+impl HitCurve {
+    /// An empty curve.
+    pub fn empty() -> HitCurve {
+        HitCurve { bins: vec![0; MAX_BINS + 1], cold: 0, total: 0 }
+    }
+
+    /// Merges another curve's counts into this one (used to combine
+    /// per-thread profiles).
+    pub fn merge(&mut self, other: &HitCurve) {
+        if self.bins.len() < other.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.cold += other.cold;
+        self.total += other.total;
+    }
+
+    /// `H(size_bytes)`: hits in a fully-associative LRU cache of the given
+    /// size (power of two, ≥ 64).
+    pub fn hits(&self, size_bytes: u64) -> u64 {
+        let lines_log2 = (size_bytes.max(64) / 64).trailing_zeros() as usize;
+        self.bins.iter().take(lines_log2 + 1).sum()
+    }
+
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Cold misses (never hits at any size).
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+
+    /// The touched footprint in bytes (distinct lines × 64, rounded up).
+    pub fn footprint_bytes(&self) -> u64 {
+        (self.cold.max(1) * 64).next_power_of_two()
+    }
+
+    /// Equation (1): the number of accesses attributed to each working set
+    /// of `2^i` bytes — `A_d(64) = H_d(64)`, otherwise
+    /// `A_d(2^i) = H_d(2^i) − H_d(2^(i−1))` — up to `max_bytes`. Accesses
+    /// with deeper reuse than any tracked size, plus cold misses, are
+    /// assigned to the touched footprint (capped at `max_bytes`), so
+    /// totals are preserved.
+    pub fn accesses_per_working_set(&self, max_bytes: u64) -> Vec<(u64, u64)> {
+        let max_bytes = max_bytes.max(64).next_power_of_two();
+        let remainder_size = self.footprint_bytes().clamp(64, max_bytes);
+        let mut out = Vec::new();
+        let mut size = 64u64;
+        let mut assigned = 0u64;
+        while size <= max_bytes {
+            let a = if size == 64 {
+                self.hits(64)
+            } else {
+                self.hits(size) - self.hits(size / 2)
+            };
+            assigned += a;
+            out.push((size, a));
+            size *= 2;
+        }
+        let remainder = self.total - assigned.min(self.total);
+        if remainder > 0 {
+            if let Some(slot) = out.iter_mut().find(|(s, _)| *s == remainder_size) {
+                slot.1 += remainder;
+            }
+        }
+        out.retain(|&(s, a)| a > 0 || s == 64);
+        out
+    }
+
+    /// Equation (2): dynamic executions per instruction working set of
+    /// `2^j` bytes. With 64-byte lines and 4-byte instructions, a line
+    /// holds 16 instructions, so each line-granular hit represents 16
+    /// executions; the smallest working set absorbs the remainder so the
+    /// total matches `16 · H_i(2^N)`.
+    pub fn executions_per_working_set(&self, max_bytes: u64) -> Vec<(u64, u64)> {
+        let max_bytes = max_bytes.max(64).next_power_of_two();
+        let mut sizes = Vec::new();
+        let mut size = 128u64;
+        let mut acc = Vec::new();
+        while size <= max_bytes {
+            let e = 16 * (self.hits(size) - self.hits(size / 2));
+            acc.push((size, e));
+            sizes.push(size);
+            size *= 2;
+        }
+        let assigned: u64 = acc.iter().map(|&(_, e)| e).sum();
+        let top = 16 * self.hits(max_bytes);
+        let smallest = top.saturating_sub(assigned);
+        let mut out = vec![(64u64, smallest)];
+        out.extend(acc);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve_of(addrs: &[u64]) -> HitCurve {
+        let mut s = StackDistance::new();
+        for &a in addrs {
+            s.access(a);
+        }
+        s.into_curve()
+    }
+
+    #[test]
+    fn repeated_line_hits_smallest_cache() {
+        let c = curve_of(&[0, 0, 0, 0]);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.cold(), 1);
+        assert_eq!(c.hits(64), 3);
+    }
+
+    #[test]
+    fn two_line_alternation_needs_two_lines() {
+        // 0,64,0,64,... distance 1 → hits need ≥2-line cache (128 B).
+        let c = curve_of(&[0, 64, 0, 64, 0, 64]);
+        assert_eq!(c.hits(64), 0);
+        assert_eq!(c.hits(128), 4);
+    }
+
+    #[test]
+    fn sequential_loop_reuse_equals_working_set() {
+        // Loop over 8 lines 4 times: each reuse distance is 7 → needs 8 lines.
+        let mut addrs = Vec::new();
+        for _ in 0..4 {
+            for l in 0..8u64 {
+                addrs.push(l * 64);
+            }
+        }
+        let c = curve_of(&addrs);
+        assert_eq!(c.hits(7 * 64), 0, "7-line cache thrashes");
+        assert_eq!(c.hits(512), 24, "8-line cache captures all reuses");
+    }
+
+    #[test]
+    fn eq1_partitions_accesses() {
+        let mut addrs = Vec::new();
+        for _ in 0..10 {
+            addrs.push(0); // 64B working set
+            for l in 0..16u64 {
+                addrs.push(4096 + l * 64); // 1KB working set (16 lines)
+            }
+        }
+        let c = curve_of(&addrs);
+        let parts = c.accesses_per_working_set(1 << 20);
+        let total: u64 = parts.iter().map(|&(_, a)| a).sum();
+        assert_eq!(total, c.total());
+        // Every reuse (hot line and loop lines alike) sees 16 distinct
+        // other lines in between → distance 16 → the 2KB (32-line) bin.
+        let big: u64 = parts.iter().filter(|&&(s, _)| s >= 1024 && s <= 4096).map(|&(_, a)| a).sum();
+        assert!(big >= 9 * 17, "loop accesses {big}");
+    }
+
+    #[test]
+    fn eq2_total_is_16x_hits() {
+        let mut addrs = Vec::new();
+        for _ in 0..50 {
+            for l in 0..4u64 {
+                addrs.push(l * 64);
+            }
+        }
+        let c = curve_of(&addrs);
+        let top_hits = c.hits(1 << 20);
+        let parts = c.executions_per_working_set(1 << 20);
+        let total: u64 = parts.iter().map(|&(_, e)| e).sum();
+        assert_eq!(total, 16 * top_hits);
+    }
+
+    #[test]
+    fn compaction_preserves_distances() {
+        let mut s = StackDistance::new();
+        // Force many compactions with a 3M-access stream over 4 lines.
+        for i in 0..3_000_000u64 {
+            s.access((i % 4) * 64);
+        }
+        let c = s.into_curve();
+        assert_eq!(c.cold(), 4);
+        assert_eq!(c.hits(4 * 64), 3_000_000 - 4);
+        assert_eq!(c.hits(2 * 64), 0);
+    }
+
+    #[test]
+    fn distinct_streaming_never_hits() {
+        let mut s = StackDistance::new();
+        for i in 0..10_000u64 {
+            s.access(i * 64);
+        }
+        let c = s.into_curve();
+        assert_eq!(c.cold(), 10_000);
+        assert_eq!(c.hits(1 << 30), 0);
+    }
+}

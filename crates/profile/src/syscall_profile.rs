@@ -1,0 +1,173 @@
+//! Syscall profiling — the SystemTap equivalent of §4.4.1.
+//!
+//! Attached as a [`KernelProbe`], it records per-syscall counts, byte
+//! arguments and blocking behaviour for one process, and normalises them
+//! into per-request rates (requests ≈ messages received by the service).
+
+use std::collections::HashMap;
+
+use ditto_kernel::{KernelProbe, Pid, SyscallRecord};
+
+/// Statistics for one syscall name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SyscallStats {
+    /// Invocations.
+    pub count: u64,
+    /// Sum of byte arguments.
+    pub total_bytes: u64,
+    /// Invocations that blocked.
+    pub blocked: u64,
+    /// Largest `offset + bytes` seen (the accessed file span).
+    pub max_extent: u64,
+}
+
+impl SyscallStats {
+    /// Mean bytes per call.
+    pub fn mean_bytes(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.total_bytes / self.count
+        }
+    }
+
+    /// Fraction of calls that blocked.
+    pub fn block_rate(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.blocked as f64 / self.count as f64
+        }
+    }
+}
+
+/// The probe. Register with `Machine::attach_probe`.
+#[derive(Debug)]
+pub struct SyscallProfiler {
+    pid: Pid,
+    stats: HashMap<&'static str, SyscallStats>,
+}
+
+impl SyscallProfiler {
+    /// Profiles syscalls of `pid` only.
+    pub fn new(pid: Pid) -> Self {
+        SyscallProfiler { pid, stats: HashMap::new() }
+    }
+
+    /// Finalises into a profile.
+    pub fn finish(&self) -> SyscallProfile {
+        SyscallProfile {
+            stats: self.stats.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+        }
+    }
+}
+
+impl KernelProbe for SyscallProfiler {
+    fn on_syscall(&mut self, rec: &SyscallRecord) {
+        if rec.pid != self.pid {
+            return;
+        }
+        let s = self.stats.entry(rec.name).or_default();
+        s.count += 1;
+        s.total_bytes += rec.bytes;
+        s.blocked += u64::from(rec.blocked);
+        s.max_extent = s.max_extent.max(rec.offset + rec.bytes);
+    }
+}
+
+/// Aggregated syscall distribution for one service process.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct SyscallProfile {
+    /// Per-name statistics.
+    pub stats: HashMap<String, SyscallStats>,
+}
+
+impl SyscallProfile {
+    /// Stats for one syscall (zeroes if never seen).
+    pub fn get(&self, name: &str) -> SyscallStats {
+        self.stats.get(name).copied().unwrap_or_default()
+    }
+
+    /// Requests served, approximated as messages received on server-side
+    /// sockets.
+    pub fn requests(&self) -> u64 {
+        self.get("recvmsg").count
+    }
+
+    /// Mean calls of `name` per request.
+    pub fn per_request(&self, name: &str) -> f64 {
+        let reqs = self.requests().max(1);
+        self.get(name).count as f64 / reqs as f64
+    }
+
+    /// Mean `pread`/`read` file bytes per request.
+    pub fn file_read_bytes_per_request(&self) -> f64 {
+        let reqs = self.requests().max(1) as f64;
+        (self.get("pread").total_bytes + self.get("read").total_bytes) as f64 / reqs
+    }
+
+    /// Whether the traced process ever used epoll.
+    pub fn uses_epoll(&self) -> bool {
+        self.get("epoll_wait").count > 0
+    }
+
+    /// The observed file span touched by reads (max offset + bytes).
+    pub fn file_span(&self) -> u64 {
+        self.get("pread").max_extent.max(self.get("read").max_extent)
+    }
+
+    /// Fraction of `pread`/`read` calls that blocked (disk-bound signal).
+    pub fn read_block_rate(&self) -> f64 {
+        let r = self.get("pread");
+        let r2 = self.get("read");
+        let count = r.count + r2.count;
+        if count == 0 {
+            0.0
+        } else {
+            (r.blocked + r2.blocked) as f64 / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ditto_sim::time::SimTime;
+    use ditto_kernel::Tid;
+
+    fn rec(pid: u32, name: &'static str, bytes: u64, blocked: bool) -> SyscallRecord {
+        SyscallRecord { time: SimTime::ZERO, tid: Tid(0), pid: Pid(pid), name, bytes, offset: 0, blocked }
+    }
+
+    #[test]
+    fn filters_by_pid_and_accumulates() {
+        let mut p = SyscallProfiler::new(Pid(1));
+        p.on_syscall(&rec(1, "recvmsg", 128, false));
+        p.on_syscall(&rec(1, "recvmsg", 128, true));
+        p.on_syscall(&rec(2, "recvmsg", 128, false)); // other pid
+        p.on_syscall(&rec(1, "pread", 4096, true));
+        let prof = p.finish();
+        assert_eq!(prof.requests(), 2);
+        assert_eq!(prof.get("pread").count, 1);
+        assert_eq!(prof.get("pread").mean_bytes(), 4096);
+        assert!((prof.get("recvmsg").block_rate() - 0.5).abs() < 1e-12);
+        assert!((prof.per_request("pread") - 0.5).abs() < 1e-12);
+        assert!((prof.file_read_bytes_per_request() - 2048.0).abs() < 1e-9);
+        assert!((prof.read_block_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoll_detection() {
+        let mut p = SyscallProfiler::new(Pid(0));
+        assert!(!p.finish().uses_epoll());
+        p.on_syscall(&rec(0, "epoll_wait", 0, true));
+        assert!(p.finish().uses_epoll());
+    }
+
+    #[test]
+    fn unknown_names_are_zero() {
+        let p = SyscallProfiler::new(Pid(0)).finish();
+        assert_eq!(p.get("never").count, 0);
+        assert_eq!(p.per_request("never"), 0.0);
+    }
+}

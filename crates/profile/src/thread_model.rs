@@ -1,0 +1,326 @@
+//! Thread- and network-model analysis — §4.3's skeleton profiler.
+//!
+//! A [`KernelProbe`] observes each thread's syscall stream and lifecycle.
+//! Per-thread call graphs (root → syscall children weighted by frequency
+//! order) are compared with tree-edit distance and clustered
+//! agglomeratively; clusters are classified short-/long-lived and their
+//! trigger points (socket readiness, accept, futex, timer) identified,
+//! and the process's network model (blocking vs I/O-multiplexing,
+//! thread-per-connection vs worker pool) is inferred.
+
+use std::collections::HashMap;
+
+use ditto_kernel::{KernelProbe, Pid, SyscallRecord, ThreadEvent, Tid};
+use ditto_sim::time::SimTime;
+
+use crate::hierarchy::{agglomerative, tree_edit_distance, Tree};
+
+#[derive(Debug, Clone, Default)]
+struct ThreadObs {
+    label: String,
+    syscalls: HashMap<&'static str, u64>,
+    spawned_at: Option<SimTime>,
+    exited_at: Option<SimTime>,
+    blocks: u64,
+    dispatches: u64,
+}
+
+/// The probe: attach with `Machine::attach_probe`.
+#[derive(Debug)]
+pub struct ThreadModelAnalyzer {
+    pid: Pid,
+    threads: HashMap<Tid, ThreadObs>,
+}
+
+impl ThreadModelAnalyzer {
+    /// Observes threads of `pid`.
+    pub fn new(pid: Pid) -> Self {
+        ThreadModelAnalyzer { pid, threads: HashMap::new() }
+    }
+
+    fn call_tree(obs: &ThreadObs) -> Tree {
+        let mut calls: Vec<(&str, u64)> =
+            obs.syscalls.iter().map(|(&n, &c)| (n, c)).collect();
+        // Order children by dominance so similar threads produce similar
+        // ordered trees.
+        calls.sort_by_key(|&(n, c)| (std::cmp::Reverse(c), n));
+        Tree::node(
+            "thread",
+            calls.into_iter().map(|(n, _)| Tree::leaf(n)).collect(),
+        )
+    }
+
+    /// Finalises the analysis at time `end`.
+    pub fn finish(&self, end: SimTime) -> ThreadModelProfile {
+        let mut tids: Vec<Tid> = self.threads.keys().copied().collect();
+        tids.sort();
+        let obs: Vec<&ThreadObs> = tids.iter().map(|t| &self.threads[t]).collect();
+        let trees: Vec<Tree> = obs.iter().map(|o| Self::call_tree(o)).collect();
+
+        let n = trees.len();
+        let mut dist = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = tree_edit_distance(&trees[i], &trees[j]) as f64;
+                dist[i][j] = d;
+                dist[j][i] = d;
+            }
+        }
+        // Threads within edit distance 2 of each other share a role.
+        let ids = if n == 0 { Vec::new() } else { agglomerative(&dist, 2.0) };
+
+        let mut clusters: HashMap<usize, ThreadCluster> = HashMap::new();
+        for (k, o) in obs.iter().enumerate() {
+            let c = clusters.entry(ids[k]).or_insert_with(|| ThreadCluster {
+                threads: 0,
+                short_lived: false,
+                trigger: Trigger::None,
+                syscall_counts: HashMap::new(),
+                labels: Vec::new(),
+            });
+            c.threads += 1;
+            for (&name, &cnt) in &o.syscalls {
+                *c.syscall_counts.entry(name.to_string()).or_insert(0) += cnt;
+            }
+            if !c.labels.contains(&o.label) {
+                c.labels.push(o.label.clone());
+            }
+            // Short-lived: exited well before the window end after a brief
+            // life, or spawned mid-run (connection-scoped threads are
+            // spawned after startup and may live on).
+            let spawned_late = o
+                .spawned_at
+                .is_some_and(|t| t > SimTime::from_nanos(end.as_nanos() / 10));
+            c.short_lived = c.short_lived || o.exited_at.is_some() || spawned_late;
+        }
+        let mut clusters: Vec<ThreadCluster> = clusters.into_values().collect();
+        for c in &mut clusters {
+            c.trigger = c.infer_trigger();
+        }
+        clusters.sort_by(|a, b| b.threads.cmp(&a.threads));
+
+        let network = infer_network_model(&clusters);
+        ThreadModelProfile { clusters, network }
+    }
+}
+
+impl KernelProbe for ThreadModelAnalyzer {
+    fn on_syscall(&mut self, rec: &SyscallRecord) {
+        if rec.pid != self.pid {
+            return;
+        }
+        let o = self.threads.entry(rec.tid).or_default();
+        *o.syscalls.entry(rec.name).or_insert(0) += 1;
+        if rec.blocked {
+            o.blocks += 1;
+        }
+    }
+
+    fn on_thread_event(&mut self, time: SimTime, tid: Tid, pid: Pid, label: &str, ev: ThreadEvent) {
+        if pid != self.pid {
+            return;
+        }
+        let o = self.threads.entry(tid).or_default();
+        if o.label.is_empty() {
+            o.label = label.to_string();
+        }
+        match ev {
+            ThreadEvent::Spawned { .. } => o.spawned_at = Some(time),
+            ThreadEvent::Exited => o.exited_at = Some(time),
+            ThreadEvent::Blocked => o.blocks += 1,
+            ThreadEvent::Dispatched { .. } => o.dispatches += 1,
+            _ => {}
+        }
+    }
+}
+
+/// What wakes threads of a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Trigger {
+    /// Socket readiness via epoll.
+    EpollReadiness,
+    /// Blocking receive on a socket.
+    SocketRecv,
+    /// Incoming connections.
+    Accept,
+    /// User-space synchronisation.
+    Futex,
+    /// Timers.
+    Timer,
+    /// Nothing observed.
+    None,
+}
+
+/// One cluster of behaviourally-similar threads.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ThreadCluster {
+    /// Threads in the cluster.
+    pub threads: usize,
+    /// Spawned/retired dynamically rather than at startup.
+    pub short_lived: bool,
+    /// Dominant wake-up source.
+    pub trigger: Trigger,
+    /// Aggregate syscall counts.
+    pub syscall_counts: HashMap<String, u64>,
+    /// Body labels seen (diagnostics only — the real system has no labels).
+    pub labels: Vec<String>,
+}
+
+impl ThreadCluster {
+    fn count(&self, name: &str) -> u64 {
+        self.syscall_counts.get(name).copied().unwrap_or(0)
+    }
+
+    fn infer_trigger(&self) -> Trigger {
+        let candidates = [
+            (self.count("epoll_wait"), Trigger::EpollReadiness),
+            (self.count("recvmsg"), Trigger::SocketRecv),
+            (self.count("accept"), Trigger::Accept),
+            (self.count("futex_wait"), Trigger::Futex),
+            (self.count("nanosleep"), Trigger::Timer),
+        ];
+        // epoll dominates recv if both appear (the recv after readiness is
+        // the payload, not the trigger).
+        if self.count("epoll_wait") > 0 {
+            return Trigger::EpollReadiness;
+        }
+        candidates
+            .into_iter()
+            .max_by_key(|&(c, _)| c)
+            .filter(|&(c, _)| c > 0)
+            .map(|(_, t)| t)
+            .unwrap_or(Trigger::None)
+    }
+}
+
+/// Inferred server network model (§4.3.1's taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum InferredNetworkModel {
+    /// I/O multiplexing with a worker pool of the given size.
+    IoMultiplexing {
+        /// Long-lived worker-loop threads.
+        workers: usize,
+    },
+    /// Blocking thread-per-connection.
+    ThreadPerConnection,
+    /// No server behaviour observed.
+    Unknown,
+}
+
+fn infer_network_model(clusters: &[ThreadCluster]) -> InferredNetworkModel {
+    let epoll_threads: usize = clusters
+        .iter()
+        .filter(|c| c.trigger == Trigger::EpollReadiness)
+        .map(|c| c.threads)
+        .sum();
+    if epoll_threads > 0 {
+        return InferredNetworkModel::IoMultiplexing { workers: epoll_threads };
+    }
+    let has_dynamic_recv_threads = clusters
+        .iter()
+        .any(|c| c.trigger == Trigger::SocketRecv && c.short_lived && c.threads > 1);
+    let has_acceptor = clusters.iter().any(|c| c.count("accept") > 0);
+    if has_acceptor && has_dynamic_recv_threads {
+        return InferredNetworkModel::ThreadPerConnection;
+    }
+    if has_acceptor || clusters.iter().any(|c| c.count("recvmsg") > 0) {
+        return InferredNetworkModel::ThreadPerConnection;
+    }
+    InferredNetworkModel::Unknown
+}
+
+/// The finished skeleton profile.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ThreadModelProfile {
+    /// Thread clusters, largest first.
+    pub clusters: Vec<ThreadCluster>,
+    /// Inferred network model.
+    pub network: InferredNetworkModel,
+}
+
+impl ThreadModelProfile {
+    /// Worker threads handling requests (largest request-triggered cluster).
+    pub fn worker_threads(&self) -> usize {
+        match self.network {
+            InferredNetworkModel::IoMultiplexing { workers } => workers,
+            InferredNetworkModel::ThreadPerConnection => self
+                .clusters
+                .iter()
+                .filter(|c| c.trigger == Trigger::SocketRecv)
+                .map(|c| c.threads)
+                .sum(),
+            InferredNetworkModel::Unknown => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tid: u32, name: &'static str, blocked: bool) -> SyscallRecord {
+        SyscallRecord {
+            time: SimTime::ZERO,
+            tid: Tid(tid),
+            pid: Pid(0),
+            name,
+            bytes: 0,
+            offset: 0,
+            blocked,
+        }
+    }
+
+    #[test]
+    fn epoll_workers_clustered_and_classified() {
+        let mut a = ThreadModelAnalyzer::new(Pid(0));
+        // Four identical epoll workers.
+        for tid in 0..4 {
+            for _ in 0..100 {
+                a.on_syscall(&rec(tid, "epoll_wait", true));
+                a.on_syscall(&rec(tid, "recvmsg", false));
+                a.on_syscall(&rec(tid, "sendmsg", false));
+            }
+        }
+        // One acceptor.
+        for _ in 0..10 {
+            a.on_syscall(&rec(9, "accept", true));
+        }
+        let p = a.finish(SimTime::from_nanos(1_000_000));
+        assert_eq!(p.network, InferredNetworkModel::IoMultiplexing { workers: 4 });
+        let worker_cluster = p.clusters.iter().find(|c| c.threads == 4).expect("cluster of 4");
+        assert_eq!(worker_cluster.trigger, Trigger::EpollReadiness);
+        assert_eq!(p.worker_threads(), 4);
+    }
+
+    #[test]
+    fn thread_per_conn_detected() {
+        let mut a = ThreadModelAnalyzer::new(Pid(0));
+        a.on_syscall(&rec(0, "accept", true));
+        for tid in 1..6 {
+            a.on_thread_event(
+                SimTime::from_nanos(900_000),
+                Tid(tid),
+                Pid(0),
+                "w",
+                ThreadEvent::Spawned { parent: Some(Tid(0)) },
+            );
+            for _ in 0..50 {
+                a.on_syscall(&rec(tid, "recvmsg", true));
+                a.on_syscall(&rec(tid, "pread", true));
+                a.on_syscall(&rec(tid, "sendmsg", false));
+            }
+        }
+        let p = a.finish(SimTime::from_nanos(1_000_000));
+        assert_eq!(p.network, InferredNetworkModel::ThreadPerConnection);
+        assert_eq!(p.worker_threads(), 5);
+    }
+
+    #[test]
+    fn other_pids_ignored() {
+        let mut a = ThreadModelAnalyzer::new(Pid(3));
+        a.on_syscall(&rec(0, "epoll_wait", true));
+        let p = a.finish(SimTime::from_nanos(100));
+        assert!(p.clusters.is_empty());
+        assert_eq!(p.network, InferredNetworkModel::Unknown);
+    }
+}

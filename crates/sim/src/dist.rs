@@ -1,0 +1,322 @@
+//! Analytic distributions used across the simulator.
+//!
+//! Workload generators need inter-arrival and key-popularity distributions
+//! (exponential for open-loop Poisson traffic, Zipf for cache-skewed key
+//! spaces); device models need service-time distributions (log-normal);
+//! profilers and generators need empirical discrete distributions sampled by
+//! weight. Everything samples from a [`SimRng`](crate::rng::SimRng) so runs
+//! stay deterministic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::SimRng;
+
+/// A source of `f64` samples.
+pub trait Sample {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+}
+
+/// Exponential distribution with the given rate (events per unit).
+///
+/// # Example
+///
+/// ```
+/// use ditto_sim::dist::{Exponential, Sample};
+/// use ditto_sim::rng::SimRng;
+/// let d = Exponential::with_mean(2.0);
+/// let mut rng = SimRng::seed(1);
+/// let x = d.sample(&mut rng);
+/// assert!(x >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential with rate `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not positive and finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda > 0.0, "rate must be positive");
+        Exponential { rate: lambda }
+    }
+
+    /// Creates an exponential with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        Exponential::new(1.0 / mean)
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+impl Sample for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse CDF; guard the log against u == 0.
+        let u = rng.f64().max(f64::MIN_POSITIVE);
+        -u.ln() / self.rate
+    }
+}
+
+/// Log-normal distribution parameterised by the mean and sigma of the
+/// underlying normal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with location `mu` and shape `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a log-normal whose *median* is `median` with shape `sigma`.
+    pub fn with_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0);
+        LogNormal::new(median.ln(), sigma)
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Box-Muller.
+        let u1 = rng.f64().max(f64::MIN_POSITIVE);
+        let u2 = rng.f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// Zipf distribution over `{0, 1, …, n-1}` with exponent `s`, sampled by
+/// inverse CDF over a precomputed table.
+///
+/// Used for skewed key popularity in the KVS workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf over `n` items with skew `s` (`s = 0` is uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s.is_finite() && s >= 0.0, "skew must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws an index in `[0, n)`.
+    pub fn index(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is over zero items (never true).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// An empirical discrete distribution sampled by weight.
+///
+/// This is the workhorse of the Ditto generator: instruction-mix sampling,
+/// branch-rate-bin sampling and dependency-distance sampling all use it.
+///
+/// # Example
+///
+/// ```
+/// use ditto_sim::dist::Discrete;
+/// use ditto_sim::rng::SimRng;
+/// let d = Discrete::new(vec![("a", 1.0), ("b", 3.0)]).unwrap();
+/// let mut rng = SimRng::seed(5);
+/// let mut b = 0;
+/// for _ in 0..1000 {
+///     if *d.sample(&mut rng) == "b" { b += 1; }
+/// }
+/// assert!(b > 600);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Discrete<T> {
+    items: Vec<T>,
+    cdf: Vec<f64>,
+}
+
+/// Error returned when constructing a [`Discrete`] from invalid weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidWeightsError;
+
+impl std::fmt::Display for InvalidWeightsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "weights must be non-negative, finite and sum to a positive value")
+    }
+}
+
+impl std::error::Error for InvalidWeightsError {}
+
+impl<T> Discrete<T> {
+    /// Builds a discrete distribution from `(item, weight)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidWeightsError`] if any weight is negative or
+    /// non-finite, or if all weights are zero.
+    pub fn new(pairs: Vec<(T, f64)>) -> Result<Self, InvalidWeightsError> {
+        let mut items = Vec::with_capacity(pairs.len());
+        let mut cdf = Vec::with_capacity(pairs.len());
+        let mut acc = 0.0;
+        for (item, w) in pairs {
+            if !w.is_finite() || w < 0.0 {
+                return Err(InvalidWeightsError);
+            }
+            acc += w;
+            items.push(item);
+            cdf.push(acc);
+        }
+        if acc <= 0.0 {
+            return Err(InvalidWeightsError);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Ok(Discrete { items, cdf })
+    }
+
+    /// Draws a reference to one item.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for distributions built through [`Discrete::new`].
+    pub fn sample(&self, rng: &mut SimRng) -> &T {
+        let u = rng.f64();
+        let i = match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.items.len() - 1),
+        };
+        &self.items[i]
+    }
+
+    /// The items in insertion order.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the distribution has no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(d: &impl Sample, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::with_mean(4.0);
+        let m = mean_of(&d, 50_000, 1);
+        assert!((m - 4.0).abs() < 0.1, "mean {m}");
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lognormal_median_close() {
+        let d = LogNormal::with_median(10.0, 0.5);
+        let mut rng = SimRng::seed(2);
+        let mut v: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = v[10_000];
+        assert!((med - 10.0).abs() < 0.5, "median {med}");
+    }
+
+    #[test]
+    fn zipf_skews_to_head() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SimRng::seed(3);
+        let mut head = 0usize;
+        for _ in 0..10_000 {
+            if z.index(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // For s=1, n=100, the first 10 items carry ~56% of the mass.
+        assert!(head > 4_500, "head draws {head}");
+        assert_eq!(z.len(), 100);
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SimRng::seed(4);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.index(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn discrete_respects_weights() {
+        let d = Discrete::new(vec![(0u8, 1.0), (1u8, 0.0), (2u8, 3.0)]).unwrap();
+        let mut rng = SimRng::seed(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[*d.sample(&mut rng) as usize] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 2);
+    }
+
+    #[test]
+    fn discrete_rejects_bad_weights() {
+        assert!(Discrete::new(vec![("x", -1.0)]).is_err());
+        assert!(Discrete::new(vec![("x", f64::NAN)]).is_err());
+        assert!(Discrete::new(vec![("x", 0.0)]).is_err());
+        assert!(Discrete::<&str>::new(vec![]).is_err());
+    }
+}

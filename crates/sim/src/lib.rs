@@ -1,0 +1,43 @@
+//! Discrete-event simulation substrate for the Ditto reproduction.
+//!
+//! This crate is the foundation everything else builds on. It provides:
+//!
+//! - [`time::SimTime`] / [`time::SimDuration`] — simulated time in
+//!   nanoseconds with convenient constructors and arithmetic,
+//! - [`engine::EventQueue`] — a deterministic discrete-event queue with
+//!   FIFO tie-breaking,
+//! - [`rng::SimRng`] — a seeded, splittable PCG random number generator so
+//!   every experiment is reproducible,
+//! - [`dist`] — the analytic distributions used by workload generators and
+//!   device models (exponential, Zipf, log-normal, discrete, …),
+//! - [`stats`] — log-bucketed latency histograms with percentile queries and
+//!   small helper accumulators,
+//! - [`quant`] — the power-of-two quantization helpers shared by the
+//!   profilers and generators (the paper quantizes branch rates, dependency
+//!   distances and working-set sizes on log scales).
+//!
+//! # Example
+//!
+//! ```
+//! use ditto_sim::engine::EventQueue;
+//! use ditto_sim::time::{SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.push(SimTime::ZERO + SimDuration::from_micros(5), "second");
+//! q.push(SimTime::ZERO + SimDuration::from_micros(1), "first");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "first");
+//! assert_eq!(t.as_nanos(), 1_000);
+//! ```
+
+pub mod dist;
+pub mod engine;
+pub mod quant;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::EventQueue;
+pub use rng::SimRng;
+pub use stats::LatencyHistogram;
+pub use time::{SimDuration, SimTime};

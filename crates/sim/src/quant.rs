@@ -1,0 +1,209 @@
+//! Power-of-two quantization helpers.
+//!
+//! The paper quantizes several profile dimensions on log-2 scales: branch
+//! taken/transition rates from 2⁻¹ to 2⁻¹⁰ (§4.4.3), dependency distances
+//! into 11 exponential bins from 1 to 1024 (§4.4.6), and working-set sizes
+//! from one cache line to the full allocation, doubling each step (§4.4.4).
+//! These helpers implement those bins once so profiler and generator agree.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of log-scale rate bins (2⁻¹ … 2⁻¹⁰), per §4.4.3.
+pub const RATE_BINS: usize = 10;
+
+/// Number of dependency-distance bins (1, 2, 4, …, 1024), per §4.4.6.
+pub const DEP_BINS: usize = 11;
+
+/// Quantizes a probability in `(0, 1]` to a rate bin index `0..RATE_BINS`,
+/// where bin `k` represents the rate `2^-(k+1)`.
+///
+/// Rates above `2^-1` clamp into bin 0 and rates below `2^-10` into the last
+/// bin, matching the paper's range.
+///
+/// # Example
+///
+/// ```
+/// use ditto_sim::quant::{rate_bin, rate_from_bin};
+/// assert_eq!(rate_bin(0.5), 0);
+/// assert_eq!(rate_bin(0.25), 1);
+/// assert_eq!(rate_from_bin(1), 0.25);
+/// ```
+pub fn rate_bin(p: f64) -> usize {
+    if p <= 0.0 {
+        return RATE_BINS - 1;
+    }
+    let exp = -p.log2();
+    let k = exp.round() as i64 - 1;
+    k.clamp(0, RATE_BINS as i64 - 1) as usize
+}
+
+/// The representative rate for a rate bin: `2^-(bin+1)`.
+pub fn rate_from_bin(bin: usize) -> f64 {
+    2f64.powi(-((bin.min(RATE_BINS - 1) as i32) + 1))
+}
+
+/// Quantizes a dependency distance (in instructions) into one of the
+/// [`DEP_BINS`] exponential bins `1, 2, 4, …, 1024`.
+///
+/// Distances beyond 1024 land in the last bin: the paper notes larger
+/// distances no longer affect ILP because of the bounded reorder buffer.
+pub fn dep_bin(distance: u64) -> usize {
+    if distance <= 1 {
+        return 0;
+    }
+    let b = 64 - (distance - 1).leading_zeros() as usize; // ceil(log2(distance))
+    b.min(DEP_BINS - 1)
+}
+
+/// The representative distance for a dependency bin: `2^bin`.
+pub fn dep_from_bin(bin: usize) -> u64 {
+    1u64 << bin.min(DEP_BINS - 1)
+}
+
+/// Rounds `bytes` up to the next power of two, with a floor of 64 (one
+/// cache line). Working-set profiles are indexed by these sizes.
+pub fn working_set_ceil(bytes: u64) -> u64 {
+    bytes.max(64).next_power_of_two()
+}
+
+/// Index of the working-set size `2^i` bytes relative to the 64-byte floor:
+/// 64 B → 0, 128 B → 1, …
+///
+/// # Panics
+///
+/// Panics if `size` is not a power of two or is below 64.
+pub fn working_set_index(size: u64) -> usize {
+    assert!(size >= 64 && size.is_power_of_two(), "bad working-set size {size}");
+    (size.trailing_zeros() - 6) as usize
+}
+
+/// The working-set size for an index: `64 << index`.
+pub fn working_set_size(index: usize) -> u64 {
+    64u64 << index
+}
+
+/// A histogram over fixed bins, with helpers to normalize into a
+/// probability distribution. Shared by the branch, dependency and
+/// working-set profilers.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BinHistogram {
+    counts: Vec<u64>,
+}
+
+impl BinHistogram {
+    /// Creates a histogram with `bins` zeroed bins.
+    pub fn new(bins: usize) -> Self {
+        BinHistogram { counts: vec![0; bins] }
+    }
+
+    /// Adds `n` observations to `bin`, growing if needed.
+    pub fn add(&mut self, bin: usize, n: u64) {
+        if bin >= self.counts.len() {
+            self.counts.resize(bin + 1, 0);
+        }
+        self.counts[bin] += n;
+    }
+
+    /// Count in a bin (0 if out of range).
+    pub fn count(&self, bin: usize) -> u64 {
+        self.counts.get(bin).copied().unwrap_or(0)
+    }
+
+    /// All counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Normalized weights per bin; empty histogram yields all zeros.
+    pub fn weights(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the histogram has no bins.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_bins_match_paper_range() {
+        assert_eq!(rate_bin(0.5), 0);
+        assert_eq!(rate_bin(0.25), 1);
+        assert_eq!(rate_bin(2f64.powi(-10)), 9);
+        assert_eq!(rate_bin(0.9), 0); // clamps high
+        assert_eq!(rate_bin(1e-9), RATE_BINS - 1); // clamps low
+        assert_eq!(rate_bin(0.0), RATE_BINS - 1);
+    }
+
+    #[test]
+    fn rate_roundtrip() {
+        for bin in 0..RATE_BINS {
+            assert_eq!(rate_bin(rate_from_bin(bin)), bin);
+        }
+    }
+
+    #[test]
+    fn dep_bins_are_exponential() {
+        assert_eq!(dep_bin(1), 0);
+        assert_eq!(dep_bin(2), 1);
+        assert_eq!(dep_bin(3), 2);
+        assert_eq!(dep_bin(4), 2);
+        assert_eq!(dep_bin(1024), 10);
+        assert_eq!(dep_bin(100_000), DEP_BINS - 1);
+        assert_eq!(dep_bin(0), 0);
+    }
+
+    #[test]
+    fn dep_roundtrip() {
+        for bin in 0..DEP_BINS {
+            assert_eq!(dep_bin(dep_from_bin(bin)), bin);
+        }
+    }
+
+    #[test]
+    fn working_set_helpers() {
+        assert_eq!(working_set_ceil(1), 64);
+        assert_eq!(working_set_ceil(65), 128);
+        assert_eq!(working_set_index(64), 0);
+        assert_eq!(working_set_index(1 << 20), 14);
+        assert_eq!(working_set_size(14), 1 << 20);
+    }
+
+    #[test]
+    fn histogram_accumulates_and_normalizes() {
+        let mut h = BinHistogram::new(2);
+        h.add(0, 3);
+        h.add(1, 1);
+        h.add(5, 4); // grows
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.len(), 6);
+        let w = h.weights();
+        assert!((w[0] - 0.375).abs() < 1e-12);
+        assert!((w[5] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_weights_are_zero() {
+        let h = BinHistogram::new(3);
+        assert_eq!(h.weights(), vec![0.0; 3]);
+        assert_eq!(h.total(), 0);
+    }
+}

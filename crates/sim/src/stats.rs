@@ -1,0 +1,348 @@
+//! Measurement utilities: latency histograms with percentile queries, and
+//! small accumulators used by the evaluation harness.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Number of linear sub-buckets per power-of-two bucket. 32 sub-buckets
+/// keeps the relative quantization error under ~3%.
+const SUB_BUCKETS: usize = 32;
+const BUCKETS: usize = 44; // covers up to ~2^43 ns ≈ 2.4 hours
+
+/// An HdrHistogram-style log-linear latency histogram.
+///
+/// Values are recorded in nanoseconds; percentile queries return the lower
+/// bound of the containing sub-bucket, which bounds relative error by
+/// `1/SUB_BUCKETS`.
+///
+/// # Example
+///
+/// ```
+/// use ditto_sim::stats::LatencyHistogram;
+/// use ditto_sim::time::SimDuration;
+///
+/// let mut h = LatencyHistogram::new();
+/// for us in 1..=100 {
+///     h.record(SimDuration::from_micros(us));
+/// }
+/// let p50 = h.percentile(50.0).as_micros_f64();
+/// assert!((45.0..=55.0).contains(&p50));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+    min_ns: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS * SUB_BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
+    }
+
+    fn index(ns: u64) -> usize {
+        if ns < SUB_BUCKETS as u64 {
+            return ns as usize;
+        }
+        let bucket = 63 - ns.leading_zeros() as usize; // floor(log2)
+        let shift = bucket - SUB_BUCKETS.trailing_zeros() as usize;
+        let sub = (ns >> shift) as usize - SUB_BUCKETS;
+        let idx = (shift + 1) * SUB_BUCKETS + sub;
+        idx.min(BUCKETS * SUB_BUCKETS - 1)
+    }
+
+    fn value_of(idx: usize) -> u64 {
+        if idx < SUB_BUCKETS {
+            return idx as u64;
+        }
+        let shift = idx / SUB_BUCKETS - 1;
+        let sub = idx % SUB_BUCKETS;
+        ((SUB_BUCKETS + sub) as u64) << shift
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        self.counts[Self::index(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += u128::from(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean latency; zero if empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.sum_ns / u128::from(self.total)) as u64)
+    }
+
+    /// Maximum recorded latency; zero if empty.
+    pub fn max(&self) -> SimDuration {
+        if self.total == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.max_ns)
+        }
+    }
+
+    /// Minimum recorded latency; zero if empty.
+    pub fn min(&self) -> SimDuration {
+        if self.total == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Latency at percentile `p` in `[0, 100]`; zero if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return SimDuration::from_nanos(Self::value_of(i).max(self.min_ns.min(self.max_ns)).min(self.max_ns));
+            }
+        }
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Convenience bundle of mean/p50/p95/p99.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.total,
+            mean: self.mean(),
+            p50: self.percentile(50.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+            max: self.max(),
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Summary statistics extracted from a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean latency.
+    pub mean: SimDuration,
+    /// Median latency.
+    pub p50: SimDuration,
+    /// 95th percentile latency.
+    pub p95: SimDuration,
+    /// 99th percentile latency.
+    pub p99: SimDuration,
+    /// Maximum latency.
+    pub max: SimDuration,
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p95={} p99={}",
+            self.count, self.mean, self.p50, self.p95, self.p99
+        )
+    }
+}
+
+/// Online mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Running::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean; zero if empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance; zero with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Relative error `|measured - target| / target` in percent, with a guard
+/// for zero targets (returns 0 when both are ~zero, 100 otherwise).
+///
+/// This is how the evaluation section reports cloning accuracy.
+pub fn relative_error_pct(target: f64, measured: f64) -> f64 {
+    if target.abs() < 1e-12 {
+        if measured.abs() < 1e-12 {
+            0.0
+        } else {
+            100.0
+        }
+    } else {
+        ((measured - target) / target).abs() * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_on_uniform_data() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile(50.0).as_micros_f64();
+        let p99 = h.percentile(99.0).as_micros_f64();
+        assert!((470.0..=530.0).contains(&p50), "p50 {p50}");
+        assert!((950.0..=1000.0).contains(&p99), "p99 {p99}");
+        assert_eq!(h.max().as_micros_f64(), 1000.0);
+        assert_eq!(h.min().as_micros_f64(), 1.0);
+    }
+
+    #[test]
+    fn histogram_relative_error_bounded() {
+        let mut h = LatencyHistogram::new();
+        let v = 123_456_789u64; // ns
+        h.record(SimDuration::from_nanos(v));
+        let got = h.percentile(50.0).as_nanos() as f64;
+        assert!((got - v as f64).abs() / v as f64 <= 1.0 / 32.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), SimDuration::ZERO);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(SimDuration::from_micros(10));
+        b.record(SimDuration::from_micros(20));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max().as_micros_f64(), 20.0);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(SimDuration::from_micros(5));
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn running_mean_and_variance() {
+        let mut r = Running::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 8);
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+        assert!((r.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_edges() {
+        assert_eq!(relative_error_pct(0.0, 0.0), 0.0);
+        assert_eq!(relative_error_pct(0.0, 1.0), 100.0);
+        assert!((relative_error_pct(2.0, 2.2) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_value_monotone() {
+        let mut last = 0;
+        for ns in [0u64, 1, 31, 32, 33, 63, 64, 100, 1000, 10_000, 1_000_000, 1_000_000_000] {
+            let idx = LatencyHistogram::index(ns);
+            assert!(idx >= last || ns < 32, "index must not decrease");
+            last = idx;
+            let v = LatencyHistogram::value_of(idx);
+            assert!(v <= ns, "bucket lower bound {v} must be <= {ns}");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! RPC dependency-graph extraction (§4.2).
+//!
+//! Microservice topologies are DAGs whose nodes are services and whose
+//! edges carry the mean number of downstream calls issued per upstream
+//! request — exactly the annotation in Figure 3 (`A→B 1.0`, `B→D 0.5`).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::span::Span;
+
+/// One edge of the dependency DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceEdge {
+    /// Caller service index.
+    pub from: usize,
+    /// Callee service index.
+    pub to: usize,
+    /// Mean callee invocations per caller invocation.
+    pub calls_per_request: f64,
+}
+
+/// The extracted service dependency graph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceGraph {
+    /// Service names, index-addressed.
+    pub services: Vec<String>,
+    /// Edges with call ratios.
+    pub edges: Vec<ServiceEdge>,
+}
+
+impl ServiceGraph {
+    /// Extracts the graph from collected spans.
+    ///
+    /// Span parentage is resolved within each trace; a span whose parent
+    /// id is unknown (or zero) is a root. Edge ratios are
+    /// `child span count / parent service span count`.
+    pub fn from_spans(spans: &[Span]) -> Self {
+        let mut services: Vec<String> = Vec::new();
+        let mut service_ix: HashMap<&str, usize> = HashMap::new();
+        for s in spans {
+            if !service_ix.contains_key(s.service.as_str()) {
+                service_ix.insert(s.service.as_str(), services.len());
+                services.push(s.service.clone());
+            }
+        }
+
+        // span (trace, id) -> service index
+        let mut span_service: HashMap<(u64, u64), usize> = HashMap::new();
+        let mut service_spans = vec![0u64; services.len()];
+        for s in spans {
+            let ix = service_ix[s.service.as_str()];
+            span_service.insert((s.trace_id, s.span_id), ix);
+            service_spans[ix] += 1;
+        }
+
+        let mut edge_calls: HashMap<(usize, usize), u64> = HashMap::new();
+        for s in spans {
+            if s.parent_id == 0 {
+                continue;
+            }
+            let Some(&parent_ix) = span_service.get(&(s.trace_id, s.parent_id)) else {
+                continue;
+            };
+            let child_ix = service_ix[s.service.as_str()];
+            *edge_calls.entry((parent_ix, child_ix)).or_insert(0) += 1;
+        }
+
+        let mut edges: Vec<ServiceEdge> = edge_calls
+            .into_iter()
+            .map(|((from, to), calls)| ServiceEdge {
+                from,
+                to,
+                calls_per_request: calls as f64 / service_spans[from].max(1) as f64,
+            })
+            .collect();
+        edges.sort_by_key(|e| (e.from, e.to));
+        ServiceGraph { services, edges }
+    }
+
+    /// Index of a service by name.
+    pub fn index_of(&self, service: &str) -> Option<usize> {
+        self.services.iter().position(|s| s == service)
+    }
+
+    /// Root services (never called by another service).
+    pub fn roots(&self) -> Vec<usize> {
+        let mut called = vec![false; self.services.len()];
+        for e in &self.edges {
+            called[e.to] = true;
+        }
+        (0..self.services.len()).filter(|&i| !called[i]).collect()
+    }
+
+    /// Downstream edges of a service.
+    pub fn children_of(&self, service: usize) -> Vec<&ServiceEdge> {
+        self.edges.iter().filter(|e| e.from == service).collect()
+    }
+
+    /// Topological order of services; edges in cyclic graphs (which real
+    /// traces should not produce) are broken arbitrarily.
+    pub fn topo_order(&self) -> Vec<usize> {
+        let n = self.services.len();
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            indeg[e.to] += 1;
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        while let Some(u) = queue.pop() {
+            order.push(u);
+            for e in &self.edges {
+                if e.from == u {
+                    indeg[e.to] -= 1;
+                    if indeg[e.to] == 0 {
+                        queue.push(e.to);
+                    }
+                }
+            }
+        }
+        // Cycle fallback: append whatever remains.
+        for i in 0..n {
+            if !order.contains(&i) {
+                order.push(i);
+            }
+        }
+        order
+    }
+}
+
+impl std::fmt::Display for ServiceGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "ServiceGraph ({} services)", self.services.len())?;
+        for e in &self.edges {
+            writeln!(
+                f,
+                "  {} -> {} ({:.2} calls/req)",
+                self.services[e.from], self.services[e.to], e.calls_per_request
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ditto_sim::time::SimTime;
+
+    fn span(trace: u64, id: u64, parent: u64, svc: &str) -> Span {
+        Span {
+            trace_id: trace,
+            span_id: id,
+            parent_id: parent,
+            service: svc.into(),
+            operation: "op".into(),
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn extracts_simple_chain() {
+        // Two traces: A -> B always; B -> C half the time.
+        let spans = vec![
+            span(1, 1, 0, "A"),
+            span(1, 2, 1, "B"),
+            span(1, 3, 2, "C"),
+            span(2, 4, 0, "A"),
+            span(2, 5, 4, "B"),
+        ];
+        let g = ServiceGraph::from_spans(&spans);
+        assert_eq!(g.services, vec!["A", "B", "C"]);
+        assert_eq!(g.edges.len(), 2);
+        let ab = &g.edges[0];
+        assert_eq!((ab.from, ab.to), (0, 1));
+        assert!((ab.calls_per_request - 1.0).abs() < 1e-12);
+        let bc = &g.edges[1];
+        assert!((bc.calls_per_request - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fanout_ratios_above_one() {
+        // A calls B twice per request.
+        let spans = vec![span(1, 1, 0, "A"), span(1, 2, 1, "B"), span(1, 3, 1, "B")];
+        let g = ServiceGraph::from_spans(&spans);
+        assert!((g.edges[0].calls_per_request - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roots_and_children() {
+        let spans = vec![span(1, 1, 0, "A"), span(1, 2, 1, "B"), span(1, 3, 1, "C")];
+        let g = ServiceGraph::from_spans(&spans);
+        assert_eq!(g.roots(), vec![0]);
+        assert_eq!(g.children_of(0).len(), 2);
+        assert!(g.children_of(1).is_empty());
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let spans = vec![
+            span(1, 1, 0, "A"),
+            span(1, 2, 1, "B"),
+            span(1, 3, 2, "C"),
+            span(1, 4, 1, "C"),
+        ];
+        let g = ServiceGraph::from_spans(&spans);
+        let order = g.topo_order();
+        let pos = |s: &str| order.iter().position(|&i| g.services[i] == s).unwrap();
+        assert!(pos("A") < pos("B"));
+        assert!(pos("B") < pos("C"));
+    }
+
+    #[test]
+    fn cross_trace_parents_do_not_leak() {
+        // Same span ids in different traces must not create edges.
+        let spans = vec![span(1, 7, 0, "A"), span(2, 8, 7, "B")];
+        let g = ServiceGraph::from_spans(&spans);
+        assert!(g.edges.is_empty());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = ServiceGraph::from_spans(&[]);
+        assert!(g.services.is_empty());
+        assert!(g.edges.is_empty());
+        assert!(g.roots().is_empty());
+    }
+}

@@ -1,0 +1,12 @@
+//! Distributed tracing — the Jaeger/Dapper equivalent (§4.2).
+//!
+//! Services record [`Span`]s into a shared [`TraceCollector`]; the
+//! [`graph::ServiceGraph`] extractor turns sampled traces into the RPC
+//! dependency DAG with per-edge call ratios that Ditto's topology analyzer
+//! consumes (the `A→B 1.0, B→D 0.5` annotations of Figure 3).
+
+pub mod graph;
+pub mod span;
+
+pub use graph::ServiceGraph;
+pub use span::{Span, SpanContext, TraceCollector, TraceHandle};

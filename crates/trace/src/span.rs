@@ -1,0 +1,212 @@
+//! Span recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ditto_sim::time::SimTime;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Identity of a span within a trace, propagated in RPC metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SpanContext {
+    /// Trace id (0 = untraced request).
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+}
+
+impl SpanContext {
+    /// Whether this context carries a sampled trace.
+    pub fn is_sampled(&self) -> bool {
+        self.trace_id != 0
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id (0 for roots).
+    pub parent_id: u64,
+    /// Service that executed the span.
+    pub service: String,
+    /// Operation name.
+    pub operation: String,
+    /// Start time.
+    pub start: SimTime,
+    /// End time.
+    pub end: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct CollectorInner {
+    spans: Vec<Span>,
+}
+
+/// A shared, thread-safe collector of spans.
+///
+/// # Example
+///
+/// ```
+/// use ditto_trace::TraceCollector;
+/// use ditto_sim::time::SimTime;
+///
+/// let collector = TraceCollector::new(1.0, 1);
+/// let root = collector.start_trace();
+/// assert!(root.is_sampled());
+/// let child = collector.child_of(root);
+/// collector.record(root, 0, "frontend", "GET /", SimTime::ZERO, SimTime::ZERO);
+/// collector.record(child, root.span_id, "backend", "lookup", SimTime::ZERO, SimTime::ZERO);
+/// assert_eq!(collector.spans().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceCollector {
+    inner: Arc<Mutex<CollectorInner>>,
+    next_id: Arc<AtomicU64>,
+    sample_rate: f64,
+}
+
+/// A cheap cloneable handle (alias for the collector itself).
+pub type TraceHandle = TraceCollector;
+
+impl TraceCollector {
+    /// Creates a collector sampling `sample_rate` of traces (1.0 = all).
+    /// `seed` offsets id allocation so multiple collectors don't collide.
+    pub fn new(sample_rate: f64, seed: u64) -> Self {
+        TraceCollector {
+            inner: Arc::new(Mutex::new(CollectorInner::default())),
+            next_id: Arc::new(AtomicU64::new(seed.wrapping_mul(1 << 32) | 1)),
+            sample_rate: sample_rate.clamp(0.0, 1.0),
+        }
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Starts a new root trace; returns an unsampled context according to
+    /// the sampling rate (deterministic striding, not random, so sampled
+    /// request counts are exact).
+    pub fn start_trace(&self) -> SpanContext {
+        let id = self.fresh_id();
+        if self.sample_rate >= 1.0
+            || (self.sample_rate > 0.0 && id % (1.0 / self.sample_rate).round() as u64 == 1)
+        {
+            SpanContext { trace_id: id, span_id: id }
+        } else {
+            SpanContext::default()
+        }
+    }
+
+    /// Derives a child context for an outbound RPC.
+    pub fn child_of(&self, parent: SpanContext) -> SpanContext {
+        if !parent.is_sampled() {
+            return SpanContext::default();
+        }
+        SpanContext { trace_id: parent.trace_id, span_id: self.fresh_id() }
+    }
+
+    /// Records a completed span.
+    pub fn record(
+        &self,
+        ctx: SpanContext,
+        parent_id: u64,
+        service: &str,
+        operation: &str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if !ctx.is_sampled() {
+            return;
+        }
+        self.inner.lock().spans.push(Span {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id,
+            service: service.to_string(),
+            operation: operation.to_string(),
+            start,
+            end,
+        });
+    }
+
+    /// Snapshot of all recorded spans.
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.lock().spans.clone()
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().spans.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().spans.is_empty()
+    }
+
+    /// Drops all recorded spans.
+    pub fn clear(&self) {
+        self.inner.lock().spans.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_rate_one_samples_everything() {
+        let c = TraceCollector::new(1.0, 1);
+        for _ in 0..10 {
+            assert!(c.start_trace().is_sampled());
+        }
+    }
+
+    #[test]
+    fn sampling_rate_zero_samples_nothing() {
+        let c = TraceCollector::new(0.0, 1);
+        for _ in 0..10 {
+            assert!(!c.start_trace().is_sampled());
+        }
+    }
+
+    #[test]
+    fn fractional_sampling_is_proportional() {
+        let c = TraceCollector::new(0.25, 0);
+        let sampled = (0..1000).filter(|_| c.start_trace().is_sampled()).count();
+        assert!((200..300).contains(&sampled), "sampled {sampled}");
+    }
+
+    #[test]
+    fn unsampled_children_stay_unsampled() {
+        let c = TraceCollector::new(1.0, 1);
+        let child = c.child_of(SpanContext::default());
+        assert!(!child.is_sampled());
+        c.record(child, 0, "svc", "op", SimTime::ZERO, SimTime::ZERO);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn children_share_trace_id() {
+        let c = TraceCollector::new(1.0, 1);
+        let root = c.start_trace();
+        let child = c.child_of(root);
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_ne!(child.span_id, root.span_id);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let c = TraceCollector::new(1.0, 1);
+        let root = c.start_trace();
+        c.record(root, 0, "s", "o", SimTime::ZERO, SimTime::ZERO);
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

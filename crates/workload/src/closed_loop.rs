@@ -1,0 +1,156 @@
+//! Closed-loop load generation (YCSB-style).
+//!
+//! Each connection keeps exactly one request outstanding: send, wait for
+//! the response, record, think, repeat. Offered load is bounded by
+//! `connections / (latency + think)`, which is why closed-loop latency
+//! plateaus instead of exploding at saturation (§6.2.1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ditto_kernel::{Action, Cluster, Fd, MsgMeta, NodeId, Syscall, SysResult, ThreadBody, ThreadCtx};
+use ditto_sim::time::{SimDuration, SimTime};
+use ditto_trace::TraceCollector;
+
+use crate::recorder::Recorder;
+
+/// Configuration of a closed-loop generator.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopConfig {
+    /// Server machine.
+    pub server: NodeId,
+    /// Server port.
+    pub port: u16,
+    /// Concurrent connections (each with one outstanding request).
+    pub connections: usize,
+    /// Request payload bytes.
+    pub request_bytes: u64,
+    /// Think time between response and next request.
+    pub think: SimDuration,
+    /// Optional trace collector.
+    pub collector: Option<TraceCollector>,
+}
+
+impl ClosedLoopConfig {
+    /// A generator with `connections` against `(server, port)`.
+    pub fn new(server: NodeId, port: u16, connections: usize) -> Self {
+        ClosedLoopConfig {
+            server,
+            port,
+            connections,
+            request_bytes: 128,
+            think: SimDuration::ZERO,
+            collector: None,
+        }
+    }
+
+    /// Spawns the generator threads on `client_node`.
+    pub fn spawn(&self, cluster: &mut Cluster, client_node: NodeId, recorder: &Recorder) {
+        let pid = cluster.spawn_process(client_node);
+        let tags = Arc::new(AtomicU64::new(1_000_000_000));
+        for _ in 0..self.connections.max(1) {
+            let body = ClosedLoopWorker {
+                cfg: self.clone(),
+                state: State::Connect,
+                fd: None,
+                sent_at: SimTime::ZERO,
+                recorder: recorder.clone(),
+                tags: tags.clone(),
+            };
+            cluster.spawn_thread(client_node, pid, Box::new(body));
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Connect,
+    Send,
+    Await,
+    Think,
+}
+
+struct ClosedLoopWorker {
+    cfg: ClosedLoopConfig,
+    state: State,
+    fd: Option<Fd>,
+    sent_at: SimTime,
+    recorder: Recorder,
+    tags: Arc<AtomicU64>,
+}
+
+impl ThreadBody for ClosedLoopWorker {
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        match self.state {
+            State::Connect => {
+                self.state = State::Send;
+                Action::Syscall(Syscall::Connect { node: self.cfg.server, port: self.cfg.port })
+            }
+            State::Send => {
+                if self.fd.is_none() {
+                    match ctx.last.fd() {
+                        Some(fd) => self.fd = Some(fd),
+                        None => {
+                            self.state = State::Connect;
+                            return Action::Syscall(Syscall::Nanosleep {
+                                dur: SimDuration::from_millis(10),
+                            });
+                        }
+                    }
+                }
+                self.state = State::Await;
+                self.sent_at = ctx.now;
+                self.recorder.note_sent(ctx.now);
+                let tag = self.tags.fetch_add(1, Ordering::Relaxed);
+                let span = self
+                    .cfg
+                    .collector
+                    .as_ref()
+                    .map(|c| c.start_trace())
+                    .unwrap_or_default();
+                Action::Syscall(Syscall::Send {
+                    fd: self.fd.expect("connected"),
+                    bytes: self.cfg.request_bytes,
+                    meta: MsgMeta { tag, trace_id: span.trace_id, span_id: 0 },
+                })
+            }
+            State::Await => {
+                self.state = State::Think;
+                Action::Syscall(Syscall::Recv { fd: self.fd.expect("connected") })
+            }
+            State::Think => {
+                match &ctx.last {
+                    SysResult::Msg(_) => self.recorder.record(self.sent_at, ctx.now),
+                    SysResult::Err(_) => {
+                        self.recorder.note_error(ctx.now);
+                        return Action::Exit;
+                    }
+                    _ => {}
+                }
+                self.state = State::Send;
+                if self.cfg.think > SimDuration::ZERO {
+                    Action::Syscall(Syscall::Nanosleep { dur: self.cfg.think })
+                } else {
+                    // Go straight to the next send.
+                    self.step(ctx)
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "loadgen-closed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults() {
+        let c = ClosedLoopConfig::new(NodeId(1), 9000, 8);
+        assert_eq!(c.connections, 8);
+        assert_eq!(c.think, SimDuration::ZERO);
+    }
+}

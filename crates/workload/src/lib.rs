@@ -1,0 +1,21 @@
+//! Load generation and latency measurement (§6.1.2).
+//!
+//! The simulated equivalents of the paper's load generators:
+//!
+//! - [`open_loop`] — Poisson arrivals at a target QPS with unbounded
+//!   outstanding requests (mutated / tcpkali / open-loop wrk2), used for
+//!   Memcached, NGINX and the Social Network;
+//! - [`closed_loop`] — one outstanding request per connection with
+//!   optional think time (YCSB), used for MongoDB and Redis — this is why
+//!   those services' latency plateaus at high load in Figure 5, a shape
+//!   the harness reproduces;
+//! - [`recorder`] — shared latency/throughput collection with a
+//!   measurement window.
+
+pub mod closed_loop;
+pub mod open_loop;
+pub mod recorder;
+
+pub use closed_loop::ClosedLoopConfig;
+pub use open_loop::OpenLoopConfig;
+pub use recorder::{LoadSummary, Recorder};

@@ -1,0 +1,198 @@
+//! Open-loop (Poisson) load generation.
+//!
+//! Each connection is driven by a sender thread (exponential inter-arrival
+//! sleeps, sends tagged requests) and a receiver thread (blocking receive
+//! loop that matches tags to send times and records latency). Because the
+//! sender never waits for responses, queueing delay at the server shows up
+//! fully in the measured latency — the behaviour that makes tail latency
+//! explode at saturation in Figure 5.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ditto_kernel::{Action, Cluster, Fd, MsgMeta, NodeId, Pid, Syscall, SysResult, ThreadBody, ThreadCtx};
+use ditto_sim::dist::{Exponential, Sample};
+use ditto_sim::time::{SimDuration, SimTime};
+use ditto_trace::TraceCollector;
+use parking_lot::Mutex;
+
+use crate::recorder::Recorder;
+
+/// Configuration of an open-loop generator.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Server machine.
+    pub server: NodeId,
+    /// Server port.
+    pub port: u16,
+    /// Aggregate target queries per second.
+    pub qps: f64,
+    /// Request payload bytes.
+    pub request_bytes: u64,
+    /// Number of connections (QPS is split evenly).
+    pub connections: usize,
+    /// Optional distributed-trace collector to tag requests with.
+    pub collector: Option<TraceCollector>,
+}
+
+impl OpenLoopConfig {
+    /// A single-connection generator at `qps` against `(server, port)`.
+    pub fn new(server: NodeId, port: u16, qps: f64) -> Self {
+        OpenLoopConfig {
+            server,
+            port,
+            qps,
+            request_bytes: 128,
+            connections: 4,
+            collector: None,
+        }
+    }
+
+    /// Spawns the generator threads on `client_node` inside `cluster`,
+    /// reporting into `recorder`.
+    pub fn spawn(&self, cluster: &mut Cluster, client_node: NodeId, recorder: &Recorder) {
+        let pid = cluster.spawn_process(client_node);
+        let tags = Arc::new(AtomicU64::new(1));
+        for _conn in 0..self.connections.max(1) {
+            let body = OpenLoopSender {
+                cfg: self.clone(),
+                per_conn_qps: self.qps / self.connections.max(1) as f64,
+                state: SenderState::Connect,
+                fd: None,
+                pending: Arc::new(Mutex::new(HashMap::new())),
+                recorder: recorder.clone(),
+                tags: tags.clone(),
+            };
+            cluster.spawn_thread(client_node, pid, Box::new(body));
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SenderState {
+    Connect,
+    SpawnReceiver,
+    Sleep,
+    Send,
+}
+
+struct OpenLoopSender {
+    cfg: OpenLoopConfig,
+    per_conn_qps: f64,
+    state: SenderState,
+    fd: Option<Fd>,
+    pending: Arc<Mutex<HashMap<u64, SimTime>>>,
+    recorder: Recorder,
+    tags: Arc<AtomicU64>,
+}
+
+impl ThreadBody for OpenLoopSender {
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        match self.state {
+            SenderState::Connect => {
+                self.state = SenderState::SpawnReceiver;
+                Action::Syscall(Syscall::Connect { node: self.cfg.server, port: self.cfg.port })
+            }
+            SenderState::SpawnReceiver => {
+                let Some(fd) = ctx.last.fd() else {
+                    // Retry the connection after a backoff.
+                    self.state = SenderState::Connect;
+                    return Action::Syscall(Syscall::Nanosleep { dur: SimDuration::from_millis(10) });
+                };
+                self.fd = Some(fd);
+                self.state = SenderState::Sleep;
+                Action::Syscall(Syscall::Spawn {
+                    body: Box::new(OpenLoopReceiver {
+                        fd,
+                        pending: self.pending.clone(),
+                        recorder: self.recorder.clone(),
+                    }),
+                })
+            }
+            SenderState::Sleep => {
+                self.state = SenderState::Send;
+                let gap = Exponential::new(self.per_conn_qps.max(1e-9))
+                    .sample(ctx.rng);
+                Action::Syscall(Syscall::Nanosleep { dur: SimDuration::from_secs_f64(gap) })
+            }
+            SenderState::Send => {
+                self.state = SenderState::Sleep;
+                let tag = self.tags.fetch_add(1, Ordering::Relaxed);
+                let span = self
+                    .cfg
+                    .collector
+                    .as_ref()
+                    .map(|c| c.start_trace())
+                    .unwrap_or_default();
+                self.pending.lock().insert(tag, ctx.now);
+                self.recorder.note_sent(ctx.now);
+                Action::Syscall(Syscall::Send {
+                    fd: self.fd.expect("connected"),
+                    bytes: self.cfg.request_bytes,
+                    meta: MsgMeta { tag, trace_id: span.trace_id, span_id: 0 },
+                })
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "loadgen-send"
+    }
+}
+
+struct OpenLoopReceiver {
+    fd: Fd,
+    pending: Arc<Mutex<HashMap<u64, SimTime>>>,
+    recorder: Recorder,
+}
+
+impl ThreadBody for OpenLoopReceiver {
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        match &ctx.last {
+            SysResult::Msg(msg) => {
+                if let Some(sent) = self.pending.lock().remove(&msg.meta.tag) {
+                    self.recorder.record(sent, ctx.now);
+                }
+                Action::Syscall(Syscall::Recv { fd: self.fd })
+            }
+            SysResult::Err(_) => Action::Exit,
+            _ => Action::Syscall(Syscall::Recv { fd: self.fd }),
+        }
+    }
+
+    fn label(&self) -> &str {
+        "loadgen-recv"
+    }
+}
+
+/// Spawns a process that does nothing but keep a machine's SMT siblings
+/// or cores busy — used as a CPU bully in interference tests.
+pub fn spawn_spinner(cluster: &mut Cluster, node: NodeId, pid: Pid, instructions_per_slice: u64) {
+    struct Spinner {
+        body: ditto_hw::codegen::Body,
+    }
+    impl ThreadBody for Spinner {
+        fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+            Action::Compute(self.body.instantiate(ctx.rng))
+        }
+        fn label(&self) -> &str {
+            "spinner"
+        }
+    }
+    let params = ditto_hw::codegen::BodyParams::minimal(instructions_per_slice, 0x7000_0000, 99);
+    cluster.spawn_thread(node, pid, Box::new(Spinner { body: ditto_hw::codegen::Body::new(&params) }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults() {
+        let c = OpenLoopConfig::new(NodeId(0), 80, 1000.0);
+        assert_eq!(c.connections, 4);
+        assert_eq!(c.request_bytes, 128);
+        assert!(c.collector.is_none());
+    }
+}

@@ -1,0 +1,176 @@
+//! Shared latency/throughput collection.
+
+use std::sync::Arc;
+
+use ditto_sim::stats::{LatencyHistogram, LatencySummary};
+use ditto_sim::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+
+#[derive(Debug)]
+struct Inner {
+    hist: LatencyHistogram,
+    sent: u64,
+    received: u64,
+    errors: u64,
+    window_start: SimTime,
+    window_end: Option<SimTime>,
+}
+
+/// A thread-safe recorder shared between generator threads and the
+/// harness. Only samples inside the measurement window count.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Recorder {
+    /// Creates a recorder with the window open from time zero.
+    pub fn new() -> Self {
+        Recorder {
+            inner: Arc::new(Mutex::new(Inner {
+                hist: LatencyHistogram::new(),
+                sent: 0,
+                received: 0,
+                errors: 0,
+                window_start: SimTime::ZERO,
+                window_end: None,
+            })),
+        }
+    }
+
+    /// Opens the measurement window at `t` (discarding the warmup).
+    pub fn start_window(&self, t: SimTime) {
+        let mut i = self.inner.lock();
+        i.window_start = t;
+        i.window_end = None;
+        i.hist = LatencyHistogram::new();
+        i.sent = 0;
+        i.received = 0;
+        i.errors = 0;
+    }
+
+    /// Closes the window at `t` (later samples are dropped).
+    pub fn end_window(&self, t: SimTime) {
+        self.inner.lock().window_end = Some(t);
+    }
+
+    fn in_window(i: &Inner, t: SimTime) -> bool {
+        t >= i.window_start && i.window_end.map_or(true, |e| t <= e)
+    }
+
+    /// Notes a request sent at `t`.
+    pub fn note_sent(&self, t: SimTime) {
+        let mut i = self.inner.lock();
+        if Self::in_window(&i, t) {
+            i.sent += 1;
+        }
+    }
+
+    /// Records a completed request sent at `sent` and finished at `now`.
+    pub fn record(&self, sent: SimTime, now: SimTime) {
+        let mut i = self.inner.lock();
+        if Self::in_window(&i, now) && sent >= i.window_start {
+            i.received += 1;
+            i.hist.record(now.saturating_since(sent));
+        }
+    }
+
+    /// Notes a request error at `t`.
+    pub fn note_error(&self, t: SimTime) {
+        let mut i = self.inner.lock();
+        if Self::in_window(&i, t) {
+            i.errors += 1;
+        }
+    }
+
+    /// Summarises the window, computing throughput against `window`.
+    pub fn summary(&self, window: SimDuration) -> LoadSummary {
+        let i = self.inner.lock();
+        LoadSummary {
+            latency: i.hist.summary(),
+            sent: i.sent,
+            received: i.received,
+            errors: i.errors,
+            throughput_qps: if window.as_secs_f64() > 0.0 {
+                i.received as f64 / window.as_secs_f64()
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The outcome of one load run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSummary {
+    /// Latency summary of completed requests.
+    pub latency: LatencySummary,
+    /// Requests sent in the window.
+    pub sent: u64,
+    /// Responses received in the window.
+    pub received: u64,
+    /// Errors observed.
+    pub errors: u64,
+    /// Achieved throughput over the window.
+    pub throughput_qps: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_inside_window_only() {
+        let r = Recorder::new();
+        r.start_window(SimTime::from_nanos(1000));
+        // Sent before the window: dropped.
+        r.record(SimTime::from_nanos(0), SimTime::from_nanos(2000));
+        // Fully inside: kept.
+        r.record(SimTime::from_nanos(1500), SimTime::from_nanos(2500));
+        let s = r.summary(SimDuration::from_nanos(1000));
+        assert_eq!(s.received, 1);
+        assert_eq!(s.latency.count, 1);
+    }
+
+    #[test]
+    fn end_window_drops_later_samples() {
+        let r = Recorder::new();
+        r.end_window(SimTime::from_nanos(100));
+        r.record(SimTime::from_nanos(50), SimTime::from_nanos(200));
+        assert_eq!(r.summary(SimDuration::from_nanos(100)).received, 0);
+    }
+
+    #[test]
+    fn throughput_is_received_over_window() {
+        let r = Recorder::new();
+        for i in 0..10 {
+            r.note_sent(SimTime::from_nanos(i));
+            r.record(SimTime::from_nanos(i), SimTime::from_nanos(i + 10));
+        }
+        let s = r.summary(SimDuration::from_secs(2));
+        assert_eq!(s.sent, 10);
+        assert!((s.throughput_qps - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let r = Recorder::new();
+        let r2 = r.clone();
+        r2.record(SimTime::ZERO, SimTime::from_nanos(5));
+        assert_eq!(r.summary(SimDuration::from_secs(1)).received, 1);
+    }
+
+    #[test]
+    fn restarting_window_resets_counts() {
+        let r = Recorder::new();
+        r.record(SimTime::ZERO, SimTime::from_nanos(5));
+        r.start_window(SimTime::from_nanos(10));
+        assert_eq!(r.summary(SimDuration::from_secs(1)).received, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Clone a full microservice topology.
+//!
+//! Run with `cargo run --release --example clone_social_network`.
+//!
+//! Deploys the 18-tier Social Network, collects distributed traces
+//! (Jaeger-equivalent), extracts the RPC dependency DAG with per-edge call
+//! ratios, profiles every tier, clones the whole graph — every tier
+//! replaced by a synthetic counterpart — and compares the end-to-end
+//! latency distribution (the paper's Figure 6).
+
+use ditto::core::Ditto;
+use ditto::hw::platform::PlatformSpec;
+use ditto_bench::social_experiment::{run_original, run_synthetic};
+
+fn main() {
+    let platform = PlatformSpec::a();
+    let qps = 800.0;
+
+    println!("deploying + tracing + profiling the original Social Network…");
+    let original = run_original(&platform, qps, 7, true);
+    let graph = original.graph.as_ref().expect("tracing was enabled");
+    println!("traced dependency graph:\n{graph}");
+
+    println!("cloning all {} tiers…", graph.services.len());
+    let ditto = Ditto::new();
+    let synthetic = run_synthetic(&platform, &ditto, graph, &original.profiles, qps, 8);
+
+    println!("\nend-to-end latency, every tier synthetic vs original:");
+    println!("{:<12} {:>10} {:>10}", "", "actual", "synthetic");
+    println!(
+        "{:<12} {:>10.0} {:>10.0}",
+        "QPS", original.e2e.throughput_qps, synthetic.e2e.throughput_qps
+    );
+    for (name, a, s) in [
+        ("p50", original.e2e.latency.p50, synthetic.e2e.latency.p50),
+        ("p95", original.e2e.latency.p95, synthetic.e2e.latency.p95),
+        ("p99", original.e2e.latency.p99, synthetic.e2e.latency.p99),
+    ] {
+        println!(
+            "{:<12} {:>8.2}ms {:>8.2}ms",
+            name,
+            a.as_millis_f64(),
+            s.as_millis_f64()
+        );
+    }
+
+    println!("\nper-tier IPC (pinned tiers):");
+    for tier in ["text", "social-graph"] {
+        println!(
+            "  {tier:<14} actual {:.3}  synthetic {:.3}",
+            original.tier_metrics[tier].ipc, synthetic.tier_metrics[tier].ipc
+        );
+    }
+}

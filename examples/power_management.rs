@@ -1,0 +1,49 @@
+//! Power-management what-if study on a clone (the paper's §6.6 use case):
+//! a cloud provider hands the synthetic Memcached to a vendor, who
+//! explores core-count × frequency configurations against a 1 ms QoS —
+//! without ever seeing the original's code.
+//!
+//! Run with `cargo run --release --example power_management`.
+
+use ditto::app::apps;
+use ditto::core::harness::{LoadKind, Testbed};
+use ditto::core::{Ditto, FineTuner};
+use ditto::kernel::NodeId;
+
+fn main() {
+    let load = LoadKind::OpenLoop { qps: 10_000.0, connections: 8 };
+    let bed = Testbed::default_ab(5150);
+
+    println!("profiling Memcached at 10k QPS…");
+    let profiled = bed.run(|_, _| apps::memcached(9000), &load, true);
+    let profile = profiled.profile.as_ref().expect("profiled");
+    let tuner = FineTuner { max_iterations: 4, tolerance_pct: 10.0, gain: 0.6 };
+    let (tuned, _) = bed.tune_clone(&Ditto::new(), profile, &load, &tuner);
+
+    println!("\nsynthetic Memcached p99 (ms) across power configurations:");
+    print!("{:>8}", "");
+    for cores in [4, 8, 12, 16] {
+        print!("{:>10}", format!("{cores} cores"));
+    }
+    println!();
+    for freq in [2.1, 1.7, 1.4, 1.1] {
+        print!("{:>8}", format!("{freq:.1}GHz"));
+        for cores in [4usize, 8, 12, 16] {
+            let out = bed.run_with(
+                |c, n| tuned.clone_service(c, n, 9000, profile),
+                &load,
+                false,
+                |c, _| {
+                    let m = c.machine_mut(NodeId(0));
+                    m.set_active_cores(cores);
+                    m.set_frequency(freq);
+                },
+            );
+            let p99 = out.load.latency.p99.as_millis_f64();
+            let marker = if p99 > 1.0 { "X" } else { " " };
+            print!("{:>10}", format!("{p99:.2}{marker}"));
+        }
+        println!();
+    }
+    println!("\nX = violates the 1 ms QoS: those configurations cannot be\npower-managed down, exactly the decision the clone lets a vendor make.");
+}

@@ -1,0 +1,59 @@
+//! Quickstart: clone one service, end to end, in ~40 lines of logic.
+//!
+//! Run with `cargo run --release --example quickstart`.
+//!
+//! The flow is the paper's Figure 3: deploy the original (a Memcached-like
+//! KVS) on a simulated platform-A server, drive it with an open-loop load
+//! generator, profile it with the simulated SystemTap/SDE/Valgrind/perf
+//! stack, generate the synthetic clone, and run the clone under the same
+//! load — then compare what the counters saw.
+
+use ditto::app::apps;
+use ditto::core::harness::{LoadKind, Testbed};
+use ditto::core::{Ditto, FineTuner};
+
+fn main() {
+    let testbed = Testbed::default_ab(2024);
+    let load = LoadKind::OpenLoop { qps: 6_000.0, connections: 8 };
+
+    println!("deploying + profiling the original Memcached model…");
+    let original = testbed.run(|_, _| apps::memcached(9000), &load, true);
+    let profile = original.profile.as_ref().expect("profiling was enabled");
+    println!(
+        "  profiled {} requests, {:.0} user instructions/request",
+        profile.requests,
+        profile.instructions_per_request()
+    );
+    println!("  inferred skeleton: {:?}", profile.threads.network);
+
+    println!("generating + fine-tuning the clone…");
+    let tuner = FineTuner { max_iterations: 5, tolerance_pct: 8.0, gain: 0.6 };
+    let (tuned, trace) = testbed.tune_clone(&Ditto::new(), profile, &load, &tuner);
+    println!(
+        "  tuner ran {} iterations (converged: {})",
+        trace.iterations, trace.converged
+    );
+
+    println!("running the synthetic clone under the same load…");
+    let synthetic = testbed.run_clone(&tuned, profile, &load);
+
+    println!("\n{:<12} {:>10} {:>10}", "metric", "actual", "synthetic");
+    for ((name, a), (_, s)) in original
+        .metrics
+        .named()
+        .iter()
+        .zip(synthetic.metrics.named().iter())
+    {
+        println!("{name:<12} {a:>10.4} {s:>10.4}");
+    }
+    println!(
+        "{:<12} {:>10.0} {:>10.0}",
+        "QPS", original.load.throughput_qps, synthetic.load.throughput_qps
+    );
+    println!(
+        "{:<12} {:>9.2}ms {:>9.2}ms",
+        "p99",
+        original.load.latency.p99.as_millis_f64(),
+        synthetic.load.latency.p99.as_millis_f64()
+    );
+}

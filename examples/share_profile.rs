@@ -1,0 +1,52 @@
+//! The sharing workflow that motivates the paper (§1, §7.2): a cloud
+//! provider profiles a production service and publishes the *profile* —
+//! post-processed statistics, no application logic; a hardware vendor
+//! loads that artifact and regenerates a runnable synthetic benchmark,
+//! never touching the original.
+//!
+//! Run with `cargo run --release --example share_profile`.
+
+use ditto::app::apps;
+use ditto::core::harness::{LoadKind, Testbed};
+use ditto::core::Ditto;
+use ditto::profile::AppProfile;
+
+fn main() {
+    let load = LoadKind::OpenLoop { qps: 5_000.0, connections: 8 };
+
+    // --- Provider side: profile and export ---
+    let provider_bed = Testbed::default_ab(314);
+    let original = provider_bed.run(|_, _| apps::memcached(9000), &load, true);
+    let profile = original.profile.as_ref().expect("profiled");
+    let artifact = profile.to_json().expect("serializable");
+    println!(
+        "provider exports a {}-byte JSON artifact ({} requests profiled)",
+        artifact.len(),
+        profile.requests
+    );
+
+    // The artifact contains statistics only. Spot-check: no instruction
+    // sequences, no code, no addresses — just histograms and counters.
+    assert!(!artifact.contains("instrs"), "no code sequences in the artifact");
+
+    // --- Vendor side: import and regenerate, on different hardware ---
+    let imported = AppProfile::from_json(&artifact).expect("round-trips");
+    let vendor_bed = Testbed {
+        server: ditto::hw::platform::PlatformSpec::c(), // vendor's box differs
+        ..Testbed::default_ab(2718)
+    };
+    let synthetic = vendor_bed.run_clone(&Ditto::new(), &imported, &load);
+
+    println!(
+        "vendor regenerated the clone and measured: IPC {:.3}, p99 {:.2}ms, {:.0} QPS",
+        synthetic.metrics.ipc,
+        synthetic.load.latency.p99.as_millis_f64(),
+        synthetic.load.throughput_qps
+    );
+    println!(
+        "original on the provider's platform: IPC {:.3}, p99 {:.2}ms",
+        original.metrics.ipc,
+        original.load.latency.p99.as_millis_f64()
+    );
+    println!("\n(The vendor never saw the original service — only the JSON.)");
+}

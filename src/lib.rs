@@ -1,0 +1,19 @@
+//! Facade crate re-exporting the full Ditto reproduction API.
+//!
+//! See the individual crates for details:
+//! - [`sim`] — discrete-event simulation engine and statistics
+//! - [`hw`] — hardware timing models and platform specs
+//! - [`kernel`] — simulated operating system
+//! - [`trace`] — distributed tracing
+//! - [`app`] — original application models
+//! - [`profile`] — profiling substrate
+//! - [`core`] — the Ditto cloning pipeline
+//! - [`workload`] — load generators
+pub use ditto_app as app;
+pub use ditto_core as core;
+pub use ditto_hw as hw;
+pub use ditto_kernel as kernel;
+pub use ditto_profile as profile;
+pub use ditto_sim as sim;
+pub use ditto_trace as trace;
+pub use ditto_workload as workload;

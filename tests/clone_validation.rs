@@ -1,0 +1,102 @@
+//! The headline experiment, end to end: profile an original service,
+//! generate its synthetic clone with the full Ditto pipeline (including
+//! fine tuning), run both under identical load, and compare hardware
+//! metrics and latency.
+
+use ditto::app::apps;
+use ditto::core::harness::{LoadKind, Testbed};
+use ditto::core::{Ditto, FineTuner};
+use ditto::sim::time::SimDuration;
+
+#[test]
+fn memcached_clone_matches_original() {
+    let testbed = Testbed::default_ab(42);
+    let load = LoadKind::OpenLoop { qps: 4_000.0, connections: 4 };
+
+    // --- Run + profile the original ---
+    let original = testbed.run(|_, _| apps::memcached(9000), &load, true);
+    let profile = original.profile.as_ref().expect("profiled");
+    assert!(profile.requests > 500, "requests {}", profile.requests);
+    assert_eq!(
+        ditto::core::generate_network_model(profile),
+        ditto::app::NetworkModel::EpollWorkers { workers: 4 },
+        "skeleton must recover the 4 epoll workers"
+    );
+
+    // --- Generate, fine-tune, and run the clone ---
+    let base = Ditto::new();
+    let tuner = FineTuner { max_iterations: 6, tolerance_pct: 8.0, gain: 0.6 };
+    let (tuned, trace) = testbed.tune_clone(&base, profile, &load, &tuner);
+    println!(
+        "tuning: {} iterations, converged={}, worst errors per iter: {:?}",
+        trace.iterations,
+        trace.converged,
+        trace.history.iter().map(|h| h.worst_error_pct.round()).collect::<Vec<_>>()
+    );
+    let synthetic = testbed.run_clone(&tuned, profile, &load);
+
+    // --- Compare ---
+    let errors = original.metrics.errors_vs(&synthetic.metrics);
+    println!("metric errors: {errors:?}");
+    println!(
+        "orig ipc {:.3} synth ipc {:.3} | orig l1d {:.4} synth l1d {:.4} | orig l1i {:.4} synth l1i {:.4}",
+        original.metrics.ipc,
+        synthetic.metrics.ipc,
+        original.metrics.l1d_miss_rate,
+        synthetic.metrics.l1d_miss_rate,
+        original.metrics.l1i_miss_rate,
+        synthetic.metrics.l1i_miss_rate,
+    );
+    let err = |name: &str| errors.iter().find(|(n, _)| *n == name).unwrap().1;
+    assert!(err("IPC") < 20.0, "IPC error {}", err("IPC"));
+    assert!(err("Branch") < 30.0, "Branch error {}", err("Branch"));
+    assert!(err("L1d") < 35.0, "L1d error {}", err("L1d"));
+    assert!(err("LLC") < 35.0, "LLC error {}", err("LLC"));
+    assert!(err("NetBW") < 20.0, "NetBW error {}", err("NetBW"));
+
+    // Throughput parity.
+    assert!(
+        (synthetic.load.received as f64 - original.load.received as f64).abs()
+            < original.load.received as f64 * 0.15,
+        "orig {} synth {}",
+        original.load.received,
+        synthetic.load.received
+    );
+
+    // Latency in the same regime.
+    let op50 = original.load.latency.p50.as_micros_f64();
+    let sp50 = synthetic.load.latency.p50.as_micros_f64();
+    println!("orig p50 {op50}us synth p50 {sp50}us");
+    assert!(sp50 < op50 * 2.5 && sp50 > op50 / 2.5, "p50 orig {op50} synth {sp50}");
+}
+
+#[test]
+fn redis_clone_closed_loop() {
+    let testbed = Testbed::default_ab(77);
+    let load = LoadKind::ClosedLoop { connections: 8, think: SimDuration::ZERO };
+
+    let original = testbed.run(|_, _| apps::redis(9000), &load, true);
+    let profile = original.profile.as_ref().expect("profiled");
+    // Redis is a single-threaded multiplexer.
+    assert_eq!(
+        ditto::core::generate_network_model(profile),
+        ditto::app::NetworkModel::EpollWorkers { workers: 0 },
+        "{:?}",
+        profile.threads.network
+    );
+
+    let synthetic = testbed.run_clone(&Ditto::new(), profile, &load);
+    let errors = original.metrics.errors_vs(&synthetic.metrics);
+    println!("redis errors: {errors:?}");
+    // Untuned single-pass: allow generous bands, but the clone must be in
+    // the right regime and serve comparable throughput.
+    let err = |name: &str| errors.iter().find(|(n, _)| *n == name).unwrap().1;
+    assert!(err("IPC") < 60.0, "IPC error {}", err("IPC"));
+    assert!(
+        (synthetic.load.throughput_qps - original.load.throughput_qps).abs()
+            < original.load.throughput_qps * 0.3,
+        "orig {} synth {}",
+        original.load.throughput_qps,
+        synthetic.load.throughput_qps
+    );
+}

@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: original applications served through
+//! the simulated kernel under real load generators.
+
+use ditto::app::apps;
+use ditto::app::{deploy_social_network, ServiceSpec};
+use ditto::hw::platform::PlatformSpec;
+use ditto::kernel::{Cluster, NodeId};
+use ditto::sim::time::SimDuration;
+use ditto::trace::{ServiceGraph, TraceCollector};
+use ditto::workload::{ClosedLoopConfig, OpenLoopConfig, Recorder};
+
+/// Two-machine cluster: the service under test on a platform-A server,
+/// clients on a second machine, like the paper's testbed.
+fn testbed() -> Cluster {
+    Cluster::new(vec![PlatformSpec::a(), PlatformSpec::c()], 1234)
+}
+
+fn run_load_open(cluster: &mut Cluster, qps: f64, warmup_ms: u64, run_ms: u64) -> ditto::workload::LoadSummary {
+    let recorder = Recorder::new();
+    let mut cfg = OpenLoopConfig::new(NodeId(0), 9000, qps);
+    cfg.connections = 4;
+    cfg.spawn(cluster, NodeId(1), &recorder);
+    cluster.run_for(SimDuration::from_millis(warmup_ms));
+    recorder.start_window(cluster.now());
+    cluster.run_for(SimDuration::from_millis(run_ms));
+    recorder.end_window(cluster.now());
+    recorder.summary(SimDuration::from_millis(run_ms))
+}
+
+#[test]
+fn memcached_serves_open_loop_load() {
+    let mut cluster = testbed();
+    apps::memcached(9000).deploy(&mut cluster, NodeId(0));
+    cluster.run_for(SimDuration::from_millis(5));
+    let s = run_load_open(&mut cluster, 5_000.0, 50, 200);
+    assert!(s.received > 600, "received {} of {}", s.received, s.sent);
+    assert!(
+        s.received as f64 > s.sent as f64 * 0.8,
+        "most requests must complete: {s:?}"
+    );
+    // Sub-millisecond typical latency for an in-memory KVS at low load.
+    assert!(s.latency.p50 < SimDuration::from_millis(2), "{:?}", s.latency);
+    let counters = cluster.machine(NodeId(0)).counters();
+    assert!(counters.instructions > 1_000_000);
+    assert!(counters.user_instructions > 0);
+    assert!(
+        counters.instructions > counters.user_instructions,
+        "kernel time must be visible"
+    );
+}
+
+#[test]
+fn nginx_single_worker_serves() {
+    let mut cluster = testbed();
+    let spec = apps::nginx(&mut cluster, NodeId(0), 9000);
+    spec.deploy(&mut cluster, NodeId(0));
+    cluster.run_for(SimDuration::from_millis(5));
+    let s = run_load_open(&mut cluster, 2_000.0, 50, 200);
+    assert!(s.received > 200, "{s:?}");
+    // Static content is page-cache warm: no disk traffic.
+    assert_eq!(cluster.machine(NodeId(0)).disk.stats().requests, 0);
+}
+
+#[test]
+fn redis_closed_loop() {
+    let mut cluster = testbed();
+    apps::redis(9000).deploy(&mut cluster, NodeId(0));
+    cluster.run_for(SimDuration::from_millis(5));
+    let recorder = Recorder::new();
+    ClosedLoopConfig::new(NodeId(0), 9000, 8).spawn(&mut cluster, NodeId(1), &recorder);
+    cluster.run_for(SimDuration::from_millis(50));
+    recorder.start_window(cluster.now());
+    cluster.run_for(SimDuration::from_millis(200));
+    recorder.end_window(cluster.now());
+    let s = recorder.summary(SimDuration::from_millis(200));
+    assert!(s.received > 500, "{s:?}");
+    assert!(s.latency.p99 < SimDuration::from_millis(10), "{:?}", s.latency);
+}
+
+#[test]
+fn mongodb_is_disk_bound() {
+    let mut cluster = testbed();
+    let spec = apps::mongodb(&mut cluster, NodeId(0), 9000, 2 << 30);
+    spec.deploy(&mut cluster, NodeId(0));
+    cluster.run_for(SimDuration::from_millis(5));
+    let recorder = Recorder::new();
+    ClosedLoopConfig::new(NodeId(0), 9000, 8).spawn(&mut cluster, NodeId(1), &recorder);
+    cluster.run_for(SimDuration::from_millis(100));
+    recorder.start_window(cluster.now());
+    cluster.run_for(SimDuration::from_millis(400));
+    recorder.end_window(cluster.now());
+    let s = recorder.summary(SimDuration::from_millis(400));
+    assert!(s.received > 20, "{s:?}");
+    let disk = cluster.machine(NodeId(0)).disk.stats();
+    assert!(disk.requests > 20, "uniform 40GB reads must hit disk: {disk:?}");
+    // SSD access ~80us dominates a single read; latency well above Redis.
+    assert!(s.latency.p50 > SimDuration::from_micros(100), "{:?}", s.latency);
+}
+
+#[test]
+fn social_network_end_to_end_with_tracing() {
+    let mut cluster = testbed();
+    let collector = TraceCollector::new(1.0, 7);
+    let sn = deploy_social_network(&mut cluster, &[NodeId(0)], 9100, Some(collector.clone()));
+    cluster.run_for(SimDuration::from_millis(20));
+
+    let recorder = Recorder::new();
+    let mut cfg = OpenLoopConfig::new(sn.frontend.0, sn.frontend.1, 300.0);
+    cfg.connections = 4;
+    cfg.collector = Some(collector.clone());
+    cfg.spawn(&mut cluster, NodeId(1), &recorder);
+    cluster.run_for(SimDuration::from_millis(100));
+    recorder.start_window(cluster.now());
+    cluster.run_for(SimDuration::from_millis(500));
+    recorder.end_window(cluster.now());
+
+    let s = recorder.summary(SimDuration::from_millis(500));
+    assert!(s.received > 50, "{s:?}");
+
+    // Distributed tracing captured the topology.
+    let spans = collector.spans();
+    assert!(spans.len() > 100, "span count {}", spans.len());
+    let graph = ServiceGraph::from_spans(&spans);
+    assert!(graph.index_of("frontend").is_some());
+    assert!(graph.index_of("text").is_some());
+    assert!(graph.index_of("social-graph").is_some());
+    let f = graph.index_of("frontend").unwrap();
+    assert!(!graph.children_of(f).is_empty(), "{graph}");
+    // Frontend must be a root of the DAG.
+    assert!(graph.roots().contains(&f));
+}

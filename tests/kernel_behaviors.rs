@@ -1,0 +1,307 @@
+//! Focused integration tests of kernel semantics: epoll, futexes,
+//! cross-node networking, scheduling and device queueing, exercised
+//! through the public API.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ditto::hw::platform::PlatformSpec;
+use ditto::kernel::{
+    Action, Cluster, Errno, Fd, MsgMeta, NodeId, Syscall, SysResult, ThreadBody, ThreadCtx,
+};
+use ditto::sim::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+
+fn cluster2() -> Cluster {
+    Cluster::new(vec![PlatformSpec::c(), PlatformSpec::c()], 99)
+}
+
+/// An echo server: accepts one connection, echoes every message back.
+struct EchoServer {
+    port: u16,
+    state: u8,
+    listener: Option<Fd>,
+    conn: Option<Fd>,
+}
+
+impl EchoServer {
+    fn new(port: u16) -> Self {
+        EchoServer { port, state: 0, listener: None, conn: None }
+    }
+}
+
+impl ThreadBody for EchoServer {
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        match self.state {
+            0 => {
+                self.state = 1;
+                Action::Syscall(Syscall::Listen { port: self.port })
+            }
+            1 => {
+                self.listener = ctx.last.fd();
+                self.state = 2;
+                Action::Syscall(Syscall::Accept { listener: self.listener.unwrap() })
+            }
+            2 => {
+                self.conn = ctx.last.fd();
+                self.state = 3;
+                Action::Syscall(Syscall::Recv { fd: self.conn.unwrap() })
+            }
+            3 => match ctx.last.msg() {
+                Some(msg) => {
+                    self.state = 4;
+                    Action::Syscall(Syscall::Send {
+                        fd: self.conn.unwrap(),
+                        bytes: msg.bytes,
+                        meta: msg.meta,
+                    })
+                }
+                None => Action::Exit,
+            },
+            _ => {
+                // Send completed; wait for the next request.
+                self.state = 3;
+                Action::Syscall(Syscall::Recv { fd: self.conn.unwrap() })
+            }
+        }
+    }
+}
+
+/// A client that sends `n` pings and records round-trip completions.
+struct PingClient {
+    server: NodeId,
+    port: u16,
+    remaining: u32,
+    fd: Option<Fd>,
+    state: u8,
+    completions: Arc<AtomicU64>,
+    rtts: Arc<Mutex<Vec<SimTime>>>,
+}
+
+impl ThreadBody for PingClient {
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        match self.state {
+            0 => {
+                self.state = 1;
+                Action::Syscall(Syscall::Connect { node: self.server, port: self.port })
+            }
+            1 => {
+                self.fd = ctx.last.fd();
+                if self.fd.is_none() {
+                    return Action::Exit;
+                }
+                self.state = 2;
+                Action::Syscall(Syscall::Send {
+                    fd: self.fd.unwrap(),
+                    bytes: 64,
+                    meta: MsgMeta::default(),
+                })
+            }
+            2 => {
+                self.state = 3;
+                Action::Syscall(Syscall::Recv { fd: self.fd.unwrap() })
+            }
+            _ => {
+                if ctx.last.msg().is_some() {
+                    self.completions.fetch_add(1, Ordering::Relaxed);
+                    self.rtts.lock().push(ctx.now);
+                    self.remaining -= 1;
+                    if self.remaining == 0 {
+                        return Action::Exit;
+                    }
+                    self.state = 2;
+                    return Action::Syscall(Syscall::Send {
+                        fd: self.fd.unwrap(),
+                        bytes: 64,
+                        meta: MsgMeta::default(),
+                    });
+                }
+                Action::Exit
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_node_ping_pong_round_trips() {
+    let mut c = cluster2();
+    let spid = c.spawn_process(NodeId(0));
+    c.spawn_thread(NodeId(0), spid, Box::new(EchoServer::new(4000)));
+    c.run_for(SimDuration::from_millis(1));
+
+    let completions = Arc::new(AtomicU64::new(0));
+    let rtts = Arc::new(Mutex::new(Vec::new()));
+    let cpid = c.spawn_process(NodeId(1));
+    c.spawn_thread(
+        NodeId(1),
+        cpid,
+        Box::new(PingClient {
+            server: NodeId(0),
+            port: 4000,
+            remaining: 50,
+            fd: None,
+            state: 0,
+            completions: completions.clone(),
+            rtts: rtts.clone(),
+        }),
+    );
+    c.run_for(SimDuration::from_millis(200));
+    assert_eq!(completions.load(Ordering::Relaxed), 50);
+    // Cross-node RTT must include two link latencies (1 GbE: 20us each way).
+    let times = rtts.lock();
+    let first = times[0];
+    assert!(first.as_nanos() > 40_000, "RTT too fast: {first}");
+}
+
+#[test]
+fn connect_to_missing_listener_is_refused() {
+    let mut c = cluster2();
+    let results = Arc::new(Mutex::new(Vec::new()));
+    struct TryConnect(Arc<Mutex<Vec<SysResult>>>, u8);
+    impl ThreadBody for TryConnect {
+        fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+            if self.1 == 0 {
+                self.1 = 1;
+                return Action::Syscall(Syscall::Connect { node: NodeId(1), port: 5999 });
+            }
+            self.0.lock().push(ctx.last.clone());
+            Action::Exit
+        }
+    }
+    let pid = c.spawn_process(NodeId(0));
+    c.spawn_thread(NodeId(0), pid, Box::new(TryConnect(results.clone(), 0)));
+    c.run_for(SimDuration::from_millis(5));
+    assert!(matches!(results.lock()[0], SysResult::Err(Errno::ConnRefused)));
+}
+
+#[test]
+fn futex_wait_wake_pairs() {
+    let mut c = cluster2();
+    let order = Arc::new(Mutex::new(Vec::new()));
+
+    struct Waiter(Arc<Mutex<Vec<&'static str>>>, u8);
+    impl ThreadBody for Waiter {
+        fn step(&mut self, _ctx: &mut ThreadCtx<'_>) -> Action {
+            if self.1 == 0 {
+                self.1 = 1;
+                self.0.lock().push("wait");
+                return Action::Syscall(Syscall::FutexWait { key: 7 });
+            }
+            self.0.lock().push("woken");
+            Action::Exit
+        }
+    }
+    struct Waker(Arc<Mutex<Vec<&'static str>>>, u8);
+    impl ThreadBody for Waker {
+        fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+            match self.1 {
+                0 => {
+                    self.1 = 1;
+                    Action::Syscall(Syscall::Nanosleep { dur: SimDuration::from_millis(2) })
+                }
+                1 => {
+                    self.1 = 2;
+                    Action::Syscall(Syscall::FutexWake { key: 7, n: 1 })
+                }
+                _ => {
+                    if let SysResult::Bytes(n) = ctx.last {
+                        self.0.lock().push(if n == 1 { "woke-one" } else { "woke-none" });
+                    }
+                    Action::Exit
+                }
+            }
+        }
+    }
+
+    let pid = c.spawn_process(NodeId(0));
+    c.spawn_thread(NodeId(0), pid, Box::new(Waiter(order.clone(), 0)));
+    c.run_for(SimDuration::from_millis(1));
+    c.spawn_thread(NodeId(0), pid, Box::new(Waker(order.clone(), 0)));
+    c.run_for(SimDuration::from_millis(20));
+    let o = order.lock();
+    assert_eq!(*o, vec!["wait", "woke-one", "woken"], "{o:?}");
+}
+
+#[test]
+fn epoll_timeout_returns_empty_ready_set() {
+    let mut c = cluster2();
+    let results = Arc::new(Mutex::new(Vec::new()));
+    struct EpollTimeout(Arc<Mutex<Vec<SysResult>>>, u8, Option<Fd>);
+    impl ThreadBody for EpollTimeout {
+        fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+            match self.1 {
+                0 => {
+                    self.1 = 1;
+                    Action::Syscall(Syscall::EpollCreate)
+                }
+                1 => {
+                    self.2 = ctx.last.fd();
+                    self.1 = 2;
+                    Action::Syscall(Syscall::EpollWait {
+                        ep: self.2.unwrap(),
+                        timeout: Some(SimDuration::from_millis(3)),
+                    })
+                }
+                _ => {
+                    self.0.lock().push(ctx.last.clone());
+                    Action::Exit
+                }
+            }
+        }
+    }
+    let pid = c.spawn_process(NodeId(0));
+    c.spawn_thread(NodeId(0), pid, Box::new(EpollTimeout(results.clone(), 0, None)));
+    c.run_for(SimDuration::from_millis(1));
+    assert!(results.lock().is_empty(), "still waiting before timeout");
+    c.run_for(SimDuration::from_millis(10));
+    let first = results.lock()[0].clone();
+    match first {
+        SysResult::Ready(fds) => assert!(fds.is_empty()),
+        other => panic!("expected empty Ready, got {other:?}"),
+    }
+}
+
+#[test]
+fn scheduler_respects_active_core_limit() {
+    // With one active core (2 SMT threads) and 6 CPU-bound threads, the
+    // machine's aggregate IPC-seconds are bounded by the single core.
+    let mut limited = Cluster::single(PlatformSpec::c(), 5);
+    limited.machine_mut(NodeId(0)).set_active_cores(1);
+    ditto::app::spawn_stressors(&mut limited, NodeId(0), ditto::app::StressKind::HyperThread, 6);
+    limited.run_for(SimDuration::from_millis(20));
+    let limited_instr = limited.machine(NodeId(0)).counters().instructions;
+
+    let mut full = Cluster::single(PlatformSpec::c(), 5);
+    ditto::app::spawn_stressors(&mut full, NodeId(0), ditto::app::StressKind::HyperThread, 6);
+    full.run_for(SimDuration::from_millis(20));
+    let full_instr = full.machine(NodeId(0)).counters().instructions;
+
+    assert!(
+        full_instr as f64 > limited_instr as f64 * 2.0,
+        "full {full_instr} vs limited {limited_instr}"
+    );
+}
+
+#[test]
+fn disk_queueing_inflates_latency_under_contention() {
+    // Two clusters: one with 2 closed-loop clients, one with 16, against a
+    // disk-bound MongoDB. More outstanding requests → deeper disk queue →
+    // higher p99 (the open-loop explosion shape of Figure 5).
+    let p99_at = |conns: usize| {
+        let mut c = Cluster::new(vec![PlatformSpec::b(), PlatformSpec::c()], 31);
+        let spec = ditto::app::apps::mongodb(&mut c, NodeId(0), 9000, 1 << 30);
+        spec.deploy(&mut c, NodeId(0));
+        c.run_for(SimDuration::from_millis(5));
+        let rec = ditto::workload::Recorder::new();
+        ditto::workload::ClosedLoopConfig::new(NodeId(0), 9000, conns).spawn(&mut c, NodeId(1), &rec);
+        c.run_for(SimDuration::from_millis(300));
+        rec.end_window(c.now());
+        rec.summary(SimDuration::from_millis(300)).latency.p99
+    };
+    let light = p99_at(2);
+    let heavy = p99_at(16);
+    assert!(
+        heavy.as_nanos() as f64 > light.as_nanos() as f64 * 2.0,
+        "light {light} heavy {heavy}"
+    );
+}

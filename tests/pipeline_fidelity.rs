@@ -1,0 +1,123 @@
+//! Fidelity and confidentiality properties of the cloning pipeline,
+//! checked end to end on small workloads.
+
+use ditto::app::apps;
+use ditto::core::harness::{LoadKind, Testbed};
+use ditto::core::{generate_body_params, Ditto, GeneratorConfig, GeneratorStages, TuneKnobs};
+use ditto::hw::codegen::Body;
+use ditto::hw::isa::InstrClass;
+use ditto::profile::AppProfile;
+use ditto::sim::rng::SimRng;
+
+
+fn profiled_memcached() -> (Testbed, LoadKind, AppProfile) {
+    let testbed = Testbed::default_ab(808);
+    let load = LoadKind::OpenLoop { qps: 4_000.0, connections: 4 };
+    let out = testbed.run(|_, _| apps::memcached(9000), &load, true);
+    let profile = out.profile.expect("profiled");
+    (testbed, load, profile)
+}
+
+#[test]
+fn generated_mix_matches_profiled_mix() {
+    let (_, _, profile) = profiled_memcached();
+    let params = generate_body_params(
+        &profile,
+        GeneratorStages::all(),
+        &GeneratorConfig::default(),
+        &TuneKnobs::default(),
+    );
+    // Materialise the synthetic body and measure its realised mix.
+    let body = Body::new(&params);
+    let mut rng = SimRng::seed(9);
+    let mut counts = [0u64; 16];
+    let mut total = 0u64;
+    for _ in 0..20 {
+        let prog = body.instantiate(&mut rng);
+        for run in &prog.runs {
+            for i in &run.block.instrs {
+                counts[i.class.index().min(15)] += u64::from(run.iterations);
+                total += u64::from(run.iterations);
+            }
+        }
+    }
+    let profiled_total: u64 = profile.instr.class_counts.iter().sum();
+    for class in [InstrClass::Load, InstrClass::Store, InstrClass::CondBranch] {
+        let profiled = profile.instr.class_counts[class.index()] as f64 / profiled_total as f64;
+        let realised = counts[class.index()] as f64 / total as f64;
+        assert!(
+            (profiled - realised).abs() < 0.05,
+            "{class}: profiled {profiled:.3} realised {realised:.3}"
+        );
+    }
+}
+
+#[test]
+fn clone_reveals_no_original_code() {
+    // §4.1 abstraction: the synthetic binary shares no instruction
+    // addresses with the original application's text.
+    let (mut _bed, _, profile) = profiled_memcached();
+    let params = generate_body_params(
+        &profile,
+        GeneratorStages::all(),
+        &GeneratorConfig::default(),
+        &TuneKnobs::default(),
+    );
+    let body = Body::new(&params);
+    let mut rng = SimRng::seed(10);
+    let prog = body.instantiate(&mut rng);
+    // Original memcached text lives at 0x0040_0000..0x0080_0000; the
+    // generator emits at GeneratorConfig::default().pc_base.
+    for run in &prog.runs {
+        assert!(
+            run.block.base_pc >= 0x5000_0000,
+            "synthetic code at original text address {:x}",
+            run.block.base_pc
+        );
+    }
+}
+
+#[test]
+fn clone_from_shared_json_behaves_like_clone_from_memory() {
+    let (testbed, load, profile) = profiled_memcached();
+    let json = profile.to_json().expect("export");
+    let imported = AppProfile::from_json(&json).expect("import");
+
+    let a = testbed.run_clone(&Ditto::new(), &profile, &load);
+    let b = testbed.run_clone(&Ditto::new(), &imported, &load);
+    // Same seed, same profile content → identical clone behaviour.
+    assert_eq!(a.metrics.counters.instructions, b.metrics.counters.instructions);
+    assert_eq!(a.load.received, b.load.received);
+}
+
+#[test]
+fn stage_flags_gate_behaviour() {
+    let (testbed, load, profile) = profiled_memcached();
+    // Skeleton-only clone serves traffic but does almost no user work.
+    let skeleton = Ditto::with_stages(GeneratorStages::skeleton_only());
+    let s = testbed.run_clone(&skeleton, &profile, &load);
+    assert!(s.load.received > 100, "skeleton clone must still serve");
+    let full = Ditto::new();
+    let f = testbed.run_clone(&full, &profile, &load);
+    assert!(
+        f.metrics.counters.user_instructions as f64
+            > s.metrics.counters.user_instructions as f64 * 3.0,
+        "full body must execute far more user work: full {} skeleton {}",
+        f.metrics.counters.user_instructions,
+        s.metrics.counters.user_instructions
+    );
+}
+
+#[test]
+fn clone_scales_to_unprofiled_load() {
+    // Portability across load (§4.1): profile at 4k QPS, validate the
+    // clone tracks the original at 1k QPS without reprofiling.
+    let (testbed, _, profile) = profiled_memcached();
+    let low = LoadKind::OpenLoop { qps: 1_000.0, connections: 4 };
+    let orig = testbed.run(|_, _| apps::memcached(9000), &low, false);
+    let synth = testbed.run_clone(&Ditto::new(), &profile, &low);
+    let ratio = synth.load.throughput_qps / orig.load.throughput_qps;
+    assert!((0.85..1.15).contains(&ratio), "throughput ratio {ratio}");
+    let net_ratio = synth.metrics.net_bandwidth / orig.metrics.net_bandwidth;
+    assert!((0.8..1.2).contains(&net_ratio), "net ratio {net_ratio}");
+}

@@ -1,0 +1,247 @@
+//! Property-based tests over core data structures and invariants.
+
+use ditto::hw::cache::{Cache, CacheSpec, MemLatencies, MemorySystem};
+use ditto::hw::codegen::{Body, BodyParams};
+use ditto::hw::isa::BranchBehavior;
+use ditto::profile::StackDistance;
+use ditto::sim::dist::{Discrete, Exponential, Sample, Zipf};
+use ditto::sim::quant::{dep_bin, dep_from_bin, rate_bin, rate_from_bin, BinHistogram};
+use ditto::sim::rng::SimRng;
+use ditto::sim::stats::LatencyHistogram;
+use ditto::sim::time::SimDuration;
+use proptest::prelude::*;
+
+proptest! {
+    /// The latency histogram's percentile error is bounded by its
+    /// sub-bucket resolution (~1/32), and percentiles are monotone.
+    #[test]
+    fn histogram_percentiles_bounded_and_monotone(values in prop::collection::vec(1u64..10_000_000_000, 1..200)) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(SimDuration::from_nanos(v));
+        }
+        let p50 = h.percentile(50.0);
+        let p95 = h.percentile(95.0);
+        let p99 = h.percentile(99.0);
+        prop_assert!(p50 <= p95 && p95 <= p99);
+        prop_assert!(p99 <= h.max());
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact_p50 = sorted[(values.len() - 1) / 2] as f64;
+        let got = p50.as_nanos() as f64;
+        prop_assert!(got <= exact_p50 * 1.05 + 32.0, "p50 {got} exact {exact_p50}");
+    }
+
+    /// Reuse-distance hit curves are monotone in cache size and bounded
+    /// by the total access count.
+    #[test]
+    fn hit_curves_monotone(addrs in prop::collection::vec(0u64..65_536, 1..2_000)) {
+        let mut sd = StackDistance::new();
+        for &a in &addrs {
+            sd.access(a * 64);
+        }
+        let curve = sd.into_curve();
+        let mut last = 0;
+        for i in 0..20 {
+            let h = curve.hits(64 << i);
+            prop_assert!(h >= last);
+            prop_assert!(h + curve.cold() <= curve.total());
+            last = h;
+        }
+        // Equation 1 partitions all accesses.
+        let parts = curve.accesses_per_working_set(1 << 26);
+        let total: u64 = parts.iter().map(|&(_, a)| a).sum();
+        prop_assert_eq!(total, curve.total());
+    }
+
+    /// A fully-associative-equivalent LRU cache hit happens iff the reuse
+    /// distance is below capacity: cross-check StackDistance against a
+    /// real Cache for single-set configurations.
+    #[test]
+    fn stack_distance_agrees_with_real_cache(addrs in prop::collection::vec(0u64..64, 1..500)) {
+        // 16-line fully-associative cache (1 set × 16 ways).
+        let mut cache = Cache::new(CacheSpec::new(16 * 64, 16, 1));
+        let mut sd = StackDistance::new();
+        let mut cache_hits = 0u64;
+        for &a in &addrs {
+            if cache.access(a).is_some() {
+                cache_hits += 1;
+            } else {
+                cache.fill(a, 0);
+            }
+            sd.access(a * 64);
+        }
+        let curve = sd.into_curve();
+        prop_assert_eq!(curve.hits(16 * 64), cache_hits);
+    }
+
+    /// Quantization bins round-trip through their representative values.
+    #[test]
+    fn quantization_roundtrips(p in 0.0009765f64..0.5, d in 1u64..100_000) {
+        let b = rate_bin(p);
+        prop_assert!(b < 10);
+        prop_assert_eq!(rate_bin(rate_from_bin(b)), b);
+        let db = dep_bin(d);
+        prop_assert!(db < 11);
+        prop_assert_eq!(dep_bin(dep_from_bin(db)), db);
+        // Binning is monotone: larger distances never get smaller bins.
+        prop_assert!(dep_bin(d.saturating_mul(2)) >= db);
+    }
+
+    /// Branch behaviours always stay in the feasible Markov region, and
+    /// the realised outcome stream approximates the requested rates.
+    #[test]
+    fn branch_behavior_realises_rates(taken in 0.02f64..0.98, trans in 0.01f64..0.9) {
+        let b = BranchBehavior::new(taken, trans);
+        let (a, bb) = b.flip_probs();
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!((0.0..=1.0).contains(&bb));
+        let mut rng = SimRng::seed(taken.to_bits() ^ trans.to_bits());
+        let mut state = rng.chance(b.taken_rate);
+        let n = 40_000;
+        let mut taken_count = 0u32;
+        let mut transitions = 0u32;
+        for _ in 0..n {
+            let p_flip = if state { a } else { bb };
+            let prev = state;
+            if rng.chance(p_flip) {
+                state = !state;
+            }
+            if state != prev {
+                transitions += 1;
+            }
+            if state {
+                taken_count += 1;
+            }
+        }
+        let realised_taken = f64::from(taken_count) / f64::from(n);
+        let realised_trans = f64::from(transitions) / f64::from(n);
+        prop_assert!((realised_taken - b.taken_rate).abs() < 0.08,
+            "taken {realised_taken} vs {}", b.taken_rate);
+        prop_assert!((realised_trans - b.transition_rate).abs() < 0.05,
+            "trans {realised_trans} vs {}", b.transition_rate);
+    }
+
+    /// Discrete distributions sample only their items and respect
+    /// zero weights.
+    #[test]
+    fn discrete_samples_valid_items(weights in prop::collection::vec(0.0f64..10.0, 1..20), seed: u64) {
+        let total: f64 = weights.iter().sum();
+        prop_assume!(total > 0.001);
+        let pairs: Vec<(usize, f64)> = weights.iter().copied().enumerate().collect();
+        let d = Discrete::new(pairs).unwrap();
+        let mut rng = SimRng::seed(seed);
+        for _ in 0..200 {
+            let &i = d.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight item {i}");
+        }
+    }
+
+    /// Exponential samples are non-negative and average near the mean.
+    #[test]
+    fn exponential_mean(mean in 0.001f64..1000.0, seed: u64) {
+        let d = Exponential::with_mean(mean);
+        let mut rng = SimRng::seed(seed);
+        let n = 3_000;
+        let sum: f64 = (0..n).map(|_| {
+            let x = d.sample(&mut rng);
+            assert!(x >= 0.0);
+            x
+        }).sum();
+        let avg = sum / f64::from(n);
+        prop_assert!((avg - mean).abs() < mean * 0.2, "avg {avg} mean {mean}");
+    }
+
+    /// Zipf indices stay in range and skew monotonically to the head.
+    #[test]
+    fn zipf_in_range(n in 1usize..500, s in 0.0f64..3.0, seed: u64) {
+        let z = Zipf::new(n, s);
+        let mut rng = SimRng::seed(seed);
+        for _ in 0..100 {
+            prop_assert!(z.index(&mut rng) < n);
+        }
+    }
+
+    /// Materialised bodies respect their instruction budget on average
+    /// and every memory operand stays inside its working-set window.
+    #[test]
+    fn body_materialization_invariants(instructions in 500u64..20_000, seed: u64) {
+        let params = BodyParams::minimal(instructions, 0x40_0000, seed);
+        let body = Body::new(&params);
+        let mean = body.mean_instructions();
+        prop_assert!((mean - instructions as f64).abs() < instructions as f64 * 0.2,
+            "mean {mean} target {instructions}");
+        let mut rng = SimRng::seed(seed ^ 1);
+        let prog = body.instantiate(&mut rng);
+        for run in &prog.runs {
+            for i in &run.block.instrs {
+                if let Some(m) = i.mem {
+                    for iter in [0u32, 1, 7, 1000] {
+                        let off = m.offset_at(iter.wrapping_add(run.phase));
+                        if m.window_mask > 0 {
+                            prop_assert!(off <= m.window_mask);
+                        }
+                    }
+                }
+                if let Some(b) = i.branch {
+                    prop_assert!((b as usize) < run.block.branches.len());
+                }
+            }
+        }
+    }
+
+    /// Histograms preserve totals under arbitrary adds.
+    #[test]
+    fn bin_histogram_totals(adds in prop::collection::vec((0usize..30, 1u64..100), 0..50)) {
+        let mut h = BinHistogram::new(4);
+        let mut expect = 0u64;
+        for &(bin, n) in &adds {
+            h.add(bin, n);
+            expect += n;
+        }
+        prop_assert_eq!(h.total(), expect);
+        let w = h.weights();
+        if expect > 0 {
+            let sum: f64 = w.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// The coherent memory system never reports an L1 hit immediately
+    /// after another core wrote the same line.
+    #[test]
+    fn coherence_never_stale(ops in prop::collection::vec((0usize..2, 0u64..8, any::<bool>()), 1..300)) {
+        let mut m = MemorySystem::new(
+            2,
+            CacheSpec::new(8 * 64, 2, 0),
+            CacheSpec::new(8 * 64, 2, 0),
+            CacheSpec::new(32 * 64, 4, 12),
+            CacheSpec::new(128 * 64, 8, 40),
+            MemLatencies { l2: 12, l3: 40, mem: 200 },
+        );
+        let mut last_writer: [Option<usize>; 8] = [None; 8];
+        for &(core, line, write) in &ops {
+            let out = m.access_data(core, line * 64, write, false);
+            if let Some(w) = last_writer[line as usize] {
+                if w != core {
+                    // The previous writer invalidated us: this access
+                    // cannot have been served from our private L1.
+                    prop_assert!(out.level != ditto::hw::cache::HitLevel::L1,
+                        "stale L1 hit on line {line} after core {w} wrote");
+                }
+            }
+            if write {
+                last_writer[line as usize] = Some(core);
+            } else if last_writer[line as usize] != Some(core) {
+                // Reading re-shares the line; next conflicting check resets.
+                if last_writer[line as usize].is_some() && write {
+                } // no-op; readers keep last_writer
+            }
+            // After any access by this core, prior writes are absorbed.
+            if last_writer[line as usize] != Some(core) {
+                last_writer[line as usize] = None;
+            }
+        }
+    }
+}
