@@ -15,6 +15,7 @@ use ditto_hw::isa::{BranchBehavior, InstrClass};
 use ditto_kernel::{Cluster, NodeId};
 
 use crate::handlers::{BehaviorHandler, FileReadSpec};
+use crate::resilience::RpcPolicy;
 use crate::service::{NetworkModel, ServiceSpec, DATA_REGION, SHARED_REGION};
 
 const KB: u64 = 1024;
@@ -67,6 +68,7 @@ pub fn memcached(port: u16) -> ServiceSpec {
         handler: Arc::new(handler),
         downstreams: Vec::new(),
         collector: None,
+        rpc: RpcPolicy::default(),
         data_bytes: 128 * MB,
         shared_bytes: 64 * MB,
     }
@@ -116,6 +118,7 @@ pub fn nginx(cluster: &mut Cluster, node: NodeId, port: u16) -> ServiceSpec {
         handler: Arc::new(handler),
         downstreams: Vec::new(),
         collector: None,
+        rpc: RpcPolicy::default(),
         data_bytes: 16 * MB,
         shared_bytes: 4 * MB,
     }
@@ -174,6 +177,7 @@ pub fn mongodb(cluster: &mut Cluster, node: NodeId, port: u16, cache_bytes: u64)
         handler: Arc::new(handler),
         downstreams: Vec::new(),
         collector: None,
+        rpc: RpcPolicy::default(),
         data_bytes: 256 * MB,
         shared_bytes: 64 * MB,
     }
@@ -211,6 +215,7 @@ pub fn redis(port: u16) -> ServiceSpec {
         handler: Arc::new(handler),
         downstreams: Vec::new(),
         collector: None,
+        rpc: RpcPolicy::default(),
         data_bytes: 32 * MB,
         shared_bytes: 4 * MB,
     }

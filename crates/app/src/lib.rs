@@ -12,11 +12,13 @@
 
 pub mod apps;
 pub mod handlers;
+pub mod resilience;
 pub mod service;
 pub mod social;
 pub mod stressors;
 
 pub use handlers::{BehaviorHandler, FileReadSpec, RpcEdge};
+pub use resilience::RpcPolicy;
 pub use service::{HandlerPlan, HandlerStep, NetworkModel, RequestHandler, ServiceSpec};
 pub use social::{deploy_social_network, SocialNetwork};
 pub use stressors::{deploy_flood_sink, spawn_stressors, StressKind};

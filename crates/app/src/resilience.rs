@@ -1,0 +1,138 @@
+//! RPC resilience policy: deadlines, bounded retries, and backoff.
+//!
+//! Real services guard downstream calls with timeouts and retry budgets;
+//! a clone that omits them diverges from the original the moment anything
+//! fails. The policy here is deliberately simple — per-attempt deadline,
+//! bounded retries with capped exponential backoff and jitter — and fully
+//! deterministic: jitter draws from the calling thread's seeded RNG, so
+//! identical seeds produce identical retry schedules.
+
+use ditto_sim::rng::SimRng;
+use ditto_sim::time::SimDuration;
+
+/// Retry/deadline policy for one service's downstream RPCs.
+#[derive(Debug, Clone, Copy)]
+pub struct RpcPolicy {
+    /// Per-attempt reply deadline (`SO_RCVTIMEO` on the RPC socket).
+    pub deadline: SimDuration,
+    /// Retries after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before retry 1; doubles each further retry.
+    pub backoff_base: SimDuration,
+    /// Upper bound on any single backoff.
+    pub backoff_cap: SimDuration,
+    /// Fraction of the backoff randomised away (0 = none, 1 = full jitter).
+    pub jitter: f64,
+}
+
+impl Default for RpcPolicy {
+    fn default() -> Self {
+        RpcPolicy {
+            deadline: SimDuration::from_millis(50),
+            max_retries: 2,
+            backoff_base: SimDuration::from_millis(1),
+            backoff_cap: SimDuration::from_millis(50),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RpcPolicy {
+    /// A policy that never retries and waits forever (pre-chaos behaviour).
+    pub fn none() -> Self {
+        RpcPolicy {
+            deadline: SimDuration::from_secs(3600),
+            max_retries: 0,
+            backoff_base: SimDuration::ZERO,
+            backoff_cap: SimDuration::ZERO,
+            jitter: 0.0,
+        }
+    }
+
+    /// Whether another attempt is allowed after `attempt` failures.
+    pub fn should_retry(&self, attempt: u32) -> bool {
+        attempt <= self.max_retries
+    }
+
+    /// Backoff before attempt `attempt` (1-based: first retry is 1).
+    /// Equal-jitter exponential: `cap`ped doubling, with the configured
+    /// fraction replaced by a uniform draw from the thread's RNG.
+    pub fn backoff(&self, attempt: u32, rng: &mut SimRng) -> SimDuration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let mut ns = self
+            .backoff_base
+            .as_nanos()
+            .saturating_mul(1u64 << exp)
+            .min(self.backoff_cap.as_nanos());
+        if self.jitter > 0.0 && ns > 0 {
+            let fixed = (ns as f64) * (1.0 - self.jitter);
+            let random = (ns as f64) * self.jitter * rng.f64();
+            ns = (fixed + random) as u64;
+        }
+        SimDuration::from_nanos(ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let p = RpcPolicy { max_retries: 2, ..Default::default() };
+        assert!(p.should_retry(1));
+        assert!(p.should_retry(2));
+        assert!(!p.should_retry(3));
+        let fail_fast = RpcPolicy { max_retries: 0, ..Default::default() };
+        assert!(!fail_fast.should_retry(1));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RpcPolicy {
+            backoff_base: SimDuration::from_millis(1),
+            backoff_cap: SimDuration::from_millis(8),
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let mut rng = SimRng::seed(1);
+        assert_eq!(p.backoff(1, &mut rng), SimDuration::from_millis(1));
+        assert_eq!(p.backoff(2, &mut rng), SimDuration::from_millis(2));
+        assert_eq!(p.backoff(3, &mut rng), SimDuration::from_millis(4));
+        assert_eq!(p.backoff(4, &mut rng), SimDuration::from_millis(8));
+        assert_eq!(p.backoff(10, &mut rng), SimDuration::from_millis(8), "capped");
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_is_deterministic() {
+        let p = RpcPolicy {
+            backoff_base: SimDuration::from_millis(4),
+            backoff_cap: SimDuration::from_millis(64),
+            jitter: 0.5,
+            ..Default::default()
+        };
+        let mut a = SimRng::seed(9);
+        let mut b = SimRng::seed(9);
+        for attempt in 1..=8 {
+            let d = p.backoff(attempt, &mut a);
+            let nominal = SimDuration::from_millis(4u64 << (attempt - 1).min(4)).min(
+                SimDuration::from_millis(64),
+            );
+            assert!(d.as_nanos() >= nominal.as_nanos() / 2, "{attempt}: {d:?} < half");
+            assert!(d.as_nanos() <= nominal.as_nanos(), "{attempt}: {d:?} > nominal");
+            assert_eq!(d, p.backoff(attempt, &mut b), "same seed, same schedule");
+        }
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let p = RpcPolicy {
+            backoff_base: SimDuration::from_secs(1),
+            backoff_cap: SimDuration::from_secs(30),
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let mut rng = SimRng::seed(1);
+        assert_eq!(p.backoff(u32::MAX, &mut rng), SimDuration::from_secs(30));
+    }
+}

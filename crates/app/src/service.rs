@@ -19,8 +19,10 @@ use ditto_kernel::{
 };
 use ditto_sim::rng::SimRng;
 use ditto_sim::time::{SimDuration, SimTime};
-use ditto_trace::{SpanContext, TraceCollector};
+use ditto_trace::{SpanContext, SpanStatus, TraceCollector};
 use parking_lot::Mutex;
+
+use crate::resilience::RpcPolicy;
 
 /// Region id handlers use for thread-private data (allocated first).
 pub const DATA_REGION: u32 = 1;
@@ -112,6 +114,8 @@ pub struct ServiceSpec {
     pub downstreams: Vec<(NodeId, u16)>,
     /// Trace collector, if tracing is enabled.
     pub collector: Option<TraceCollector>,
+    /// Deadline/retry policy for downstream RPCs.
+    pub rpc: RpcPolicy,
     /// Bytes of private data region to map.
     pub data_bytes: u64,
     /// Bytes of shared data region to map.
@@ -291,8 +295,14 @@ enum WorkerState {
     Execute,
     /// Issued the RPC `send`; now receive the reply.
     RpcSent,
-    /// Issued `recv` for the RPC reply.
+    /// Issued `recv` for the RPC reply (with the policy deadline).
     RpcReply,
+    /// Issued the backoff `nanosleep` before an RPC retry.
+    RpcBackoff,
+    /// Issued `close` on the failed RPC socket.
+    RpcCloseOld,
+    /// Issued `connect` to re-establish the downstream link.
+    RpcReconnect,
     /// Issued a file `read`; continue the plan when it returns.
     AwaitDisk,
     /// Issued the response `send`; finish the request.
@@ -306,6 +316,17 @@ struct ActiveRequest {
     span: SpanContext,
     steps: VecDeque<HandlerStep>,
     response_bytes: u64,
+    /// Set when a downstream RPC exhausted its retry budget; the response
+    /// is still sent, tagged [`MsgMeta::STATUS_DEGRADED`].
+    degraded: bool,
+}
+
+/// A downstream RPC being attempted (possibly across retries).
+struct RpcInFlight {
+    downstream: usize,
+    bytes: u64,
+    meta: MsgMeta,
+    attempt: u32,
 }
 
 /// One epoll event loop: waits for readiness, receives requests, executes
@@ -321,6 +342,7 @@ struct EpollWorker {
     ready: VecDeque<Fd>,
     recv_fd: Option<Fd>,
     rpc_fd: Option<Fd>,
+    rpc: Option<RpcInFlight>,
     current: Option<ActiveRequest>,
     #[allow(dead_code)]
     index: usize,
@@ -339,6 +361,7 @@ impl EpollWorker {
             ready: VecDeque::new(),
             recv_fd: None,
             rpc_fd: None,
+            rpc: None,
             current: None,
             index,
         }
@@ -370,6 +393,7 @@ impl EpollWorker {
             span,
             steps: plan.steps.into(),
             response_bytes: plan.response_bytes,
+            degraded: false,
         });
     }
 
@@ -394,25 +418,61 @@ impl EpollWorker {
                     tag: req.meta.tag,
                     trace_id: req.span.trace_id,
                     span_id: req.span.span_id,
+                    status: 0,
                 };
+                self.rpc = Some(RpcInFlight { downstream, bytes, meta, attempt: 0 });
                 Action::Syscall(Syscall::Send { fd, bytes, meta })
             }
             None => {
                 self.state = WorkerState::Respond;
+                let mut meta = req.meta;
+                meta.status =
+                    if req.degraded { MsgMeta::STATUS_DEGRADED } else { MsgMeta::STATUS_OK };
                 Action::Syscall(Syscall::Send {
                     fd: req.fd,
                     bytes: req.response_bytes,
-                    meta: req.meta,
+                    meta,
                 })
             }
         }
+    }
+
+    /// A downstream RPC attempt failed (send error, reply timeout, or
+    /// reset): back off and retry within budget, else degrade the request
+    /// and carry on with the rest of its plan.
+    fn rpc_failed(&mut self, rng: &mut SimRng) -> Action {
+        let attempt = {
+            let r = self.rpc.as_mut().expect("rpc in flight");
+            r.attempt += 1;
+            r.attempt
+        };
+        if self.spec.rpc.should_retry(attempt) {
+            self.state = WorkerState::RpcBackoff;
+            let dur = self.spec.rpc.backoff(attempt, rng);
+            return Action::Syscall(Syscall::Nanosleep { dur });
+        }
+        self.rpc = None;
+        self.rpc_fd = None;
+        if let Some(req) = self.current.as_mut() {
+            req.degraded = true;
+        }
+        self.execute_next()
     }
 
     fn finish_request(&mut self, now: SimTime) {
         if let Some(req) = self.current.take() {
             if let Some(col) = &self.spec.collector {
                 if req.span.is_sampled() {
-                    col.record(req.span, req.meta.span_id, &self.spec.name, "handle", req.started, now);
+                    let status = if req.degraded { SpanStatus::Degraded } else { SpanStatus::Ok };
+                    col.record_with_status(
+                        req.span,
+                        req.meta.span_id,
+                        &self.spec.name,
+                        "handle",
+                        req.started,
+                        now,
+                        status,
+                    );
                 }
             }
         }
@@ -505,7 +565,7 @@ impl ThreadBody for EpollWorker {
                         Some(fd) => {
                             self.state = WorkerState::Recv;
                             self.recv_fd = Some(fd);
-                            return Action::Syscall(Syscall::Recv { fd });
+                            return Action::Syscall(Syscall::Recv { fd, timeout: None });
                         }
                         None => {
                             return Action::Syscall(Syscall::EpollWait {
@@ -542,15 +602,52 @@ impl ThreadBody for EpollWorker {
                     return self.execute_next();
                 }
                 WorkerState::RpcSent => {
+                    if ctx.last.is_err() {
+                        // The send itself failed (reset/closed socket).
+                        return self.rpc_failed(ctx.rng);
+                    }
                     let fd = self.rpc_fd.expect("rpc fd recorded");
                     self.state = WorkerState::RpcReply;
-                    return Action::Syscall(Syscall::Recv { fd });
+                    return Action::Syscall(Syscall::Recv {
+                        fd,
+                        timeout: Some(self.spec.rpc.deadline),
+                    });
                 }
-                WorkerState::RpcReply => {
-                    self.rpc_fd = None;
-                    // Reply (or error) received; continue the plan either way.
-                    return self.execute_next();
+                WorkerState::RpcReply => match ctx.last.msg() {
+                    Some(_) => {
+                        self.rpc = None;
+                        self.rpc_fd = None;
+                        return self.execute_next();
+                    }
+                    // Timeout, reset, or close: retry or degrade.
+                    None => return self.rpc_failed(ctx.rng),
+                },
+                WorkerState::RpcBackoff => {
+                    // Backoff elapsed: drop the (possibly dead) socket
+                    // before dialing a fresh one.
+                    let d = self.rpc.as_ref().expect("rpc in flight").downstream;
+                    let fd = self.downstream_fds[d];
+                    self.state = WorkerState::RpcCloseOld;
+                    return Action::Syscall(Syscall::Close { fd });
                 }
+                WorkerState::RpcCloseOld => {
+                    let d = self.rpc.as_ref().expect("rpc in flight").downstream;
+                    let (node, port) = self.spec.downstreams[d];
+                    self.state = WorkerState::RpcReconnect;
+                    return Action::Syscall(Syscall::Connect { node, port });
+                }
+                WorkerState::RpcReconnect => match ctx.last.fd() {
+                    Some(fd) => {
+                        let r = self.rpc.as_ref().expect("rpc in flight");
+                        self.downstream_fds[r.downstream] = fd;
+                        self.rpc_fd = Some(fd);
+                        let (bytes, meta) = (r.bytes, r.meta);
+                        self.state = WorkerState::RpcSent;
+                        return Action::Syscall(Syscall::Send { fd, bytes, meta });
+                    }
+                    // Refused (target down) or timed out (partition).
+                    None => return self.rpc_failed(ctx.rng),
+                },
                 WorkerState::AwaitDisk => {
                     return self.execute_next();
                 }
@@ -639,6 +736,9 @@ enum ConnWorkerState {
     Execute,
     RpcSent,
     RpcReply,
+    RpcBackoff,
+    RpcCloseOld,
+    RpcReconnect,
     AwaitDisk,
     Respond,
 }
@@ -651,6 +751,7 @@ struct ConnWorker {
     files: Vec<(FileId, Fd)>,
     downstream_fds: Vec<Fd>,
     rpc_fd: Option<Fd>,
+    rpc: Option<RpcInFlight>,
     current: Option<ActiveRequest>,
 }
 
@@ -663,6 +764,7 @@ impl ConnWorker {
             files: Vec::new(),
             downstream_fds: Vec::new(),
             rpc_fd: None,
+            rpc: None,
             current: None,
         }
     }
@@ -695,99 +797,162 @@ impl ConnWorker {
                     tag: req.meta.tag,
                     trace_id: req.span.trace_id,
                     span_id: req.span.span_id,
+                    status: 0,
                 };
+                self.rpc = Some(RpcInFlight { downstream, bytes, meta, attempt: 0 });
                 Action::Syscall(Syscall::Send { fd, bytes, meta })
             }
             None => {
                 self.state = ConnWorkerState::Respond;
+                let mut meta = req.meta;
+                meta.status =
+                    if req.degraded { MsgMeta::STATUS_DEGRADED } else { MsgMeta::STATUS_OK };
                 Action::Syscall(Syscall::Send {
                     fd: req.fd,
                     bytes: req.response_bytes,
-                    meta: req.meta,
+                    meta,
                 })
             }
         }
+    }
+
+    /// See [`EpollWorker::rpc_failed`]: retry within budget, else degrade.
+    fn rpc_failed(&mut self, rng: &mut SimRng) -> Action {
+        let attempt = {
+            let r = self.rpc.as_mut().expect("rpc in flight");
+            r.attempt += 1;
+            r.attempt
+        };
+        if self.spec.rpc.should_retry(attempt) {
+            self.state = ConnWorkerState::RpcBackoff;
+            let dur = self.spec.rpc.backoff(attempt, rng);
+            return Action::Syscall(Syscall::Nanosleep { dur });
+        }
+        self.rpc = None;
+        self.rpc_fd = None;
+        if let Some(req) = self.current.as_mut() {
+            req.degraded = true;
+        }
+        self.execute_next()
     }
 }
 
 impl ThreadBody for ConnWorker {
     fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
-        loop {
-            match self.state {
-                ConnWorkerState::Setup { at } => {
-                    let files = self.spec.handler.files();
-                    if at > 0 {
-                        let Some(fd) = ctx.last.fd() else { return Action::Exit };
-                        if at <= files.len() {
-                            self.files.push((files[at - 1], fd));
-                        } else {
-                            self.downstream_fds.push(fd);
+        match self.state {
+            ConnWorkerState::Setup { at } => {
+                let files = self.spec.handler.files();
+                if at > 0 {
+                    let Some(fd) = ctx.last.fd() else { return Action::Exit };
+                    if at <= files.len() {
+                        self.files.push((files[at - 1], fd));
+                    } else {
+                        self.downstream_fds.push(fd);
+                    }
+                }
+                if at < files.len() {
+                    self.state = ConnWorkerState::Setup { at: at + 1 };
+                    return Action::Syscall(Syscall::Open { file: files[at] });
+                }
+                let d = at - files.len();
+                if d < self.spec.downstreams.len() {
+                    let (node, port) = self.spec.downstreams[d];
+                    self.state = ConnWorkerState::Setup { at: at + 1 };
+                    return Action::Syscall(Syscall::Connect { node, port });
+                }
+                self.state = ConnWorkerState::Recv;
+                Action::Syscall(Syscall::Recv { fd: self.conn_fd, timeout: None })
+            }
+            ConnWorkerState::Recv => match ctx.last.msg() {
+                Some(msg) => {
+                    let span = match (&self.spec.collector, msg.meta.trace_id) {
+                        (Some(col), tid) if tid != 0 => {
+                            col.child_of(SpanContext { trace_id: tid, span_id: 1 })
                         }
-                    }
-                    if at < files.len() {
-                        self.state = ConnWorkerState::Setup { at: at + 1 };
-                        return Action::Syscall(Syscall::Open { file: files[at] });
-                    }
-                    let d = at - files.len();
-                    if d < self.spec.downstreams.len() {
-                        let (node, port) = self.spec.downstreams[d];
-                        self.state = ConnWorkerState::Setup { at: at + 1 };
-                        return Action::Syscall(Syscall::Connect { node, port });
-                    }
-                    self.state = ConnWorkerState::Recv;
-                    return Action::Syscall(Syscall::Recv { fd: self.conn_fd });
+                        _ => SpanContext::default(),
+                    };
+                    let plan = self.spec.handler.plan(ctx.rng);
+                    self.current = Some(ActiveRequest {
+                        fd: self.conn_fd,
+                        meta: msg.meta,
+                        started: ctx.now,
+                        span,
+                        steps: plan.steps.into(),
+                        response_bytes: plan.response_bytes,
+                        degraded: false,
+                    });
+                    self.execute_next()
                 }
-                ConnWorkerState::Recv => match ctx.last.msg() {
-                    Some(msg) => {
-                        let span = match (&self.spec.collector, msg.meta.trace_id) {
-                            (Some(col), tid) if tid != 0 => {
-                                col.child_of(SpanContext { trace_id: tid, span_id: 1 })
-                            }
-                            _ => SpanContext::default(),
-                        };
-                        let plan = self.spec.handler.plan(ctx.rng);
-                        self.current = Some(ActiveRequest {
-                            fd: self.conn_fd,
-                            meta: msg.meta,
-                            started: ctx.now,
-                            span,
-                            steps: plan.steps.into(),
-                            response_bytes: plan.response_bytes,
-                        });
-                        return self.execute_next();
-                    }
-                    None => return Action::Exit, // connection closed
-                },
-                ConnWorkerState::Execute | ConnWorkerState::AwaitDisk => {
-                    return self.execute_next();
+                None => Action::Exit, // connection closed
+            },
+            ConnWorkerState::Execute | ConnWorkerState::AwaitDisk => {
+                self.execute_next()
+            }
+            ConnWorkerState::RpcSent => {
+                if ctx.last.is_err() {
+                    return self.rpc_failed(ctx.rng);
                 }
-                ConnWorkerState::RpcSent => {
-                    let fd = self.rpc_fd.expect("rpc fd recorded");
-                    self.state = ConnWorkerState::RpcReply;
-                    return Action::Syscall(Syscall::Recv { fd });
-                }
-                ConnWorkerState::RpcReply => {
+                let fd = self.rpc_fd.expect("rpc fd recorded");
+                self.state = ConnWorkerState::RpcReply;
+                Action::Syscall(Syscall::Recv {
+                    fd,
+                    timeout: Some(self.spec.rpc.deadline),
+                })
+            }
+            ConnWorkerState::RpcReply => match ctx.last.msg() {
+                Some(_) => {
+                    self.rpc = None;
                     self.rpc_fd = None;
-                    return self.execute_next();
+                    self.execute_next()
                 }
-                ConnWorkerState::Respond => {
-                    if let Some(req) = self.current.take() {
-                        if let Some(col) = &self.spec.collector {
-                            if req.span.is_sampled() {
-                                col.record(
-                                    req.span,
-                                    req.meta.span_id,
-                                    &self.spec.name,
-                                    "handle",
-                                    req.started,
-                                    ctx.now,
-                                );
-                            }
+                None => self.rpc_failed(ctx.rng),
+            },
+            ConnWorkerState::RpcBackoff => {
+                let d = self.rpc.as_ref().expect("rpc in flight").downstream;
+                let fd = self.downstream_fds[d];
+                self.state = ConnWorkerState::RpcCloseOld;
+                Action::Syscall(Syscall::Close { fd })
+            }
+            ConnWorkerState::RpcCloseOld => {
+                let d = self.rpc.as_ref().expect("rpc in flight").downstream;
+                let (node, port) = self.spec.downstreams[d];
+                self.state = ConnWorkerState::RpcReconnect;
+                Action::Syscall(Syscall::Connect { node, port })
+            }
+            ConnWorkerState::RpcReconnect => match ctx.last.fd() {
+                Some(fd) => {
+                    let r = self.rpc.as_ref().expect("rpc in flight");
+                    self.downstream_fds[r.downstream] = fd;
+                    self.rpc_fd = Some(fd);
+                    let (bytes, meta) = (r.bytes, r.meta);
+                    self.state = ConnWorkerState::RpcSent;
+                    Action::Syscall(Syscall::Send { fd, bytes, meta })
+                }
+                None => self.rpc_failed(ctx.rng),
+            },
+            ConnWorkerState::Respond => {
+                if let Some(req) = self.current.take() {
+                    if let Some(col) = &self.spec.collector {
+                        if req.span.is_sampled() {
+                            let status = if req.degraded {
+                                SpanStatus::Degraded
+                            } else {
+                                SpanStatus::Ok
+                            };
+                            col.record_with_status(
+                                req.span,
+                                req.meta.span_id,
+                                &self.spec.name,
+                                "handle",
+                                req.started,
+                                ctx.now,
+                                status,
+                            );
                         }
                     }
-                    self.state = ConnWorkerState::Recv;
-                    return Action::Syscall(Syscall::Recv { fd: self.conn_fd });
                 }
+                self.state = ConnWorkerState::Recv;
+                Action::Syscall(Syscall::Recv { fd: self.conn_fd, timeout: None })
             }
         }
     }

@@ -17,6 +17,7 @@ use ditto_kernel::{Cluster, NodeId, Pid};
 use ditto_trace::TraceCollector;
 
 use crate::handlers::{BehaviorHandler, RpcEdge};
+use crate::resilience::RpcPolicy;
 use crate::service::{NetworkModel, ServiceSpec, DATA_REGION, SHARED_REGION};
 
 const KB: u64 = 1024;
@@ -78,8 +79,7 @@ struct TierDef {
     workers: usize,
 }
 
-fn tiers(collector_seedless: ()) -> Vec<TierDef> {
-    let _ = collector_seedless;
+fn tiers() -> Vec<TierDef> {
     let mk = |instructions: u64, seed: u64, response: u64| {
         BehaviorHandler::new(&tier_params(instructions, 0x0200_0000 + seed * 0x0040_0000, seed))
             .with_response_bytes(response)
@@ -277,7 +277,7 @@ pub fn deploy_social_network_placed(
     base_port: u16,
     collector: Option<TraceCollector>,
 ) -> SocialNetwork {
-    let defs = tiers(());
+    let defs = tiers();
     // Leaves must be deployed before their callers so Connect succeeds:
     // deploy in reverse topological order (the defs list is top-down).
     let name_port: Vec<(String, NodeId, u16)> = defs
@@ -303,6 +303,7 @@ pub fn deploy_social_network_placed(
             handler: Arc::new(def.handler),
             downstreams: def.downstreams.iter().map(|d| addr_of(d)).collect(),
             collector: collector.clone(),
+            rpc: RpcPolicy::default(),
             data_bytes: 64 * MB,
             shared_bytes: 16 * MB,
         };
@@ -320,7 +321,7 @@ mod tests {
 
     #[test]
     fn topology_is_consistent() {
-        let defs = tiers(());
+        let defs = tiers();
         assert!(defs.len() >= 16, "paper deploys 20+ tiers; we model {}", defs.len());
         let names: Vec<&str> = defs.iter().map(|d| d.name).collect();
         for d in &defs {
@@ -334,7 +335,7 @@ mod tests {
 
     #[test]
     fn topology_is_acyclic() {
-        let defs = tiers(());
+        let defs = tiers();
         let idx = |n: &str| defs.iter().position(|d| d.name == n).unwrap();
         // DFS cycle check.
         fn visit(

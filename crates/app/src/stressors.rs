@@ -8,6 +8,7 @@ use ditto_hw::isa::InstrClass;
 use ditto_kernel::{Action, Cluster, Fd, MsgMeta, NodeId, Syscall, ThreadBody, ThreadCtx};
 use ditto_sim::time::SimDuration;
 
+use crate::resilience::RpcPolicy;
 use crate::service::{NetworkModel, ServiceSpec, HandlerPlan, RequestHandler};
 
 const KB: u64 = 1024;
@@ -169,6 +170,7 @@ pub fn deploy_flood_sink(cluster: &mut Cluster, node: NodeId, port: u16) {
         handler: Arc::new(SinkHandler),
         downstreams: Vec::new(),
         collector: None,
+        rpc: RpcPolicy::default(),
         data_bytes: 4096,
         shared_bytes: 4096,
     };

@@ -1,0 +1,141 @@
+//! Figure 12 (chaos extension): clone fidelity under failure.
+//!
+//! The paper validates clones under healthy operation; this experiment
+//! asks whether a clone also *fails like* its original. Each single-tier
+//! service and its synthetic clone are subjected to identical seeded
+//! fault schedules — node crash/restart, link degradation (loss +
+//! latency), a transient network partition, disk slowdown, and core
+//! offlining — and their p99 latency, error rate, and availability are
+//! compared side by side. Because every probabilistic fault decision
+//! draws from the plan-seeded RNG, the original and the clone see the
+//! exact same fault sequence.
+
+use ditto_bench::report::{fmt, table, ErrorSummary};
+use ditto_bench::AppId;
+use ditto_core::harness::Testbed;
+use ditto_core::{Ditto, FineTuner};
+use ditto_kernel::{Fault, FaultPlan, NodeId};
+use ditto_sim::time::{SimDuration, SimTime};
+
+const SERVER: NodeId = NodeId(0);
+const CLIENT: NodeId = NodeId(1);
+const PLAN_SEED: u64 = 0xC4A0_5EED;
+
+fn at_ms(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+/// The fault schedules replayed against both original and clone. The
+/// measurement window is [50 ms, 250 ms) of simulated time, so every
+/// scenario strikes mid-window.
+fn scenarios() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("healthy", FaultPlan::new(PLAN_SEED)),
+        (
+            "node_crash",
+            FaultPlan::new(PLAN_SEED)
+                .push(at_ms(150), Fault::NodeCrash { node: SERVER })
+                .push(at_ms(200), Fault::NodeRestart { node: SERVER }),
+        ),
+        (
+            "link_degrade",
+            FaultPlan::new(PLAN_SEED)
+                .push(
+                    at_ms(80),
+                    Fault::LinkDegrade {
+                        a: SERVER,
+                        b: CLIENT,
+                        drop_prob: 0.05,
+                        extra_latency: SimDuration::from_micros(300),
+                        jitter: SimDuration::from_micros(200),
+                    },
+                )
+                .push(at_ms(220), Fault::LinkHeal { a: SERVER, b: CLIENT }),
+        ),
+        (
+            "partition",
+            FaultPlan::new(PLAN_SEED)
+                .push(at_ms(100), Fault::Partition { a: SERVER, b: CLIENT })
+                .push(at_ms(150), Fault::LinkHeal { a: SERVER, b: CLIENT }),
+        ),
+        (
+            "disk_degrade",
+            FaultPlan::new(PLAN_SEED).push(at_ms(60), Fault::DiskDegrade { node: SERVER, factor: 8.0 }),
+        ),
+        (
+            "core_offline",
+            FaultPlan::new(PLAN_SEED).push(at_ms(60), Fault::CoreOffline { node: SERVER, cores: 1 }),
+        ),
+    ]
+}
+
+fn main() {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut summary = ErrorSummary::new();
+
+    for app in AppId::ALL {
+        let testbed = Testbed::default_ab(0xF120_0000 ^ app.name().len() as u64);
+
+        // Profile and fine-tune under healthy conditions, like the paper:
+        // Ditto never observes the faults it will be judged under.
+        let load = app.medium_load();
+        let profiled = testbed.run(|c, n| app.deploy(c, n), &load, true);
+        let profile = profiled.profile.as_ref().expect("profiled");
+        let tuner = FineTuner { max_iterations: 3, tolerance_pct: 8.0, gain: 0.6 };
+        let (tuned, _) = testbed.tune_clone(&Ditto::new(), profile, &load, &tuner);
+
+        for (name, plan) in scenarios() {
+            let orig = testbed.run_with(
+                |c, n| app.deploy(c, n),
+                &load,
+                false,
+                |c, _| c.install_faults(&plan),
+            );
+            let synth = testbed.run_with(
+                |c, n| tuned.clone_service(c, n, ditto_core::harness::SERVICE_PORT, profile),
+                &load,
+                false,
+                |c, _| c.install_faults(&plan),
+            );
+
+            // Fidelity errors: absolute difference in availability /
+            // error-rate percentage points, relative error in p99.
+            let p99_o = orig.load.latency.p99.as_millis_f64();
+            let p99_s = synth.load.latency.p99.as_millis_f64();
+            let p99_err = if p99_o > 0.0 { 100.0 * (p99_s - p99_o).abs() / p99_o } else { 0.0 };
+            summary.add(&[
+                ("p99 latency", p99_err),
+                ("availability", 100.0 * (orig.load.availability() - synth.load.availability()).abs()),
+                ("error rate", 100.0 * (orig.load.error_rate() - synth.load.error_rate()).abs()),
+            ]);
+
+            for (kind, out) in [("actual", &orig), ("synthetic", &synth)] {
+                rows.push(vec![
+                    app.name().into(),
+                    name.into(),
+                    kind.into(),
+                    format!("{:.0}", out.load.throughput_qps),
+                    format!("{:.0}", out.load.goodput_qps),
+                    fmt(out.load.latency.p99.as_millis_f64()),
+                    format!("{}", out.load.timeouts + out.load.errors),
+                    format!("{:.1}%", 100.0 * out.load.error_rate()),
+                    format!("{:.1}%", 100.0 * out.load.availability()),
+                ]);
+            }
+            eprintln!(
+                "[fig12] {} / {}: avail {:.1}% vs {:.1}%",
+                app.name(),
+                name,
+                100.0 * orig.load.availability(),
+                100.0 * synth.load.availability(),
+            );
+        }
+    }
+
+    table(
+        "Figure 12: original vs clone under identical fault schedules",
+        &["service", "fault", "kind", "QPS", "goodput", "p99(ms)", "TO+err", "err%", "avail%"],
+        &rows,
+    );
+    summary.print("Clone fidelity under faults (|actual - synthetic|)");
+}

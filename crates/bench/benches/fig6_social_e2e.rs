@@ -10,7 +10,7 @@ fn main() {
     let platform = PlatformSpec::a();
 
     // Profile once at a medium load (like the paper: one profiling pass).
-    let profiled = run_original(&platform, 1_000.0, 0xF16_6, true);
+    let profiled = run_original(&platform, 1_000.0, 0xF166, true);
     let graph = profiled.graph.as_ref().expect("graph traced");
     eprintln!(
         "[fig6] traced {} services, {} edges",
@@ -21,8 +21,8 @@ fn main() {
 
     let mut rows = Vec::new();
     for qps in [200.0, 500.0, 1_000.0, 2_000.0] {
-        let orig = run_original(&platform, qps, 0xF16_60 ^ qps as u64, false);
-        let synth = run_synthetic(&platform, &ditto, graph, &profiled.profiles, qps, 0xF16_61 ^ qps as u64);
+        let orig = run_original(&platform, qps, 0xF1660 ^ qps as u64, false);
+        let synth = run_synthetic(&platform, &ditto, graph, &profiled.profiles, qps, 0xF1661 ^ qps as u64);
         for (kind, run) in [("actual", &orig), ("synthetic", &synth)] {
             rows.push(vec![
                 format!("{qps:.0}"),

@@ -38,9 +38,9 @@ fn main() {
 
     // TextService and SocialGraphService from the Social Network.
     let platform = PlatformSpec::a();
-    let orig = run_original(&platform, 1_000.0, 0xF18_50, true);
+    let orig = run_original(&platform, 1_000.0, 0xF1850, true);
     let graph = orig.graph.as_ref().expect("traced");
-    let synth = run_synthetic(&platform, &Ditto::new(), graph, &orig.profiles, 1_000.0, 0xF18_51);
+    let synth = run_synthetic(&platform, &Ditto::new(), graph, &orig.profiles, 1_000.0, 0xF1851);
     for tier in ["text", "social-graph"] {
         let label = if tier == "text" { "TextService" } else { "SocialGraphService" };
         let a = &orig.tier_metrics[tier];

@@ -1,11 +1,14 @@
-//! Criterion microbenchmarks of the simulation substrate itself —
-//! engineering numbers, not paper figures: core-model retire rate, cache
-//! lookup throughput, stack-distance profiling, event queue ops, and
-//! body materialization.
+//! Microbenchmarks of the simulation substrate itself — engineering
+//! numbers, not paper figures: core-model retire rate, cache lookup
+//! throughput, stack-distance profiling, event queue ops, and body
+//! materialization.
+//!
+//! Uses a small manual timing loop (the build environment has no
+//! registry access, so criterion is unavailable).
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ditto_hw::branch::{BranchPredictor, BranchPredictorSpec};
 use ditto_hw::cache::{CacheSpec, MemLatencies, MemorySystem};
 use ditto_hw::codegen::{Body, BodyParams};
@@ -15,121 +18,132 @@ use ditto_sim::engine::EventQueue;
 use ditto_sim::rng::SimRng;
 use ditto_sim::time::SimTime;
 
-fn bench_core_model(c: &mut Criterion) {
+/// Runs `f` repeatedly for ~1.5 s after a short warm-up, printing the
+/// per-iteration time and (when `elements > 0`) element throughput.
+fn bench<F: FnMut() -> u64>(group: &str, name: &str, elements: u64, mut f: F) {
+    let mut sink = 0u64;
+    let warm = Instant::now();
+    while warm.elapsed().as_millis() < 300 {
+        sink = sink.wrapping_add(f());
+    }
+
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < 1500 {
+        sink = sink.wrapping_add(f());
+        iters += 1;
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    if elements > 0 {
+        let meps = elements as f64 / per_iter / 1e6;
+        println!(
+            "{group}/{name}: {:.3} ms/iter, {meps:.1} Melem/s ({iters} iters, sink {})",
+            per_iter * 1e3,
+            sink & 1
+        );
+    } else {
+        println!(
+            "{group}/{name}: {:.3} ms/iter ({iters} iters, sink {})",
+            per_iter * 1e3,
+            sink & 1
+        );
+    }
+}
+
+fn bench_core_model() {
     let body = Body::new(&BodyParams::minimal(100_000, 0x40_0000, 1));
     let mut rng = SimRng::seed(7);
     let prog = body.instantiate(&mut rng);
     let n = prog.dynamic_instructions();
 
-    let mut group = c.benchmark_group("core_model");
-    group.throughput(Throughput::Elements(n));
-    group.bench_function("execute_100k_instrs", |b| {
-        let mut mem = MemorySystem::new(
-            1,
-            CacheSpec::new(32 * 1024, 8, 0),
-            CacheSpec::new(32 * 1024, 8, 0),
-            CacheSpec::new(1024 * 1024, 16, 12),
-            CacheSpec::new(32 * 1024 * 1024, 16, 44),
-            MemLatencies { l2: 12, l3: 44, mem: 190 },
-        );
-        let mut pred = BranchPredictor::new(BranchPredictorSpec::default());
-        let map = MemoryMap::new();
-        let mut states = BranchStates::new();
-        let mut core = Core::new(0, CoreSpec::default());
-        let mut rng = SimRng::seed(9);
-        b.iter(|| {
-            let mut env = ExecEnv {
-                mem: &mut mem,
-                predictor: &mut pred,
-                memmap: &map,
-                branch_states: &mut states,
-                rng: &mut rng,
-                smt_contended: false,
-                kernel_mode: false,
-                thread_key: 0,
-                tracer: None,
-            };
-            core.execute(&prog, &mut env)
-        });
+    let mut mem = MemorySystem::new(
+        1,
+        CacheSpec::new(32 * 1024, 8, 0),
+        CacheSpec::new(32 * 1024, 8, 0),
+        CacheSpec::new(1024 * 1024, 16, 12),
+        CacheSpec::new(32 * 1024 * 1024, 16, 44),
+        MemLatencies { l2: 12, l3: 44, mem: 190 },
+    );
+    let mut pred = BranchPredictor::new(BranchPredictorSpec::default());
+    let map = MemoryMap::new();
+    let mut states = BranchStates::new();
+    let mut core = Core::new(0, CoreSpec::default());
+    let mut rng = SimRng::seed(9);
+    bench("core_model", "execute_100k_instrs", n, || {
+        let mut env = ExecEnv {
+            mem: &mut mem,
+            predictor: &mut pred,
+            memmap: &map,
+            branch_states: &mut states,
+            rng: &mut rng,
+            smt_contended: false,
+            kernel_mode: false,
+            thread_key: 0,
+            tracer: None,
+        };
+        core.execute(&prog, &mut env).cycles
     });
-    group.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("l1_hits_10k", |b| {
-        let mut mem = MemorySystem::new(
-            1,
-            CacheSpec::new(32 * 1024, 8, 0),
-            CacheSpec::new(32 * 1024, 8, 0),
-            CacheSpec::new(256 * 1024, 8, 12),
-            CacheSpec::new(8 * 1024 * 1024, 16, 40),
-            MemLatencies { l2: 12, l3: 40, mem: 200 },
-        );
-        b.iter(|| {
-            let mut x = 0u64;
-            for i in 0..10_000u64 {
-                let o = mem.access_data(0, (i % 64) * 64, false, false);
-                x ^= o.level as u64;
-            }
-            x
-        });
+fn bench_cache() {
+    let mut mem = MemorySystem::new(
+        1,
+        CacheSpec::new(32 * 1024, 8, 0),
+        CacheSpec::new(32 * 1024, 8, 0),
+        CacheSpec::new(256 * 1024, 8, 12),
+        CacheSpec::new(8 * 1024 * 1024, 16, 40),
+        MemLatencies { l2: 12, l3: 40, mem: 200 },
+    );
+    bench("cache", "l1_hits_10k", 10_000, || {
+        let mut x = 0u64;
+        for i in 0..10_000u64 {
+            let o = mem.access_data(0, (i % 64) * 64, false, false);
+            x ^= o.level as u64;
+        }
+        x
     });
-    group.finish();
 }
 
-fn bench_stack_distance(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stack_distance");
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("profile_100k_accesses", |b| {
-        b.iter(|| {
-            let mut sd = StackDistance::new();
-            for i in 0..100_000u64 {
-                sd.access((i.wrapping_mul(0x9E37_79B9) % 4096) * 64);
-            }
-            sd.total()
-        });
+fn bench_stack_distance() {
+    bench("stack_distance", "profile_100k_accesses", 100_000, || {
+        let mut sd = StackDistance::new();
+        for i in 0..100_000u64 {
+            sd.access((i.wrapping_mul(0x9E37_79B9) % 4096) * 64);
+        }
+        sd.total()
     });
-    group.finish();
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_queue");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.push(SimTime::from_nanos(i.wrapping_mul(0x9E37) % 1_000_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, e)) = q.pop() {
-                sum = sum.wrapping_add(e);
-            }
-            sum
-        });
+fn bench_event_queue() {
+    bench("event_queue", "push_pop_10k", 10_000, || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_nanos(i.wrapping_mul(0x9E37) % 1_000_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum = sum.wrapping_add(e);
+        }
+        sum
     });
-    group.finish();
 }
 
-fn bench_materialize(c: &mut Criterion) {
-    let mut group = c.benchmark_group("codegen");
-    group.bench_function("materialize_body", |b| {
-        let params = BodyParams::minimal(50_000, 0x40_0000, 3);
-        b.iter(|| Arc::new(Body::new(&params)));
+fn bench_materialize() {
+    let params = BodyParams::minimal(50_000, 0x40_0000, 3);
+    bench("codegen", "materialize_body", 0, || {
+        Arc::new(Body::new(&params)).mean_instructions() as u64
     });
-    group.bench_function("instantiate_program", |b| {
-        let body = Body::new(&BodyParams::minimal(50_000, 0x40_0000, 3));
-        let mut rng = SimRng::seed(4);
-        b.iter(|| body.instantiate(&mut rng));
+    let body = Body::new(&BodyParams::minimal(50_000, 0x40_0000, 3));
+    let mut rng = SimRng::seed(4);
+    bench("codegen", "instantiate_program", 0, || {
+        body.instantiate(&mut rng).dynamic_instructions()
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_core_model, bench_cache, bench_stack_distance, bench_event_queue, bench_materialize
+fn main() {
+    bench_core_model();
+    bench_cache();
+    bench_stack_distance();
+    bench_event_queue();
+    bench_materialize();
 }
-criterion_main!(benches);

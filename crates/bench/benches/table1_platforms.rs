@@ -7,7 +7,7 @@ fn main() {
     let specs = PlatformSpec::table1();
     let row = |name: &str, f: &dyn Fn(&PlatformSpec) -> String| {
         let mut r = vec![name.to_string()];
-        r.extend(specs.iter().map(|s| f(s)));
+        r.extend(specs.iter().map(f));
         r
     };
     let rows = vec![

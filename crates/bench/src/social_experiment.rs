@@ -154,6 +154,6 @@ pub fn run_synthetic(
         Vec::new(),
     );
     // Rename keys to the tier names for symmetric comparison.
-    let renamed: HashMap<String, MetricSet> = tier_metrics.drain().collect();
+    let renamed: HashMap<String, MetricSet> = std::mem::take(&mut tier_metrics);
     SocialRun { e2e, tier_metrics: renamed, profiles: HashMap::new(), graph: None }
 }

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ditto_app::handlers::{BehaviorHandler, FileReadSpec, RpcEdge};
+use ditto_app::resilience::RpcPolicy;
 use ditto_app::service::ServiceSpec;
 use ditto_kernel::{Cluster, NodeId};
 use ditto_profile::AppProfile;
@@ -114,6 +115,7 @@ impl Ditto {
             handler: Arc::new(handler),
             downstreams: Vec::new(),
             collector: None,
+            rpc: RpcPolicy::default(),
             data_bytes,
             shared_bytes: data_bytes,
         }
@@ -202,6 +204,7 @@ impl Ditto {
                 handler: Arc::new(handler),
                 downstreams,
                 collector: collector.clone(),
+                rpc: RpcPolicy::default(),
                 data_bytes,
                 shared_bytes: data_bytes,
             };

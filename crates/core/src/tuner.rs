@@ -81,7 +81,8 @@ impl FineTuner {
     ) -> TuneResult {
         let mut knobs = TuneKnobs::default();
         let mut history = Vec::new();
-        let mut best = (f64::INFINITY, knobs);
+        let mut best = (f64::INFINITY, knobs, MetricSet::zero());
+        let mut gain = self.gain;
 
         for iter in 0..self.max_iterations {
             let measured = eval(&knobs);
@@ -89,33 +90,41 @@ impl FineTuner {
             let worst = errors.iter().map(|&(_, e)| e).fold(0.0f64, f64::max);
             history.push(TuneStep { knobs, worst_error_pct: worst, errors });
             if worst < best.0 {
-                best = (worst, knobs);
+                best = (worst, knobs, measured);
+            } else {
+                // Overshot: the last step made things worse. Halve the
+                // feedback gain and re-step from the best point seen so
+                // far instead of compounding the oscillation.
+                gain *= 0.5;
             }
             if worst <= self.tolerance_pct {
                 return TuneResult { knobs, iterations: iter + 1, converged: true, history };
             }
+
+            knobs = best.1;
+            let measured = &best.2;
 
             // Group 1 (frontend): the L1i miss rate is steered by the
             // instruction-locality shift; branch rates by their own scale.
             // They are grouped because both feed branch prediction and
             // fetch stalls (§4.5's example of jointly-tuned knobs).
             let l1i_err = measured.l1i_miss_rate - target.l1i_miss_rate;
-            knobs.imem_locality = (knobs.imem_locality + self.gain * l1i_err).clamp(-0.9, 0.95);
+            knobs.imem_locality = (knobs.imem_locality + gain * l1i_err).clamp(-0.9, 0.95);
             let br_r = ratio(target.branch_miss_rate, measured.branch_miss_rate);
-            knobs.branch_scale = (knobs.branch_scale * br_r.powf(self.gain)).clamp(0.125, 8.0);
+            knobs.branch_scale = (knobs.branch_scale * br_r.powf(gain)).clamp(0.125, 8.0);
 
             // Group 2 (backend): the L1d miss rate is steered by the
             // data-locality shift; deeper levels by the working-set scale.
             let l1d_err = measured.l1d_miss_rate - target.l1d_miss_rate;
-            knobs.dmem_locality = (knobs.dmem_locality + self.gain * l1d_err).clamp(-0.9, 0.95);
+            knobs.dmem_locality = (knobs.dmem_locality + gain * l1d_err).clamp(-0.9, 0.95);
             let llc_r = ratio(target.llc_miss_rate, measured.llc_miss_rate);
-            knobs.dmem_scale = (knobs.dmem_scale * llc_r.powf(self.gain)).clamp(0.125, 16.0);
+            knobs.dmem_scale = (knobs.dmem_scale * llc_r.powf(gain)).clamp(0.125, 16.0);
 
             // Group 3 (ILP/MLP): residual IPC error, after the memory
             // groups, is corrected through dependency distances and
             // pointer chasing (§4.4.6).
             let ipc_r = ratio(target.ipc, measured.ipc);
-            knobs.ilp_scale = (knobs.ilp_scale * ipc_r.powf(self.gain)).clamp(0.25, 8.0);
+            knobs.ilp_scale = (knobs.ilp_scale * ipc_r.powf(gain)).clamp(0.25, 8.0);
         }
 
         TuneResult {

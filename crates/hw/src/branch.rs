@@ -89,11 +89,9 @@ impl BranchPredictor {
         // BTB: taken branches need a target. Key by instruction address.
         let key = pc >> 2;
         let mut btb_miss = false;
-        if taken {
-            if self.btb.access(key).is_none() {
-                btb_miss = true;
-                self.btb.fill(key, 0);
-            }
+        if taken && self.btb.access(key).is_none() {
+            btb_miss = true;
+            self.btb.fill(key, 0);
         }
 
         let mispredicted = predicted_taken != taken || (taken && btb_miss);
@@ -134,14 +132,14 @@ mod tests {
     #[test]
     fn always_taken_is_learned() {
         let mut p = fresh();
-        let rate = mispredict_rate(&mut p, 0x1000, std::iter::repeat(true).take(10_000));
+        let rate = mispredict_rate(&mut p, 0x1000, std::iter::repeat_n(true, 10_000));
         assert!(rate < 0.01, "rate {rate}");
     }
 
     #[test]
     fn always_not_taken_is_learned() {
         let mut p = fresh();
-        let rate = mispredict_rate(&mut p, 0x1000, std::iter::repeat(false).take(10_000));
+        let rate = mispredict_rate(&mut p, 0x1000, std::iter::repeat_n(false, 10_000));
         assert!(rate < 0.01, "rate {rate}");
     }
 
@@ -187,7 +185,7 @@ mod tests {
     fn many_static_sites_alias_and_hurt() {
         // One hot site: near zero. 64k alternating sites: aliasing drives errors up.
         let mut p = fresh();
-        let few = mispredict_rate(&mut p, 0x1000, std::iter::repeat(true).take(40_000));
+        let few = mispredict_rate(&mut p, 0x1000, std::iter::repeat_n(true, 40_000));
         let mut p = fresh();
         let mut rng = SimRng::seed(4);
         let mut miss = 0u64;

@@ -277,9 +277,10 @@ fn build_block(
                 offset: ((ws / 2) as u32 + k * 64) & window_mask,
                 stride: (slots * 64) % lines.max(1).saturating_mul(64).max(64),
                 window_mask,
-                write: class == InstrClass::Store
-                    || (class == InstrClass::LockPrefixed && true)
-                    || (class == InstrClass::RepString && false),
+                // Stores and lock-prefixed RMW ops dirty the line; rep
+                // string ops are modelled as reads here (their write side
+                // is charged by the rep engine).
+                write: matches!(class, InstrClass::Store | InstrClass::LockPrefixed),
                 shared,
                 chased,
             }

@@ -11,6 +11,7 @@ use ditto_hw::platform::PlatformSpec;
 use ditto_sim::engine::EventQueue;
 use ditto_sim::time::{SimDuration, SimTime};
 
+use crate::fault::{Delivery, Fault, FaultInjector, FaultPlan, LinkFault};
 use crate::ids::{ConnId, Fd, NodeId, Pid, Tid};
 use crate::machine::{BlockReason, FdObj, ListenerState, Machine, Thread};
 use crate::probe::{SyscallRecord, ThreadEvent};
@@ -25,6 +26,7 @@ enum Event {
     ConnArrive { node: NodeId, port: u16, conn: ConnId },
     Wake { node: NodeId, tid: Tid, token: u64 },
     DiskDone { node: NodeId, tid: Tid, token: u64 },
+    FaultAt { fault: Fault },
 }
 
 enum SliceOutcome {
@@ -50,6 +52,7 @@ pub struct Cluster {
     pub loopback_latency: SimDuration,
     seed: u64,
     spawn_counter: u64,
+    faults: FaultInjector,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -65,11 +68,12 @@ impl std::fmt::Debug for Cluster {
 impl Cluster {
     /// Builds a cluster with one machine per spec.
     pub fn new(specs: Vec<PlatformSpec>, seed: u64) -> Self {
-        let machines = specs
+        let machines: Vec<Machine> = specs
             .into_iter()
             .enumerate()
             .map(|(i, s)| Machine::new(NodeId(i as u32), s, seed ^ (i as u64).wrapping_mul(0x9E37)))
             .collect();
+        let nodes = machines.len();
         Cluster {
             machines,
             net: NetState::new(),
@@ -78,6 +82,7 @@ impl Cluster {
             loopback_latency: SimDuration::from_micros(15),
             seed,
             spawn_counter: 0,
+            faults: FaultInjector::new(seed ^ 0x63_68_61_6f_73, nodes),
         }
     }
 
@@ -152,6 +157,113 @@ impl Cluster {
         !self.queue.is_empty()
     }
 
+    /// Installs a fault schedule: replaces the injector with one seeded by
+    /// the plan and enqueues every transition at its scheduled time.
+    /// Installing the same plan on identically-seeded clusters produces
+    /// bit-identical fault behaviour.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        self.faults = FaultInjector::new(plan.seed, self.machines.len());
+        for sf in &plan.faults {
+            self.queue.push(sf.at, Event::FaultAt { fault: sf.fault });
+        }
+    }
+
+    /// Whether `node` is currently schedulable (not crashed).
+    pub fn node_up(&self, node: NodeId) -> bool {
+        !self.faults.is_down(node)
+    }
+
+    /// Read access to the fault injector (drop/reset counters, link state).
+    pub fn fault_state(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    fn apply_fault(&mut self, f: Fault) {
+        match f {
+            Fault::NodeCrash { node } => {
+                if self.faults.mark_down(node) {
+                    self.crash_node(node);
+                }
+            }
+            Fault::NodeRestart { node } => self.faults.mark_up(node),
+            Fault::LinkDegrade { a, b, drop_prob, extra_latency, jitter } => self.faults.set_link(
+                a,
+                b,
+                LinkFault { drop_prob, extra_latency, jitter, partitioned: false },
+            ),
+            Fault::Partition { a, b } => {
+                self.faults.set_link(a, b, LinkFault { partitioned: true, ..Default::default() });
+            }
+            Fault::LinkHeal { a, b } => self.faults.set_link(a, b, LinkFault::default()),
+            Fault::DiskDegrade { node, factor } => self.faults.set_disk_factor(node, factor),
+            Fault::CoreOffline { node, cores } => {
+                self.machines[node.index()].set_active_cores(cores);
+            }
+        }
+    }
+
+    /// Fail-stop crash: kills every process on the node and resets every
+    /// connection touching it, waking remote peers with `ConnReset`.
+    fn crash_node(&mut self, node: NodeId) {
+        let now = self.now;
+        {
+            let m = &mut self.machines[node.index()];
+            m.run_queue.clear();
+            for cpu in m.cpus.iter_mut() {
+                cpu.running = None;
+                cpu.busy_until = now;
+                cpu.last_thread = None;
+            }
+            for t in m.threads.iter_mut().flatten() {
+                if !t.exited {
+                    t.exited = true;
+                    t.block = None;
+                }
+            }
+            for p in m.processes.iter_mut() {
+                p.live_threads = 0;
+                p.fds.clear();
+                p.epoll_waiters.clear();
+                p.futexes.clear();
+                p.watch_index.clear();
+            }
+            m.listeners.clear();
+        }
+        // Reset connections; collect remote peers to wake outside the
+        // net borrow.
+        let mut wake_err = Vec::new();
+        let mut notify = Vec::new();
+        for id in self.net.conns_touching(node) {
+            let Some(c) = self.net.conn_mut(id) else { continue };
+            if c.ends[0].reset && c.ends[1].reset {
+                continue; // already dead
+            }
+            self.faults.reset_connections += 1;
+            for e in 0..2 {
+                let ep = &mut c.ends[e];
+                ep.reset = true;
+                ep.rx.clear();
+                let waiter = ep.recv_waiter.take();
+                if ep.node == node {
+                    continue; // local side died with its process
+                }
+                if let Some(w) = waiter {
+                    wake_err.push((ep.node, w));
+                } else if let (Some(pid), Some(fd)) = (ep.pid, ep.fd) {
+                    notify.push((ep.node, pid, fd));
+                }
+            }
+        }
+        for (n, tid) in wake_err {
+            self.wake_thread(n, tid, SysResult::Err(Errno::ConnReset));
+            self.try_dispatch(n);
+        }
+        for (n, pid, fd) in notify {
+            self.notify_epoll(n, pid, fd);
+            self.try_dispatch(n);
+        }
+    }
+
     fn handle(&mut self, ev: Event) {
         match ev {
             Event::SliceDone { node, cpu } => {
@@ -165,13 +277,22 @@ impl Cluster {
             }
             Event::DeliverMsg { conn, end, bytes, meta } => {
                 let arrived = self.now;
-                let ep = &mut self.net.conn_mut(conn).ends[end];
+                let Some(c) = self.net.conn_mut(conn) else { return };
+                let ep = &mut c.ends[end];
+                if ep.reset || self.faults.is_down(ep.node) {
+                    // Destination endpoint died between send and delivery.
+                    return;
+                }
                 ep.rx.push_back(crate::thread::Msg { bytes, meta, arrived });
                 let node = ep.node;
                 let waiter = ep.recv_waiter.take();
                 let notify = (ep.pid, ep.fd);
                 if let Some(tid) = waiter {
-                    let msg = self.net.conn_mut(conn).ends[end].rx.pop_front().expect("just pushed");
+                    let msg = self
+                        .net
+                        .conn_mut(conn)
+                        .and_then(|c| c.ends[end].rx.pop_front())
+                        .expect("just pushed");
                     self.wake_thread(node, tid, SysResult::Msg(msg));
                 } else if let (Some(pid), Some(fd)) = notify {
                     self.notify_epoll(node, pid, fd);
@@ -179,10 +300,19 @@ impl Cluster {
                 self.try_dispatch(node);
             }
             Event::ConnArrive { node, port, conn } => {
+                if self.faults.is_down(node) {
+                    // The target crashed while the SYN was in flight.
+                    if let Some(c) = self.net.conn_mut(conn) {
+                        c.ends[0].reset = true;
+                    }
+                    return;
+                }
                 let m = &mut self.machines[node.index()];
                 let Some(listener) = m.listeners.get_mut(&port) else {
                     // Listener vanished: refuse.
-                    self.net.conn_mut(conn).ends[0].peer_closed = true;
+                    if let Some(c) = self.net.conn_mut(conn) {
+                        c.ends[0].peer_closed = true;
+                    }
                     return;
                 };
                 let lpid = listener.pid;
@@ -192,9 +322,11 @@ impl Cluster {
                         let p = m.process_mut(lpid);
                         p.insert_fd(FdObj::Sock { conn, end: 1 })
                     };
-                    let ep = &mut self.net.conn_mut(conn).ends[1];
-                    ep.pid = Some(lpid);
-                    ep.fd = Some(fd);
+                    if let Some(c) = self.net.conn_mut(conn) {
+                        let ep = &mut c.ends[1];
+                        ep.pid = Some(lpid);
+                        ep.fd = Some(fd);
+                    }
                     self.wake_thread(node, tid, SysResult::Fd(fd));
                 } else {
                     listener.pending.push_back(conn);
@@ -225,6 +357,16 @@ impl Cluster {
                         let ready = self.ready_fds(node, pid, &watched);
                         SysResult::Ready(ready)
                     }
+                    BlockReason::Recv { conn, end } => {
+                        // Receive timeout fired: deregister the waiter so a
+                        // late delivery can't wake a thread that moved on.
+                        if let Some(c) = self.net.conn_mut(conn) {
+                            if c.ends[end].recv_waiter == Some(tid) {
+                                c.ends[end].recv_waiter = None;
+                            }
+                        }
+                        SysResult::Err(Errno::TimedOut)
+                    }
                     _ => SysResult::None,
                 };
                 self.wake_thread(node, tid, result);
@@ -243,6 +385,7 @@ impl Cluster {
                 self.wake_thread(node, tid, SysResult::Bytes(bytes));
                 self.try_dispatch(node);
             }
+            Event::FaultAt { fault } => self.apply_fault(fault),
         }
     }
 
@@ -252,15 +395,15 @@ impl Cluster {
         let mut ready = Vec::new();
         for &fd in watched {
             match p.fds.get(&fd) {
-                Some(FdObj::Sock { conn, end }) => {
-                    if self.net.conn(*conn).ends[*end].readable() {
-                        ready.push(fd);
-                    }
+                Some(FdObj::Sock { conn, end })
+                    if self.net.conn(*conn).is_some_and(|c| c.ends[*end].readable()) =>
+                {
+                    ready.push(fd);
                 }
-                Some(FdObj::Listener { port }) => {
-                    if m.listeners.get(port).is_some_and(|l| !l.pending.is_empty()) {
-                        ready.push(fd);
-                    }
+                Some(FdObj::Listener { port })
+                    if m.listeners.get(port).is_some_and(|l| !l.pending.is_empty()) =>
+                {
+                    ready.push(fd);
                 }
                 _ => {}
             }
@@ -303,6 +446,9 @@ impl Cluster {
     }
 
     fn try_dispatch(&mut self, node: NodeId) {
+        if self.faults.is_down(node) {
+            return;
+        }
         loop {
             let m = &mut self.machines[node.index()];
             let Some(cpu) = m.pick_free_cpu() else { break };
@@ -474,7 +620,12 @@ impl Cluster {
                     }
                 }
                 if plan.miss_pages > 0 {
-                    let done = m.disk.submit(*t_local, plan.miss_bytes());
+                    let mut done = m.disk.submit(*t_local, plan.miss_bytes());
+                    let factor = self.faults.disk_factor(node);
+                    if factor > 1.0 {
+                        done = *t_local + done.saturating_since(*t_local) * factor;
+                    }
+                    let m = &mut self.machines[ni];
                     let token = m.next_wake_token();
                     thread.block = Some((BlockReason::Disk { bytes: plan.bytes }, token));
                     self.queue.push(done, Event::DiskDone { node, tid, token });
@@ -503,15 +654,17 @@ impl Cluster {
                 let obj = m.process_mut(pid).fds.remove(&fd);
                 match obj {
                     Some(FdObj::Sock { conn, end }) => {
-                        let peer = &mut self.net.conn_mut(conn).ends[1 - end];
-                        peer.peer_closed = true;
-                        let peer_node = peer.node;
-                        let waiter = peer.recv_waiter.take();
-                        let notify = (peer.pid, peer.fd);
-                        if let Some(w) = waiter {
-                            self.wake_thread(peer_node, w, SysResult::Err(Errno::ConnClosed));
-                        } else if let (Some(ppid), Some(pfd)) = notify {
-                            self.notify_epoll(peer_node, ppid, pfd);
+                        if let Some(c) = self.net.conn_mut(conn) {
+                            let peer = &mut c.ends[1 - end];
+                            peer.peer_closed = true;
+                            let peer_node = peer.node;
+                            let waiter = peer.recv_waiter.take();
+                            let notify = (peer.pid, peer.fd);
+                            if let Some(w) = waiter {
+                                self.wake_thread(peer_node, w, SysResult::Err(Errno::ConnClosed));
+                            } else if let (Some(ppid), Some(pfd)) = notify {
+                                self.notify_epoll(peer_node, ppid, pfd);
+                            }
                         }
                     }
                     Some(FdObj::Listener { port }) => {
@@ -545,9 +698,11 @@ impl Cluster {
                 let l = m.listeners.get_mut(&port).expect("listener table in sync");
                 if let Some(conn) = l.pending.pop_front() {
                     let fd = m.process_mut(pid).insert_fd(FdObj::Sock { conn, end: 1 });
-                    let ep = &mut self.net.conn_mut(conn).ends[1];
-                    ep.pid = Some(pid);
-                    ep.fd = Some(fd);
+                    if let Some(c) = self.net.conn_mut(conn) {
+                        let ep = &mut c.ends[1];
+                        ep.pid = Some(pid);
+                        ep.fd = Some(fd);
+                    }
                     thread.pending = SysResult::Fd(fd);
                     Flow::Continue
                 } else {
@@ -565,12 +720,20 @@ impl Cluster {
                     thread.pending = SysResult::Err(Errno::ConnRefused);
                     return Flow::Continue;
                 }
+                if !self.faults.reachable(node, target) {
+                    // Partitioned: the SYN never arrives and the handshake
+                    // times out (distinct from refusal — the host is alive).
+                    thread.pending = SysResult::Err(Errno::TimedOut);
+                    return Flow::Continue;
+                }
                 let conn = self.net.create(node, target);
                 let m = &mut self.machines[ni];
                 let fd = m.process_mut(pid).insert_fd(FdObj::Sock { conn, end: 0 });
-                let ep = &mut self.net.conn_mut(conn).ends[0];
-                ep.pid = Some(pid);
-                ep.fd = Some(fd);
+                if let Some(c) = self.net.conn_mut(conn) {
+                    let ep = &mut c.ends[0];
+                    ep.pid = Some(pid);
+                    ep.fd = Some(fd);
+                }
                 let latency = if target == node {
                     self.loopback_latency
                 } else {
@@ -588,21 +751,41 @@ impl Cluster {
                         return Flow::Continue;
                     }
                 };
-                if self.net.conn(conn).ends[end].peer_closed {
+                let Some(c) = self.net.conn(conn) else {
+                    thread.pending = SysResult::Err(Errno::BadFd);
+                    return Flow::Continue;
+                };
+                if c.ends[end].reset {
+                    thread.pending = SysResult::Err(Errno::ConnReset);
+                    return Flow::Continue;
+                }
+                if c.ends[end].peer_closed {
                     thread.pending = SysResult::Err(Errno::ConnClosed);
                     return Flow::Continue;
                 }
-                let loopback = self.net.conn(conn).is_loopback();
+                let loopback = c.is_loopback();
+                let to_node = c.ends[1 - end].node;
                 let arrival = if loopback {
                     *t_local + self.loopback_latency
                 } else {
-                    self.machines[ni].nic.transmit(*t_local, bytes)
+                    match self.faults.deliver(node, to_node) {
+                        // Lost on the wire: the sender still sees success
+                        // (TCP buffers it); the stall surfaces at the
+                        // application as a receive timeout.
+                        Delivery::Drop => {
+                            thread.pending = SysResult::Bytes(bytes);
+                            return Flow::Continue;
+                        }
+                        Delivery::After(extra) => {
+                            self.machines[ni].nic.transmit(*t_local, bytes) + extra
+                        }
+                    }
                 };
                 self.queue.push(arrival, Event::DeliverMsg { conn, end: 1 - end, bytes, meta });
                 thread.pending = SysResult::Bytes(bytes);
                 Flow::Continue
             }
-            Syscall::Recv { fd } => {
+            Syscall::Recv { fd, timeout } => {
                 let (conn, end) = match self.machines[ni].process(pid).fds.get(&fd) {
                     Some(FdObj::Sock { conn, end }) => (*conn, *end),
                     _ => {
@@ -610,7 +793,11 @@ impl Cluster {
                         return Flow::Continue;
                     }
                 };
-                let ep = &mut self.net.conn_mut(conn).ends[end];
+                let Some(c) = self.net.conn_mut(conn) else {
+                    thread.pending = SysResult::Err(Errno::BadFd);
+                    return Flow::Continue;
+                };
+                let ep = &mut c.ends[end];
                 if let Some(msg) = ep.rx.pop_front() {
                     // Charge the inbound copy.
                     let m = &mut self.machines[ni];
@@ -627,6 +814,9 @@ impl Cluster {
                     *t_local += m.exec_on_cpu(cpu, thread, &prog, true);
                     thread.pending = SysResult::Msg(msg);
                     Flow::Continue
+                } else if ep.reset {
+                    thread.pending = SysResult::Err(Errno::ConnReset);
+                    Flow::Continue
                 } else if ep.peer_closed {
                     thread.pending = SysResult::Err(Errno::ConnClosed);
                     Flow::Continue
@@ -634,6 +824,9 @@ impl Cluster {
                     ep.recv_waiter = Some(tid);
                     let token = self.machines[ni].next_wake_token();
                     thread.block = Some((BlockReason::Recv { conn, end }, token));
+                    if let Some(to) = timeout {
+                        self.queue.push(*t_local + to, Event::Wake { node, tid, token });
+                    }
                     *blocked = true;
                     Flow::Blocked
                 }
@@ -863,5 +1056,107 @@ mod tests {
         c.spawn_thread(NodeId(0), pid, Box::new(s));
         c.run_for(SimDuration::from_millis(5));
         assert!(matches!(results.lock()[0], SysResult::Err(Errno::NoEnt)));
+    }
+
+    fn two_node_cluster() -> Cluster {
+        Cluster::new(vec![PlatformSpec::c(), PlatformSpec::c()], 42)
+    }
+
+    /// Spawns a server on `node` that listens on port 80, accepts one
+    /// connection, and sleeps forever without ever sending.
+    fn spawn_silent_server(c: &mut Cluster, node: NodeId) {
+        let pid = c.spawn_process(node);
+        let (s, _) = Script::new(vec![
+            ScriptStep::Sys(|| Syscall::Listen { port: 80 }),
+            ScriptStep::Sys(|| Syscall::Accept { listener: Fd(3) }),
+            ScriptStep::Sys(|| Syscall::Nanosleep { dur: SimDuration::from_secs(100) }),
+        ]);
+        c.spawn_thread(node, pid, Box::new(s));
+    }
+
+    #[test]
+    fn recv_timeout_fires() {
+        let mut c = cluster();
+        spawn_silent_server(&mut c, NodeId(0));
+        let pid = c.spawn_process(NodeId(0));
+        let (s, results) = Script::new(vec![
+            ScriptStep::Sys(|| Syscall::Connect { node: NodeId(0), port: 80 }),
+            ScriptStep::Sys(|| Syscall::Recv {
+                fd: Fd(3),
+                timeout: Some(SimDuration::from_millis(2)),
+            }),
+        ]);
+        c.spawn_thread(NodeId(0), pid, Box::new(s));
+        c.run_for(SimDuration::from_millis(1));
+        assert_eq!(results.lock().len(), 1, "recv still waiting");
+        c.run_for(SimDuration::from_millis(10));
+        let r = results.lock();
+        assert!(matches!(r[1], SysResult::Err(Errno::TimedOut)), "{:?}", r[1]);
+    }
+
+    #[test]
+    fn node_crash_resets_remote_peer() {
+        use crate::fault::{Fault, FaultPlan};
+        let mut c = two_node_cluster();
+        spawn_silent_server(&mut c, NodeId(1));
+        let pid = c.spawn_process(NodeId(0));
+        let (s, results) = Script::new(vec![
+            ScriptStep::Sys(|| Syscall::Connect { node: NodeId(1), port: 80 }),
+            ScriptStep::Sys(|| Syscall::Recv { fd: Fd(3), timeout: None }),
+        ]);
+        c.spawn_thread(NodeId(0), pid, Box::new(s));
+        let plan = FaultPlan::new(7).push(
+            SimTime::ZERO + SimDuration::from_millis(5),
+            Fault::NodeCrash { node: NodeId(1) },
+        );
+        c.install_faults(&plan);
+        c.run_for(SimDuration::from_millis(3));
+        assert_eq!(results.lock().len(), 1, "blocked in recv before the crash");
+        c.run_for(SimDuration::from_millis(10));
+        let r = results.lock();
+        assert!(matches!(r[1], SysResult::Err(Errno::ConnReset)), "{:?}", r[1]);
+        assert!(!c.node_up(NodeId(1)));
+        assert_eq!(c.fault_state().reset_connections, 1);
+    }
+
+    #[test]
+    fn partition_times_out_connect() {
+        use crate::fault::{Fault, FaultPlan};
+        let mut c = two_node_cluster();
+        spawn_silent_server(&mut c, NodeId(1));
+        let pid = c.spawn_process(NodeId(0));
+        let (s, results) = Script::new(vec![
+            ScriptStep::Sys(|| Syscall::Nanosleep { dur: SimDuration::from_millis(2) }),
+            ScriptStep::Sys(|| Syscall::Connect { node: NodeId(1), port: 80 }),
+        ]);
+        c.spawn_thread(NodeId(0), pid, Box::new(s));
+        let plan = FaultPlan::new(7)
+            .push(SimTime::ZERO, Fault::Partition { a: NodeId(0), b: NodeId(1) });
+        c.install_faults(&plan);
+        c.run_for(SimDuration::from_millis(10));
+        let r = results.lock();
+        assert!(matches!(r[1], SysResult::Err(Errno::TimedOut)), "{:?}", r[1]);
+    }
+
+    #[test]
+    fn disk_degrade_stretches_reads() {
+        use crate::fault::{Fault, FaultPlan};
+        let mut c = cluster();
+        c.machine_mut(NodeId(0)).fs.create(1 << 30);
+        let pid = c.spawn_process(NodeId(0));
+        let (s, results) = Script::new(vec![
+            ScriptStep::Sys(|| Syscall::Nanosleep { dur: SimDuration::from_millis(1) }),
+            ScriptStep::Sys(|| Syscall::Open { file: crate::ids::FileId(0) }),
+            ScriptStep::Sys(|| Syscall::Read { fd: Fd(3), bytes: 4096, offset: Some(512 * 1024 * 1024) }),
+        ]);
+        c.spawn_thread(NodeId(0), pid, Box::new(s));
+        let plan = FaultPlan::new(7)
+            .push(SimTime::ZERO, Fault::DiskDegrade { node: NodeId(0), factor: 8.0 });
+        c.install_faults(&plan);
+        // An un-degraded HDD read completes in ~6ms; at 8x it must not.
+        c.run_for(SimDuration::from_millis(20));
+        assert_eq!(results.lock().len(), 2, "read still in flight under degrade");
+        c.run_for(SimDuration::from_millis(60));
+        assert!(matches!(results.lock()[2], SysResult::Bytes(4096)));
     }
 }

@@ -1,0 +1,365 @@
+//! The chaos layer: deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a schedule of [`Fault`] transitions (node crashes
+//! and restarts, link degradation and partitions, disk slowdowns, core
+//! offlining) installed into a [`crate::Cluster`] before the run. All
+//! probabilistic decisions — per-message drops, latency jitter — draw from
+//! a [`SimRng`] seeded by the plan, so replaying the same plan against the
+//! same cluster seed reproduces the exact same fault sequence, message for
+//! message. That is what lets clone-fidelity experiments subject an
+//! original service and its synthetic clone to *identical* failures.
+//!
+//! Fail-stop semantics: a crashed node freezes — its threads are killed,
+//! its listeners vanish, and every connection touching it is reset, so
+//! peers observe `ECONNRESET`-style errors rather than silence. A restart
+//! brings the machine (CPUs, disk, NIC) back empty; re-deploying services
+//! is the harness's job, exactly as a supervisor would restart a crashed
+//! process on real hardware.
+
+use std::collections::HashMap;
+
+use ditto_sim::rng::SimRng;
+use ditto_sim::time::{SimDuration, SimTime};
+
+use crate::ids::NodeId;
+
+/// A single fault-state transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Fail-stop crash: kill every process on `node`, reset its
+    /// connections, and stop scheduling it.
+    NodeCrash {
+        /// The victim machine.
+        node: NodeId,
+    },
+    /// Bring a crashed node's hardware back online (empty of processes).
+    NodeRestart {
+        /// The machine to revive.
+        node: NodeId,
+    },
+    /// Degrade the link between two nodes: drop each message with
+    /// probability `drop_prob` and stretch delivery by `extra_latency`
+    /// plus uniform jitter in `[0, jitter)`.
+    LinkDegrade {
+        /// One side of the link.
+        a: NodeId,
+        /// The other side.
+        b: NodeId,
+        /// Per-message drop probability in `[0, 1]`.
+        drop_prob: f64,
+        /// Fixed added one-way latency.
+        extra_latency: SimDuration,
+        /// Uniform jitter bound added on top.
+        jitter: SimDuration,
+    },
+    /// Full partition between two nodes: no messages or connections pass.
+    Partition {
+        /// One side of the partition.
+        a: NodeId,
+        /// The other side.
+        b: NodeId,
+    },
+    /// Clear all link faults between two nodes.
+    LinkHeal {
+        /// One side of the link.
+        a: NodeId,
+        /// The other side.
+        b: NodeId,
+    },
+    /// Multiply the service time of every disk request on `node` by
+    /// `factor` (1.0 restores nominal speed).
+    DiskDegrade {
+        /// The machine whose disk degrades.
+        node: NodeId,
+        /// Service-time multiplier, clamped to `>= 1.0`.
+        factor: f64,
+    },
+    /// Restrict `node` to its first `cores` physical cores.
+    CoreOffline {
+        /// The machine losing cores.
+        node: NodeId,
+        /// Remaining active core count (clamped to `>= 1`).
+        cores: usize,
+    },
+}
+
+impl Fault {
+    /// Short stable name for logs and traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::NodeCrash { .. } => "node_crash",
+            Fault::NodeRestart { .. } => "node_restart",
+            Fault::LinkDegrade { .. } => "link_degrade",
+            Fault::Partition { .. } => "partition",
+            Fault::LinkHeal { .. } => "link_heal",
+            Fault::DiskDegrade { .. } => "disk_degrade",
+            Fault::CoreOffline { .. } => "core_offline",
+        }
+    }
+}
+
+/// A fault scheduled at an absolute simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledFault {
+    /// When the transition fires.
+    pub at: SimTime,
+    /// The transition.
+    pub fault: Fault,
+}
+
+/// A deterministic fault schedule.
+///
+/// Build one explicitly with [`FaultPlan::push`] (benchmarks replay the
+/// same plan against original and clone), and seed it so the injector's
+/// probabilistic decisions replay bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injector's per-message randomness.
+    pub seed: u64,
+    /// Scheduled transitions (any order; the cluster's event queue sorts).
+    pub faults: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, faults: Vec::new() }
+    }
+
+    /// Schedules `fault` at time `at` (builder style).
+    pub fn push(mut self, at: SimTime, fault: Fault) -> Self {
+        self.faults.push(ScheduledFault { at, fault });
+        self
+    }
+
+    /// Number of scheduled transitions.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Current degradation state of one link (unordered node pair).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkFault {
+    /// Per-message drop probability.
+    pub drop_prob: f64,
+    /// Fixed added one-way latency.
+    pub extra_latency: SimDuration,
+    /// Uniform jitter bound.
+    pub jitter: SimDuration,
+    /// Whether the pair is fully partitioned.
+    pub partitioned: bool,
+}
+
+/// The injector's verdict for one message delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver after the given extra delay (ZERO when the link is clean).
+    After(SimDuration),
+    /// Silently lose the message.
+    Drop,
+}
+
+fn pair(a: NodeId, b: NodeId) -> (u32, u32) {
+    (a.0.min(b.0), a.0.max(b.0))
+}
+
+/// Runtime fault state consulted by the cluster's scheduling and delivery
+/// paths. All randomness comes from the plan-seeded [`SimRng`].
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: SimRng,
+    crashed: Vec<bool>,
+    links: HashMap<(u32, u32), LinkFault>,
+    disk_factor: Vec<f64>,
+    /// Messages dropped so far (observability).
+    pub dropped_messages: u64,
+    /// Connections reset by crashes so far.
+    pub reset_connections: u64,
+}
+
+impl FaultInjector {
+    /// A quiescent injector for a cluster of `nodes` machines.
+    pub fn new(seed: u64, nodes: usize) -> Self {
+        FaultInjector {
+            rng: SimRng::seed(seed).split("fault-injector"),
+            crashed: vec![false; nodes],
+            links: HashMap::new(),
+            disk_factor: vec![1.0; nodes],
+            dropped_messages: 0,
+            reset_connections: 0,
+        }
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.crashed.get(node.index()).copied().unwrap_or(false)
+    }
+
+    /// Marks `node` crashed. Returns `false` if it already was.
+    pub fn mark_down(&mut self, node: NodeId) -> bool {
+        let slot = &mut self.crashed[node.index()];
+        let was_up = !*slot;
+        *slot = true;
+        was_up
+    }
+
+    /// Marks `node` up again.
+    pub fn mark_up(&mut self, node: NodeId) {
+        self.crashed[node.index()] = false;
+    }
+
+    /// Applies a link transition.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, fault: LinkFault) {
+        if fault == LinkFault::default() {
+            self.links.remove(&pair(a, b));
+        } else {
+            self.links.insert(pair(a, b), fault);
+        }
+    }
+
+    /// Current fault state of the `a`–`b` link.
+    pub fn link(&self, a: NodeId, b: NodeId) -> LinkFault {
+        self.links.get(&pair(a, b)).copied().unwrap_or_default()
+    }
+
+    /// Whether `a` and `b` can currently exchange messages at all.
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        !self.is_down(a) && !self.is_down(b) && !self.link(a, b).partitioned
+    }
+
+    /// Sets the disk service-time multiplier for `node`.
+    pub fn set_disk_factor(&mut self, node: NodeId, factor: f64) {
+        self.disk_factor[node.index()] = factor.max(1.0);
+    }
+
+    /// Disk service-time multiplier for `node` (1.0 = nominal).
+    pub fn disk_factor(&self, node: NodeId) -> f64 {
+        self.disk_factor.get(node.index()).copied().unwrap_or(1.0)
+    }
+
+    /// Decides the fate of one message from `from` to `to`. Consumes RNG
+    /// draws only when the link actually has faults, so a clean link
+    /// leaves the stream untouched.
+    pub fn deliver(&mut self, from: NodeId, to: NodeId) -> Delivery {
+        if self.is_down(to) {
+            self.dropped_messages += 1;
+            return Delivery::Drop;
+        }
+        let link = self.link(from, to);
+        if link.partitioned {
+            self.dropped_messages += 1;
+            return Delivery::Drop;
+        }
+        if link.drop_prob > 0.0 && self.rng.chance(link.drop_prob) {
+            self.dropped_messages += 1;
+            return Delivery::Drop;
+        }
+        let mut extra = link.extra_latency;
+        if link.jitter > SimDuration::ZERO {
+            let j = (link.jitter.as_nanos() as f64 * self.rng.f64()) as u64;
+            extra += SimDuration::from_nanos(j);
+        }
+        Delivery::After(extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_injector_passes_everything() {
+        let mut inj = FaultInjector::new(1, 3);
+        assert!(!inj.is_down(NodeId(0)));
+        assert!(inj.reachable(NodeId(0), NodeId(2)));
+        assert_eq!(inj.deliver(NodeId(0), NodeId(1)), Delivery::After(SimDuration::ZERO));
+        assert_eq!(inj.dropped_messages, 0);
+        assert_eq!(inj.disk_factor(NodeId(1)), 1.0);
+    }
+
+    #[test]
+    fn crash_drops_inbound() {
+        let mut inj = FaultInjector::new(1, 2);
+        assert!(inj.mark_down(NodeId(1)));
+        assert!(!inj.mark_down(NodeId(1)), "second crash is a no-op");
+        assert_eq!(inj.deliver(NodeId(0), NodeId(1)), Delivery::Drop);
+        inj.mark_up(NodeId(1));
+        assert_eq!(inj.deliver(NodeId(0), NodeId(1)), Delivery::After(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn partition_is_symmetric_and_healable() {
+        let mut inj = FaultInjector::new(1, 2);
+        inj.set_link(NodeId(0), NodeId(1), LinkFault { partitioned: true, ..Default::default() });
+        assert!(!inj.reachable(NodeId(0), NodeId(1)));
+        assert!(!inj.reachable(NodeId(1), NodeId(0)));
+        assert_eq!(inj.deliver(NodeId(1), NodeId(0)), Delivery::Drop);
+        inj.set_link(NodeId(0), NodeId(1), LinkFault::default());
+        assert!(inj.reachable(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn drop_probability_is_roughly_respected() {
+        let mut inj = FaultInjector::new(7, 2);
+        inj.set_link(NodeId(0), NodeId(1), LinkFault { drop_prob: 0.3, ..Default::default() });
+        let drops = (0..10_000)
+            .filter(|_| inj.deliver(NodeId(0), NodeId(1)) == Delivery::Drop)
+            .count();
+        assert!((2_500..3_500).contains(&drops), "got {drops}");
+        assert_eq!(inj.dropped_messages, drops as u64);
+    }
+
+    #[test]
+    fn latency_and_jitter_stay_bounded() {
+        let mut inj = FaultInjector::new(3, 2);
+        let extra = SimDuration::from_micros(100);
+        let jitter = SimDuration::from_micros(50);
+        inj.set_link(
+            NodeId(0),
+            NodeId(1),
+            LinkFault { extra_latency: extra, jitter, ..Default::default() },
+        );
+        for _ in 0..1_000 {
+            match inj.deliver(NodeId(0), NodeId(1)) {
+                Delivery::After(d) => {
+                    assert!(d >= extra && d < extra + jitter, "delay {d:?}");
+                }
+                Delivery::Drop => panic!("no drop configured"),
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_verdicts() {
+        let make = || {
+            let mut inj = FaultInjector::new(99, 2);
+            inj.set_link(
+                NodeId(0),
+                NodeId(1),
+                LinkFault {
+                    drop_prob: 0.5,
+                    jitter: SimDuration::from_micros(10),
+                    ..Default::default()
+                },
+            );
+            (0..256).map(|_| inj.deliver(NodeId(0), NodeId(1))).collect::<Vec<_>>()
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn plan_builder_accumulates() {
+        let plan = FaultPlan::new(5)
+            .push(SimTime::from_nanos(10), Fault::NodeCrash { node: NodeId(1) })
+            .push(SimTime::from_nanos(20), Fault::NodeRestart { node: NodeId(1) });
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.faults[0].fault.name(), "node_crash");
+    }
+}

@@ -15,6 +15,7 @@
 //! - and SystemTap/eBPF-style instrumentation hooks ([`probe`]).
 
 pub mod cluster;
+pub mod fault;
 pub mod fs;
 pub mod ids;
 pub mod kcode;
@@ -25,6 +26,7 @@ pub mod probe;
 pub mod thread;
 
 pub use cluster::Cluster;
+pub use fault::{Delivery, Fault, FaultInjector, FaultPlan, LinkFault, ScheduledFault};
 pub use ids::{ConnId, Fd, FileId, NodeId, Pid, Tid};
 pub use machine::Machine;
 pub use probe::{KernelProbe, ProbeHandle, SyscallRecord, ThreadEvent};

@@ -4,6 +4,11 @@
 //! (the kernel's framing unit). Each has two endpoints; delivery timing is
 //! decided by the cluster (loopback latency or NIC serialization + link
 //! latency), and arrival pushes into the receiving endpoint's queue.
+//!
+//! Lookups return `Option` rather than panicking: under fault injection a
+//! connection id can outlive its connection (a crashed node's table entry
+//! is torn down while peers still hold fds), and the syscall layer maps a
+//! missing connection to an errno instead of aborting the simulation.
 
 use std::collections::VecDeque;
 
@@ -21,20 +26,31 @@ pub struct Endpoint {
     pub fd: Option<Fd>,
     /// Received, not-yet-consumed messages.
     pub rx: VecDeque<Msg>,
-    /// Whether the peer closed.
+    /// Whether the peer closed cleanly (FIN).
     pub peer_closed: bool,
+    /// Whether the connection was reset (RST — peer crashed or the kernel
+    /// tore it down). Pending rx data is discarded on reset.
+    pub reset: bool,
     /// Thread blocked in `recv` on this endpoint, if any (machine-local tid).
     pub recv_waiter: Option<crate::ids::Tid>,
 }
 
 impl Endpoint {
     fn new(node: NodeId) -> Self {
-        Endpoint { node, pid: None, fd: None, rx: VecDeque::new(), peer_closed: false, recv_waiter: None }
+        Endpoint {
+            node,
+            pid: None,
+            fd: None,
+            rx: VecDeque::new(),
+            peer_closed: false,
+            reset: false,
+            recv_waiter: None,
+        }
     }
 
-    /// Whether a `recv` would complete immediately.
+    /// Whether a `recv` would complete immediately (with data or an error).
     pub fn readable(&self) -> bool {
-        !self.rx.is_empty() || self.peer_closed
+        !self.rx.is_empty() || self.peer_closed || self.reset
     }
 }
 
@@ -49,6 +65,11 @@ impl Connection {
     /// Whether both ends are on the same machine.
     pub fn is_loopback(&self) -> bool {
         self.ends[0].node == self.ends[1].node
+    }
+
+    /// Whether either end touches `node`.
+    pub fn touches(&self, node: NodeId) -> bool {
+        self.ends[0].node == node || self.ends[1].node == node
     }
 }
 
@@ -73,14 +94,24 @@ impl NetState {
         id
     }
 
-    /// Shared access to a connection.
-    pub fn conn(&self, id: ConnId) -> &Connection {
-        &self.conns[id.index()]
+    /// Shared access to a connection, `None` if the id is stale.
+    pub fn conn(&self, id: ConnId) -> Option<&Connection> {
+        self.conns.get(id.index())
     }
 
-    /// Mutable access to a connection.
-    pub fn conn_mut(&mut self, id: ConnId) -> &mut Connection {
-        &mut self.conns[id.index()]
+    /// Mutable access to a connection, `None` if the id is stale.
+    pub fn conn_mut(&mut self, id: ConnId) -> Option<&mut Connection> {
+        self.conns.get_mut(id.index())
+    }
+
+    /// Ids of all connections with an endpoint on `node`.
+    pub fn conns_touching(&self, node: NodeId) -> Vec<ConnId> {
+        self.conns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.touches(node))
+            .map(|(i, _)| ConnId(i as u32))
+            .collect()
     }
 
     /// Number of connections ever created.
@@ -104,25 +135,40 @@ mod tests {
     fn create_and_access() {
         let mut net = NetState::new();
         let c = net.create(NodeId(0), NodeId(1));
-        assert!(!net.conn(c).is_loopback());
+        assert!(!net.conn(c).unwrap().is_loopback());
         let c2 = net.create(NodeId(2), NodeId(2));
-        assert!(net.conn(c2).is_loopback());
+        assert!(net.conn(c2).unwrap().is_loopback());
         assert_eq!(net.len(), 2);
+        assert!(net.conn(ConnId(99)).is_none(), "stale ids are not fatal");
     }
 
     #[test]
-    fn readability_tracks_queue_and_close() {
+    fn readability_tracks_queue_close_and_reset() {
         let mut net = NetState::new();
         let c = net.create(NodeId(0), NodeId(0));
-        assert!(!net.conn(c).ends[1].readable());
-        net.conn_mut(c).ends[1].rx.push_back(Msg {
+        assert!(!net.conn(c).unwrap().ends[1].readable());
+        net.conn_mut(c).unwrap().ends[1].rx.push_back(Msg {
             bytes: 10,
             meta: MsgMeta::default(),
             arrived: SimTime::ZERO,
         });
-        assert!(net.conn(c).ends[1].readable());
-        net.conn_mut(c).ends[1].rx.clear();
-        net.conn_mut(c).ends[1].peer_closed = true;
-        assert!(net.conn(c).ends[1].readable());
+        assert!(net.conn(c).unwrap().ends[1].readable());
+        net.conn_mut(c).unwrap().ends[1].rx.clear();
+        net.conn_mut(c).unwrap().ends[1].peer_closed = true;
+        assert!(net.conn(c).unwrap().ends[1].readable());
+        let c2 = net.create(NodeId(0), NodeId(1));
+        net.conn_mut(c2).unwrap().ends[0].reset = true;
+        assert!(net.conn(c2).unwrap().ends[0].readable(), "reset endpoints are readable (error)");
+    }
+
+    #[test]
+    fn conns_touching_filters_by_node() {
+        let mut net = NetState::new();
+        let a = net.create(NodeId(0), NodeId(1));
+        let b = net.create(NodeId(1), NodeId(2));
+        let c = net.create(NodeId(0), NodeId(2));
+        assert_eq!(net.conns_touching(NodeId(1)), vec![a, b]);
+        assert_eq!(net.conns_touching(NodeId(0)), vec![a, c]);
+        assert!(net.conns_touching(NodeId(7)).is_empty());
     }
 }

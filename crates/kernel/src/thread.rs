@@ -22,6 +22,18 @@ pub struct MsgMeta {
     pub trace_id: u64,
     /// Parent span id within the trace.
     pub span_id: u64,
+    /// Response status: 0 = ok, 1 = degraded (partial result under
+    /// failure), 2 = error. Requests carry 0.
+    pub status: u8,
+}
+
+impl MsgMeta {
+    /// Status value for a successful response.
+    pub const STATUS_OK: u8 = 0;
+    /// Status value for a degraded (partial) response.
+    pub const STATUS_DEGRADED: u8 = 1;
+    /// Status value for an error response.
+    pub const STATUS_ERROR: u8 = 2;
 }
 
 /// A message queued on a socket.
@@ -91,10 +103,13 @@ pub enum Syscall {
         /// Opaque metadata delivered with the message.
         meta: MsgMeta,
     },
-    /// Receives one message, blocking if none; returns [`SysResult::Msg`].
+    /// Receives one message, blocking if none; returns [`SysResult::Msg`],
+    /// or [`Errno::TimedOut`] if `timeout` elapses first.
     Recv {
         /// Socket descriptor.
         fd: Fd,
+        /// Maximum wait; `None` blocks indefinitely (`SO_RCVTIMEO`).
+        timeout: Option<SimDuration>,
     },
     /// Creates an epoll instance; returns [`SysResult::Fd`].
     EpollCreate,
@@ -201,6 +216,10 @@ pub enum Errno {
     ConnRefused,
     /// Connection closed by the peer.
     ConnClosed,
+    /// Connection reset (peer crashed or the kernel tore it down).
+    ConnReset,
+    /// The operation's timeout elapsed.
+    TimedOut,
     /// Port already bound.
     AddrInUse,
 }
@@ -212,6 +231,8 @@ impl std::fmt::Display for Errno {
             Errno::NoEnt => "no such file",
             Errno::ConnRefused => "connection refused",
             Errno::ConnClosed => "connection closed",
+            Errno::ConnReset => "connection reset by peer",
+            Errno::TimedOut => "operation timed out",
             Errno::AddrInUse => "address in use",
         };
         f.write_str(s)

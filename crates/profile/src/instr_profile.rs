@@ -18,25 +18,6 @@ use crate::stackdist::{HitCurve, StackDistance};
 
 const NCLASS: usize = InstrClass::ALL.len();
 
-/// Serde support for the fixed-size class-count array.
-mod serde_arrays_class {
-    use super::NCLASS;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &[u64; NCLASS], s: S) -> Result<S::Ok, S::Error> {
-        v.as_slice().serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u64; NCLASS], D::Error> {
-        let v: Vec<u64> = Vec::deserialize(d)?;
-        let mut out = [0u64; NCLASS];
-        for (i, x) in v.into_iter().take(NCLASS).enumerate() {
-            out[i] = x;
-        }
-        Ok(out)
-    }
-}
-
 fn merge_curves<'a>(dists: impl Iterator<Item = &'a StackDistance>) -> HitCurve {
     let mut out = HitCurve::empty();
     for d in dists {
@@ -149,11 +130,7 @@ impl InstrProfiler {
         InstrProfile {
             class_counts: self.class_counts,
             instructions: self.total,
-            rep_bytes_mean: if self.rep_count == 0 {
-                0
-            } else {
-                self.rep_bytes_total / self.rep_count
-            },
+            rep_bytes_mean: self.rep_bytes_total.checked_div(self.rep_count).unwrap_or(0),
             static_branches: self.branch_sites.len() as u64,
             branch_rate_hist,
             data_curve: merge_curves(self.data_dist.values()),
@@ -275,7 +252,6 @@ impl RetireSink for InstrProfiler {
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct InstrProfile {
     /// Dynamic count per [`InstrClass`].
-    #[serde(with = "serde_arrays_class")]
     pub class_counts: [u64; NCLASS],
     /// Total profiled (user) instructions.
     pub instructions: u64,

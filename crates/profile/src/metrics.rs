@@ -33,6 +33,22 @@ pub struct MetricSet {
 }
 
 impl MetricSet {
+    /// An all-zero metric set — a placeholder before any measurement.
+    pub fn zero() -> MetricSet {
+        MetricSet {
+            ipc: 0.0,
+            branch_miss_rate: 0.0,
+            l1i_miss_rate: 0.0,
+            l1d_miss_rate: 0.0,
+            l2_miss_rate: 0.0,
+            llc_miss_rate: 0.0,
+            net_bandwidth: 0.0,
+            disk_bandwidth: 0.0,
+            topdown: TopDown::default(),
+            counters: PerfCounters::new(),
+        }
+    }
+
     /// Opens a measurement window on `node`: zeroes counters and device
     /// statistics.
     pub fn begin(cluster: &mut Cluster, node: NodeId) {

@@ -303,6 +303,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::same_item_push)]
     fn eq1_partitions_accesses() {
         let mut addrs = Vec::new();
         for _ in 0..10 {
@@ -317,7 +318,7 @@ mod tests {
         assert_eq!(total, c.total());
         // Every reuse (hot line and loop lines alike) sees 16 distinct
         // other lines in between → distance 16 → the 2KB (32-line) bin.
-        let big: u64 = parts.iter().filter(|&&(s, _)| s >= 1024 && s <= 4096).map(|&(_, a)| a).sum();
+        let big: u64 = parts.iter().filter(|&&(s, _)| (1024..=4096).contains(&s)).map(|&(_, a)| a).sum();
         assert!(big >= 9 * 17, "loop accesses {big}");
     }
 

@@ -24,11 +24,7 @@ pub struct SyscallStats {
 impl SyscallStats {
     /// Mean bytes per call.
     pub fn mean_bytes(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.total_bytes / self.count
-        }
+        self.total_bytes.checked_div(self.count).unwrap_or(0)
     }
 
     /// Fraction of calls that blocked.

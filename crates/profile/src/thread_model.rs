@@ -97,7 +97,7 @@ impl ThreadModelAnalyzer {
         for c in &mut clusters {
             c.trigger = c.infer_trigger();
         }
-        clusters.sort_by(|a, b| b.threads.cmp(&a.threads));
+        clusters.sort_by_key(|c| std::cmp::Reverse(c.threads));
 
         let network = infer_network_model(&clusters);
         ThreadModelProfile { clusters, network }

@@ -1,11 +1,28 @@
 //! Seeded, splittable randomness.
 //!
 //! Every stochastic component (load generators, application bodies, device
-//! models, the Ditto body generator) draws from a [`SimRng`] derived from an
-//! experiment-level seed, so whole experiments replay bit-identically.
+//! models, the Ditto body generator, the chaos fault plane) draws from a
+//! [`SimRng`] derived from an experiment-level seed, so whole experiments
+//! replay bit-identically.
+//!
+//! The generator is a self-contained PCG-64 MCG (128-bit multiplicative
+//! congruential state with an XSL-RR output permutation) — vendored inline
+//! because the build environment has no access to the `rand`/`rand_pcg`
+//! crates. The stream is fixed by this implementation and never changes
+//! between runs of the same binary, which is the property the simulator
+//! actually relies on.
 
-use rand::{Rng, RngCore, SeedableRng};
-use rand_pcg::Pcg64Mcg;
+/// 128-bit PCG multiplier (PCG reference implementation constant).
+const PCG_MUL: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_6d61;
+
+/// SplitMix64 step, used to expand 64-bit seeds into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// A deterministic PCG-64 generator with domain-separated splitting.
 ///
@@ -19,13 +36,17 @@ use rand_pcg::Pcg64Mcg;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: Pcg64Mcg,
+    state: u128,
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        SimRng { inner: Pcg64Mcg::seed_from_u64(seed) }
+        let mut sm = seed;
+        let lo = splitmix64(&mut sm);
+        let hi = splitmix64(&mut sm);
+        // MCG state must be odd.
+        SimRng { state: ((u128::from(hi) << 64) | u128::from(lo)) | 1 }
     }
 
     /// Derives an independent child generator for the given domain label.
@@ -41,19 +62,24 @@ impl SimRng {
         }
         // Mix the label hash with a fingerprint of this generator's seed
         // position without advancing self.
-        let mut probe = self.inner.clone();
+        let mut probe = self.clone();
         let base = probe.next_u64();
         SimRng::seed(base ^ h)
     }
 
-    /// Uniform `u64`.
+    /// Uniform `u64` (PCG XSL-RR output permutation).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        self.state = self.state.wrapping_mul(PCG_MUL);
+        let s = self.state;
+        let rot = (s >> 122) as u32;
+        let xored = ((s >> 64) as u64) ^ (s as u64);
+        xored.rotate_right(rot)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, n)`.
@@ -63,7 +89,10 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift reduction; the bias for simulator-scale
+        // `n` is ≪ 2^-64 per draw and irrelevant here.
+        let wide = u128::from(self.next_u64()) * u128::from(n);
+        (wide >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -73,7 +102,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -96,11 +125,6 @@ impl SimRng {
         assert!(!items.is_empty(), "cannot pick from an empty slice");
         let i = self.below(items.len() as u64) as usize;
         &items[i]
-    }
-
-    /// Access to the underlying `rand` generator for distribution sampling.
-    pub fn raw(&mut self) -> &mut impl Rng {
-        &mut self.inner
     }
 }
 
@@ -163,5 +187,16 @@ mod tests {
             seen[*r.pick(&items) as usize - 1] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_is_uniform_enough() {
+        let mut r = SimRng::seed(17);
+        let mean: f64 = (0..10_000).map(|_| r.f64()).sum::<f64>() / 10_000.0;
+        assert!((0.47..0.53).contains(&mean), "mean {mean}");
+        for _ in 0..1000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
     }
 }

@@ -29,7 +29,7 @@ const BUCKETS: usize = 44; // covers up to ~2^43 ns ≈ 2.4 hours
 /// let p50 = h.percentile(50.0).as_micros_f64();
 /// assert!((45.0..=55.0).contains(&p50));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
     total: u64,

@@ -19,6 +19,9 @@ pub struct ServiceEdge {
     pub to: usize,
     /// Mean callee invocations per caller invocation.
     pub calls_per_request: f64,
+    /// Fraction of calls on this edge whose span did not end `Ok`
+    /// (degraded or error) — 0.0 in fault-free runs.
+    pub error_rate: f64,
 }
 
 /// The extracted service dependency graph.
@@ -55,7 +58,7 @@ impl ServiceGraph {
             service_spans[ix] += 1;
         }
 
-        let mut edge_calls: HashMap<(usize, usize), u64> = HashMap::new();
+        let mut edge_calls: HashMap<(usize, usize), (u64, u64)> = HashMap::new();
         for s in spans {
             if s.parent_id == 0 {
                 continue;
@@ -64,15 +67,20 @@ impl ServiceGraph {
                 continue;
             };
             let child_ix = service_ix[s.service.as_str()];
-            *edge_calls.entry((parent_ix, child_ix)).or_insert(0) += 1;
+            let e = edge_calls.entry((parent_ix, child_ix)).or_insert((0, 0));
+            e.0 += 1;
+            if s.status.is_failure() {
+                e.1 += 1;
+            }
         }
 
         let mut edges: Vec<ServiceEdge> = edge_calls
             .into_iter()
-            .map(|((from, to), calls)| ServiceEdge {
+            .map(|((from, to), (calls, failed))| ServiceEdge {
                 from,
                 to,
                 calls_per_request: calls as f64 / service_spans[from].max(1) as f64,
+                error_rate: failed as f64 / calls.max(1) as f64,
             })
             .collect();
         edges.sort_by_key(|e| (e.from, e.to));
@@ -157,6 +165,7 @@ mod tests {
             operation: "op".into(),
             start: SimTime::ZERO,
             end: SimTime::ZERO,
+            status: crate::span::SpanStatus::Ok,
         }
     }
 
@@ -210,6 +219,21 @@ mod tests {
         let pos = |s: &str| order.iter().position(|&i| g.services[i] == s).unwrap();
         assert!(pos("A") < pos("B"));
         assert!(pos("B") < pos("C"));
+    }
+
+    #[test]
+    fn failed_edges_carry_error_rates() {
+        use crate::span::SpanStatus;
+        let mut spans = vec![
+            span(1, 1, 0, "A"),
+            span(1, 2, 1, "B"),
+            span(2, 3, 0, "A"),
+            span(2, 4, 3, "B"),
+        ];
+        spans[3].status = SpanStatus::Degraded;
+        let g = ServiceGraph::from_spans(&spans);
+        assert_eq!(g.edges.len(), 1);
+        assert!((g.edges[0].error_rate - 0.5).abs() < 1e-12, "{}", g.edges[0].error_rate);
     }
 
     #[test]

@@ -9,4 +9,4 @@ pub mod graph;
 pub mod span;
 
 pub use graph::ServiceGraph;
-pub use span::{Span, SpanContext, TraceCollector, TraceHandle};
+pub use span::{Span, SpanContext, SpanStatus, TraceCollector, TraceHandle};

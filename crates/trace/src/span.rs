@@ -23,6 +23,36 @@ impl SpanContext {
     }
 }
 
+/// Outcome of the work a span covers, mirroring the OpenTelemetry status
+/// field. Degraded means the service answered but a downstream dependency
+/// failed past its retry budget (partial result).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SpanStatus {
+    /// Completed normally.
+    #[default]
+    Ok,
+    /// Answered with a partial result (a dependency failed).
+    Degraded,
+    /// Failed outright.
+    Error,
+}
+
+impl SpanStatus {
+    /// Decodes the on-the-wire status byte carried in RPC metadata.
+    pub fn from_wire(b: u8) -> Self {
+        match b {
+            1 => SpanStatus::Degraded,
+            2 => SpanStatus::Error,
+            _ => SpanStatus::Ok,
+        }
+    }
+
+    /// Whether the span did not complete normally.
+    pub fn is_failure(self) -> bool {
+        self != SpanStatus::Ok
+    }
+}
+
 /// One completed span.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Span {
@@ -40,6 +70,8 @@ pub struct Span {
     pub start: SimTime,
     /// End time.
     pub end: SimTime,
+    /// How the spanned work ended.
+    pub status: SpanStatus,
 }
 
 #[derive(Debug, Default)]
@@ -110,7 +142,7 @@ impl TraceCollector {
         SpanContext { trace_id: parent.trace_id, span_id: self.fresh_id() }
     }
 
-    /// Records a completed span.
+    /// Records a completed, successful span.
     pub fn record(
         &self,
         ctx: SpanContext,
@@ -119,6 +151,21 @@ impl TraceCollector {
         operation: &str,
         start: SimTime,
         end: SimTime,
+    ) {
+        self.record_with_status(ctx, parent_id, service, operation, start, end, SpanStatus::Ok);
+    }
+
+    /// Records a completed span with an explicit outcome.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_with_status(
+        &self,
+        ctx: SpanContext,
+        parent_id: u64,
+        service: &str,
+        operation: &str,
+        start: SimTime,
+        end: SimTime,
+        status: SpanStatus,
     ) {
         if !ctx.is_sampled() {
             return;
@@ -131,6 +178,7 @@ impl TraceCollector {
             operation: operation.to_string(),
             start,
             end,
+            status,
         });
     }
 
@@ -198,6 +246,28 @@ mod tests {
         let child = c.child_of(root);
         assert_eq!(child.trace_id, root.trace_id);
         assert_ne!(child.span_id, root.span_id);
+    }
+
+    #[test]
+    fn status_roundtrips_the_wire_byte() {
+        assert_eq!(SpanStatus::from_wire(0), SpanStatus::Ok);
+        assert_eq!(SpanStatus::from_wire(1), SpanStatus::Degraded);
+        assert_eq!(SpanStatus::from_wire(2), SpanStatus::Error);
+        assert_eq!(SpanStatus::from_wire(99), SpanStatus::Ok, "unknown bytes are ok");
+        assert!(!SpanStatus::Ok.is_failure());
+        assert!(SpanStatus::Degraded.is_failure());
+        assert!(SpanStatus::Error.is_failure());
+    }
+
+    #[test]
+    fn record_with_status_is_preserved() {
+        let c = TraceCollector::new(1.0, 1);
+        let root = c.start_trace();
+        c.record_with_status(root, 0, "s", "o", SimTime::ZERO, SimTime::ZERO, SpanStatus::Degraded);
+        c.record(c.child_of(root), root.span_id, "s2", "o", SimTime::ZERO, SimTime::ZERO);
+        let spans = c.spans();
+        assert_eq!(spans[0].status, SpanStatus::Degraded);
+        assert_eq!(spans[1].status, SpanStatus::Ok, "plain record defaults to ok");
     }
 
     #[test]

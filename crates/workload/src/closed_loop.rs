@@ -8,7 +8,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use ditto_kernel::{Action, Cluster, Fd, MsgMeta, NodeId, Syscall, SysResult, ThreadBody, ThreadCtx};
+use ditto_kernel::{
+    Action, Cluster, Errno, Fd, MsgMeta, NodeId, Syscall, SysResult, ThreadBody, ThreadCtx,
+};
 use ditto_sim::time::{SimDuration, SimTime};
 use ditto_trace::TraceCollector;
 
@@ -29,6 +31,9 @@ pub struct ClosedLoopConfig {
     pub think: SimDuration,
     /// Optional trace collector.
     pub collector: Option<TraceCollector>,
+    /// Per-request deadline; a late response abandons the connection and
+    /// re-dials rather than matching a stale reply.
+    pub timeout: SimDuration,
 }
 
 impl ClosedLoopConfig {
@@ -41,6 +46,7 @@ impl ClosedLoopConfig {
             request_bytes: 128,
             think: SimDuration::ZERO,
             collector: None,
+            timeout: SimDuration::from_secs(1),
         }
     }
 
@@ -79,6 +85,17 @@ struct ClosedLoopWorker {
     tags: Arc<AtomicU64>,
 }
 
+impl ClosedLoopWorker {
+    /// Abandons the current connection (if any) and re-dials.
+    fn reconnect(&mut self) -> Action {
+        self.state = State::Connect;
+        match self.fd.take() {
+            Some(fd) => Action::Syscall(Syscall::Close { fd }),
+            None => Action::Syscall(Syscall::Nanosleep { dur: SimDuration::from_millis(10) }),
+        }
+    }
+}
+
 impl ThreadBody for ClosedLoopWorker {
     fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
         match self.state {
@@ -111,19 +128,36 @@ impl ThreadBody for ClosedLoopWorker {
                 Action::Syscall(Syscall::Send {
                     fd: self.fd.expect("connected"),
                     bytes: self.cfg.request_bytes,
-                    meta: MsgMeta { tag, trace_id: span.trace_id, span_id: 0 },
+                    meta: MsgMeta { tag, trace_id: span.trace_id, span_id: 0, status: 0 },
                 })
             }
             State::Await => {
+                if ctx.last.is_err() {
+                    // The send bounced: the server is gone or the
+                    // connection was reset.
+                    self.recorder.note_error(ctx.now);
+                    return self.reconnect();
+                }
                 self.state = State::Think;
-                Action::Syscall(Syscall::Recv { fd: self.fd.expect("connected") })
+                Action::Syscall(Syscall::Recv {
+                    fd: self.fd.expect("connected"),
+                    timeout: Some(self.cfg.timeout),
+                })
             }
             State::Think => {
                 match &ctx.last {
-                    SysResult::Msg(_) => self.recorder.record(self.sent_at, ctx.now),
+                    SysResult::Msg(msg) => {
+                        self.recorder.record_status(self.sent_at, ctx.now, msg.meta.status);
+                    }
+                    SysResult::Err(Errno::TimedOut) => {
+                        // Deadline blown. Re-dial so a late reply can't be
+                        // mistaken for the next request's response.
+                        self.recorder.note_timeout(ctx.now);
+                        return self.reconnect();
+                    }
                     SysResult::Err(_) => {
                         self.recorder.note_error(ctx.now);
-                        return Action::Exit;
+                        return self.reconnect();
                     }
                     _ => {}
                 }

@@ -11,7 +11,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use ditto_kernel::{Action, Cluster, Fd, MsgMeta, NodeId, Pid, Syscall, SysResult, ThreadBody, ThreadCtx};
+use ditto_kernel::{
+    Action, Cluster, Errno, Fd, MsgMeta, NodeId, Pid, Syscall, SysResult, ThreadBody, ThreadCtx,
+};
 use ditto_sim::dist::{Exponential, Sample};
 use ditto_sim::time::{SimDuration, SimTime};
 use ditto_trace::TraceCollector;
@@ -34,6 +36,10 @@ pub struct OpenLoopConfig {
     pub connections: usize,
     /// Optional distributed-trace collector to tag requests with.
     pub collector: Option<TraceCollector>,
+    /// Client-side deadline: requests outstanding longer than this are
+    /// counted as timeouts, and the receive loop wakes at this cadence to
+    /// sweep them.
+    pub timeout: SimDuration,
 }
 
 impl OpenLoopConfig {
@@ -46,6 +52,7 @@ impl OpenLoopConfig {
             request_bytes: 128,
             connections: 4,
             collector: None,
+            timeout: SimDuration::from_secs(1),
         }
     }
 
@@ -63,6 +70,7 @@ impl OpenLoopConfig {
                 pending: Arc::new(Mutex::new(HashMap::new())),
                 recorder: recorder.clone(),
                 tags: tags.clone(),
+                last_tag: None,
             };
             cluster.spawn_thread(client_node, pid, Box::new(body));
         }
@@ -85,6 +93,8 @@ struct OpenLoopSender {
     pending: Arc<Mutex<HashMap<u64, SimTime>>>,
     recorder: Recorder,
     tags: Arc<AtomicU64>,
+    /// Tag of the most recent send, so a failed send can be retired.
+    last_tag: Option<u64>,
 }
 
 impl ThreadBody for OpenLoopSender {
@@ -107,10 +117,23 @@ impl ThreadBody for OpenLoopSender {
                         fd,
                         pending: self.pending.clone(),
                         recorder: self.recorder.clone(),
+                        timeout: self.cfg.timeout,
                     }),
                 })
             }
             SenderState::Sleep => {
+                if ctx.last.is_err() {
+                    // The previous send bounced (reset/closed connection):
+                    // retire its tag and re-dial after a short pause.
+                    if let Some(tag) = self.last_tag.take() {
+                        self.pending.lock().remove(&tag);
+                    }
+                    self.recorder.note_error(ctx.now);
+                    self.state = SenderState::Connect;
+                    return Action::Syscall(Syscall::Nanosleep {
+                        dur: SimDuration::from_millis(10),
+                    });
+                }
                 self.state = SenderState::Send;
                 let gap = Exponential::new(self.per_conn_qps.max(1e-9))
                     .sample(ctx.rng);
@@ -126,11 +149,12 @@ impl ThreadBody for OpenLoopSender {
                     .map(|c| c.start_trace())
                     .unwrap_or_default();
                 self.pending.lock().insert(tag, ctx.now);
+                self.last_tag = Some(tag);
                 self.recorder.note_sent(ctx.now);
                 Action::Syscall(Syscall::Send {
                     fd: self.fd.expect("connected"),
                     bytes: self.cfg.request_bytes,
-                    meta: MsgMeta { tag, trace_id: span.trace_id, span_id: 0 },
+                    meta: MsgMeta { tag, trace_id: span.trace_id, span_id: 0, status: 0 },
                 })
             }
         }
@@ -145,6 +169,7 @@ struct OpenLoopReceiver {
     fd: Fd,
     pending: Arc<Mutex<HashMap<u64, SimTime>>>,
     recorder: Recorder,
+    timeout: SimDuration,
 }
 
 impl ThreadBody for OpenLoopReceiver {
@@ -152,13 +177,38 @@ impl ThreadBody for OpenLoopReceiver {
         match &ctx.last {
             SysResult::Msg(msg) => {
                 if let Some(sent) = self.pending.lock().remove(&msg.meta.tag) {
-                    self.recorder.record(sent, ctx.now);
+                    self.recorder.record_status(sent, ctx.now, msg.meta.status);
                 }
-                Action::Syscall(Syscall::Recv { fd: self.fd })
             }
-            SysResult::Err(_) => Action::Exit,
-            _ => Action::Syscall(Syscall::Recv { fd: self.fd }),
+            SysResult::Err(Errno::TimedOut) => {
+                // Nothing arrived for a full deadline: sweep requests that
+                // are now past it (lost on the wire or stuck on a dead
+                // server) so they count as timeouts, not as missing data.
+                let now = ctx.now;
+                let mut p = self.pending.lock();
+                let stale: Vec<u64> = p
+                    .iter()
+                    .filter(|(_, &sent)| now.saturating_since(sent) >= self.timeout)
+                    .map(|(&tag, _)| tag)
+                    .collect();
+                for tag in stale {
+                    p.remove(&tag);
+                    self.recorder.note_timeout(now);
+                }
+            }
+            SysResult::Err(_) => {
+                // Connection reset/closed: everything outstanding is lost.
+                let mut p = self.pending.lock();
+                let lost = p.len();
+                p.clear();
+                for _ in 0..lost {
+                    self.recorder.note_error(ctx.now);
+                }
+                return Action::Exit;
+            }
+            _ => {}
         }
+        Action::Syscall(Syscall::Recv { fd: self.fd, timeout: Some(self.timeout) })
     }
 
     fn label(&self) -> &str {

@@ -11,6 +11,8 @@ struct Inner {
     hist: LatencyHistogram,
     sent: u64,
     received: u64,
+    degraded: u64,
+    timeouts: u64,
     errors: u64,
     window_start: SimTime,
     window_end: Option<SimTime>,
@@ -31,6 +33,8 @@ impl Recorder {
                 hist: LatencyHistogram::new(),
                 sent: 0,
                 received: 0,
+                degraded: 0,
+                timeouts: 0,
                 errors: 0,
                 window_start: SimTime::ZERO,
                 window_end: None,
@@ -46,6 +50,8 @@ impl Recorder {
         i.hist = LatencyHistogram::new();
         i.sent = 0;
         i.received = 0;
+        i.degraded = 0;
+        i.timeouts = 0;
         i.errors = 0;
     }
 
@@ -55,7 +61,7 @@ impl Recorder {
     }
 
     fn in_window(i: &Inner, t: SimTime) -> bool {
-        t >= i.window_start && i.window_end.map_or(true, |e| t <= e)
+        t >= i.window_start && i.window_end.is_none_or(|e| t <= e)
     }
 
     /// Notes a request sent at `t`.
@@ -68,10 +74,27 @@ impl Recorder {
 
     /// Records a completed request sent at `sent` and finished at `now`.
     pub fn record(&self, sent: SimTime, now: SimTime) {
+        self.record_status(sent, now, 0);
+    }
+
+    /// Records a completed request with the response's wire status byte
+    /// (0 = ok, non-zero = degraded/partial).
+    pub fn record_status(&self, sent: SimTime, now: SimTime, status: u8) {
         let mut i = self.inner.lock();
         if Self::in_window(&i, now) && sent >= i.window_start {
             i.received += 1;
+            if status != 0 {
+                i.degraded += 1;
+            }
             i.hist.record(now.saturating_since(sent));
+        }
+    }
+
+    /// Notes a request that exceeded the client deadline at `t`.
+    pub fn note_timeout(&self, t: SimTime) {
+        let mut i = self.inner.lock();
+        if Self::in_window(&i, t) {
+            i.timeouts += 1;
         }
     }
 
@@ -83,19 +106,26 @@ impl Recorder {
         }
     }
 
+    /// Snapshot of the raw latency histogram — bucket-exact, so two
+    /// deterministic runs can be compared for bit-identical behaviour.
+    pub fn histogram(&self) -> LatencyHistogram {
+        self.inner.lock().hist.clone()
+    }
+
     /// Summarises the window, computing throughput against `window`.
     pub fn summary(&self, window: SimDuration) -> LoadSummary {
         let i = self.inner.lock();
+        let secs = window.as_secs_f64();
+        let ok = i.received - i.degraded;
         LoadSummary {
             latency: i.hist.summary(),
             sent: i.sent,
             received: i.received,
+            degraded: i.degraded,
+            timeouts: i.timeouts,
             errors: i.errors,
-            throughput_qps: if window.as_secs_f64() > 0.0 {
-                i.received as f64 / window.as_secs_f64()
-            } else {
-                0.0
-            },
+            throughput_qps: if secs > 0.0 { i.received as f64 / secs } else { 0.0 },
+            goodput_qps: if secs > 0.0 { ok as f64 / secs } else { 0.0 },
         }
     }
 }
@@ -115,10 +145,34 @@ pub struct LoadSummary {
     pub sent: u64,
     /// Responses received in the window.
     pub received: u64,
-    /// Errors observed.
+    /// Responses marked degraded (a downstream failed past its budget).
+    pub degraded: u64,
+    /// Requests that exceeded the client deadline.
+    pub timeouts: u64,
+    /// Errors observed (resets, refused connections).
     pub errors: u64,
-    /// Achieved throughput over the window.
+    /// Achieved throughput (all responses) over the window.
     pub throughput_qps: f64,
+    /// Successful-response throughput over the window.
+    pub goodput_qps: f64,
+}
+
+impl LoadSummary {
+    /// Fraction of sent requests that completed successfully (full
+    /// result, within deadline). 1.0 when nothing was sent.
+    pub fn availability(&self) -> f64 {
+        if self.sent == 0 {
+            return 1.0;
+        }
+        let ok = self.received.saturating_sub(self.degraded);
+        (ok as f64 / self.sent as f64).min(1.0)
+    }
+
+    /// Fraction of sent requests that failed (timed out, errored, or
+    /// degraded).
+    pub fn error_rate(&self) -> f64 {
+        1.0 - self.availability()
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +210,30 @@ mod tests {
         let s = r.summary(SimDuration::from_secs(2));
         assert_eq!(s.sent, 10);
         assert!((s.throughput_qps - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degraded_responses_reduce_availability_and_goodput() {
+        let r = Recorder::new();
+        for i in 0..10 {
+            r.note_sent(SimTime::from_nanos(i));
+            r.record_status(SimTime::from_nanos(i), SimTime::from_nanos(i + 10), u8::from(i < 3));
+        }
+        r.note_timeout(SimTime::from_nanos(50));
+        let s = r.summary(SimDuration::from_secs(1));
+        assert_eq!(s.received, 10);
+        assert_eq!(s.degraded, 3);
+        assert_eq!(s.timeouts, 1);
+        assert!((s.availability() - 0.7).abs() < 1e-9, "{}", s.availability());
+        assert!((s.goodput_qps - 7.0).abs() < 1e-9);
+        assert!((s.throughput_qps - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn availability_is_one_with_no_traffic() {
+        let s = Recorder::new().summary(SimDuration::from_secs(1));
+        assert!((s.availability() - 1.0).abs() < 1e-12);
+        assert!(s.error_rate().abs() < 1e-12);
     }
 
     #[test]

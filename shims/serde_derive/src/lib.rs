@@ -1,0 +1,432 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). The parser understands the subset of
+//! Rust item grammar this workspace uses: structs with named fields,
+//! tuple structs, unit structs, and enums whose variants are unit, tuple,
+//! or struct-like; plain type parameters (`struct Foo<T> { .. }`) are
+//! supported and receive the derived trait as a bound.
+//!
+//! `#[serde(...)]` helper attributes are accepted and ignored — the shim
+//! always derives the default field-by-name representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a struct's (or enum variant's) fields.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    type_params: Vec<String>,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let head = impl_header(&parsed, "serde::Serialize");
+    let body = match &parsed.body {
+        Body::Struct(fields) => serialize_struct_body(&parsed.name, fields),
+        Body::Enum(variants) => serialize_enum_body(&parsed.name, variants),
+    };
+    let code = format!(
+        "{head} {{\n fn to_value(&self) -> serde::Value {{\n {body}\n }}\n}}\n"
+    );
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let head = impl_header(&parsed, "serde::Deserialize");
+    let body = match &parsed.body {
+        Body::Struct(fields) => deserialize_struct_body(&parsed.name, fields),
+        Body::Enum(variants) => deserialize_enum_body(&parsed.name, variants),
+    };
+    let code = format!(
+        "{head} {{\n fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {{\n {body}\n }}\n}}\n"
+    );
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(input: &Input, trait_path: &str) -> String {
+    if input.type_params.is_empty() {
+        format!("impl {trait_path} for {}", input.name)
+    } else {
+        let bounded: Vec<String> = input
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: {trait_path}"))
+            .collect();
+        let plain = input.type_params.join(", ");
+        format!(
+            "impl<{}> {trait_path} for {}<{plain}>",
+            bounded.join(", "),
+            input.name
+        )
+    }
+}
+
+fn serialize_fields_named(names: &[String], access_prefix: &str) -> String {
+    let pairs: Vec<String> = names
+        .iter()
+        .map(|n| {
+            format!(
+                "(std::string::String::from(\"{n}\"), serde::Serialize::to_value(&{access_prefix}{n}))"
+            )
+        })
+        .collect();
+    format!("serde::Value::Obj(std::vec![{}])", pairs.join(", "))
+}
+
+fn serialize_struct_body(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "serde::Value::Null".to_string(),
+        Fields::Named(names) => serialize_fields_named(names, "self."),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Arr(std::vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => arms.push(format!(
+                "{name}::{vn} => serde::Value::Str(std::string::String::from(\"{vn}\")),"
+            )),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                    .collect();
+                arms.push(format!(
+                    "{name}::{vn}({}) => serde::Value::Obj(std::vec![(std::string::String::from(\"{vn}\"), serde::Value::Arr(std::vec![{}]))]),",
+                    binds.join(", "),
+                    items.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let inner = serialize_fields_named(fields, "");
+                arms.push(format!(
+                    "{name}::{vn} {{ {} }} => serde::Value::Obj(std::vec![(std::string::String::from(\"{vn}\"), {inner})]),",
+                    fields.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+fn deserialize_fields_named(names: &[String]) -> String {
+    let inits: Vec<String> = names
+        .iter()
+        .map(|n| format!("{n}: serde::field(v, \"{n}\")?"))
+        .collect();
+    inits.join(", ")
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("std::result::Result::Ok({name})"),
+        Fields::Named(names) => {
+            let inits = deserialize_fields_named(names);
+            format!(
+                "if v.as_obj().is_none() {{ return std::result::Result::Err(serde::DeError::msg(\"expected object for struct {name}\")); }}\n\
+                 std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n).map(|i| format!("serde::element(v, {i})?")).collect();
+            format!("std::result::Result::Ok({name}({}))", inits.join(", "))
+        }
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut data_arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => unit_arms.push(format!(
+                "\"{vn}\" => std::result::Result::Ok({name}::{vn}),"
+            )),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> =
+                    (0..*n).map(|i| format!("serde::element(inner, {i})?")).collect();
+                data_arms.push(format!(
+                    "\"{vn}\" => std::result::Result::Ok({name}::{vn}({})),",
+                    inits.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: serde::field(inner, \"{f}\")?"))
+                    .collect();
+                data_arms.push(format!(
+                    "\"{vn}\" => std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match v {{\n\
+           serde::Value::Str(s) => match s.as_str() {{\n{units}\n_ => std::result::Result::Err(serde::DeError::msg(\"unknown variant of {name}\")), }},\n\
+           serde::Value::Obj(pairs) if pairs.len() == 1 => {{\n\
+             let (tag, inner) = &pairs[0];\n\
+             match tag.as_str() {{\n{datas}\n_ => std::result::Result::Err(serde::DeError::msg(\"unknown variant of {name}\")), }}\n\
+           }},\n\
+           _ => std::result::Result::Err(serde::DeError::msg(\"expected variant of {name}\")),\n\
+         }}",
+        units = unit_arms.join("\n"),
+        datas = data_arms.join("\n"),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    i += 1;
+
+    let type_params = parse_generics(&tokens, &mut i);
+
+    match kind.as_str() {
+        "struct" => {
+            // The body is the next group: braces (named), parens (tuple),
+            // or absent entirely (unit struct, `struct Foo;`). A where
+            // clause may precede a brace body.
+            let fields = loop {
+                match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        break parse_named_fields(g.stream());
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        break Fields::Tuple(count_tuple_fields(g.stream()));
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Fields::Unit,
+                    Some(_) => i += 1,
+                    None => break Fields::Unit,
+                }
+            };
+            Input { name, type_params, body: Body::Struct(fields) }
+        }
+        "enum" => {
+            let group = loop {
+                match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+                    Some(_) => i += 1,
+                    None => panic!("enum `{name}` has no body"),
+                }
+            };
+            Input { name, type_params, body: Body::Enum(parse_variants(group.stream())) }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Skips `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // (crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<...>` after the item name, returning the type-parameter names.
+/// Lifetimes and const parameters are rejected (unused in this workspace).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut params = Vec::new();
+    let mut at_param_start = true;
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                at_param_start = true;
+                *i += 1;
+                continue;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                panic!("serde shim derive does not support lifetime parameters")
+            }
+            Some(TokenTree::Ident(id)) if at_param_start => {
+                let s = id.to_string();
+                if s == "const" {
+                    panic!("serde shim derive does not support const parameters");
+                }
+                params.push(s);
+                at_param_start = false;
+            }
+            Some(_) => {}
+            None => panic!("unterminated generics"),
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Parses `{ a: T, pub b: U, .. }` into field names, skipping types.
+fn parse_named_fields(stream: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        names.push(id.to_string());
+        i += 1;
+        // Expect ':' then skip the type up to a top-level ','.
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Fields::Named(names)
+}
+
+/// Counts top-level comma-separated entries in a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+/// Parses enum variants: `Unit, Tuple(T, U), Struct { a: T },`.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}

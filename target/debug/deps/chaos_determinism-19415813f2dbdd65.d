@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_determinism-19415813f2dbdd65.d: tests/chaos_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_determinism-19415813f2dbdd65.rmeta: tests/chaos_determinism.rs Cargo.toml
+
+tests/chaos_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

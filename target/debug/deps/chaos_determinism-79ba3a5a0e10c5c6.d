@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_determinism-79ba3a5a0e10c5c6.d: tests/chaos_determinism.rs
+
+/root/repo/target/debug/deps/chaos_determinism-79ba3a5a0e10c5c6: tests/chaos_determinism.rs
+
+tests/chaos_determinism.rs:

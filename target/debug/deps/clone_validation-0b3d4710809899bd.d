@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clone_validation-0b3d4710809899bd.d: tests/clone_validation.rs
+
+/root/repo/target/debug/deps/clone_validation-0b3d4710809899bd: tests/clone_validation.rs
+
+tests/clone_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clone_validation-e0aaedf1527dd57e.d: tests/clone_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclone_validation-e0aaedf1527dd57e.rmeta: tests/clone_validation.rs Cargo.toml
+
+tests/clone_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

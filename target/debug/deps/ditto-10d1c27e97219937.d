@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ditto-10d1c27e97219937.d: src/lib.rs
+
+/root/repo/target/debug/deps/ditto-10d1c27e97219937: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ditto-eae50631b172715e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libditto-eae50631b172715e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libditto-eae50631b172715e.rmeta: src/lib.rs
+
+src/lib.rs:

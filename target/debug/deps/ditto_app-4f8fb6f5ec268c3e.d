@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ditto_app-4f8fb6f5ec268c3e.d: crates/app/src/lib.rs crates/app/src/apps.rs crates/app/src/handlers.rs crates/app/src/resilience.rs crates/app/src/service.rs crates/app/src/social.rs crates/app/src/stressors.rs
+
+/root/repo/target/debug/deps/libditto_app-4f8fb6f5ec268c3e.rlib: crates/app/src/lib.rs crates/app/src/apps.rs crates/app/src/handlers.rs crates/app/src/resilience.rs crates/app/src/service.rs crates/app/src/social.rs crates/app/src/stressors.rs
+
+/root/repo/target/debug/deps/libditto_app-4f8fb6f5ec268c3e.rmeta: crates/app/src/lib.rs crates/app/src/apps.rs crates/app/src/handlers.rs crates/app/src/resilience.rs crates/app/src/service.rs crates/app/src/social.rs crates/app/src/stressors.rs
+
+crates/app/src/lib.rs:
+crates/app/src/apps.rs:
+crates/app/src/handlers.rs:
+crates/app/src/resilience.rs:
+crates/app/src/service.rs:
+crates/app/src/social.rs:
+crates/app/src/stressors.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ditto_app-636bb09667660964.d: crates/app/src/lib.rs crates/app/src/apps.rs crates/app/src/handlers.rs crates/app/src/resilience.rs crates/app/src/service.rs crates/app/src/social.rs crates/app/src/stressors.rs
+
+/root/repo/target/debug/deps/ditto_app-636bb09667660964: crates/app/src/lib.rs crates/app/src/apps.rs crates/app/src/handlers.rs crates/app/src/resilience.rs crates/app/src/service.rs crates/app/src/social.rs crates/app/src/stressors.rs
+
+crates/app/src/lib.rs:
+crates/app/src/apps.rs:
+crates/app/src/handlers.rs:
+crates/app/src/resilience.rs:
+crates/app/src/service.rs:
+crates/app/src/social.rs:
+crates/app/src/stressors.rs:

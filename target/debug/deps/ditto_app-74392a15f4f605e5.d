@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ditto_app-74392a15f4f605e5.d: crates/app/src/lib.rs crates/app/src/apps.rs crates/app/src/handlers.rs crates/app/src/resilience.rs crates/app/src/service.rs crates/app/src/social.rs crates/app/src/stressors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libditto_app-74392a15f4f605e5.rmeta: crates/app/src/lib.rs crates/app/src/apps.rs crates/app/src/handlers.rs crates/app/src/resilience.rs crates/app/src/service.rs crates/app/src/social.rs crates/app/src/stressors.rs Cargo.toml
+
+crates/app/src/lib.rs:
+crates/app/src/apps.rs:
+crates/app/src/handlers.rs:
+crates/app/src/resilience.rs:
+crates/app/src/service.rs:
+crates/app/src/social.rs:
+crates/app/src/stressors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ditto_bench-9c5cb64581f9d79b.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/social_experiment.rs
+
+/root/repo/target/debug/deps/libditto_bench-9c5cb64581f9d79b.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/social_experiment.rs
+
+/root/repo/target/debug/deps/libditto_bench-9c5cb64581f9d79b.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/social_experiment.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/social_experiment.rs:

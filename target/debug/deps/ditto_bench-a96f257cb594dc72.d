@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ditto_bench-a96f257cb594dc72.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/social_experiment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libditto_bench-a96f257cb594dc72.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/social_experiment.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/social_experiment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ditto_bench-d61d39176f81317e.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/social_experiment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libditto_bench-d61d39176f81317e.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/social_experiment.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/social_experiment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ditto_bench-fe8adccf0c8fa3f1.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/social_experiment.rs
+
+/root/repo/target/debug/deps/ditto_bench-fe8adccf0c8fa3f1: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/social_experiment.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/social_experiment.rs:

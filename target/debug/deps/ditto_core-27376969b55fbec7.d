@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ditto_core-27376969b55fbec7.d: crates/core/src/lib.rs crates/core/src/body_gen.rs crates/core/src/clone.rs crates/core/src/harness.rs crates/core/src/skeleton.rs crates/core/src/stages.rs crates/core/src/tuner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libditto_core-27376969b55fbec7.rmeta: crates/core/src/lib.rs crates/core/src/body_gen.rs crates/core/src/clone.rs crates/core/src/harness.rs crates/core/src/skeleton.rs crates/core/src/stages.rs crates/core/src/tuner.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/body_gen.rs:
+crates/core/src/clone.rs:
+crates/core/src/harness.rs:
+crates/core/src/skeleton.rs:
+crates/core/src/stages.rs:
+crates/core/src/tuner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ditto_core-604693878dc3ac67.d: crates/core/src/lib.rs crates/core/src/body_gen.rs crates/core/src/clone.rs crates/core/src/harness.rs crates/core/src/skeleton.rs crates/core/src/stages.rs crates/core/src/tuner.rs
+
+/root/repo/target/debug/deps/libditto_core-604693878dc3ac67.rlib: crates/core/src/lib.rs crates/core/src/body_gen.rs crates/core/src/clone.rs crates/core/src/harness.rs crates/core/src/skeleton.rs crates/core/src/stages.rs crates/core/src/tuner.rs
+
+/root/repo/target/debug/deps/libditto_core-604693878dc3ac67.rmeta: crates/core/src/lib.rs crates/core/src/body_gen.rs crates/core/src/clone.rs crates/core/src/harness.rs crates/core/src/skeleton.rs crates/core/src/stages.rs crates/core/src/tuner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/body_gen.rs:
+crates/core/src/clone.rs:
+crates/core/src/harness.rs:
+crates/core/src/skeleton.rs:
+crates/core/src/stages.rs:
+crates/core/src/tuner.rs:

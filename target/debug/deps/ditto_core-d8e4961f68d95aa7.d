@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ditto_core-d8e4961f68d95aa7.d: crates/core/src/lib.rs crates/core/src/body_gen.rs crates/core/src/clone.rs crates/core/src/harness.rs crates/core/src/skeleton.rs crates/core/src/stages.rs crates/core/src/tuner.rs
+
+/root/repo/target/debug/deps/ditto_core-d8e4961f68d95aa7: crates/core/src/lib.rs crates/core/src/body_gen.rs crates/core/src/clone.rs crates/core/src/harness.rs crates/core/src/skeleton.rs crates/core/src/stages.rs crates/core/src/tuner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/body_gen.rs:
+crates/core/src/clone.rs:
+crates/core/src/harness.rs:
+crates/core/src/skeleton.rs:
+crates/core/src/stages.rs:
+crates/core/src/tuner.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ditto_hw-0b00134fcbd633b1.d: crates/hw/src/lib.rs crates/hw/src/branch.rs crates/hw/src/cache.rs crates/hw/src/codegen.rs crates/hw/src/core_model.rs crates/hw/src/counters.rs crates/hw/src/device.rs crates/hw/src/isa.rs crates/hw/src/platform.rs
+
+/root/repo/target/debug/deps/ditto_hw-0b00134fcbd633b1: crates/hw/src/lib.rs crates/hw/src/branch.rs crates/hw/src/cache.rs crates/hw/src/codegen.rs crates/hw/src/core_model.rs crates/hw/src/counters.rs crates/hw/src/device.rs crates/hw/src/isa.rs crates/hw/src/platform.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/branch.rs:
+crates/hw/src/cache.rs:
+crates/hw/src/codegen.rs:
+crates/hw/src/core_model.rs:
+crates/hw/src/counters.rs:
+crates/hw/src/device.rs:
+crates/hw/src/isa.rs:
+crates/hw/src/platform.rs:

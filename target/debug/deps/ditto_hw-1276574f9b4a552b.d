@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ditto_hw-1276574f9b4a552b.d: crates/hw/src/lib.rs crates/hw/src/branch.rs crates/hw/src/cache.rs crates/hw/src/codegen.rs crates/hw/src/core_model.rs crates/hw/src/counters.rs crates/hw/src/device.rs crates/hw/src/isa.rs crates/hw/src/platform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libditto_hw-1276574f9b4a552b.rmeta: crates/hw/src/lib.rs crates/hw/src/branch.rs crates/hw/src/cache.rs crates/hw/src/codegen.rs crates/hw/src/core_model.rs crates/hw/src/counters.rs crates/hw/src/device.rs crates/hw/src/isa.rs crates/hw/src/platform.rs Cargo.toml
+
+crates/hw/src/lib.rs:
+crates/hw/src/branch.rs:
+crates/hw/src/cache.rs:
+crates/hw/src/codegen.rs:
+crates/hw/src/core_model.rs:
+crates/hw/src/counters.rs:
+crates/hw/src/device.rs:
+crates/hw/src/isa.rs:
+crates/hw/src/platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ditto_hw-4101b6940c7428a0.d: crates/hw/src/lib.rs crates/hw/src/branch.rs crates/hw/src/cache.rs crates/hw/src/codegen.rs crates/hw/src/core_model.rs crates/hw/src/counters.rs crates/hw/src/device.rs crates/hw/src/isa.rs crates/hw/src/platform.rs
+
+/root/repo/target/debug/deps/libditto_hw-4101b6940c7428a0.rlib: crates/hw/src/lib.rs crates/hw/src/branch.rs crates/hw/src/cache.rs crates/hw/src/codegen.rs crates/hw/src/core_model.rs crates/hw/src/counters.rs crates/hw/src/device.rs crates/hw/src/isa.rs crates/hw/src/platform.rs
+
+/root/repo/target/debug/deps/libditto_hw-4101b6940c7428a0.rmeta: crates/hw/src/lib.rs crates/hw/src/branch.rs crates/hw/src/cache.rs crates/hw/src/codegen.rs crates/hw/src/core_model.rs crates/hw/src/counters.rs crates/hw/src/device.rs crates/hw/src/isa.rs crates/hw/src/platform.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/branch.rs:
+crates/hw/src/cache.rs:
+crates/hw/src/codegen.rs:
+crates/hw/src/core_model.rs:
+crates/hw/src/counters.rs:
+crates/hw/src/device.rs:
+crates/hw/src/isa.rs:
+crates/hw/src/platform.rs:

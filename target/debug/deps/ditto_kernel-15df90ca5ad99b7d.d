@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ditto_kernel-15df90ca5ad99b7d.d: crates/kernel/src/lib.rs crates/kernel/src/cluster.rs crates/kernel/src/fault.rs crates/kernel/src/fs.rs crates/kernel/src/ids.rs crates/kernel/src/kcode.rs crates/kernel/src/lru.rs crates/kernel/src/machine.rs crates/kernel/src/net.rs crates/kernel/src/probe.rs crates/kernel/src/thread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libditto_kernel-15df90ca5ad99b7d.rmeta: crates/kernel/src/lib.rs crates/kernel/src/cluster.rs crates/kernel/src/fault.rs crates/kernel/src/fs.rs crates/kernel/src/ids.rs crates/kernel/src/kcode.rs crates/kernel/src/lru.rs crates/kernel/src/machine.rs crates/kernel/src/net.rs crates/kernel/src/probe.rs crates/kernel/src/thread.rs Cargo.toml
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/cluster.rs:
+crates/kernel/src/fault.rs:
+crates/kernel/src/fs.rs:
+crates/kernel/src/ids.rs:
+crates/kernel/src/kcode.rs:
+crates/kernel/src/lru.rs:
+crates/kernel/src/machine.rs:
+crates/kernel/src/net.rs:
+crates/kernel/src/probe.rs:
+crates/kernel/src/thread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ditto_kernel-95e4daaeb7368c9f.d: crates/kernel/src/lib.rs crates/kernel/src/cluster.rs crates/kernel/src/fault.rs crates/kernel/src/fs.rs crates/kernel/src/ids.rs crates/kernel/src/kcode.rs crates/kernel/src/lru.rs crates/kernel/src/machine.rs crates/kernel/src/net.rs crates/kernel/src/probe.rs crates/kernel/src/thread.rs
+
+/root/repo/target/debug/deps/ditto_kernel-95e4daaeb7368c9f: crates/kernel/src/lib.rs crates/kernel/src/cluster.rs crates/kernel/src/fault.rs crates/kernel/src/fs.rs crates/kernel/src/ids.rs crates/kernel/src/kcode.rs crates/kernel/src/lru.rs crates/kernel/src/machine.rs crates/kernel/src/net.rs crates/kernel/src/probe.rs crates/kernel/src/thread.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/cluster.rs:
+crates/kernel/src/fault.rs:
+crates/kernel/src/fs.rs:
+crates/kernel/src/ids.rs:
+crates/kernel/src/kcode.rs:
+crates/kernel/src/lru.rs:
+crates/kernel/src/machine.rs:
+crates/kernel/src/net.rs:
+crates/kernel/src/probe.rs:
+crates/kernel/src/thread.rs:

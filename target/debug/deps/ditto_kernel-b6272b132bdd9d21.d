@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ditto_kernel-b6272b132bdd9d21.d: crates/kernel/src/lib.rs crates/kernel/src/cluster.rs crates/kernel/src/fault.rs crates/kernel/src/fs.rs crates/kernel/src/ids.rs crates/kernel/src/kcode.rs crates/kernel/src/lru.rs crates/kernel/src/machine.rs crates/kernel/src/net.rs crates/kernel/src/probe.rs crates/kernel/src/thread.rs
+
+/root/repo/target/debug/deps/libditto_kernel-b6272b132bdd9d21.rlib: crates/kernel/src/lib.rs crates/kernel/src/cluster.rs crates/kernel/src/fault.rs crates/kernel/src/fs.rs crates/kernel/src/ids.rs crates/kernel/src/kcode.rs crates/kernel/src/lru.rs crates/kernel/src/machine.rs crates/kernel/src/net.rs crates/kernel/src/probe.rs crates/kernel/src/thread.rs
+
+/root/repo/target/debug/deps/libditto_kernel-b6272b132bdd9d21.rmeta: crates/kernel/src/lib.rs crates/kernel/src/cluster.rs crates/kernel/src/fault.rs crates/kernel/src/fs.rs crates/kernel/src/ids.rs crates/kernel/src/kcode.rs crates/kernel/src/lru.rs crates/kernel/src/machine.rs crates/kernel/src/net.rs crates/kernel/src/probe.rs crates/kernel/src/thread.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/cluster.rs:
+crates/kernel/src/fault.rs:
+crates/kernel/src/fs.rs:
+crates/kernel/src/ids.rs:
+crates/kernel/src/kcode.rs:
+crates/kernel/src/lru.rs:
+crates/kernel/src/machine.rs:
+crates/kernel/src/net.rs:
+crates/kernel/src/probe.rs:
+crates/kernel/src/thread.rs:

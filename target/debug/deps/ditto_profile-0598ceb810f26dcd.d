@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ditto_profile-0598ceb810f26dcd.d: crates/profile/src/lib.rs crates/profile/src/hierarchy.rs crates/profile/src/instr_profile.rs crates/profile/src/metrics.rs crates/profile/src/profile.rs crates/profile/src/stackdist.rs crates/profile/src/syscall_profile.rs crates/profile/src/thread_model.rs
+
+/root/repo/target/debug/deps/libditto_profile-0598ceb810f26dcd.rlib: crates/profile/src/lib.rs crates/profile/src/hierarchy.rs crates/profile/src/instr_profile.rs crates/profile/src/metrics.rs crates/profile/src/profile.rs crates/profile/src/stackdist.rs crates/profile/src/syscall_profile.rs crates/profile/src/thread_model.rs
+
+/root/repo/target/debug/deps/libditto_profile-0598ceb810f26dcd.rmeta: crates/profile/src/lib.rs crates/profile/src/hierarchy.rs crates/profile/src/instr_profile.rs crates/profile/src/metrics.rs crates/profile/src/profile.rs crates/profile/src/stackdist.rs crates/profile/src/syscall_profile.rs crates/profile/src/thread_model.rs
+
+crates/profile/src/lib.rs:
+crates/profile/src/hierarchy.rs:
+crates/profile/src/instr_profile.rs:
+crates/profile/src/metrics.rs:
+crates/profile/src/profile.rs:
+crates/profile/src/stackdist.rs:
+crates/profile/src/syscall_profile.rs:
+crates/profile/src/thread_model.rs:

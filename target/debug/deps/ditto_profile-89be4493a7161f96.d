@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ditto_profile-89be4493a7161f96.d: crates/profile/src/lib.rs crates/profile/src/hierarchy.rs crates/profile/src/instr_profile.rs crates/profile/src/metrics.rs crates/profile/src/profile.rs crates/profile/src/stackdist.rs crates/profile/src/syscall_profile.rs crates/profile/src/thread_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libditto_profile-89be4493a7161f96.rmeta: crates/profile/src/lib.rs crates/profile/src/hierarchy.rs crates/profile/src/instr_profile.rs crates/profile/src/metrics.rs crates/profile/src/profile.rs crates/profile/src/stackdist.rs crates/profile/src/syscall_profile.rs crates/profile/src/thread_model.rs Cargo.toml
+
+crates/profile/src/lib.rs:
+crates/profile/src/hierarchy.rs:
+crates/profile/src/instr_profile.rs:
+crates/profile/src/metrics.rs:
+crates/profile/src/profile.rs:
+crates/profile/src/stackdist.rs:
+crates/profile/src/syscall_profile.rs:
+crates/profile/src/thread_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

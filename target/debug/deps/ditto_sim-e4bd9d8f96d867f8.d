@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ditto_sim-e4bd9d8f96d867f8.d: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/quant.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libditto_sim-e4bd9d8f96d867f8.rmeta: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/quant.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/quant.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

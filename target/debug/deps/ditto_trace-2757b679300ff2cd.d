@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ditto_trace-2757b679300ff2cd.d: crates/trace/src/lib.rs crates/trace/src/graph.rs crates/trace/src/span.rs
+
+/root/repo/target/debug/deps/libditto_trace-2757b679300ff2cd.rlib: crates/trace/src/lib.rs crates/trace/src/graph.rs crates/trace/src/span.rs
+
+/root/repo/target/debug/deps/libditto_trace-2757b679300ff2cd.rmeta: crates/trace/src/lib.rs crates/trace/src/graph.rs crates/trace/src/span.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/graph.rs:
+crates/trace/src/span.rs:

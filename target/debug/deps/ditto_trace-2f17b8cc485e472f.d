@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ditto_trace-2f17b8cc485e472f.d: crates/trace/src/lib.rs crates/trace/src/graph.rs crates/trace/src/span.rs
+
+/root/repo/target/debug/deps/ditto_trace-2f17b8cc485e472f: crates/trace/src/lib.rs crates/trace/src/graph.rs crates/trace/src/span.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/graph.rs:
+crates/trace/src/span.rs:

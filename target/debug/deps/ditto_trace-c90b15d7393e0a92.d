@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ditto_trace-c90b15d7393e0a92.d: crates/trace/src/lib.rs crates/trace/src/graph.rs crates/trace/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libditto_trace-c90b15d7393e0a92.rmeta: crates/trace/src/lib.rs crates/trace/src/graph.rs crates/trace/src/span.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/graph.rs:
+crates/trace/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

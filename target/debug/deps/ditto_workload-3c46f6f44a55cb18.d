@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ditto_workload-3c46f6f44a55cb18.d: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/open_loop.rs crates/workload/src/recorder.rs
+
+/root/repo/target/debug/deps/ditto_workload-3c46f6f44a55cb18: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/open_loop.rs crates/workload/src/recorder.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/closed_loop.rs:
+crates/workload/src/open_loop.rs:
+crates/workload/src/recorder.rs:

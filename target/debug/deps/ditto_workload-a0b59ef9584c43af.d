@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ditto_workload-a0b59ef9584c43af.d: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/open_loop.rs crates/workload/src/recorder.rs Cargo.toml
+
+/root/repo/target/debug/deps/libditto_workload-a0b59ef9584c43af.rmeta: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/open_loop.rs crates/workload/src/recorder.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/closed_loop.rs:
+crates/workload/src/open_loop.rs:
+crates/workload/src/recorder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

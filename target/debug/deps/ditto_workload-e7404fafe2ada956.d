@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ditto_workload-e7404fafe2ada956.d: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/open_loop.rs crates/workload/src/recorder.rs
+
+/root/repo/target/debug/deps/libditto_workload-e7404fafe2ada956.rlib: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/open_loop.rs crates/workload/src/recorder.rs
+
+/root/repo/target/debug/deps/libditto_workload-e7404fafe2ada956.rmeta: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/open_loop.rs crates/workload/src/recorder.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/closed_loop.rs:
+crates/workload/src/open_loop.rs:
+crates/workload/src/recorder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-5aed6f976f3020b7.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-5aed6f976f3020b7: tests/end_to_end.rs
+
+tests/end_to_end.rs:

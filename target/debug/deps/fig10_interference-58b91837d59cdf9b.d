@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_interference-58b91837d59cdf9b.d: crates/bench/benches/fig10_interference.rs
+
+/root/repo/target/debug/deps/fig10_interference-58b91837d59cdf9b: crates/bench/benches/fig10_interference.rs
+
+crates/bench/benches/fig10_interference.rs:

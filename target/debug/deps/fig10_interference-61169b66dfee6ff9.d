@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_interference-61169b66dfee6ff9.d: crates/bench/benches/fig10_interference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_interference-61169b66dfee6ff9.rmeta: crates/bench/benches/fig10_interference.rs Cargo.toml
+
+crates/bench/benches/fig10_interference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

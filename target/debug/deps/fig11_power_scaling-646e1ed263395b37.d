@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_power_scaling-646e1ed263395b37.d: crates/bench/benches/fig11_power_scaling.rs
+
+/root/repo/target/debug/deps/fig11_power_scaling-646e1ed263395b37: crates/bench/benches/fig11_power_scaling.rs
+
+crates/bench/benches/fig11_power_scaling.rs:

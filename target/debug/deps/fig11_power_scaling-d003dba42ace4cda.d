@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_power_scaling-d003dba42ace4cda.d: crates/bench/benches/fig11_power_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_power_scaling-d003dba42ace4cda.rmeta: crates/bench/benches/fig11_power_scaling.rs Cargo.toml
+
+crates/bench/benches/fig11_power_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

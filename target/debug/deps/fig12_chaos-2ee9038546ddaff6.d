@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_chaos-2ee9038546ddaff6.d: crates/bench/benches/fig12_chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_chaos-2ee9038546ddaff6.rmeta: crates/bench/benches/fig12_chaos.rs Cargo.toml
+
+crates/bench/benches/fig12_chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

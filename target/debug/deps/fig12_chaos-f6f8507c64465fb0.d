@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_chaos-f6f8507c64465fb0.d: crates/bench/benches/fig12_chaos.rs
+
+/root/repo/target/debug/deps/fig12_chaos-f6f8507c64465fb0: crates/bench/benches/fig12_chaos.rs
+
+crates/bench/benches/fig12_chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_load_validation-26b13716050b4b2a.d: crates/bench/benches/fig5_load_validation.rs
+
+/root/repo/target/debug/deps/fig5_load_validation-26b13716050b4b2a: crates/bench/benches/fig5_load_validation.rs
+
+crates/bench/benches/fig5_load_validation.rs:

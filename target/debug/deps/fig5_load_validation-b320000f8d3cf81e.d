@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_load_validation-b320000f8d3cf81e.d: crates/bench/benches/fig5_load_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_load_validation-b320000f8d3cf81e.rmeta: crates/bench/benches/fig5_load_validation.rs Cargo.toml
+
+crates/bench/benches/fig5_load_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

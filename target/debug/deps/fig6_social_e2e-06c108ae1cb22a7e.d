@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_social_e2e-06c108ae1cb22a7e.d: crates/bench/benches/fig6_social_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_social_e2e-06c108ae1cb22a7e.rmeta: crates/bench/benches/fig6_social_e2e.rs Cargo.toml
+
+crates/bench/benches/fig6_social_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_social_e2e-528acfcbb204db4d.d: crates/bench/benches/fig6_social_e2e.rs
+
+/root/repo/target/debug/deps/fig6_social_e2e-528acfcbb204db4d: crates/bench/benches/fig6_social_e2e.rs
+
+crates/bench/benches/fig6_social_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_platforms-27150f91c276807e.d: crates/bench/benches/fig7_platforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_platforms-27150f91c276807e.rmeta: crates/bench/benches/fig7_platforms.rs Cargo.toml
+
+crates/bench/benches/fig7_platforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_platforms-2b51b3f9abe5b296.d: crates/bench/benches/fig7_platforms.rs
+
+/root/repo/target/debug/deps/fig7_platforms-2b51b3f9abe5b296: crates/bench/benches/fig7_platforms.rs
+
+crates/bench/benches/fig7_platforms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_topdown-765ed0c1f0b38bba.d: crates/bench/benches/fig8_topdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_topdown-765ed0c1f0b38bba.rmeta: crates/bench/benches/fig8_topdown.rs Cargo.toml
+
+crates/bench/benches/fig8_topdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_topdown-8f4b192fba8b23d4.d: crates/bench/benches/fig8_topdown.rs
+
+/root/repo/target/debug/deps/fig8_topdown-8f4b192fba8b23d4: crates/bench/benches/fig8_topdown.rs
+
+crates/bench/benches/fig8_topdown.rs:

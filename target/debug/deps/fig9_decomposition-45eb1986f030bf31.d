@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_decomposition-45eb1986f030bf31.d: crates/bench/benches/fig9_decomposition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_decomposition-45eb1986f030bf31.rmeta: crates/bench/benches/fig9_decomposition.rs Cargo.toml
+
+crates/bench/benches/fig9_decomposition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_decomposition-cdbfea935267b280.d: crates/bench/benches/fig9_decomposition.rs
+
+/root/repo/target/debug/deps/fig9_decomposition-cdbfea935267b280: crates/bench/benches/fig9_decomposition.rs
+
+crates/bench/benches/fig9_decomposition.rs:

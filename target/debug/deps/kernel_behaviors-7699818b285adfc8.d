@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_behaviors-7699818b285adfc8.d: tests/kernel_behaviors.rs
+
+/root/repo/target/debug/deps/kernel_behaviors-7699818b285adfc8: tests/kernel_behaviors.rs
+
+tests/kernel_behaviors.rs:

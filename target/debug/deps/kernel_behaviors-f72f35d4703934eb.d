@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_behaviors-f72f35d4703934eb.d: tests/kernel_behaviors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_behaviors-f72f35d4703934eb.rmeta: tests/kernel_behaviors.rs Cargo.toml
+
+tests/kernel_behaviors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

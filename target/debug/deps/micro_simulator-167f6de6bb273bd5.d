@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_simulator-167f6de6bb273bd5.d: crates/bench/benches/micro_simulator.rs
+
+/root/repo/target/debug/deps/micro_simulator-167f6de6bb273bd5: crates/bench/benches/micro_simulator.rs
+
+crates/bench/benches/micro_simulator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_simulator-586a6e5a5f687564.d: crates/bench/benches/micro_simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_simulator-586a6e5a5f687564.rmeta: crates/bench/benches/micro_simulator.rs Cargo.toml
+
+crates/bench/benches/micro_simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-7df3479c755bb9b0.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-7df3479c755bb9b0.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-7df3479c755bb9b0.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_fidelity-58fb495b6e53a2b4.d: tests/pipeline_fidelity.rs
+
+/root/repo/target/debug/deps/pipeline_fidelity-58fb495b6e53a2b4: tests/pipeline_fidelity.rs
+
+tests/pipeline_fidelity.rs:

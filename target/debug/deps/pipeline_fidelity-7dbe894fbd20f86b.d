@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_fidelity-7dbe894fbd20f86b.d: tests/pipeline_fidelity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_fidelity-7dbe894fbd20f86b.rmeta: tests/pipeline_fidelity.rs Cargo.toml
+
+tests/pipeline_fidelity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

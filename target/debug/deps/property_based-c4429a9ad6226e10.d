@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-c4429a9ad6226e10.d: tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-c4429a9ad6226e10: tests/property_based.rs
+
+tests/property_based.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-b7557c701431d86b.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b7557c701431d86b.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b7557c701431d86b.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-c4f7fe05a546fb81.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c4f7fe05a546fb81.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c4f7fe05a546fb81.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

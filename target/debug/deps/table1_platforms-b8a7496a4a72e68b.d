@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_platforms-b8a7496a4a72e68b.d: crates/bench/benches/table1_platforms.rs
+
+/root/repo/target/debug/deps/table1_platforms-b8a7496a4a72e68b: crates/bench/benches/table1_platforms.rs
+
+crates/bench/benches/table1_platforms.rs:

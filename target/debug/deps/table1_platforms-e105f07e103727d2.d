@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_platforms-e105f07e103727d2.d: crates/bench/benches/table1_platforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_platforms-e105f07e103727d2.rmeta: crates/bench/benches/table1_platforms.rs Cargo.toml
+
+crates/bench/benches/table1_platforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

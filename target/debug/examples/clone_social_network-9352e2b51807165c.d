@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clone_social_network-9352e2b51807165c.d: examples/clone_social_network.rs
+
+/root/repo/target/debug/examples/clone_social_network-9352e2b51807165c: examples/clone_social_network.rs
+
+examples/clone_social_network.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/clone_social_network-c5c578e7ac29f080.d: examples/clone_social_network.rs Cargo.toml
+
+/root/repo/target/debug/examples/libclone_social_network-c5c578e7ac29f080.rmeta: examples/clone_social_network.rs Cargo.toml
+
+examples/clone_social_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/platform_study-2779f1ccbeebd98a.d: examples/platform_study.rs
+
+/root/repo/target/debug/examples/platform_study-2779f1ccbeebd98a: examples/platform_study.rs
+
+examples/platform_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/platform_study-efa36d2fe36100dc.d: examples/platform_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplatform_study-efa36d2fe36100dc.rmeta: examples/platform_study.rs Cargo.toml
+
+examples/platform_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_management-7e3a8dcc08fab083.d: examples/power_management.rs
+
+/root/repo/target/debug/examples/power_management-7e3a8dcc08fab083: examples/power_management.rs
+
+examples/power_management.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_management-db158fb35794169f.d: examples/power_management.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_management-db158fb35794169f.rmeta: examples/power_management.rs Cargo.toml
+
+examples/power_management.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d6eb2f4fb3384987.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d6eb2f4fb3384987: examples/quickstart.rs
+
+examples/quickstart.rs:

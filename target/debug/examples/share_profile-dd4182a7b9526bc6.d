@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/share_profile-dd4182a7b9526bc6.d: examples/share_profile.rs
+
+/root/repo/target/debug/examples/share_profile-dd4182a7b9526bc6: examples/share_profile.rs
+
+examples/share_profile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/share_profile-e85891c355678d9c.d: examples/share_profile.rs Cargo.toml
+
+/root/repo/target/debug/examples/libshare_profile-e85891c355678d9c.rmeta: examples/share_profile.rs Cargo.toml
+
+examples/share_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ditto-84f8b58edae789c7.d: src/lib.rs
+
+/root/repo/target/release/deps/libditto-84f8b58edae789c7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libditto-84f8b58edae789c7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ditto_app-65291eda3c7483ec.d: crates/app/src/lib.rs crates/app/src/apps.rs crates/app/src/handlers.rs crates/app/src/resilience.rs crates/app/src/service.rs crates/app/src/social.rs crates/app/src/stressors.rs
+
+/root/repo/target/release/deps/ditto_app-65291eda3c7483ec: crates/app/src/lib.rs crates/app/src/apps.rs crates/app/src/handlers.rs crates/app/src/resilience.rs crates/app/src/service.rs crates/app/src/social.rs crates/app/src/stressors.rs
+
+crates/app/src/lib.rs:
+crates/app/src/apps.rs:
+crates/app/src/handlers.rs:
+crates/app/src/resilience.rs:
+crates/app/src/service.rs:
+crates/app/src/social.rs:
+crates/app/src/stressors.rs:

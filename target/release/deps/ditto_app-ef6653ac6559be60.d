@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ditto_app-ef6653ac6559be60.d: crates/app/src/lib.rs crates/app/src/apps.rs crates/app/src/handlers.rs crates/app/src/resilience.rs crates/app/src/service.rs crates/app/src/social.rs crates/app/src/stressors.rs
+
+/root/repo/target/release/deps/libditto_app-ef6653ac6559be60.rlib: crates/app/src/lib.rs crates/app/src/apps.rs crates/app/src/handlers.rs crates/app/src/resilience.rs crates/app/src/service.rs crates/app/src/social.rs crates/app/src/stressors.rs
+
+/root/repo/target/release/deps/libditto_app-ef6653ac6559be60.rmeta: crates/app/src/lib.rs crates/app/src/apps.rs crates/app/src/handlers.rs crates/app/src/resilience.rs crates/app/src/service.rs crates/app/src/social.rs crates/app/src/stressors.rs
+
+crates/app/src/lib.rs:
+crates/app/src/apps.rs:
+crates/app/src/handlers.rs:
+crates/app/src/resilience.rs:
+crates/app/src/service.rs:
+crates/app/src/social.rs:
+crates/app/src/stressors.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ditto_bench-5cabde4592bd1df2.d: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/social_experiment.rs
+
+/root/repo/target/release/deps/libditto_bench-5cabde4592bd1df2.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/social_experiment.rs
+
+/root/repo/target/release/deps/libditto_bench-5cabde4592bd1df2.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs crates/bench/src/social_experiment.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+crates/bench/src/social_experiment.rs:

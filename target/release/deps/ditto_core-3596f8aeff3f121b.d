@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ditto_core-3596f8aeff3f121b.d: crates/core/src/lib.rs crates/core/src/body_gen.rs crates/core/src/clone.rs crates/core/src/harness.rs crates/core/src/skeleton.rs crates/core/src/stages.rs crates/core/src/tuner.rs
+
+/root/repo/target/release/deps/libditto_core-3596f8aeff3f121b.rlib: crates/core/src/lib.rs crates/core/src/body_gen.rs crates/core/src/clone.rs crates/core/src/harness.rs crates/core/src/skeleton.rs crates/core/src/stages.rs crates/core/src/tuner.rs
+
+/root/repo/target/release/deps/libditto_core-3596f8aeff3f121b.rmeta: crates/core/src/lib.rs crates/core/src/body_gen.rs crates/core/src/clone.rs crates/core/src/harness.rs crates/core/src/skeleton.rs crates/core/src/stages.rs crates/core/src/tuner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/body_gen.rs:
+crates/core/src/clone.rs:
+crates/core/src/harness.rs:
+crates/core/src/skeleton.rs:
+crates/core/src/stages.rs:
+crates/core/src/tuner.rs:

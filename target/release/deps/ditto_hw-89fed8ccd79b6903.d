@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ditto_hw-89fed8ccd79b6903.d: crates/hw/src/lib.rs crates/hw/src/branch.rs crates/hw/src/cache.rs crates/hw/src/codegen.rs crates/hw/src/core_model.rs crates/hw/src/counters.rs crates/hw/src/device.rs crates/hw/src/isa.rs crates/hw/src/platform.rs
+
+/root/repo/target/release/deps/libditto_hw-89fed8ccd79b6903.rlib: crates/hw/src/lib.rs crates/hw/src/branch.rs crates/hw/src/cache.rs crates/hw/src/codegen.rs crates/hw/src/core_model.rs crates/hw/src/counters.rs crates/hw/src/device.rs crates/hw/src/isa.rs crates/hw/src/platform.rs
+
+/root/repo/target/release/deps/libditto_hw-89fed8ccd79b6903.rmeta: crates/hw/src/lib.rs crates/hw/src/branch.rs crates/hw/src/cache.rs crates/hw/src/codegen.rs crates/hw/src/core_model.rs crates/hw/src/counters.rs crates/hw/src/device.rs crates/hw/src/isa.rs crates/hw/src/platform.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/branch.rs:
+crates/hw/src/cache.rs:
+crates/hw/src/codegen.rs:
+crates/hw/src/core_model.rs:
+crates/hw/src/counters.rs:
+crates/hw/src/device.rs:
+crates/hw/src/isa.rs:
+crates/hw/src/platform.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ditto_kernel-dbb2b05d0d25e0cc.d: crates/kernel/src/lib.rs crates/kernel/src/cluster.rs crates/kernel/src/fault.rs crates/kernel/src/fs.rs crates/kernel/src/ids.rs crates/kernel/src/kcode.rs crates/kernel/src/lru.rs crates/kernel/src/machine.rs crates/kernel/src/net.rs crates/kernel/src/probe.rs crates/kernel/src/thread.rs
+
+/root/repo/target/release/deps/libditto_kernel-dbb2b05d0d25e0cc.rlib: crates/kernel/src/lib.rs crates/kernel/src/cluster.rs crates/kernel/src/fault.rs crates/kernel/src/fs.rs crates/kernel/src/ids.rs crates/kernel/src/kcode.rs crates/kernel/src/lru.rs crates/kernel/src/machine.rs crates/kernel/src/net.rs crates/kernel/src/probe.rs crates/kernel/src/thread.rs
+
+/root/repo/target/release/deps/libditto_kernel-dbb2b05d0d25e0cc.rmeta: crates/kernel/src/lib.rs crates/kernel/src/cluster.rs crates/kernel/src/fault.rs crates/kernel/src/fs.rs crates/kernel/src/ids.rs crates/kernel/src/kcode.rs crates/kernel/src/lru.rs crates/kernel/src/machine.rs crates/kernel/src/net.rs crates/kernel/src/probe.rs crates/kernel/src/thread.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/cluster.rs:
+crates/kernel/src/fault.rs:
+crates/kernel/src/fs.rs:
+crates/kernel/src/ids.rs:
+crates/kernel/src/kcode.rs:
+crates/kernel/src/lru.rs:
+crates/kernel/src/machine.rs:
+crates/kernel/src/net.rs:
+crates/kernel/src/probe.rs:
+crates/kernel/src/thread.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ditto_profile-8446599768930762.d: crates/profile/src/lib.rs crates/profile/src/hierarchy.rs crates/profile/src/instr_profile.rs crates/profile/src/metrics.rs crates/profile/src/profile.rs crates/profile/src/stackdist.rs crates/profile/src/syscall_profile.rs crates/profile/src/thread_model.rs
+
+/root/repo/target/release/deps/libditto_profile-8446599768930762.rlib: crates/profile/src/lib.rs crates/profile/src/hierarchy.rs crates/profile/src/instr_profile.rs crates/profile/src/metrics.rs crates/profile/src/profile.rs crates/profile/src/stackdist.rs crates/profile/src/syscall_profile.rs crates/profile/src/thread_model.rs
+
+/root/repo/target/release/deps/libditto_profile-8446599768930762.rmeta: crates/profile/src/lib.rs crates/profile/src/hierarchy.rs crates/profile/src/instr_profile.rs crates/profile/src/metrics.rs crates/profile/src/profile.rs crates/profile/src/stackdist.rs crates/profile/src/syscall_profile.rs crates/profile/src/thread_model.rs
+
+crates/profile/src/lib.rs:
+crates/profile/src/hierarchy.rs:
+crates/profile/src/instr_profile.rs:
+crates/profile/src/metrics.rs:
+crates/profile/src/profile.rs:
+crates/profile/src/stackdist.rs:
+crates/profile/src/syscall_profile.rs:
+crates/profile/src/thread_model.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ditto_sim-6db402779c22850a.d: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/quant.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libditto_sim-6db402779c22850a.rlib: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/quant.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libditto_sim-6db402779c22850a.rmeta: crates/sim/src/lib.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/quant.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/quant.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ditto_trace-ae7cb0a0465df16b.d: crates/trace/src/lib.rs crates/trace/src/graph.rs crates/trace/src/span.rs
+
+/root/repo/target/release/deps/ditto_trace-ae7cb0a0465df16b: crates/trace/src/lib.rs crates/trace/src/graph.rs crates/trace/src/span.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/graph.rs:
+crates/trace/src/span.rs:

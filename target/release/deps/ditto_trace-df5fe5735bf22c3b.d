@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ditto_trace-df5fe5735bf22c3b.d: crates/trace/src/lib.rs crates/trace/src/graph.rs crates/trace/src/span.rs
+
+/root/repo/target/release/deps/libditto_trace-df5fe5735bf22c3b.rlib: crates/trace/src/lib.rs crates/trace/src/graph.rs crates/trace/src/span.rs
+
+/root/repo/target/release/deps/libditto_trace-df5fe5735bf22c3b.rmeta: crates/trace/src/lib.rs crates/trace/src/graph.rs crates/trace/src/span.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/graph.rs:
+crates/trace/src/span.rs:

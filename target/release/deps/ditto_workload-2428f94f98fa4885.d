@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ditto_workload-2428f94f98fa4885.d: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/open_loop.rs crates/workload/src/recorder.rs
+
+/root/repo/target/release/deps/libditto_workload-2428f94f98fa4885.rlib: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/open_loop.rs crates/workload/src/recorder.rs
+
+/root/repo/target/release/deps/libditto_workload-2428f94f98fa4885.rmeta: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/open_loop.rs crates/workload/src/recorder.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/closed_loop.rs:
+crates/workload/src/open_loop.rs:
+crates/workload/src/recorder.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ditto_workload-aa21c04701856971.d: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/open_loop.rs crates/workload/src/recorder.rs
+
+/root/repo/target/release/deps/ditto_workload-aa21c04701856971: crates/workload/src/lib.rs crates/workload/src/closed_loop.rs crates/workload/src/open_loop.rs crates/workload/src/recorder.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/closed_loop.rs:
+crates/workload/src/open_loop.rs:
+crates/workload/src/recorder.rs:

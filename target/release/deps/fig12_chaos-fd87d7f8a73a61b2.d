@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_chaos-fd87d7f8a73a61b2.d: crates/bench/benches/fig12_chaos.rs
+
+/root/repo/target/release/deps/fig12_chaos-fd87d7f8a73a61b2: crates/bench/benches/fig12_chaos.rs
+
+crates/bench/benches/fig12_chaos.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-cf1e245c932ba3dd.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-cf1e245c932ba3dd.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-cf1e245c932ba3dd.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

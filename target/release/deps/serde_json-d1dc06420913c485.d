@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-d1dc06420913c485.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-d1dc06420913c485.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-d1dc06420913c485.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

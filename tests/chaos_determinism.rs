@@ -1,0 +1,125 @@
+//! Chaos-layer determinism: the property that makes fault experiments
+//! meaningful. Replaying the same cluster seed and the same [`FaultPlan`]
+//! must reproduce the run bit-for-bit — same latency histogram buckets,
+//! same success/timeout/error counts, same number of dropped messages and
+//! reset connections. Without this, "original and clone saw identical
+//! failures" (the fig12 experiment) would not hold.
+
+use ditto_app::apps;
+use ditto_hw::platform::PlatformSpec;
+use ditto_kernel::{Cluster, Fault, FaultPlan, NodeId};
+use ditto_sim::stats::LatencyHistogram;
+use ditto_sim::time::{SimDuration, SimTime};
+use ditto_workload::{ClosedLoopConfig, OpenLoopConfig, Recorder};
+
+fn at_ms(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(n)
+}
+
+/// A schedule exercising every probabilistic fault path: lossy jittered
+/// link, a transient partition, disk slowdown, and a final server crash.
+fn chaos_plan() -> FaultPlan {
+    let (a, b) = (NodeId(0), NodeId(1));
+    FaultPlan::new(0xD177_0CA0)
+        .push(
+            at_ms(20),
+            Fault::LinkDegrade {
+                a,
+                b,
+                drop_prob: 0.05,
+                extra_latency: SimDuration::from_micros(200),
+                jitter: SimDuration::from_micros(100),
+            },
+        )
+        .push(at_ms(45), Fault::Partition { a, b })
+        .push(at_ms(55), Fault::LinkHeal { a, b })
+        .push(at_ms(65), Fault::DiskDegrade { node: a, factor: 4.0 })
+        .push(at_ms(80), Fault::NodeCrash { node: a })
+}
+
+#[derive(Debug, PartialEq)]
+struct RunFingerprint {
+    hist: LatencyHistogram,
+    sent: u64,
+    received: u64,
+    degraded: u64,
+    timeouts: u64,
+    errors: u64,
+    dropped_messages: u64,
+    reset_connections: u64,
+}
+
+fn run_once(closed_loop: bool) -> RunFingerprint {
+    let mut cluster = Cluster::new(vec![PlatformSpec::a(), PlatformSpec::c()], 0xB0B0);
+    let spec = if closed_loop { apps::redis(9000) } else { apps::memcached(9000) };
+    spec.deploy(&mut cluster, NodeId(0));
+    cluster.install_faults(&chaos_plan());
+    cluster.run_for(SimDuration::from_millis(10));
+
+    let recorder = Recorder::new();
+    if closed_loop {
+        let mut cfg = ClosedLoopConfig::new(NodeId(0), 9000, 4);
+        cfg.timeout = SimDuration::from_millis(20);
+        cfg.spawn(&mut cluster, NodeId(1), &recorder);
+    } else {
+        let mut cfg = OpenLoopConfig::new(NodeId(0), 9000, 5_000.0);
+        cfg.timeout = SimDuration::from_millis(20);
+        cfg.spawn(&mut cluster, NodeId(1), &recorder);
+    }
+    cluster.run_for(SimDuration::from_millis(95));
+
+    let s = recorder.summary(SimDuration::from_millis(95));
+    let faults = cluster.fault_state();
+    RunFingerprint {
+        hist: recorder.histogram(),
+        sent: s.sent,
+        received: s.received,
+        degraded: s.degraded,
+        timeouts: s.timeouts,
+        errors: s.errors,
+        dropped_messages: faults.dropped_messages,
+        reset_connections: faults.reset_connections,
+    }
+}
+
+#[test]
+fn same_seed_same_plan_is_bit_identical_open_loop() {
+    let a = run_once(false);
+    let b = run_once(false);
+    // The faults must actually have fired, or determinism is vacuous.
+    assert!(a.sent > 0, "load ran: {a:?}");
+    assert!(a.dropped_messages > 0, "lossy link dropped something: {a:?}");
+    assert!(a.reset_connections > 0, "crash reset connections: {a:?}");
+    assert!(
+        a.timeouts + a.errors > 0,
+        "clients observed the faults: {a:?}"
+    );
+    assert_eq!(a, b);
+}
+
+#[test]
+fn same_seed_same_plan_is_bit_identical_closed_loop() {
+    let a = run_once(true);
+    let b = run_once(true);
+    assert!(a.sent > 0, "load ran: {a:?}");
+    assert!(a.reset_connections > 0, "crash reset connections: {a:?}");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_plan_seed_diverges() {
+    // Changing only the plan seed perturbs drop/jitter decisions; the run
+    // must actually depend on the injector's RNG stream.
+    let base = run_once(false);
+    let mut cluster = Cluster::new(vec![PlatformSpec::a(), PlatformSpec::c()], 0xB0B0);
+    apps::memcached(9000).deploy(&mut cluster, NodeId(0));
+    let plan = FaultPlan { seed: 0x0DD5_EED5, faults: chaos_plan().faults };
+    cluster.install_faults(&plan);
+    cluster.run_for(SimDuration::from_millis(10));
+    let recorder = Recorder::new();
+    let mut cfg = OpenLoopConfig::new(NodeId(0), 9000, 5_000.0);
+    cfg.timeout = SimDuration::from_millis(20);
+    cfg.spawn(&mut cluster, NodeId(1), &recorder);
+    cluster.run_for(SimDuration::from_millis(95));
+    assert_ne!(recorder.histogram(), base.hist);
+}

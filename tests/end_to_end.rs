@@ -2,7 +2,7 @@
 //! the simulated kernel under real load generators.
 
 use ditto::app::apps;
-use ditto::app::{deploy_social_network, ServiceSpec};
+use ditto::app::deploy_social_network;
 use ditto::hw::platform::PlatformSpec;
 use ditto::kernel::{Cluster, NodeId};
 use ditto::sim::time::SimDuration;

@@ -45,7 +45,7 @@ impl ThreadBody for EchoServer {
             2 => {
                 self.conn = ctx.last.fd();
                 self.state = 3;
-                Action::Syscall(Syscall::Recv { fd: self.conn.unwrap() })
+                Action::Syscall(Syscall::Recv { fd: self.conn.unwrap(), timeout: None })
             }
             3 => match ctx.last.msg() {
                 Some(msg) => {
@@ -61,7 +61,7 @@ impl ThreadBody for EchoServer {
             _ => {
                 // Send completed; wait for the next request.
                 self.state = 3;
-                Action::Syscall(Syscall::Recv { fd: self.conn.unwrap() })
+                Action::Syscall(Syscall::Recv { fd: self.conn.unwrap(), timeout: None })
             }
         }
     }
@@ -99,7 +99,7 @@ impl ThreadBody for PingClient {
             }
             2 => {
                 self.state = 3;
-                Action::Syscall(Syscall::Recv { fd: self.fd.unwrap() })
+                Action::Syscall(Syscall::Recv { fd: self.fd.unwrap(), timeout: None })
             }
             _ => {
                 if ctx.last.msg().is_some() {

@@ -1,6 +1,11 @@
 //! Property-based tests over core data structures and invariants.
+//!
+//! Inputs are generated from seeded [`SimRng`] streams rather than a
+//! shrinking framework (the build environment has no registry access, so
+//! proptest is unavailable); every case is deterministic, and failures
+//! print the case index so they can be replayed exactly.
 
-use ditto::hw::cache::{Cache, CacheSpec, MemLatencies, MemorySystem};
+use ditto::hw::cache::{Cache, CacheSpec, HitLevel, MemLatencies, MemorySystem};
 use ditto::hw::codegen::{Body, BodyParams};
 use ditto::hw::isa::BranchBehavior;
 use ditto::profile::StackDistance;
@@ -9,13 +14,20 @@ use ditto::sim::quant::{dep_bin, dep_from_bin, rate_bin, rate_from_bin, BinHisto
 use ditto::sim::rng::SimRng;
 use ditto::sim::stats::LatencyHistogram;
 use ditto::sim::time::SimDuration;
-use proptest::prelude::*;
 
-proptest! {
-    /// The latency histogram's percentile error is bounded by its
-    /// sub-bucket resolution (~1/32), and percentiles are monotone.
-    #[test]
-    fn histogram_percentiles_bounded_and_monotone(values in prop::collection::vec(1u64..10_000_000_000, 1..200)) {
+/// Generates a vector of `len ∈ [min_len, max_len)` values in `[lo, hi)`.
+fn gen_vec(rng: &mut SimRng, min_len: u64, max_len: u64, lo: u64, hi: u64) -> Vec<u64> {
+    let len = rng.range(min_len, max_len) as usize;
+    (0..len).map(|_| rng.range(lo, hi)).collect()
+}
+
+/// The latency histogram's percentile error is bounded by its sub-bucket
+/// resolution (~1/32), and percentiles are monotone.
+#[test]
+fn histogram_percentiles_bounded_and_monotone() {
+    let mut rng = SimRng::seed(101);
+    for case in 0..64 {
+        let values = gen_vec(&mut rng, 1, 200, 1, 10_000_000_000);
         let mut h = LatencyHistogram::new();
         for &v in &values {
             h.record(SimDuration::from_nanos(v));
@@ -23,19 +35,23 @@ proptest! {
         let p50 = h.percentile(50.0);
         let p95 = h.percentile(95.0);
         let p99 = h.percentile(99.0);
-        prop_assert!(p50 <= p95 && p95 <= p99);
-        prop_assert!(p99 <= h.max());
+        assert!(p50 <= p95 && p95 <= p99, "case {case}");
+        assert!(p99 <= h.max(), "case {case}");
         let mut sorted = values.clone();
         sorted.sort_unstable();
         let exact_p50 = sorted[(values.len() - 1) / 2] as f64;
         let got = p50.as_nanos() as f64;
-        prop_assert!(got <= exact_p50 * 1.05 + 32.0, "p50 {got} exact {exact_p50}");
+        assert!(got <= exact_p50 * 1.05 + 32.0, "case {case}: p50 {got} exact {exact_p50}");
     }
+}
 
-    /// Reuse-distance hit curves are monotone in cache size and bounded
-    /// by the total access count.
-    #[test]
-    fn hit_curves_monotone(addrs in prop::collection::vec(0u64..65_536, 1..2_000)) {
+/// Reuse-distance hit curves are monotone in cache size and bounded by the
+/// total access count.
+#[test]
+fn hit_curves_monotone() {
+    let mut rng = SimRng::seed(202);
+    for case in 0..32 {
+        let addrs = gen_vec(&mut rng, 1, 2_000, 0, 65_536);
         let mut sd = StackDistance::new();
         for &a in &addrs {
             sd.access(a * 64);
@@ -44,21 +60,25 @@ proptest! {
         let mut last = 0;
         for i in 0..20 {
             let h = curve.hits(64 << i);
-            prop_assert!(h >= last);
-            prop_assert!(h + curve.cold() <= curve.total());
+            assert!(h >= last, "case {case}");
+            assert!(h + curve.cold() <= curve.total(), "case {case}");
             last = h;
         }
         // Equation 1 partitions all accesses.
         let parts = curve.accesses_per_working_set(1 << 26);
         let total: u64 = parts.iter().map(|&(_, a)| a).sum();
-        prop_assert_eq!(total, curve.total());
+        assert_eq!(total, curve.total(), "case {case}");
     }
+}
 
-    /// A fully-associative-equivalent LRU cache hit happens iff the reuse
-    /// distance is below capacity: cross-check StackDistance against a
-    /// real Cache for single-set configurations.
-    #[test]
-    fn stack_distance_agrees_with_real_cache(addrs in prop::collection::vec(0u64..64, 1..500)) {
+/// A fully-associative-equivalent LRU cache hit happens iff the reuse
+/// distance is below capacity: cross-check StackDistance against a real
+/// Cache for single-set configurations.
+#[test]
+fn stack_distance_agrees_with_real_cache() {
+    let mut rng = SimRng::seed(303);
+    for case in 0..48 {
+        let addrs = gen_vec(&mut rng, 1, 500, 0, 64);
         // 16-line fully-associative cache (1 set × 16 ways).
         let mut cache = Cache::new(CacheSpec::new(16 * 64, 16, 1));
         let mut sd = StackDistance::new();
@@ -72,30 +92,40 @@ proptest! {
             sd.access(a * 64);
         }
         let curve = sd.into_curve();
-        prop_assert_eq!(curve.hits(16 * 64), cache_hits);
+        assert_eq!(curve.hits(16 * 64), cache_hits, "case {case}");
     }
+}
 
-    /// Quantization bins round-trip through their representative values.
-    #[test]
-    fn quantization_roundtrips(p in 0.0009765f64..0.5, d in 1u64..100_000) {
+/// Quantization bins round-trip through their representative values.
+#[test]
+fn quantization_roundtrips() {
+    let mut rng = SimRng::seed(404);
+    for case in 0..256 {
+        let p = 0.0009765 + rng.f64() * (0.5 - 0.0009765);
+        let d = rng.range(1, 100_000);
         let b = rate_bin(p);
-        prop_assert!(b < 10);
-        prop_assert_eq!(rate_bin(rate_from_bin(b)), b);
+        assert!(b < 10, "case {case}");
+        assert_eq!(rate_bin(rate_from_bin(b)), b, "case {case}");
         let db = dep_bin(d);
-        prop_assert!(db < 11);
-        prop_assert_eq!(dep_bin(dep_from_bin(db)), db);
+        assert!(db < 11, "case {case}");
+        assert_eq!(dep_bin(dep_from_bin(db)), db, "case {case}");
         // Binning is monotone: larger distances never get smaller bins.
-        prop_assert!(dep_bin(d.saturating_mul(2)) >= db);
+        assert!(dep_bin(d.saturating_mul(2)) >= db, "case {case}");
     }
+}
 
-    /// Branch behaviours always stay in the feasible Markov region, and
-    /// the realised outcome stream approximates the requested rates.
-    #[test]
-    fn branch_behavior_realises_rates(taken in 0.02f64..0.98, trans in 0.01f64..0.9) {
+/// Branch behaviours always stay in the feasible Markov region, and the
+/// realised outcome stream approximates the requested rates.
+#[test]
+fn branch_behavior_realises_rates() {
+    let mut gen = SimRng::seed(505);
+    for case in 0..24 {
+        let taken = 0.02 + gen.f64() * 0.96;
+        let trans = 0.01 + gen.f64() * 0.89;
         let b = BranchBehavior::new(taken, trans);
         let (a, bb) = b.flip_probs();
-        prop_assert!((0.0..=1.0).contains(&a));
-        prop_assert!((0.0..=1.0).contains(&bb));
+        assert!((0.0..=1.0).contains(&a), "case {case}");
+        assert!((0.0..=1.0).contains(&bb), "case {case}");
         let mut rng = SimRng::seed(taken.to_bits() ^ trans.to_bits());
         let mut state = rng.chance(b.taken_rate);
         let n = 40_000;
@@ -116,62 +146,95 @@ proptest! {
         }
         let realised_taken = f64::from(taken_count) / f64::from(n);
         let realised_trans = f64::from(transitions) / f64::from(n);
-        prop_assert!((realised_taken - b.taken_rate).abs() < 0.08,
-            "taken {realised_taken} vs {}", b.taken_rate);
-        prop_assert!((realised_trans - b.transition_rate).abs() < 0.05,
-            "trans {realised_trans} vs {}", b.transition_rate);
+        assert!(
+            (realised_taken - b.taken_rate).abs() < 0.08,
+            "case {case}: taken {realised_taken} vs {}",
+            b.taken_rate
+        );
+        assert!(
+            (realised_trans - b.transition_rate).abs() < 0.05,
+            "case {case}: trans {realised_trans} vs {}",
+            b.transition_rate
+        );
     }
+}
 
-    /// Discrete distributions sample only their items and respect
-    /// zero weights.
-    #[test]
-    fn discrete_samples_valid_items(weights in prop::collection::vec(0.0f64..10.0, 1..20), seed: u64) {
+/// Discrete distributions sample only their items and respect zero
+/// weights.
+#[test]
+fn discrete_samples_valid_items() {
+    let mut gen = SimRng::seed(606);
+    for case in 0..64 {
+        let len = gen.range(1, 20) as usize;
+        let weights: Vec<f64> = (0..len)
+            .map(|_| if gen.chance(0.25) { 0.0 } else { gen.f64() * 10.0 })
+            .collect();
         let total: f64 = weights.iter().sum();
-        prop_assume!(total > 0.001);
+        if total <= 0.001 {
+            continue;
+        }
         let pairs: Vec<(usize, f64)> = weights.iter().copied().enumerate().collect();
         let d = Discrete::new(pairs).unwrap();
-        let mut rng = SimRng::seed(seed);
+        let mut rng = SimRng::seed(gen.next_u64());
         for _ in 0..200 {
             let &i = d.sample(&mut rng);
-            prop_assert!(i < weights.len());
-            prop_assert!(weights[i] > 0.0, "sampled zero-weight item {i}");
+            assert!(i < weights.len(), "case {case}");
+            assert!(weights[i] > 0.0, "case {case}: sampled zero-weight item {i}");
         }
     }
+}
 
-    /// Exponential samples are non-negative and average near the mean.
-    #[test]
-    fn exponential_mean(mean in 0.001f64..1000.0, seed: u64) {
+/// Exponential samples are non-negative and average near the mean.
+#[test]
+fn exponential_mean() {
+    let mut gen = SimRng::seed(707);
+    for case in 0..24 {
+        let mean = 0.001 + gen.f64() * 1000.0;
         let d = Exponential::with_mean(mean);
-        let mut rng = SimRng::seed(seed);
+        let mut rng = SimRng::seed(gen.next_u64());
         let n = 3_000;
-        let sum: f64 = (0..n).map(|_| {
-            let x = d.sample(&mut rng);
-            assert!(x >= 0.0);
-            x
-        }).sum();
+        let sum: f64 = (0..n)
+            .map(|_| {
+                let x = d.sample(&mut rng);
+                assert!(x >= 0.0);
+                x
+            })
+            .sum();
         let avg = sum / f64::from(n);
-        prop_assert!((avg - mean).abs() < mean * 0.2, "avg {avg} mean {mean}");
+        assert!((avg - mean).abs() < mean * 0.2, "case {case}: avg {avg} mean {mean}");
     }
+}
 
-    /// Zipf indices stay in range and skew monotonically to the head.
-    #[test]
-    fn zipf_in_range(n in 1usize..500, s in 0.0f64..3.0, seed: u64) {
+/// Zipf indices stay in range across sizes and skews.
+#[test]
+fn zipf_in_range() {
+    let mut gen = SimRng::seed(808);
+    for case in 0..48 {
+        let n = gen.range(1, 500) as usize;
+        let s = gen.f64() * 3.0;
         let z = Zipf::new(n, s);
-        let mut rng = SimRng::seed(seed);
+        let mut rng = SimRng::seed(gen.next_u64());
         for _ in 0..100 {
-            prop_assert!(z.index(&mut rng) < n);
+            assert!(z.index(&mut rng) < n, "case {case}");
         }
     }
+}
 
-    /// Materialised bodies respect their instruction budget on average
-    /// and every memory operand stays inside its working-set window.
-    #[test]
-    fn body_materialization_invariants(instructions in 500u64..20_000, seed: u64) {
+/// Materialised bodies respect their instruction budget on average and
+/// every memory operand stays inside its working-set window.
+#[test]
+fn body_materialization_invariants() {
+    let mut gen = SimRng::seed(909);
+    for case in 0..12 {
+        let instructions = gen.range(500, 20_000);
+        let seed = gen.next_u64();
         let params = BodyParams::minimal(instructions, 0x40_0000, seed);
         let body = Body::new(&params);
         let mean = body.mean_instructions();
-        prop_assert!((mean - instructions as f64).abs() < instructions as f64 * 0.2,
-            "mean {mean} target {instructions}");
+        assert!(
+            (mean - instructions as f64).abs() < instructions as f64 * 0.2,
+            "case {case}: mean {mean} target {instructions}"
+        );
         let mut rng = SimRng::seed(seed ^ 1);
         let prog = body.instantiate(&mut rng);
         for run in &prog.runs {
@@ -180,38 +243,51 @@ proptest! {
                     for iter in [0u32, 1, 7, 1000] {
                         let off = m.offset_at(iter.wrapping_add(run.phase));
                         if m.window_mask > 0 {
-                            prop_assert!(off <= m.window_mask);
+                            assert!(off <= m.window_mask, "case {case}");
                         }
                     }
                 }
                 if let Some(b) = i.branch {
-                    prop_assert!((b as usize) < run.block.branches.len());
+                    assert!((b as usize) < run.block.branches.len(), "case {case}");
                 }
             }
         }
     }
+}
 
-    /// Histograms preserve totals under arbitrary adds.
-    #[test]
-    fn bin_histogram_totals(adds in prop::collection::vec((0usize..30, 1u64..100), 0..50)) {
+/// Histograms preserve totals under arbitrary adds.
+#[test]
+fn bin_histogram_totals() {
+    let mut gen = SimRng::seed(1010);
+    for case in 0..64 {
+        let n_adds = gen.below(50) as usize;
         let mut h = BinHistogram::new(4);
         let mut expect = 0u64;
-        for &(bin, n) in &adds {
+        for _ in 0..n_adds {
+            let bin = gen.below(30) as usize;
+            let n = gen.range(1, 100);
             h.add(bin, n);
             expect += n;
         }
-        prop_assert_eq!(h.total(), expect);
+        assert_eq!(h.total(), expect, "case {case}");
         let w = h.weights();
         if expect > 0 {
             let sum: f64 = w.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-9);
+            assert!((sum - 1.0).abs() < 1e-9, "case {case}");
         }
     }
+}
 
-    /// The coherent memory system never reports an L1 hit immediately
-    /// after another core wrote the same line.
-    #[test]
-    fn coherence_never_stale(ops in prop::collection::vec((0usize..2, 0u64..8, any::<bool>()), 1..300)) {
+/// The coherent memory system never reports an L1 hit immediately after
+/// another core wrote the same line.
+#[test]
+fn coherence_never_stale() {
+    let mut gen = SimRng::seed(1111);
+    for case in 0..32 {
+        let n_ops = gen.range(1, 300) as usize;
+        let ops: Vec<(usize, u64, bool)> = (0..n_ops)
+            .map(|_| (gen.below(2) as usize, gen.below(8), gen.chance(0.5)))
+            .collect();
         let mut m = MemorySystem::new(
             2,
             CacheSpec::new(8 * 64, 2, 0),
@@ -227,16 +303,14 @@ proptest! {
                 if w != core {
                     // The previous writer invalidated us: this access
                     // cannot have been served from our private L1.
-                    prop_assert!(out.level != ditto::hw::cache::HitLevel::L1,
-                        "stale L1 hit on line {line} after core {w} wrote");
+                    assert!(
+                        out.level != HitLevel::L1,
+                        "case {case}: stale L1 hit on line {line} after core {w} wrote"
+                    );
                 }
             }
             if write {
                 last_writer[line as usize] = Some(core);
-            } else if last_writer[line as usize] != Some(core) {
-                // Reading re-shares the line; next conflicting check resets.
-                if last_writer[line as usize].is_some() && write {
-                } // no-op; readers keep last_writer
             }
             // After any access by this core, prior writes are absorbed.
             if last_writer[line as usize] != Some(core) {
