@@ -1,0 +1,122 @@
+//! The full clone-fidelity matrix: service × platform × load × seed, each
+//! cell measuring original vs untuned clone vs fine-tuned clone, fanned
+//! out across the experiment fleet.
+//!
+//! Default mode sweeps all four single-tier services on Platforms A and B
+//! with two seeds. `--quick` (the CI smoke gate) shrinks the matrix to
+//! two services × Platform A × one seed with short windows and a
+//! 2-iteration tuner — small enough for a PR gate, still end-to-end
+//! through profile → generate → tune → validate.
+//!
+//! The matrix is run TWICE against one [`ProfileCache`]; the second pass
+//! must be all cache hits for the profile/tune stages and must produce
+//! the identical cell table, which the harness asserts. This is the
+//! in-CI proof that memoization is sound (same values) and effective
+//! (no redundant profiling runs).
+
+use ditto_bench::report::{fmt, table, ErrorSummary};
+use ditto_bench::AppId;
+use ditto_core::fleet::{run_fidelity_matrix, FidelityMatrix, MatrixConfig, ProfileCache};
+use ditto_hw::platform::PlatformSpec;
+
+fn cell_fingerprint(m: &FidelityMatrix) -> Vec<String> {
+    m.cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{}/{}/{}/{:#x}: ipc {:.6}/{:.6}/{:.6} p99 {}/{}/{}",
+                c.service,
+                c.platform,
+                c.load,
+                c.seed,
+                c.original.metrics.ipc,
+                c.untuned.metrics.ipc,
+                c.tuned.metrics.ipc,
+                c.original.load.latency.p99.as_nanos(),
+                c.untuned.load.latency.p99.as_nanos(),
+                c.tuned.load.latency.p99.as_nanos(),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    let (services, cfg) = if quick {
+        let services: Vec<_> =
+            [AppId::Memcached, AppId::Redis].iter().map(|a| a.service_entry()).collect();
+        (services, MatrixConfig::platform_a(vec![0xD177_0F1D]).quick())
+    } else {
+        let services: Vec<_> = AppId::ALL.iter().map(|a| a.service_entry()).collect();
+        let mut cfg = MatrixConfig::platform_a(vec![0xD177_0F1D, 0xD177_0F1E]);
+        cfg.platforms = vec![PlatformSpec::a(), PlatformSpec::b()];
+        (services, cfg)
+    };
+
+    let cache = ProfileCache::new();
+    let t0 = std::time::Instant::now();
+    let matrix = run_fidelity_matrix(&services, &cfg, &cache);
+    let first = t0.elapsed();
+    let (h1, m1) = (cache.hits(), cache.misses());
+
+    let t1 = std::time::Instant::now();
+    let rerun = run_fidelity_matrix(&services, &cfg, &cache);
+    let second = t1.elapsed();
+    let fresh_hits = cache.hits() - h1;
+    let fresh_misses = cache.misses() - m1;
+
+    assert_eq!(
+        cell_fingerprint(&matrix),
+        cell_fingerprint(&rerun),
+        "cached rerun diverged from the first pass"
+    );
+    assert_eq!(fresh_misses, 0, "rerun recomputed {fresh_misses} profile/tune passes");
+    assert!(fresh_hits > 0, "rerun never touched the cache");
+
+    let mut summary = ErrorSummary::new();
+    let mut rows = Vec::new();
+    for cell in &matrix.cells {
+        summary.add(&cell.tuned_errors());
+        let untuned_worst =
+            cell.untuned_errors().iter().map(|&(_, e)| e).fold(0.0f64, f64::max);
+        rows.push(vec![
+            cell.service.clone(),
+            cell.platform.clone(),
+            cell.load.clone(),
+            format!("{:#x}", cell.seed),
+            fmt(cell.original.metrics.ipc),
+            fmt(cell.tuned.metrics.ipc),
+            format!("{untuned_worst:.1}%"),
+            format!("{:.1}%", cell.worst_tuned_error()),
+        ]);
+    }
+    table(
+        if quick {
+            "Fidelity matrix (--quick: 2 services × platform A × 1 seed)"
+        } else {
+            "Fidelity matrix (4 services × platforms A,B × 2 seeds)"
+        },
+        &["service", "platform", "load", "seed", "IPC orig", "IPC tuned", "worst untuned",
+          "worst tuned"],
+        &rows,
+    );
+    summary.print("Mean tuned-clone relative errors across the matrix");
+    if let Some(worst) = matrix.worst_cell() {
+        eprintln!(
+            "[matrix] worst cell {}/{}/{} seed {:#x}: {:.1}%",
+            worst.service,
+            worst.platform,
+            worst.load,
+            worst.seed,
+            worst.worst_tuned_error()
+        );
+    }
+    eprintln!(
+        "[matrix] {} cells; first pass {:.2?} ({m1} profile/tune computations), cached rerun \
+         {:.2?} ({fresh_hits} hits, 0 misses)",
+        matrix.cells.len(),
+        first,
+        second,
+    );
+}

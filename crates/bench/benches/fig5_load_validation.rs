@@ -5,59 +5,50 @@
 //!
 //! Clones are generated from profiling at MEDIUM load only, like the
 //! paper ("Ditto has not profiled any other load"), then validated at all
-//! three load points.
+//! three load points. The whole sweep runs through the experiment fleet:
+//! (service, seed) groups fan out across worker threads, profiling and
+//! tuning results are memoized in a [`ProfileCache`], and the cell order
+//! (and every number) is identical at any `RAYON_NUM_THREADS`.
 
 use ditto_bench::report::{fmt, fmt_bw, table, ErrorSummary};
 use ditto_bench::AppId;
-use ditto_core::harness::Testbed;
-use ditto_core::{Ditto, FineTuner};
+use ditto_core::fleet::{run_fidelity_matrix, MatrixConfig, ProfileCache};
 
 fn main() {
+    let services: Vec<_> = AppId::ALL.iter().map(|app| app.service_entry()).collect();
+    let cfg = MatrixConfig::platform_a(vec![0xF160_0000]);
+    let cache = ProfileCache::new();
+    let matrix = run_fidelity_matrix(&services, &cfg, &cache);
+    eprintln!(
+        "[fig5] {} cells, cache: {} entries, {} hits / {} misses",
+        matrix.cells.len(),
+        cache.len(),
+        cache.hits(),
+        cache.misses()
+    );
+
     let mut summary = ErrorSummary::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
-
-    for app in AppId::ALL {
-        let testbed = Testbed::default_ab(0xF160_0000 ^ app.name().len() as u64);
-
-        // Profile at medium load only.
-        let medium = app.medium_load();
-        let profiled = testbed.run(|c, n| app.deploy(c, n), &medium, true);
-        let profile = profiled.profile.as_ref().expect("profiled");
-
-        // Fine-tune the clone at the profiling load (§4.5).
-        let tuner = FineTuner { max_iterations: 4, tolerance_pct: 8.0, gain: 0.6 };
-        let (tuned, trace) = testbed.tune_clone(&Ditto::new(), profile, &medium, &tuner);
-        eprintln!(
-            "[fig5] {}: tuned in {} iterations (converged={})",
-            app.name(),
-            trace.iterations,
-            trace.converged
-        );
-
-        for (load_name, load) in app.loads() {
-            let orig = testbed.run(|c, n| app.deploy(c, n), &load, false);
-            let synth = testbed.run_clone(&tuned, profile, &load);
-
-            summary.add(&orig.metrics.errors_vs(&synth.metrics));
-            for (kind, out) in [("actual", &orig), ("synthetic", &synth)] {
-                rows.push(vec![
-                    app.name().into(),
-                    load_name.into(),
-                    kind.into(),
-                    fmt(out.metrics.ipc),
-                    fmt(out.metrics.branch_miss_rate),
-                    fmt(out.metrics.l1i_miss_rate),
-                    fmt(out.metrics.l1d_miss_rate),
-                    fmt(out.metrics.l2_miss_rate),
-                    fmt(out.metrics.llc_miss_rate),
-                    fmt_bw(out.metrics.net_bandwidth),
-                    fmt_bw(out.metrics.disk_bandwidth),
-                    format!("{:.0}", out.load.throughput_qps),
-                    format!("{:.2}", out.load.latency.mean.as_millis_f64()),
-                    format!("{:.2}", out.load.latency.p95.as_millis_f64()),
-                    format!("{:.2}", out.load.latency.p99.as_millis_f64()),
-                ]);
-            }
+    for cell in &matrix.cells {
+        summary.add(&cell.tuned_errors());
+        for (kind, out) in [("actual", &cell.original), ("synthetic", &cell.tuned)] {
+            rows.push(vec![
+                cell.service.clone(),
+                cell.load.clone(),
+                kind.into(),
+                fmt(out.metrics.ipc),
+                fmt(out.metrics.branch_miss_rate),
+                fmt(out.metrics.l1i_miss_rate),
+                fmt(out.metrics.l1d_miss_rate),
+                fmt(out.metrics.l2_miss_rate),
+                fmt(out.metrics.llc_miss_rate),
+                fmt_bw(out.metrics.net_bandwidth),
+                fmt_bw(out.metrics.disk_bandwidth),
+                format!("{:.0}", out.load.throughput_qps),
+                format!("{:.2}", out.load.latency.mean.as_millis_f64()),
+                format!("{:.2}", out.load.latency.p95.as_millis_f64()),
+                format!("{:.2}", out.load.latency.p99.as_millis_f64()),
+            ]);
         }
     }
 

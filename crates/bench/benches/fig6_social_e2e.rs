@@ -2,7 +2,7 @@
 //! every individual microservice is replaced with a synthetic one.
 
 use ditto_bench::report::table;
-use ditto_bench::social_experiment::{run_original, run_synthetic};
+use ditto_bench::social_experiment::{run_original, sweep_original, sweep_synthetic};
 use ditto_core::Ditto;
 use ditto_hw::platform::PlatformSpec;
 
@@ -19,11 +19,19 @@ fn main() {
     );
     let ditto = Ditto::new();
 
+    // Fan the QPS sweep out across the fleet: original and synthetic
+    // points all run concurrently on isolated clusters, in point order.
+    let qps_points = [200.0, 500.0, 1_000.0, 2_000.0];
+    let orig_points: Vec<(f64, u64)> =
+        qps_points.iter().map(|&qps| (qps, 0xF1660 ^ qps as u64)).collect();
+    let synth_points: Vec<(f64, u64)> =
+        qps_points.iter().map(|&qps| (qps, 0xF1661 ^ qps as u64)).collect();
+    let originals = sweep_original(&platform, &orig_points);
+    let synthetics = sweep_synthetic(&platform, &ditto, graph, &profiled.profiles, &synth_points);
+
     let mut rows = Vec::new();
-    for qps in [200.0, 500.0, 1_000.0, 2_000.0] {
-        let orig = run_original(&platform, qps, 0xF1660 ^ qps as u64, false);
-        let synth = run_synthetic(&platform, &ditto, graph, &profiled.profiles, qps, 0xF1661 ^ qps as u64);
-        for (kind, run) in [("actual", &orig), ("synthetic", &synth)] {
+    for ((qps, orig), synth) in qps_points.iter().zip(&originals).zip(&synthetics) {
+        for (kind, run) in [("actual", orig), ("synthetic", synth)] {
             rows.push(vec![
                 format!("{qps:.0}"),
                 kind.to_string(),

@@ -1,49 +1,69 @@
 //! Figure 7: cross-platform validation. Every service is profiled ONLY on
 //! Platform A; the same clone (same profile, same knobs — no reprofiling)
 //! is then run on Platforms A, B and C next to the original, exactly the
-//! paper's portability claim (§6.2.2).
+//! paper's portability claim (§6.2.2). Services fan out across the fleet;
+//! the profile+tune pass on Platform A is memoized in a [`ProfileCache`]
+//! so a rerun in the same process (or a bench that shares the cache)
+//! skips it entirely.
 
 use ditto_bench::report::{fmt, fmt_bw, table, ErrorSummary};
 use ditto_bench::AppId;
-use ditto_core::harness::Testbed;
+use ditto_core::fleet::{CacheKey, Fleet, ProfileCache};
+use ditto_core::harness::{RunOutcome, Testbed};
 use ditto_core::{Ditto, FineTuner};
 use ditto_hw::platform::PlatformSpec;
 
 fn main() {
+    let cache = ProfileCache::new();
+    let fleet = Fleet::new();
+    eprintln!("[fig7] fleet of {} workers", fleet.worker_count());
+
+    // One fleet task per service: profile + tune on A, then validate the
+    // same knobs on every Table-1 platform.
+    let per_service: Vec<Vec<(AppId, String, RunOutcome, RunOutcome)>> =
+        fleet.map(&AppId::ALL, |_, &app| {
+            let bed_a = Testbed::default_ab(0xF17 ^ app.name().len() as u64);
+            let load = app.medium_load();
+            let key = CacheKey::new(app.name(), &bed_a.server.name, &load, bed_a.seed);
+
+            let profiled =
+                cache.profiled(&key, || bed_a.run(|c, n| app.deploy(c, n), &load, true));
+            let profile = profiled.profile.as_ref().expect("profiled");
+            let tuner = FineTuner { max_iterations: 3, tolerance_pct: 10.0, gain: 0.6 };
+            let tuned =
+                cache.tuned(&key, || bed_a.tune_clone(&Ditto::new(), profile, &load, &tuner));
+
+            PlatformSpec::table1()
+                .iter()
+                .map(|platform| {
+                    let bed = Testbed { server: platform.clone(), ..bed_a.clone() };
+                    let orig = bed.run(|c, n| app.deploy(c, n), &load, false);
+                    let synth = bed.run_clone(&tuned.0, profile, &load);
+                    (app, platform.name.clone(), orig, synth)
+                })
+                .collect()
+        });
+
     let mut rows = Vec::new();
     let mut summary = ErrorSummary::new();
-
-    for app in AppId::ALL {
-        // Profile + tune on Platform A only.
-        let bed_a = Testbed::default_ab(0xF17 ^ app.name().len() as u64);
-        let load = app.medium_load();
-        let profiled = bed_a.run(|c, n| app.deploy(c, n), &load, true);
-        let profile = profiled.profile.as_ref().expect("profiled");
-        let tuner = FineTuner { max_iterations: 3, tolerance_pct: 10.0, gain: 0.6 };
-        let (tuned, _) = bed_a.tune_clone(&Ditto::new(), profile, &load, &tuner);
-
-        for platform in PlatformSpec::table1() {
-            let bed = Testbed { server: platform.clone(), ..bed_a.clone() };
-            let orig = bed.run(|c, n| app.deploy(c, n), &load, false);
-            let synth = bed.run_clone(&tuned, profile, &load);
-            summary.add(&orig.metrics.errors_vs(&synth.metrics));
-            for (kind, out) in [("actual", &orig), ("synthetic", &synth)] {
-                rows.push(vec![
-                    app.name().into(),
-                    platform.name.clone(),
-                    kind.into(),
-                    fmt(out.metrics.ipc),
-                    fmt(out.metrics.branch_miss_rate),
-                    fmt(out.metrics.l1i_miss_rate),
-                    fmt(out.metrics.l1d_miss_rate),
-                    fmt(out.metrics.l2_miss_rate),
-                    fmt(out.metrics.llc_miss_rate),
-                    fmt_bw(out.metrics.net_bandwidth),
-                    fmt_bw(out.metrics.disk_bandwidth),
-                    format!("{:.2}", out.load.latency.mean.as_millis_f64()),
-                    format!("{:.2}", out.load.latency.p99.as_millis_f64()),
-                ]);
-            }
+    for (app, platform, orig, synth) in per_service.into_iter().flatten() {
+        summary.add(&orig.metrics.errors_vs(&synth.metrics));
+        for (kind, out) in [("actual", &orig), ("synthetic", &synth)] {
+            rows.push(vec![
+                app.name().into(),
+                platform.clone(),
+                kind.into(),
+                fmt(out.metrics.ipc),
+                fmt(out.metrics.branch_miss_rate),
+                fmt(out.metrics.l1i_miss_rate),
+                fmt(out.metrics.l1d_miss_rate),
+                fmt(out.metrics.l2_miss_rate),
+                fmt(out.metrics.llc_miss_rate),
+                fmt_bw(out.metrics.net_bandwidth),
+                fmt_bw(out.metrics.disk_bandwidth),
+                format!("{:.2}", out.load.latency.mean.as_millis_f64()),
+                format!("{:.2}", out.load.latency.p99.as_millis_f64()),
+            ]);
         }
     }
 

@@ -1,0 +1,65 @@
+//! Fleet scaling: wall-clock speedup of the work-stealing experiment
+//! fleet over the serial loop, plus the determinism contract — the same
+//! 12-experiment matrix at 1, 2, 4 and 8 workers must produce
+//! bit-identical outcomes (metrics and latency histogram buckets).
+
+use std::time::Instant;
+
+use ditto_bench::AppId;
+use ditto_core::fleet::{ExperimentSpec, Fleet};
+use ditto_core::harness::{RunOutcome, Testbed};
+
+fn specs() -> Vec<ExperimentSpec> {
+    let mut specs = Vec::new();
+    for app in AppId::ALL {
+        for (load_name, load) in app.loads() {
+            specs.push(ExperimentSpec::new(
+                format!("{}/{}", app.name(), load_name),
+                Testbed::default_ab(0xF1EE7),
+                load,
+                app.deploy_fn(),
+            ));
+        }
+    }
+    specs
+}
+
+fn identical(a: &RunOutcome, b: &RunOutcome) -> bool {
+    a.metrics == b.metrics && a.histogram == b.histogram && a.load.sent == b.load.sent
+}
+
+fn main() {
+    let specs = specs();
+    eprintln!("[fleet] {} experiments", specs.len());
+
+    let t0 = Instant::now();
+    let serial = Fleet::with_threads(1).run(&specs);
+    let serial_time = t0.elapsed();
+    eprintln!("[fleet] serial loop: {serial_time:.2?}");
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut wide_time = serial_time;
+    for threads in [2usize, 4, 8] {
+        let t = Instant::now();
+        let out = Fleet::with_threads(threads).run(&specs);
+        let dt = t.elapsed();
+        let same = serial
+            .iter()
+            .zip(&out)
+            .all(|(a, b)| identical(a, b));
+        assert!(same, "outcomes diverged at {threads} threads");
+        eprintln!(
+            "[fleet] {threads} workers: {dt:.2?} ({:.2}x), outcomes bit-identical",
+            serial_time.as_secs_f64() / dt.as_secs_f64()
+        );
+        if threads <= cores {
+            wide_time = wide_time.min(dt);
+        }
+    }
+
+    let speedup = serial_time.as_secs_f64() / wide_time.as_secs_f64();
+    eprintln!("[fleet] best speedup within {cores} cores: {speedup:.2}x");
+    if cores >= 4 && speedup < 2.0 {
+        eprintln!("[fleet] WARNING: expected ≥2x speedup at 4+ cores, got {speedup:.2}x");
+    }
+}

@@ -15,6 +15,7 @@ use ditto_profile::{AppProfile, MetricSet, Profiler};
 use ditto_sim::time::SimDuration;
 use ditto_trace::{ServiceGraph, TraceCollector};
 use ditto_workload::{LoadSummary, OpenLoopConfig, Recorder};
+use rayon::prelude::*;
 
 /// Node roles in the social testbed.
 pub const MAIN_NODE: NodeId = NodeId(0);
@@ -156,4 +157,26 @@ pub fn run_synthetic(
     // Rename keys to the tier names for symmetric comparison.
     let renamed: HashMap<String, MetricSet> = std::mem::take(&mut tier_metrics);
     SocialRun { e2e, tier_metrics: renamed, profiles: HashMap::new(), graph: None }
+}
+
+/// Runs the original Social Network at every `(qps, seed)` point across
+/// the fleet's worker threads. Each point owns an isolated cluster, so
+/// results are in point order and bit-identical to the serial loop.
+pub fn sweep_original(server: &PlatformSpec, points: &[(f64, u64)]) -> Vec<SocialRun> {
+    points.par_iter().map(|&(qps, seed)| run_original(server, qps, seed, false)).collect()
+}
+
+/// Runs the fully synthetic Social Network at every `(qps, seed)` point
+/// in parallel, from one traced graph and one set of per-tier profiles.
+pub fn sweep_synthetic(
+    server: &PlatformSpec,
+    ditto: &Ditto,
+    graph: &ServiceGraph,
+    profiles: &HashMap<String, AppProfile>,
+    points: &[(f64, u64)],
+) -> Vec<SocialRun> {
+    points
+        .par_iter()
+        .map(|&(qps, seed)| run_synthetic(server, ditto, graph, profiles, qps, seed))
+        .collect()
 }

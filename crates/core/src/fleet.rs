@@ -1,0 +1,479 @@
+//! Work-stealing parallel experiment fleet.
+//!
+//! Every evaluation figure sweeps some slice of the service × platform ×
+//! load × seed matrix; run serially, the full matrix is minutes of
+//! wall-clock. The fleet fans a `Vec<`[`ExperimentSpec`]`>` out across
+//! threads, each experiment owning an isolated [`Cluster`] seeded from an
+//! independent splitmix64-derived stream (`stream_seed(seed, index)`),
+//! and merges [`RunOutcome`]s back **in spec order** — so results are
+//! bit-identical regardless of `RAYON_NUM_THREADS` or steal interleaving.
+//!
+//! On top of the raw runner sit two higher layers:
+//!
+//! - [`run_fidelity_matrix`] — the Figure 5/7 shape: for every (service,
+//!   platform, load, seed) cell, run the original, the untuned clone and
+//!   the fine-tuned clone, and report per-metric relative errors.
+//! - [`ProfileCache`] — memoizes profiling runs and tuning results keyed
+//!   by (service, platform, load, seed), so tuner iterations and repeated
+//!   benches never redo a profiling pass they have already paid for.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ditto_app::service::ServiceSpec;
+use ditto_hw::platform::PlatformSpec;
+use ditto_kernel::{Cluster, NodeId};
+use ditto_sim::rng::stream_seed;
+use ditto_sim::time::SimDuration;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+use crate::clone::Ditto;
+use crate::harness::{LoadKind, RunOutcome, Testbed};
+use crate::tuner::{FineTuner, TuneResult};
+
+/// A shareable service deployment: receives the cluster (for dataset and
+/// file setup) and the server node, returns the spec to deploy. `Arc`'d
+/// so one deployment can fan out across many experiments and threads.
+pub type DeployFn = Arc<dyn Fn(&mut Cluster, NodeId) -> ServiceSpec + Send + Sync>;
+
+/// One cell of work for the fleet: a service under a load on a testbed.
+#[derive(Clone)]
+pub struct ExperimentSpec {
+    /// Human-readable label (service/load names) carried into reports.
+    pub label: String,
+    /// The two-machine testbed; its `seed` is the *base* seed — the fleet
+    /// XORs in a splitmix64 stream per experiment index.
+    pub testbed: Testbed,
+    /// The load to drive.
+    pub load: LoadKind,
+    /// Whether to attach the full Ditto profilers.
+    pub profile: bool,
+    /// Service deployment.
+    pub deploy: DeployFn,
+}
+
+impl ExperimentSpec {
+    /// Creates a spec with profiling off.
+    pub fn new(
+        label: impl Into<String>,
+        testbed: Testbed,
+        load: LoadKind,
+        deploy: DeployFn,
+    ) -> Self {
+        ExperimentSpec { label: label.into(), testbed, load, profile: false, deploy }
+    }
+
+    /// Runs this experiment on its own isolated cluster with the given
+    /// effective seed.
+    fn run(&self, seed: u64) -> RunOutcome {
+        let bed = Testbed { seed, ..self.testbed.clone() };
+        let deploy = Arc::clone(&self.deploy);
+        bed.run(move |c, n| deploy(c, n), &self.load, self.profile)
+    }
+}
+
+impl std::fmt::Debug for ExperimentSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentSpec")
+            .field("label", &self.label)
+            .field("seed", &self.testbed.seed)
+            .field("load", &self.load)
+            .field("profile", &self.profile)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The parallel experiment runner.
+///
+/// `threads: None` honours `RAYON_NUM_THREADS` (rayon's convention);
+/// `Some(n)` pins the worker count, which is how the determinism tests
+/// sweep 1/2/8 workers inside one process without racing on env vars.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fleet {
+    /// Worker count override.
+    pub threads: Option<usize>,
+}
+
+impl Fleet {
+    /// A fleet using the ambient rayon thread count.
+    pub fn new() -> Self {
+        Fleet::default()
+    }
+
+    /// A fleet pinned to `n` workers.
+    pub fn with_threads(n: usize) -> Self {
+        Fleet { threads: Some(n) }
+    }
+
+    /// The worker count the next run will use.
+    pub fn worker_count(&self) -> usize {
+        self.threads.unwrap_or_else(rayon::current_num_threads)
+    }
+
+    /// Order-preserving parallel map: applies `f(index, item)` to every
+    /// item with work stealing, returning results in input order. All
+    /// fleet entry points bottom out here, so the "bit-identical at any
+    /// thread count" property is inherited by construction: each item is
+    /// pure in (index, item), and the merge ignores completion order.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.worker_count())
+            .build()
+            .expect("fleet thread pool");
+        pool.install(|| {
+            let indexed: Vec<usize> = (0..items.len()).collect();
+            indexed.par_iter().map(|&i| f(i, &items[i])).collect()
+        })
+    }
+
+    /// Runs every experiment, each on an isolated cluster whose seed is
+    /// the spec's base seed XOR the splitmix64 stream of its index, and
+    /// returns outcomes in spec order.
+    pub fn run(&self, specs: &[ExperimentSpec]) -> Vec<RunOutcome> {
+        self.map(specs, |i, spec| spec.run(stream_seed(spec.testbed.seed, i as u64)))
+    }
+}
+
+/// Cache key for memoized profiling/tuning work.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Service name.
+    pub service: String,
+    /// Platform name of the server under test.
+    pub platform: String,
+    /// Canonical rendering of the load point.
+    pub load: String,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl CacheKey {
+    /// Builds a key; the load is rendered canonically via `Debug` (exact
+    /// for the integer/float fields `LoadKind` carries).
+    pub fn new(service: &str, platform: &str, load: &LoadKind, seed: u64) -> Self {
+        CacheKey {
+            service: service.to_string(),
+            platform: platform.to_string(),
+            load: format!("{load:?}"),
+            seed,
+        }
+    }
+}
+
+/// Memoizes the two expensive, reusable artifacts of a fidelity run:
+/// the profiling pass (full-instrumentation original run) and the tuning
+/// loop's result, both keyed by (service, platform, load, seed).
+///
+/// Values are deterministic functions of their key, so a concurrent miss
+/// on the same key may compute twice but always computes the same value;
+/// the first insert wins and later runs hit. Hit/miss counters are
+/// best-effort under races and meant for tests and reports.
+#[derive(Debug, Default)]
+pub struct ProfileCache {
+    profiles: Mutex<HashMap<CacheKey, Arc<RunOutcome>>>,
+    tunes: Mutex<HashMap<CacheKey, Arc<(Ditto, TuneResult)>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProfileCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn memo<V>(
+        map: &Mutex<HashMap<CacheKey, Arc<V>>>,
+        hits: &AtomicU64,
+        misses: &AtomicU64,
+        key: &CacheKey,
+        compute: impl FnOnce() -> V,
+    ) -> Arc<V> {
+        if let Some(v) = map.lock().get(key) {
+            hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(v);
+        }
+        misses.fetch_add(1, Ordering::Relaxed);
+        // Compute outside the lock: profiling runs take milliseconds and
+        // must not serialise the whole fleet behind one mutex.
+        let v = Arc::new(compute());
+        Arc::clone(map.lock().entry(key.clone()).or_insert(v))
+    }
+
+    /// Returns the cached profiling run for `key`, computing it on miss.
+    pub fn profiled(&self, key: &CacheKey, compute: impl FnOnce() -> RunOutcome) -> Arc<RunOutcome> {
+        Self::memo(&self.profiles, &self.hits, &self.misses, key, compute)
+    }
+
+    /// Returns the cached tuning result for `key`, computing it on miss.
+    pub fn tuned(
+        &self,
+        key: &CacheKey,
+        compute: impl FnOnce() -> (Ditto, TuneResult),
+    ) -> Arc<(Ditto, TuneResult)> {
+        Self::memo(&self.tunes, &self.hits, &self.misses, key, compute)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized entries (profiles + tunes).
+    pub fn len(&self) -> usize {
+        self.profiles.lock().len() + self.tunes.lock().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One service's row in the fidelity matrix.
+#[derive(Clone)]
+pub struct ServiceEntry {
+    /// Service name (cache key component and report label).
+    pub name: String,
+    /// Deployment of the original service.
+    pub deploy: DeployFn,
+    /// The load the clone is profiled and tuned at (the paper profiles at
+    /// medium load only).
+    pub profile_load: (String, LoadKind),
+    /// The load points every cell is validated at.
+    pub loads: Vec<(String, LoadKind)>,
+}
+
+/// Matrix-wide configuration.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    /// Server platforms to validate on.
+    pub platforms: Vec<PlatformSpec>,
+    /// Client (load generator) platform.
+    pub client: PlatformSpec,
+    /// Base seeds; each (service, platform, seed) triple is profiled and
+    /// tuned once and validated at every load.
+    pub seeds: Vec<u64>,
+    /// Warmup before each measurement window.
+    pub warmup: SimDuration,
+    /// Measurement window length.
+    pub window: SimDuration,
+    /// Fine-tuner applied at the profiling load.
+    pub tuner: FineTuner,
+    /// Worker count override (see [`Fleet`]).
+    pub threads: Option<usize>,
+}
+
+impl MatrixConfig {
+    /// Platform-A-only config with the default testbed windows — the
+    /// Figure 5 shape.
+    pub fn platform_a(seeds: Vec<u64>) -> Self {
+        MatrixConfig {
+            platforms: vec![PlatformSpec::a()],
+            client: PlatformSpec::c(),
+            seeds,
+            warmup: SimDuration::from_millis(40),
+            window: SimDuration::from_millis(200),
+            tuner: FineTuner { max_iterations: 4, tolerance_pct: 8.0, gain: 0.6 },
+            threads: None,
+        }
+    }
+
+    /// A scaled-down variant for CI smoke runs: shorter windows and a
+    /// 2-iteration tuner. Cuts wall-clock ~3× at some fidelity cost;
+    /// still deterministic.
+    pub fn quick(mut self) -> Self {
+        self.warmup = SimDuration::from_millis(20);
+        self.window = SimDuration::from_millis(80);
+        self.tuner.max_iterations = 2;
+        self
+    }
+}
+
+/// One (service, platform, load, seed) cell: original vs untuned clone vs
+/// fine-tuned clone.
+#[derive(Clone)]
+pub struct FidelityCell {
+    /// Service name.
+    pub service: String,
+    /// Server platform name.
+    pub platform: String,
+    /// Load point name.
+    pub load: String,
+    /// Base seed of the cell's group.
+    pub seed: u64,
+    /// The original service's measured outcome.
+    pub original: RunOutcome,
+    /// The untuned clone's outcome (generator defaults, no feedback).
+    pub untuned: RunOutcome,
+    /// The fine-tuned clone's outcome.
+    pub tuned: RunOutcome,
+}
+
+impl FidelityCell {
+    /// Per-metric relative errors (%) of the untuned clone vs the original.
+    pub fn untuned_errors(&self) -> Vec<(&'static str, f64)> {
+        self.original.metrics.errors_vs(&self.untuned.metrics)
+    }
+
+    /// Per-metric relative errors (%) of the tuned clone vs the original.
+    pub fn tuned_errors(&self) -> Vec<(&'static str, f64)> {
+        self.original.metrics.errors_vs(&self.tuned.metrics)
+    }
+
+    /// Worst per-metric relative error (%) of the tuned clone.
+    pub fn worst_tuned_error(&self) -> f64 {
+        self.tuned_errors().iter().map(|&(_, e)| e).fold(0.0, f64::max)
+    }
+}
+
+/// The assembled fidelity matrix, cells in (service, platform, seed,
+/// load) order.
+#[derive(Clone, Default)]
+pub struct FidelityMatrix {
+    /// All cells.
+    pub cells: Vec<FidelityCell>,
+}
+
+impl FidelityMatrix {
+    /// Mean per-metric tuned-clone error across all cells, in the metric
+    /// order of `MetricSet::errors_vs`.
+    pub fn mean_tuned_errors(&self) -> Vec<(&'static str, f64)> {
+        let mut sums: Vec<(&'static str, f64)> = Vec::new();
+        for cell in &self.cells {
+            for (i, (name, e)) in cell.tuned_errors().into_iter().enumerate() {
+                if sums.len() <= i {
+                    sums.push((name, 0.0));
+                }
+                sums[i].1 += e;
+            }
+        }
+        let n = self.cells.len().max(1) as f64;
+        for s in &mut sums {
+            s.1 /= n;
+        }
+        sums
+    }
+
+    /// The cell with the worst tuned-clone error, if any.
+    pub fn worst_cell(&self) -> Option<&FidelityCell> {
+        self.cells
+            .iter()
+            .max_by(|a, b| a.worst_tuned_error().total_cmp(&b.worst_tuned_error()))
+    }
+}
+
+/// Runs the full fidelity matrix: every (service, platform, seed) group
+/// is profiled and fine-tuned at the service's profiling load (through
+/// `cache`, so repeated invocations skip both), then validated at every
+/// load point with the original, the untuned clone and the tuned clone
+/// side by side. Groups fan out across the fleet; cells come back in
+/// deterministic (service, platform, seed, load) order.
+pub fn run_fidelity_matrix(
+    services: &[ServiceEntry],
+    cfg: &MatrixConfig,
+    cache: &ProfileCache,
+) -> FidelityMatrix {
+    let mut groups: Vec<(&ServiceEntry, &PlatformSpec, u64)> = Vec::new();
+    for svc in services {
+        for platform in &cfg.platforms {
+            for &seed in &cfg.seeds {
+                groups.push((svc, platform, seed));
+            }
+        }
+    }
+
+    let fleet = Fleet { threads: cfg.threads };
+    let cells: Vec<Vec<FidelityCell>> = fleet.map(&groups, |_, &(svc, platform, seed)| {
+        let bed = Testbed {
+            server: platform.clone(),
+            client: cfg.client.clone(),
+            seed,
+            warmup: cfg.warmup,
+            window: cfg.window,
+        };
+        let (profile_name, profile_load) = &svc.profile_load;
+        let key = CacheKey::new(&svc.name, &platform.name, profile_load, seed);
+
+        let deploy = Arc::clone(&svc.deploy);
+        let profiled = cache.profiled(&key, || {
+            let deploy = Arc::clone(&deploy);
+            bed.run(move |c, n| deploy(c, n), profile_load, true)
+        });
+        let profile = profiled
+            .profile
+            .as_ref()
+            .unwrap_or_else(|| panic!("cache returned unprofiled run for {profile_name}"));
+
+        let tuned_arc = cache.tuned(&key, || {
+            bed.tune_clone(&Ditto::new(), profile, profile_load, &cfg.tuner)
+        });
+        let (tuned_ditto, _) = &*tuned_arc;
+        let untuned_ditto = Ditto::new();
+
+        svc.loads
+            .iter()
+            .map(|(load_name, load)| {
+                let deploy = Arc::clone(&svc.deploy);
+                let original = bed.run(move |c, n| deploy(c, n), load, false);
+                let untuned = bed.run_clone(&untuned_ditto, profile, load);
+                let tuned = bed.run_clone(tuned_ditto, profile, load);
+                FidelityCell {
+                    service: svc.name.clone(),
+                    platform: platform.name.clone(),
+                    load: load_name.clone(),
+                    seed,
+                    original,
+                    untuned,
+                    tuned,
+                }
+            })
+            .collect()
+    });
+
+    FidelityMatrix { cells: cells.into_iter().flatten().collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_key_distinguishes_every_dimension() {
+        let load_a = LoadKind::OpenLoop { qps: 100.0, connections: 2 };
+        let load_b = LoadKind::OpenLoop { qps: 200.0, connections: 2 };
+        let base = CacheKey::new("svc", "A", &load_a, 1);
+        assert_eq!(base, CacheKey::new("svc", "A", &load_a, 1));
+        assert_ne!(base, CacheKey::new("svc2", "A", &load_a, 1));
+        assert_ne!(base, CacheKey::new("svc", "B", &load_a, 1));
+        assert_ne!(base, CacheKey::new("svc", "A", &load_b, 1));
+        assert_ne!(base, CacheKey::new("svc", "A", &load_a, 2));
+    }
+
+    #[test]
+    fn fleet_map_preserves_order() {
+        let items: Vec<u64> = (0..32).collect();
+        for threads in [1, 3, 8] {
+            let out = Fleet::with_threads(threads).map(&items, |i, &x| x * 10 + i as u64);
+            assert_eq!(out, items.iter().map(|&x| x * 11).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn worker_count_prefers_override() {
+        assert_eq!(Fleet::with_threads(5).worker_count(), 5);
+        assert!(Fleet::new().worker_count() >= 1);
+    }
+}

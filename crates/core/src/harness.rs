@@ -10,6 +10,8 @@ use ditto_app::service::ServiceSpec;
 use ditto_hw::platform::PlatformSpec;
 use ditto_kernel::{Cluster, NodeId, Pid};
 use ditto_profile::{AppProfile, MetricSet, Profiler};
+use ditto_sim::rng::stream_seed;
+use ditto_sim::stats::LatencyHistogram;
 use ditto_sim::time::SimDuration;
 use ditto_workload::{ClosedLoopConfig, LoadSummary, OpenLoopConfig, Recorder};
 
@@ -92,6 +94,10 @@ pub struct RunOutcome {
     pub metrics: MetricSet,
     /// Load-side latency/throughput.
     pub load: LoadSummary,
+    /// The raw (bucket-exact) latency histogram behind `load.latency`.
+    /// Kept so deterministic runs can be compared bit-for-bit and so
+    /// fleet-level aggregation can merge without percentile error.
+    pub histogram: LatencyHistogram,
     /// Full profile, when profiling was requested.
     pub profile: Option<AppProfile>,
 }
@@ -147,7 +153,12 @@ impl Testbed {
             }
             None => (MetricSet::end_for_pid(&cluster, server, pid, self.window), None),
         };
-        RunOutcome { metrics, load: recorder.summary(self.window), profile: app_profile }
+        RunOutcome {
+            metrics,
+            load: recorder.summary(self.window),
+            histogram: recorder.histogram(),
+            profile: app_profile,
+        }
     }
 
     /// Runs the generated clone of `profile` under the same load.
@@ -179,10 +190,48 @@ impl Testbed {
         let result = tuner.tune(&profile.metrics, |knobs: &TuneKnobs| {
             seed_bump += 1;
             let candidate = Ditto { knobs: *knobs, ..base.clone() };
-            let bed = Testbed { seed: self.seed ^ (seed_bump << 16), ..self.clone() };
+            // Iteration seeds are derived through the splitmix64 stream so
+            // that user seeds related by simple bit arithmetic (e.g.
+            // differing only in high bits) never share iteration streams —
+            // the old `seed ^ (bump << 16)` derivation aliased them.
+            let bed = Testbed { seed: stream_seed(self.seed, seed_bump), ..self.clone() };
             bed.run_clone(&candidate, profile, load).metrics
         });
         let tuned = Ditto { knobs: result.knobs, ..base.clone() };
         (tuned, result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use ditto_sim::rng::stream_seed;
+
+    /// Regression for the old tuning-seed derivation `seed ^ (bump << 16)`:
+    /// user seeds that differ only in bits ≥ 16 landed exactly on each
+    /// other's iteration seeds, so "independent" experiments could replay
+    /// identical clusters. The stream derivation must keep the iteration
+    /// seeds of such related user seeds fully disjoint — and distinct from
+    /// both base seeds themselves.
+    #[test]
+    fn tuning_iteration_seeds_do_not_alias_high_bit_related_user_seeds() {
+        let a: u64 = 0xAB;
+        let a_stream: Vec<u64> = (1..=10).map(|k| stream_seed(a, k)).collect();
+        for bump in 1..=10u64 {
+            let b = a ^ (bump << 16);
+            // The OLD derivation aliased: iteration `bump` of testbed `a`
+            // used exactly seed `b`.
+            assert_eq!(a ^ (bump << 16), b);
+            assert!(
+                !a_stream.contains(&b),
+                "iteration stream of {a:#x} contains related user seed {b:#x}"
+            );
+            for k in 1..=10 {
+                let s = stream_seed(b, k);
+                assert!(
+                    !a_stream.contains(&s),
+                    "iteration streams of {a:#x} and {b:#x} collide at k={k}"
+                );
+            }
+        }
     }
 }

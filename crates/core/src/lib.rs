@@ -19,6 +19,7 @@
 
 pub mod body_gen;
 pub mod clone;
+pub mod fleet;
 pub mod harness;
 pub mod skeleton;
 pub mod stages;
@@ -26,6 +27,10 @@ pub mod tuner;
 
 pub use body_gen::{generate_body_params, GeneratorConfig, TuneKnobs};
 pub use clone::Ditto;
+pub use fleet::{
+    run_fidelity_matrix, CacheKey, DeployFn, ExperimentSpec, FidelityCell, FidelityMatrix, Fleet,
+    MatrixConfig, ProfileCache, ServiceEntry,
+};
 pub use harness::{LoadKind, RunOutcome, Testbed};
 pub use skeleton::generate_network_model;
 pub use stages::GeneratorStages;

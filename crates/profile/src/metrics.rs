@@ -8,7 +8,7 @@ use ditto_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
 /// The per-service metrics the paper plots.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MetricSet {
     /// Instructions per cycle.
     pub ipc: f64,

@@ -24,6 +24,27 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One SplitMix64 finalisation of `x`: a full-avalanche 64-bit mix where
+/// every input bit flips each output bit with probability ~1/2.
+pub fn splitmix64_mix(x: u64) -> u64 {
+    let mut state = x;
+    splitmix64(&mut state)
+}
+
+/// Derives the seed of stream `index` rooted at `seed`.
+///
+/// Used wherever an experiment-level seed must be fanned out into
+/// independent per-experiment (or per-iteration) streams: the fleet
+/// runner derives experiment `i`'s seed as `stream_seed(seed, i)`, and
+/// the fine-tuning loop derives iteration seeds the same way. Because the
+/// index is avalanche-mixed before the XOR, streams of *different* base
+/// seeds never collide through simple arithmetic relationships between
+/// the bases — unlike e.g. `seed ^ (index << 16)`, where bases differing
+/// only in high bits alias each other's streams.
+pub fn stream_seed(seed: u64, index: u64) -> u64 {
+    seed ^ splitmix64_mix(index)
+}
+
 /// A deterministic PCG-64 generator with domain-separated splitting.
 ///
 /// # Example
@@ -157,6 +178,35 @@ mod tests {
         let mut b = SimRng::seed(3);
         let _ = b.split("x");
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_and_stable() {
+        let base = 0xD177_0BA5;
+        let seeds: Vec<u64> = (0..64).map(|i| stream_seed(base, i)).collect();
+        for (i, &a) in seeds.iter().enumerate() {
+            assert_eq!(a, stream_seed(base, i as u64), "stream {i} not stable");
+            for &b in &seeds[i + 1..] {
+                assert_ne!(a, b, "stream collision under base {base:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn streams_of_high_bit_related_bases_do_not_alias() {
+        // The failure mode of shift-based derivations: bases differing
+        // only in bits ≥ 16 alias each other's streams. The mixed
+        // derivation must keep them disjoint.
+        let a = 0x42;
+        for shift in 16..48 {
+            let b = a ^ (1u64 << shift);
+            let from_a: Vec<u64> = (0..32).map(|i| stream_seed(a, i)).collect();
+            for j in 0..32 {
+                let s = stream_seed(b, j);
+                assert!(!from_a.contains(&s), "alias at shift {shift} index {j}");
+                assert_ne!(s, a, "stream of {b:#x} collides with base {a:#x}");
+            }
+        }
     }
 
     #[test]

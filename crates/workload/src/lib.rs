@@ -18,4 +18,4 @@ pub mod recorder;
 
 pub use closed_loop::ClosedLoopConfig;
 pub use open_loop::OpenLoopConfig;
-pub use recorder::{LoadSummary, Recorder};
+pub use recorder::{LoadAggregate, LoadSummary, Recorder};

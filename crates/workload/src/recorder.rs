@@ -112,6 +112,22 @@ impl Recorder {
         self.inner.lock().hist.clone()
     }
 
+    /// Merges another recorder's window contents into this one:
+    /// histograms merge bucket-exactly, counters sum. Window bounds are
+    /// left untouched — merging is for aggregating *finished* windows
+    /// (e.g. per-experiment recorders into a fleet-level rollup), not for
+    /// splicing live ones.
+    pub fn merge_from(&self, other: &Recorder) {
+        let o = other.inner.lock();
+        let mut i = self.inner.lock();
+        i.hist.merge(&o.hist);
+        i.sent += o.sent;
+        i.received += o.received;
+        i.degraded += o.degraded;
+        i.timeouts += o.timeouts;
+        i.errors += o.errors;
+    }
+
     /// Summarises the window, computing throughput against `window`.
     pub fn summary(&self, window: SimDuration) -> LoadSummary {
         let i = self.inner.lock();
@@ -155,6 +171,70 @@ pub struct LoadSummary {
     pub throughput_qps: f64,
     /// Successful-response throughput over the window.
     pub goodput_qps: f64,
+}
+
+/// Exact cross-run load aggregation.
+///
+/// [`LoadSummary`] carries already-collapsed percentiles, which cannot be
+/// merged without error; the aggregate instead accumulates the raw
+/// bucket-exact histograms (plus counters and window lengths) and
+/// re-derives a summary from the merged histogram. The fleet runner uses
+/// this to roll per-experiment outcomes up into matrix-level tables.
+#[derive(Debug, Clone, Default)]
+pub struct LoadAggregate {
+    hist: LatencyHistogram,
+    sent: u64,
+    received: u64,
+    degraded: u64,
+    timeouts: u64,
+    errors: u64,
+    window: SimDuration,
+}
+
+impl LoadAggregate {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds in one run's summary together with its raw histogram and the
+    /// measurement window it was taken over.
+    pub fn add(&mut self, summary: &LoadSummary, hist: &LatencyHistogram, window: SimDuration) {
+        self.hist.merge(hist);
+        self.sent += summary.sent;
+        self.received += summary.received;
+        self.degraded += summary.degraded;
+        self.timeouts += summary.timeouts;
+        self.errors += summary.errors;
+        self.window += window;
+    }
+
+    /// Total window length folded in so far.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// The merged bucket-exact histogram.
+    pub fn histogram(&self) -> &LatencyHistogram {
+        &self.hist
+    }
+
+    /// Summarises the aggregate: percentiles from the merged histogram,
+    /// throughput against the summed windows.
+    pub fn summary(&self) -> LoadSummary {
+        let secs = self.window.as_secs_f64();
+        let ok = self.received - self.degraded;
+        LoadSummary {
+            latency: self.hist.summary(),
+            sent: self.sent,
+            received: self.received,
+            degraded: self.degraded,
+            timeouts: self.timeouts,
+            errors: self.errors,
+            throughput_qps: if secs > 0.0 { self.received as f64 / secs } else { 0.0 },
+            goodput_qps: if secs > 0.0 { ok as f64 / secs } else { 0.0 },
+        }
+    }
 }
 
 impl LoadSummary {
@@ -242,6 +322,51 @@ mod tests {
         let r2 = r.clone();
         r2.record(SimTime::ZERO, SimTime::from_nanos(5));
         assert_eq!(r.summary(SimDuration::from_secs(1)).received, 1);
+    }
+
+    #[test]
+    fn merge_from_sums_counters_and_histograms() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        a.note_sent(SimTime::ZERO);
+        a.record(SimTime::ZERO, SimTime::from_nanos(100));
+        b.note_sent(SimTime::ZERO);
+        b.record(SimTime::ZERO, SimTime::from_nanos(300));
+        b.note_timeout(SimTime::from_nanos(10));
+        a.merge_from(&b);
+        let s = a.summary(SimDuration::from_secs(1));
+        assert_eq!(s.sent, 2);
+        assert_eq!(s.received, 2);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(a.histogram().count(), 2);
+    }
+
+    #[test]
+    fn aggregate_matches_single_recorder_over_joint_window() {
+        // Two half-window recorders aggregated must equal one recorder
+        // that saw all samples over the full window.
+        let joint = Recorder::new();
+        let mut agg = LoadAggregate::new();
+        for part in 0..2u64 {
+            let r = Recorder::new();
+            for i in 0..5 {
+                let t = SimTime::from_nanos(part * 1000 + i * 10);
+                r.note_sent(t);
+                joint.note_sent(t);
+                r.record(t, t + SimDuration::from_nanos(50 + i));
+                joint.record(t, t + SimDuration::from_nanos(50 + i));
+            }
+            let w = SimDuration::from_secs(1);
+            agg.add(&r.summary(w), &r.histogram(), w);
+        }
+        let merged = agg.summary();
+        let whole = joint.summary(SimDuration::from_secs(2));
+        assert_eq!(merged.sent, whole.sent);
+        assert_eq!(merged.received, whole.received);
+        assert_eq!(merged.latency, whole.latency);
+        assert!((merged.throughput_qps - whole.throughput_qps).abs() < 1e-9);
+        assert_eq!(agg.histogram(), &joint.histogram());
+        assert_eq!(agg.window(), SimDuration::from_secs(2));
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the rayon API the experiment fleet uses: slice
+//! `par_iter().map(..).collect()`, `ThreadPoolBuilder`/`ThreadPool::install`
+//! for explicit thread counts, and `current_num_threads` honouring
+//! `RAYON_NUM_THREADS`.
+//!
+//! The execution engine is a real work-stealing scheduler: every parallel
+//! call partitions the index space into per-worker deques; a worker pops
+//! work from the front of its own deque and, when empty, steals the back
+//! half of a victim's deque. Results are merged **in index order**, so the
+//! output of a parallel map is identical to the sequential map regardless
+//! of worker count or steal interleaving — the property the deterministic
+//! experiment fleet is built on.
+//!
+//! Unlike real rayon there is no persistent global pool: workers are
+//! scoped threads spawned per parallel call. Spawn cost (~10 µs/thread) is
+//! noise next to the multi-millisecond experiments this workspace fans out.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The number of threads the next parallel call will use: an
+/// [`ThreadPool::install`] override if one is active, else
+/// `RAYON_NUM_THREADS` when set to a positive integer, else the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_THREADS.with(|t| t.get()) {
+        return n;
+    }
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Pops one task for worker `me`: its own deque first, then the back half
+/// of the first non-empty victim (classic steal-half).
+fn next_task(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(idx) = lock(&deques[me]).pop_front() {
+        return Some(idx);
+    }
+    let n = deques.len();
+    for off in 1..n {
+        let victim = (me + off) % n;
+        let stolen: Vec<usize> = {
+            let mut q = lock(&deques[victim]);
+            let take = q.len().div_ceil(2);
+            (0..take).filter_map(|_| q.pop_back()).collect()
+        };
+        if let Some((&first, rest)) = stolen.split_first() {
+            let mut own = lock(&deques[me]);
+            for &idx in rest {
+                own.push_back(idx);
+            }
+            return Some(first);
+        }
+    }
+    None
+}
+
+/// Applies `f` to every index in `0..len` across `threads` workers with
+/// work stealing, returning results in index order. The public iterator
+/// sugar and the experiment fleet both bottom out here.
+pub fn run_indexed<R, F>(len: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.clamp(1, len.max(1));
+    if threads == 1 {
+        return (0..len).map(f).collect();
+    }
+
+    // Blocked initial partition: worker w owns [w*len/T, (w+1)*len/T).
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|w| Mutex::new((w * len / threads..(w + 1) * len / threads).collect()))
+        .collect();
+    let (deques, f) = (&deques, &f);
+
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    while let Some(idx) = next_task(deques, w) {
+                        local.push((idx, f(idx)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(idx, _)| idx);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Error building a [`ThreadPool`] (kept for API parity; the shim builder
+/// cannot actually fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; rayon treats `0` as "use the default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = (n > 0).then_some(n);
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { threads: self.num_threads.unwrap_or_else(current_num_threads) })
+    }
+}
+
+/// A configured worker-count context. Workers are spawned per parallel
+/// call, so the pool itself holds no threads — only the count that
+/// parallel calls under [`ThreadPool::install`] will use.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with parallel calls inside it using this pool's worker
+    /// count.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let prev = INSTALLED_THREADS.with(|t| t.replace(Some(self.threads)));
+        let out = op();
+        INSTALLED_THREADS.with(|t| t.set(prev));
+        out
+    }
+}
+
+/// A parallel iterator over `&[T]`.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps each item through `f` (executed when the chain is collected).
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'data T) + Sync,
+    {
+        let items = self.items;
+        run_indexed(items.len(), current_num_threads(), |i| f(&items[i]));
+    }
+}
+
+/// A mapped parallel iterator; consumed by [`ParMap::collect`].
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Executes the map with work stealing and collects the results in
+    /// input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let (items, f) = (self.items, &self.f);
+        run_indexed(items.len(), current_num_threads(), |i| f(&items[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Borrowing conversion into a parallel iterator (the slice of rayon's
+/// `IntoParallelRefIterator` this workspace uses).
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type yielded by reference.
+    type Item: Sync + 'data;
+
+    /// Returns a parallel iterator over `&self`'s items.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// The import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn indexed_map_preserves_order_at_any_width() {
+        for threads in [1, 2, 3, 8, 64] {
+            let out = run_indexed(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn each_index_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
+        run_indexed(200, 8, |i| hits[i].fetch_add(1, Ordering::Relaxed));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn skewed_work_is_stolen() {
+        // One worker's initial block holds all the slow tasks; without
+        // stealing the run would serialise behind it.
+        let slow_done = AtomicUsize::new(0);
+        let out = run_indexed(16, 4, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                slow_done.fetch_add(1, Ordering::Relaxed);
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+        assert_eq!(slow_done.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn par_iter_map_collect_matches_serial() {
+        let items: Vec<u64> = (0..57).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        // The override does not leak past install.
+        let pool1 = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(pool1.install(current_num_threads), 1);
+    }
+
+    #[test]
+    fn zero_threads_means_default() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = run_indexed(0, 8, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Determinism under parallelism: the experiment fleet's core contract.
+//!
+//! An 8-experiment fleet (two services × two loads × two seeds) must
+//! produce **byte-identical** latency histograms and `MetricSet`s at 1, 2
+//! and 8 worker threads. Each experiment owns an isolated cluster seeded
+//! from its own splitmix64 stream, and the fleet merges outcomes in spec
+//! order, so thread count and steal interleaving can influence nothing.
+//!
+//! Workloads here are deliberately small (tens of requests): the property
+//! being tested is scheduling-independence, not statistical fidelity.
+
+use std::sync::Arc;
+
+use ditto::app::apps;
+use ditto::core::fleet::{ExperimentSpec, Fleet};
+use ditto::core::harness::{LoadKind, Testbed};
+use ditto::hw::platform::PlatformSpec;
+use ditto::sim::time::SimDuration;
+
+fn small_bed(seed: u64) -> Testbed {
+    Testbed {
+        server: PlatformSpec::a(),
+        client: PlatformSpec::c(),
+        seed,
+        warmup: SimDuration::from_millis(5),
+        window: SimDuration::from_millis(30),
+    }
+}
+
+/// Two services × two load points × two seeds = 8 experiments.
+fn eight_specs() -> Vec<ExperimentSpec> {
+    let mut specs = Vec::new();
+    for seed in [0xA11CE, 0xB0B] {
+        for qps in [600.0, 1_200.0] {
+            specs.push(ExperimentSpec::new(
+                format!("memcached/{qps}qps/{seed:#x}"),
+                small_bed(seed),
+                LoadKind::OpenLoop { qps, connections: 2 },
+                Arc::new(|_: &mut _, _| apps::memcached(9000)),
+            ));
+        }
+        for connections in [1, 2] {
+            specs.push(ExperimentSpec::new(
+                format!("redis/{connections}conn/{seed:#x}"),
+                small_bed(seed ^ 0x5EED),
+                LoadKind::ClosedLoop { connections, think: SimDuration::from_micros(300) },
+                Arc::new(|_: &mut _, _| apps::redis(9000)),
+            ));
+        }
+    }
+    specs
+}
+
+#[test]
+fn fleet_outcomes_bit_identical_at_1_2_and_8_threads() {
+    let specs = eight_specs();
+    assert_eq!(specs.len(), 8);
+
+    let baseline = Fleet::with_threads(1).run(&specs);
+    assert!(
+        baseline.iter().any(|o| o.load.received > 0),
+        "degenerate fleet: no experiment served traffic"
+    );
+
+    for threads in [2usize, 8] {
+        let outcomes = Fleet::with_threads(threads).run(&specs);
+        assert_eq!(outcomes.len(), baseline.len());
+        for (i, (a, b)) in baseline.iter().zip(&outcomes).enumerate() {
+            // Bucket-exact histogram equality (structural Eq) AND
+            // byte-identical serialized form, for both histogram and
+            // metrics — nothing may drift with worker count.
+            assert_eq!(
+                a.histogram, b.histogram,
+                "latency histogram diverged: spec {i} ({}) at {threads} threads",
+                specs[i].label
+            );
+            assert_eq!(
+                serde_json::to_string(&a.histogram).unwrap(),
+                serde_json::to_string(&b.histogram).unwrap(),
+                "histogram bytes diverged: spec {i} at {threads} threads"
+            );
+            assert_eq!(
+                a.metrics, b.metrics,
+                "MetricSet diverged: spec {i} ({}) at {threads} threads",
+                specs[i].label
+            );
+            assert_eq!(
+                serde_json::to_string(&a.metrics).unwrap(),
+                serde_json::to_string(&b.metrics).unwrap(),
+                "MetricSet bytes diverged: spec {i} at {threads} threads"
+            );
+            assert_eq!(a.load.sent, b.load.sent, "sent diverged: spec {i}");
+            assert_eq!(a.load.received, b.load.received, "received diverged: spec {i}");
+        }
+    }
+}
+
+#[test]
+fn identical_specs_at_different_indices_get_independent_streams() {
+    // The same spec listed twice must NOT produce the same outcome: the
+    // fleet XORs a splitmix64 stream of the experiment *index* into the
+    // base seed, decorrelating repeats.
+    let spec = ExperimentSpec::new(
+        "memcached/repeat",
+        small_bed(0xD0_5EED),
+        LoadKind::OpenLoop { qps: 900.0, connections: 2 },
+        Arc::new(|_: &mut _, _| apps::memcached(9000)),
+    );
+    let outcomes = Fleet::with_threads(1).run(&[spec.clone(), spec]);
+    assert_eq!(outcomes.len(), 2);
+    assert_ne!(
+        outcomes[0].histogram, outcomes[1].histogram,
+        "index stream derivation failed: repeated spec replayed identically"
+    );
+}

@@ -1,0 +1,219 @@
+//! Golden fidelity regression suite.
+//!
+//! For each single-tier service on Platform A at a fixed seed, a checked-in
+//! JSON snapshot under `tests/golden/` records the reference metrics (IPC,
+//! miss rates, p99, throughput) of both the original service and its
+//! fine-tuned clone. The suite fails when any metric drifts more than 10%
+//! relative to the snapshot — guarding clone fidelity against regressions
+//! between PRs. The simulator is fully deterministic, so on an unchanged
+//! tree the measured values match the snapshot exactly; the 10% band only
+//! absorbs intentional, reviewed changes to simulation details.
+//!
+//! Refresh after intentional changes with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_fidelity
+//! ```
+//!
+//! and commit the rewritten `tests/golden/*.json`.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use ditto::core::harness::{LoadKind, RunOutcome, Testbed};
+use ditto::core::{Ditto, FineTuner};
+use ditto::hw::platform::PlatformSpec;
+use ditto::profile::AppProfile;
+use ditto::sim::stats::relative_error_pct;
+use ditto::sim::time::SimDuration;
+use ditto_bench::AppId;
+use serde::{Deserialize, Serialize};
+
+/// Fixed experiment seed for every golden run.
+const GOLDEN_SEED: u64 = 0x601D;
+/// Allowed relative drift vs. the snapshot, per metric.
+const TOLERANCE_PCT: f64 = 10.0;
+
+fn golden_bed() -> Testbed {
+    Testbed {
+        server: PlatformSpec::a(),
+        client: PlatformSpec::c(),
+        seed: GOLDEN_SEED,
+        warmup: SimDuration::from_millis(10),
+        window: SimDuration::from_millis(60),
+    }
+}
+
+fn golden_tuner() -> FineTuner {
+    FineTuner { max_iterations: 2, tolerance_pct: 8.0, gain: 0.6 }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GoldenMetrics {
+    ipc: f64,
+    branch_miss_rate: f64,
+    l1i_miss_rate: f64,
+    l1d_miss_rate: f64,
+    l2_miss_rate: f64,
+    llc_miss_rate: f64,
+    p99_ms: f64,
+    throughput_qps: f64,
+}
+
+impl GoldenMetrics {
+    fn of(out: &RunOutcome) -> Self {
+        GoldenMetrics {
+            ipc: out.metrics.ipc,
+            branch_miss_rate: out.metrics.branch_miss_rate,
+            l1i_miss_rate: out.metrics.l1i_miss_rate,
+            l1d_miss_rate: out.metrics.l1d_miss_rate,
+            l2_miss_rate: out.metrics.l2_miss_rate,
+            llc_miss_rate: out.metrics.llc_miss_rate,
+            p99_ms: out.load.latency.p99.as_millis_f64(),
+            throughput_qps: out.load.throughput_qps,
+        }
+    }
+
+    /// Per-field relative drift (%) of `got` vs this snapshot.
+    fn drift(&self, got: &GoldenMetrics) -> Vec<(&'static str, f64)> {
+        vec![
+            ("IPC", relative_error_pct(self.ipc, got.ipc)),
+            ("Branch", relative_error_pct(self.branch_miss_rate, got.branch_miss_rate)),
+            ("L1i", relative_error_pct(self.l1i_miss_rate, got.l1i_miss_rate)),
+            ("L1d", relative_error_pct(self.l1d_miss_rate, got.l1d_miss_rate)),
+            ("L2", relative_error_pct(self.l2_miss_rate, got.l2_miss_rate)),
+            ("LLC", relative_error_pct(self.llc_miss_rate, got.llc_miss_rate)),
+            ("p99", relative_error_pct(self.p99_ms, got.p99_ms)),
+            ("QPS", relative_error_pct(self.throughput_qps, got.throughput_qps)),
+        ]
+    }
+
+    /// Ok when every field is within [`TOLERANCE_PCT`]; Err lists the
+    /// offenders.
+    fn check(&self, got: &GoldenMetrics, what: &str) -> Result<(), String> {
+        let over: Vec<String> = self
+            .drift(got)
+            .into_iter()
+            .filter(|&(_, e)| e > TOLERANCE_PCT)
+            .map(|(n, e)| format!("{n} drifted {e:.1}%"))
+            .collect();
+        if over.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{what}: {}", over.join(", ")))
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GoldenRecord {
+    service: String,
+    platform: String,
+    seed: u64,
+    load: String,
+    original: GoldenMetrics,
+    tuned_clone: GoldenMetrics,
+}
+
+fn golden_path(app: AppId) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}.json", app.name().to_lowercase()))
+}
+
+/// One golden measurement: profile at the service's low load, fine-tune,
+/// and measure original + tuned clone. Returns the record plus the pieces
+/// the negative test reuses.
+fn measure(app: AppId) -> (GoldenRecord, Testbed, LoadKind, AppProfile, Ditto) {
+    let bed = golden_bed();
+    let (load_name, load) = app.loads()[0];
+    let profiled = bed.run(|c, n| app.deploy(c, n), &load, true);
+    let profile = profiled.profile.clone().expect("profiled run");
+    let (tuned, _) = bed.tune_clone(&Ditto::new(), &profile, &load, &golden_tuner());
+
+    let original = bed.run(|c, n| app.deploy(c, n), &load, false);
+    let clone_out = bed.run_clone(&tuned, &profile, &load);
+    let record = GoldenRecord {
+        service: app.name().to_string(),
+        platform: bed.server.name.clone(),
+        seed: GOLDEN_SEED,
+        load: load_name.to_string(),
+        original: GoldenMetrics::of(&original),
+        tuned_clone: GoldenMetrics::of(&clone_out),
+    };
+    (record, bed, load, profile, tuned)
+}
+
+/// Memcached context shared between the positive and negative tests, so
+/// the expensive profile+tune pass runs once per process.
+fn memcached_ctx() -> &'static (GoldenRecord, Testbed, LoadKind, AppProfile, Ditto) {
+    static CTX: OnceLock<(GoldenRecord, Testbed, LoadKind, AppProfile, Ditto)> = OnceLock::new();
+    CTX.get_or_init(|| measure(AppId::Memcached))
+}
+
+fn check_or_update(app: AppId, measured: &GoldenRecord) -> Result<(), String> {
+    let path = golden_path(app);
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        let json = serde_json::to_string_pretty(measured).expect("serialize golden");
+        std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir tests/golden");
+        std::fs::write(&path, json + "\n").expect("write golden");
+        eprintln!("[golden] refreshed {}", path.display());
+        return Ok(());
+    }
+    let raw = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "missing snapshot {} ({e}); run UPDATE_GOLDEN=1 cargo test --test golden_fidelity",
+            path.display()
+        )
+    })?;
+    let reference: GoldenRecord = serde_json::from_str(&raw)
+        .map_err(|e| format!("unparseable snapshot {}: {e}", path.display()))?;
+    assert_eq!(reference.service, measured.service);
+    assert_eq!(reference.seed, measured.seed, "{}: seed changed", app.name());
+    reference
+        .original
+        .check(&measured.original, &format!("{} original", app.name()))?;
+    reference
+        .tuned_clone
+        .check(&measured.tuned_clone, &format!("{} tuned clone", app.name()))
+}
+
+#[test]
+fn golden_snapshots_match_for_all_services() {
+    let mut failures = Vec::new();
+    for app in AppId::ALL {
+        let record = if app == AppId::Memcached {
+            memcached_ctx().0.clone()
+        } else {
+            measure(app).0
+        };
+        if let Err(e) = check_or_update(app, &record) {
+            failures.push(e);
+        }
+    }
+    assert!(failures.is_empty(), "golden drift:\n  {}", failures.join("\n  "));
+}
+
+/// The negative control demanded by the acceptance criteria: deliberately
+/// perturbing a codegen knob must push the clone outside the 10% band, or
+/// the suite would be incapable of catching real regressions.
+#[test]
+fn perturbed_codegen_knob_breaks_golden() {
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        return; // nothing to compare against while regenerating
+    }
+    let (record, bed, load, profile, tuned) = memcached_ctx();
+    let mut sabotaged = tuned.clone();
+    // Quadruple the data working set and push locality to the floor: the
+    // kind of codegen regression the suite exists to catch.
+    sabotaged.knobs.dmem_scale = (sabotaged.knobs.dmem_scale * 4.0).min(16.0);
+    sabotaged.knobs.dmem_locality = -0.8;
+    sabotaged.knobs.imem_locality = -0.8;
+    let out = bed.run_clone(&sabotaged, profile, load);
+    let verdict = record.tuned_clone.check(&GoldenMetrics::of(&out), "sabotaged clone");
+    assert!(
+        verdict.is_err(),
+        "perturbing dmem_scale/locality stayed inside the 10% band — the golden suite has no \
+         regression-detection power"
+    );
+}

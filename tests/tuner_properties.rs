@@ -1,0 +1,148 @@
+//! Property-based tests for the §4.5 fine tuner.
+//!
+//! Inputs are generated from seeded [`SimRng`] streams (the build
+//! environment has no registry access, so proptest is unavailable); every
+//! case is deterministic and failures print the case index for exact
+//! replay. Three invariants, checked against randomized targets, response
+//! surfaces and tuner configurations:
+//!
+//! 1. a result reported `converged` always has a history step matching
+//!    its knobs with `worst_error_pct <= tolerance_pct`;
+//! 2. every evaluated knob set respects the clamp bounds;
+//! 3. the history never exceeds `max_iterations`.
+
+use ditto::core::{FineTuner, TuneKnobs};
+use ditto::hw::counters::PerfCounters;
+use ditto::profile::MetricSet;
+use ditto::sim::rng::SimRng;
+
+fn metrics(ipc: f64, branch: f64, l1i: f64, l1d: f64, llc: f64) -> MetricSet {
+    MetricSet {
+        ipc,
+        branch_miss_rate: branch,
+        l1i_miss_rate: l1i,
+        l1d_miss_rate: l1d,
+        l2_miss_rate: 0.2,
+        llc_miss_rate: llc,
+        net_bandwidth: 0.0,
+        disk_bandwidth: 0.0,
+        topdown: Default::default(),
+        counters: PerfCounters::new(),
+    }
+}
+
+fn random_target(rng: &mut SimRng) -> MetricSet {
+    metrics(
+        0.2 + rng.f64() * 2.5,
+        rng.f64() * 0.3,
+        rng.f64() * 0.3,
+        rng.f64() * 0.4,
+        rng.f64() * 0.6,
+    )
+}
+
+fn random_tuner(rng: &mut SimRng) -> FineTuner {
+    FineTuner {
+        max_iterations: rng.range(1, 13) as usize,
+        tolerance_pct: 0.5 + rng.f64() * 20.0,
+        gain: 0.2 + rng.f64() * 0.9,
+    }
+}
+
+/// A randomized response surface: metrics respond to the knobs through
+/// random (but fixed per case) couplings, sometimes monotone, sometimes
+/// adversarially noisy — the invariants must hold either way.
+fn random_eval(
+    target: MetricSet,
+    rng: &mut SimRng,
+) -> impl FnMut(&TuneKnobs) -> MetricSet {
+    let couple = [rng.f64() * 2.0, rng.f64() * 2.0, rng.f64(), rng.f64(), rng.f64()];
+    let mut noise = rng.split("noise");
+    let noisy = rng.chance(0.3);
+    move |k: &TuneKnobs| {
+        let jitter = if noisy { 0.8 + noise.f64() * 0.4 } else { 1.0 };
+        metrics(
+            (target.ipc * couple[0] * k.ilp_scale.powf(0.5) * jitter).max(1e-6),
+            (target.branch_miss_rate * couple[1] * k.branch_scale * jitter).max(0.0),
+            (target.l1i_miss_rate * 0.7 - couple[2] * 0.4 * k.imem_locality).max(0.0) * jitter,
+            (target.l1d_miss_rate * 1.5 - couple[3] * 0.5 * k.dmem_locality).max(0.0) * jitter,
+            (target.llc_miss_rate * couple[4] * 1.4 * k.dmem_scale.powf(0.6) * jitter).max(0.0),
+        )
+    }
+}
+
+fn assert_knobs_clamped(k: &TuneKnobs, case: usize) {
+    assert!((0.125..=8.0).contains(&k.branch_scale), "case {case}: branch {}", k.branch_scale);
+    assert!((0.125..=16.0).contains(&k.dmem_scale), "case {case}: dmem {}", k.dmem_scale);
+    assert!((0.25..=8.0).contains(&k.ilp_scale), "case {case}: ilp {}", k.ilp_scale);
+    assert!((-0.9..=0.95).contains(&k.imem_locality), "case {case}: imem_loc {}", k.imem_locality);
+    assert!((-0.9..=0.95).contains(&k.dmem_locality), "case {case}: dmem_loc {}", k.dmem_locality);
+}
+
+#[test]
+fn converged_results_are_within_tolerance() {
+    let mut rng = SimRng::seed(0x7_EA5E);
+    for case in 0..48 {
+        let target = random_target(&mut rng);
+        let tuner = random_tuner(&mut rng);
+        let eval = random_eval(target, &mut rng);
+        let result = tuner.tune(&target, eval);
+        if result.converged {
+            let witness = result.history.iter().any(|s| {
+                s.knobs == result.knobs && s.worst_error_pct <= tuner.tolerance_pct + 1e-9
+            });
+            assert!(
+                witness,
+                "case {case}: converged but no history step with the reported knobs is within \
+                 tolerance {:.2}%: {:?}",
+                tuner.tolerance_pct, result.history
+            );
+        } else {
+            // A non-converged result must never pretend otherwise: its
+            // best history step must be above tolerance.
+            let best = result
+                .history
+                .iter()
+                .map(|s| s.worst_error_pct)
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                best > tuner.tolerance_pct,
+                "case {case}: best error {best:.3}% within tolerance yet reported unconverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn knobs_always_respect_clamp_bounds() {
+    let mut rng = SimRng::seed(0xC1A_4B5);
+    for case in 0..48 {
+        let target = random_target(&mut rng);
+        let tuner = random_tuner(&mut rng);
+        let eval = random_eval(target, &mut rng);
+        let result = tuner.tune(&target, eval);
+        assert_knobs_clamped(&result.knobs, case);
+        for step in &result.history {
+            assert_knobs_clamped(&step.knobs, case);
+        }
+    }
+}
+
+#[test]
+fn history_never_exceeds_max_iterations() {
+    let mut rng = SimRng::seed(0x4157_0127);
+    for case in 0..48 {
+        let target = random_target(&mut rng);
+        let tuner = random_tuner(&mut rng);
+        let eval = random_eval(target, &mut rng);
+        let result = tuner.tune(&target, eval);
+        assert!(
+            result.history.len() <= tuner.max_iterations,
+            "case {case}: history {} > max {}",
+            result.history.len(),
+            tuner.max_iterations
+        );
+        assert_eq!(result.iterations, result.history.len(), "case {case}");
+        assert!(!result.history.is_empty(), "case {case}: empty history");
+    }
+}
