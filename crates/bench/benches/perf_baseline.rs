@@ -1,0 +1,209 @@
+//! Simulator performance baseline: wall-clock and simulated-instruction
+//! throughput of the execution engine with the steady-state fast path on
+//! vs off (`DITTO_NO_FASTPATH` semantics), written machine-readable to
+//! `BENCH_perf.json` at the repository root.
+//!
+//! Two cells, both on the platform-A testbed:
+//!
+//! - `stressor` — a loop-heavy compute service (a 16-instruction
+//!   branch-free block iterated ~25k times per request, the shape of a
+//!   checksum/memset inner loop) where the fast path should dominate;
+//! - `memcached` — a realistic stochastic service where the fast path only
+//!   engages on kernel copy loops and must at minimum never lose.
+//!
+//! The bench asserts bit-identity between the two modes, that the fast
+//! path is never slower on the steady-state cell (the CI gate), and a
+//! ≥3× stressor speedup in full mode. `--quick` shrinks the windows for
+//! the CI smoke job.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ditto_app::handlers::BehaviorHandler;
+use ditto_app::service::{NetworkModel, ServiceSpec};
+use ditto_app::RpcPolicy;
+use ditto_bench::AppId;
+use ditto_core::harness::{LoadKind, RunOutcome, Testbed};
+use ditto_hw::codegen::BodyParams;
+use ditto_hw::core_model::set_fastpath_enabled;
+use ditto_hw::isa::{BranchBehavior, InstrClass};
+use ditto_kernel::{Cluster, NodeId};
+use ditto_sim::time::SimDuration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SideReport {
+    wall_ms: f64,
+    sim_instructions: u64,
+    sim_mips: f64,
+    fastforward_iterations: u64,
+}
+
+#[derive(Serialize)]
+struct CellReport {
+    service: String,
+    load: String,
+    speedup: f64,
+    bit_identical: bool,
+    fast: SideReport,
+    slow: SideReport,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    mode: String,
+    platform: String,
+    cells: Vec<CellReport>,
+}
+
+/// A loop-heavy compute service: one hot cache line of data, a
+/// 16-instruction branch-free block iterated ~25k times per request —
+/// the steady-state shape (checksum, memset, spin-poll) the fast path is
+/// built for.
+fn stressor_service(port: u16) -> ServiceSpec {
+    let mut p = BodyParams::minimal(400_000, 0x0200_0000, 0x57e5);
+    p.mix = vec![
+        (InstrClass::IntAlu, 0.60),
+        (InstrClass::Mov, 0.20),
+        (InstrClass::Load, 0.15),
+        (InstrClass::Store, 0.05),
+    ];
+    p.branch_rates = vec![(BranchBehavior::new(1.0, 0.0), 1.0)];
+    p.data_working_sets = vec![(64, 1.0)];
+    p.instr_working_sets = vec![(64, 1.0)];
+    p.dep_distances = vec![(4, 1.0)];
+    p.shared_fraction = 0.0;
+    p.chase_fraction = 0.0;
+    p.data_region = ditto_app::service::DATA_REGION;
+    p.shared_region = ditto_app::service::SHARED_REGION;
+    let handler = BehaviorHandler::new(&p).with_response_bytes(1024);
+    ServiceSpec {
+        name: "stressor".into(),
+        port,
+        network: NetworkModel::EpollWorkers { workers: 0 },
+        handler: Arc::new(handler),
+        downstreams: Vec::new(),
+        collector: None,
+        rpc: RpcPolicy::default(),
+        data_bytes: 4 << 20,
+        shared_bytes: 4 << 20,
+    }
+}
+
+fn timed_run<F>(bed: &Testbed, deploy: F, load: &LoadKind, fast: bool) -> (RunOutcome, f64)
+where
+    F: FnOnce(&mut Cluster, NodeId) -> ServiceSpec,
+{
+    set_fastpath_enabled(fast);
+    let t0 = Instant::now();
+    let out = bed.run(deploy, load, false);
+    let wall = t0.elapsed().as_secs_f64();
+    set_fastpath_enabled(true);
+    (out, wall)
+}
+
+fn side(out: &RunOutcome, wall_s: f64) -> SideReport {
+    let instrs = out.metrics.counters.instructions;
+    SideReport {
+        wall_ms: wall_s * 1e3,
+        sim_instructions: instrs,
+        sim_mips: instrs as f64 / wall_s.max(1e-9) / 1e6,
+        fastforward_iterations: out.fastforward_iterations,
+    }
+}
+
+fn cell<F>(name: &str, mut deploy: F, load: &LoadKind, load_label: &str, bed: &Testbed) -> CellReport
+where
+    F: FnMut(&mut Cluster, NodeId) -> ServiceSpec,
+{
+    let (fast, fast_wall) = timed_run(bed, &mut deploy, load, true);
+    let (slow, slow_wall) = timed_run(bed, &mut deploy, load, false);
+    let bit_identical = fast.metrics == slow.metrics && fast.histogram == slow.histogram;
+    assert!(bit_identical, "{name}: fast and slow paths diverged");
+    assert!(
+        fast.fastforward_iterations > 0,
+        "{name}: fast path never engaged"
+    );
+    assert_eq!(slow.fastforward_iterations, 0, "{name}: slow run used the fast path");
+    CellReport {
+        service: name.to_string(),
+        load: load_label.to_string(),
+        speedup: slow_wall / fast_wall.max(1e-9),
+        bit_identical,
+        fast: side(&fast, fast_wall),
+        slow: side(&slow, slow_wall),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (warmup, window) = if quick {
+        (SimDuration::from_millis(10), SimDuration::from_millis(40))
+    } else {
+        (SimDuration::from_millis(40), SimDuration::from_millis(200))
+    };
+    let bed = Testbed { warmup, window, ..Testbed::default_ab(0xBE7C) };
+
+    let stressor_load = LoadKind::OpenLoop { qps: 2_000.0, connections: 4 };
+    let mut cells = Vec::new();
+    cells.push(cell(
+        "stressor",
+        |_c: &mut Cluster, _n: NodeId| stressor_service(9000),
+        &stressor_load,
+        "open-loop 2k qps",
+        &bed,
+    ));
+    let mc = AppId::Memcached;
+    cells.push(cell(
+        "memcached",
+        |c: &mut Cluster, n: NodeId| mc.deploy(c, n),
+        &mc.medium_load(),
+        "med",
+        &bed,
+    ));
+
+    // CI gate: the steady-state cell must never lose wall-clock, and in
+    // full mode it must demonstrate the headline ≥3× speedup.
+    let stress = &cells[0];
+    assert!(
+        stress.speedup >= 1.0,
+        "fast path slower than slow path on steady-state workload: {:.2}×",
+        stress.speedup
+    );
+    if !quick {
+        assert!(
+            stress.speedup >= 3.0,
+            "stressor speedup below target: {:.2}× (< 3×)",
+            stress.speedup
+        );
+    }
+
+    for c in &cells {
+        eprintln!(
+            "[perf] {:<10} {:<18} fast {:>9.1} ms ({:>8.2} Msim-instr/s, ff {:>12}) slow {:>9.1} ms \
+             ({:>8.2} Msim-instr/s) speedup {:>6.2}x",
+            c.service,
+            c.load,
+            c.fast.wall_ms,
+            c.fast.sim_mips,
+            c.fast.fastforward_iterations,
+            c.slow.wall_ms,
+            c.slow.sim_mips,
+            c.speedup,
+        );
+    }
+
+    let report = Report {
+        bench: "perf_baseline".into(),
+        mode: if quick { "quick" } else { "full" }.into(),
+        platform: "A".into(),
+        cells,
+    };
+    let out_path = std::env::var("BENCH_PERF_OUT").unwrap_or_else(|_| {
+        format!("{}/../../BENCH_perf.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_perf.json");
+    eprintln!("[perf] wrote {out_path}");
+}

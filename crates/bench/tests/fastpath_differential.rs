@@ -1,0 +1,87 @@
+//! Differential suite for the steady-state execution fast path: every
+//! service, run on the platform-A testbed with fast-forwarding enabled and
+//! then with it disabled (the `DITTO_NO_FASTPATH` path), must produce
+//! byte-identical hardware metrics (including the raw `PerfCounters`
+//! deltas), latency histograms, and load summaries — while the fast run
+//! provably engaged the fast path and the slow run provably did not.
+
+use std::sync::Mutex;
+
+use ditto_bench::AppId;
+use ditto_core::harness::{RunOutcome, Testbed};
+use ditto_hw::core_model::set_fastpath_enabled;
+use ditto_sim::time::SimDuration;
+
+/// Serializes tests that flip the process-global fast-path switch.
+static FASTPATH_SWITCH: Mutex<()> = Mutex::new(());
+
+fn bed(app: AppId) -> Testbed {
+    // A shorter window than the default keeps the 8-run suite fast; the
+    // identity property is window-independent.
+    Testbed {
+        warmup: SimDuration::from_millis(20),
+        window: SimDuration::from_millis(100),
+        ..Testbed::default_ab(0xD1FF ^ app.name().len() as u64)
+    }
+}
+
+fn run(app: AppId, fast: bool) -> RunOutcome {
+    set_fastpath_enabled(fast);
+    let out = bed(app).run(|c, n| app.deploy(c, n), &app.medium_load(), false);
+    set_fastpath_enabled(true);
+    out
+}
+
+fn differential(app: AppId) {
+    let _guard = FASTPATH_SWITCH.lock().unwrap_or_else(|e| e.into_inner());
+    let fast = run(app, true);
+    let slow = run(app, false);
+
+    assert_eq!(
+        fast.metrics,
+        slow.metrics,
+        "{}: MetricSet (incl. raw PerfCounters) diverged between fast and slow paths",
+        app.name()
+    );
+    assert_eq!(
+        fast.histogram,
+        slow.histogram,
+        "{}: bucket-exact latency histogram diverged",
+        app.name()
+    );
+    assert_eq!(fast.load.sent, slow.load.sent, "{}: sent diverged", app.name());
+    assert_eq!(fast.load.received, slow.load.received, "{}: received diverged", app.name());
+    assert_eq!(fast.load.timeouts, slow.load.timeouts, "{}: timeouts diverged", app.name());
+    assert_eq!(fast.load.errors, slow.load.errors, "{}: errors diverged", app.name());
+
+    assert!(
+        fast.fastforward_iterations > 0,
+        "{}: fast path never engaged (0 fast-forwarded iterations)",
+        app.name()
+    );
+    assert_eq!(
+        slow.fastforward_iterations, 0,
+        "{}: fast path engaged despite being disabled",
+        app.name()
+    );
+}
+
+#[test]
+fn memcached_fast_and_slow_paths_agree() {
+    differential(AppId::Memcached);
+}
+
+#[test]
+fn nginx_fast_and_slow_paths_agree() {
+    differential(AppId::Nginx);
+}
+
+#[test]
+fn mongodb_fast_and_slow_paths_agree() {
+    differential(AppId::MongoDb);
+}
+
+#[test]
+fn redis_fast_and_slow_paths_agree() {
+    differential(AppId::Redis);
+}

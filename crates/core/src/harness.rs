@@ -100,6 +100,11 @@ pub struct RunOutcome {
     pub histogram: LatencyHistogram,
     /// Full profile, when profiling was requested.
     pub profile: Option<AppProfile>,
+    /// Instructions replayed analytically by the execution fast path
+    /// across the whole cluster. Diagnostic: lives outside `metrics` so
+    /// fast and slow runs compare bit-identical, but lets tests assert the
+    /// fast path actually engaged.
+    pub fastforward_iterations: u64,
 }
 
 impl Testbed {
@@ -158,6 +163,7 @@ impl Testbed {
             load: recorder.summary(self.window),
             histogram: recorder.histogram(),
             profile: app_profile,
+            fastforward_iterations: cluster.fastforward_iterations(),
         }
     }
 

@@ -36,6 +36,13 @@ pub struct BranchPredictor {
     pht: Vec<u8>,
     history: u64,
     btb: Cache,
+    /// Learning-mutation counter: bumped whenever a PHT counter changes
+    /// value or the BTB changes structurally. Saturated PHT updates and
+    /// BTB hits leave it unchanged, so a trained predictor on a steady
+    /// branch sequence holds it constant — the property the execution
+    /// fast path checks. The history register is deliberately excluded
+    /// (it shifts on every branch); fingerprints compare it directly.
+    mutations: u64,
 }
 
 /// Outcome of one prediction.
@@ -60,12 +67,23 @@ impl BranchPredictor {
             pht: vec![1; 1 << spec.pht_bits],
             history: 0,
             btb,
+            mutations: 0,
         }
     }
 
     /// The spec used to build this predictor.
     pub fn spec(&self) -> BranchPredictorSpec {
         self.spec
+    }
+
+    /// PHT + BTB learning mutations since construction (monotonic).
+    pub fn mutations(&self) -> u64 {
+        self.mutations + self.btb.mutations()
+    }
+
+    /// The raw global-history register.
+    pub fn history(&self) -> u64 {
+        self.history
     }
 
     fn index(&self, pc: u64) -> usize {
@@ -83,7 +101,11 @@ impl BranchPredictor {
         let predicted_taken = counter >= 2;
 
         // Direction update (2-bit saturating).
-        self.pht[idx] = if taken { (counter + 1).min(3) } else { counter.saturating_sub(1) };
+        let updated = if taken { (counter + 1).min(3) } else { counter.saturating_sub(1) };
+        if updated != counter {
+            self.pht[idx] = updated;
+            self.mutations += 1;
+        }
         self.history = (self.history << 1) | u64::from(taken);
 
         // BTB: taken branches need a target. Key by instruction address.
@@ -105,6 +127,7 @@ impl BranchPredictor {
         }
         self.history = 0;
         self.btb.flush();
+        self.mutations += 1;
     }
 }
 

@@ -64,17 +64,36 @@ struct LineState {
     /// Presence bitmap: which cores' private caches may hold this line.
     /// Only maintained by the LLC.
     presence: u64,
+    /// Recency stamp: the value of the cache-wide touch counter when this
+    /// line was last accessed or filled. The set's LRU victim is the line
+    /// with the smallest stamp. An invalidated line keeps its stamp, so it
+    /// occupies the same replacement position a dead line held in the old
+    /// recency-ordered representation.
+    age: u64,
 }
 
-const EMPTY_LINE: LineState = LineState { tag: 0, valid: false, presence: 0 };
+const EMPTY_LINE: LineState = LineState { tag: 0, valid: false, presence: 0, age: 0 };
 
-/// One set-associative LRU cache. Ways within a set are kept in recency
-/// order (index 0 = MRU), so hit handling is a scan + rotate.
+/// One set-associative LRU cache.
+///
+/// Recency is tracked with per-line age stamps from a monotonically
+/// increasing touch counter: a hit stores one stamp (instead of the old
+/// `rotate_right` of the set's MRU prefix, O(ways) writes per hit), and a
+/// fill scans the set once for the minimum stamp. Victim choice is
+/// identical to the recency-ordered implementation — stamp order is
+/// recency order.
 #[derive(Debug, Clone)]
 pub struct Cache {
     spec: CacheSpec,
     set_mask: u64,
-    lines: Vec<LineState>, // sets * ways, row-major per set in LRU order
+    lines: Vec<LineState>, // sets * ways, row-major per set
+    /// Touch counter backing the age stamps.
+    stamp: u64,
+    /// Structural-mutation counter: bumped by every fill, successful
+    /// invalidation, presence change, and flush — but not by hits, which
+    /// only touch recency. The execution fast path compares this across
+    /// loop iterations to prove the cache reached a fixed point.
+    mutations: u64,
 }
 
 impl Cache {
@@ -86,12 +105,21 @@ impl Cache {
             spec,
             set_mask: sets as u64 - 1,
             lines: vec![EMPTY_LINE; sets * spec.ways],
+            stamp: 0,
+            mutations: 0,
         }
     }
 
     /// The spec this cache was built from.
     pub fn spec(&self) -> CacheSpec {
         self.spec
+    }
+
+    /// Structural mutations (fills, evictions, invalidations, presence
+    /// changes, flushes) since construction. Monotonic; recency updates on
+    /// hits do not count.
+    pub fn mutations(&self) -> u64 {
+        self.mutations
     }
 
     fn set_range(&self, line_addr: u64) -> (usize, u64) {
@@ -103,14 +131,12 @@ impl Cache {
     /// updating recency. Returns the line's presence metadata on hit.
     pub fn access(&mut self, line_addr: u64) -> Option<u64> {
         let (base, tag) = self.set_range(line_addr);
-        let ways = self.spec.ways;
-        let set = &mut self.lines[base..base + ways];
-        for i in 0..ways {
-            if set[i].valid && set[i].tag == tag {
-                let hit = set[i];
-                set[..=i].rotate_right(1);
-                set[0] = hit;
-                return Some(hit.presence);
+        let set = &mut self.lines[base..base + self.spec.ways];
+        for l in set.iter_mut() {
+            if l.valid && l.tag == tag {
+                self.stamp += 1;
+                l.age = self.stamp;
+                return Some(l.presence);
             }
         }
         None
@@ -121,11 +147,17 @@ impl Cache {
     /// displaced.
     pub fn fill(&mut self, line_addr: u64, presence: u64) -> Option<(u64, u64)> {
         let (base, tag) = self.set_range(line_addr);
-        let ways = self.spec.ways;
-        let set = &mut self.lines[base..base + ways];
-        let victim = set[ways - 1];
-        set.rotate_right(1);
-        set[0] = LineState { tag, valid: true, presence };
+        let set = &mut self.lines[base..base + self.spec.ways];
+        let mut victim_idx = 0;
+        for (i, l) in set.iter().enumerate().skip(1) {
+            if l.age < set[victim_idx].age {
+                victim_idx = i;
+            }
+        }
+        let victim = set[victim_idx];
+        self.stamp += 1;
+        set[victim_idx] = LineState { tag, valid: true, presence, age: self.stamp };
+        self.mutations += 1;
         if victim.valid {
             Some((victim.tag, victim.presence))
         } else {
@@ -143,15 +175,21 @@ impl Cache {
     }
 
     /// Updates the presence metadata of a resident line without touching
-    /// recency. No-op if the line is absent.
-    pub fn set_presence(&mut self, line_addr: u64, presence: u64) {
+    /// recency. No-op if the line is absent. Returns whether the stored
+    /// value actually changed.
+    pub fn set_presence(&mut self, line_addr: u64, presence: u64) -> bool {
         let (base, tag) = self.set_range(line_addr);
         for l in &mut self.lines[base..base + self.spec.ways] {
             if l.valid && l.tag == tag {
-                l.presence = presence;
-                return;
+                if l.presence != presence {
+                    l.presence = presence;
+                    self.mutations += 1;
+                    return true;
+                }
+                return false;
             }
         }
+        false
     }
 
     /// Removes `line_addr` if present. Returns whether it was resident.
@@ -160,6 +198,7 @@ impl Cache {
         for l in &mut self.lines[base..base + self.spec.ways] {
             if l.valid && l.tag == tag {
                 l.valid = false;
+                self.mutations += 1;
                 return true;
             }
         }
@@ -179,6 +218,7 @@ impl Cache {
         for l in &mut self.lines {
             l.valid = false;
         }
+        self.mutations += 1;
     }
 }
 
@@ -235,6 +275,21 @@ impl MemorySystem {
     /// Number of physical cores served.
     pub fn cores(&self) -> usize {
         self.l1d.len()
+    }
+
+    /// Total structural mutations across the whole hierarchy (monotonic).
+    /// Constant across a window of accesses iff no fill, eviction,
+    /// invalidation, or presence change happened anywhere — i.e. every
+    /// access in the window was a pure hit.
+    pub fn mutations(&self) -> u64 {
+        let private: u64 = self
+            .l1i
+            .iter()
+            .chain(&self.l1d)
+            .chain(&self.l2)
+            .map(Cache::mutations)
+            .sum();
+        private + self.llc.mutations()
     }
 
     /// The configured latencies.
@@ -440,6 +495,193 @@ mod tests {
             })
             .count();
         assert_eq!(misses, 8, "sequential over-capacity loop must thrash LRU");
+    }
+
+    /// The old recency-ordered implementation (scan + `rotate_right` on
+    /// hit, evict position `ways - 1` on fill), kept verbatim as a
+    /// reference model for the age-counter replacement.
+    struct RotateCache {
+        ways: usize,
+        set_mask: u64,
+        lines: Vec<LineState>,
+    }
+
+    impl RotateCache {
+        fn new(spec: CacheSpec) -> Self {
+            RotateCache {
+                ways: spec.ways,
+                set_mask: spec.sets() as u64 - 1,
+                lines: vec![EMPTY_LINE; spec.sets() * spec.ways],
+            }
+        }
+
+        fn set_range(&self, line_addr: u64) -> (usize, u64) {
+            ((line_addr & self.set_mask) as usize * self.ways, line_addr)
+        }
+
+        fn access(&mut self, line_addr: u64) -> Option<u64> {
+            let (base, tag) = self.set_range(line_addr);
+            let set = &mut self.lines[base..base + self.ways];
+            for i in 0..set.len() {
+                if set[i].valid && set[i].tag == tag {
+                    let hit = set[i];
+                    set[..=i].rotate_right(1);
+                    set[0] = hit;
+                    return Some(hit.presence);
+                }
+            }
+            None
+        }
+
+        fn fill(&mut self, line_addr: u64, presence: u64) -> Option<(u64, u64)> {
+            let (base, tag) = self.set_range(line_addr);
+            let set = &mut self.lines[base..base + self.ways];
+            let victim = set[self.ways - 1];
+            set.rotate_right(1);
+            set[0] = LineState { tag, valid: true, presence, age: 0 };
+            victim.valid.then_some((victim.tag, victim.presence))
+        }
+
+        fn invalidate(&mut self, line_addr: u64) -> bool {
+            let (base, tag) = self.set_range(line_addr);
+            for l in &mut self.lines[base..base + self.ways] {
+                if l.valid && l.tag == tag {
+                    l.valid = false;
+                    return true;
+                }
+            }
+            false
+        }
+
+        fn set_presence(&mut self, line_addr: u64, presence: u64) {
+            let (base, tag) = self.set_range(line_addr);
+            for l in &mut self.lines[base..base + self.ways] {
+                if l.valid && l.tag == tag {
+                    l.presence = presence;
+                    return;
+                }
+            }
+        }
+
+        fn peek(&self, line_addr: u64) -> Option<u64> {
+            let (base, tag) = self.set_range(line_addr);
+            self.lines[base..base + self.ways]
+                .iter()
+                .find(|l| l.valid && l.tag == tag)
+                .map(|l| l.presence)
+        }
+    }
+
+    fn assert_no_duplicate_valid_tags(c: &Cache) {
+        let ways = c.spec.ways;
+        for (set_idx, set) in c.lines.chunks(ways).enumerate() {
+            for i in 0..ways {
+                for j in i + 1..ways {
+                    assert!(
+                        !(set[i].valid && set[j].valid && set[i].tag == set[j].tag),
+                        "duplicate valid tag {:#x} in set {set_idx}",
+                        set[i].tag
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_ops_never_duplicate_valid_tags_within_a_set() {
+        use ditto_sim::rng::SimRng;
+        let mut rng = SimRng::seed(0xCACE);
+        for trial in 0..8 {
+            let ways = [2usize, 4, 8][trial % 3];
+            let mut c = Cache::new(tiny_spec(4 * ways as u64, ways));
+            for _ in 0..4000 {
+                let line = rng.below(64);
+                match rng.below(4) {
+                    0 => {
+                        c.access(line);
+                    }
+                    1 => {
+                        // Fill only on miss, as every call site does.
+                        if c.access(line).is_none() {
+                            c.fill(line, rng.below(4));
+                        }
+                    }
+                    2 => {
+                        c.invalidate(line);
+                    }
+                    _ => {
+                        c.set_presence(line, rng.below(4));
+                    }
+                }
+                assert_no_duplicate_valid_tags(&c);
+            }
+        }
+    }
+
+    #[test]
+    fn age_lru_matches_rotate_lru_reference_on_random_traces() {
+        use ditto_sim::rng::SimRng;
+        for seed in 0..6u64 {
+            let mut rng = SimRng::seed(0x17CACE + seed);
+            let spec = tiny_spec(16, 4); // 4 sets × 4 ways
+            let mut age = Cache::new(spec);
+            let mut rot = RotateCache::new(spec);
+            for op in 0..8000 {
+                let line = rng.below(48);
+                match rng.below(8) {
+                    0..=2 => {
+                        assert_eq!(age.access(line), rot.access(line), "access {op} line {line}");
+                    }
+                    3..=5 => {
+                        let a = age.access(line);
+                        let r = rot.access(line);
+                        assert_eq!(a, r, "pre-fill access {op}");
+                        if a.is_none() {
+                            let p = rng.below(4);
+                            let va = age.fill(line, p);
+                            let vr = rot.fill(line, p);
+                            // Evicted *valid* victims must match exactly;
+                            // replacing an empty way returns None in both.
+                            assert_eq!(va, vr, "victim mismatch at op {op} line {line}");
+                        }
+                    }
+                    6 => {
+                        assert_eq!(age.invalidate(line), rot.invalidate(line), "invalidate {op}");
+                    }
+                    _ => {
+                        let p = rng.below(4);
+                        age.set_presence(line, p);
+                        rot.set_presence(line, p);
+                    }
+                }
+                for probe in 0..48 {
+                    assert_eq!(age.peek(probe), rot.peek(probe), "peek {probe} after op {op}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn structural_mutations_count_only_structure() {
+        let mut c = Cache::new(tiny_spec(4, 4));
+        assert_eq!(c.mutations(), 0);
+        c.fill(1, 0);
+        assert_eq!(c.mutations(), 1);
+        // Hits touch recency only.
+        for _ in 0..10 {
+            assert!(c.access(1).is_some());
+        }
+        assert_eq!(c.mutations(), 1);
+        // Presence change counts once; rewriting the same value does not.
+        assert!(c.set_presence(1, 3));
+        assert!(!c.set_presence(1, 3));
+        assert_eq!(c.mutations(), 2);
+        // Misses and failed invalidations are not mutations.
+        assert!(c.access(2).is_none());
+        assert!(!c.invalidate(2));
+        assert_eq!(c.mutations(), 2);
+        assert!(c.invalidate(1));
+        assert_eq!(c.mutations(), 3);
     }
 
     #[test]

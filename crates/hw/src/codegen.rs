@@ -353,24 +353,27 @@ fn build_block(
 
 /// A program that just copies `bytes` through the given region with
 /// `rep`-style string operations — the kernel's `memcpy` path.
+///
+/// The copy is modelled as its real steady-state loop shape: one
+/// cache-line-sized `rep` step per iteration through a hot kernel bounce
+/// buffer (fixed line, stride 0), `bytes / 64` iterations. Total rep
+/// latency is unchanged (`imm / 16` cycles per step, so `bytes / 16`
+/// overall) and so is the line-touch count, but the loop now interleaves
+/// with the pipeline at line granularity — and, being branch-free,
+/// RNG-free and address-invariant, it is exactly the kind of block the
+/// steady-state fast path can replay analytically.
 pub fn copy_program(pc_base: u64, region: u32, bytes: u64) -> Program {
     let mut p = Program::new();
     if bytes == 0 {
         return p;
     }
-    const CHUNK: u64 = 64 * 1024;
+    const LINE: u64 = 64;
     let mut block = CodeBlock::new(pc_base);
-    let chunk = bytes.min(CHUNK) as u32;
     let mut i = Instr::load(Reg(4), MemRef::read(region, 0));
     i.class = InstrClass::RepString;
-    i.imm = chunk;
-    if let Some(m) = &mut i.mem {
-        // Walk the buffer across iterations.
-        m.stride = chunk;
-        m.window_mask = (bytes.max(64).next_power_of_two() - 1) as u32;
-    }
+    i.imm = LINE as u32;
     block.instrs.push(i);
-    let iters = bytes.div_ceil(u64::from(chunk)) as u32;
+    let iters = bytes.div_ceil(LINE).min(u64::from(u32::MAX)) as u32;
     p.push(Arc::new(block), iters.max(1));
     p
 }

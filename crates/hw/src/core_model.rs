@@ -10,8 +10,8 @@
 //! (register-ready scoreboard; ILP), and pointer chasing (serialised miss
 //! chains; MLP). Cycle losses are attributed to the four top-down slots.
 
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 
 use ditto_sim::rng::SimRng;
 use ditto_sim::time::SimDuration;
@@ -76,30 +76,58 @@ impl MemoryMap {
     }
 }
 
-/// Multiply-shift hasher for the hot branch-state map.
-#[derive(Default)]
-pub struct U64Hasher(u64);
+/// When set, [`Core::execute`] never engages the steady-state fast-forward
+/// path. Initialised from `DITTO_NO_FASTPATH` on first use; flippable at
+/// runtime for in-process differential testing.
+static FASTPATH_DISABLED: OnceLock<AtomicBool> = OnceLock::new();
 
-impl Hasher for U64Hasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        }
-    }
-    fn write_u64(&mut self, n: u64) {
-        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        self.0 ^= self.0 >> 29;
-    }
+fn fastpath_flag() -> &'static AtomicBool {
+    FASTPATH_DISABLED.get_or_init(|| {
+        let off = matches!(std::env::var("DITTO_NO_FASTPATH"), Ok(v) if !v.is_empty() && v != "0");
+        AtomicBool::new(off)
+    })
 }
+
+/// Whether the steady-state fast-forward path may engage. Defaults to true
+/// unless the process was started with `DITTO_NO_FASTPATH=1`.
+pub fn fastpath_enabled() -> bool {
+    !fastpath_flag().load(Ordering::Relaxed)
+}
+
+/// Enables or disables the fast-forward path process-wide, overriding the
+/// `DITTO_NO_FASTPATH` environment variable. The slow and fast paths are
+/// bit-identical by construction; this switch exists so differential tests
+/// and benchmarks can compare them within one process.
+pub fn set_fastpath_enabled(enabled: bool) {
+    fastpath_flag().store(!enabled, Ordering::Relaxed);
+}
+
+/// Sentinel for empty slots in [`BranchStates`]. Branch sites are
+/// instruction addresses, which are word-aligned and never `u64::MAX`.
+const BRANCH_EMPTY: u64 = u64::MAX;
 
 /// Per-thread Markov state of every conditional branch site the thread has
 /// executed, keyed by static branch address.
-#[derive(Default)]
+///
+/// Stored as an open-addressed table (power-of-two capacity, multiply-shift
+/// hash, linear probing) instead of a `HashMap`: lookups on this path run
+/// once per simulated conditional branch, and the flat probe sequence stays
+/// in one or two cache lines for the table sizes real programs produce.
 pub struct BranchStates {
-    map: HashMap<u64, bool, BuildHasherDefault<U64Hasher>>,
+    keys: Vec<u64>,
+    states: Vec<bool>,
+    len: usize,
+    shift: u32,
+    /// Inserts + state flips since construction (monotonic). Constant over
+    /// a window iff every branch in it kept its current Markov state — one
+    /// of the conditions for the execution fast path to engage.
+    mutations: u64,
+}
+
+impl Default for BranchStates {
+    fn default() -> Self {
+        BranchStates::with_capacity_log2(6)
+    }
 }
 
 impl BranchStates {
@@ -108,38 +136,92 @@ impl BranchStates {
         BranchStates::default()
     }
 
-    fn next_outcome(&mut self, site: u64, taken_rate: f64, flip: (f64, f64), rng: &mut SimRng) -> bool {
-        match self.map.get_mut(&site) {
-            Some(state) => {
-                let (a, b) = flip;
-                let p_flip = if *state { a } else { b };
-                if rng.chance(p_flip) {
-                    *state = !*state;
-                }
-                *state
+    fn with_capacity_log2(log2: u32) -> Self {
+        BranchStates {
+            keys: vec![BRANCH_EMPTY; 1 << log2],
+            states: vec![false; 1 << log2],
+            len: 0,
+            shift: 64 - log2,
+            mutations: 0,
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, site: u64) -> usize {
+        // Fibonacci multiply-shift spreads word-aligned PCs well.
+        let mask = self.keys.len() - 1;
+        let mut i = (site.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize;
+        loop {
+            let k = self.keys[i];
+            if k == site || k == BRANCH_EMPTY {
+                return i;
             }
-            None => {
-                let init = rng.chance(taken_rate);
-                self.map.insert(site, init);
-                init
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let old_keys = std::mem::take(&mut self.keys);
+        let old_states = std::mem::take(&mut self.states);
+        let log2 = old_keys.len().trailing_zeros() + 1;
+        self.keys = vec![BRANCH_EMPTY; 1 << log2];
+        self.states = vec![false; 1 << log2];
+        self.shift = 64 - log2;
+        for (k, s) in old_keys.into_iter().zip(old_states) {
+            if k != BRANCH_EMPTY {
+                let i = self.slot_of(k);
+                self.keys[i] = k;
+                self.states[i] = s;
             }
         }
     }
 
+    fn next_outcome(&mut self, site: u64, taken_rate: f64, flip: (f64, f64), rng: &mut SimRng) -> bool {
+        let i = self.slot_of(site);
+        if self.keys[i] == site {
+            let state = self.states[i];
+            let (a, b) = flip;
+            let p_flip = if state { a } else { b };
+            if rng.chance(p_flip) {
+                self.states[i] = !state;
+                self.mutations += 1;
+                !state
+            } else {
+                state
+            }
+        } else {
+            let init = rng.chance(taken_rate);
+            self.keys[i] = site;
+            self.states[i] = init;
+            self.len += 1;
+            self.mutations += 1;
+            // Keep load factor under 1/2 so probe chains stay short.
+            if self.len * 2 >= self.keys.len() {
+                self.grow();
+            }
+            init
+        }
+    }
+
+    /// Inserts + state flips since construction (monotonic).
+    pub fn mutations(&self) -> u64 {
+        self.mutations
+    }
+
     /// Number of branch sites with state.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Whether no sites have state.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 }
 
 impl std::fmt::Debug for BranchStates {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BranchStates").field("sites", &self.map.len()).finish()
+        f.debug_struct("BranchStates").field("sites", &self.len).finish()
     }
 }
 
@@ -196,22 +278,143 @@ pub struct ExecResult {
     pub instructions: u64,
 }
 
+/// Statistics of the steady-state fast-forward path. Kept outside
+/// [`PerfCounters`] on purpose: fast-forwarded and instruction-by-
+/// instruction runs must produce byte-identical counters, so bookkeeping
+/// about *how* the simulation got there cannot live in them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastForwardStats {
+    /// Loop iterations skipped analytically instead of simulated.
+    pub fastforward_iterations: u64,
+    /// Number of times the fast path engaged (one per replayed run tail).
+    pub engagements: u64,
+}
+
 /// One physical core: a [`CoreSpec`] plus accumulated [`PerfCounters`].
 #[derive(Debug, Clone)]
 pub struct Core {
     spec: CoreSpec,
     id: usize,
     counters: PerfCounters,
+    ff: FastForwardStats,
 }
 
 const NCLASS: usize = InstrClass::ALL.len();
 /// Cap on modelled `rep` string lengths, in cache lines.
 const REP_LINE_CAP: u32 = 4096;
 
+/// Minimum trip count before fast-forward detection is worth its
+/// fingerprinting overhead.
+const FF_MIN_ITERS: u32 = 16;
+/// Stop fingerprinting a run after this many quiescent-but-unstable
+/// iterations; the block is drifting and will not fix-point.
+const FF_MAX_ATTEMPTS: u32 = 128;
+
+/// Longest iteration period the fast path recognises. Loops whose
+/// instruction count is not a multiple of the issue width end successive
+/// iterations at different slot phases, so the pipeline fix-point has
+/// period `width / gcd(ilen, width)` rather than 1; 8 covers every phase
+/// pattern of realistic issue widths.
+const FF_MAX_PERIOD: usize = 8;
+/// Ring capacity: end-states up to FF_MAX_PERIOD iterations back.
+const FF_RING: usize = FF_MAX_PERIOD + 1;
+
+/// Pipeline state at the end of a loop iteration, expressed relative to
+/// the current cycle. If the end-states of iterations `i` and `i - P`
+/// are equal (and the `P` iterations in between drew no randomness and
+/// caused no cache/BTB structural changes, PHT updates, or branch-state
+/// changes), the loop is a provable fixed point of period `P`: every later
+/// group of `P` iterations replays the same deltas, so the remainder of
+/// the run can be applied analytically.
+///
+/// Absolute timestamps at or below the current cycle are represented as 0
+/// (`saturating_sub`). That is lossy but behaviourally exact: every
+/// consumer reads them through `max(...)` against a value ≥ cycle or a
+/// `> cycle` comparison, so any value ≤ cycle is indistinguishable from 0.
+///
+/// Field order is comparison order (derived `PartialEq`): the cheap scalar
+/// discriminators come first so mismatching probes fail fast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PipeRel {
+    slots: u32,
+    fetch_is_badspec: bool,
+    fetch: u64,
+    chase: u64,
+    max_completion: u64,
+    last_fetch_line: u64,
+    /// The predictor's global-history register (absolute). Equal history
+    /// at the two compared iteration ends means the branch pattern shifts
+    /// it back onto itself, so PHT indices repeat exactly.
+    history: u64,
+    reg: [u64; Reg::COUNT],
+    port: [u64; NCLASS],
+    rob: Vec<u64>,
+}
+
+/// One remembered end-of-iteration state in the detection ring.
+struct FfRingEntry {
+    rel: PipeRel,
+    cycle: u64,
+    counters: PerfCounters,
+    raw_iter: u32,
+    valid: bool,
+}
+
+impl FfRingEntry {
+    fn new(rob_cap: usize) -> Self {
+        FfRingEntry {
+            rel: PipeRel {
+                slots: 0,
+                fetch_is_badspec: false,
+                fetch: 0,
+                chase: 0,
+                max_completion: 0,
+                last_fetch_line: 0,
+                history: 0,
+                reg: [0; Reg::COUNT],
+                port: [0; NCLASS],
+                rob: vec![0; rob_cap],
+            },
+            cycle: 0,
+            counters: PerfCounters::new(),
+            raw_iter: 0,
+            valid: false,
+        }
+    }
+}
+
+/// Environment odometer readings at the start of an iteration; equal
+/// readings at the end prove the iteration was quiescent.
+#[derive(Clone, Copy)]
+struct FfMarks {
+    draws: u64,
+    mem_mutations: u64,
+    pred_mutations: u64,
+    branch_mutations: u64,
+}
+
+/// A block can only fast-forward if every memory operand resolves to the
+/// same address on every iteration: either unstrided, or the strided walk
+/// wraps a power-of-two window an exact multiple of the stride (so the
+/// masked contribution is identically zero).
+fn block_addresses_iteration_invariant(block: &crate::isa::CodeBlock) -> bool {
+    block.instrs.iter().all(|i| match i.mem {
+        None => true,
+        Some(m) => {
+            // No window → fixed offset; no stride → fixed masked offset.
+            if m.window_mask == 0 || m.stride == 0 {
+                return true;
+            }
+            let window = u64::from(m.window_mask) + 1;
+            window.is_power_of_two() && u64::from(m.stride) % window == 0
+        }
+    })
+}
+
 impl Core {
     /// Creates core number `id` with the given spec.
     pub fn new(id: usize, spec: CoreSpec) -> Self {
-        Core { spec, id, counters: PerfCounters::new() }
+        Core { spec, id, counters: PerfCounters::new(), ff: FastForwardStats::default() }
     }
 
     /// This core's index in the machine.
@@ -232,6 +435,11 @@ impl Core {
     /// Accumulated counters.
     pub fn counters(&self) -> &PerfCounters {
         &self.counters
+    }
+
+    /// Fast-forward statistics (how much work the analytic replay skipped).
+    pub fn fastforward_stats(&self) -> FastForwardStats {
+        self.ff
     }
 
     /// Resets the counters to zero.
@@ -287,6 +495,26 @@ impl Core {
     /// Execution is non-preemptive: the scheduler charges the returned
     /// time as one slice. Long-running bodies should be split into
     /// multiple compute actions.
+    ///
+    /// # Steady-state fast-forwarding
+    ///
+    /// For loop-heavy runs the model detects when an iteration has become
+    /// a provable fixed point — no RNG draws, no cache/BTB structural
+    /// changes, no PHT or branch-state updates, and end-of-iteration
+    /// pipeline state identical (relative to the cycle counter) to the
+    /// previous iteration's — and replays the remaining iterations
+    /// analytically in O(1): counters advance by `delta × remaining`, the
+    /// cycle counter by `dcycles × remaining`, and the RNG by its exact
+    /// draw count (zero, by the engagement condition). The result is
+    /// byte-identical to instruction-by-instruction simulation; set
+    /// `DITTO_NO_FASTPATH=1` (or call [`set_fastpath_enabled`]) to force
+    /// the slow path. Detection restarts from scratch on every call, so
+    /// anything that perturbs state between slices — SMT contention
+    /// changes, migration, cross-core sharing, fault injection — is
+    /// re-proven before the fast path can engage again, and any
+    /// invalidation or fill *during* a slice shows up in the mutation
+    /// odometers and blocks engagement. An attached tracer disables the
+    /// fast path entirely (it must observe every retirement).
     pub fn execute(&mut self, program: &Program, env: &mut ExecEnv<'_>) -> ExecResult {
         let width = if env.smt_contended {
             (self.spec.issue_width / 2).max(1)
@@ -309,16 +537,38 @@ impl Core {
         let mut max_completion: u64 = 0;
 
         let mut instructions: u64 = 0;
-        let counters = &mut self.counters;
-        let slots_at_entry = counters.slots_retiring
-            + counters.slots_frontend
-            + counters.slots_bad_speculation
-            + counters.slots_backend;
+        // Counter updates are batched into a local delta and flushed once
+        // at the end; the retire path touches only registers and L1-hot
+        // stack memory instead of `self`.
+        let mut d = PerfCounters::new();
+        let counters = &mut d;
+
+        let ff_allowed = fastpath_enabled() && env.tracer.is_none();
+        // Ring of recent end-of-iteration states, allocated lazily on the
+        // first eligible run and reused across runs.
+        let mut ff_ring: Option<Vec<FfRingEntry>> = None;
 
         for run in &program.runs {
             let block = &*run.block;
             let phase = run.phase;
-            for raw_iter in 0..run.iterations {
+            let ilen = block.instrs.len();
+
+            let mut ff_active = ff_allowed
+                && run.iterations >= FF_MIN_ITERS
+                && ilen > 0
+                && block_addresses_iteration_invariant(block);
+            let mut ff_attempts = 0u32;
+            // Consecutive quiescent iterations ending at the current one.
+            let mut ff_streak: u32 = 0;
+
+            let mut raw_iter: u32 = 0;
+            while raw_iter < run.iterations {
+                let marks = ff_active.then(|| FfMarks {
+                    draws: env.rng.draws(),
+                    mem_mutations: env.mem.mutations(),
+                    pred_mutations: env.predictor.mutations(),
+                    branch_mutations: env.branch_states.mutations(),
+                });
                 let iter = raw_iter.wrapping_add(phase);
                 for (idx, instr) in block.instrs.iter().enumerate() {
                     let pc = block.base_pc + idx as u64 * 4;
@@ -470,6 +720,111 @@ impl Core {
                         });
                     }
                 }
+
+                // --- Fast-forward detection ---
+                if let Some(marks) = marks {
+                    let quiescent = env.rng.draws() == marks.draws
+                        && env.mem.mutations() == marks.mem_mutations
+                        && env.predictor.mutations() == marks.pred_mutations
+                        && env.branch_states.mutations() == marks.branch_mutations;
+                    if quiescent {
+                        ff_streak += 1;
+                        let ring = ff_ring.get_or_insert_with(|| {
+                            (0..FF_RING).map(|_| FfRingEntry::new(rob_cap)).collect()
+                        });
+                        let slot = raw_iter as usize % FF_RING;
+                        {
+                            let e = &mut ring[slot];
+                            for (rel, abs) in e.rel.reg.iter_mut().zip(&reg_ready) {
+                                *rel = abs.saturating_sub(cycle);
+                            }
+                            for (rel, abs) in e.rel.port.iter_mut().zip(&port_free_q) {
+                                *rel = abs.saturating_sub(cycle * 4);
+                            }
+                            for (k, rel) in e.rel.rob.iter_mut().enumerate() {
+                                let pos = ((issued + k as u64) % rob_cap as u64) as usize;
+                                *rel = rob[pos].saturating_sub(cycle);
+                            }
+                            e.rel.fetch = fetch_ready.saturating_sub(cycle);
+                            e.rel.chase = chase_ready.saturating_sub(cycle);
+                            e.rel.max_completion = max_completion.saturating_sub(cycle);
+                            e.rel.slots = slots;
+                            e.rel.fetch_is_badspec = fetch_is_badspec;
+                            e.rel.last_fetch_line = last_fetch_line;
+                            e.rel.history = env.predictor.history();
+                            e.cycle = cycle;
+                            e.counters = *counters;
+                            e.raw_iter = raw_iter;
+                            e.valid = true;
+                        }
+                        // Find the smallest period P whose end-state P
+                        // iterations ago matches, with the whole window
+                        // quiescent (streak ≥ P + 1 states captured).
+                        let max_p = FF_MAX_PERIOD.min(ff_streak.saturating_sub(1) as usize);
+                        for p in 1..=max_p {
+                            let prev = &ring[(raw_iter as usize + FF_RING - p) % FF_RING];
+                            if !prev.valid || prev.raw_iter != raw_iter - p as u32 {
+                                continue;
+                            }
+                            if ring[slot].rel != prev.rel {
+                                continue;
+                            }
+                            let remaining = u64::from(run.iterations - 1 - raw_iter);
+                            let chunks = remaining / p as u64;
+                            if chunks == 0 {
+                                break;
+                            }
+                            // Replay `chunks` whole periods analytically.
+                            let dcycles = cycle - prev.cycle;
+                            let dcounters = *counters - prev.counters;
+                            counters.add_scaled(&dcounters, chunks);
+                            cycle += dcycles * chunks;
+                            let skipped = chunks * p as u64;
+                            instructions += skipped * ilen as u64;
+                            issued += skipped * ilen as u64;
+                            // Quiescence means zero draws per iteration;
+                            // the advance is the exact (zero) count.
+                            env.rng.advance(0);
+                            // Re-base the cycle-relative pipeline state on
+                            // the advanced cycle counter. Stale entries
+                            // (rel 0) land exactly at `cycle`, which every
+                            // consumer treats the same as any other value
+                            // ≤ cycle.
+                            let cur = &ring[slot].rel;
+                            for (abs, rel) in reg_ready.iter_mut().zip(&cur.reg) {
+                                *abs = cycle + rel;
+                            }
+                            for (abs, rel) in port_free_q.iter_mut().zip(&cur.port) {
+                                *abs = cycle * 4 + rel;
+                            }
+                            for (k, rel) in cur.rob.iter().enumerate() {
+                                let pos = ((issued + k as u64) % rob_cap as u64) as usize;
+                                rob[pos] = cycle + rel;
+                            }
+                            fetch_ready = cycle + cur.fetch;
+                            chase_ready = cycle + cur.chase;
+                            max_completion = cycle + cur.max_completion;
+                            // slots, fetch_is_badspec, last_fetch_line, and
+                            // predictor history already match.
+                            self.ff.fastforward_iterations += skipped;
+                            self.ff.engagements += 1;
+                            // The ≤ P - 1 leftover iterations run through
+                            // the normal path from the restored state.
+                            raw_iter += skipped as u32;
+                            ff_active = false;
+                            break;
+                        }
+                    } else {
+                        ff_streak = 0;
+                    }
+                    if ff_active {
+                        ff_attempts += 1;
+                        if ff_attempts >= FF_MAX_ATTEMPTS {
+                            ff_active = false;
+                        }
+                    }
+                }
+                raw_iter += 1;
             }
         }
 
@@ -481,8 +836,7 @@ impl Core {
         let attributed_this_call = counters.slots_retiring
             + counters.slots_frontend
             + counters.slots_bad_speculation
-            + counters.slots_backend
-            - slots_at_entry;
+            + counters.slots_backend;
         counters.slots_backend += total_slots.saturating_sub(attributed_this_call);
 
         counters.cycles += end_cycle;
@@ -491,6 +845,7 @@ impl Core {
             counters.user_instructions += instructions;
         }
 
+        self.counters += d;
         ExecResult { cycles: end_cycle, instructions }
     }
 }
@@ -524,12 +879,16 @@ mod tests {
 
     impl Env {
         fn new() -> Self {
+            Env::with_seed(42)
+        }
+
+        fn with_seed(seed: u64) -> Self {
             Env {
                 mem: test_mem(),
                 pred: BranchPredictor::new(BranchPredictorSpec::default()),
                 map: MemoryMap::new(),
                 states: BranchStates::new(),
-                rng: SimRng::seed(42),
+                rng: SimRng::seed(seed),
             }
         }
 
@@ -802,6 +1161,165 @@ mod tests {
         let mut c2 = Core::new(0, CoreSpec::default());
         let big = env2.exec(&mut c2, &mk(4096));
         assert!(big.cycles > small.cycles * 4, "big {} small {}", big.cycles, small.cycles);
+    }
+
+    /// Serialises tests that flip the process-global fast-path switch.
+    fn ff_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Runs `p` twice from identical fresh state — fast path enabled, then
+    /// forced slow — returning (fast result, fast counters, fast ff stats,
+    /// slow result, slow counters).
+    fn exec_fast_slow(
+        p: &Program,
+        seed: u64,
+    ) -> (ExecResult, PerfCounters, FastForwardStats, ExecResult, PerfCounters) {
+        set_fastpath_enabled(true);
+        let mut cf = Core::new(0, CoreSpec::default());
+        let mut envf = Env::with_seed(seed);
+        let rf = envf.exec(&mut cf, p);
+        set_fastpath_enabled(false);
+        let mut cs = Core::new(0, CoreSpec::default());
+        let mut envs = Env::with_seed(seed);
+        let rs = envs.exec(&mut cs, p);
+        set_fastpath_enabled(true);
+        (rf, *cf.counters(), cf.fastforward_stats(), rs, *cs.counters())
+    }
+
+    #[test]
+    fn fastforward_engages_and_is_bit_identical() {
+        let _guard = ff_lock();
+        // Loop-heavy steady-state block: ALU work, a fixed-address load,
+        // and an always-taken branch (degenerate probabilities: no draws).
+        let mut b = CodeBlock::new(0x1000);
+        let br = b.add_branch(BranchBehavior::new(1.0, 0.0));
+        for i in 0..4u8 {
+            b.instrs.push(Instr::alu(InstrClass::IntAlu, Reg(i % 8), Reg::NONE, Reg::NONE));
+        }
+        b.instrs.push(Instr::load(Reg(5), MemRef::read(0, 128)));
+        b.instrs.push(Instr::cond_branch(br));
+        let p = program_of(b, 50_000);
+
+        let (rf, cf, ff, rs, cs) = exec_fast_slow(&p, 42);
+        assert_eq!(rf, rs, "ExecResult must be bit-identical");
+        assert_eq!(cf, cs, "PerfCounters must be byte-identical");
+        assert!(ff.engagements >= 1, "fast path must engage: {ff:?}");
+        assert!(
+            ff.fastforward_iterations > 45_000,
+            "most iterations must be skipped: {ff:?}"
+        );
+    }
+
+    #[test]
+    fn fastforward_never_engages_on_strided_addresses() {
+        let _guard = ff_lock();
+        // A strided walk whose window is not a stride multiple resolves to
+        // different addresses each iteration: statically ineligible.
+        let mut b = CodeBlock::new(0x1000);
+        let mut m = MemRef::read(0, 0);
+        m.stride = 64;
+        m.window_mask = 64 * 1024 - 1;
+        b.instrs.push(Instr::load(Reg(1), m));
+        b.instrs.push(Instr::alu(InstrClass::IntAlu, Reg(2), Reg::NONE, Reg::NONE));
+        let p = program_of(b, 20_000);
+
+        let (rf, cf, ff, rs, cs) = exec_fast_slow(&p, 42);
+        assert_eq!(rf, rs);
+        assert_eq!(cf, cs);
+        assert_eq!(ff, FastForwardStats::default(), "must not engage on varying addresses");
+    }
+
+    #[test]
+    fn fastforward_skips_stochastic_branches() {
+        let _guard = ff_lock();
+        // 50/50 branch with 50% transitions draws randomness every
+        // iteration; the fast path must never engage, and both paths must
+        // still agree (they consume the same stream).
+        let mut b = CodeBlock::new(0x1000);
+        let br = b.add_branch(BranchBehavior::new(0.5, 0.5));
+        b.instrs.push(Instr::alu(InstrClass::IntAlu, Reg(0), Reg::NONE, Reg::NONE));
+        b.instrs.push(Instr::cond_branch(br));
+        let p = program_of(b, 5_000);
+
+        let (rf, cf, ff, rs, cs) = exec_fast_slow(&p, 1234);
+        assert_eq!(rf, rs);
+        assert_eq!(cf, cs);
+        assert_eq!(ff.engagements, 0, "stochastic branches can never fix-point");
+    }
+
+    #[test]
+    fn fast_and_slow_paths_are_bit_identical_on_random_programs() {
+        let _guard = ff_lock();
+        let mut gen = SimRng::seed(0x0D17_70FF);
+        for case in 0..40u64 {
+            let mut p = Program::new();
+            let nruns = 1 + gen.below(3);
+            for r in 0..nruns {
+                let mut b = CodeBlock::new(0x1000 + r * 0x400);
+                let taken = *gen.pick(&[0.0, 0.3, 0.5, 1.0]);
+                let flip = *gen.pick(&[0.0, 0.2, 1.0]);
+                let br = b.add_branch(BranchBehavior::new(taken, flip));
+                let ni = 1 + gen.below(10) as usize;
+                for i in 0..ni {
+                    let reg = Reg((i % 8) as u8);
+                    match gen.below(5) {
+                        0 => b.instrs.push(Instr::alu(InstrClass::IntAlu, reg, Reg::NONE, Reg::NONE)),
+                        1 => b.instrs.push(Instr::alu(
+                            InstrClass::IntMul,
+                            reg,
+                            Reg(((i + 1) % 8) as u8),
+                            Reg::NONE,
+                        )),
+                        2 => {
+                            let mut m = MemRef::read(0, (gen.below(64) * 64) as u32);
+                            if gen.chance(0.3) {
+                                m.stride = 64;
+                                m.window_mask = 4095;
+                            }
+                            if gen.chance(0.2) {
+                                m.chased = true;
+                            }
+                            b.instrs.push(Instr::load(reg, m));
+                        }
+                        3 => {
+                            let m = MemRef::write(0, (gen.below(64) * 64) as u32);
+                            b.instrs.push(Instr::store(reg, m));
+                        }
+                        _ => b.instrs.push(Instr::cond_branch(br)),
+                    }
+                }
+                p.push(Arc::new(b), 1 + gen.below(3000) as u32);
+            }
+            let (rf, cf, _ff, rs, cs) = exec_fast_slow(&p, 7 + case);
+            assert_eq!(rf, rs, "ExecResult diverged in case {case}");
+            assert_eq!(cf, cs, "PerfCounters diverged in case {case}");
+        }
+    }
+
+    #[test]
+    fn branch_states_table_tracks_sites_and_mutations() {
+        let mut bs = BranchStates::new();
+        let mut rng = SimRng::seed(3);
+        assert!(bs.is_empty());
+        // Insert 1000 distinct sites (forcing several growths), all frozen
+        // (degenerate probabilities), then revisit: no further mutations.
+        for site in 0..1000u64 {
+            bs.next_outcome(site * 4, 1.0, (0.0, 0.0), &mut rng);
+        }
+        assert_eq!(bs.len(), 1000);
+        let after_insert = bs.mutations();
+        assert_eq!(after_insert, 1000);
+        for site in 0..1000u64 {
+            let out = bs.next_outcome(site * 4, 1.0, (0.0, 0.0), &mut rng);
+            assert!(out, "state must persist across growth");
+        }
+        assert_eq!(bs.mutations(), after_insert, "frozen revisits must not mutate");
+        // A guaranteed flip mutates.
+        bs.next_outcome(0, 1.0, (1.0, 1.0), &mut rng);
+        assert_eq!(bs.mutations(), after_insert + 1);
+        assert_eq!(bs.len(), 1000);
     }
 
     #[test]

@@ -109,6 +109,30 @@ impl PerfCounters {
         }
     }
 
+    /// Adds `k` copies of `delta` in O(1): `self += delta * k` field by
+    /// field. The execution fast path uses this to replay a steady-state
+    /// loop iteration's counter delta over all remaining iterations.
+    pub fn add_scaled(&mut self, delta: &PerfCounters, k: u64) {
+        self.cycles += delta.cycles * k;
+        self.instructions += delta.instructions * k;
+        self.user_instructions += delta.user_instructions * k;
+        self.branches += delta.branches * k;
+        self.branch_misses += delta.branch_misses * k;
+        self.l1i_accesses += delta.l1i_accesses * k;
+        self.l1i_misses += delta.l1i_misses * k;
+        self.l1d_accesses += delta.l1d_accesses * k;
+        self.l1d_misses += delta.l1d_misses * k;
+        self.l2_accesses += delta.l2_accesses * k;
+        self.l2_misses += delta.l2_misses * k;
+        self.llc_accesses += delta.llc_accesses * k;
+        self.llc_misses += delta.llc_misses * k;
+        self.coherence_invalidations += delta.coherence_invalidations * k;
+        self.slots_retiring += delta.slots_retiring * k;
+        self.slots_frontend += delta.slots_frontend * k;
+        self.slots_bad_speculation += delta.slots_bad_speculation * k;
+        self.slots_backend += delta.slots_backend * k;
+    }
+
     /// Top-down breakdown as fractions `(retiring, frontend, bad_spec,
     /// backend)` summing to 1 when any slots were recorded.
     pub fn topdown(&self) -> TopDown {
@@ -251,6 +275,28 @@ mod tests {
         let sum = t.retiring + t.frontend + t.bad_speculation + t.backend;
         assert!((sum - 1.0).abs() < 1e-12);
         assert!((t.retiring - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_scaled_matches_repeated_add() {
+        let delta = PerfCounters {
+            cycles: 7,
+            instructions: 3,
+            branches: 2,
+            l1d_accesses: 5,
+            slots_retiring: 3,
+            slots_backend: 11,
+            ..Default::default()
+        };
+        let mut looped = PerfCounters { cycles: 100, ..Default::default() };
+        let mut scaled = looped;
+        for _ in 0..1000 {
+            looped += delta;
+        }
+        scaled.add_scaled(&delta, 1000);
+        assert_eq!(looped, scaled);
+        scaled.add_scaled(&delta, 0);
+        assert_eq!(looped, scaled);
     }
 
     #[test]

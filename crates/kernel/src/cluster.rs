@@ -106,6 +106,12 @@ impl Cluster {
         self.machines.is_empty()
     }
 
+    /// Instructions replayed by the execution fast path, summed over the
+    /// whole cluster (diagnostic; zero when `DITTO_NO_FASTPATH` is set).
+    pub fn fastforward_iterations(&self) -> u64 {
+        self.machines.iter().map(Machine::fastforward_iterations).sum()
+    }
+
     /// Access to a machine.
     pub fn machine(&self, node: NodeId) -> &Machine {
         &self.machines[node.index()]

@@ -467,6 +467,16 @@ impl Machine {
             .fold(PerfCounters::new(), |acc, c| acc + *c.counters())
     }
 
+    /// Instructions replayed analytically by the steady-state fast path,
+    /// summed across all cores. Diagnostic only — deliberately kept out of
+    /// [`PerfCounters`] so fast and slow runs stay bit-identical there.
+    pub fn fastforward_iterations(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(|c| c.fastforward_stats().fastforward_iterations)
+            .sum()
+    }
+
     /// Zeroes all core counters and device stats (measurement windows).
     pub fn reset_counters(&mut self) {
         for c in &mut self.cores {

@@ -14,6 +14,7 @@
 //! the timestamp space fills.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Log2 of the maximum tracked working set in lines (2³⁰ lines = 64 GiB);
 /// deeper reuses saturate into the last bin.
@@ -138,7 +139,12 @@ impl StackDistance {
 
     /// Snapshots the current hit curve.
     pub fn curve(&self) -> HitCurve {
-        HitCurve { bins: self.bins.to_vec(), cold: self.cold, total: self.total }
+        HitCurve {
+            bins: self.bins.to_vec(),
+            cold: self.cold,
+            total: self.total,
+            index: OnceLock::new(),
+        }
     }
 
     /// Finishes into a hit curve.
@@ -154,18 +160,65 @@ impl Default for StackDistance {
 }
 
 /// Hit counts per power-of-two cache size: the paper's `H(2^i)`.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+///
+/// `hits` queries are served by a lazily-built index — the bin edges (bin
+/// `k` covers caches of exactly `2^k` lines) plus a cumulative prefix of
+/// the bin counts — so each lookup is a binary search over the edges
+/// instead of a linear rescan of the bins. The index carries no
+/// information of its own, so it is excluded from equality and
+/// serialization, and `merge` drops it for rebuild on next use.
+#[derive(Debug, Clone)]
 pub struct HitCurve {
     /// `bins[k]`: accesses whose reuse needs a cache of exactly `2^k` lines.
     bins: Vec<u64>,
     cold: u64,
     total: u64,
+    index: OnceLock<HitIndex>,
+}
+
+#[derive(Debug, Clone)]
+struct HitIndex {
+    /// Capacity in lines covered by bin `k` (`2^k`), ascending.
+    edges: Vec<u64>,
+    /// `cumulative[n]`: total hits across bins `0..n`.
+    cumulative: Vec<u64>,
+}
+
+impl PartialEq for HitCurve {
+    fn eq(&self, other: &Self) -> bool {
+        self.bins == other.bins && self.cold == other.cold && self.total == other.total
+    }
+}
+
+impl Eq for HitCurve {}
+
+impl serde::Serialize for HitCurve {
+    fn to_value(&self) -> serde::Value {
+        // Field-by-field object identical to the former derived impl, so
+        // persisted profiles keep their wire shape.
+        serde::Value::Obj(vec![
+            (String::from("bins"), serde::Serialize::to_value(&self.bins)),
+            (String::from("cold"), serde::Serialize::to_value(&self.cold)),
+            (String::from("total"), serde::Serialize::to_value(&self.total)),
+        ])
+    }
+}
+
+impl serde::Deserialize for HitCurve {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(HitCurve {
+            bins: serde::field(v, "bins")?,
+            cold: serde::field(v, "cold")?,
+            total: serde::field(v, "total")?,
+            index: OnceLock::new(),
+        })
+    }
 }
 
 impl HitCurve {
     /// An empty curve.
     pub fn empty() -> HitCurve {
-        HitCurve { bins: vec![0; MAX_BINS + 1], cold: 0, total: 0 }
+        HitCurve { bins: vec![0; MAX_BINS + 1], cold: 0, total: 0, index: OnceLock::new() }
     }
 
     /// Merges another curve's counts into this one (used to combine
@@ -179,13 +232,33 @@ impl HitCurve {
         }
         self.cold += other.cold;
         self.total += other.total;
+        self.index.take();
+    }
+
+    fn index(&self) -> &HitIndex {
+        self.index.get_or_init(|| {
+            let mut edges = Vec::with_capacity(self.bins.len());
+            let mut cumulative = Vec::with_capacity(self.bins.len() + 1);
+            cumulative.push(0);
+            let mut acc = 0u64;
+            for (k, &b) in self.bins.iter().enumerate() {
+                acc += b;
+                cumulative.push(acc);
+                edges.push(1u64 << k.min(63));
+            }
+            HitIndex { edges, cumulative }
+        })
     }
 
     /// `H(size_bytes)`: hits in a fully-associative LRU cache of the given
-    /// size (power of two, ≥ 64).
+    /// size (power of two, ≥ 64). A non-power-of-two size contributes only
+    /// its lowest set bit, matching the historical linear-scan behaviour.
     pub fn hits(&self, size_bytes: u64) -> u64 {
-        let lines_log2 = (size_bytes.max(64) / 64).trailing_zeros() as usize;
-        self.bins.iter().take(lines_log2 + 1).sum()
+        let lines = size_bytes.max(64) / 64;
+        let capacity = 1u64 << lines.trailing_zeros();
+        let index = self.index();
+        let covered = index.edges.partition_point(|&e| e <= capacity);
+        index.cumulative[covered]
     }
 
     /// Total accesses.
@@ -348,6 +421,68 @@ mod tests {
         assert_eq!(c.cold(), 4);
         assert_eq!(c.hits(4 * 64), 3_000_000 - 4);
         assert_eq!(c.hits(2 * 64), 0);
+    }
+
+    /// The pre-index implementation of `hits`, kept verbatim as the
+    /// equality oracle for the binary-search version.
+    fn hits_linear(c: &HitCurve, size_bytes: u64) -> u64 {
+        let lines_log2 = (size_bytes.max(64) / 64).trailing_zeros() as usize;
+        c.bins.iter().take(lines_log2 + 1).sum()
+    }
+
+    #[test]
+    fn binary_search_hits_matches_linear_scan() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut sizes: Vec<u64> = (6..=40).map(|s| 1u64 << s).collect();
+        sizes.extend([0, 1, 63, 64, 65, 100, 7 * 64, 192, 3 * 1024, (1 << 20) + 64, u64::MAX]);
+        for trial in 0..20 {
+            let mut c = HitCurve::empty();
+            c.bins = (0..MAX_BINS + 1).map(|_| next() % 1_000_000).collect();
+            // Leave a sparse tail on some trials to cover zero runs.
+            if trial % 3 == 0 {
+                for b in c.bins.iter_mut().skip(5) {
+                    *b = 0;
+                }
+            }
+            for &s in &sizes {
+                assert_eq!(c.hits(s), hits_linear(&c, s), "trial {trial} size {s}");
+            }
+            // Merging must invalidate the cached index.
+            let mut longer = HitCurve::empty();
+            longer.bins = (0..MAX_BINS + 1).map(|_| next() % 1_000).collect();
+            c.merge(&longer);
+            for &s in &sizes {
+                assert_eq!(c.hits(s), hits_linear(&c, s), "post-merge trial {trial} size {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_curve_and_wire_shape() {
+        let mut addrs = Vec::new();
+        for _ in 0..4 {
+            for l in 0..8u64 {
+                addrs.push(l * 64);
+            }
+        }
+        let c = curve_of(&addrs);
+        let v = serde::Serialize::to_value(&c);
+        match &v {
+            serde::Value::Obj(pairs) => {
+                let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, ["bins", "cold", "total"], "wire shape must stay stable");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        let back: HitCurve = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.hits(512), c.hits(512));
     }
 
     #[test]

@@ -1,14 +1,29 @@
 //! The discrete-event queue.
 //!
 //! The simulator is organised as one big state machine (the kernel's
-//! `Machine`/`Cluster`) driven by an [`EventQueue`]. The queue is a binary
-//! heap ordered by `(time, sequence)`: events scheduled for the same instant
-//! pop in insertion order, which keeps whole-system runs deterministic.
+//! `Machine`/`Cluster`) driven by an [`EventQueue`]. Ordering is by
+//! `(time, sequence)`: events scheduled for the same instant pop in
+//! insertion order, which keeps whole-system runs deterministic.
+//!
+//! Internally the queue is a two-lane structure: a bucketed near-future
+//! calendar (64 buckets × 1 µs, one horizon ahead of the pop cursor)
+//! absorbs the dense short-range scheduling the kernel generates — slice
+//! completions, message deliveries, wakeups — in O(1) per push, while a
+//! binary heap backstops everything beyond the horizon (and anything
+//! scheduled at or before the cursor). Pops compare the two lane heads by
+//! `(time, seq)`, so the merged order is exactly the order the plain heap
+//! produced; the split is invisible to callers.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
+
+/// Width of one calendar bucket in nanoseconds.
+const BUCKET_NS: u64 = 1024;
+/// Number of calendar buckets; the near-future horizon is
+/// `BUCKET_COUNT * BUCKET_NS` ≈ 65 µs.
+const BUCKET_COUNT: usize = 64;
 
 struct Entry<E> {
     time: SimTime,
@@ -56,45 +71,143 @@ impl<E> Ord for Entry<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Near-future calendar lane. Entries in bucket `(t / BUCKET_NS) %
+    /// BUCKET_COUNT` all satisfy `cursor <= t < cursor + horizon`, because
+    /// pushes only land here when within the horizon of the cursor and the
+    /// cursor (the last popped time) never decreases nor passes a pending
+    /// entry. Hence every bucket holds at most one "lap" and the first
+    /// non-empty bucket at or after the cursor's contains the lane's
+    /// earliest entry.
+    buckets: Vec<Vec<Entry<E>>>,
+    bucketed: usize,
+    /// `(time, seq)` of the earliest bucketed entry; `None` iff the lane is
+    /// empty. Maintained incrementally on push, rebuilt on pop.
+    bucket_head: Option<(SimTime, u64)>,
+    /// Time of the most recent pop; all pending entries are at or after it.
+    cursor: SimTime,
     seq: u64,
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            buckets: (0..BUCKET_COUNT).map(|_| Vec::new()).collect(),
+            bucketed: 0,
+            bucket_head: None,
+            cursor: SimTime::ZERO,
+            seq: 0,
+        }
+    }
+
+    fn bucket_of(time: SimTime) -> usize {
+        ((time.as_nanos() / BUCKET_NS) % BUCKET_COUNT as u64) as usize
+    }
+
+    /// Whether `time` falls in the bucketable near-future window: at or
+    /// after the cursor, and within `BUCKET_COUNT` *slots* of the cursor's
+    /// slot. Slot- (not cursor-)aligned so that the occupied slots are
+    /// always unique modulo `BUCKET_COUNT` — one lap, no collisions in the
+    /// boundary bucket.
+    fn in_window(&self, time: SimTime) -> bool {
+        time >= self.cursor
+            && time.as_nanos() / BUCKET_NS - self.cursor.as_nanos() / BUCKET_NS
+                < BUCKET_COUNT as u64
     }
 
     /// Schedules `event` at absolute time `time`.
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let entry = Entry { time, seq, event };
+        if self.in_window(time) {
+            self.buckets[Self::bucket_of(time)].push(entry);
+            self.bucketed += 1;
+            if self.bucket_head.is_none_or(|(t, s)| (time, seq) < (t, s)) {
+                self.bucket_head = Some((time, seq));
+            }
+        } else {
+            self.heap.push(entry);
+        }
+    }
+
+    /// Finds the `(time, seq)` of the earliest bucketed entry by scanning
+    /// buckets in slot order from the cursor's bucket.
+    fn scan_bucket_head(&self) -> Option<(SimTime, u64)> {
+        if self.bucketed == 0 {
+            return None;
+        }
+        let start = Self::bucket_of(self.cursor);
+        for i in 0..BUCKET_COUNT {
+            let b = &self.buckets[(start + i) % BUCKET_COUNT];
+            if let Some(head) = b.iter().map(|e| (e.time, e.seq)).min() {
+                return Some(head);
+            }
+        }
+        unreachable!("bucketed count positive but no bucket entry found");
     }
 
     /// Removes and returns the earliest event, if any. Ties pop FIFO.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let take_bucket = match (self.bucket_head, self.heap.peek()) {
+            (Some(bh), Some(hh)) => bh < (hh.time, hh.seq),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if take_bucket {
+            let (time, seq) = self.bucket_head.expect("bucket lane head");
+            let bucket = &mut self.buckets[Self::bucket_of(time)];
+            let idx = bucket
+                .iter()
+                .position(|e| e.seq == seq)
+                .expect("bucket head entry present");
+            let entry = bucket.swap_remove(idx);
+            self.bucketed -= 1;
+            self.cursor = entry.time;
+            self.bucket_head = self.scan_bucket_head();
+            Some((entry.time, entry.event))
+        } else {
+            let entry = self.heap.pop().expect("heap head");
+            self.cursor = entry.time;
+            // Advancing the cursor can strand bucketed entries behind it
+            // only if they were earlier than this pop — impossible, since
+            // the bucket head lost the comparison. The lane invariant
+            // (entries within [cursor, horizon)) is thus preserved.
+            Some((entry.time, entry.event))
+        }
     }
 
     /// Returns the time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        let heap_head = self.heap.peek().map(|e| (e.time, e.seq));
+        match (self.bucket_head, heap_head) {
+            (Some(b), Some(h)) => Some(b.min(h).0),
+            (Some(b), None) => Some(b.0),
+            (None, Some(h)) => Some(h.0),
+            (None, None) => None,
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.bucketed
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Drops all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.bucketed = 0;
+        self.bucket_head = None;
     }
 }
 
@@ -107,7 +220,8 @@ impl<E> Default for EventQueue<E> {
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("pending", &self.heap.len())
+            .field("pending", &self.len())
+            .field("bucketed", &self.bucketed)
             .field("next", &self.peek_time())
             .finish()
     }
@@ -161,5 +275,84 @@ mod tests {
         q.push(SimTime::from_nanos(20), 'b');
         assert_eq!(q.pop().unwrap().1, 'b');
         assert_eq!(q.pop().unwrap().1, 'c');
+    }
+
+    #[test]
+    fn ties_pop_fifo_across_lanes() {
+        // The same timestamp can live in both lanes: pushed while beyond
+        // the horizon (heap) and again once the cursor caught up (bucket).
+        // The merged order must still be pure insertion order.
+        let mut q = EventQueue::new();
+        let far = SimTime::from_nanos(BUCKET_NS * BUCKET_COUNT as u64 + 500);
+        q.push(far, 0); // beyond horizon of cursor 0 → heap
+        q.push(SimTime::from_nanos(100), 10); // near → bucket
+        assert_eq!(q.pop().unwrap().1, 10); // cursor now 100; `far` within horizon
+        q.push(far, 1); // → bucket
+        q.push(far, 2); // → bucket
+        assert_eq!(q.pop().unwrap().1, 0);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn past_times_after_cursor_advance_still_pop_first() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(1_000), 'b');
+        assert_eq!(q.pop().unwrap().1, 'b'); // cursor = 1000
+        q.push(SimTime::from_nanos(500), 'p'); // "in the past" → heap lane
+        q.push(SimTime::from_nanos(1_200), 'n');
+        assert_eq!(q.pop().unwrap().1, 'p');
+        assert_eq!(q.pop().unwrap().1, 'n');
+    }
+
+    #[test]
+    fn matches_reference_heap_on_random_workload() {
+        // Drive the two-lane queue and a plain (time, seq) reference
+        // model with an identical deterministic push/pop script spanning
+        // bucket widths, horizon boundaries, and ties.
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, u64, u32)> = Vec::new(); // (time, seq, id)
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for id in 0..20_000u32 {
+            if next() % 3 != 0 {
+                // Push at now + a mix of sub-bucket, sub-horizon, and
+                // beyond-horizon offsets.
+                let off = match next() % 4 {
+                    0 => next() % 100,
+                    1 => next() % (BUCKET_NS * 3),
+                    2 => next() % (BUCKET_NS * BUCKET_COUNT as u64 * 2),
+                    _ => 0,
+                };
+                let t = now + off;
+                q.push(SimTime::from_nanos(t), id);
+                reference.push((t, seq, id));
+                seq += 1;
+            } else if !reference.is_empty() {
+                let min_idx = (0..reference.len())
+                    .min_by_key(|&i| (reference[i].0, reference[i].1))
+                    .unwrap();
+                let (t, _, id) = reference.remove(min_idx);
+                let (qt, qid) = q.pop().expect("queue agrees non-empty");
+                assert_eq!((qt.as_nanos(), qid), (t, id));
+                now = t;
+            }
+            assert_eq!(q.len(), reference.len());
+        }
+        while let Some((t, id)) = q.pop() {
+            let min_idx = (0..reference.len())
+                .min_by_key(|&i| (reference[i].0, reference[i].1))
+                .unwrap();
+            let (rt, _, rid) = reference.remove(min_idx);
+            assert_eq!((t.as_nanos(), id), (rt, rid));
+        }
+        assert!(reference.is_empty());
     }
 }

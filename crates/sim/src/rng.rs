@@ -58,6 +58,10 @@ pub fn stream_seed(seed: u64, index: u64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct SimRng {
     state: u128,
+    /// Draws consumed since construction. The simulation fast path uses
+    /// this to prove an execution region consumed no randomness (and, when
+    /// it did, to advance the stream by the exact draw count).
+    draws: u64,
 }
 
 impl SimRng {
@@ -67,7 +71,32 @@ impl SimRng {
         let lo = splitmix64(&mut sm);
         let hi = splitmix64(&mut sm);
         // MCG state must be odd.
-        SimRng { state: ((u128::from(hi) << 64) | u128::from(lo)) | 1 }
+        SimRng { state: ((u128::from(hi) << 64) | u128::from(lo)) | 1, draws: 0 }
+    }
+
+    /// Number of uniform draws consumed so far.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Advances the stream as if `n` draws had been consumed, in O(log n).
+    ///
+    /// Bit-exact with calling [`SimRng::next_u64`] `n` times and discarding
+    /// the results: the MCG state recurrence `s' = s · M` telescopes to
+    /// `s · Mⁿ`, computed by binary exponentiation.
+    pub fn advance(&mut self, n: u64) {
+        let mut mult: u128 = 1;
+        let mut base = PCG_MUL;
+        let mut k = n;
+        while k != 0 {
+            if k & 1 == 1 {
+                mult = mult.wrapping_mul(base);
+            }
+            base = base.wrapping_mul(base);
+            k >>= 1;
+        }
+        self.state = self.state.wrapping_mul(mult);
+        self.draws += n;
     }
 
     /// Derives an independent child generator for the given domain label.
@@ -90,6 +119,7 @@ impl SimRng {
 
     /// Uniform `u64` (PCG XSL-RR output permutation).
     pub fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
         self.state = self.state.wrapping_mul(PCG_MUL);
         let s = self.state;
         let rot = (s >> 122) as u32;
@@ -207,6 +237,37 @@ mod tests {
                 assert_ne!(s, a, "stream of {b:#x} collides with base {a:#x}");
             }
         }
+    }
+
+    #[test]
+    fn advance_matches_sequential_draws() {
+        for n in [0u64, 1, 2, 3, 7, 64, 1_000, 123_457] {
+            let mut seq = SimRng::seed(0xFEED);
+            let mut jump = SimRng::seed(0xFEED);
+            for _ in 0..n {
+                seq.next_u64();
+            }
+            jump.advance(n);
+            assert_eq!(seq.draws(), n);
+            assert_eq!(jump.draws(), n);
+            assert_eq!(seq.next_u64(), jump.next_u64(), "divergence after advance({n})");
+        }
+    }
+
+    #[test]
+    fn draw_counter_tracks_consumption_only() {
+        let mut r = SimRng::seed(5);
+        assert_eq!(r.draws(), 0);
+        r.next_u64();
+        r.f64();
+        r.below(10);
+        assert_eq!(r.draws(), 3);
+        // Degenerate Bernoulli draws consume nothing.
+        r.chance(0.0);
+        r.chance(1.0);
+        assert_eq!(r.draws(), 3);
+        r.chance(0.5);
+        assert_eq!(r.draws(), 4);
     }
 
     #[test]
