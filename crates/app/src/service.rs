@@ -17,6 +17,7 @@ use ditto_kernel::{
     Action, Cluster, Fd, FileId, Msg, MsgMeta, NodeId, Pid, Syscall, SysResult, ThreadBody,
     ThreadCtx,
 };
+use ditto_obs::ServiceObs;
 use ditto_sim::rng::SimRng;
 use ditto_sim::time::{SimDuration, SimTime};
 use ditto_trace::{SpanContext, SpanStatus, TraceCollector};
@@ -143,6 +144,9 @@ impl ServiceSpec {
         debug_assert_eq!(data, DATA_REGION);
         debug_assert_eq!(shared, SHARED_REGION);
 
+        // Build the per-service probe handle from the cluster's sink; when
+        // observability is off this is an inert no-op handle.
+        let obs = ServiceObs::for_service(cluster.obs(), node.0, &self.name);
         match self.network {
             NetworkModel::EpollWorkers { workers } => {
                 let registry = Arc::new(Mutex::new(Vec::new()));
@@ -150,17 +154,21 @@ impl ServiceSpec {
                     cluster.spawn_thread(
                         node,
                         pid,
-                        Box::new(EpollWorker::new(self.clone(), Some(registry.clone()), w)),
+                        Box::new(EpollWorker::new(
+                            self.clone(),
+                            Some(registry.clone()),
+                            obs.worker(w),
+                        )),
                     );
                 }
                 cluster.spawn_thread(
                     node,
                     pid,
-                    Box::new(Acceptor::new(self.clone(), workers, registry)),
+                    Box::new(Acceptor::new(self.clone(), workers, registry, obs)),
                 );
             }
             NetworkModel::ThreadPerConn => {
-                cluster.spawn_thread(node, pid, Box::new(BlockingAcceptor::new(self.clone())));
+                cluster.spawn_thread(node, pid, Box::new(BlockingAcceptor::new(self.clone(), obs)));
             }
         }
         pid
@@ -193,9 +201,9 @@ struct Acceptor {
 }
 
 impl Acceptor {
-    fn new(spec: ServiceSpec, workers: usize, registry: Arc<Mutex<Vec<Fd>>>) -> Self {
+    fn new(spec: ServiceSpec, workers: usize, registry: Arc<Mutex<Vec<Fd>>>, obs: ServiceObs) -> Self {
         let inline = if workers == 0 {
-            Some(EpollWorker::new(spec.clone(), None, 0))
+            Some(EpollWorker::new(spec.clone(), None, obs))
         } else {
             None
         };
@@ -344,12 +352,11 @@ struct EpollWorker {
     rpc_fd: Option<Fd>,
     rpc: Option<RpcInFlight>,
     current: Option<ActiveRequest>,
-    #[allow(dead_code)]
-    index: usize,
+    obs: ServiceObs,
 }
 
 impl EpollWorker {
-    fn new(spec: ServiceSpec, registry: Option<Arc<Mutex<Vec<Fd>>>>, index: usize) -> Self {
+    fn new(spec: ServiceSpec, registry: Option<Arc<Mutex<Vec<Fd>>>>, obs: ServiceObs) -> Self {
         EpollWorker {
             spec,
             registry,
@@ -363,7 +370,7 @@ impl EpollWorker {
             rpc_fd: None,
             rpc: None,
             current: None,
-            index,
+            obs,
         }
     }
 
@@ -386,6 +393,7 @@ impl EpollWorker {
             _ => SpanContext::default(),
         };
         let plan = self.spec.handler.plan(ctx.rng);
+        self.obs.request_begin(ctx.now);
         self.current = Some(ActiveRequest {
             fd,
             meta: msg.meta,
@@ -398,7 +406,7 @@ impl EpollWorker {
     }
 
     /// Pops the next plan step and returns its action.
-    fn execute_next(&mut self) -> Action {
+    fn execute_next(&mut self, now: SimTime) -> Action {
         let req = self.current.as_mut().expect("active request");
         match req.steps.pop_front() {
             Some(HandlerStep::Compute(p)) => {
@@ -414,6 +422,7 @@ impl EpollWorker {
                 self.state = WorkerState::RpcSent;
                 let fd = self.downstream_fds[downstream];
                 self.rpc_fd = Some(fd);
+                self.obs.rpc_begin(now);
                 let meta = MsgMeta {
                     tag: req.meta.tag,
                     trace_id: req.span.trace_id,
@@ -440,7 +449,7 @@ impl EpollWorker {
     /// A downstream RPC attempt failed (send error, reply timeout, or
     /// reset): back off and retry within budget, else degrade the request
     /// and carry on with the rest of its plan.
-    fn rpc_failed(&mut self, rng: &mut SimRng) -> Action {
+    fn rpc_failed(&mut self, now: SimTime, rng: &mut SimRng) -> Action {
         let attempt = {
             let r = self.rpc.as_mut().expect("rpc in flight");
             r.attempt += 1;
@@ -453,14 +462,16 @@ impl EpollWorker {
         }
         self.rpc = None;
         self.rpc_fd = None;
+        self.obs.rpc_end(now);
         if let Some(req) = self.current.as_mut() {
             req.degraded = true;
         }
-        self.execute_next()
+        self.execute_next(now)
     }
 
     fn finish_request(&mut self, now: SimTime) {
         if let Some(req) = self.current.take() {
+            self.obs.request_end(now);
             if let Some(col) = &self.spec.collector {
                 if req.span.is_sampled() {
                     let status = if req.degraded { SpanStatus::Degraded } else { SpanStatus::Ok };
@@ -590,7 +601,7 @@ impl ThreadBody for EpollWorker {
                     Some(msg) => {
                         let fd = self.recv_fd.take().expect("recv fd recorded");
                         self.begin_request(msg, fd, ctx);
-                        return self.execute_next();
+                        return self.execute_next(ctx.now);
                     }
                     None => {
                         self.recv_fd = None;
@@ -599,12 +610,12 @@ impl ThreadBody for EpollWorker {
                     }
                 },
                 WorkerState::Execute => {
-                    return self.execute_next();
+                    return self.execute_next(ctx.now);
                 }
                 WorkerState::RpcSent => {
                     if ctx.last.is_err() {
                         // The send itself failed (reset/closed socket).
-                        return self.rpc_failed(ctx.rng);
+                        return self.rpc_failed(ctx.now, ctx.rng);
                     }
                     let fd = self.rpc_fd.expect("rpc fd recorded");
                     self.state = WorkerState::RpcReply;
@@ -617,10 +628,11 @@ impl ThreadBody for EpollWorker {
                     Some(_) => {
                         self.rpc = None;
                         self.rpc_fd = None;
-                        return self.execute_next();
+                        self.obs.rpc_end(ctx.now);
+                        return self.execute_next(ctx.now);
                     }
                     // Timeout, reset, or close: retry or degrade.
-                    None => return self.rpc_failed(ctx.rng),
+                    None => return self.rpc_failed(ctx.now, ctx.rng),
                 },
                 WorkerState::RpcBackoff => {
                     // Backoff elapsed: drop the (possibly dead) socket
@@ -646,10 +658,10 @@ impl ThreadBody for EpollWorker {
                         return Action::Syscall(Syscall::Send { fd, bytes, meta });
                     }
                     // Refused (target down) or timed out (partition).
-                    None => return self.rpc_failed(ctx.rng),
+                    None => return self.rpc_failed(ctx.now, ctx.rng),
                 },
                 WorkerState::AwaitDisk => {
-                    return self.execute_next();
+                    return self.execute_next(ctx.now);
                 }
                 WorkerState::Respond => {
                     self.finish_request(ctx.now);
@@ -681,11 +693,21 @@ struct BlockingAcceptor {
     spec: ServiceSpec,
     state: BlockingAcceptorState,
     listener: Option<Fd>,
+    obs: ServiceObs,
+    /// Connections accepted so far; numbers each spawned worker's
+    /// observability track.
+    conns: usize,
 }
 
 impl BlockingAcceptor {
-    fn new(spec: ServiceSpec) -> Self {
-        BlockingAcceptor { spec, state: BlockingAcceptorState::Listen, listener: None }
+    fn new(spec: ServiceSpec, obs: ServiceObs) -> Self {
+        BlockingAcceptor {
+            spec,
+            state: BlockingAcceptorState::Listen,
+            listener: None,
+            obs,
+            conns: 0,
+        }
     }
 }
 
@@ -709,7 +731,9 @@ impl ThreadBody for BlockingAcceptor {
                 match ctx.last.fd() {
                     Some(conn_fd) => {
                         // Hand the connection to a fresh worker thread.
-                        let worker = ConnWorker::new(self.spec.clone(), conn_fd);
+                        let worker =
+                            ConnWorker::new(self.spec.clone(), conn_fd, self.obs.worker(self.conns));
+                        self.conns += 1;
                         self.state = BlockingAcceptorState::Accept;
                         // After spawning, the next step's result is the
                         // child's Tid; we then accept again via the
@@ -753,10 +777,11 @@ struct ConnWorker {
     rpc_fd: Option<Fd>,
     rpc: Option<RpcInFlight>,
     current: Option<ActiveRequest>,
+    obs: ServiceObs,
 }
 
 impl ConnWorker {
-    fn new(spec: ServiceSpec, conn_fd: Fd) -> Self {
+    fn new(spec: ServiceSpec, conn_fd: Fd, obs: ServiceObs) -> Self {
         ConnWorker {
             spec,
             conn_fd,
@@ -766,6 +791,7 @@ impl ConnWorker {
             rpc_fd: None,
             rpc: None,
             current: None,
+            obs,
         }
     }
 
@@ -777,7 +803,7 @@ impl ConnWorker {
             .expect("handler read from undeclared file")
     }
 
-    fn execute_next(&mut self) -> Action {
+    fn execute_next(&mut self, now: SimTime) -> Action {
         let req = self.current.as_mut().expect("active request");
         match req.steps.pop_front() {
             Some(HandlerStep::Compute(p)) => {
@@ -793,6 +819,7 @@ impl ConnWorker {
                 self.state = ConnWorkerState::RpcSent;
                 let fd = self.downstream_fds[downstream];
                 self.rpc_fd = Some(fd);
+                self.obs.rpc_begin(now);
                 let meta = MsgMeta {
                     tag: req.meta.tag,
                     trace_id: req.span.trace_id,
@@ -817,7 +844,7 @@ impl ConnWorker {
     }
 
     /// See [`EpollWorker::rpc_failed`]: retry within budget, else degrade.
-    fn rpc_failed(&mut self, rng: &mut SimRng) -> Action {
+    fn rpc_failed(&mut self, now: SimTime, rng: &mut SimRng) -> Action {
         let attempt = {
             let r = self.rpc.as_mut().expect("rpc in flight");
             r.attempt += 1;
@@ -830,10 +857,11 @@ impl ConnWorker {
         }
         self.rpc = None;
         self.rpc_fd = None;
+        self.obs.rpc_end(now);
         if let Some(req) = self.current.as_mut() {
             req.degraded = true;
         }
-        self.execute_next()
+        self.execute_next(now)
     }
 }
 
@@ -872,6 +900,7 @@ impl ThreadBody for ConnWorker {
                         _ => SpanContext::default(),
                     };
                     let plan = self.spec.handler.plan(ctx.rng);
+                    self.obs.request_begin(ctx.now);
                     self.current = Some(ActiveRequest {
                         fd: self.conn_fd,
                         meta: msg.meta,
@@ -881,16 +910,16 @@ impl ThreadBody for ConnWorker {
                         response_bytes: plan.response_bytes,
                         degraded: false,
                     });
-                    self.execute_next()
+                    self.execute_next(ctx.now)
                 }
                 None => Action::Exit, // connection closed
             },
             ConnWorkerState::Execute | ConnWorkerState::AwaitDisk => {
-                self.execute_next()
+                self.execute_next(ctx.now)
             }
             ConnWorkerState::RpcSent => {
                 if ctx.last.is_err() {
-                    return self.rpc_failed(ctx.rng);
+                    return self.rpc_failed(ctx.now, ctx.rng);
                 }
                 let fd = self.rpc_fd.expect("rpc fd recorded");
                 self.state = ConnWorkerState::RpcReply;
@@ -903,9 +932,10 @@ impl ThreadBody for ConnWorker {
                 Some(_) => {
                     self.rpc = None;
                     self.rpc_fd = None;
-                    self.execute_next()
+                    self.obs.rpc_end(ctx.now);
+                    self.execute_next(ctx.now)
                 }
-                None => self.rpc_failed(ctx.rng),
+                None => self.rpc_failed(ctx.now, ctx.rng),
             },
             ConnWorkerState::RpcBackoff => {
                 let d = self.rpc.as_ref().expect("rpc in flight").downstream;
@@ -928,10 +958,11 @@ impl ThreadBody for ConnWorker {
                     self.state = ConnWorkerState::RpcSent;
                     Action::Syscall(Syscall::Send { fd, bytes, meta })
                 }
-                None => self.rpc_failed(ctx.rng),
+                None => self.rpc_failed(ctx.now, ctx.rng),
             },
             ConnWorkerState::Respond => {
                 if let Some(req) = self.current.take() {
+                    self.obs.request_end(ctx.now);
                     if let Some(col) = &self.spec.collector {
                         if req.span.is_sampled() {
                             let status = if req.degraded {

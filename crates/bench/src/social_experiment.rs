@@ -11,6 +11,7 @@ use ditto_app::social::{deploy_social_network_placed, SocialNetwork};
 use ditto_core::Ditto;
 use ditto_hw::platform::PlatformSpec;
 use ditto_kernel::{Cluster, NodeId};
+use ditto_obs::{ObsConfig, ObsReport, ObsSink};
 use ditto_profile::{AppProfile, MetricSet, Profiler};
 use ditto_sim::time::SimDuration;
 use ditto_trace::{ServiceGraph, TraceCollector};
@@ -90,7 +91,24 @@ fn drive(
 /// Runs the original Social Network at `qps`, optionally collecting
 /// per-tier profiles and the traced dependency graph.
 pub fn run_original(server: &PlatformSpec, qps: f64, seed: u64, profile: bool) -> SocialRun {
+    run_original_traced(server, qps, seed, profile, &ObsConfig::default()).0
+}
+
+/// Like [`run_original`], with an observability configuration attached to
+/// the cluster for the whole run. Measured outputs are byte-identical to
+/// the untraced run; the second return value carries the trace/time-series
+/// report when `obs` enabled anything.
+pub fn run_original_traced(
+    server: &PlatformSpec,
+    qps: f64,
+    seed: u64,
+    profile: bool,
+    obs: &ObsConfig,
+) -> (SocialRun, Option<ObsReport>) {
     let mut cluster = cluster_for(server, seed);
+    let sink = ObsSink::new(obs);
+    // Install before deploy so every tier builds its probe handles.
+    cluster.set_obs(sink.clone());
     let collector = TraceCollector::new(1.0, seed);
     let sn: SocialNetwork = deploy_social_network_placed(
         &mut cluster,
@@ -120,7 +138,8 @@ pub fn run_original(server: &PlatformSpec, qps: f64, seed: u64, profile: bool) -
     );
 
     let graph = profile.then(|| ServiceGraph::from_spans(&collector.spans()));
-    SocialRun { e2e, tier_metrics, profiles, graph }
+    let report = sink.finish();
+    (SocialRun { e2e, tier_metrics, profiles, graph }, report)
 }
 
 /// Deploys the fully synthetic Social Network (every tier replaced by its

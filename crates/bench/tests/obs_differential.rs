@@ -1,0 +1,131 @@
+//! Differential suite for the observability layer: every service, run on
+//! the platform-A testbed with observability fully off and then fully on
+//! (tracing + sampling + self-profiling), must produce byte-identical
+//! hardware metrics (including the raw `PerfCounters` deltas), latency
+//! histograms, load summaries and fast-path engagement — while the
+//! instrumented run provably recorded a well-formed trace.
+//!
+//! This is the determinism contract of `ditto-obs` (see its crate docs):
+//! the sink reads only the simulated clock, draws no RNG, and schedules
+//! no events, so switching it on cannot perturb any measured output.
+
+use ditto_bench::social_experiment::{run_original, run_original_traced};
+use ditto_bench::AppId;
+use ditto_core::harness::{RunOutcome, Testbed};
+use ditto_hw::platform::PlatformSpec;
+use ditto_obs::trace::validate_chrome_trace;
+use ditto_obs::ObsConfig;
+use ditto_sim::time::SimDuration;
+
+fn bed(app: AppId, obs: ObsConfig) -> Testbed {
+    // A shorter window than the default keeps the 8-run suite fast; the
+    // identity property is window-independent.
+    Testbed {
+        warmup: SimDuration::from_millis(20),
+        window: SimDuration::from_millis(100),
+        obs,
+        ..Testbed::default_ab(0x0B5 ^ app.name().len() as u64)
+    }
+}
+
+fn run(app: AppId, obs: ObsConfig) -> RunOutcome {
+    bed(app, obs).run(|c, n| app.deploy(c, n), &app.medium_load(), false)
+}
+
+fn differential(app: AppId) {
+    let off = run(app, ObsConfig::default());
+    let on = run(app, ObsConfig::full());
+
+    assert_eq!(
+        off.metrics,
+        on.metrics,
+        "{}: MetricSet (incl. raw PerfCounters) diverged with observability on",
+        app.name()
+    );
+    assert_eq!(
+        off.histogram,
+        on.histogram,
+        "{}: bucket-exact latency histogram diverged with observability on",
+        app.name()
+    );
+    assert_eq!(off.load.sent, on.load.sent, "{}: sent diverged", app.name());
+    assert_eq!(off.load.received, on.load.received, "{}: received diverged", app.name());
+    assert_eq!(off.load.timeouts, on.load.timeouts, "{}: timeouts diverged", app.name());
+    assert_eq!(off.load.errors, on.load.errors, "{}: errors diverged", app.name());
+    assert_eq!(
+        off.fastforward_iterations,
+        on.fastforward_iterations,
+        "{}: fast-path engagement diverged with observability on",
+        app.name()
+    );
+    assert!(
+        on.fastforward_iterations > 0,
+        "{}: fast path never engaged under tracing",
+        app.name()
+    );
+
+    assert!(off.obs.is_none(), "{}: disabled run produced a report", app.name());
+    let report = on.obs.expect("instrumented run must produce a report");
+    assert!(!report.trace.is_empty(), "{}: trace is empty", app.name());
+    assert!(!report.series.is_empty(), "{}: time series is empty", app.name());
+    let stats = validate_chrome_trace(&report.trace.to_chrome_json())
+        .unwrap_or_else(|e| panic!("{}: invalid Chrome trace: {e}", app.name()));
+    assert_eq!(stats.begins, stats.ends, "{}: unbalanced spans", app.name());
+}
+
+#[test]
+fn memcached_is_identical_with_observability_on() {
+    differential(AppId::Memcached);
+}
+
+#[test]
+fn nginx_is_identical_with_observability_on() {
+    differential(AppId::Nginx);
+}
+
+#[test]
+fn mongodb_is_identical_with_observability_on() {
+    differential(AppId::MongoDb);
+}
+
+#[test]
+fn redis_is_identical_with_observability_on() {
+    differential(AppId::Redis);
+}
+
+/// The multi-tier Social Network run under full observability: measured
+/// outputs stay byte-identical to the untraced run, and the exported
+/// Chrome trace validates (non-empty, monotone timestamps, balanced
+/// begin/end on every track). The validated JSON is written next to the
+/// repository's other bench artifacts as `BENCH_trace.json`.
+#[test]
+fn social_network_trace_exports_valid_chrome_json() {
+    const QPS: f64 = 500.0;
+    const SEED: u64 = 0x50C1A1;
+    let server = PlatformSpec::a();
+
+    let plain = run_original(&server, QPS, SEED, false);
+    let (traced, report) = run_original_traced(&server, QPS, SEED, false, &ObsConfig::full());
+
+    assert_eq!(plain.e2e.sent, traced.e2e.sent, "sent diverged under tracing");
+    assert_eq!(plain.e2e.received, traced.e2e.received, "received diverged under tracing");
+    assert_eq!(plain.e2e.latency, traced.e2e.latency, "latency summary diverged under tracing");
+    for (tier, metrics) in &plain.tier_metrics {
+        assert_eq!(
+            Some(metrics),
+            traced.tier_metrics.get(tier),
+            "{tier}: tier metrics diverged under tracing"
+        );
+    }
+
+    let report = report.expect("full observability must produce a report");
+    assert!(!report.series.is_empty(), "time series is empty");
+    let json = report.trace.to_chrome_json();
+    let stats = validate_chrome_trace(&json).expect("social-network trace must validate");
+    assert!(stats.events > 0, "trace has no events");
+    assert_eq!(stats.begins, stats.ends, "unbalanced spans");
+    assert!(stats.instants > 0, "expected syscall/net instants");
+
+    let path = format!("{}/../../BENCH_trace.json", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, &json).expect("write BENCH_trace.json");
+}

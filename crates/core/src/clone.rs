@@ -53,6 +53,7 @@ impl Ditto {
         profile: &AppProfile,
         seed_mix: u64,
     ) -> (BehaviorHandler, u64) {
+        let _span = ditto_obs::selfprof::span("codegen");
         let mut params = generate_body_params(profile, self.stages, &self.config, &self.knobs);
         params.seed ^= seed_mix;
         let mut handler = BehaviorHandler::new(&params);
@@ -95,6 +96,7 @@ impl Ditto {
             .max()
             .unwrap_or(4096)
             .saturating_mul(2);
+        ditto_obs::selfprof::note_alloc(data_bytes);
         (handler, data_bytes)
     }
 

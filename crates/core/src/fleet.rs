@@ -403,6 +403,7 @@ pub fn run_fidelity_matrix(
             seed,
             warmup: cfg.warmup,
             window: cfg.window,
+            obs: Default::default(),
         };
         let (profile_name, profile_load) = &svc.profile_load;
         let key = CacheKey::new(&svc.name, &platform.name, profile_load, seed);

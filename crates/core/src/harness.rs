@@ -9,6 +9,7 @@
 use ditto_app::service::ServiceSpec;
 use ditto_hw::platform::PlatformSpec;
 use ditto_kernel::{Cluster, NodeId, Pid};
+use ditto_obs::{selfprof, ObsConfig, ObsReport, ObsSink};
 use ditto_profile::{AppProfile, MetricSet, Profiler};
 use ditto_sim::rng::stream_seed;
 use ditto_sim::stats::LatencyHistogram;
@@ -72,6 +73,10 @@ pub struct Testbed {
     pub warmup: SimDuration,
     /// Measurement window length.
     pub window: SimDuration,
+    /// What the run records about itself (tracing, sampling, pipeline
+    /// self-profiling). Defaults to fully off; measured outputs are
+    /// byte-identical either way.
+    pub obs: ObsConfig,
 }
 
 impl Testbed {
@@ -83,6 +88,7 @@ impl Testbed {
             seed,
             warmup: SimDuration::from_millis(40),
             window: SimDuration::from_millis(200),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -105,6 +111,9 @@ pub struct RunOutcome {
     /// fast and slow runs compare bit-identical, but lets tests assert the
     /// fast path actually engaged.
     pub fastforward_iterations: u64,
+    /// What the run recorded about itself (trace, time series, pipeline
+    /// stage profile). `None` unless [`Testbed::obs`] enabled something.
+    pub obs: Option<ObsReport>,
 }
 
 impl Testbed {
@@ -132,8 +141,15 @@ impl Testbed {
     {
         let server = NodeId(0);
         let client = NodeId(1);
+        let sink = ObsSink::new(&self.obs);
+        if self.obs.self_profile {
+            selfprof::set_enabled(true);
+        }
         let mut cluster =
             Cluster::new(vec![self.server.clone(), self.client.clone()], self.seed);
+        // Install the sink before deploy so services build their probe
+        // handles from it.
+        cluster.set_obs(sink.clone());
         let spec = deploy(&mut cluster, server);
         let pid: Pid = spec.deploy(&mut cluster, server);
         cluster.run_for(SimDuration::from_millis(10));
@@ -158,12 +174,20 @@ impl Testbed {
             }
             None => (MetricSet::end_for_pid(&cluster, server, pid, self.window), None),
         };
+        let obs = sink.finish().map(|mut r| {
+            r.stages = selfprof::take_report();
+            r
+        });
+        if self.obs.self_profile {
+            selfprof::set_enabled(false);
+        }
         RunOutcome {
             metrics,
             load: recorder.summary(self.window),
             histogram: recorder.histogram(),
             profile: app_profile,
             fastforward_iterations: cluster.fastforward_iterations(),
+            obs,
         }
     }
 
@@ -195,12 +219,19 @@ impl Testbed {
         let mut seed_bump = 0u64;
         let result = tuner.tune(&profile.metrics, |knobs: &TuneKnobs| {
             seed_bump += 1;
+            let _span = selfprof::span("tuning");
             let candidate = Ditto { knobs: *knobs, ..base.clone() };
             // Iteration seeds are derived through the splitmix64 stream so
             // that user seeds related by simple bit arithmetic (e.g.
             // differing only in high bits) never share iteration streams —
             // the old `seed ^ (bump << 16)` derivation aliased them.
-            let bed = Testbed { seed: stream_seed(self.seed, seed_bump), ..self.clone() };
+            // Iterations never record observability themselves (the outer
+            // run owns the thread-local stage profile).
+            let bed = Testbed {
+                seed: stream_seed(self.seed, seed_bump),
+                obs: ObsConfig::default(),
+                ..self.clone()
+            };
             bed.run_clone(&candidate, profile, load).metrics
         });
         let tuned = Ditto { knobs: result.knobs, ..base.clone() };

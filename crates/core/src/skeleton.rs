@@ -12,6 +12,7 @@ use ditto_profile::{AppProfile, InferredNetworkModel};
 /// thread-per-connection servers whose thread count scales with load,
 /// like the original.
 pub fn generate_network_model(profile: &AppProfile) -> NetworkModel {
+    let _span = ditto_obs::selfprof::span("skeleton");
     match profile.threads.network {
         InferredNetworkModel::IoMultiplexing { workers } => {
             if workers <= 1 {

@@ -8,6 +8,9 @@
 //! completions, timer wakes) were emitted as future events along the way.
 
 use ditto_hw::platform::PlatformSpec;
+use ditto_obs::series::{ClusterSample, NodeSample};
+use ditto_obs::trace::{FAULT_TRACK, NET_TRACK};
+use ditto_obs::ObsSink;
 use ditto_sim::engine::EventQueue;
 use ditto_sim::time::{SimDuration, SimTime};
 
@@ -53,6 +56,11 @@ pub struct Cluster {
     seed: u64,
     spawn_counter: u64,
     faults: FaultInjector,
+    /// Observability sink. Disabled by default; probes are inlined no-ops
+    /// then. The sink only *reads* simulation state (clock, counters,
+    /// queue depths) — it never schedules events or draws RNG, so runs
+    /// are bit-identical with it on or off.
+    obs: ObsSink,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -83,6 +91,7 @@ impl Cluster {
             seed,
             spawn_counter: 0,
             faults: FaultInjector::new(seed ^ 0x63_68_61_6f_73, nodes),
+            obs: ObsSink::Disabled,
         }
     }
 
@@ -104,6 +113,17 @@ impl Cluster {
     /// Whether the cluster has no machines.
     pub fn is_empty(&self) -> bool {
         self.machines.is_empty()
+    }
+
+    /// Installs an observability sink. Call before deploying services so
+    /// they pick it up too.
+    pub fn set_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
+    }
+
+    /// The cluster's observability sink (cheap to clone).
+    pub fn obs(&self) -> &ObsSink {
+        &self.obs
     }
 
     /// Instructions replayed by the execution fast path, summed over the
@@ -140,6 +160,10 @@ impl Cluster {
     }
 
     /// Runs the event loop until simulated time `t`.
+    ///
+    /// Periodic observability samples are taken from this pop loop (a
+    /// cursor comparison against the sim clock), never via queue events —
+    /// the event stream is identical with sampling on or off.
     pub fn run_until(&mut self, t: SimTime) {
         while let Some(ev_time) = self.queue.peek_time() {
             if ev_time > t {
@@ -147,9 +171,42 @@ impl Cluster {
             }
             let (ev_time, ev) = self.queue.pop().expect("peeked");
             self.now = self.now.max(ev_time);
+            if self.obs.sample_due(self.now) {
+                self.take_obs_sample();
+            }
             self.handle(ev);
         }
         self.now = self.now.max(t);
+        if self.obs.sample_due(self.now) {
+            self.take_obs_sample();
+        }
+    }
+
+    /// Snapshots counters, queue depths and network totals into the
+    /// observability time series.
+    fn take_obs_sample(&self) {
+        let nodes = self
+            .machines
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let (counters, run_queue) = m.obs_snapshot();
+                NodeSample { node: i as u32, counters, run_queue }
+            })
+            .collect();
+        let qs = self.queue.stats();
+        let (net_msgs, net_bytes) = self.net.delivery_stats();
+        self.obs.push_sample(
+            self.now,
+            &ClusterSample {
+                nodes,
+                event_queue_depth: self.queue.len(),
+                event_pushes: qs.pushes,
+                event_pops: qs.pops,
+                net_msgs,
+                net_bytes,
+            },
+        );
     }
 
     /// Runs for a duration from the current time.
@@ -185,6 +242,18 @@ impl Cluster {
     }
 
     fn apply_fault(&mut self, f: Fault) {
+        if self.obs.tracing() {
+            let name = match f {
+                Fault::NodeCrash { .. } => "node-crash",
+                Fault::NodeRestart { .. } => "node-restart",
+                Fault::LinkDegrade { .. } => "link-degrade",
+                Fault::Partition { .. } => "partition",
+                Fault::LinkHeal { .. } => "link-heal",
+                Fault::DiskDegrade { .. } => "disk-degrade",
+                Fault::CoreOffline { .. } => "core-offline",
+            };
+            self.obs.instant(self.now, 0, FAULT_TRACK, "fault", name);
+        }
         match f {
             Fault::NodeCrash { node } => {
                 if self.faults.mark_down(node) {
@@ -293,6 +362,8 @@ impl Cluster {
                 let node = ep.node;
                 let waiter = ep.recv_waiter.take();
                 let notify = (ep.pid, ep.fd);
+                self.net.note_delivered(bytes);
+                self.obs.instant(arrived, node.0, NET_TRACK, "net", "deliver");
                 if let Some(tid) = waiter {
                     let msg = self
                         .net
@@ -492,6 +563,11 @@ impl Cluster {
             m.emit_context_switch(start, cpu, prev, tid);
         }
         self.machines[ni].emit_thread_event_detached(start, &thread, ThreadEvent::Dispatched { cpu });
+        let tracing = self.obs.tracing();
+        if tracing {
+            self.obs.begin(start, node.0, cpu as u32, "sched", thread.body.label());
+        }
+        let ff_before = if tracing { self.machines[ni].fastforward_iterations() } else { 0 };
 
         let mut steps = 0u32;
         let outcome = loop {
@@ -519,6 +595,12 @@ impl Cluster {
             }
         };
 
+        if tracing {
+            if self.machines[ni].fastforward_iterations() > ff_before {
+                self.obs.instant(t_local, node.0, cpu as u32, "fastpath", "engage");
+            }
+            self.obs.end(t_local, node.0, cpu as u32);
+        }
         let m = &mut self.machines[ni];
         m.cpus[cpu].busy_until = t_local;
         m.cpus[cpu].last_thread = Some(tid);
@@ -581,6 +663,7 @@ impl Cluster {
             blocked,
         };
         self.machines[ni].emit_syscall(&rec);
+        self.obs.instant(*t_local, node.0, cpu as u32, "syscall", name);
         flow
     }
 

@@ -477,6 +477,13 @@ impl Machine {
             .sum()
     }
 
+    /// One observability sample: aggregated counters plus the run-queue
+    /// depth, read in a single borrow so the cluster sampler can walk all
+    /// machines cheaply.
+    pub fn obs_snapshot(&self) -> (PerfCounters, usize) {
+        (self.counters(), self.run_queue.len())
+    }
+
     /// Zeroes all core counters and device stats (measurement windows).
     pub fn reset_counters(&mut self) {
         for c in &mut self.cores {

@@ -77,12 +77,26 @@ impl Connection {
 #[derive(Debug, Default)]
 pub struct NetState {
     conns: Vec<Connection>,
+    msgs_delivered: u64,
+    bytes_delivered: u64,
 }
 
 impl NetState {
     /// Creates an empty table.
     pub fn new() -> Self {
         NetState::default()
+    }
+
+    /// Counts one delivered message of `bytes` (observability counter;
+    /// never read by simulation logic).
+    pub fn note_delivered(&mut self, bytes: u64) {
+        self.msgs_delivered += 1;
+        self.bytes_delivered += bytes;
+    }
+
+    /// Cumulative `(messages, bytes)` delivered by the fabric.
+    pub fn delivery_stats(&self) -> (u64, u64) {
+        (self.msgs_delivered, self.bytes_delivered)
     }
 
     /// Creates a connection between `client_node` and `server_node`.

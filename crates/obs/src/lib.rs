@@ -1,0 +1,414 @@
+//! Zero-cost-when-disabled observability for the Ditto simulator.
+//!
+//! Three views of a run, all optional and all inert unless switched on:
+//!
+//! * **Event tracing** ([`trace`]): begin/end/instant events for request
+//!   lifecycles, RPC hops, syscalls, fault injections, network deliveries
+//!   and fast-path engagements, exported as Chrome-trace/Perfetto JSON.
+//! * **Time-series sampling** ([`series`]): periodic `PerfCounters`
+//!   deltas, cache hit rates, run-/event-queue depths and per-service
+//!   in-flight gauges in a columnar buffer with CSV/JSON export.
+//! * **Pipeline self-profiling** ([`selfprof`]): host wall-time and
+//!   allocation-estimate spans around the Ditto pipeline stages.
+//!
+//! # Determinism contract
+//!
+//! Observability must never perturb a simulation. The sink reads only the
+//! simulated clock, draws no RNG values, schedules no events, and mutates
+//! nothing the simulation reads — so `PerfCounters`, histograms and every
+//! other measured output are byte-identical whether it is enabled or not
+//! (proven by the `obs_differential` test). The disabled state is a
+//! dataless enum variant: every probe method starts with an inlined
+//! match that falls through immediately, keeping the execution fast path's
+//! speedup intact.
+
+pub mod selfprof;
+pub mod series;
+pub mod trace;
+
+use std::sync::Arc;
+
+use ditto_sim::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+
+use crate::selfprof::StageStat;
+use crate::series::{ClusterSample, TimeSeries};
+use crate::trace::{Ph, TraceBuffer, TraceEvent, SERVICE_TRACK_BASE};
+
+/// What to record. The default records nothing and produces no report.
+#[derive(Debug, Clone, Default)]
+pub struct ObsConfig {
+    /// Record trace events.
+    pub tracing: bool,
+    /// Sample the cluster every interval; `None` disables sampling.
+    pub sample_every: Option<SimDuration>,
+    /// Profile the pipeline stages (host wall time).
+    pub self_profile: bool,
+}
+
+impl ObsConfig {
+    /// Everything on, sampling at a 100 µs cadence.
+    pub fn full() -> Self {
+        ObsConfig {
+            tracing: true,
+            sample_every: Some(SimDuration::from_micros(100)),
+            self_profile: true,
+        }
+    }
+
+    /// Whether any collection is requested.
+    pub fn enabled(&self) -> bool {
+        self.tracing || self.sample_every.is_some() || self.self_profile
+    }
+}
+
+/// Mutable recording state behind the sink's `Arc<Mutex<..>>`.
+#[derive(Debug, Default)]
+pub struct ObsInner {
+    trace: TraceBuffer,
+    series: TimeSeries,
+    /// Sampling cadence in nanoseconds; 0 when sampling is off.
+    sample_every_ns: u64,
+    /// Next sample is due once sim time reaches this.
+    next_sample_ns: u64,
+    /// Current gauge values, indexed by gauge id.
+    gauges: Vec<i64>,
+    /// Interned service-track labels; track id is
+    /// `SERVICE_TRACK_BASE + index`.
+    service_tracks: Vec<String>,
+}
+
+/// The observability sink threaded through the cluster and services.
+///
+/// Cloning is cheap (an `Arc` clone); all clones record into the same
+/// buffers. The `Disabled` variant is dataless and every probe method is
+/// an inlined early return on it.
+#[derive(Clone, Default)]
+pub enum ObsSink {
+    /// Record nothing. All probe methods are no-ops.
+    #[default]
+    Disabled,
+    /// Record into shared buffers. The per-kind flags are copied out of
+    /// the mutex so probes can bail without locking.
+    Recording {
+        /// Shared recording state.
+        inner: Arc<Mutex<ObsInner>>,
+        /// Whether trace events are recorded.
+        tracing: bool,
+        /// Whether periodic sampling is on.
+        sampling: bool,
+    },
+}
+
+impl std::fmt::Debug for ObsSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObsSink::Disabled => f.write_str("ObsSink::Disabled"),
+            ObsSink::Recording { tracing, sampling, .. } => f
+                .debug_struct("ObsSink::Recording")
+                .field("tracing", tracing)
+                .field("sampling", sampling)
+                .finish(),
+        }
+    }
+}
+
+impl ObsSink {
+    /// Builds a sink from a config; a fully-off config yields `Disabled`.
+    pub fn new(cfg: &ObsConfig) -> Self {
+        if !cfg.enabled() {
+            return ObsSink::Disabled;
+        }
+        let every = cfg.sample_every.map_or(0, |d| d.as_nanos());
+        let inner = ObsInner { sample_every_ns: every, ..ObsInner::default() };
+        ObsSink::Recording {
+            inner: Arc::new(Mutex::new(inner)),
+            tracing: cfg.tracing,
+            sampling: every > 0,
+        }
+    }
+
+    /// Whether this sink records anything at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        !matches!(self, ObsSink::Disabled)
+    }
+
+    /// Whether trace events are being recorded.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        matches!(self, ObsSink::Recording { tracing: true, .. })
+    }
+
+    /// Whether periodic sampling is on.
+    #[inline]
+    pub fn sampling(&self) -> bool {
+        matches!(self, ObsSink::Recording { sampling: true, .. })
+    }
+
+    fn push(&self, ts: SimTime, pid: u32, tid: u32, ph: Ph, cat: &'static str, name: String) {
+        if let ObsSink::Recording { inner, tracing: true, .. } = self {
+            inner.lock().trace.push(TraceEvent { ts_ns: ts.as_nanos(), pid, tid, ph, cat, name });
+        }
+    }
+
+    /// Records a span begin on `(pid, tid)`.
+    #[inline]
+    pub fn begin(&self, ts: SimTime, pid: u32, tid: u32, cat: &'static str, name: &str) {
+        if self.tracing() {
+            self.push(ts, pid, tid, Ph::Begin, cat, name.to_string());
+        }
+    }
+
+    /// Records a span end on `(pid, tid)`.
+    #[inline]
+    pub fn end(&self, ts: SimTime, pid: u32, tid: u32) {
+        if self.tracing() {
+            self.push(ts, pid, tid, Ph::End, "", String::new());
+        }
+    }
+
+    /// Records an instant event on `(pid, tid)`.
+    #[inline]
+    pub fn instant(&self, ts: SimTime, pid: u32, tid: u32, cat: &'static str, name: &str) {
+        if self.tracing() {
+            self.push(ts, pid, tid, Ph::Instant, cat, name.to_string());
+        }
+    }
+
+    /// Interns a named service track on node `pid`, returning its tid.
+    /// Returns 0 when tracing is off.
+    pub fn service_track(&self, pid: u32, label: &str) -> u32 {
+        let ObsSink::Recording { inner, tracing: true, .. } = self else { return 0 };
+        let mut inner = inner.lock();
+        let idx = match inner.service_tracks.iter().position(|t| t == label) {
+            Some(i) => i,
+            None => {
+                inner.service_tracks.push(label.to_string());
+                inner.service_tracks.len() - 1
+            }
+        };
+        let tid = SERVICE_TRACK_BASE + idx as u32;
+        inner.trace.name_track(pid, tid, label.to_string());
+        tid
+    }
+
+    /// Registers a sampled gauge, returning its id. Returns 0 when
+    /// sampling is off (gauge updates are then no-ops anyway).
+    pub fn gauge(&self, name: &str) -> u32 {
+        let ObsSink::Recording { inner, sampling: true, .. } = self else { return 0 };
+        let mut inner = inner.lock();
+        let id = inner.series.add_gauge(name.to_string());
+        inner.gauges.push(0);
+        id
+    }
+
+    /// Adds `delta` to a gauge's current value.
+    #[inline]
+    pub fn gauge_add(&self, id: u32, delta: i64) {
+        if let ObsSink::Recording { inner, sampling: true, .. } = self {
+            let mut inner = inner.lock();
+            if let Some(g) = inner.gauges.get_mut(id as usize) {
+                *g += delta;
+            }
+        }
+    }
+
+    /// Whether a periodic sample is due at `now`.
+    #[inline]
+    pub fn sample_due(&self, now: SimTime) -> bool {
+        match self {
+            ObsSink::Recording { inner, sampling: true, .. } => {
+                now.as_nanos() >= inner.lock().next_sample_ns
+            }
+            _ => false,
+        }
+    }
+
+    /// Appends a sample at `now` and advances the cadence cursor past it.
+    pub fn push_sample(&self, now: SimTime, sample: &ClusterSample) {
+        let ObsSink::Recording { inner, sampling: true, .. } = self else { return };
+        let mut inner = inner.lock();
+        let gauges = std::mem::take(&mut inner.gauges);
+        inner.series.push_sample(now.as_nanos(), sample, &gauges);
+        inner.gauges = gauges;
+        let every = inner.sample_every_ns;
+        inner.next_sample_ns = (now.as_nanos() / every + 1) * every;
+    }
+
+    /// Extracts the recorded report; `None` for a disabled sink. The
+    /// pipeline-stage stats are filled in by the harness (they live in
+    /// thread-local state, not in the sink).
+    pub fn finish(&self) -> Option<ObsReport> {
+        match self {
+            ObsSink::Disabled => None,
+            ObsSink::Recording { inner, .. } => {
+                let mut inner = inner.lock();
+                Some(ObsReport {
+                    trace: std::mem::take(&mut inner.trace),
+                    series: std::mem::take(&mut inner.series),
+                    stages: Vec::new(),
+                })
+            }
+        }
+    }
+}
+
+/// Everything one run recorded.
+#[derive(Debug, Clone, Default)]
+pub struct ObsReport {
+    /// The event trace (export with [`TraceBuffer::to_chrome_json`]).
+    pub trace: TraceBuffer,
+    /// The sampled time series.
+    pub series: TimeSeries,
+    /// Pipeline-stage self-profile.
+    pub stages: Vec<StageStat>,
+}
+
+/// Per-service probe handle the application layer threads through its
+/// workers: request/RPC span recording on a per-worker track plus an
+/// in-flight gauge. Built from the cluster's sink at deploy time; when
+/// the sink is disabled every method is a no-op.
+#[derive(Clone)]
+pub struct ServiceObs {
+    sink: ObsSink,
+    /// Node the service runs on (trace `pid`).
+    pid: u32,
+    service: Arc<str>,
+    track: u32,
+    gauge: Option<u32>,
+}
+
+impl std::fmt::Debug for ServiceObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceObs")
+            .field("service", &self.service)
+            .field("enabled", &self.sink.enabled())
+            .finish()
+    }
+}
+
+impl ServiceObs {
+    /// A permanently-disabled handle.
+    pub fn disabled() -> Self {
+        ServiceObs {
+            sink: ObsSink::Disabled,
+            pid: 0,
+            service: Arc::from(""),
+            track: 0,
+            gauge: None,
+        }
+    }
+
+    /// Builds the handle for `service` on `node` (worker 0's track).
+    pub fn for_service(sink: &ObsSink, node: u32, service: &str) -> Self {
+        if !sink.enabled() {
+            return Self::disabled();
+        }
+        let gauge =
+            sink.sampling().then(|| sink.gauge(&format!("{service}.inflight")));
+        let track = sink.service_track(node, &format!("{service}#0"));
+        ServiceObs { sink: sink.clone(), pid: node, service: Arc::from(service), track, gauge }
+    }
+
+    /// The handle for worker `index` — its own track (so concurrent
+    /// requests on different workers nest correctly), same gauge.
+    pub fn worker(&self, index: usize) -> Self {
+        if !self.sink.enabled() || index == 0 {
+            return self.clone();
+        }
+        let track = self.sink.service_track(self.pid, &format!("{}#{index}", self.service));
+        ServiceObs { track, ..self.clone() }
+    }
+
+    /// Marks the start of handling one request.
+    #[inline]
+    pub fn request_begin(&self, now: SimTime) {
+        if let Some(g) = self.gauge {
+            self.sink.gauge_add(g, 1);
+        }
+        self.sink.begin(now, self.pid, self.track, "request", "handle");
+    }
+
+    /// Marks the end of handling one request.
+    #[inline]
+    pub fn request_end(&self, now: SimTime) {
+        if let Some(g) = self.gauge {
+            self.sink.gauge_add(g, -1);
+        }
+        self.sink.end(now, self.pid, self.track);
+    }
+
+    /// Marks the start of a downstream RPC (covering retries).
+    #[inline]
+    pub fn rpc_begin(&self, now: SimTime) {
+        self.sink.begin(now, self.pid, self.track, "rpc", "rpc");
+    }
+
+    /// Marks the end of a downstream RPC (reply received or given up).
+    #[inline]
+    pub fn rpc_end(&self, now: SimTime) {
+        self.sink.end(now, self.pid, self.track);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing_and_reports_none() {
+        let sink = ObsSink::new(&ObsConfig::default());
+        assert!(!sink.enabled() && !sink.tracing() && !sink.sampling());
+        sink.begin(SimTime::from_nanos(1), 0, 0, "sched", "x");
+        sink.end(SimTime::from_nanos(2), 0, 0);
+        assert!(!sink.sample_due(SimTime::from_nanos(1_000_000)));
+        assert!(sink.finish().is_none());
+    }
+
+    #[test]
+    fn recording_sink_captures_spans_and_samples() {
+        let cfg = ObsConfig {
+            tracing: true,
+            sample_every: Some(SimDuration::from_micros(1)),
+            self_profile: false,
+        };
+        let sink = ObsSink::new(&cfg);
+        assert!(sink.tracing() && sink.sampling());
+        sink.begin(SimTime::from_nanos(10), 0, 0, "sched", "worker");
+        sink.end(SimTime::from_nanos(20), 0, 0);
+        assert!(sink.sample_due(SimTime::from_nanos(0)));
+        sink.push_sample(
+            SimTime::from_nanos(100),
+            &ClusterSample {
+                nodes: vec![],
+                event_queue_depth: 0,
+                event_pushes: 0,
+                event_pops: 0,
+                net_msgs: 0,
+                net_bytes: 0,
+            },
+        );
+        assert!(!sink.sample_due(SimTime::from_nanos(150)), "cadence advanced to next µs");
+        assert!(sink.sample_due(SimTime::from_nanos(1_000)));
+        let report = sink.finish().expect("recording sink reports");
+        assert_eq!(report.trace.len(), 2);
+    }
+
+    #[test]
+    fn service_obs_tracks_are_per_worker() {
+        let cfg = ObsConfig { tracing: true, ..ObsConfig::default() };
+        let sink = ObsSink::new(&cfg);
+        let base = ServiceObs::for_service(&sink, 2, "text");
+        let w1 = base.worker(1);
+        assert_ne!(base.track, w1.track);
+        assert_eq!(base.worker(0).track, base.track);
+        base.request_begin(SimTime::from_nanos(5));
+        w1.request_begin(SimTime::from_nanos(6));
+        w1.request_end(SimTime::from_nanos(7));
+        base.request_end(SimTime::from_nanos(8));
+        let report = sink.finish().expect("report");
+        let json = report.trace.to_chrome_json();
+        trace::validate_chrome_trace(&json).expect("balanced per-worker tracks");
+    }
+}

@@ -1,0 +1,152 @@
+//! Pipeline self-profiler: wall-time and allocation-estimate spans around
+//! the Ditto stages (trace extraction, skeleton, profiling, codegen,
+//! tuning).
+//!
+//! This measures the *host* cost of running the pipeline, so it uses
+//! `std::time::Instant` — never the simulated clock — and touches nothing
+//! the simulation reads. Collection is thread-local and off by default;
+//! when disabled, [`span`] returns an inert guard and records nothing, so
+//! instrumented call sites cost one thread-local boolean read.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// Accumulated statistics for one named stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStat {
+    /// Stage name (e.g. `codegen`).
+    pub name: &'static str,
+    /// Times the stage ran.
+    pub calls: u64,
+    /// Total wall time across calls, in nanoseconds.
+    pub wall_ns: u128,
+    /// Bytes the stage reported via [`note_alloc`] (an estimate of its
+    /// dominant allocations, not a heap measurement).
+    pub alloc_bytes: u64,
+}
+
+#[derive(Default)]
+struct ProfState {
+    enabled: bool,
+    stages: Vec<StageStat>,
+    /// Names of currently open spans, innermost last; [`note_alloc`]
+    /// attributes to the innermost.
+    open: Vec<&'static str>,
+}
+
+thread_local! {
+    static PROF: RefCell<ProfState> = RefCell::new(ProfState::default());
+}
+
+/// Turns collection on or off for the current thread.
+pub fn set_enabled(on: bool) {
+    PROF.with(|p| p.borrow_mut().enabled = on);
+}
+
+/// An RAII span guard; the stage's wall time is recorded when it drops.
+#[must_use = "a span measures until dropped"]
+pub struct SpanGuard {
+    start: Option<(&'static str, Instant)>,
+}
+
+/// Opens a span for `name`. Inert (and nearly free) while disabled.
+pub fn span(name: &'static str) -> SpanGuard {
+    let active = PROF.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.enabled {
+            p.open.push(name);
+            true
+        } else {
+            false
+        }
+    });
+    SpanGuard { start: active.then(|| (name, Instant::now())) }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((name, start)) = self.start.take() else { return };
+        let wall = start.elapsed().as_nanos();
+        PROF.with(|p| {
+            let mut p = p.borrow_mut();
+            if let Some(i) = p.open.iter().rposition(|n| *n == name) {
+                p.open.remove(i);
+            }
+            let s = stage_mut(&mut p.stages, name);
+            s.calls += 1;
+            s.wall_ns += wall;
+        });
+    }
+}
+
+fn stage_mut<'a>(stages: &'a mut Vec<StageStat>, name: &'static str) -> &'a mut StageStat {
+    if let Some(i) = stages.iter().position(|s| s.name == name) {
+        return &mut stages[i];
+    }
+    stages.push(StageStat { name, calls: 0, wall_ns: 0, alloc_bytes: 0 });
+    stages.last_mut().expect("just pushed")
+}
+
+/// Attributes `bytes` of allocation estimate to the innermost open span.
+/// No-op when disabled or outside any span.
+pub fn note_alloc(bytes: u64) {
+    PROF.with(|p| {
+        let mut p = p.borrow_mut();
+        if !p.enabled {
+            return;
+        }
+        let Some(&name) = p.open.last() else { return };
+        stage_mut(&mut p.stages, name).alloc_bytes += bytes;
+    });
+}
+
+/// Drains and returns the completed stage statistics for this thread.
+pub fn take_report() -> Vec<StageStat> {
+    PROF.with(|p| std::mem::take(&mut p.borrow_mut().stages))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_only_while_enabled() {
+        let _ = take_report();
+        {
+            let _g = span("off");
+        }
+        assert!(take_report().is_empty(), "disabled spans record nothing");
+
+        set_enabled(true);
+        {
+            let _g = span("codegen");
+            note_alloc(4096);
+            {
+                let _inner = span("codegen");
+            }
+        }
+        set_enabled(false);
+        let report = take_report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].name, "codegen");
+        assert_eq!(report[0].calls, 2);
+        assert_eq!(report[0].alloc_bytes, 4096);
+        assert!(take_report().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn alloc_attributes_to_innermost_span() {
+        let _ = take_report();
+        set_enabled(true);
+        {
+            let _outer = span("skeleton");
+            let _inner = span("codegen");
+            note_alloc(100);
+        }
+        set_enabled(false);
+        let report = take_report();
+        let by = |n: &str| report.iter().find(|s| s.name == n).cloned();
+        assert_eq!(by("codegen").map(|s| s.alloc_bytes), Some(100));
+        assert_eq!(by("skeleton").map(|s| s.alloc_bytes), Some(0));
+    }
+}

@@ -1,0 +1,274 @@
+//! Columnar time-series buffer for periodic cluster samples.
+//!
+//! Each sample records, per node, the `PerfCounters` delta since the
+//! previous sample (plus derived IPC and cache hit rates) and the
+//! scheduler run-queue depth; cluster-wide columns capture event-queue
+//! depth/throughput and network delivery counters, and gauge columns track
+//! per-service in-flight request counts. Storage is struct-of-arrays so a
+//! long run stays compact, with CSV and JSON export.
+
+use ditto_hw::counters::PerfCounters;
+use serde::{Serialize, Value};
+
+/// Per-node input to one sample.
+#[derive(Debug, Clone)]
+pub struct NodeSample {
+    /// Node index.
+    pub node: u32,
+    /// Cumulative counters (the series stores deltas).
+    pub counters: PerfCounters,
+    /// Run-queue depth at the sample instant.
+    pub run_queue: usize,
+}
+
+/// Cluster-wide input to one sample.
+#[derive(Debug, Clone)]
+pub struct ClusterSample {
+    /// Per-node snapshots.
+    pub nodes: Vec<NodeSample>,
+    /// Pending events in the global queue.
+    pub event_queue_depth: usize,
+    /// Cumulative event-queue pushes.
+    pub event_pushes: u64,
+    /// Cumulative event-queue pops.
+    pub event_pops: u64,
+    /// Cumulative messages delivered by the fabric.
+    pub net_msgs: u64,
+    /// Cumulative bytes delivered by the fabric.
+    pub net_bytes: u64,
+}
+
+/// The columnar buffer. One row per `(sample, node)` pair; cluster-wide
+/// columns repeat on every node row of the same sample, and gauge rows
+/// live in their own table.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    t_ns: Vec<u64>,
+    node: Vec<u32>,
+    instructions: Vec<u64>,
+    cycles: Vec<u64>,
+    ipc: Vec<f64>,
+    l1d_hit_rate: Vec<f64>,
+    llc_hit_rate: Vec<f64>,
+    run_queue: Vec<u32>,
+    event_queue_depth: Vec<u32>,
+    event_pushes: Vec<u64>,
+    event_pops: Vec<u64>,
+    net_msgs: Vec<u64>,
+    net_bytes: Vec<u64>,
+    /// Gauge table: `(t_ns, gauge index, value)`.
+    gauge_t_ns: Vec<u64>,
+    gauge_id: Vec<u32>,
+    gauge_value: Vec<i64>,
+    /// Gauge display names, indexed by gauge id.
+    gauge_names: Vec<String>,
+    /// Last cumulative counters per node, for delta computation.
+    last: Vec<Option<PerfCounters>>,
+}
+
+fn hit_rate(accesses: u64, misses: u64) -> f64 {
+    if accesses == 0 {
+        1.0
+    } else {
+        1.0 - misses as f64 / accesses as f64
+    }
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a gauge, returning its id.
+    pub fn add_gauge(&mut self, name: String) -> u32 {
+        self.gauge_names.push(name);
+        (self.gauge_names.len() - 1) as u32
+    }
+
+    /// Appends one sample taken at `t_ns`, with current gauge values.
+    pub fn push_sample(&mut self, t_ns: u64, s: &ClusterSample, gauges: &[i64]) {
+        for n in &s.nodes {
+            let ni = n.node as usize;
+            if self.last.len() <= ni {
+                self.last.resize(ni + 1, None);
+            }
+            let prev = self.last[ni].unwrap_or_default();
+            // Measurement windows zero the machine counters mid-run
+            // (`MetricSet::begin`); a cumulative value going backwards
+            // marks such a reset, and the post-reset value is the delta.
+            let reset = n.counters.cycles < prev.cycles
+                || n.counters.instructions < prev.instructions;
+            let d = if reset { n.counters } else { n.counters - prev };
+            self.last[ni] = Some(n.counters);
+            self.t_ns.push(t_ns);
+            self.node.push(n.node);
+            self.instructions.push(d.instructions);
+            self.cycles.push(d.cycles);
+            self.ipc.push(d.ipc());
+            self.l1d_hit_rate.push(hit_rate(d.l1d_accesses, d.l1d_misses));
+            self.llc_hit_rate.push(hit_rate(d.llc_accesses, d.llc_misses));
+            self.run_queue.push(n.run_queue as u32);
+            self.event_queue_depth.push(s.event_queue_depth as u32);
+            self.event_pushes.push(s.event_pushes);
+            self.event_pops.push(s.event_pops);
+            self.net_msgs.push(s.net_msgs);
+            self.net_bytes.push(s.net_bytes);
+        }
+        for (id, &v) in gauges.iter().enumerate() {
+            self.gauge_t_ns.push(t_ns);
+            self.gauge_id.push(id as u32);
+            self.gauge_value.push(v);
+        }
+    }
+
+    /// Number of `(sample, node)` rows.
+    pub fn len(&self) -> usize {
+        self.t_ns.len()
+    }
+
+    /// Whether no samples were taken.
+    pub fn is_empty(&self) -> bool {
+        self.t_ns.is_empty()
+    }
+
+    /// The sampled timestamps (one entry per node row).
+    pub fn timestamps(&self) -> &[u64] {
+        &self.t_ns
+    }
+
+    /// Gauge rows as `(t_ns, name, value)` tuples.
+    pub fn gauge_rows(&self) -> impl Iterator<Item = (u64, &str, i64)> + '_ {
+        self.gauge_t_ns
+            .iter()
+            .zip(&self.gauge_id)
+            .zip(&self.gauge_value)
+            .map(|((&t, &id), &v)| (t, self.gauge_names[id as usize].as_str(), v))
+    }
+
+    /// Renders the node-row table as CSV (header + one line per row).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "t_ns,node,instructions,cycles,ipc,l1d_hit_rate,llc_hit_rate,run_queue,\
+             event_queue_depth,event_pushes,event_pops,net_msgs,net_bytes\n",
+        );
+        for i in 0..self.len() {
+            out.push_str(&format!(
+                "{},{},{},{},{:.4},{:.4},{:.4},{},{},{},{},{},{}\n",
+                self.t_ns[i],
+                self.node[i],
+                self.instructions[i],
+                self.cycles[i],
+                self.ipc[i],
+                self.l1d_hit_rate[i],
+                self.llc_hit_rate[i],
+                self.run_queue[i],
+                self.event_queue_depth[i],
+                self.event_pushes[i],
+                self.event_pops[i],
+                self.net_msgs[i],
+                self.net_bytes[i],
+            ));
+        }
+        out
+    }
+
+    /// Renders both tables as a JSON document.
+    pub fn to_json(&self) -> String {
+        fn col_u64(v: &[u64]) -> Value {
+            Value::Arr(v.iter().map(|&x| Value::U64(x)).collect())
+        }
+        fn col_u32(v: &[u32]) -> Value {
+            Value::Arr(v.iter().map(|&x| Value::U64(u64::from(x))).collect())
+        }
+        fn col_f64(v: &[f64]) -> Value {
+            Value::Arr(v.iter().map(|&x| Value::F64(x)).collect())
+        }
+        let nodes = Value::Obj(vec![
+            ("t_ns".to_string(), col_u64(&self.t_ns)),
+            ("node".to_string(), col_u32(&self.node)),
+            ("instructions".to_string(), col_u64(&self.instructions)),
+            ("cycles".to_string(), col_u64(&self.cycles)),
+            ("ipc".to_string(), col_f64(&self.ipc)),
+            ("l1d_hit_rate".to_string(), col_f64(&self.l1d_hit_rate)),
+            ("llc_hit_rate".to_string(), col_f64(&self.llc_hit_rate)),
+            ("run_queue".to_string(), col_u32(&self.run_queue)),
+            ("event_queue_depth".to_string(), col_u32(&self.event_queue_depth)),
+            ("event_pushes".to_string(), col_u64(&self.event_pushes)),
+            ("event_pops".to_string(), col_u64(&self.event_pops)),
+            ("net_msgs".to_string(), col_u64(&self.net_msgs)),
+            ("net_bytes".to_string(), col_u64(&self.net_bytes)),
+        ]);
+        let gauges = Value::Obj(vec![
+            ("t_ns".to_string(), col_u64(&self.gauge_t_ns)),
+            ("gauge".to_string(), col_u32(&self.gauge_id)),
+            ("value".to_string(), Value::Arr(self.gauge_value.iter().map(|&x| Value::I64(x)).collect())),
+            (
+                "names".to_string(),
+                Value::Arr(self.gauge_names.iter().map(|n| Value::Str(n.clone())).collect()),
+            ),
+        ]);
+        let doc = Value::Obj(vec![("nodes".to_string(), nodes), ("gauges".to_string(), gauges)]);
+        serde_json::to_string(&Raw(doc)).expect("series JSON rendering is infallible")
+    }
+}
+
+struct Raw(Value);
+
+impl Serialize for Raw {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(node: u32, instructions: u64, cycles: u64) -> NodeSample {
+        let counters = PerfCounters { instructions, cycles, ..PerfCounters::default() };
+        NodeSample { node, counters, run_queue: 2 }
+    }
+
+    #[test]
+    fn deltas_are_per_sample_not_cumulative() {
+        let mut ts = TimeSeries::new();
+        let cluster = |nodes| ClusterSample {
+            nodes,
+            event_queue_depth: 4,
+            event_pushes: 10,
+            event_pops: 6,
+            net_msgs: 1,
+            net_bytes: 100,
+        };
+        ts.push_sample(1_000, &cluster(vec![sample(0, 100, 200)]), &[]);
+        ts.push_sample(2_000, &cluster(vec![sample(0, 300, 500)]), &[]);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.instructions, vec![100, 200]);
+        assert_eq!(ts.cycles, vec![200, 300]);
+        assert!((ts.ipc[1] - 200.0 / 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_and_json_render() {
+        let mut ts = TimeSeries::new();
+        let g = ts.add_gauge("svc.inflight".to_string());
+        assert_eq!(g, 0);
+        let s = ClusterSample {
+            nodes: vec![sample(0, 50, 100)],
+            event_queue_depth: 1,
+            event_pushes: 2,
+            event_pops: 1,
+            net_msgs: 0,
+            net_bytes: 0,
+        };
+        ts.push_sample(500, &s, &[3]);
+        let csv = ts.to_csv();
+        assert!(csv.starts_with("t_ns,node,"));
+        assert_eq!(csv.lines().count(), 2);
+        let json = ts.to_json();
+        assert!(json.contains("\"nodes\"") && json.contains("\"gauges\""));
+        let rows: Vec<_> = ts.gauge_rows().collect();
+        assert_eq!(rows, vec![(500, "svc.inflight", 3)]);
+    }
+}

@@ -1,0 +1,369 @@
+//! Structured event tracing with a Chrome-trace/Perfetto JSON exporter.
+//!
+//! Events are begin/end span pairs and instants, keyed by simulated time
+//! and a `(pid, tid)` track: `pid` is the cluster node, `tid` the track
+//! within it — logical CPUs use their index, service request tracks start
+//! at [`SERVICE_TRACK_BASE`], and network/fault instants land on dedicated
+//! tracks. The exporter emits the Chrome trace-event JSON format, so a run
+//! can be opened directly in `chrome://tracing` or the Perfetto UI.
+
+use serde::{Serialize, Value};
+
+/// First track id used for per-service request tracks (below this the tid
+/// is a logical CPU index).
+pub const SERVICE_TRACK_BASE: u32 = 1_000;
+/// Track for network delivery instants.
+pub const NET_TRACK: u32 = 90_000;
+/// Track for fault-injection instants.
+pub const FAULT_TRACK: u32 = 95_000;
+
+/// Event phase, mirroring the Chrome trace-event `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ph {
+    /// Span begin (`B`).
+    Begin,
+    /// Span end (`E`).
+    End,
+    /// Instant (`i`).
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Simulated timestamp in nanoseconds.
+    pub ts_ns: u64,
+    /// Node index (exported as the Chrome `pid`).
+    pub pid: u32,
+    /// Track within the node (exported as the Chrome `tid`).
+    pub tid: u32,
+    /// Phase.
+    pub ph: Ph,
+    /// Category (static so recording never allocates for it).
+    pub cat: &'static str,
+    /// Event name. `End` events carry an empty name; the viewer closes
+    /// the innermost open span on the track.
+    pub name: String,
+}
+
+/// An append-only buffer of trace events plus track-name metadata.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    /// `(pid, tid) → human-readable track name` for exported metadata.
+    track_names: Vec<((u32, u32), String)>,
+}
+
+impl TraceBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// Registers a display name for a `(pid, tid)` track.
+    pub fn name_track(&mut self, pid: u32, tid: u32, name: String) {
+        if !self.track_names.iter().any(|((p, t), _)| (*p, *t) == (pid, tid)) {
+            self.track_names.push(((pid, tid), name));
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Recorded events, in insertion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    fn track_name(&self, pid: u32, tid: u32) -> String {
+        if let Some((_, n)) = self.track_names.iter().find(|((p, t), _)| (*p, *t) == (pid, tid)) {
+            return n.clone();
+        }
+        match tid {
+            NET_TRACK => "net".to_string(),
+            FAULT_TRACK => "faults".to_string(),
+            t if t < SERVICE_TRACK_BASE => format!("cpu{t}"),
+            t => format!("track{t}"),
+        }
+    }
+
+    /// Renders the buffer as Chrome trace-event JSON (`{"traceEvents":
+    /// [...]}`), suitable for `chrome://tracing` or the Perfetto UI.
+    ///
+    /// Events are sorted by timestamp (stably, so same-instant events keep
+    /// recording order) and any span still open at the end of the run is
+    /// closed at the final timestamp, guaranteeing balanced begin/end
+    /// pairs on every track.
+    pub fn to_chrome_json(&self) -> String {
+        let mut sorted: Vec<&TraceEvent> = self.events.iter().collect();
+        sorted.sort_by_key(|e| e.ts_ns);
+        let max_ts = sorted.last().map_or(0, |e| e.ts_ns);
+
+        let mut out: Vec<Value> = Vec::new();
+        // Track/process name metadata first.
+        let mut seen_pids: Vec<u32> = Vec::new();
+        let mut seen_tracks: Vec<(u32, u32)> = Vec::new();
+        for e in &sorted {
+            if !seen_pids.contains(&e.pid) {
+                seen_pids.push(e.pid);
+                out.push(meta_event("process_name", e.pid, 0, format!("node{}", e.pid)));
+            }
+            if !seen_tracks.contains(&(e.pid, e.tid)) {
+                seen_tracks.push((e.pid, e.tid));
+                out.push(meta_event("thread_name", e.pid, e.tid, self.track_name(e.pid, e.tid)));
+            }
+        }
+
+        // Depth per track so dangling spans can be closed at the end.
+        let mut depth: Vec<((u32, u32), i64)> = Vec::new();
+        for e in &sorted {
+            let d = match depth.iter_mut().find(|(k, _)| *k == (e.pid, e.tid)) {
+                Some((_, d)) => d,
+                None => {
+                    depth.push(((e.pid, e.tid), 0));
+                    &mut depth.last_mut().expect("just pushed").1
+                }
+            };
+            match e.ph {
+                Ph::Begin => *d += 1,
+                Ph::End => *d -= 1,
+                Ph::Instant => {}
+            }
+            out.push(emit_event(e));
+        }
+        for ((pid, tid), d) in depth {
+            for _ in 0..d.max(0) {
+                out.push(emit_event(&TraceEvent {
+                    ts_ns: max_ts,
+                    pid,
+                    tid,
+                    ph: Ph::End,
+                    cat: "sched",
+                    name: String::new(),
+                }));
+            }
+        }
+
+        let doc = Value::Obj(vec![("traceEvents".to_string(), Value::Arr(out))]);
+        serde_json::to_string(&Raw(doc)).expect("trace JSON rendering is infallible")
+    }
+}
+
+/// Serializes an already-built [`Value`] tree verbatim.
+struct Raw(Value);
+
+impl Serialize for Raw {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+fn ts_us(ns: u64) -> Value {
+    Value::F64(ns as f64 / 1000.0)
+}
+
+fn meta_event(kind: &str, pid: u32, tid: u32, name: String) -> Value {
+    Value::Obj(vec![
+        ("name".to_string(), Value::Str(kind.to_string())),
+        ("ph".to_string(), Value::Str("M".to_string())),
+        ("pid".to_string(), Value::U64(u64::from(pid))),
+        ("tid".to_string(), Value::U64(u64::from(tid))),
+        ("args".to_string(), Value::Obj(vec![("name".to_string(), Value::Str(name))])),
+    ])
+}
+
+fn emit_event(e: &TraceEvent) -> Value {
+    let ph = match e.ph {
+        Ph::Begin => "B",
+        Ph::End => "E",
+        Ph::Instant => "i",
+    };
+    let mut fields = vec![
+        ("name".to_string(), Value::Str(e.name.clone())),
+        ("cat".to_string(), Value::Str(e.cat.to_string())),
+        ("ph".to_string(), Value::Str(ph.to_string())),
+        ("ts".to_string(), ts_us(e.ts_ns)),
+        ("pid".to_string(), Value::U64(u64::from(e.pid))),
+        ("tid".to_string(), Value::U64(u64::from(e.tid))),
+    ];
+    if e.ph == Ph::Instant {
+        fields.push(("s".to_string(), Value::Str("t".to_string())));
+    }
+    Value::Obj(fields)
+}
+
+/// Summary returned by [`validate_chrome_trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total non-metadata events.
+    pub events: usize,
+    /// Span begins.
+    pub begins: usize,
+    /// Span ends.
+    pub ends: usize,
+    /// Instants.
+    pub instants: usize,
+}
+
+/// Parses a value as an opaque tree (the shim's `Value` has no blanket
+/// `Deserialize` impl of its own).
+struct RawVal(Value);
+
+impl serde::Deserialize for RawVal {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        Ok(RawVal(v.clone()))
+    }
+}
+
+/// Validates `json` against the trace-event schema expectations this crate
+/// guarantees: a non-empty `traceEvents` array, required keys on every
+/// event, globally monotone timestamps (metadata aside), and balanced
+/// begin/end pairs on every `(pid, tid)` track.
+pub fn validate_chrome_trace(json: &str) -> Result<TraceStats, String> {
+    let RawVal(doc) = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("missing traceEvents array")?;
+
+    let mut stats = TraceStats { events: 0, begins: 0, ends: 0, instants: 0 };
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut depth: Vec<((u64, u64), i64)> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let pid = match ev.get("pid") {
+            Some(Value::U64(p)) => *p,
+            _ => return Err(format!("event {i}: missing pid")),
+        };
+        let tid = match ev.get("tid") {
+            Some(Value::U64(t)) => *t,
+            _ => return Err(format!("event {i}: missing tid")),
+        };
+        if ev.get("name").and_then(Value::as_str).is_none() {
+            return Err(format!("event {i}: missing name"));
+        }
+        if ph == "M" {
+            continue;
+        }
+        let ts = match ev.get("ts") {
+            Some(Value::F64(t)) => *t,
+            Some(Value::U64(t)) => *t as f64,
+            _ => return Err(format!("event {i}: missing ts")),
+        };
+        if ts < last_ts {
+            return Err(format!("event {i}: timestamp {ts} decreases below {last_ts}"));
+        }
+        last_ts = ts;
+        stats.events += 1;
+        let d = match depth.iter_mut().find(|(k, _)| *k == (pid, tid)) {
+            Some((_, d)) => d,
+            None => {
+                depth.push(((pid, tid), 0));
+                &mut depth.last_mut().expect("just pushed").1
+            }
+        };
+        match ph {
+            "B" => {
+                stats.begins += 1;
+                *d += 1;
+            }
+            "E" => {
+                stats.ends += 1;
+                *d -= 1;
+                if *d < 0 {
+                    return Err(format!("event {i}: end without begin on track ({pid},{tid})"));
+                }
+            }
+            "i" | "I" => stats.instants += 1,
+            other => return Err(format!("event {i}: unknown phase {other:?}")),
+        }
+    }
+    if stats.events == 0 {
+        return Err("trace has no events".to_string());
+    }
+    for ((pid, tid), d) in depth {
+        if d != 0 {
+            return Err(format!("track ({pid},{tid}) left {d} spans open"));
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts_ns: u64, tid: u32, ph: Ph, name: &str) -> TraceEvent {
+        TraceEvent { ts_ns, pid: 0, tid, ph, cat: "test", name: name.to_string() }
+    }
+
+    #[test]
+    fn export_validates_and_counts_events() {
+        let mut buf = TraceBuffer::new();
+        buf.push(ev(100, 0, Ph::Begin, "slice"));
+        buf.push(ev(150, 0, Ph::Instant, "syscall"));
+        buf.push(ev(300, 0, Ph::End, ""));
+        buf.push(ev(200, 1, Ph::Begin, "slice"));
+        buf.push(ev(250, 1, Ph::End, ""));
+        let json = buf.to_chrome_json();
+        let stats = validate_chrome_trace(&json).expect("valid");
+        assert_eq!(stats.events, 5);
+        assert_eq!(stats.begins, 2);
+        assert_eq!(stats.ends, 2);
+        assert_eq!(stats.instants, 1);
+    }
+
+    #[test]
+    fn dangling_spans_are_closed_at_export() {
+        let mut buf = TraceBuffer::new();
+        buf.push(ev(100, 3, Ph::Begin, "request"));
+        buf.push(ev(120, 3, Ph::Begin, "rpc"));
+        buf.push(ev(180, 3, Ph::End, ""));
+        // The outer request span is never closed (e.g. in flight at the
+        // end of the window); export must balance it.
+        let stats = validate_chrome_trace(&buf.to_chrome_json()).expect("valid");
+        assert_eq!(stats.begins, stats.ends);
+    }
+
+    #[test]
+    fn out_of_order_recording_exports_monotone() {
+        let mut buf = TraceBuffer::new();
+        // Two overlapping slices on different tracks are recorded in
+        // completion order, not timestamp order.
+        buf.push(ev(100, 0, Ph::Begin, "a"));
+        buf.push(ev(500, 0, Ph::End, ""));
+        buf.push(ev(120, 1, Ph::Begin, "b"));
+        buf.push(ev(140, 1, Ph::End, ""));
+        validate_chrome_trace(&buf.to_chrome_json()).expect("sorted on export");
+    }
+
+    #[test]
+    fn validator_rejects_bad_traces() {
+        assert!(validate_chrome_trace("{\"traceEvents\":[]}").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+        // Unbalanced end.
+        let bad = r#"{"traceEvents":[{"name":"x","ph":"E","ts":1.0,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        // Decreasing timestamps.
+        let bad = r#"{"traceEvents":[
+            {"name":"x","ph":"i","ts":5.0,"pid":0,"tid":0},
+            {"name":"y","ph":"i","ts":1.0,"pid":0,"tid":0}]}"#;
+        assert!(validate_chrome_trace(bad).is_err());
+    }
+}

@@ -96,6 +96,7 @@ impl Profiler {
 
     /// Detaches and assembles the profile.
     pub fn finish(self, cluster: &mut Cluster) -> AppProfile {
+        let _span = ditto_obs::selfprof::span("profiling");
         cluster.machine_mut(self.node).detach_instr_tracer(self.pid);
         let now = cluster.now();
         let window = now.saturating_since(self.started);

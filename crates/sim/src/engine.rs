@@ -54,6 +54,19 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Cumulative queue-throughput counters, maintained unconditionally (two
+/// integer bumps per operation) so observability sampling can read them
+/// without changing queue behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Total events ever pushed.
+    pub pushes: u64,
+    /// Total events ever popped.
+    pub pops: u64,
+    /// Largest pending-event count observed.
+    pub high_water: usize,
+}
+
 /// A deterministic future-event list.
 ///
 /// # Example
@@ -86,6 +99,7 @@ pub struct EventQueue<E> {
     /// Time of the most recent pop; all pending entries are at or after it.
     cursor: SimTime,
     seq: u64,
+    stats: QueueStats,
 }
 
 impl<E> EventQueue<E> {
@@ -98,6 +112,7 @@ impl<E> EventQueue<E> {
             bucket_head: None,
             cursor: SimTime::ZERO,
             seq: 0,
+            stats: QueueStats::default(),
         }
     }
 
@@ -120,6 +135,7 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
+        self.stats.pushes += 1;
         let entry = Entry { time, seq, event };
         if self.in_window(time) {
             self.buckets[Self::bucket_of(time)].push(entry);
@@ -130,6 +146,7 @@ impl<E> EventQueue<E> {
         } else {
             self.heap.push(entry);
         }
+        self.stats.high_water = self.stats.high_water.max(self.len());
     }
 
     /// Finds the `(time, seq)` of the earliest bucketed entry by scanning
@@ -156,6 +173,7 @@ impl<E> EventQueue<E> {
             (None, Some(_)) => false,
             (None, None) => return None,
         };
+        self.stats.pops += 1;
         if take_bucket {
             let (time, seq) = self.bucket_head.expect("bucket lane head");
             let bucket = &mut self.buckets[Self::bucket_of(time)];
@@ -198,6 +216,11 @@ impl<E> EventQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Cumulative push/pop/high-water statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 
     /// Drops all pending events.
@@ -264,6 +287,17 @@ mod tests {
         assert!(!q.is_empty());
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stats_track_pushes_pops_and_high_water() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(1), 'a');
+        q.push(SimTime::from_nanos(2), 'b');
+        q.pop();
+        q.push(SimTime::from_nanos(3), 'c');
+        let s = q.stats();
+        assert_eq!((s.pushes, s.pops, s.high_water), (3, 1, 2));
     }
 
     #[test]

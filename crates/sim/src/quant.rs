@@ -85,10 +85,24 @@ pub fn working_set_size(index: usize) -> u64 {
 /// A histogram over fixed bins, with helpers to normalize into a
 /// probability distribution. Shared by the branch, dependency and
 /// working-set profilers.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct BinHistogram {
     counts: Vec<u64>,
 }
+
+/// Equality ignores trailing zero bins: the bin vector grows on demand,
+/// so two histograms holding the same observations can differ in length
+/// (e.g. `new(10)` vs `default()`, or one that briefly saw a high bin).
+/// Deriving `PartialEq` on the raw `Vec` made such pairs compare unequal
+/// and broke golden-output comparisons.
+impl PartialEq for BinHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        let bins = self.counts.len().max(other.counts.len());
+        (0..bins).all(|b| self.count(b) == other.count(b))
+    }
+}
+
+impl Eq for BinHistogram {}
 
 impl BinHistogram {
     /// Creates a histogram with `bins` zeroed bins.
@@ -142,6 +156,36 @@ impl BinHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bin_histogram_equality_ignores_trailing_zeros() {
+        // Regression: the derived PartialEq compared raw Vecs, so equal
+        // contents at different grown lengths compared unequal.
+        assert_eq!(BinHistogram::new(10), BinHistogram::default());
+
+        let mut grown = BinHistogram::default();
+        grown.add(2, 5);
+        grown.add(40, 1); // grow to 41 bins...
+        let mut shrunk = BinHistogram::new(3);
+        shrunk.add(2, 5);
+        assert_ne!(grown, shrunk);
+        shrunk.add(40, 1);
+        assert_eq!(grown, shrunk);
+
+        let mut a = BinHistogram::new(1);
+        a.add(0, 1);
+        let mut b = BinHistogram::new(8);
+        b.add(0, 1);
+        assert_eq!(a, b, "same counts, different capacity");
+        b.add(7, 1);
+        assert_ne!(a, b, "a real high bin still distinguishes");
+
+        // The golden-comparison path: serde round-trips preserve equality
+        // even though lengths may have been captured at different times.
+        let json = serde_json::to_string(&grown).expect("serialize");
+        let back: BinHistogram = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(grown, back);
+    }
 
     #[test]
     fn rate_bins_match_paper_range() {

@@ -1,7 +1,7 @@
 //! Measurement utilities: latency histograms with percentile queries, and
 //! small accumulators used by the evaluation harness.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::time::SimDuration;
 
@@ -29,13 +29,51 @@ const BUCKETS: usize = 44; // covers up to ~2^43 ns ≈ 2.4 hours
 /// let p50 = h.percentile(50.0).as_micros_f64();
 /// assert!((45.0..=55.0).contains(&p50));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
     total: u64,
     sum_ns: u128,
     max_ns: u64,
     min_ns: u64,
+}
+
+/// Deserialization normalizes `counts` to the canonical bucket layout:
+/// short vectors (older snapshots with fewer buckets) are zero-padded,
+/// an all-zero overlong tail is dropped, and anything else — an overlong
+/// tail holding real counts, or a `total` that disagrees with the bucket
+/// sum — is rejected rather than silently mis-merged later.
+impl Deserialize for LatencyHistogram {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let mut counts: Vec<u64> = serde::field(v, "counts")?;
+        let total: u64 = serde::field(v, "total")?;
+        let sum_ns: u128 = serde::field(v, "sum_ns")?;
+        let max_ns: u64 = serde::field(v, "max_ns")?;
+        let min_ns: u64 = serde::field(v, "min_ns")?;
+        let canonical = BUCKETS * SUB_BUCKETS;
+        if counts.len() > canonical {
+            if counts[canonical..].iter().any(|&c| c != 0) {
+                return Err(DeError(format!(
+                    "histogram counts have {} buckets with data past the canonical {canonical}",
+                    counts.len()
+                )));
+            }
+            counts.truncate(canonical);
+        }
+        counts.resize(canonical, 0);
+        if counts.iter().sum::<u64>() != total {
+            return Err(DeError(format!(
+                "histogram total {total} disagrees with bucket sum {}",
+                counts.iter().sum::<u64>()
+            )));
+        }
+        if total > 0 && min_ns > max_ns {
+            return Err(DeError(format!(
+                "histogram min {min_ns}ns exceeds max {max_ns}ns"
+            )));
+        }
+        Ok(LatencyHistogram { counts, total, sum_ns, max_ns, min_ns })
+    }
 }
 
 impl LatencyHistogram {
@@ -127,11 +165,19 @@ impl LatencyHistogram {
             return SimDuration::ZERO;
         }
         let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        if rank >= self.total {
+            // The top rank is the exactly-tracked maximum; reporting the
+            // bucket lower bound would undershoot it (p100 must equal max).
+            return SimDuration::from_nanos(self.max_ns);
+        }
         let mut seen = 0;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return SimDuration::from_nanos(Self::value_of(i).max(self.min_ns.min(self.max_ns)).min(self.max_ns));
+                // total > 0 here, so min_ns <= max_ns and the clamp is
+                // well-formed: bucket lower bounds are pulled into the
+                // observed value range.
+                return SimDuration::from_nanos(Self::value_of(i).clamp(self.min_ns, self.max_ns));
             }
         }
         SimDuration::from_nanos(self.max_ns)
@@ -149,8 +195,14 @@ impl LatencyHistogram {
         }
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one. Length-safe: if `other`
+    /// has more buckets (e.g. a deserialized histogram from a newer
+    /// layout), this one grows to match instead of silently dropping
+    /// `other`'s tail counts while still adding its total.
     pub fn merge(&mut self, other: &LatencyHistogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -303,6 +355,94 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert_eq!(a.max().as_micros_f64(), 20.0);
+    }
+
+    /// Builds a non-canonical histogram the way a legacy snapshot would
+    /// look before deserialization normalized it.
+    fn short_histogram(len: usize) -> LatencyHistogram {
+        LatencyHistogram {
+            counts: vec![0; len],
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
+    }
+
+    #[test]
+    fn merge_is_length_safe() {
+        // Regression: merge used to zip counts, silently dropping the
+        // longer side's tail buckets while still summing total/sum_ns —
+        // so a short receiver "lost" every observation past its length
+        // and percentiles collapsed onto the max fallback.
+        let mut short = short_histogram(SUB_BUCKETS);
+        for _ in 0..10 {
+            short.record(SimDuration::from_nanos(1));
+        }
+        let mut full = LatencyHistogram::new();
+        for _ in 0..10 {
+            full.record(SimDuration::from_millis(1));
+        }
+        for _ in 0..10 {
+            full.record(SimDuration::from_millis(2));
+        }
+        short.merge(&full);
+        assert_eq!(short.count(), 30);
+        assert_eq!(short.counts.iter().sum::<u64>(), 30, "no counts dropped");
+        let p50 = short.percentile(50.0).as_nanos();
+        assert!(
+            (900_000..=1_100_000).contains(&p50),
+            "p50 {p50}ns must come from the merged 1ms bucket, not the max fallback"
+        );
+        // Merging the short side into a canonical histogram also works.
+        let mut canon = LatencyHistogram::new();
+        canon.merge(&short_histogram(SUB_BUCKETS));
+        assert_eq!(canon.counts.len(), BUCKETS * SUB_BUCKETS);
+    }
+
+    #[test]
+    fn deserialize_normalizes_and_rejects_bad_lengths() {
+        // A short legacy snapshot zero-pads to the canonical layout.
+        let short = "{\"counts\":[0,3],\"total\":3,\"sum_ns\":3,\"max_ns\":1,\"min_ns\":1}";
+        let h: LatencyHistogram = serde_json::from_str(short).expect("short counts pad");
+        assert_eq!(h.counts.len(), BUCKETS * SUB_BUCKETS);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.percentile(50.0).as_nanos(), 1);
+
+        // An overlong all-zero tail is dropped...
+        let mut counts = vec![0u64; BUCKETS * SUB_BUCKETS + 8];
+        counts[1] = 2;
+        let overlong_zero = format!(
+            "{{\"counts\":{counts:?},\"total\":2,\"sum_ns\":2,\"max_ns\":1,\"min_ns\":1}}"
+        );
+        let h: LatencyHistogram = serde_json::from_str(&overlong_zero).expect("zero tail drops");
+        assert_eq!(h.counts.len(), BUCKETS * SUB_BUCKETS);
+
+        // ...but real counts past the canonical layout are rejected.
+        counts[BUCKETS * SUB_BUCKETS + 4] = 1;
+        let overlong = format!(
+            "{{\"counts\":{counts:?},\"total\":3,\"sum_ns\":3,\"max_ns\":1,\"min_ns\":1}}"
+        );
+        assert!(serde_json::from_str::<LatencyHistogram>(&overlong).is_err());
+
+        // A total that disagrees with the bucket sum is rejected.
+        let bad_total = "{\"counts\":[0,3],\"total\":4,\"sum_ns\":3,\"max_ns\":1,\"min_ns\":1}";
+        assert!(serde_json::from_str::<LatencyHistogram>(bad_total).is_err());
+
+        // min > max with observations present is rejected.
+        let bad_range = "{\"counts\":[0,3],\"total\":3,\"sum_ns\":3,\"max_ns\":1,\"min_ns\":9}";
+        assert!(serde_json::from_str::<LatencyHistogram>(bad_range).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_histogram() {
+        let mut h = LatencyHistogram::new();
+        for us in [1u64, 10, 100, 1_000, 10_000] {
+            h.record(SimDuration::from_micros(us));
+        }
+        let json = serde_json::to_string(&h).expect("serialize");
+        let back: LatencyHistogram = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(h, back);
     }
 
     #[test]

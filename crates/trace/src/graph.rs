@@ -40,6 +40,7 @@ impl ServiceGraph {
     /// id is unknown (or zero) is a root. Edge ratios are
     /// `child span count / parent service span count`.
     pub fn from_spans(spans: &[Span]) -> Self {
+        let _span = ditto_obs::selfprof::span("trace-extraction");
         let mut services: Vec<String> = Vec::new();
         let mut service_ix: HashMap<&str, usize> = HashMap::new();
         for s in spans {

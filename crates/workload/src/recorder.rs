@@ -20,6 +20,19 @@ struct Inner {
 
 /// A thread-safe recorder shared between generator threads and the
 /// harness. Only samples inside the measurement window count.
+///
+/// # Window-edge semantics
+///
+/// Outcomes are counted **at completion**: a request lands in
+/// `received`/`timeouts`/`errors` only if its completion falls inside the
+/// window (and, for responses, it was also sent at or after the window
+/// opened — latency spent warming up must not leak in). `sent` is counted
+/// **at send** and measures *offered* load; a request sent near the end
+/// of the window whose completion falls past `end_window` stays in `sent`
+/// but in no outcome bucket. Quality ratios therefore never use `sent` as
+/// a denominator — [`LoadSummary::availability`] divides by completed
+/// attempts — so still-in-flight requests at window close skew neither
+/// availability nor goodput.
 #[derive(Debug, Clone)]
 pub struct Recorder {
     inner: Arc<Mutex<Inner>>,
@@ -238,17 +251,23 @@ impl LoadAggregate {
 }
 
 impl LoadSummary {
-    /// Fraction of sent requests that completed successfully (full
-    /// result, within deadline). 1.0 when nothing was sent.
+    /// Fraction of completed attempts that succeeded (full result, within
+    /// deadline): `(received - degraded) / (received + timeouts + errors)`.
+    /// 1.0 when nothing completed in the window.
+    ///
+    /// The denominator is completed attempts, not `sent`: `sent` counts
+    /// offered load at send time, so requests still in flight when the
+    /// window closes would otherwise be silently charged as failures.
     pub fn availability(&self) -> f64 {
-        if self.sent == 0 {
+        let attempts = self.received + self.timeouts + self.errors;
+        if attempts == 0 {
             return 1.0;
         }
         let ok = self.received.saturating_sub(self.degraded);
-        (ok as f64 / self.sent as f64).min(1.0)
+        ok as f64 / attempts as f64
     }
 
-    /// Fraction of sent requests that failed (timed out, errored, or
+    /// Fraction of completed attempts that failed (timed out, errored, or
     /// degraded).
     pub fn error_rate(&self) -> f64 {
         1.0 - self.availability()
@@ -304,9 +323,67 @@ mod tests {
         assert_eq!(s.received, 10);
         assert_eq!(s.degraded, 3);
         assert_eq!(s.timeouts, 1);
-        assert!((s.availability() - 0.7).abs() < 1e-9, "{}", s.availability());
+        // 7 full successes out of 11 completed attempts (10 received + 1
+        // timeout).
+        assert!((s.availability() - 7.0 / 11.0).abs() < 1e-9, "{}", s.availability());
         assert!((s.goodput_qps - 7.0).abs() < 1e-9);
         assert!((s.throughput_qps - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_edge_four_corners() {
+        // send {in, out} × complete {in, out} of the window [1000, 2000].
+        let r = Recorder::new();
+        r.start_window(SimTime::from_nanos(1000));
+        r.end_window(SimTime::from_nanos(2000));
+        let send = |t: u64, done: u64| {
+            r.note_sent(SimTime::from_nanos(t));
+            r.record(SimTime::from_nanos(t), SimTime::from_nanos(done));
+        };
+        send(1100, 1500); // in/in: sent + received
+        send(1900, 2500); // in/out: offered load only
+        send(500, 1500); // out/in: warmup latency must not leak in
+        send(500, 2500); // out/out: invisible
+        let s = r.summary(SimDuration::from_nanos(1000));
+        assert_eq!(s.sent, 2, "sent counts at send time (offered load)");
+        assert_eq!(s.received, 1, "received counts at completion time");
+        assert_eq!(s.latency.count, 1);
+        assert_eq!((s.timeouts, s.errors), (0, 0));
+    }
+
+    #[test]
+    fn in_flight_at_window_close_does_not_dent_availability() {
+        // Regression: availability used sent as its denominator, so a
+        // request still in flight at end_window (in `sent`, in no outcome
+        // bucket) read as a failure: 9 received / 10 sent = 0.9 with zero
+        // actual failures.
+        let r = Recorder::new();
+        r.end_window(SimTime::from_nanos(1000));
+        for i in 0..10u64 {
+            r.note_sent(SimTime::from_nanos(i));
+        }
+        for i in 0..9u64 {
+            r.record(SimTime::from_nanos(i), SimTime::from_nanos(500 + i));
+        }
+        // The 10th completes after the window closed.
+        r.record(SimTime::from_nanos(9), SimTime::from_nanos(1500));
+        let s = r.summary(SimDuration::from_nanos(1000));
+        assert_eq!((s.sent, s.received), (10, 9));
+        assert!((s.availability() - 1.0).abs() < 1e-12, "{}", s.availability());
+        assert!(s.error_rate().abs() < 1e-12);
+    }
+
+    #[test]
+    fn late_timeouts_and_errors_count_at_completion() {
+        let r = Recorder::new();
+        r.end_window(SimTime::from_nanos(1000));
+        r.note_sent(SimTime::from_nanos(10));
+        r.note_sent(SimTime::from_nanos(20));
+        r.note_timeout(SimTime::from_nanos(900)); // completes in-window
+        r.note_error(SimTime::from_nanos(1500)); // completes after close
+        let s = r.summary(SimDuration::from_nanos(1000));
+        assert_eq!((s.timeouts, s.errors), (1, 0));
+        assert!(s.availability().abs() < 1e-12, "one attempt, one timeout");
     }
 
     #[test]

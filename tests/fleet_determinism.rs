@@ -24,6 +24,7 @@ fn small_bed(seed: u64) -> Testbed {
         seed,
         warmup: SimDuration::from_millis(5),
         window: SimDuration::from_millis(30),
+        obs: Default::default(),
     }
 }
 

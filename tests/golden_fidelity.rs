@@ -41,6 +41,7 @@ fn golden_bed() -> Testbed {
         seed: GOLDEN_SEED,
         warmup: SimDuration::from_millis(10),
         window: SimDuration::from_millis(60),
+        obs: Default::default(),
     }
 }
 

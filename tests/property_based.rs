@@ -45,6 +45,58 @@ fn histogram_percentiles_bounded_and_monotone() {
     }
 }
 
+/// Percentiles are monotone in `p` across a fine grid, pin to the exact
+/// extremes at the edges, and stay within the observed value range.
+#[test]
+fn histogram_percentile_invariants() {
+    let mut rng = SimRng::seed(1212);
+    for case in 0..64 {
+        let values = gen_vec(&mut rng, 1, 300, 0, 10_000_000_000);
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(SimDuration::from_nanos(v));
+        }
+        assert_eq!(h.percentile(100.0), h.max(), "case {case}");
+        assert!(h.percentile(0.0) >= h.min(), "case {case}");
+        let mut last = SimDuration::ZERO;
+        for step in 0..=100 {
+            let p = h.percentile(f64::from(step));
+            assert!(p >= last, "case {case}: percentile must be monotone in p");
+            assert!(h.min() <= p && p <= h.max(), "case {case}: p{step} out of range");
+            last = p;
+        }
+    }
+}
+
+/// Merging two histograms is equivalent to recording the union of their
+/// observations: identical buckets, hence identical percentiles.
+#[test]
+fn histogram_merge_equals_union() {
+    let mut rng = SimRng::seed(1313);
+    for case in 0..48 {
+        let xs = gen_vec(&mut rng, 0, 150, 0, 5_000_000_000);
+        let ys = gen_vec(&mut rng, 0, 150, 0, 5_000_000_000);
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut union = LatencyHistogram::new();
+        for &v in &xs {
+            a.record(SimDuration::from_nanos(v));
+            union.record(SimDuration::from_nanos(v));
+        }
+        for &v in &ys {
+            b.record(SimDuration::from_nanos(v));
+            union.record(SimDuration::from_nanos(v));
+        }
+        a.merge(&b);
+        assert_eq!(a, union, "case {case}: merged histogram must equal the union");
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_eq!(a.percentile(p), union.percentile(p), "case {case} p{p}");
+        }
+        assert_eq!(a.count(), union.count(), "case {case}");
+        assert_eq!(a.mean(), union.mean(), "case {case}");
+    }
+}
+
 /// Reuse-distance hit curves are monotone in cache size and bounded by the
 /// total access count.
 #[test]
