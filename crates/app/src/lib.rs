@@ -13,12 +13,20 @@
 pub mod apps;
 pub mod handlers;
 pub mod resilience;
+pub mod routing;
 pub mod service;
+pub mod sharded;
 pub mod social;
 pub mod stressors;
 
 pub use handlers::{BehaviorHandler, FileReadSpec, RpcEdge};
 pub use resilience::RpcPolicy;
+pub use routing::{jump_hash, HashRing, ReplicaPolicy};
 pub use service::{HandlerPlan, HandlerStep, NetworkModel, RequestHandler, ServiceSpec};
+pub use sharded::{
+    deploy_sharded_tier, deploy_sharded_tier_with, router_params, ReplicaInfo, RouterHandler,
+    RouterStats, ShardBackend, ShardObserver, ShardedTier, ShardedTierSpec, ServiceSpecParts,
+    ROUTER_RPC_BYTES,
+};
 pub use social::{deploy_social_network, SocialNetwork};
 pub use stressors::{deploy_flood_sink, spawn_stressors, StressKind};

@@ -1,0 +1,314 @@
+//! Consistent-hash routing primitives for the sharded service tier.
+//!
+//! Two interchangeable placement functions — jump hashing (Lamping &
+//! Veach) for static shard counts and a virtual-node hash ring for
+//! elastic ones — plus bounded-load routing (consistent hashing with
+//! bounded loads): a shard whose in-flight load exceeds `c ×` the mean is
+//! skipped and the key spills to the next shard clockwise on the ring.
+//! Everything is pure integer/f64 arithmetic over caller-supplied state,
+//! so routing decisions are deterministic and replayable.
+
+/// SplitMix64 finalizer: the stable key/point scrambler used everywhere
+/// in this module (`key` ids are small integers; routing must not inherit
+/// their order).
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Jump consistent hash (Lamping & Veach 2014): maps `key` to a bucket in
+/// `[0, buckets)` such that growing `buckets` by one moves exactly the
+/// expected `1/(buckets+1)` fraction of keys, all into the new bucket.
+///
+/// # Panics
+///
+/// Panics if `buckets == 0`.
+pub fn jump_hash(mut key: u64, buckets: u32) -> u32 {
+    assert!(buckets > 0, "jump_hash needs at least one bucket");
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < i64::from(buckets) {
+        b = j;
+        key = key.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        let r = ((1u64 << 31) as f64) / (((key >> 33) + 1) as f64);
+        j = (((b + 1) as f64) * r) as i64;
+    }
+    b as u32
+}
+
+/// A consistent-hash ring with virtual nodes.
+///
+/// Each shard owns `vnodes` points on a `u64` ring; a key belongs to the
+/// shard owning the first point at or after the key's hash (wrapping).
+/// Adding or removing a shard therefore only reassigns keys that land in
+/// the arcs the shard gains or gives up — the minimal-disruption property
+/// the ring property tests pin down exactly.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, shard)` sorted by point.
+    points: Vec<(u64, u32)>,
+    /// Live shard ids, sorted (stable iteration for bounded-load walks).
+    shards: Vec<u32>,
+    vnodes: u32,
+}
+
+impl HashRing {
+    /// A ring over shards `0..shards`, each with `vnodes` virtual nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or `vnodes == 0`.
+    pub fn new(shards: u32, vnodes: u32) -> Self {
+        assert!(shards > 0, "ring needs at least one shard");
+        assert!(vnodes > 0, "ring needs at least one virtual node per shard");
+        let mut ring = HashRing { points: Vec::new(), shards: Vec::new(), vnodes };
+        for s in 0..shards {
+            ring.add_shard(s);
+        }
+        ring
+    }
+
+    /// Number of live shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the ring has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Live shard ids in ascending order.
+    pub fn shards(&self) -> &[u32] {
+        &self.shards
+    }
+
+    fn point(shard: u32, vnode: u32) -> u64 {
+        mix64((u64::from(shard) << 32) | u64::from(vnode))
+    }
+
+    /// Adds a shard's virtual nodes to the ring. No-op if already present.
+    pub fn add_shard(&mut self, shard: u32) {
+        if self.shards.contains(&shard) {
+            return;
+        }
+        for v in 0..self.vnodes {
+            let p = Self::point(shard, v);
+            let at = self.points.partition_point(|&(q, _)| q < p);
+            self.points.insert(at, (p, shard));
+        }
+        let at = self.shards.partition_point(|&s| s < shard);
+        self.shards.insert(at, shard);
+    }
+
+    /// Removes a shard's virtual nodes from the ring. No-op if absent.
+    pub fn remove_shard(&mut self, shard: u32) {
+        self.points.retain(|&(_, s)| s != shard);
+        self.shards.retain(|&s| s != shard);
+    }
+
+    /// The shard owning `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty.
+    pub fn shard_of(&self, key: u64) -> u32 {
+        assert!(!self.points.is_empty(), "routing on an empty ring");
+        let h = mix64(key);
+        let at = self.points.partition_point(|&(q, _)| q < h);
+        self.points[at % self.points.len()].1
+    }
+
+    /// The distinct shards encountered walking clockwise from `key`'s
+    /// position: the preference order bounded-load routing spills along.
+    /// At most [`HashRing::len`] entries, first entry == `shard_of(key)`.
+    pub fn preference(&self, key: u64) -> Vec<u32> {
+        assert!(!self.points.is_empty(), "routing on an empty ring");
+        let h = mix64(key);
+        let start = self.points.partition_point(|&(q, _)| q < h);
+        let mut order = Vec::with_capacity(self.shards.len());
+        for i in 0..self.points.len() {
+            let shard = self.points[(start + i) % self.points.len()].1;
+            if !order.contains(&shard) {
+                order.push(shard);
+                if order.len() == self.shards.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// Bounded-load routing: the first shard in `key`'s preference order
+    /// whose current load (via `load`, indexed by shard id) stays under
+    /// `ceil(c × (total + 1) / shards)` once the request is placed. Falls
+    /// back to the least-loaded candidate when every shard is at the cap
+    /// (c ≤ 1 degenerates to join-the-shortest-arc).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty or `c` is not finite and positive.
+    pub fn route_bounded(&self, key: u64, load: &dyn Fn(u32) -> u64, c: f64) -> u32 {
+        assert!(c.is_finite() && c > 0.0, "load bound factor must be positive");
+        let order = self.preference(key);
+        let total: u64 = self.shards.iter().map(|&s| load(s)).sum();
+        let cap = ((c * (total + 1) as f64) / self.shards.len() as f64).ceil() as u64;
+        let mut best = order[0];
+        let mut best_load = u64::MAX;
+        for &s in &order {
+            let l = load(s);
+            if l < cap {
+                return s;
+            }
+            if l < best_load {
+                best_load = l;
+                best = s;
+            }
+        }
+        best
+    }
+}
+
+/// How the router picks among a shard's replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaPolicy {
+    /// Strict rotation per shard.
+    RoundRobin,
+    /// The replica with the fewest outstanding RPCs (ties broken by the
+    /// lowest index, so selection is deterministic).
+    LeastInFlight,
+}
+
+impl ReplicaPolicy {
+    /// Picks a replica index in `[0, in_flight.len())`. `rr` is the
+    /// shard's rotation cursor, advanced only by the round-robin policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_flight` is empty.
+    pub fn pick(self, in_flight: &[u64], rr: &mut usize) -> usize {
+        assert!(!in_flight.is_empty(), "shard has no replicas");
+        match self {
+            ReplicaPolicy::RoundRobin => {
+                let at = *rr % in_flight.len();
+                *rr = (*rr + 1) % in_flight.len();
+                at
+            }
+            ReplicaPolicy::LeastInFlight => in_flight
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &l)| (l, i))
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jump_hash_is_stable_and_in_range() {
+        for key in 0..1000u64 {
+            let b = jump_hash(key, 7);
+            assert!(b < 7);
+            assert_eq!(b, jump_hash(key, 7), "deterministic");
+        }
+    }
+
+    #[test]
+    fn jump_hash_single_bucket() {
+        assert_eq!(jump_hash(0, 1), 0);
+        assert_eq!(jump_hash(u64::MAX, 1), 0);
+    }
+
+    #[test]
+    fn jump_hash_growth_moves_keys_only_into_new_bucket() {
+        let keys: Vec<u64> = (0..20_000).collect();
+        for n in 1..8u32 {
+            let mut moved = 0usize;
+            for &k in &keys {
+                let old = jump_hash(k, n);
+                let new = jump_hash(k, n + 1);
+                if old != new {
+                    assert_eq!(new, n, "moved key must land in the new bucket");
+                    moved += 1;
+                }
+            }
+            // Expected K/(n+1); allow 25% slack.
+            let expected = keys.len() / (n as usize + 1);
+            assert!(
+                moved <= expected + expected / 4,
+                "n={n}: moved {moved} > {} + slack",
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn ring_covers_all_shards_reasonably() {
+        let ring = HashRing::new(8, 128);
+        let mut counts = [0usize; 8];
+        for k in 0..40_000u64 {
+            counts[ring.shard_of(k) as usize] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!((2_500..9_000).contains(&c), "shard {s} owns {c} of 40000");
+        }
+    }
+
+    #[test]
+    fn preference_starts_at_owner_and_is_a_permutation() {
+        let ring = HashRing::new(6, 64);
+        for k in 0..200u64 {
+            let order = ring.preference(k);
+            assert_eq!(order[0], ring.shard_of(k));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, ring.shards(), "preference must visit every shard once");
+        }
+    }
+
+    #[test]
+    fn add_remove_round_trips() {
+        let mut ring = HashRing::new(4, 32);
+        let before: Vec<u32> = (0..1000).map(|k| ring.shard_of(k)).collect();
+        ring.add_shard(4);
+        ring.remove_shard(4);
+        let after: Vec<u32> = (0..1000).map(|k| ring.shard_of(k)).collect();
+        assert_eq!(before, after, "add+remove must restore the mapping exactly");
+        ring.add_shard(2); // already present: no-op
+        assert_eq!(ring.len(), 4);
+    }
+
+    #[test]
+    fn bounded_route_respects_cap() {
+        let ring = HashRing::new(4, 64);
+        let mut loads = [0u64; 4];
+        // Every key identical: an unbounded ring would pile everything on
+        // one shard; the bound must spread the overflow.
+        for _ in 0..1000 {
+            let s = ring.route_bounded(42, &|s| loads[s as usize], 1.25);
+            loads[s as usize] += 1;
+            let total: u64 = loads.iter().sum();
+            let cap = ((1.25 * total as f64) / 4.0).ceil() as u64;
+            assert!(loads.iter().all(|&l| l <= cap), "loads {loads:?} exceed cap {cap}");
+        }
+    }
+
+    #[test]
+    fn replica_policies_are_deterministic() {
+        let mut rr = 0usize;
+        let picks: Vec<usize> =
+            (0..6).map(|_| ReplicaPolicy::RoundRobin.pick(&[0, 0, 0], &mut rr)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        let mut rr2 = 0usize;
+        assert_eq!(ReplicaPolicy::LeastInFlight.pick(&[3, 1, 2], &mut rr2), 1);
+        assert_eq!(ReplicaPolicy::LeastInFlight.pick(&[2, 2, 2], &mut rr2), 0, "ties → lowest");
+        assert_eq!(rr2, 0, "least-in-flight never advances the cursor");
+    }
+}

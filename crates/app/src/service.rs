@@ -83,6 +83,23 @@ pub trait RequestHandler: Send + Sync {
     fn files(&self) -> Vec<FileId> {
         Vec::new()
     }
+
+    /// Called when a planned [`HandlerStep::Rpc`] finishes — either with a
+    /// reply (`ok = true`) or after exhausting its retry budget
+    /// (`ok = false`). `downstream` is the index the RPC *completed*
+    /// against (it may differ from the planned one after
+    /// [`RequestHandler::reroute`]). Handlers that track per-downstream
+    /// state (in-flight counts, per-shard latency) hook this; the default
+    /// is a no-op.
+    fn on_rpc_complete(&self, _downstream: usize, _started: SimTime, _now: SimTime, _ok: bool) {}
+
+    /// Consulted when an RPC attempt to `failed_downstream` failed and a
+    /// retry is about to re-dial: returning `Some(other)` redirects the
+    /// retry to a different downstream (replica failover), `None` retries
+    /// the same one. The default never reroutes.
+    fn reroute(&self, _failed_downstream: usize) -> Option<usize> {
+        None
+    }
 }
 
 /// The network/thread skeleton of a service (§4.3.1, §4.3.2).
@@ -335,6 +352,8 @@ struct RpcInFlight {
     bytes: u64,
     meta: MsgMeta,
     attempt: u32,
+    /// When the first attempt was issued (reroutes and retries keep it).
+    started: SimTime,
 }
 
 /// One epoll event loop: waits for readiness, receives requests, executes
@@ -429,7 +448,8 @@ impl EpollWorker {
                     span_id: req.span.span_id,
                     status: 0,
                 };
-                self.rpc = Some(RpcInFlight { downstream, bytes, meta, attempt: 0 });
+                self.rpc =
+                    Some(RpcInFlight { downstream, bytes, meta, attempt: 0, started: now });
                 Action::Syscall(Syscall::Send { fd, bytes, meta })
             }
             None => {
@@ -460,7 +480,9 @@ impl EpollWorker {
             let dur = self.spec.rpc.backoff(attempt, rng);
             return Action::Syscall(Syscall::Nanosleep { dur });
         }
-        self.rpc = None;
+        if let Some(r) = self.rpc.take() {
+            self.spec.handler.on_rpc_complete(r.downstream, r.started, now, false);
+        }
         self.rpc_fd = None;
         self.obs.rpc_end(now);
         if let Some(req) = self.current.as_mut() {
@@ -626,7 +648,11 @@ impl ThreadBody for EpollWorker {
                 }
                 WorkerState::RpcReply => match ctx.last.msg() {
                     Some(_) => {
-                        self.rpc = None;
+                        if let Some(r) = self.rpc.take() {
+                            self.spec
+                                .handler
+                                .on_rpc_complete(r.downstream, r.started, ctx.now, true);
+                        }
                         self.rpc_fd = None;
                         self.obs.rpc_end(ctx.now);
                         return self.execute_next(ctx.now);
@@ -643,7 +669,15 @@ impl ThreadBody for EpollWorker {
                     return Action::Syscall(Syscall::Close { fd });
                 }
                 WorkerState::RpcCloseOld => {
-                    let d = self.rpc.as_ref().expect("rpc in flight").downstream;
+                    // The handler may fail the retry over to a different
+                    // downstream (replica failover in the sharded tier).
+                    let d = {
+                        let r = self.rpc.as_mut().expect("rpc in flight");
+                        if let Some(other) = self.spec.handler.reroute(r.downstream) {
+                            r.downstream = other;
+                        }
+                        r.downstream
+                    };
                     let (node, port) = self.spec.downstreams[d];
                     self.state = WorkerState::RpcReconnect;
                     return Action::Syscall(Syscall::Connect { node, port });
@@ -826,7 +860,8 @@ impl ConnWorker {
                     span_id: req.span.span_id,
                     status: 0,
                 };
-                self.rpc = Some(RpcInFlight { downstream, bytes, meta, attempt: 0 });
+                self.rpc =
+                    Some(RpcInFlight { downstream, bytes, meta, attempt: 0, started: now });
                 Action::Syscall(Syscall::Send { fd, bytes, meta })
             }
             None => {
@@ -855,7 +890,9 @@ impl ConnWorker {
             let dur = self.spec.rpc.backoff(attempt, rng);
             return Action::Syscall(Syscall::Nanosleep { dur });
         }
-        self.rpc = None;
+        if let Some(r) = self.rpc.take() {
+            self.spec.handler.on_rpc_complete(r.downstream, r.started, now, false);
+        }
         self.rpc_fd = None;
         self.obs.rpc_end(now);
         if let Some(req) = self.current.as_mut() {
@@ -930,7 +967,9 @@ impl ThreadBody for ConnWorker {
             }
             ConnWorkerState::RpcReply => match ctx.last.msg() {
                 Some(_) => {
-                    self.rpc = None;
+                    if let Some(r) = self.rpc.take() {
+                        self.spec.handler.on_rpc_complete(r.downstream, r.started, ctx.now, true);
+                    }
                     self.rpc_fd = None;
                     self.obs.rpc_end(ctx.now);
                     self.execute_next(ctx.now)
@@ -944,7 +983,15 @@ impl ThreadBody for ConnWorker {
                 Action::Syscall(Syscall::Close { fd })
             }
             ConnWorkerState::RpcCloseOld => {
-                let d = self.rpc.as_ref().expect("rpc in flight").downstream;
+                // See EpollWorker: the handler may redirect the retry to a
+                // different downstream (replica failover).
+                let d = {
+                    let r = self.rpc.as_mut().expect("rpc in flight");
+                    if let Some(other) = self.spec.handler.reroute(r.downstream) {
+                        r.downstream = other;
+                    }
+                    r.downstream
+                };
                 let (node, port) = self.spec.downstreams[d];
                 self.state = ConnWorkerState::RpcReconnect;
                 Action::Syscall(Syscall::Connect { node, port })

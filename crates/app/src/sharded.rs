@@ -1,0 +1,638 @@
+//! The scale-out sharded service tier (router + N×R backend pool).
+//!
+//! A [`ShardedTierSpec`] stands up `shards × replicas` Memcached/Redis
+//! backends, one per node, fronted by a router service that draws a key
+//! per request from the tier's Zipf popularity curve, places it with
+//! bounded-load consistent hashing ([`crate::routing`]), picks a replica
+//! (round-robin or least-in-flight), and forwards the request as one
+//! downstream RPC. The router is an ordinary [`ServiceSpec`] running on
+//! the same service framework as everything else, so open-loop clients
+//! address it like any single service, profilers attach to it like any
+//! process, and the chaos layer can crash the nodes under it.
+//!
+//! On a replica failure the router's retry path consults
+//! [`RequestHandler::reroute`] and fails the RPC over to the shard's
+//! least-loaded surviving replica — graceful degradation instead of a
+//! degraded response, as long as one replica of the shard survives.
+
+use std::sync::Arc;
+
+use ditto_hw::codegen::{Body, BodyParams};
+use ditto_hw::isa::{BranchBehavior, InstrClass};
+use ditto_kernel::{Cluster, NodeId, Pid};
+use ditto_sim::dist::Zipf;
+use ditto_sim::rng::SimRng;
+use ditto_sim::time::SimTime;
+use parking_lot::Mutex;
+
+use crate::apps;
+use crate::resilience::RpcPolicy;
+use crate::routing::{HashRing, ReplicaPolicy};
+use crate::service::{
+    HandlerPlan, HandlerStep, NetworkModel, RequestHandler, ServiceSpec, DATA_REGION,
+    SHARED_REGION,
+};
+
+/// Which backend template fills the shard pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardBackend {
+    /// Memcached-style (4 epoll workers, 4 KB values).
+    Memcached,
+    /// Redis-style (single-threaded, 1 KB values).
+    Redis,
+}
+
+/// Configuration of a sharded tier.
+#[derive(Debug, Clone)]
+pub struct ShardedTierSpec {
+    /// Number of shards (consistent-hash buckets).
+    pub shards: u32,
+    /// Replicas per shard, each on its own node.
+    pub replicas: u32,
+    /// Backend template.
+    pub backend: ShardBackend,
+    /// Replica selection policy.
+    pub policy: ReplicaPolicy,
+    /// Key-space size behind the Zipf popularity curve.
+    pub keys: usize,
+    /// Zipf skew of key popularity (0 = uniform).
+    pub skew: f64,
+    /// Keys `0..hot_keys` are counted as hot (per-shard skew statistics).
+    pub hot_keys: usize,
+    /// Virtual nodes per shard on the ring.
+    pub vnodes: u32,
+    /// Bounded-load factor `c` (load cap = `ceil(c × mean in-flight)`).
+    pub load_bound: f64,
+    /// Router listening port.
+    pub router_port: u16,
+    /// Backend listening port (replicas live on distinct nodes).
+    pub backend_port: u16,
+}
+
+impl Default for ShardedTierSpec {
+    fn default() -> Self {
+        ShardedTierSpec {
+            shards: 4,
+            replicas: 2,
+            backend: ShardBackend::Redis,
+            policy: ReplicaPolicy::LeastInFlight,
+            keys: 100_000,
+            skew: 0.99,
+            hot_keys: 64,
+            vnodes: 64,
+            load_bound: 1.25,
+            router_port: 9000,
+            backend_port: 9100,
+        }
+    }
+}
+
+impl ShardedTierSpec {
+    /// Total backend instances.
+    pub fn pool_size(&self) -> u32 {
+        self.shards * self.replicas
+    }
+
+    /// Machines the tier needs: one per replica plus the router's.
+    pub fn node_count(&self) -> usize {
+        self.pool_size() as usize + 1
+    }
+}
+
+/// Observer for completed router→shard RPCs: `(shard, started, now, ok)`.
+/// `ok = false` means the RPC exhausted its retry/failover budget.
+pub type ShardObserver = Arc<dyn Fn(u32, SimTime, SimTime, bool) + Send + Sync>;
+
+/// Bytes of every router→shard RPC request (key + opcode framing). Public
+/// so the clone pipeline can deconvolve response size from the router's
+/// profiled send-size mean.
+pub const ROUTER_RPC_BYTES: u64 = 128;
+
+/// Mutable routing state (single-threaded per cluster event loop; the
+/// mutex is for `Sync`, never contended across simulated time).
+#[derive(Debug)]
+struct RouterState {
+    /// Outstanding RPCs per downstream (`shard * replicas + replica`).
+    in_flight: Vec<u64>,
+    /// Round-robin cursor per shard.
+    rr: Vec<usize>,
+    /// Requests routed per shard.
+    routed: Vec<u64>,
+    /// Hot-key requests routed per shard.
+    hot: Vec<u64>,
+    /// Requests the bounded-load rule spilled off their home shard.
+    spills: u64,
+    /// Retries redirected to a different replica.
+    reroutes: u64,
+    /// Permanently failed RPCs per downstream.
+    failed: Vec<u64>,
+}
+
+/// Point-in-time router statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Requests routed per shard.
+    pub routed: Vec<u64>,
+    /// Hot-key requests routed per shard.
+    pub hot: Vec<u64>,
+    /// Requests placed off their home shard by the load bound.
+    pub spills: u64,
+    /// Retries redirected to another replica.
+    pub reroutes: u64,
+    /// Permanently failed RPCs per downstream.
+    pub failed: Vec<u64>,
+    /// Outstanding RPCs per downstream at snapshot time.
+    pub in_flight: Vec<u64>,
+}
+
+impl RouterStats {
+    /// Total requests routed.
+    pub fn total_routed(&self) -> u64 {
+        self.routed.iter().sum()
+    }
+}
+
+/// The router's request handler: key draw → bounded-load shard placement →
+/// replica pick → one downstream RPC.
+pub struct RouterHandler {
+    body: Body,
+    zipf: Zipf,
+    ring: HashRing,
+    replicas: u32,
+    policy: ReplicaPolicy,
+    load_bound: f64,
+    hot_keys: usize,
+    rpc_bytes: u64,
+    response_bytes: u64,
+    state: Mutex<RouterState>,
+    observer: Mutex<Option<ShardObserver>>,
+}
+
+impl std::fmt::Debug for RouterHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterHandler")
+            .field("shards", &self.ring.len())
+            .field("replicas", &self.replicas)
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl RouterHandler {
+    /// Builds the router from the tier spec and its compute-body
+    /// parameters (hand-written for the original tier, profile-generated
+    /// for the clone).
+    pub fn new(spec: &ShardedTierSpec, params: &BodyParams, response_bytes: u64) -> Self {
+        let pool = spec.pool_size() as usize;
+        RouterHandler {
+            body: Body::new(params),
+            zipf: Zipf::new(spec.keys, spec.skew),
+            ring: HashRing::new(spec.shards, spec.vnodes),
+            replicas: spec.replicas,
+            policy: spec.policy,
+            load_bound: spec.load_bound,
+            hot_keys: spec.hot_keys,
+            rpc_bytes: ROUTER_RPC_BYTES,
+            response_bytes,
+            state: Mutex::new(RouterState {
+                in_flight: vec![0; pool],
+                rr: vec![0; spec.shards as usize],
+                routed: vec![0; spec.shards as usize],
+                hot: vec![0; spec.shards as usize],
+                spills: 0,
+                reroutes: 0,
+                failed: vec![0; pool],
+            }),
+            observer: Mutex::new(None),
+        }
+    }
+
+    /// Installs the per-shard completion observer (e.g. a
+    /// `TierRecorder`'s). One observer at a time.
+    pub fn set_observer(&self, obs: ShardObserver) {
+        *self.observer.lock() = Some(obs);
+    }
+
+    /// Snapshot of the routing statistics.
+    pub fn stats(&self) -> RouterStats {
+        let s = self.state.lock();
+        RouterStats {
+            routed: s.routed.clone(),
+            hot: s.hot.clone(),
+            spills: s.spills,
+            reroutes: s.reroutes,
+            failed: s.failed.clone(),
+            in_flight: s.in_flight.clone(),
+        }
+    }
+
+    fn shard_of_downstream(&self, downstream: usize) -> u32 {
+        (downstream / self.replicas as usize) as u32
+    }
+}
+
+impl RequestHandler for RouterHandler {
+    fn plan(&self, rng: &mut SimRng) -> HandlerPlan {
+        let key = self.zipf.index(rng);
+        let mut s = self.state.lock();
+        let replicas = self.replicas as usize;
+        // Bounded-load shard placement over summed replica in-flight.
+        let home = self.ring.shard_of(key as u64);
+        let shard = {
+            let in_flight = &s.in_flight;
+            self.ring.route_bounded(
+                key as u64,
+                &|sh| {
+                    let base = sh as usize * replicas;
+                    in_flight[base..base + replicas].iter().sum()
+                },
+                self.load_bound,
+            )
+        };
+        if shard != home {
+            s.spills += 1;
+        }
+        let base = shard as usize * replicas;
+        let replica = {
+            let loads: Vec<u64> = s.in_flight[base..base + replicas].to_vec();
+            self.policy.pick(&loads, &mut s.rr[shard as usize])
+        };
+        let downstream = base + replica;
+        s.in_flight[downstream] += 1;
+        s.routed[shard as usize] += 1;
+        if key < self.hot_keys {
+            s.hot[shard as usize] += 1;
+        }
+        drop(s);
+
+        HandlerPlan {
+            steps: vec![
+                HandlerStep::Compute(self.body.instantiate(rng)),
+                HandlerStep::Rpc { downstream, bytes: self.rpc_bytes },
+            ],
+            response_bytes: self.response_bytes,
+        }
+    }
+
+    fn on_rpc_complete(&self, downstream: usize, started: SimTime, now: SimTime, ok: bool) {
+        let shard = self.shard_of_downstream(downstream);
+        {
+            let mut s = self.state.lock();
+            let slot = &mut s.in_flight[downstream];
+            *slot = slot.saturating_sub(1);
+            if !ok {
+                s.failed[downstream] += 1;
+            }
+        }
+        if let Some(obs) = self.observer.lock().as_ref() {
+            obs(shard, started, now, ok);
+        }
+    }
+
+    fn reroute(&self, failed_downstream: usize) -> Option<usize> {
+        if self.replicas < 2 {
+            return None;
+        }
+        let shard = self.shard_of_downstream(failed_downstream) as usize;
+        let replicas = self.replicas as usize;
+        let base = shard * replicas;
+        let mut s = self.state.lock();
+        // Least-loaded replica of the same shard, excluding the failed
+        // one; ties break on the lowest index for determinism.
+        let (other, _) = s.in_flight[base..base + replicas]
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| base + r != failed_downstream)
+            .min_by_key(|&(r, &l)| (l, r))?;
+        let to = base + other;
+        // Move the in-flight accounting with the RPC.
+        s.in_flight[failed_downstream] = s.in_flight[failed_downstream].saturating_sub(1);
+        s.in_flight[to] += 1;
+        s.reroutes += 1;
+        Some(to)
+    }
+}
+
+/// The hand-written compute body of the original router: request parse,
+/// key hash and connection bookkeeping — small, branchy, cache-resident.
+pub fn router_params(seed: u64) -> BodyParams {
+    let mut p = BodyParams::minimal(2_800, 0x0140_0000, seed);
+    p.data_region = DATA_REGION;
+    p.shared_region = SHARED_REGION;
+    p.mix = vec![
+        (InstrClass::IntAlu, 0.38),
+        (InstrClass::Mov, 0.20),
+        (InstrClass::Load, 0.20),
+        (InstrClass::Store, 0.05),
+        (InstrClass::CondBranch, 0.15),
+        (InstrClass::Jump, 0.02),
+    ];
+    p.branch_rates = vec![
+        (BranchBehavior::new(0.5, 0.5), 0.30),
+        (BranchBehavior::new(0.125, 0.125), 0.45),
+        (BranchBehavior::new(0.03125, 0.03125), 0.25),
+    ];
+    p.data_working_sets = vec![(4 * 1024, 0.55), (64 * 1024, 0.30), (1024 * 1024, 0.15)];
+    p.instr_working_sets = vec![(8 * 1024, 0.70), (32 * 1024, 0.30)];
+    p.dep_distances = vec![(2, 0.35), (8, 0.40), (32, 0.25)];
+    p.shared_fraction = 0.05; // shared routing table / stats
+    p.chase_fraction = 0.02;
+    p
+}
+
+/// One deployed backend replica.
+#[derive(Debug, Clone)]
+pub struct ReplicaInfo {
+    /// Shard id.
+    pub shard: u32,
+    /// Replica index within the shard.
+    pub replica: u32,
+    /// Node it runs on.
+    pub node: NodeId,
+    /// Its listening port.
+    pub port: u16,
+    /// Its process id.
+    pub pid: Pid,
+    /// Its service name (`<backend>-s<shard>-r<replica>`).
+    pub name: String,
+}
+
+/// A deployed sharded tier.
+pub struct ShardedTier {
+    /// Router's node.
+    pub router_node: NodeId,
+    /// Router's port (what clients address).
+    pub router_port: u16,
+    /// Router's pid (profiling target for the router role).
+    pub router_pid: Pid,
+    /// The router handler (routing statistics, observer hookup).
+    pub handler: Arc<RouterHandler>,
+    /// All backend replicas, shard-major (`shard * replicas + replica`).
+    pub replicas: Vec<ReplicaInfo>,
+    /// The spec the tier was deployed from.
+    pub spec: ShardedTierSpec,
+}
+
+impl ShardedTier {
+    /// The replicas of one shard.
+    pub fn shard_replicas(&self, shard: u32) -> &[ReplicaInfo] {
+        let r = self.spec.replicas as usize;
+        let base = shard as usize * r;
+        &self.replicas[base..base + r]
+    }
+
+    /// Per-shard display names (`shard0`, `shard1`, …) for recorders.
+    pub fn shard_names(&self) -> Vec<String> {
+        (0..self.spec.shards).map(|s| format!("shard{s}")).collect()
+    }
+}
+
+fn backend_spec(spec: &ShardedTierSpec, shard: u32, replica: u32) -> ServiceSpec {
+    let mut s = match spec.backend {
+        ShardBackend::Memcached => apps::memcached(spec.backend_port),
+        ShardBackend::Redis => apps::redis(spec.backend_port),
+    };
+    let kind = match spec.backend {
+        ShardBackend::Memcached => "memcached",
+        ShardBackend::Redis => "redis",
+    };
+    s.name = format!("{kind}-s{shard}-r{replica}");
+    s
+}
+
+/// Deploys the tier with the given router handler and backend factory:
+/// replicas first (one per node, shard-major starting at `nodes[0]`),
+/// then the router on `router_node` with its downstream list in the same
+/// shard-major order. The factory receives `(cluster, node, shard,
+/// replica)` and must return a service spec listening on
+/// `spec.backend_port` — this is how the clone pipeline substitutes
+/// synthetic replicas for the original backend templates.
+///
+/// # Panics
+///
+/// Panics if `nodes` has fewer entries than the pool needs or a backend
+/// spec listens on the wrong port.
+pub fn deploy_sharded_tier_with(
+    cluster: &mut Cluster,
+    spec: &ShardedTierSpec,
+    handler: Arc<RouterHandler>,
+    parts: ServiceSpecParts,
+    backend: &mut dyn FnMut(&mut Cluster, NodeId, u32, u32) -> ServiceSpec,
+    nodes: &[NodeId],
+    router_node: NodeId,
+) -> ShardedTier {
+    assert!(
+        nodes.len() >= spec.pool_size() as usize,
+        "need {} backend nodes, got {}",
+        spec.pool_size(),
+        nodes.len()
+    );
+    let mut replicas = Vec::with_capacity(spec.pool_size() as usize);
+    let mut downstreams = Vec::with_capacity(spec.pool_size() as usize);
+    for shard in 0..spec.shards {
+        for r in 0..spec.replicas {
+            let ix = (shard * spec.replicas + r) as usize;
+            let node = nodes[ix];
+            let backend = backend(cluster, node, shard, r);
+            assert_eq!(
+                backend.port, spec.backend_port,
+                "backend {} must listen on the tier's backend port",
+                backend.name
+            );
+            let name = backend.name.clone();
+            let pid = backend.deploy(cluster, node);
+            downstreams.push((node, spec.backend_port));
+            replicas.push(ReplicaInfo {
+                shard,
+                replica: r,
+                node,
+                port: spec.backend_port,
+                pid,
+                name,
+            });
+        }
+    }
+
+    let router = ServiceSpec {
+        name: parts.name,
+        port: spec.router_port,
+        network: parts.network,
+        handler: handler.clone(),
+        downstreams,
+        collector: None,
+        rpc: RpcPolicy::default(),
+        data_bytes: parts.data_bytes,
+        shared_bytes: parts.shared_bytes,
+    };
+    let router_pid = router.deploy(cluster, router_node);
+
+    ShardedTier {
+        router_node,
+        router_port: spec.router_port,
+        router_pid,
+        handler,
+        replicas,
+        spec: spec.clone(),
+    }
+}
+
+/// The non-handler half of a router service spec.
+pub struct ServiceSpecParts {
+    /// Service name.
+    pub name: String,
+    /// Thread/network skeleton.
+    pub network: NetworkModel,
+    /// Private data region bytes.
+    pub data_bytes: u64,
+    /// Shared data region bytes.
+    pub shared_bytes: u64,
+}
+
+impl ServiceSpecParts {
+    /// The original router's skeleton: single-threaded epoll front-end
+    /// with a modest routing-table footprint.
+    pub fn original_router() -> Self {
+        ServiceSpecParts {
+            name: "shard-router".into(),
+            network: NetworkModel::EpollWorkers { workers: 0 },
+            data_bytes: 8 * 1024 * 1024,
+            shared_bytes: 2 * 1024 * 1024,
+        }
+    }
+}
+
+/// Deploys the *original* sharded tier: hand-written router body, backend
+/// templates from [`crate::apps`].
+pub fn deploy_sharded_tier(
+    cluster: &mut Cluster,
+    spec: &ShardedTierSpec,
+    nodes: &[NodeId],
+    router_node: NodeId,
+) -> ShardedTier {
+    let response = match spec.backend {
+        ShardBackend::Memcached => 4 * 1024,
+        ShardBackend::Redis => 1024,
+    };
+    let handler = Arc::new(RouterHandler::new(spec, &router_params(0x5256), response));
+    deploy_sharded_tier_with(
+        cluster,
+        spec,
+        handler,
+        ServiceSpecParts::original_router(),
+        &mut |_, _, shard, r| backend_spec(spec, shard, r),
+        nodes,
+        router_node,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ShardedTierSpec {
+        ShardedTierSpec { shards: 4, replicas: 2, ..ShardedTierSpec::default() }
+    }
+
+    fn handler() -> RouterHandler {
+        RouterHandler::new(&spec(), &router_params(1), 1024)
+    }
+
+    #[test]
+    fn plan_routes_one_rpc_and_tracks_in_flight() {
+        let h = handler();
+        let mut rng = SimRng::seed(7);
+        for i in 1..=100u64 {
+            let plan = h.plan(&mut rng);
+            assert_eq!(plan.steps.len(), 2);
+            assert!(matches!(plan.steps[0], HandlerStep::Compute(_)));
+            let HandlerStep::Rpc { downstream, bytes } = plan.steps[1] else {
+                panic!("second step must be the shard RPC");
+            };
+            assert!(downstream < 8, "downstream {downstream} out of pool");
+            assert_eq!(bytes, 128);
+            let st = h.stats();
+            assert_eq!(st.in_flight.iter().sum::<u64>(), i, "one in-flight per plan");
+            assert_eq!(st.total_routed(), i);
+        }
+    }
+
+    #[test]
+    fn completion_decrements_and_failure_is_counted() {
+        let h = handler();
+        let mut rng = SimRng::seed(8);
+        let plan = h.plan(&mut rng);
+        let HandlerStep::Rpc { downstream, .. } = plan.steps[1] else { panic!() };
+        h.on_rpc_complete(downstream, SimTime::ZERO, SimTime::from_nanos(10), true);
+        assert_eq!(h.stats().in_flight.iter().sum::<u64>(), 0);
+        let plan = h.plan(&mut rng);
+        let HandlerStep::Rpc { downstream, .. } = plan.steps[1] else { panic!() };
+        h.on_rpc_complete(downstream, SimTime::ZERO, SimTime::from_nanos(10), false);
+        assert_eq!(h.stats().failed[downstream], 1);
+    }
+
+    #[test]
+    fn reroute_moves_to_sibling_replica_and_accounts_load() {
+        let h = handler();
+        let mut rng = SimRng::seed(9);
+        let plan = h.plan(&mut rng);
+        let HandlerStep::Rpc { downstream, .. } = plan.steps[1] else { panic!() };
+        let to = h.reroute(downstream).expect("two replicas: must fail over");
+        assert_ne!(to, downstream);
+        assert_eq!(to / 2, downstream / 2, "failover stays within the shard");
+        let st = h.stats();
+        assert_eq!(st.in_flight[downstream], 0, "load moved off the failed replica");
+        assert_eq!(st.in_flight[to], 1);
+        assert_eq!(st.reroutes, 1);
+    }
+
+    #[test]
+    fn single_replica_shards_cannot_reroute() {
+        let h = RouterHandler::new(
+            &ShardedTierSpec { replicas: 1, ..spec() },
+            &router_params(2),
+            1024,
+        );
+        assert_eq!(h.reroute(0), None);
+    }
+
+    #[test]
+    fn hot_keys_concentrate_and_are_tracked() {
+        let s = ShardedTierSpec { skew: 1.1, hot_keys: 16, ..spec() };
+        let h = RouterHandler::new(&s, &router_params(3), 1024);
+        let mut rng = SimRng::seed(10);
+        for _ in 0..2_000 {
+            let plan = h.plan(&mut rng);
+            let HandlerStep::Rpc { downstream, .. } = plan.steps[1] else { panic!() };
+            // Immediately complete so the bound never engages: pure key→
+            // shard placement.
+            h.on_rpc_complete(downstream, SimTime::ZERO, SimTime::ZERO, true);
+        }
+        let st = h.stats();
+        let hot_total: u64 = st.hot.iter().sum();
+        assert!(hot_total > 700, "skew 1.1 over 100k keys: hot share {hot_total}/2000");
+        let hot_max = st.hot.iter().max().copied().unwrap_or(0);
+        assert!(
+            hot_max as f64 >= hot_total as f64 * 0.3,
+            "hot keys hash to few shards: max {hot_max} of {hot_total}"
+        );
+        assert_eq!(st.spills, 0, "no in-flight pressure, no spills");
+    }
+
+    #[test]
+    fn observer_sees_completions() {
+        let h = Arc::new(handler());
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        h.set_observer(Arc::new(move |shard, started, now, ok| {
+            sink.lock().push((shard, started, now, ok));
+        }));
+        let mut rng = SimRng::seed(11);
+        let plan = h.plan(&mut rng);
+        let HandlerStep::Rpc { downstream, .. } = plan.steps[1] else { panic!() };
+        h.on_rpc_complete(downstream, SimTime::ZERO, SimTime::from_nanos(99), true);
+        let seen = seen.lock();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].0 as usize, downstream / 2);
+        assert!(seen[0].3);
+    }
+}

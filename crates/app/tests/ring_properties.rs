@@ -1,0 +1,137 @@
+//! Property tests for the consistent-hash ring (satellite of the
+//! scale-out tier): key balance under bounded-load routing across the
+//! whole Zipf skew range the tier supports, and the minimal-disruption
+//! contract when shards are added or removed.
+
+use ditto_app::HashRing;
+use ditto_sim::dist::Zipf;
+use ditto_sim::rng::SimRng;
+
+const KEYS: usize = 100_000;
+const DRAWS: usize = 50_000;
+
+/// Bounded-load routing must keep every shard's cumulative placement
+/// count within the CHWBL cap — even when the key popularity is heavily
+/// skewed and plain `shard_of` would pile the hot keys onto one shard.
+#[test]
+fn bounded_load_balances_zipf_traffic_across_skews() {
+    for &skew in &[0.0, 0.3, 0.6, 0.9, 1.2] {
+        let shards = 8u32;
+        let ring = HashRing::new(shards, 64);
+        let zipf = Zipf::new(KEYS, skew);
+        let mut rng = SimRng::seed(0xBA1A ^ (skew * 1000.0) as u64);
+        let mut counts = vec![0u64; shards as usize];
+        let c = 1.25;
+        for _ in 0..DRAWS {
+            let key = zipf.index(&mut rng) as u64;
+            let s = ring.route_bounded(key, &|s| counts[s as usize], c);
+            counts[s as usize] += 1;
+        }
+        let total: u64 = counts.iter().sum();
+        assert_eq!(total, DRAWS as u64);
+        let cap = ((c * (total + 1) as f64) / f64::from(shards)).ceil() as u64;
+        let max = counts.iter().copied().max().unwrap();
+        assert!(
+            max <= cap,
+            "skew {skew}: max shard load {max} exceeds CHWBL cap {cap} (counts {counts:?})"
+        );
+        // And the bound is not vacuous: every shard takes some traffic.
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "skew {skew}: a shard got no traffic (counts {counts:?})"
+        );
+    }
+}
+
+/// Without the bound, a skew-1.2 workload concentrates far beyond the
+/// CHWBL cap — pinning that the balance property above is doing work.
+#[test]
+fn unbounded_placement_violates_the_cap_at_high_skew() {
+    let shards = 8u32;
+    let ring = HashRing::new(shards, 64);
+    let zipf = Zipf::new(KEYS, 1.2);
+    let mut rng = SimRng::seed(0xBA1B);
+    let mut counts = vec![0u64; shards as usize];
+    for _ in 0..DRAWS {
+        counts[ring.shard_of(zipf.index(&mut rng) as u64) as usize] += 1;
+    }
+    let total: u64 = counts.iter().sum();
+    let cap = ((1.25 * (total + 1) as f64) / f64::from(shards)).ceil() as u64;
+    assert!(
+        counts.iter().copied().max().unwrap() > cap,
+        "skew 1.2 without the bound stayed under the cap — test workload too uniform"
+    );
+}
+
+/// Adding a shard moves at most ~K/(N+1) of the keys, and every moved
+/// key must land on the new shard.
+#[test]
+fn ring_add_moves_at_most_its_share_and_only_onto_the_new_shard() {
+    for n in [4u32, 8, 16] {
+        let mut ring = HashRing::new(n, 64);
+        let before: Vec<u32> = (0..KEYS as u64).map(|k| ring.shard_of(k)).collect();
+        ring.add_shard(n);
+        let mut moved = 0usize;
+        for (k, &old) in before.iter().enumerate() {
+            let new = ring.shard_of(k as u64);
+            if new != old {
+                assert_eq!(new, n, "key {k} moved {old}->{new}, not onto the new shard {n}");
+                moved += 1;
+            }
+        }
+        // Expected K/(n+1); vnode placement wobbles, allow 50% slack but
+        // stay strictly under the K/n disruption bound of naive rehashing.
+        let expected = KEYS / (n as usize + 1);
+        assert!(
+            moved <= expected + expected / 2,
+            "n={n}: {moved} keys moved, expected ≈{expected}"
+        );
+        assert!(moved > 0, "n={n}: adding a shard moved nothing");
+    }
+}
+
+/// Removing a shard moves exactly the keys it owned, nothing else.
+#[test]
+fn ring_remove_moves_only_the_removed_shards_keys() {
+    for n in [4u32, 8, 16] {
+        let mut ring = HashRing::new(n, 64);
+        let victim = n / 2;
+        let before: Vec<u32> = (0..KEYS as u64).map(|k| ring.shard_of(k)).collect();
+        let owned = before.iter().filter(|&&s| s == victim).count();
+        ring.remove_shard(victim);
+        let mut moved = 0usize;
+        for (k, &old) in before.iter().enumerate() {
+            let new = ring.shard_of(k as u64);
+            if old == victim {
+                assert_ne!(new, victim, "key {k} still routed to the removed shard");
+                moved += 1;
+            } else {
+                assert_eq!(new, old, "key {k} moved {old}->{new} though its shard survived");
+            }
+        }
+        assert_eq!(moved, owned, "exactly the victim's keys must move");
+        // The victim's share is ≈ K/n — the minimal-disruption bound.
+        let expected = KEYS / n as usize;
+        assert!(
+            owned <= expected + expected / 2,
+            "n={n}: victim owned {owned} keys, expected ≈{expected}"
+        );
+    }
+}
+
+/// Add + remove round-trips the full mapping (inverse operations), and
+/// the preference order stays a permutation of the live shards after
+/// elastic changes.
+#[test]
+fn elastic_changes_keep_preference_orders_complete() {
+    let mut ring = HashRing::new(6, 32);
+    ring.add_shard(6);
+    ring.remove_shard(2);
+    for k in 0..500u64 {
+        let order = ring.preference(k);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, ring.shards(), "preference must cover all live shards");
+        assert_eq!(order[0], ring.shard_of(k));
+    }
+}

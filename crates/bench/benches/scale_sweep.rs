@@ -1,0 +1,212 @@
+//! Scale sweep: clone fidelity of the sharded tier from 4 to 64 shards.
+//!
+//! Ditto's pipeline treats a scale-out tier as two role binaries (router,
+//! replica) plus observable topology, so the experiment profiles the
+//! roles once on the smallest tier and re-assembles cloned tiers at every
+//! shard count. At each point the original and the cloned tier are driven
+//! with the same aggregate open-loop load (held constant across the sweep
+//! so the single router front-end stays below saturation as the pool
+//! grows), over several independently-seeded trials whose bucket-exact
+//! latency histograms are merged — tail percentiles of a single short
+//! trial carry a few percent of phase noise, which repeated trials
+//! average out, exactly like repeated runs on real hardware. The merged
+//! p50/p99 latency and goodput must land inside the golden 10% band,
+//! which is also what the committed `BENCH_scale.json` attests.
+//!
+//! `--quick` shrinks windows/trials and stops at 16 shards for the CI
+//! smoke; the full run sweeps 4 → 16 → 64 shards (64×2 replicas = 130
+//! nodes per cluster).
+
+use std::time::Instant;
+
+use ditto_app::sharded::ShardedTierSpec;
+use ditto_core::scale::{RoleProfiles, ShardedOutcome, ShardedTestbed};
+use ditto_core::FineTuner;
+use ditto_sim::rng::stream_seed;
+use ditto_sim::time::SimDuration;
+use ditto_workload::{LoadAggregate, LoadSummary};
+use serde::Serialize;
+
+const SEED: u64 = 0x5CA1_E000;
+const BAND_PCT: f64 = 10.0;
+/// Aggregate open-loop QPS across the whole tier, at every shard count.
+const TOTAL_QPS: f64 = 6_000.0;
+
+#[derive(Serialize)]
+struct SideReport {
+    p50_ms: f64,
+    p99_ms: f64,
+    throughput_qps: f64,
+    goodput_qps: f64,
+    availability: f64,
+    spills: u64,
+    fastforward_iterations: u64,
+}
+
+#[derive(Serialize)]
+struct CellReport {
+    shards: u32,
+    replicas: u32,
+    nodes: usize,
+    qps_total: f64,
+    trials: u64,
+    wall_ms: f64,
+    p50_err_pct: f64,
+    p99_err_pct: f64,
+    goodput_err_pct: f64,
+    original: SideReport,
+    clone: SideReport,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    mode: String,
+    band_pct: f64,
+    cells: Vec<CellReport>,
+}
+
+/// One side's trials, merged bucket-exactly.
+struct Side {
+    agg: LoadAggregate,
+    spills: u64,
+    fastforward: u64,
+}
+
+impl Side {
+    fn new() -> Self {
+        Side { agg: LoadAggregate::new(), spills: 0, fastforward: 0 }
+    }
+
+    fn add(&mut self, kind: &str, shards: u32, out: &ShardedOutcome, window: SimDuration) {
+        // Sanity per trial: the tier served traffic, healthily, with the
+        // fast path engaged — a vacuously-passing band is worthless.
+        assert!(out.e2e.received > 100, "{kind} @{shards}: only {} requests", out.e2e.received);
+        assert_eq!(out.e2e.degraded, 0, "{kind} @{shards}: degraded responses in healthy run");
+        assert!(out.fastforward_iterations > 0, "{kind} @{shards}: fast path never engaged");
+        assert!(out.router.total_routed() > 0, "{kind} @{shards}: router routed nothing");
+        self.agg.add(&out.e2e, &out.histogram, window);
+        self.spills += out.router.spills;
+        self.fastforward += out.fastforward_iterations;
+    }
+
+    fn report(&self) -> (LoadSummary, SideReport) {
+        let s = self.agg.summary();
+        let r = SideReport {
+            p50_ms: s.latency.p50.as_millis_f64(),
+            p99_ms: s.latency.p99.as_millis_f64(),
+            throughput_qps: s.throughput_qps,
+            goodput_qps: s.goodput_qps,
+            availability: s.availability(),
+            spills: self.spills,
+            fastforward_iterations: self.fastforward,
+        };
+        (s, r)
+    }
+}
+
+fn rel_err_pct(actual: f64, synthetic: f64) -> f64 {
+    if actual.abs() < 1e-12 {
+        return 0.0;
+    }
+    100.0 * (synthetic - actual).abs() / actual
+}
+
+fn bed(shards: u32, quick: bool) -> ShardedTestbed {
+    let spec = ShardedTierSpec { shards, replicas: 2, ..ShardedTierSpec::default() };
+    let mut bed = ShardedTestbed::new(spec, SEED ^ u64::from(shards));
+    if quick {
+        bed.warmup = SimDuration::from_millis(20);
+        bed.window = SimDuration::from_millis(100);
+    } else {
+        bed.warmup = SimDuration::from_millis(40);
+        bed.window = SimDuration::from_millis(200);
+    }
+    bed.qps_per_shard = TOTAL_QPS / f64::from(shards);
+    bed
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sweep: &[u32] = if quick { &[4, 16] } else { &[4, 16, 64] };
+    let trials: u64 = if quick { 2 } else { 3 };
+
+    // Profile both role binaries once, on the smallest tier, and
+    // fine-tune each role against its own profiled counters — the
+    // pipeline never sees the larger tiers it will be judged on.
+    let profile_bed = bed(sweep[0], quick);
+    let t0 = Instant::now();
+    let (_, roles): (_, RoleProfiles) = profile_bed.profile_roles();
+    let tuner = FineTuner { max_iterations: 3, tolerance_pct: 8.0, gain: 0.6 };
+    let tuned = profile_bed.tune_roles(&roles, &tuner);
+    eprintln!("[scale] profiled + tuned roles in {:.2?}", t0.elapsed());
+
+    let mut cells = Vec::new();
+    for &shards in sweep {
+        let base = bed(shards, quick);
+        let t = Instant::now();
+        let mut orig = Side::new();
+        let mut synth = Side::new();
+        for trial in 0..trials {
+            let mut bed = base.clone();
+            bed.seed = stream_seed(base.seed, trial + 1);
+            orig.add("original", shards, &bed.run_original(), bed.window);
+            synth.add("clone", shards, &bed.run_clone(&tuned, &roles), bed.window);
+        }
+        let wall = t.elapsed();
+
+        let (o, o_rep) = orig.report();
+        let (s, s_rep) = synth.report();
+        let p50_err = rel_err_pct(o.latency.p50.as_millis_f64(), s.latency.p50.as_millis_f64());
+        let p99_err = rel_err_pct(o.latency.p99.as_millis_f64(), s.latency.p99.as_millis_f64());
+        let goodput_err = rel_err_pct(o.goodput_qps, s.goodput_qps);
+
+        eprintln!(
+            "[scale] {shards:>2} shards ({} nodes, {trials} trials): p50 {:.3} vs {:.3} ms ({:.1}%), p99 {:.3} vs {:.3} ms ({:.1}%), goodput {:.0} vs {:.0} qps ({:.1}%), {:.2?}",
+            base.spec.node_count() + 1,
+            o.latency.p50.as_millis_f64(),
+            s.latency.p50.as_millis_f64(),
+            p50_err,
+            o.latency.p99.as_millis_f64(),
+            s.latency.p99.as_millis_f64(),
+            p99_err,
+            o.goodput_qps,
+            s.goodput_qps,
+            goodput_err,
+            wall,
+        );
+
+        assert!(p50_err <= BAND_PCT, "{shards} shards: p50 error {p50_err:.1}% outside band");
+        assert!(p99_err <= BAND_PCT, "{shards} shards: p99 error {p99_err:.1}% outside band");
+        assert!(
+            goodput_err <= BAND_PCT,
+            "{shards} shards: goodput error {goodput_err:.1}% outside band"
+        );
+
+        cells.push(CellReport {
+            shards,
+            replicas: base.spec.replicas,
+            nodes: base.spec.node_count() + 1,
+            qps_total: base.total_qps(),
+            trials,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            p50_err_pct: p50_err,
+            p99_err_pct: p99_err,
+            goodput_err_pct: goodput_err,
+            original: o_rep,
+            clone: s_rep,
+        });
+    }
+
+    let report = Report {
+        bench: "scale_sweep".into(),
+        mode: if quick { "quick" } else { "full" }.into(),
+        band_pct: BAND_PCT,
+        cells,
+    };
+    let out_path = std::env::var("BENCH_SCALE_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_scale.json", env!("CARGO_MANIFEST_DIR")));
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_scale.json");
+    eprintln!("[scale] wrote {out_path}");
+}

@@ -7,8 +7,10 @@
 
 use std::sync::Mutex;
 
+use ditto_app::sharded::ShardedTierSpec;
 use ditto_bench::AppId;
 use ditto_core::harness::{RunOutcome, Testbed};
+use ditto_core::scale::{ShardedOutcome, ShardedTestbed};
 use ditto_hw::core_model::set_fastpath_enabled;
 use ditto_sim::time::SimDuration;
 
@@ -84,4 +86,49 @@ fn mongodb_fast_and_slow_paths_agree() {
 #[test]
 fn redis_fast_and_slow_paths_agree() {
     differential(AppId::Redis);
+}
+
+fn sharded_bed() -> ShardedTestbed {
+    let spec = ShardedTierSpec { shards: 4, replicas: 2, ..ShardedTierSpec::default() };
+    let mut bed = ShardedTestbed::new(spec, 0xD1FF_5CA1);
+    bed.warmup = SimDuration::from_millis(20);
+    bed.window = SimDuration::from_millis(60);
+    bed.qps_per_shard = 1_500.0;
+    bed
+}
+
+fn run_sharded(fast: bool) -> ShardedOutcome {
+    set_fastpath_enabled(fast);
+    let out = sharded_bed().run_original();
+    set_fastpath_enabled(true);
+    out
+}
+
+/// The 10-node sharded tier (router + 4×2 replicas under open-loop load)
+/// must be byte-identical with fast-forwarding on and off: e2e histogram
+/// and load, router hardware counters, per-shard rollup, and every
+/// routing decision (spills, reroutes, per-shard routed counts).
+#[test]
+fn sharded_tier_fast_and_slow_paths_agree() {
+    let _guard = FASTPATH_SWITCH.lock().unwrap_or_else(|e| e.into_inner());
+    let fast = run_sharded(true);
+    let slow = run_sharded(false);
+
+    assert_eq!(fast.histogram, slow.histogram, "sharded: e2e latency histogram diverged");
+    assert_eq!(fast.router_metrics, slow.router_metrics, "sharded: router MetricSet diverged");
+    assert_eq!(fast.router, slow.router, "sharded: routing decisions diverged");
+    assert_eq!(fast.e2e.sent, slow.e2e.sent, "sharded: sent diverged");
+    assert_eq!(fast.e2e.received, slow.e2e.received, "sharded: received diverged");
+    assert_eq!(fast.e2e.timeouts, slow.e2e.timeouts, "sharded: timeouts diverged");
+    assert_eq!(fast.e2e.errors, slow.e2e.errors, "sharded: errors diverged");
+    assert_eq!(fast.e2e.latency, slow.e2e.latency, "sharded: e2e latency summary diverged");
+    assert_eq!(fast.rollup.latency, slow.rollup.latency, "sharded: shard rollup diverged");
+    assert_eq!(fast.shards.len(), slow.shards.len(), "sharded: shard count diverged");
+    for ((name, f), (_, s)) in fast.shards.iter().zip(&slow.shards) {
+        assert_eq!(f.received, s.received, "{name}: per-shard received diverged");
+        assert_eq!(f.latency, s.latency, "{name}: per-shard latency diverged");
+    }
+
+    assert!(fast.fastforward_iterations > 0, "sharded: fast path never engaged");
+    assert_eq!(slow.fastforward_iterations, 0, "sharded: fast path engaged while disabled");
 }

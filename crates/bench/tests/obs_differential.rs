@@ -9,9 +9,11 @@
 //! the sink reads only the simulated clock, draws no RNG, and schedules
 //! no events, so switching it on cannot perturb any measured output.
 
+use ditto_app::sharded::ShardedTierSpec;
 use ditto_bench::social_experiment::{run_original, run_original_traced};
 use ditto_bench::AppId;
 use ditto_core::harness::{RunOutcome, Testbed};
+use ditto_core::scale::{ShardedOutcome, ShardedTestbed};
 use ditto_hw::platform::PlatformSpec;
 use ditto_obs::trace::validate_chrome_trace;
 use ditto_obs::ObsConfig;
@@ -91,6 +93,51 @@ fn mongodb_is_identical_with_observability_on() {
 #[test]
 fn redis_is_identical_with_observability_on() {
     differential(AppId::Redis);
+}
+
+fn run_sharded(obs: ObsConfig) -> ShardedOutcome {
+    let spec = ShardedTierSpec { shards: 4, replicas: 2, ..ShardedTierSpec::default() };
+    let mut bed = ShardedTestbed::new(spec, 0x0B5_5CA1);
+    bed.warmup = SimDuration::from_millis(20);
+    bed.window = SimDuration::from_millis(60);
+    bed.qps_per_shard = 1_500.0;
+    bed.obs = obs;
+    bed.run_original()
+}
+
+/// The sharded tier under full observability: e2e and per-shard outputs,
+/// router counters, routing decisions and fast-path engagement stay
+/// byte-identical to the untraced run, and the instrumented run yields a
+/// well-formed Chrome trace spanning the whole 10-node cluster.
+#[test]
+fn sharded_tier_is_identical_with_observability_on() {
+    let off = run_sharded(ObsConfig::default());
+    let on = run_sharded(ObsConfig::full());
+
+    assert_eq!(off.histogram, on.histogram, "sharded: e2e histogram diverged with obs on");
+    assert_eq!(off.router_metrics, on.router_metrics, "sharded: router MetricSet diverged");
+    assert_eq!(off.router, on.router, "sharded: routing decisions diverged");
+    assert_eq!(off.e2e.sent, on.e2e.sent, "sharded: sent diverged");
+    assert_eq!(off.e2e.received, on.e2e.received, "sharded: received diverged");
+    assert_eq!(off.e2e.latency, on.e2e.latency, "sharded: e2e latency summary diverged");
+    assert_eq!(off.rollup.latency, on.rollup.latency, "sharded: shard rollup diverged");
+    for ((name, f), (_, s)) in off.shards.iter().zip(&on.shards) {
+        assert_eq!(f.received, s.received, "{name}: per-shard received diverged");
+        assert_eq!(f.latency, s.latency, "{name}: per-shard latency diverged");
+    }
+    assert_eq!(
+        off.fastforward_iterations, on.fastforward_iterations,
+        "sharded: fast-path engagement diverged with obs on"
+    );
+    assert!(on.fastforward_iterations > 0, "sharded: fast path never engaged under tracing");
+
+    assert!(off.obs.is_none(), "sharded: disabled run produced a report");
+    let report = on.obs.expect("sharded instrumented run must produce a report");
+    assert!(!report.trace.is_empty(), "sharded: trace is empty");
+    let stats = validate_chrome_trace(&report.trace.to_chrome_json())
+        .expect("sharded tier trace must validate");
+    assert_eq!(stats.begins, stats.ends, "sharded: unbalanced spans");
+    assert!(stats.events > 0, "sharded: trace has no events");
 }
 
 /// The multi-tier Social Network run under full observability: measured

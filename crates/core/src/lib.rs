@@ -21,6 +21,7 @@ pub mod body_gen;
 pub mod clone;
 pub mod fleet;
 pub mod harness;
+pub mod scale;
 pub mod skeleton;
 pub mod stages;
 pub mod tuner;
@@ -32,6 +33,10 @@ pub use fleet::{
     MatrixConfig, ProfileCache, ServiceEntry,
 };
 pub use harness::{LoadKind, RunOutcome, Testbed};
+pub use scale::{
+    clone_router_response_bytes, deploy_cloned_tier, RoleProfiles, ShardedOutcome, ShardedTestbed,
+    TierPipeline,
+};
 pub use skeleton::generate_network_model;
 pub use stages::GeneratorStages;
 pub use tuner::{FineTuner, TuneResult, TuneStep};

@@ -1,0 +1,451 @@
+//! Cluster-scale harness for the sharded service tier: deploy an
+//! N-shard × R-replica pool behind the consistent-hash router on a
+//! many-node cluster, drive it open-loop, profile the two service
+//! *roles* (router, replica) and re-assemble a cloned tier from them.
+//!
+//! Scaling out does not change Ditto's unit of work: a sharded tier has
+//! exactly two distinct binaries — the router and the backend replica —
+//! so the pipeline profiles each role once and stamps the clones out
+//! across the pool. Tier topology (shard count, replication factor, ring
+//! parameters, replica policy) is treated like the traced RPC graph in
+//! multi-tier cloning: observable structure that is reproduced exactly,
+//! not inferred from counters.
+
+use std::sync::Arc;
+
+use ditto_app::sharded::{
+    deploy_sharded_tier, deploy_sharded_tier_with, RouterHandler, RouterStats, ServiceSpecParts,
+    ShardedTier, ShardedTierSpec, ROUTER_RPC_BYTES,
+};
+use ditto_hw::platform::PlatformSpec;
+use ditto_kernel::{Cluster, FaultPlan, NodeId};
+use ditto_obs::{selfprof, ObsConfig, ObsReport, ObsSink};
+use ditto_profile::{AppProfile, MetricSet, Profiler};
+use ditto_sim::stats::LatencyHistogram;
+use ditto_sim::time::SimDuration;
+use ditto_workload::{LoadSummary, OpenLoopConfig, TierRecorder};
+
+use crate::body_gen::generate_body_params;
+use crate::clone::Ditto;
+use crate::harness::{LoadKind, Testbed};
+use crate::skeleton::generate_network_model;
+use crate::tuner::{FineTuner, TuneResult};
+
+/// The per-role profiles a sharded tier reduces to.
+#[derive(Debug, Clone)]
+pub struct RoleProfiles {
+    /// The consistent-hash router's profile.
+    pub router: AppProfile,
+    /// One backend replica's profile (all replicas run the same binary).
+    pub replica: AppProfile,
+}
+
+/// Per-role generation pipelines: fine-tuning is per binary (§4.5), so
+/// the router and the replica each carry their own knob set.
+#[derive(Debug, Clone, Default)]
+pub struct TierPipeline {
+    /// Pipeline generating the synthetic router.
+    pub router: Ditto,
+    /// Pipeline generating every synthetic replica.
+    pub replica: Ditto,
+}
+
+impl TierPipeline {
+    /// Both roles at stage/knob defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The measured outcome of one sharded-tier run.
+#[derive(Debug, Clone)]
+pub struct ShardedOutcome {
+    /// Client-facing (end-to-end through the router) load summary.
+    pub e2e: LoadSummary,
+    /// Bucket-exact end-to-end latency histogram.
+    pub histogram: LatencyHistogram,
+    /// Per-shard `(name, summary)` rows from the router-side observer.
+    pub shards: Vec<(String, LoadSummary)>,
+    /// Exact roll-up of all shard recorders (server-side tier view).
+    pub rollup: LoadSummary,
+    /// Router placement statistics at the end of the run.
+    pub router: RouterStats,
+    /// Hardware metrics of the router process over the window.
+    pub router_metrics: MetricSet,
+    /// Per-role profiles, when profiling was requested.
+    pub profiles: Option<RoleProfiles>,
+    /// Instructions replayed analytically by the fast path.
+    pub fastforward_iterations: u64,
+    /// Observability report, when [`ShardedTestbed::obs`] enabled any.
+    pub obs: Option<ObsReport>,
+}
+
+/// A many-node testbed for a sharded tier: `pool_size` replica nodes,
+/// one router node, one client node.
+///
+/// Node layout is fixed and public so chaos plans can target it:
+/// replica `(shard, r)` lives on `NodeId(shard * replicas + r)`, the
+/// router on `NodeId(pool_size)`, the client on `NodeId(pool_size + 1)`.
+#[derive(Debug, Clone)]
+pub struct ShardedTestbed {
+    /// Tier shape and routing parameters.
+    pub spec: ShardedTierSpec,
+    /// Platform of every tier node (router + replicas).
+    pub platform: PlatformSpec,
+    /// Platform of the client machine.
+    pub client: PlatformSpec,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Warmup before the measurement window opens.
+    pub warmup: SimDuration,
+    /// Measurement window length.
+    pub window: SimDuration,
+    /// Open-loop target QPS per shard (total = `qps_per_shard × shards`).
+    pub qps_per_shard: f64,
+    /// Client connections to the router.
+    pub connections: usize,
+    /// Observability configuration (off by default; measured outputs are
+    /// byte-identical either way).
+    pub obs: ObsConfig,
+}
+
+/// Deploys a tier (original or cloned) onto the prepared cluster:
+/// `(cluster, spec, replica_nodes, router_node) -> tier`.
+type TierDeployFn<'a> = dyn FnMut(&mut Cluster, &ShardedTierSpec, &[NodeId], NodeId) -> ShardedTier + 'a;
+
+impl ShardedTestbed {
+    /// A tier of platform-A machines driven from a platform-C client.
+    pub fn new(spec: ShardedTierSpec, seed: u64) -> Self {
+        let connections = (spec.shards as usize * 4).max(8);
+        ShardedTestbed {
+            spec,
+            platform: PlatformSpec::a(),
+            client: PlatformSpec::c(),
+            seed,
+            warmup: SimDuration::from_millis(40),
+            window: SimDuration::from_millis(200),
+            qps_per_shard: 2_000.0,
+            connections,
+            obs: ObsConfig::default(),
+        }
+    }
+
+    /// Aggregate open-loop target QPS.
+    pub fn total_qps(&self) -> f64 {
+        self.qps_per_shard * f64::from(self.spec.shards)
+    }
+
+    /// The node replica `(shard, r)` is deployed on.
+    pub fn replica_node(&self, shard: u32, replica: u32) -> NodeId {
+        assert!(shard < self.spec.shards && replica < self.spec.replicas);
+        NodeId(shard * self.spec.replicas + replica)
+    }
+
+    /// The router's node.
+    pub fn router_node(&self) -> NodeId {
+        NodeId(self.spec.pool_size())
+    }
+
+    /// The client's node.
+    pub fn client_node(&self) -> NodeId {
+        NodeId(self.spec.pool_size() + 1)
+    }
+
+    /// Runs the original tier without profiling.
+    pub fn run_original(&self) -> ShardedOutcome {
+        self.run_tier(false, None, &mut |cluster, spec, nodes, router| {
+            deploy_sharded_tier(cluster, spec, nodes, router)
+        })
+    }
+
+    /// Runs the original tier with a chaos plan installed after service
+    /// start-up (fault times are relative to cluster time zero).
+    pub fn run_original_with_faults(&self, plan: &FaultPlan) -> ShardedOutcome {
+        self.run_tier(false, Some(plan), &mut |cluster, spec, nodes, router| {
+            deploy_sharded_tier(cluster, spec, nodes, router)
+        })
+    }
+
+    /// Runs the original tier with profilers attached to the router and
+    /// to replica `(0, 0)` — the two role binaries — and returns the
+    /// per-role profiles alongside the run outcome.
+    pub fn profile_roles(&self) -> (ShardedOutcome, RoleProfiles) {
+        let outcome = self.run_tier(true, None, &mut |cluster, spec, nodes, router| {
+            deploy_sharded_tier(cluster, spec, nodes, router)
+        });
+        let roles = outcome.profiles.clone().expect("profiling was requested");
+        (outcome, roles)
+    }
+
+    /// Runs the cloned tier re-assembled from per-role profiles.
+    pub fn run_clone(&self, pipeline: &TierPipeline, roles: &RoleProfiles) -> ShardedOutcome {
+        self.run_tier(false, None, &mut |cluster, spec, nodes, router| {
+            deploy_cloned_tier(pipeline, roles, cluster, spec, nodes, router)
+        })
+    }
+
+    /// Runs the cloned tier with a chaos plan installed.
+    pub fn run_clone_with_faults(
+        &self,
+        pipeline: &TierPipeline,
+        roles: &RoleProfiles,
+        plan: &FaultPlan,
+    ) -> ShardedOutcome {
+        self.run_tier(false, Some(plan), &mut |cluster, spec, nodes, router| {
+            deploy_cloned_tier(pipeline, roles, cluster, spec, nodes, router)
+        })
+    }
+
+    /// Fine-tunes the replica role on a single-tier testbed at the
+    /// per-replica share of the tier load (§4.5 applied per role).
+    pub fn tune_replica_role(
+        &self,
+        base: &Ditto,
+        roles: &RoleProfiles,
+        tuner: &FineTuner,
+    ) -> (Ditto, TuneResult) {
+        let load = LoadKind::OpenLoop {
+            qps: self.qps_per_shard / f64::from(self.spec.replicas),
+            connections: 4,
+        };
+        self.role_testbed().tune_clone(base, &roles.replica, &load, tuner)
+    }
+
+    /// Fine-tunes the router role against its profiled counters on a
+    /// single-tier testbed at the tier's aggregate load. The router body
+    /// is calibrated as a leaf service: its hardware-counter signature is
+    /// body-dominated, and the knobs transfer to the re-assembled tier's
+    /// router unchanged.
+    pub fn tune_router_role(
+        &self,
+        base: &Ditto,
+        roles: &RoleProfiles,
+        tuner: &FineTuner,
+    ) -> (Ditto, TuneResult) {
+        let load = LoadKind::OpenLoop { qps: self.total_qps(), connections: self.connections };
+        self.role_testbed().tune_clone(base, &roles.router, &load, tuner)
+    }
+
+    /// Fine-tunes both roles and assembles the tier pipeline.
+    pub fn tune_roles(&self, roles: &RoleProfiles, tuner: &FineTuner) -> TierPipeline {
+        let (router, _) = self.tune_router_role(&Ditto::new(), roles, tuner);
+        let (replica, _) = self.tune_replica_role(&Ditto::new(), roles, tuner);
+        TierPipeline { router, replica }
+    }
+
+    fn role_testbed(&self) -> Testbed {
+        Testbed {
+            server: self.platform.clone(),
+            client: self.client.clone(),
+            seed: self.seed,
+            warmup: self.warmup,
+            window: self.window,
+            obs: ObsConfig::default(),
+        }
+    }
+
+    fn run_tier(
+        &self,
+        profile_roles: bool,
+        faults: Option<&FaultPlan>,
+        deploy: &mut TierDeployFn<'_>,
+    ) -> ShardedOutcome {
+        let pool = self.spec.pool_size() as usize;
+        let router_node = NodeId(pool as u32);
+        let client_node = NodeId(pool as u32 + 1);
+        let sink = ObsSink::new(&self.obs);
+        if self.obs.self_profile {
+            selfprof::set_enabled(true);
+        }
+        let mut machines = vec![self.platform.clone(); pool + 1];
+        machines.push(self.client.clone());
+        let mut cluster = Cluster::new(machines, self.seed);
+        cluster.set_obs(sink.clone());
+
+        let backend_nodes: Vec<NodeId> = (0..pool as u32).map(NodeId).collect();
+        let tier = deploy(&mut cluster, &self.spec, &backend_nodes, router_node);
+
+        let recorder = TierRecorder::new(&tier.shard_names());
+        tier.handler.set_observer(recorder.observer());
+
+        cluster.run_for(SimDuration::from_millis(10));
+        if let Some(plan) = faults {
+            cluster.install_faults(plan);
+        }
+
+        let mut cfg = OpenLoopConfig::new(router_node, tier.router_port, self.total_qps());
+        cfg.connections = self.connections;
+        cfg.spawn(&mut cluster, client_node, recorder.tier());
+        cluster.run_for(self.warmup);
+
+        let profilers = profile_roles.then(|| {
+            let rep = &tier.replicas[0];
+            (
+                Profiler::attach(&mut cluster, router_node, tier.router_pid),
+                Profiler::attach(&mut cluster, rep.node, rep.pid),
+            )
+        });
+        if profilers.is_none() {
+            MetricSet::begin(&mut cluster, router_node);
+        }
+        recorder.start_window(cluster.now());
+        cluster.run_for(self.window);
+        recorder.end_window(cluster.now());
+
+        let (router_metrics, profiles) = match profilers {
+            Some((router_prof, replica_prof)) => {
+                let router = router_prof.finish(&mut cluster);
+                let replica = replica_prof.finish(&mut cluster);
+                (router.metrics, Some(RoleProfiles { router, replica }))
+            }
+            None => (
+                MetricSet::end_for_pid(&cluster, router_node, tier.router_pid, self.window),
+                None,
+            ),
+        };
+
+        let obs = sink.finish().map(|mut r| {
+            r.stages = selfprof::take_report();
+            r
+        });
+        if self.obs.self_profile {
+            selfprof::set_enabled(false);
+        }
+
+        ShardedOutcome {
+            e2e: recorder.summary(self.window),
+            histogram: recorder.tier().histogram(),
+            shards: recorder.shard_summaries(self.window),
+            rollup: recorder.shard_rollup(self.window).summary(),
+            router: tier.handler.stats(),
+            router_metrics,
+            profiles,
+            fastforward_iterations: cluster.fastforward_iterations(),
+            obs,
+        }
+    }
+}
+
+/// Response size of the cloned router, deconvolved from the profiled
+/// send-size mean: per request the router emits exactly one
+/// [`ROUTER_RPC_BYTES`]-byte downstream RPC and one response, so
+/// `response = 2 × mean − rpc` (clamped to a sane floor).
+pub fn clone_router_response_bytes(router: &AppProfile) -> u64 {
+    let mean = router.syscalls.get("sendmsg").mean_bytes();
+    (2 * mean).saturating_sub(ROUTER_RPC_BYTES).max(64)
+}
+
+/// Re-assembles the cloned tier on `cluster`: synthetic replicas stamped
+/// from the replica-role profile (one [`Ditto::clone_service`] spec per
+/// pool slot, renamed), fronted by a synthetic router whose compute body
+/// comes from the router-role profile and whose ring/policy topology is
+/// copied from the spec.
+pub fn deploy_cloned_tier(
+    pipeline: &TierPipeline,
+    roles: &RoleProfiles,
+    cluster: &mut Cluster,
+    spec: &ShardedTierSpec,
+    nodes: &[NodeId],
+    router_node: NodeId,
+) -> ShardedTier {
+    let router = &pipeline.router;
+    let params = generate_body_params(&roles.router, router.stages, &router.config, &router.knobs);
+    let data_bytes = params
+        .data_working_sets
+        .iter()
+        .map(|&(s, _)| s)
+        .max()
+        .unwrap_or(4096)
+        .saturating_mul(2);
+    let handler =
+        Arc::new(RouterHandler::new(spec, &params, clone_router_response_bytes(&roles.router)));
+    let parts = ServiceSpecParts {
+        name: "synthetic-router".into(),
+        network: generate_network_model(&roles.router),
+        data_bytes,
+        shared_bytes: data_bytes,
+    };
+    deploy_sharded_tier_with(
+        cluster,
+        spec,
+        handler,
+        parts,
+        &mut |cluster, node, shard, r| {
+            let mut s =
+                pipeline.replica.clone_service(cluster, node, spec.backend_port, &roles.replica);
+            s.name = format!("synthetic-s{shard}-r{r}");
+            s
+        },
+        nodes,
+        router_node,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bed(shards: u32, replicas: u32, seed: u64) -> ShardedTestbed {
+        let spec = ShardedTierSpec { shards, replicas, ..ShardedTierSpec::default() };
+        let mut bed = ShardedTestbed::new(spec, seed);
+        bed.warmup = SimDuration::from_millis(20);
+        bed.window = SimDuration::from_millis(60);
+        bed.qps_per_shard = 1_500.0;
+        bed
+    }
+
+    #[test]
+    fn original_tier_serves_and_attributes_per_shard() {
+        let bed = quick_bed(2, 2, 41);
+        let out = bed.run_original();
+        assert!(out.e2e.received > 50, "tier served {} requests", out.e2e.received);
+        assert_eq!(out.e2e.degraded, 0, "healthy tier must not degrade");
+        let routed = out.router.total_routed();
+        assert!(routed > 0);
+        let shard_received: u64 = out.shards.iter().map(|(_, s)| s.received).sum();
+        assert!(
+            shard_received > 0 && shard_received <= routed,
+            "windowed shard completions {shard_received} vs routed {routed}"
+        );
+        assert_eq!(out.rollup.received, shard_received, "roll-up is exact");
+        assert!(out.router_metrics.counters.instructions > 0);
+    }
+
+    #[test]
+    fn per_role_profiles_capture_both_binaries() {
+        let bed = quick_bed(2, 2, 42);
+        let (out, roles) = bed.profile_roles();
+        assert!(out.e2e.received > 0);
+        assert!(roles.router.requests > 0, "router profile saw requests");
+        assert!(roles.replica.requests > 0, "replica profile saw requests");
+        // The router body (~2.8k instr) is much lighter than redis (~14k).
+        assert!(
+            roles.router.instructions_per_request() < roles.replica.instructions_per_request(),
+            "router {} vs replica {}",
+            roles.router.instructions_per_request(),
+            roles.replica.instructions_per_request()
+        );
+    }
+
+    #[test]
+    fn cloned_tier_reassembles_and_serves() {
+        let bed = quick_bed(2, 2, 43);
+        let (_, roles) = bed.profile_roles();
+        let out = bed.run_clone(&TierPipeline::new(), &roles);
+        assert!(out.e2e.received > 50, "clone served {} requests", out.e2e.received);
+        assert_eq!(out.e2e.degraded, 0);
+        assert!(out.router.total_routed() > 0);
+    }
+
+    #[test]
+    fn clone_response_bytes_deconvolution_recovers_redis_payload() {
+        let bed = quick_bed(2, 1, 44);
+        let (_, roles) = bed.profile_roles();
+        let resp = clone_router_response_bytes(&roles.router);
+        // Original redis-backed router answers with 1 KB values.
+        assert!(
+            (768..=1280).contains(&resp),
+            "deconvolved response bytes {resp} far from 1024"
+        );
+    }
+}

@@ -100,6 +100,17 @@ impl Cluster {
         Cluster::new(vec![spec], seed)
     }
 
+    /// A cluster of `n` identical machines — the shape of a scale-out
+    /// service pool (router + shard replicas + clients on one platform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new_uniform(spec: &PlatformSpec, n: usize, seed: u64) -> Self {
+        assert!(n > 0, "cluster needs at least one machine");
+        Cluster::new(vec![spec.clone(); n], seed)
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now

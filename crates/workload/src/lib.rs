@@ -15,7 +15,9 @@
 pub mod closed_loop;
 pub mod open_loop;
 pub mod recorder;
+pub mod tier;
 
 pub use closed_loop::ClosedLoopConfig;
 pub use open_loop::OpenLoopConfig;
 pub use recorder::{LoadAggregate, LoadSummary, Recorder};
+pub use tier::{TierObserver, TierRecorder};

@@ -1,0 +1,178 @@
+//! Per-shard + per-tier measurement for scale-out service pools.
+//!
+//! A [`TierRecorder`] bundles the tier-level (client-facing) [`Recorder`]
+//! with one named child recorder per shard. The tier recorder is fed by
+//! the load generator as usual; the shard recorders are fed from the
+//! router side — each completed router→shard RPC lands in its shard's
+//! recorder via [`TierRecorder::observer`], so per-shard latency and
+//! failure counts are attributed where the consistent-hash placement sent
+//! the work (including bounded-load spills and replica failovers).
+
+use std::sync::Arc;
+
+use ditto_sim::time::{SimDuration, SimTime};
+
+use crate::recorder::{LoadAggregate, LoadSummary, Recorder};
+
+/// Observer signature matching the router's completion hook:
+/// `(shard, started, now, ok)`.
+pub type TierObserver = Arc<dyn Fn(u32, SimTime, SimTime, bool) + Send + Sync>;
+
+/// A tier-level recorder with per-shard children.
+#[derive(Debug, Clone)]
+pub struct TierRecorder {
+    tier: Recorder,
+    shards: Vec<(String, Recorder)>,
+}
+
+impl TierRecorder {
+    /// Creates a tier recorder with one child per shard name.
+    pub fn new(shard_names: &[String]) -> Self {
+        TierRecorder {
+            tier: Recorder::new(),
+            shards: shard_names.iter().map(|n| (n.clone(), Recorder::new())).collect(),
+        }
+    }
+
+    /// The tier-level (client-facing) recorder the load generator feeds.
+    pub fn tier(&self) -> &Recorder {
+        &self.tier
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the tier has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// A shard's recorder by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard(&self, shard: usize) -> &Recorder {
+        &self.shards[shard].1
+    }
+
+    /// Opens the measurement window on the tier and every shard.
+    pub fn start_window(&self, t: SimTime) {
+        self.tier.start_window(t);
+        for (_, r) in &self.shards {
+            r.start_window(t);
+        }
+    }
+
+    /// Closes the measurement window on the tier and every shard.
+    pub fn end_window(&self, t: SimTime) {
+        self.tier.end_window(t);
+        for (_, r) in &self.shards {
+            r.end_window(t);
+        }
+    }
+
+    /// The completion observer to install on the tier's router: routes
+    /// each finished router→shard RPC into its shard's recorder
+    /// (successes as latency samples, exhausted failovers as errors).
+    pub fn observer(&self) -> TierObserver {
+        let shards: Vec<Recorder> = self.shards.iter().map(|(_, r)| r.clone()).collect();
+        Arc::new(move |shard, started, now, ok| {
+            if let Some(r) = shards.get(shard as usize) {
+                if ok {
+                    r.note_sent(started);
+                    r.record(started, now);
+                } else {
+                    r.note_error(now);
+                }
+            }
+        })
+    }
+
+    /// Per-shard `(name, summary)` rows over `window`.
+    pub fn shard_summaries(&self, window: SimDuration) -> Vec<(String, LoadSummary)> {
+        self.shards.iter().map(|(n, r)| (n.clone(), r.summary(window))).collect()
+    }
+
+    /// The tier-level client-facing summary over `window`.
+    pub fn summary(&self, window: SimDuration) -> LoadSummary {
+        self.tier.summary(window)
+    }
+
+    /// Exact roll-up of all shard recorders (bucket-exact histogram
+    /// merge): the server-side view of the tier over `window`.
+    pub fn shard_rollup(&self, window: SimDuration) -> LoadAggregate {
+        let mut agg = LoadAggregate::new();
+        for (_, r) in &self.shards {
+            agg.add(&r.summary(window), &r.histogram(), window);
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("shard{i}")).collect()
+    }
+
+    #[test]
+    fn observer_routes_samples_to_the_right_shard() {
+        let tr = TierRecorder::new(&names(3));
+        let obs = tr.observer();
+        obs(0, SimTime::ZERO, SimTime::from_nanos(100), true);
+        obs(2, SimTime::ZERO, SimTime::from_nanos(300), true);
+        obs(2, SimTime::ZERO, SimTime::from_nanos(50), false);
+        obs(9, SimTime::ZERO, SimTime::from_nanos(1), true); // out of range: dropped
+        let w = SimDuration::from_secs(1);
+        let rows = tr.shard_summaries(w);
+        assert_eq!(rows[0].1.received, 1);
+        assert_eq!(rows[1].1.received, 0);
+        assert_eq!(rows[2].1.received, 1);
+        assert_eq!(rows[2].1.errors, 1);
+        assert_eq!(rows[2].0, "shard2");
+    }
+
+    #[test]
+    fn windows_apply_to_every_shard() {
+        let tr = TierRecorder::new(&names(2));
+        let obs = tr.observer();
+        tr.start_window(SimTime::from_nanos(1000));
+        obs(1, SimTime::from_nanos(0), SimTime::from_nanos(500), true); // pre-window
+        obs(1, SimTime::from_nanos(1200), SimTime::from_nanos(1500), true);
+        tr.end_window(SimTime::from_nanos(2000));
+        obs(1, SimTime::from_nanos(1800), SimTime::from_nanos(2500), true); // late
+        assert_eq!(tr.shard(1).summary(SimDuration::from_nanos(1000)).received, 1);
+    }
+
+    #[test]
+    fn rollup_merges_all_shards_exactly() {
+        let tr = TierRecorder::new(&names(2));
+        let joint = Recorder::new();
+        let obs = tr.observer();
+        for i in 0..10u64 {
+            let sent = SimTime::from_nanos(i * 10);
+            let done = SimTime::from_nanos(i * 10 + 100 + i);
+            obs((i % 2) as u32, sent, done, true);
+            joint.note_sent(sent);
+            joint.record(sent, done);
+        }
+        let w = SimDuration::from_secs(1);
+        let roll = tr.shard_rollup(w);
+        assert_eq!(roll.histogram(), &joint.histogram(), "bucket-exact merge");
+        assert_eq!(roll.summary().received, 10);
+        assert_eq!(roll.window(), SimDuration::from_secs(2), "windows sum per shard");
+    }
+
+    #[test]
+    fn tier_recorder_reports_shape() {
+        let tr = TierRecorder::new(&names(4));
+        assert_eq!(tr.len(), 4);
+        assert!(!tr.is_empty());
+        assert_eq!(tr.summary(SimDuration::from_secs(1)).received, 0);
+    }
+}
