@@ -1,0 +1,253 @@
+//! Admission control: per-service bounded queues with load shedding.
+//!
+//! Production services do not queue unboundedly — they bound the work
+//! admitted past the front door and shed the excess explicitly, because
+//! an unbounded queue under sustained overload is exactly the state that
+//! makes retry storms metastable (every queued request times out at the
+//! client, triggers retries, and deepens the queue that caused the
+//! timeout). The [`AdmissionControl`] here models that bound: one shared
+//! gate per service, consulted by every worker the moment a request is
+//! received, before any plan is drawn. A shed request is answered
+//! immediately with `STATUS_REJECTED` (the client counts it as a
+//! distinct `rejected` outcome, never as latency), so shedding converts
+//! silent queue collapse into explicit, measurable backpressure.
+//!
+//! Determinism contract: decisions depend only on the admitted-work
+//! gauge, the EWMA of observed service times, and the configuration —
+//! all driven by simulated time, with integer arithmetic throughout. No
+//! RNG is drawn and no wall clock is read, so identical runs shed the
+//! identical set of requests regardless of thread count or
+//! observability settings.
+
+use std::sync::Arc;
+
+use ditto_sim::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+
+/// How the bounded queue sheds excess load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShedPolicy {
+    /// Reject when the admitted-but-unfinished count reaches the
+    /// capacity bound (classic bounded FIFO).
+    DropTail,
+    /// Reject when the *predicted* queueing delay — admitted depth times
+    /// the EWMA service time — exceeds `budget`: requests that would
+    /// blow their deadline anyway are turned away while they are still
+    /// cheap. Falls back to drop-tail at the capacity bound.
+    Deadline {
+        /// Largest predicted wait the service will accept work under.
+        budget: SimDuration,
+    },
+}
+
+/// Configuration of one service's admission gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Bound on requests admitted and not yet responded to (across all
+    /// of the service's workers).
+    pub capacity: u64,
+    /// Shedding policy applied at the bound (and, for
+    /// [`ShedPolicy::Deadline`], before it).
+    pub policy: ShedPolicy,
+}
+
+impl AdmissionConfig {
+    /// A drop-tail queue bounded at `capacity` requests.
+    pub fn drop_tail(capacity: u64) -> Self {
+        AdmissionConfig { capacity, policy: ShedPolicy::DropTail }
+    }
+
+    /// A deadline-aware queue: bounded at `capacity`, shedding earlier
+    /// whenever predicted wait exceeds `budget`.
+    pub fn deadline(capacity: u64, budget: SimDuration) -> Self {
+        AdmissionConfig { capacity, policy: ShedPolicy::Deadline { budget } }
+    }
+}
+
+/// EWMA weight denominator: `ewma += (sample - ewma) / 8` in integer
+/// nanoseconds. A power of two keeps the update cheap and exact.
+const EWMA_SHIFT: u32 = 3;
+
+#[derive(Debug)]
+struct AdmState {
+    /// Requests admitted and not yet finished (the modeled queue depth).
+    depth: u64,
+    /// Deepest the queue has been since the last stats snapshot reset.
+    depth_peak: u64,
+    /// Requests admitted so far.
+    admitted: u64,
+    /// Requests shed at the capacity bound.
+    shed_full: u64,
+    /// Requests shed by the deadline predictor.
+    shed_deadline: u64,
+    /// EWMA of observed service times, in nanoseconds (0 until the
+    /// first completion; the deadline predictor treats 0 as "no
+    /// estimate yet" and admits on capacity alone).
+    ewma_service_ns: u64,
+}
+
+/// Point-in-time admission statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Requests admitted so far.
+    pub admitted: u64,
+    /// Requests shed at the capacity bound.
+    pub shed_full: u64,
+    /// Requests shed by the deadline predictor.
+    pub shed_deadline: u64,
+    /// Admitted-but-unfinished requests right now.
+    pub depth: u64,
+    /// Deepest the queue has been.
+    pub depth_peak: u64,
+    /// Current EWMA service-time estimate in nanoseconds.
+    pub ewma_service_ns: u64,
+}
+
+impl AdmissionStats {
+    /// Total requests shed, either way.
+    pub fn shed(&self) -> u64 {
+        self.shed_full + self.shed_deadline
+    }
+}
+
+/// One service's shared admission gate. Cheap to clone via `Arc`; every
+/// worker of the service consults the same instance.
+#[derive(Debug)]
+pub struct AdmissionControl {
+    cfg: AdmissionConfig,
+    state: Mutex<AdmState>,
+}
+
+impl AdmissionControl {
+    /// A fresh gate (empty queue, no service-time estimate).
+    pub fn new(cfg: AdmissionConfig) -> Arc<Self> {
+        Arc::new(AdmissionControl {
+            cfg,
+            state: Mutex::new(AdmState {
+                depth: 0,
+                depth_peak: 0,
+                admitted: 0,
+                shed_full: 0,
+                shed_deadline: 0,
+                ewma_service_ns: 0,
+            }),
+        })
+    }
+
+    /// The configuration the gate was built with.
+    pub fn config(&self) -> AdmissionConfig {
+        self.cfg
+    }
+
+    /// Decides one arriving request: `true` admits it (the caller must
+    /// later call [`AdmissionControl::finished`] exactly once), `false`
+    /// sheds it.
+    pub fn try_admit(&self) -> bool {
+        let mut s = self.state.lock();
+        if s.depth >= self.cfg.capacity {
+            s.shed_full += 1;
+            return false;
+        }
+        if let ShedPolicy::Deadline { budget } = self.cfg.policy {
+            if s.ewma_service_ns > 0 {
+                let predicted = (s.depth as u128) * (s.ewma_service_ns as u128);
+                if predicted > budget.as_nanos() as u128 {
+                    s.shed_deadline += 1;
+                    return false;
+                }
+            }
+        }
+        s.depth += 1;
+        s.admitted += 1;
+        s.depth_peak = s.depth_peak.max(s.depth);
+        true
+    }
+
+    /// Retires one admitted request that started at `started` and
+    /// finished at `now`, folding its service time into the EWMA.
+    pub fn finished(&self, started: SimTime, now: SimTime) {
+        let sample = now.saturating_since(started).as_nanos();
+        let mut s = self.state.lock();
+        s.depth = s.depth.saturating_sub(1);
+        if s.ewma_service_ns == 0 {
+            s.ewma_service_ns = sample;
+        } else if sample >= s.ewma_service_ns {
+            s.ewma_service_ns += (sample - s.ewma_service_ns) >> EWMA_SHIFT;
+        } else {
+            s.ewma_service_ns -= (s.ewma_service_ns - sample) >> EWMA_SHIFT;
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> AdmissionStats {
+        let s = self.state.lock();
+        AdmissionStats {
+            admitted: s.admitted,
+            shed_full: s.shed_full,
+            shed_deadline: s.shed_deadline,
+            depth: s.depth,
+            depth_peak: s.depth_peak,
+            ewma_service_ns: s.ewma_service_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_tail_sheds_exactly_at_capacity() {
+        let a = AdmissionControl::new(AdmissionConfig::drop_tail(3));
+        assert!(a.try_admit() && a.try_admit() && a.try_admit());
+        assert!(!a.try_admit(), "fourth request must shed");
+        let st = a.stats();
+        assert_eq!((st.admitted, st.shed_full, st.depth, st.depth_peak), (3, 1, 3, 3));
+        a.finished(SimTime::ZERO, SimTime::from_nanos(100));
+        assert!(a.try_admit(), "a completion frees one slot");
+        assert_eq!(a.stats().depth, 3);
+    }
+
+    #[test]
+    fn deadline_policy_sheds_on_predicted_wait() {
+        let a = AdmissionControl::new(AdmissionConfig::deadline(
+            100,
+            SimDuration::from_micros(10),
+        ));
+        // No estimate yet: admits on capacity alone.
+        for _ in 0..5 {
+            assert!(a.try_admit());
+        }
+        // Teach it a 5µs service time; depth 4 × 5µs = 20µs > 10µs budget.
+        a.finished(SimTime::ZERO, SimTime::from_nanos(5_000));
+        assert_eq!(a.stats().ewma_service_ns, 5_000);
+        assert!(!a.try_admit(), "predicted wait 20µs exceeds the 10µs budget");
+        assert_eq!(a.stats().shed_deadline, 1);
+        // Drain to depth 2: 2 × 5µs = 10µs, not above the budget.
+        a.finished(SimTime::ZERO, SimTime::from_nanos(5_000));
+        a.finished(SimTime::ZERO, SimTime::from_nanos(5_000));
+        assert!(a.try_admit());
+    }
+
+    #[test]
+    fn ewma_converges_and_is_integer_deterministic() {
+        let a = AdmissionControl::new(AdmissionConfig::drop_tail(10));
+        for _ in 0..64 {
+            assert!(a.try_admit());
+            a.finished(SimTime::ZERO, SimTime::from_nanos(8_000));
+            if !a.try_admit() {
+                break;
+            }
+            a.finished(SimTime::ZERO, SimTime::from_nanos(8_000));
+        }
+        let e = a.stats().ewma_service_ns;
+        assert!((7_900..=8_000).contains(&e), "ewma {e} should converge to 8000");
+    }
+
+    #[test]
+    fn finished_never_underflows() {
+        let a = AdmissionControl::new(AdmissionConfig::drop_tail(2));
+        a.finished(SimTime::ZERO, SimTime::from_nanos(10));
+        assert_eq!(a.stats().depth, 0);
+    }
+}

@@ -69,6 +69,8 @@ pub fn memcached(port: u16) -> ServiceSpec {
         downstreams: Vec::new(),
         collector: None,
         rpc: RpcPolicy::default(),
+        admission: None,
+        retry_budget: None,
         data_bytes: 128 * MB,
         shared_bytes: 64 * MB,
     }
@@ -119,6 +121,8 @@ pub fn nginx(cluster: &mut Cluster, node: NodeId, port: u16) -> ServiceSpec {
         downstreams: Vec::new(),
         collector: None,
         rpc: RpcPolicy::default(),
+        admission: None,
+        retry_budget: None,
         data_bytes: 16 * MB,
         shared_bytes: 4 * MB,
     }
@@ -178,6 +182,8 @@ pub fn mongodb(cluster: &mut Cluster, node: NodeId, port: u16, cache_bytes: u64)
         downstreams: Vec::new(),
         collector: None,
         rpc: RpcPolicy::default(),
+        admission: None,
+        retry_budget: None,
         data_bytes: 256 * MB,
         shared_bytes: 64 * MB,
     }
@@ -216,6 +222,8 @@ pub fn redis(port: u16) -> ServiceSpec {
         downstreams: Vec::new(),
         collector: None,
         rpc: RpcPolicy::default(),
+        admission: None,
+        retry_budget: None,
         data_bytes: 32 * MB,
         shared_bytes: 4 * MB,
     }

@@ -10,6 +10,7 @@
 //! [`stressors`] provides the stress-ng / iBench / iperf3 equivalents for
 //! the interference study (Figure 10).
 
+pub mod admission;
 pub mod apps;
 pub mod handlers;
 pub mod resilience;
@@ -19,8 +20,9 @@ pub mod sharded;
 pub mod social;
 pub mod stressors;
 
+pub use admission::{AdmissionConfig, AdmissionControl, AdmissionStats, ShedPolicy};
 pub use handlers::{BehaviorHandler, FileReadSpec, RpcEdge};
-pub use resilience::RpcPolicy;
+pub use resilience::{RetryBudget, RetryBudgetConfig, RetryBudgetStats, RpcPolicy};
 pub use routing::{jump_hash, HashRing, ReplicaPolicy};
 pub use service::{HandlerPlan, HandlerStep, NetworkModel, RequestHandler, ServiceSpec};
 pub use sharded::{

@@ -1,14 +1,29 @@
-//! RPC resilience policy: deadlines, bounded retries, and backoff.
+//! RPC resilience policy: deadlines, bounded retries, backoff, and the
+//! shared retry budget.
 //!
 //! Real services guard downstream calls with timeouts and retry budgets;
 //! a clone that omits them diverges from the original the moment anything
-//! fails. The policy here is deliberately simple — per-attempt deadline,
-//! bounded retries with capped exponential backoff and jitter — and fully
-//! deterministic: jitter draws from the calling thread's seeded RNG, so
-//! identical seeds produce identical retry schedules.
+//! fails. The per-call policy here is deliberately simple — per-attempt
+//! deadline, bounded retries with capped exponential backoff and jitter —
+//! and fully deterministic: jitter draws from the calling thread's seeded
+//! RNG, so identical seeds produce identical retry schedules.
+//!
+//! The per-call `max_retries` bound is necessary but not sufficient:
+//! under a correlated failure (a dead replica, a saturated shard) *every*
+//! in-flight request retries at once, multiplying offered load by up to
+//! `1 + max_retries` exactly when the system can least afford it — the
+//! retry storm that makes overload metastable. The [`RetryBudget`] is the
+//! service-wide cap on that amplification: a token bucket shared by all
+//! of a service's workers, refilled at a fixed rate in simulated time,
+//! from which every retry must take a token. When the bucket is dry the
+//! retry is skipped and the RPC fails over to degradation immediately, so
+//! aggregate retry traffic can never exceed `rate + burst` no matter how
+//! many requests are failing. Integer arithmetic on simulated time keeps
+//! the budget bit-deterministic across thread counts.
 
 use ditto_sim::rng::SimRng;
-use ditto_sim::time::SimDuration;
+use ditto_sim::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
 
 /// Retry/deadline policy for one service's downstream RPCs.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +88,111 @@ impl RpcPolicy {
     }
 }
 
+/// Tokens are tracked in nano-tokens so refill arithmetic is exact
+/// integer math: `rate_per_sec` tokens/second over `elapsed` nanoseconds
+/// refills `rate_per_sec × elapsed` nano-tokens.
+const NANO: u128 = 1_000_000_000;
+
+/// Configuration of a service-wide retry token bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryBudgetConfig {
+    /// Sustained retries per second the service may issue in aggregate.
+    pub rate_per_sec: u64,
+    /// Bucket capacity: retries that may burst back-to-back.
+    pub burst: u64,
+}
+
+impl RetryBudgetConfig {
+    /// A budget of `rate_per_sec` sustained retries with a burst of
+    /// `burst`.
+    pub fn new(rate_per_sec: u64, burst: u64) -> Self {
+        RetryBudgetConfig { rate_per_sec, burst }
+    }
+}
+
+#[derive(Debug)]
+struct BudgetState {
+    /// Current fill in nano-tokens, ≤ `burst × NANO`.
+    nano_tokens: u128,
+    /// Simulated instant of the last refill.
+    last: SimTime,
+    /// Retries granted so far.
+    spent: u64,
+    /// Retries denied (bucket dry) so far.
+    denied: u64,
+}
+
+/// Point-in-time budget statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryBudgetStats {
+    /// Retries granted so far.
+    pub spent: u64,
+    /// Retries denied so far.
+    pub denied: u64,
+    /// Whole tokens currently in the bucket.
+    pub tokens: u64,
+}
+
+/// A deterministic token-bucket retry budget shared by all workers of a
+/// service. Starts full.
+#[derive(Debug)]
+pub struct RetryBudget {
+    cfg: RetryBudgetConfig,
+    state: Mutex<BudgetState>,
+}
+
+impl RetryBudget {
+    /// A full bucket with the given configuration.
+    pub fn new(cfg: RetryBudgetConfig) -> Self {
+        RetryBudget {
+            cfg,
+            state: Mutex::new(BudgetState {
+                nano_tokens: cfg.burst as u128 * NANO,
+                last: SimTime::ZERO,
+                spent: 0,
+                denied: 0,
+            }),
+        }
+    }
+
+    /// The configuration the budget was built with.
+    pub fn config(&self) -> RetryBudgetConfig {
+        self.cfg
+    }
+
+    /// Takes one retry token at simulated time `now`. Returns `false`
+    /// (and counts a denial) when the bucket is dry. `now` must not move
+    /// backwards between calls; elapsed time refills at the configured
+    /// rate up to the burst capacity.
+    pub fn try_spend(&self, now: SimTime) -> bool {
+        let mut s = self.state.lock();
+        let elapsed = now.saturating_since(s.last).as_nanos() as u128;
+        if elapsed > 0 {
+            let cap = self.cfg.burst as u128 * NANO;
+            s.nano_tokens = (s.nano_tokens + elapsed * self.cfg.rate_per_sec as u128).min(cap);
+            s.last = now;
+        }
+        if s.nano_tokens >= NANO {
+            s.nano_tokens -= NANO;
+            s.spent += 1;
+            true
+        } else {
+            s.denied += 1;
+            false
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> RetryBudgetStats {
+        let s = self.state.lock();
+        RetryBudgetStats {
+            spent: s.spent,
+            denied: s.denied,
+            tokens: (s.nano_tokens / NANO) as u64,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +254,46 @@ mod tests {
         };
         let mut rng = SimRng::seed(1);
         assert_eq!(p.backoff(u32::MAX, &mut rng), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn token_bucket_burst_then_rate_limits() {
+        let b = RetryBudget::new(RetryBudgetConfig::new(10, 3));
+        let t0 = SimTime::ZERO;
+        // Full burst available immediately.
+        assert!(b.try_spend(t0) && b.try_spend(t0) && b.try_spend(t0));
+        assert!(!b.try_spend(t0), "burst exhausted");
+        assert_eq!(b.stats(), RetryBudgetStats { spent: 3, denied: 1, tokens: 0 });
+        // 10 tokens/s: one token every 100ms, exactly.
+        assert!(!b.try_spend(t0 + SimDuration::from_millis(99)));
+        assert!(b.try_spend(t0 + SimDuration::from_millis(100)));
+        assert!(!b.try_spend(t0 + SimDuration::from_millis(100)));
+    }
+
+    #[test]
+    fn token_bucket_never_exceeds_burst() {
+        let b = RetryBudget::new(RetryBudgetConfig::new(1_000, 2));
+        let later = SimTime::ZERO + SimDuration::from_secs(1_000);
+        assert!(b.try_spend(later) && b.try_spend(later));
+        assert!(!b.try_spend(later), "cap at burst despite a huge idle refill");
+    }
+
+    #[test]
+    fn zero_rate_budget_is_burst_only() {
+        let b = RetryBudget::new(RetryBudgetConfig::new(0, 1));
+        assert!(b.try_spend(SimTime::ZERO));
+        assert!(!b.try_spend(SimTime::ZERO + SimDuration::from_secs(3600)));
+        assert_eq!(b.stats().denied, 1);
+    }
+
+    #[test]
+    fn budget_is_deterministic_for_identical_call_sequences() {
+        let run = || {
+            let b = RetryBudget::new(RetryBudgetConfig::new(7, 2));
+            (0..200u64)
+                .map(|i| b.try_spend(SimTime::from_nanos(i * 37_000_000)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 }

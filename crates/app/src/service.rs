@@ -23,12 +23,17 @@ use ditto_sim::time::{SimDuration, SimTime};
 use ditto_trace::{SpanContext, SpanStatus, TraceCollector};
 use parking_lot::Mutex;
 
-use crate::resilience::RpcPolicy;
+use crate::admission::AdmissionControl;
+use crate::resilience::{RetryBudget, RpcPolicy};
 
 /// Region id handlers use for thread-private data (allocated first).
 pub const DATA_REGION: u32 = 1;
 /// Region id handlers use for cross-thread shared data.
 pub const SHARED_REGION: u32 = 2;
+
+/// Response size of an admission-shed rejection: a bare error frame,
+/// sent before any handler work happens.
+pub const REJECT_RESPONSE_BYTES: u64 = 64;
 
 /// One step of request handling.
 pub enum HandlerStep {
@@ -100,6 +105,11 @@ pub trait RequestHandler: Send + Sync {
     fn reroute(&self, _failed_downstream: usize) -> Option<usize> {
         None
     }
+
+    /// Called when a failed RPC to `downstream` is about to be retried
+    /// (after the retry budget, if any, granted a token). Handlers that
+    /// track retry amplification hook this; the default is a no-op.
+    fn on_rpc_retry(&self, _downstream: usize) {}
 }
 
 /// The network/thread skeleton of a service (§4.3.1, §4.3.2).
@@ -134,6 +144,15 @@ pub struct ServiceSpec {
     pub collector: Option<TraceCollector>,
     /// Deadline/retry policy for downstream RPCs.
     pub rpc: RpcPolicy,
+    /// Admission gate shared by every worker: arriving requests that the
+    /// gate sheds are answered immediately with
+    /// [`MsgMeta::STATUS_REJECTED`] and never reach the handler.
+    /// `None` admits everything (pre-control-plane behaviour).
+    pub admission: Option<Arc<AdmissionControl>>,
+    /// Service-wide token-bucket retry budget: every downstream retry
+    /// must take a token, capping aggregate retry amplification. `None`
+    /// allows every within-policy retry.
+    pub retry_budget: Option<Arc<RetryBudget>>,
     /// Bytes of private data region to map.
     pub data_bytes: u64,
     /// Bytes of shared data region to map.
@@ -344,6 +363,41 @@ struct ActiveRequest {
     /// Set when a downstream RPC exhausted its retry budget; the response
     /// is still sent, tagged [`MsgMeta::STATUS_DEGRADED`].
     degraded: bool,
+    /// Set when admission control shed the request: the plan was never
+    /// drawn and the response carries [`MsgMeta::STATUS_REJECTED`].
+    rejected: bool,
+    /// Whether the request was counted into the admission gate (and must
+    /// be retired from it on completion).
+    admitted: bool,
+}
+
+impl ActiveRequest {
+    /// The stub request a shed arrival turns into: no plan, no span, an
+    /// immediate rejection response.
+    fn rejected(fd: Fd, meta: MsgMeta, started: SimTime) -> Self {
+        ActiveRequest {
+            fd,
+            meta,
+            started,
+            span: SpanContext::default(),
+            steps: VecDeque::new(),
+            response_bytes: REJECT_RESPONSE_BYTES,
+            degraded: false,
+            rejected: true,
+            admitted: false,
+        }
+    }
+
+    /// The wire status byte of this request's response.
+    fn status(&self) -> u8 {
+        if self.rejected {
+            MsgMeta::STATUS_REJECTED
+        } else if self.degraded {
+            MsgMeta::STATUS_DEGRADED
+        } else {
+            MsgMeta::STATUS_OK
+        }
+    }
 }
 
 /// A downstream RPC being attempted (possibly across retries).
@@ -405,8 +459,16 @@ impl EpollWorker {
             .expect("handler read from undeclared file")
     }
 
-    /// Starts handling a freshly received request.
+    /// Starts handling a freshly received request. The admission gate is
+    /// consulted *before* the handler plans (or draws RNG): a shed
+    /// request becomes an immediate rejection response.
     fn begin_request(&mut self, msg: Msg, fd: Fd, ctx: &mut ThreadCtx<'_>) {
+        if let Some(adm) = &self.spec.admission {
+            if !adm.try_admit() {
+                self.current = Some(ActiveRequest::rejected(fd, msg.meta, ctx.now));
+                return;
+            }
+        }
         let span = match (&self.spec.collector, msg.meta.trace_id) {
             (Some(col), tid) if tid != 0 => col.child_of(SpanContext { trace_id: tid, span_id: 1 }),
             _ => SpanContext::default(),
@@ -421,6 +483,8 @@ impl EpollWorker {
             steps: plan.steps.into(),
             response_bytes: plan.response_bytes,
             degraded: false,
+            rejected: false,
+            admitted: self.spec.admission.is_some(),
         });
     }
 
@@ -455,8 +519,7 @@ impl EpollWorker {
             None => {
                 self.state = WorkerState::Respond;
                 let mut meta = req.meta;
-                meta.status =
-                    if req.degraded { MsgMeta::STATUS_DEGRADED } else { MsgMeta::STATUS_OK };
+                meta.status = req.status();
                 Action::Syscall(Syscall::Send {
                     fd: req.fd,
                     bytes: req.response_bytes,
@@ -467,15 +530,19 @@ impl EpollWorker {
     }
 
     /// A downstream RPC attempt failed (send error, reply timeout, or
-    /// reset): back off and retry within budget, else degrade the request
-    /// and carry on with the rest of its plan.
+    /// reset): back off and retry within the per-call policy *and* the
+    /// service-wide retry budget, else degrade the request and carry on
+    /// with the rest of its plan.
     fn rpc_failed(&mut self, now: SimTime, rng: &mut SimRng) -> Action {
-        let attempt = {
+        let (attempt, downstream) = {
             let r = self.rpc.as_mut().expect("rpc in flight");
             r.attempt += 1;
-            r.attempt
+            (r.attempt, r.downstream)
         };
-        if self.spec.rpc.should_retry(attempt) {
+        if self.spec.rpc.should_retry(attempt)
+            && self.spec.retry_budget.as_ref().is_none_or(|b| b.try_spend(now))
+        {
+            self.spec.handler.on_rpc_retry(downstream);
             self.state = WorkerState::RpcBackoff;
             let dur = self.spec.rpc.backoff(attempt, rng);
             return Action::Syscall(Syscall::Nanosleep { dur });
@@ -493,6 +560,16 @@ impl EpollWorker {
 
     fn finish_request(&mut self, now: SimTime) {
         if let Some(req) = self.current.take() {
+            if req.rejected {
+                // Shed before any work: no admission slot, no span, and
+                // no obs request bracket were opened.
+                return;
+            }
+            if req.admitted {
+                if let Some(adm) = &self.spec.admission {
+                    adm.finished(req.started, now);
+                }
+            }
             self.obs.request_end(now);
             if let Some(col) = &self.spec.collector {
                 if req.span.is_sampled() {
@@ -867,8 +944,7 @@ impl ConnWorker {
             None => {
                 self.state = ConnWorkerState::Respond;
                 let mut meta = req.meta;
-                meta.status =
-                    if req.degraded { MsgMeta::STATUS_DEGRADED } else { MsgMeta::STATUS_OK };
+                meta.status = req.status();
                 Action::Syscall(Syscall::Send {
                     fd: req.fd,
                     bytes: req.response_bytes,
@@ -878,14 +954,18 @@ impl ConnWorker {
         }
     }
 
-    /// See [`EpollWorker::rpc_failed`]: retry within budget, else degrade.
+    /// See [`EpollWorker::rpc_failed`]: retry within policy and budget,
+    /// else degrade.
     fn rpc_failed(&mut self, now: SimTime, rng: &mut SimRng) -> Action {
-        let attempt = {
+        let (attempt, downstream) = {
             let r = self.rpc.as_mut().expect("rpc in flight");
             r.attempt += 1;
-            r.attempt
+            (r.attempt, r.downstream)
         };
-        if self.spec.rpc.should_retry(attempt) {
+        if self.spec.rpc.should_retry(attempt)
+            && self.spec.retry_budget.as_ref().is_none_or(|b| b.try_spend(now))
+        {
+            self.spec.handler.on_rpc_retry(downstream);
             self.state = ConnWorkerState::RpcBackoff;
             let dur = self.spec.rpc.backoff(attempt, rng);
             return Action::Syscall(Syscall::Nanosleep { dur });
@@ -930,6 +1010,13 @@ impl ThreadBody for ConnWorker {
             }
             ConnWorkerState::Recv => match ctx.last.msg() {
                 Some(msg) => {
+                    if let Some(adm) = &self.spec.admission {
+                        if !adm.try_admit() {
+                            self.current =
+                                Some(ActiveRequest::rejected(self.conn_fd, msg.meta, ctx.now));
+                            return self.execute_next(ctx.now);
+                        }
+                    }
                     let span = match (&self.spec.collector, msg.meta.trace_id) {
                         (Some(col), tid) if tid != 0 => {
                             col.child_of(SpanContext { trace_id: tid, span_id: 1 })
@@ -946,6 +1033,8 @@ impl ThreadBody for ConnWorker {
                         steps: plan.steps.into(),
                         response_bytes: plan.response_bytes,
                         degraded: false,
+                        rejected: false,
+                        admitted: self.spec.admission.is_some(),
                     });
                     self.execute_next(ctx.now)
                 }
@@ -1009,6 +1098,19 @@ impl ThreadBody for ConnWorker {
             },
             ConnWorkerState::Respond => {
                 if let Some(req) = self.current.take() {
+                    if req.rejected {
+                        // Shed before any work: nothing to retire or record.
+                        self.state = ConnWorkerState::Recv;
+                        return Action::Syscall(Syscall::Recv {
+                            fd: self.conn_fd,
+                            timeout: None,
+                        });
+                    }
+                    if req.admitted {
+                        if let Some(adm) = &self.spec.admission {
+                            adm.finished(req.started, ctx.now);
+                        }
+                    }
                     self.obs.request_end(ctx.now);
                     if let Some(col) = &self.spec.collector {
                         if req.span.is_sampled() {

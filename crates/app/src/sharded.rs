@@ -25,8 +25,9 @@ use ditto_sim::rng::SimRng;
 use ditto_sim::time::SimTime;
 use parking_lot::Mutex;
 
+use crate::admission::{AdmissionConfig, AdmissionControl};
 use crate::apps;
-use crate::resilience::RpcPolicy;
+use crate::resilience::{RetryBudget, RetryBudgetConfig, RpcPolicy};
 use crate::routing::{HashRing, ReplicaPolicy};
 use crate::service::{
     HandlerPlan, HandlerStep, NetworkModel, RequestHandler, ServiceSpec, DATA_REGION,
@@ -67,6 +68,22 @@ pub struct ShardedTierSpec {
     pub router_port: u16,
     /// Backend listening port (replicas live on distinct nodes).
     pub backend_port: u16,
+    /// Router RPC retry/deadline policy.
+    pub rpc: RpcPolicy,
+    /// Router admission gate (`None` = admit everything).
+    pub admission: Option<AdmissionConfig>,
+    /// Router retry budget (`None` = unbounded retries within `rpc`).
+    pub retry_budget: Option<RetryBudgetConfig>,
+    /// Replicas per shard initially serving traffic (`None` = all).
+    /// The rest stay deployed but idle until
+    /// [`RouterHandler::set_active_replicas`] scales them in, so the
+    /// node layout — and thus clone topology — never changes.
+    pub initial_active: Option<u32>,
+    /// Router epoll worker threads (0 = single-threaded event loop).
+    /// Concurrency at the router is what gives the admission gate a
+    /// queue depth to observe: a single-threaded router never holds
+    /// more than one admitted request, so it can never shed.
+    pub router_workers: usize,
 }
 
 impl Default for ShardedTierSpec {
@@ -83,6 +100,11 @@ impl Default for ShardedTierSpec {
             load_bound: 1.25,
             router_port: 9000,
             backend_port: 9100,
+            rpc: RpcPolicy::default(),
+            admission: None,
+            retry_budget: None,
+            initial_active: None,
+            router_workers: 0,
         }
     }
 }
@@ -126,6 +148,14 @@ struct RouterState {
     reroutes: u64,
     /// Permanently failed RPCs per downstream.
     failed: Vec<u64>,
+    /// Consecutive failed attempts per downstream since its last
+    /// success (passive health signal; reset to zero on any success).
+    fail_streak: Vec<u64>,
+    /// Retry RPC attempts granted (beyond each request's first send).
+    retries: u64,
+    /// Replicas per shard currently serving traffic (scale-in/out
+    /// target; the rest of the pool idles without topology change).
+    active: u32,
 }
 
 /// Point-in-time router statistics.
@@ -141,14 +171,31 @@ pub struct RouterStats {
     pub reroutes: u64,
     /// Permanently failed RPCs per downstream.
     pub failed: Vec<u64>,
+    /// Consecutive failed attempts per downstream since its last success.
+    pub fail_streak: Vec<u64>,
     /// Outstanding RPCs per downstream at snapshot time.
     pub in_flight: Vec<u64>,
+    /// Retry RPC attempts granted (beyond each request's first send).
+    pub retries: u64,
+    /// Replicas per shard serving traffic at snapshot time.
+    pub active_replicas: u32,
 }
 
 impl RouterStats {
     /// Total requests routed.
     pub fn total_routed(&self) -> u64 {
         self.routed.iter().sum()
+    }
+
+    /// Downstream send amplification: total RPC attempts (first sends
+    /// plus granted retries) over requests routed. 1.0 when nothing
+    /// retries; a retry storm pushes this toward `1 + max_retries`.
+    pub fn amplification(&self) -> f64 {
+        let routed = self.total_routed();
+        if routed == 0 {
+            return 1.0;
+        }
+        (routed + self.retries) as f64 / routed as f64
     }
 }
 
@@ -184,6 +231,7 @@ impl RouterHandler {
     /// for the clone).
     pub fn new(spec: &ShardedTierSpec, params: &BodyParams, response_bytes: u64) -> Self {
         let pool = spec.pool_size() as usize;
+        let active = spec.initial_active.unwrap_or(spec.replicas).clamp(1, spec.replicas);
         RouterHandler {
             body: Body::new(params),
             zipf: Zipf::new(spec.keys, spec.skew),
@@ -202,9 +250,28 @@ impl RouterHandler {
                 spills: 0,
                 reroutes: 0,
                 failed: vec![0; pool],
+                fail_streak: vec![0; pool],
+                retries: 0,
+                active,
             }),
             observer: Mutex::new(None),
         }
+    }
+
+    /// Sets the per-shard active replica count (clamped to
+    /// `1..=replicas`), returning the previous value. New requests route
+    /// only among the first `n` replicas of each shard; RPCs already in
+    /// flight on a scaled-out replica drain normally. Deterministic: the
+    /// caller (the autoscaler) invokes this between control intervals,
+    /// never concurrently with routing.
+    pub fn set_active_replicas(&self, n: u32) -> u32 {
+        let mut s = self.state.lock();
+        std::mem::replace(&mut s.active, n.clamp(1, self.replicas))
+    }
+
+    /// Replicas per shard currently serving traffic.
+    pub fn active_replicas(&self) -> u32 {
+        self.state.lock().active
     }
 
     /// Installs the per-shard completion observer (e.g. a
@@ -222,7 +289,10 @@ impl RouterHandler {
             spills: s.spills,
             reroutes: s.reroutes,
             failed: s.failed.clone(),
+            fail_streak: s.fail_streak.clone(),
             in_flight: s.in_flight.clone(),
+            retries: s.retries,
+            active_replicas: s.active,
         }
     }
 
@@ -236,7 +306,10 @@ impl RequestHandler for RouterHandler {
         let key = self.zipf.index(rng);
         let mut s = self.state.lock();
         let replicas = self.replicas as usize;
-        // Bounded-load shard placement over summed replica in-flight.
+        // Only the first `active` replicas of each shard serve traffic;
+        // the rest are provisioned headroom the autoscaler can add.
+        let active = s.active as usize;
+        // Bounded-load shard placement over summed active in-flight.
         let home = self.ring.shard_of(key as u64);
         let shard = {
             let in_flight = &s.in_flight;
@@ -244,7 +317,7 @@ impl RequestHandler for RouterHandler {
                 key as u64,
                 &|sh| {
                     let base = sh as usize * replicas;
-                    in_flight[base..base + replicas].iter().sum()
+                    in_flight[base..base + active].iter().sum()
                 },
                 self.load_bound,
             )
@@ -254,7 +327,18 @@ impl RequestHandler for RouterHandler {
         }
         let base = shard as usize * replicas;
         let replica = {
-            let loads: Vec<u64> = s.in_flight[base..base + replicas].to_vec();
+            // Load = outstanding RPCs plus the consecutive-failure
+            // streak: a replica that keeps failing (crashed node,
+            // partitioned link) looks ever more loaded, so picks drain
+            // to healthy siblings whenever one is active — passive
+            // outlier ejection without a health-check channel. A single
+            // success resets the streak, so a recovered replica is
+            // re-admitted at once.
+            let loads: Vec<u64> = s.in_flight[base..base + active]
+                .iter()
+                .zip(&s.fail_streak[base..base + active])
+                .map(|(&inf, &streak)| inf.saturating_add(streak))
+                .collect();
             self.policy.pick(&loads, &mut s.rr[shard as usize])
         };
         let downstream = base + replica;
@@ -280,13 +364,24 @@ impl RequestHandler for RouterHandler {
             let mut s = self.state.lock();
             let slot = &mut s.in_flight[downstream];
             *slot = slot.saturating_sub(1);
-            if !ok {
+            if ok {
+                s.fail_streak[downstream] = 0;
+            } else {
                 s.failed[downstream] += 1;
+                s.fail_streak[downstream] += 1;
             }
         }
         if let Some(obs) = self.observer.lock().as_ref() {
             obs(shard, started, now, ok);
         }
+    }
+
+    fn on_rpc_retry(&self, downstream: usize) {
+        let mut s = self.state.lock();
+        s.retries += 1;
+        // Every failed attempt feeds the passive health signal, not
+        // just chain-final failures.
+        s.fail_streak[downstream] += 1;
     }
 
     fn reroute(&self, failed_downstream: usize) -> Option<usize> {
@@ -297,13 +392,16 @@ impl RequestHandler for RouterHandler {
         let replicas = self.replicas as usize;
         let base = shard * replicas;
         let mut s = self.state.lock();
-        // Least-loaded replica of the same shard, excluding the failed
-        // one; ties break on the lowest index for determinism.
-        let (other, _) = s.in_flight[base..base + replicas]
+        // Least-loaded *active* replica of the same shard, excluding the
+        // failed one; ties break on the lowest index for determinism.
+        let active = s.active as usize;
+        let (other, _) = s.in_flight[base..base + active]
             .iter()
+            .zip(&s.fail_streak[base..base + active])
+            .map(|(&inf, &streak)| inf.saturating_add(streak))
             .enumerate()
             .filter(|&(r, _)| base + r != failed_downstream)
-            .min_by_key(|&(r, &l)| (l, r))?;
+            .min_by_key(|&(r, l)| (l, r))?;
         let to = base + other;
         // Move the in-flight accounting with the RPC.
         s.in_flight[failed_downstream] = s.in_flight[failed_downstream].saturating_sub(1);
@@ -367,6 +465,10 @@ pub struct ShardedTier {
     pub router_pid: Pid,
     /// The router handler (routing statistics, observer hookup).
     pub handler: Arc<RouterHandler>,
+    /// The router's admission gate, when the spec configured one.
+    pub admission: Option<Arc<AdmissionControl>>,
+    /// The router's retry budget, when the spec configured one.
+    pub retry_budget: Option<Arc<RetryBudget>>,
     /// All backend replicas, shard-major (`shard * replicas + replica`).
     pub replicas: Vec<ReplicaInfo>,
     /// The spec the tier was deployed from.
@@ -453,6 +555,8 @@ pub fn deploy_sharded_tier_with(
         }
     }
 
+    let admission = spec.admission.map(AdmissionControl::new);
+    let retry_budget = spec.retry_budget.map(|cfg| Arc::new(RetryBudget::new(cfg)));
     let router = ServiceSpec {
         name: parts.name,
         port: spec.router_port,
@@ -460,7 +564,9 @@ pub fn deploy_sharded_tier_with(
         handler: handler.clone(),
         downstreams,
         collector: None,
-        rpc: RpcPolicy::default(),
+        rpc: spec.rpc,
+        admission: admission.clone(),
+        retry_budget: retry_budget.clone(),
         data_bytes: parts.data_bytes,
         shared_bytes: parts.shared_bytes,
     };
@@ -471,6 +577,8 @@ pub fn deploy_sharded_tier_with(
         router_port: spec.router_port,
         router_pid,
         handler,
+        admission,
+        retry_budget,
         replicas,
         spec: spec.clone(),
     }
@@ -514,11 +622,13 @@ pub fn deploy_sharded_tier(
         ShardBackend::Redis => 1024,
     };
     let handler = Arc::new(RouterHandler::new(spec, &router_params(0x5256), response));
+    let mut parts = ServiceSpecParts::original_router();
+    parts.network = NetworkModel::EpollWorkers { workers: spec.router_workers };
     deploy_sharded_tier_with(
         cluster,
         spec,
         handler,
-        ServiceSpecParts::original_router(),
+        parts,
         &mut |_, _, shard, r| backend_spec(spec, shard, r),
         nodes,
         router_node,
@@ -616,6 +726,38 @@ mod tests {
             "hot keys hash to few shards: max {hot_max} of {hot_total}"
         );
         assert_eq!(st.spills, 0, "no in-flight pressure, no spills");
+    }
+
+    #[test]
+    fn active_replicas_bound_routing_and_reroute() {
+        let h = handler();
+        assert_eq!(h.set_active_replicas(1), 2);
+        let mut rng = SimRng::seed(12);
+        for _ in 0..200 {
+            let plan = h.plan(&mut rng);
+            let HandlerStep::Rpc { downstream, .. } = plan.steps[1] else { panic!() };
+            assert_eq!(downstream % 2, 0, "only replica 0 of each shard is active");
+            assert_eq!(h.reroute(downstream), None, "no active sibling to fail over to");
+            h.on_rpc_complete(downstream, SimTime::ZERO, SimTime::ZERO, true);
+        }
+        assert_eq!(h.set_active_replicas(9), 1, "clamped to the pool");
+        assert_eq!(h.active_replicas(), 2);
+    }
+
+    #[test]
+    fn retries_are_counted_into_amplification() {
+        let h = handler();
+        let mut rng = SimRng::seed(13);
+        for _ in 0..10 {
+            let plan = h.plan(&mut rng);
+            let HandlerStep::Rpc { downstream, .. } = plan.steps[1] else { panic!() };
+            h.on_rpc_retry(downstream);
+            h.on_rpc_retry(downstream);
+            h.on_rpc_complete(downstream, SimTime::ZERO, SimTime::ZERO, true);
+        }
+        let st = h.stats();
+        assert_eq!(st.retries, 20);
+        assert!((st.amplification() - 3.0).abs() < 1e-9, "10 routed + 20 retries");
     }
 
     #[test]

@@ -304,6 +304,8 @@ pub fn deploy_social_network_placed(
             downstreams: def.downstreams.iter().map(|d| addr_of(d)).collect(),
             collector: collector.clone(),
             rpc: RpcPolicy::default(),
+            admission: None,
+            retry_budget: None,
             data_bytes: 64 * MB,
             shared_bytes: 16 * MB,
         };

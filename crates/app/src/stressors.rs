@@ -171,6 +171,8 @@ pub fn deploy_flood_sink(cluster: &mut Cluster, node: NodeId, port: u16) {
         downstreams: Vec::new(),
         collector: None,
         rpc: RpcPolicy::default(),
+        admission: None,
+        retry_budget: None,
         data_bytes: 4096,
         shared_bytes: 4096,
     };

@@ -1,0 +1,352 @@
+//! Metastable failure and closed-loop recovery: the control-plane
+//! clone-fidelity experiment.
+//!
+//! The scenario engineers a retry storm: each shard starts with one
+//! active replica (two more provisioned but idle), and a fault plan
+//! crashes shard 0's only active replica mid-run. Every shard-0 request
+//! is then structurally doomed — the router has no sibling to steer to —
+//! so each one burns its full retry chain, and the backoff sleeps pin
+//! the router's epoll workers. Once the worker pool is exhausted the
+//! *healthy* shard collapses too: a metastable failure sustained by the
+//! retry load itself, not by the original fault.
+//!
+//! Three runs tell the story. **Uncontrolled** (no admission gate, no
+//! retry budget, no autoscaler): retry amplification exceeds 2× offered
+//! load and the tier never recovers inside the run. **Controlled**
+//! (bounded admission queue with deadline shedding, shared token-bucket
+//! retry budget, closed-loop autoscaler): the storm is contained within
+//! roughly one control interval — the autoscaler activates a standby
+//! replica and the tier returns to full availability. **Cloned**: the
+//! Ditto clone, re-assembled from role profiles with no access to the
+//! original's control internals, must reproduce the control trajectory —
+//! same scale transitions within one control interval, drop-rate curve
+//! within an absolute 10-point band, peak p99 within 10%.
+//!
+//! The controlled run must also be bit-identical (trajectory and
+//! latency histogram) across rayon pool sizes and with full
+//! observability enabled — the control loop reads only windowed integer
+//! counters, so neither threading nor instrumentation may perturb it.
+//!
+//! `--quick` (the CI smoke) runs everything except the full mode's
+//! extra uncontrolled clone, which checks the *storm itself*
+//! reproduces, not just the recovery.
+
+use std::time::Instant;
+
+use ditto_app::sharded::ShardedTierSpec;
+use ditto_app::{AdmissionConfig, RetryBudgetConfig, RpcPolicy};
+use ditto_core::scale::{ControlConfig, ControlledOutcome, ShardedTestbed, TierPipeline};
+use ditto_core::AutoscalerConfig;
+use ditto_kernel::{Fault, FaultPlan};
+use ditto_obs::ObsConfig;
+use ditto_sim::time::{SimDuration, SimTime};
+use ditto_workload::{ControlAgreement, ControlSample, Outage, ScaleEvent};
+use serde::Serialize;
+
+const SEED: u64 = 0xBEEF;
+const BAND_PCT: f64 = 10.0;
+/// Availability threshold defining a metastable episode.
+const OUTAGE_FLOOR: f64 = 0.7;
+/// Uncontrolled retry amplification the storm must reach (≥2× offered).
+const AMPLIFICATION_FLOOR: f64 = 2.0;
+
+/// The storm testbed: 2 shards × 3 provisioned replicas, one active per
+/// shard, an 8-worker router (concurrency is what lets backoff sleeps
+/// exhaust the pool), aggressive retries, and bounded-load spill
+/// disabled so the router cannot quietly divert the doomed shard's
+/// arrivals to the healthy one.
+fn bed(controlled: bool) -> ShardedTestbed {
+    let spec = ShardedTierSpec {
+        shards: 2,
+        replicas: 3,
+        initial_active: Some(1),
+        router_workers: 8,
+        rpc: RpcPolicy {
+            deadline: SimDuration::from_millis(5),
+            max_retries: 5,
+            backoff_base: SimDuration::from_millis(1),
+            backoff_cap: SimDuration::from_millis(8),
+            jitter: 0.5,
+        },
+        admission: controlled
+            .then(|| AdmissionConfig::deadline(64, SimDuration::from_millis(4))),
+        retry_budget: controlled.then(|| RetryBudgetConfig::new(100, 20)),
+        load_bound: 100.0,
+        ..ShardedTierSpec::default()
+    };
+    let mut bed = ShardedTestbed::new(spec, SEED);
+    bed.warmup = SimDuration::from_millis(20);
+    bed.qps_per_shard = 5_000.0;
+    bed.client_timeout = SimDuration::from_millis(25);
+    bed
+}
+
+fn control(controlled: bool) -> ControlConfig {
+    ControlConfig {
+        interval: SimDuration::from_millis(20),
+        intervals: 12,
+        autoscaler: controlled.then(|| AutoscalerConfig {
+            min_active: 1,
+            max_active: 3,
+            p99_high: SimDuration::from_millis(4),
+            // Scale-in disabled: the healthy prefix replica is the dead
+            // one, so any scale-in re-routes onto it and oscillates.
+            p99_low: SimDuration::ZERO,
+            shed_high_permille: 20,
+            cooldown_intervals: 1,
+        }),
+    }
+}
+
+/// Crash shard 0's only active replica at 70ms — after warmup, inside
+/// the measured window, with intervals to spare for detection and
+/// recovery.
+fn crash_plan(bed: &ShardedTestbed) -> FaultPlan {
+    FaultPlan::new(1).push(
+        SimTime::ZERO + SimDuration::from_millis(70),
+        Fault::NodeCrash { node: bed.replica_node(0, 0) },
+    )
+}
+
+#[derive(Serialize)]
+struct RunReport {
+    availability: f64,
+    peak_amplification: f64,
+    p99_peak_ms: f64,
+    rejected: u64,
+    degraded: u64,
+    timeouts: u64,
+    retries: u64,
+    outage: Option<Outage>,
+    events: Vec<ScaleEvent>,
+    samples: Vec<ControlSample>,
+}
+
+impl RunReport {
+    fn from(out: &ControlledOutcome) -> Self {
+        let total = out.trajectory.total();
+        RunReport {
+            availability: out.e2e.availability(),
+            peak_amplification: out.trajectory.peak_amplification(),
+            p99_peak_ms: total.p99_ns as f64 / 1e6,
+            rejected: total.rejected,
+            degraded: total.degraded,
+            timeouts: total.timeouts,
+            retries: total.retries,
+            outage: out.trajectory.outage(OUTAGE_FLOOR),
+            events: out.trajectory.events.clone(),
+            samples: out.trajectory.samples.clone(),
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct DeterminismReport {
+    pool_sizes: Vec<usize>,
+    replays_bit_identical: bool,
+    obs_bit_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    mode: String,
+    band_pct: f64,
+    outage_floor: f64,
+    uncontrolled: RunReport,
+    controlled: RunReport,
+    clone: RunReport,
+    agreement: ControlAgreement,
+    determinism: DeterminismReport,
+}
+
+fn dump(tag: &str, out: &ControlledOutcome) {
+    for s in &out.trajectory.samples {
+        eprintln!(
+            "[metastable] {tag} i{:2} sent {:4} recv {:4} deg {:4} rej {:4} to {:3} p99 {:6}us amp {:.2} act {} avail {:.3}",
+            s.interval,
+            s.sent,
+            s.received,
+            s.degraded,
+            s.rejected,
+            s.timeouts,
+            s.p99_ns / 1_000,
+            s.amplification(),
+            s.active_replicas,
+            s.availability()
+        );
+    }
+    eprintln!("[metastable] {tag} events {:?}", out.trajectory.events);
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let pool_sizes: Vec<usize> = vec![1, 2, 8];
+
+    // Phase A — uncontrolled: the retry storm turns metastable.
+    let t0 = Instant::now();
+    let unc_bed = bed(false);
+    let unc = unc_bed.run_original_controlled(&control(false), Some(&crash_plan(&unc_bed)));
+    dump("uncontrolled", &unc);
+    let peak_amp = unc.trajectory.peak_amplification();
+    let unc_outage = unc.trajectory.outage(OUTAGE_FLOOR);
+    eprintln!(
+        "[metastable] uncontrolled: peak amplification {peak_amp:.2}, availability {:.3}, outage {unc_outage:?}, {:.2?}",
+        unc.e2e.availability(),
+        t0.elapsed()
+    );
+    assert!(
+        peak_amp >= AMPLIFICATION_FLOOR,
+        "retry amplification {peak_amp:.2} never reached {AMPLIFICATION_FLOOR}× offered load"
+    );
+    let unc_outage = unc_outage.expect("uncontrolled run never dipped below the outage floor");
+    assert!(
+        !unc_outage.recovered,
+        "uncontrolled tier recovered on its own — the failure was not metastable: {unc_outage:?}"
+    );
+    assert!(
+        unc_outage.bad_intervals >= 2,
+        "outage too brief to call metastable: {unc_outage:?}"
+    );
+
+    // Phase B — controlled: admission + retry budget + autoscaler
+    // contain the storm and the tier recovers.
+    let t1 = Instant::now();
+    let con_bed = bed(true);
+    let con_control = control(true);
+    let con_plan = crash_plan(&con_bed);
+    let con = con_bed.run_original_controlled(&con_control, Some(&con_plan));
+    dump("controlled", &con);
+    let con_outage = con.trajectory.outage(OUTAGE_FLOOR);
+    eprintln!(
+        "[metastable] controlled: availability {:.3}, outage {con_outage:?}, events {:?}, {:.2?}",
+        con.e2e.availability(),
+        con.trajectory.events,
+        t1.elapsed()
+    );
+    if let Some(o) = con_outage {
+        assert!(o.recovered, "controlled tier failed to recover: {o:?}");
+    }
+    assert!(
+        con.trajectory.events.iter().any(|e| e.to > e.from),
+        "autoscaler never scaled out under the storm"
+    );
+    let last = con.trajectory.samples.last().expect("controlled run has samples");
+    assert!(
+        last.availability() >= 0.97,
+        "controlled tier ended degraded: final-interval availability {:.3}",
+        last.availability()
+    );
+    assert!(
+        con.e2e.availability() > unc.e2e.availability(),
+        "control plane did not improve availability ({:.3} vs {:.3})",
+        con.e2e.availability(),
+        unc.e2e.availability()
+    );
+
+    // Phase C — clone fidelity: profile the roles on the healthy tier,
+    // re-assemble the clone, and drive it through the identical storm.
+    let t2 = Instant::now();
+    let (_, roles) = con_bed.profile_roles();
+    let clone = con_bed.run_clone_controlled(&TierPipeline::new(), &roles, &con_control, Some(&con_plan));
+    dump("clone", &clone);
+    let agreement = con.trajectory.compare(&clone.trajectory);
+    eprintln!("[metastable] clone agreement {agreement:?}, {:.2?}", t2.elapsed());
+    assert!(
+        agreement.scale_events_aligned,
+        "clone's scale events diverged from the original: {:?} vs {:?}",
+        con.trajectory.events,
+        clone.trajectory.events
+    );
+    assert!(agreement.max_scale_skew <= 1, "scale events skewed {} intervals", agreement.max_scale_skew);
+    assert!(
+        agreement.within(BAND_PCT),
+        "clone control trajectory outside the {BAND_PCT}% band: {agreement:?}"
+    );
+
+    // Full mode: the uncontrolled *storm* must clone too, not just the
+    // recovery — same metastable signature through the same band.
+    if !quick {
+        let t = Instant::now();
+        let unc_clone =
+            unc_bed.run_clone_controlled(&TierPipeline::new(), &roles, &control(false), Some(&crash_plan(&unc_bed)));
+        let storm_agree = unc.trajectory.compare(&unc_clone.trajectory);
+        let storm_outage = unc_clone.trajectory.outage(OUTAGE_FLOOR);
+        eprintln!(
+            "[metastable] uncontrolled clone: peak amp {:.2}, outage {storm_outage:?}, agreement {storm_agree:?}, {:.2?}",
+            unc_clone.trajectory.peak_amplification(),
+            t.elapsed()
+        );
+        assert!(
+            unc_clone.trajectory.peak_amplification() >= AMPLIFICATION_FLOOR,
+            "cloned storm lost its retry amplification"
+        );
+        assert!(
+            storm_outage.is_some_and(|o| !o.recovered),
+            "cloned uncontrolled run did not reproduce the metastable episode: {storm_outage:?}"
+        );
+        assert!(
+            storm_agree.within(BAND_PCT),
+            "cloned storm trajectory outside the {BAND_PCT}% band: {storm_agree:?}"
+        );
+    }
+
+    // Phase D — determinism: the controlled run is bit-identical
+    // (trajectory + histogram) across rayon pool sizes and with full
+    // observability collection enabled.
+    let t3 = Instant::now();
+    let mut replays_ok = true;
+    for &threads in &pool_sizes {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build thread pool");
+        let replay = pool.install(|| con_bed.run_original_controlled(&con_control, Some(&con_plan)));
+        assert_eq!(
+            replay.trajectory, con.trajectory,
+            "control trajectory diverged inside a {threads}-thread pool"
+        );
+        assert_eq!(
+            replay.histogram, con.histogram,
+            "latency histogram diverged inside a {threads}-thread pool"
+        );
+        replays_ok &= replay.trajectory == con.trajectory && replay.histogram == con.histogram;
+    }
+    let mut obs_bed = bed(true);
+    obs_bed.obs = ObsConfig::full();
+    let obs_run = obs_bed.run_original_controlled(&con_control, Some(&con_plan));
+    assert!(obs_run.obs.is_some(), "full observability produced no report");
+    assert_eq!(
+        obs_run.trajectory, con.trajectory,
+        "observability collection perturbed the control trajectory"
+    );
+    assert_eq!(
+        obs_run.histogram, con.histogram,
+        "observability collection perturbed the latency histogram"
+    );
+    eprintln!(
+        "[metastable] determinism: pools {pool_sizes:?} + obs replays bit-identical, {:.2?}",
+        t3.elapsed()
+    );
+
+    let report = Report {
+        bench: "fig_metastable".into(),
+        mode: if quick { "quick" } else { "full" }.into(),
+        band_pct: BAND_PCT,
+        outage_floor: OUTAGE_FLOOR,
+        uncontrolled: RunReport::from(&unc),
+        controlled: RunReport::from(&con),
+        clone: RunReport::from(&clone),
+        agreement,
+        determinism: DeterminismReport {
+            pool_sizes,
+            replays_bit_identical: replays_ok,
+            obs_bit_identical: true,
+        },
+    };
+    let out_path = std::env::var("BENCH_CONTROL_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_control.json", env!("CARGO_MANIFEST_DIR")));
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_control.json");
+    eprintln!("[metastable] wrote {out_path}");
+}

@@ -86,6 +86,8 @@ fn stressor_service(port: u16) -> ServiceSpec {
         downstreams: Vec::new(),
         collector: None,
         rpc: RpcPolicy::default(),
+        admission: None,
+        retry_budget: None,
         data_bytes: 4 << 20,
         shared_bytes: 4 << 20,
     }

@@ -8,11 +8,14 @@
 use std::sync::Mutex;
 
 use ditto_app::sharded::ShardedTierSpec;
+use ditto_app::{AdmissionConfig, RetryBudgetConfig, RpcPolicy};
 use ditto_bench::AppId;
 use ditto_core::harness::{RunOutcome, Testbed};
-use ditto_core::scale::{ShardedOutcome, ShardedTestbed};
+use ditto_core::scale::{ControlConfig, ControlledOutcome, ShardedOutcome, ShardedTestbed};
+use ditto_core::AutoscalerConfig;
 use ditto_hw::core_model::set_fastpath_enabled;
-use ditto_sim::time::SimDuration;
+use ditto_kernel::{Fault, FaultPlan};
+use ditto_sim::time::{SimDuration, SimTime};
 
 /// Serializes tests that flip the process-global fast-path switch.
 static FASTPATH_SWITCH: Mutex<()> = Mutex::new(());
@@ -131,4 +134,81 @@ fn sharded_tier_fast_and_slow_paths_agree() {
 
     assert!(fast.fastforward_iterations > 0, "sharded: fast path never engaged");
     assert_eq!(slow.fastforward_iterations, 0, "sharded: fast path engaged while disabled");
+}
+
+/// A small closed-loop storm: one active replica per shard, the active
+/// shard-0 replica crashed mid-run, admission + retry budget on, and an
+/// autoscaler that activates the standby. Exercises the control plane's
+/// chaos paths (shedding, budget-spent degrades, a scale event) so the
+/// differential covers decisions, not just steady state.
+fn run_controlled(fast: bool) -> ControlledOutcome {
+    let spec = ShardedTierSpec {
+        shards: 2,
+        replicas: 2,
+        initial_active: Some(1),
+        router_workers: 4,
+        rpc: RpcPolicy {
+            deadline: SimDuration::from_millis(5),
+            max_retries: 3,
+            backoff_base: SimDuration::from_millis(1),
+            backoff_cap: SimDuration::from_millis(4),
+            jitter: 0.5,
+        },
+        admission: Some(AdmissionConfig::deadline(32, SimDuration::from_millis(4))),
+        retry_budget: Some(RetryBudgetConfig::new(100, 10)),
+        load_bound: 100.0,
+        ..ShardedTierSpec::default()
+    };
+    let mut bed = ShardedTestbed::new(spec, 0xD1FF_C701);
+    bed.warmup = SimDuration::from_millis(20);
+    bed.qps_per_shard = 2_000.0;
+    bed.client_timeout = SimDuration::from_millis(25);
+    let control = ControlConfig {
+        interval: SimDuration::from_millis(20),
+        intervals: 6,
+        autoscaler: Some(AutoscalerConfig {
+            min_active: 1,
+            max_active: 2,
+            p99_high: SimDuration::from_millis(4),
+            p99_low: SimDuration::ZERO,
+            shed_high_permille: 20,
+            cooldown_intervals: 1,
+        }),
+    };
+    let plan = FaultPlan::new(7).push(
+        SimTime::ZERO + SimDuration::from_millis(50),
+        Fault::NodeCrash { node: bed.replica_node(0, 0) },
+    );
+    set_fastpath_enabled(fast);
+    let out = bed.run_original_controlled(&control, Some(&plan));
+    set_fastpath_enabled(true);
+    out
+}
+
+/// The controlled (closed-loop) run must be byte-identical with
+/// fast-forwarding on and off: the full control trajectory (per-interval
+/// samples and scale events), histogram, routing decisions, and the
+/// admission/budget counters all replay exactly.
+#[test]
+fn controlled_tier_fast_and_slow_paths_agree() {
+    let _guard = FASTPATH_SWITCH.lock().unwrap_or_else(|e| e.into_inner());
+    let fast = run_controlled(true);
+    let slow = run_controlled(false);
+
+    assert_eq!(fast.trajectory, slow.trajectory, "controlled: trajectory diverged");
+    assert_eq!(fast.histogram, slow.histogram, "controlled: e2e histogram diverged");
+    assert_eq!(fast.router, slow.router, "controlled: routing decisions diverged");
+    assert_eq!(fast.admission, slow.admission, "controlled: admission counters diverged");
+    assert_eq!(fast.budget, slow.budget, "controlled: retry-budget counters diverged");
+
+    // Non-vacuity: the crash forced the control plane to act.
+    let total = fast.trajectory.total();
+    assert!(
+        total.rejected + total.degraded > 0,
+        "controlled: the storm never made the gate or budget act"
+    );
+    assert!(!fast.trajectory.events.is_empty(), "controlled: autoscaler never scaled");
+
+    assert!(fast.fastforward_iterations > 0, "controlled: fast path never engaged");
+    assert_eq!(slow.fastforward_iterations, 0, "controlled: fast path engaged while disabled");
 }

@@ -10,14 +10,17 @@
 //! no events, so switching it on cannot perturb any measured output.
 
 use ditto_app::sharded::ShardedTierSpec;
+use ditto_app::{AdmissionConfig, RetryBudgetConfig, RpcPolicy};
 use ditto_bench::social_experiment::{run_original, run_original_traced};
 use ditto_bench::AppId;
 use ditto_core::harness::{RunOutcome, Testbed};
-use ditto_core::scale::{ShardedOutcome, ShardedTestbed};
+use ditto_core::scale::{ControlConfig, ControlledOutcome, ShardedOutcome, ShardedTestbed};
+use ditto_core::AutoscalerConfig;
 use ditto_hw::platform::PlatformSpec;
+use ditto_kernel::{Fault, FaultPlan};
 use ditto_obs::trace::validate_chrome_trace;
 use ditto_obs::ObsConfig;
-use ditto_sim::time::SimDuration;
+use ditto_sim::time::{SimDuration, SimTime};
 
 fn bed(app: AppId, obs: ObsConfig) -> Testbed {
     // A shorter window than the default keeps the 8-run suite fast; the
@@ -138,6 +141,89 @@ fn sharded_tier_is_identical_with_observability_on() {
         .expect("sharded tier trace must validate");
     assert_eq!(stats.begins, stats.ends, "sharded: unbalanced spans");
     assert!(stats.events > 0, "sharded: trace has no events");
+}
+
+/// A small closed-loop storm (one active replica per shard, the active
+/// shard-0 replica crashed mid-run, admission + budget + autoscaler on)
+/// under the given observability config — the same scenario as the
+/// fast-path differential's controlled case.
+fn run_controlled(obs: ObsConfig) -> ControlledOutcome {
+    let spec = ShardedTierSpec {
+        shards: 2,
+        replicas: 2,
+        initial_active: Some(1),
+        router_workers: 4,
+        rpc: RpcPolicy {
+            deadline: SimDuration::from_millis(5),
+            max_retries: 3,
+            backoff_base: SimDuration::from_millis(1),
+            backoff_cap: SimDuration::from_millis(4),
+            jitter: 0.5,
+        },
+        admission: Some(AdmissionConfig::deadline(32, SimDuration::from_millis(4))),
+        retry_budget: Some(RetryBudgetConfig::new(100, 10)),
+        load_bound: 100.0,
+        ..ShardedTierSpec::default()
+    };
+    let mut bed = ShardedTestbed::new(spec, 0x0B5_C701);
+    bed.warmup = SimDuration::from_millis(20);
+    bed.qps_per_shard = 2_000.0;
+    bed.client_timeout = SimDuration::from_millis(25);
+    bed.obs = obs;
+    let control = ControlConfig {
+        interval: SimDuration::from_millis(20),
+        intervals: 6,
+        autoscaler: Some(AutoscalerConfig {
+            min_active: 1,
+            max_active: 2,
+            p99_high: SimDuration::from_millis(4),
+            p99_low: SimDuration::ZERO,
+            shed_high_permille: 20,
+            cooldown_intervals: 1,
+        }),
+    };
+    let plan = FaultPlan::new(7).push(
+        SimTime::ZERO + SimDuration::from_millis(50),
+        Fault::NodeCrash { node: bed.replica_node(0, 0) },
+    );
+    bed.run_original_controlled(&control, Some(&plan))
+}
+
+/// The closed-loop run under full observability: the control trajectory
+/// — every per-interval sample and every scale decision — plus the
+/// histogram and the admission/budget counters stay byte-identical to
+/// the untraced run. Control decisions feed back into routing, so one
+/// perturbed sample would cascade; this pins that instrumentation can
+/// never steer the controller.
+#[test]
+fn controlled_tier_is_identical_with_observability_on() {
+    let off = run_controlled(ObsConfig::default());
+    let on = run_controlled(ObsConfig::full());
+
+    assert_eq!(off.trajectory, on.trajectory, "controlled: trajectory diverged with obs on");
+    assert_eq!(off.histogram, on.histogram, "controlled: e2e histogram diverged");
+    assert_eq!(off.router, on.router, "controlled: routing decisions diverged");
+    assert_eq!(off.admission, on.admission, "controlled: admission counters diverged");
+    assert_eq!(off.budget, on.budget, "controlled: retry-budget counters diverged");
+    assert_eq!(
+        off.fastforward_iterations, on.fastforward_iterations,
+        "controlled: fast-path engagement diverged with obs on"
+    );
+
+    // Non-vacuity: the crash forced the control plane to act.
+    let total = off.trajectory.total();
+    assert!(
+        total.rejected + total.degraded > 0,
+        "controlled: the storm never made the gate or budget act"
+    );
+    assert!(!off.trajectory.events.is_empty(), "controlled: autoscaler never scaled");
+
+    assert!(off.obs.is_none(), "controlled: disabled run produced a report");
+    let report = on.obs.expect("controlled instrumented run must produce a report");
+    assert!(!report.trace.is_empty(), "controlled: trace is empty");
+    let stats = validate_chrome_trace(&report.trace.to_chrome_json())
+        .expect("controlled tier trace must validate");
+    assert_eq!(stats.begins, stats.ends, "controlled: unbalanced spans");
 }
 
 /// The multi-tier Social Network run under full observability: measured

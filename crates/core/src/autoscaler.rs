@@ -1,0 +1,186 @@
+//! The closed-loop autoscaler.
+//!
+//! A deliberately small, deterministic controller in the style of a
+//! production horizontal autoscaler: at every control-interval close it
+//! reads the interval's windowed client-side observations (p99, shed and
+//! timeout counts) and moves the sharded tier's per-shard active-replica
+//! count one step at a time within `[min_active, max_active]`. Scaling
+//! reuses [`ditto_app::RouterHandler::set_active_replicas`]'s
+//! topology-stable contract — the extra replicas are deployed and idle
+//! from time zero — so a scale event changes routing, never node layout,
+//! and the clone can reproduce the decision sequence exactly.
+//!
+//! Determinism contract: decisions are pure integer comparisons on raw
+//! interval counters plus the controller's own cooldown state. No
+//! floats, no RNG, no wall clock — two runs that observe identical
+//! samples make identical decisions.
+
+use ditto_sim::time::SimDuration;
+use ditto_workload::ControlSample;
+
+/// Autoscaler thresholds and bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoscalerConfig {
+    /// Lower bound on active replicas per shard.
+    pub min_active: u32,
+    /// Upper bound on active replicas per shard (≤ provisioned pool).
+    pub max_active: u32,
+    /// Scale out when the interval's p99 exceeds this.
+    pub p99_high: SimDuration,
+    /// Scale in only when the interval's p99 is below this.
+    pub p99_low: SimDuration,
+    /// Scale out when shed requests exceed this many per mille of
+    /// completed attempts.
+    pub shed_high_permille: u64,
+    /// Intervals to hold still after any scale decision.
+    pub cooldown_intervals: u32,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        AutoscalerConfig {
+            min_active: 1,
+            max_active: u32::MAX,
+            p99_high: SimDuration::from_millis(2),
+            p99_low: SimDuration::from_micros(500),
+            shed_high_permille: 50,
+            cooldown_intervals: 1,
+        }
+    }
+}
+
+/// The controller: config plus cooldown state.
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    cfg: AutoscalerConfig,
+    cooldown: u32,
+}
+
+impl Autoscaler {
+    /// A controller with no cooldown pending.
+    pub fn new(cfg: AutoscalerConfig) -> Self {
+        Autoscaler { cfg, cooldown: 0 }
+    }
+
+    /// The configuration the controller runs under.
+    pub fn config(&self) -> AutoscalerConfig {
+        self.cfg
+    }
+
+    /// Whether the interval shows overload: tail latency through the
+    /// ceiling, or a meaningful fraction of load shed *or* degraded.
+    /// Degraded responses count because a tier that has burned its
+    /// retry budget fails fast and cheap — latency and queue depth look
+    /// healthy while goodput is gone, and capacity is the only cure.
+    fn overloaded(&self, s: &ControlSample) -> bool {
+        s.p99_ns > self.cfg.p99_high.as_nanos()
+            || (s.rejected + s.degraded) * 1_000 > self.cfg.shed_high_permille * s.attempts()
+    }
+
+    /// Whether the interval is comfortably idle: low tail, nothing
+    /// shed, degraded, or timing out.
+    fn idle(&self, s: &ControlSample) -> bool {
+        s.p99_ns > 0
+            && s.p99_ns < self.cfg.p99_low.as_nanos()
+            && s.rejected == 0
+            && s.degraded == 0
+            && s.timeouts == 0
+    }
+
+    /// One control decision: given the active count the interval ran at
+    /// and its sample, returns the count for the next interval. Moves at
+    /// most one step; holds during cooldown.
+    pub fn decide(&mut self, current: u32, sample: &ControlSample) -> u32 {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return current;
+        }
+        if self.overloaded(sample) && current < self.cfg.max_active {
+            self.cooldown = self.cfg.cooldown_intervals;
+            return current + 1;
+        }
+        if self.idle(sample) && current > self.cfg.min_active {
+            self.cooldown = self.cfg.cooldown_intervals;
+            return current - 1;
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AutoscalerConfig {
+        AutoscalerConfig {
+            min_active: 1,
+            max_active: 3,
+            p99_high: SimDuration::from_nanos(10_000),
+            p99_low: SimDuration::from_nanos(2_000),
+            shed_high_permille: 50,
+            cooldown_intervals: 1,
+        }
+    }
+
+    fn sample(p99_ns: u64, received: u64, rejected: u64) -> ControlSample {
+        ControlSample { p99_ns, received, rejected, ..Default::default() }
+    }
+
+    #[test]
+    fn scales_out_on_high_p99_and_respects_cooldown_and_max() {
+        let mut a = Autoscaler::new(cfg());
+        let hot = sample(50_000, 100, 0);
+        assert_eq!(a.decide(1, &hot), 2, "tail over ceiling: scale out");
+        assert_eq!(a.decide(2, &hot), 2, "cooldown holds");
+        assert_eq!(a.decide(2, &hot), 3);
+        assert_eq!(a.decide(3, &hot), 3, "cooldown again");
+        assert_eq!(a.decide(3, &hot), 3, "capped at max_active");
+    }
+
+    #[test]
+    fn scales_out_on_shed_fraction() {
+        let mut a = Autoscaler::new(cfg());
+        // 6% shed > 5% threshold, even with a healthy p99.
+        assert_eq!(a.decide(1, &sample(1_000, 94, 6)), 2);
+        // 4% shed with low p99 is not overload — but shedding at all
+        // blocks scale-in, so the controller holds.
+        let mut b = Autoscaler::new(cfg());
+        assert_eq!(b.decide(2, &sample(1_000, 96, 4)), 2);
+    }
+
+    #[test]
+    fn scales_in_only_when_fully_idle_and_respects_min() {
+        let mut a = Autoscaler::new(cfg());
+        assert_eq!(a.decide(2, &sample(1_000, 100, 0)), 1, "idle: scale in");
+        assert_eq!(a.decide(1, &sample(1_000, 100, 0)), 1, "cooldown");
+        assert_eq!(a.decide(1, &sample(1_000, 100, 0)), 1, "floor at min_active");
+        // A single timeout blocks scale-in.
+        let mut b = Autoscaler::new(cfg());
+        let mut s = sample(1_000, 100, 0);
+        s.timeouts = 1;
+        assert_eq!(b.decide(2, &s), 2);
+        // An empty interval (p99 == 0: no samples) holds rather than
+        // scaling in blind.
+        let mut c = Autoscaler::new(cfg());
+        assert_eq!(c.decide(2, &sample(0, 0, 0)), 2);
+    }
+
+    #[test]
+    fn identical_sample_streams_make_identical_decisions() {
+        let stream: Vec<ControlSample> = (0..20)
+            .map(|i| sample(if i % 3 == 0 { 50_000 } else { 1_000 }, 100, u64::from(i % 4 == 1)))
+            .collect();
+        let run = || {
+            let mut a = Autoscaler::new(cfg());
+            let mut active = 1;
+            stream
+                .iter()
+                .map(|s| {
+                    active = a.decide(active, s);
+                    active
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -118,6 +118,8 @@ impl Ditto {
             downstreams: Vec::new(),
             collector: None,
             rpc: RpcPolicy::default(),
+            admission: None,
+            retry_budget: None,
             data_bytes,
             shared_bytes: data_bytes,
         }
@@ -207,6 +209,8 @@ impl Ditto {
                 downstreams,
                 collector: collector.clone(),
                 rpc: RpcPolicy::default(),
+                admission: None,
+                retry_budget: None,
                 data_bytes,
                 shared_bytes: data_bytes,
             };

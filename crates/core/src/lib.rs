@@ -17,6 +17,7 @@
 //! [`stages::GeneratorStages`] gates each mechanism for the accuracy
 //! decomposition of Figure 9.
 
+pub mod autoscaler;
 pub mod body_gen;
 pub mod clone;
 pub mod fleet;
@@ -26,6 +27,7 @@ pub mod skeleton;
 pub mod stages;
 pub mod tuner;
 
+pub use autoscaler::{Autoscaler, AutoscalerConfig};
 pub use body_gen::{generate_body_params, GeneratorConfig, TuneKnobs};
 pub use clone::Ditto;
 pub use fleet::{
@@ -34,8 +36,8 @@ pub use fleet::{
 };
 pub use harness::{LoadKind, RunOutcome, Testbed};
 pub use scale::{
-    clone_router_response_bytes, deploy_cloned_tier, RoleProfiles, ShardedOutcome, ShardedTestbed,
-    TierPipeline,
+    clone_router_response_bytes, deploy_cloned_tier, ControlConfig, ControlledOutcome,
+    RoleProfiles, ShardedOutcome, ShardedTestbed, TierPipeline,
 };
 pub use skeleton::generate_network_model;
 pub use stages::GeneratorStages;

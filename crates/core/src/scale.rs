@@ -13,6 +13,8 @@
 
 use std::sync::Arc;
 
+use ditto_app::admission::AdmissionStats;
+use ditto_app::resilience::RetryBudgetStats;
 use ditto_app::sharded::{
     deploy_sharded_tier, deploy_sharded_tier_with, RouterHandler, RouterStats, ServiceSpecParts,
     ShardedTier, ShardedTierSpec, ROUTER_RPC_BYTES,
@@ -23,8 +25,11 @@ use ditto_obs::{selfprof, ObsConfig, ObsReport, ObsSink};
 use ditto_profile::{AppProfile, MetricSet, Profiler};
 use ditto_sim::stats::LatencyHistogram;
 use ditto_sim::time::SimDuration;
-use ditto_workload::{LoadSummary, OpenLoopConfig, TierRecorder};
+use ditto_workload::{
+    ControlSample, ControlTrajectory, LoadAggregate, LoadSummary, OpenLoopConfig, TierRecorder,
+};
 
+use crate::autoscaler::{Autoscaler, AutoscalerConfig};
 use crate::body_gen::generate_body_params;
 use crate::clone::Ditto;
 use crate::harness::{LoadKind, Testbed};
@@ -104,6 +109,12 @@ pub struct ShardedTestbed {
     pub qps_per_shard: f64,
     /// Client connections to the router.
     pub connections: usize,
+    /// Client-side request deadline: a request outstanding longer than
+    /// this is recorded as a timeout. The default (1 s) effectively never
+    /// fires inside a millisecond-scale window; chaos scenarios tighten
+    /// it so a collapsed tier shows up as lost availability rather than
+    /// as silence.
+    pub client_timeout: SimDuration,
     /// Observability configuration (off by default; measured outputs are
     /// byte-identical either way).
     pub obs: ObsConfig,
@@ -112,6 +123,54 @@ pub struct ShardedTestbed {
 /// Deploys a tier (original or cloned) onto the prepared cluster:
 /// `(cluster, spec, replica_nodes, router_node) -> tier`.
 type TierDeployFn<'a> = dyn FnMut(&mut Cluster, &ShardedTierSpec, &[NodeId], NodeId) -> ShardedTier + 'a;
+
+/// Shape of a closed-loop (controlled) run: the measurement phase is
+/// split into `intervals` windows of `interval` each; at every window
+/// close the harness samples the tier and, when an autoscaler is
+/// configured, lets it move the active-replica count.
+#[derive(Debug, Clone, Copy)]
+pub struct ControlConfig {
+    /// Control interval length.
+    pub interval: SimDuration,
+    /// Number of control intervals (total window = `intervals × interval`).
+    pub intervals: u32,
+    /// Autoscaler, or `None` for a fixed active-replica count.
+    pub autoscaler: Option<AutoscalerConfig>,
+}
+
+impl ControlConfig {
+    /// `intervals` windows of `interval`, no autoscaler.
+    pub fn new(interval: SimDuration, intervals: u32) -> Self {
+        ControlConfig { interval, intervals, autoscaler: None }
+    }
+
+    /// Total measured time.
+    pub fn total_window(&self) -> SimDuration {
+        SimDuration::from_nanos(self.interval.as_nanos() * u64::from(self.intervals))
+    }
+}
+
+/// The measured outcome of one controlled run.
+#[derive(Debug, Clone)]
+pub struct ControlledOutcome {
+    /// Whole-run client-facing load summary (exact aggregate of the
+    /// per-interval windows).
+    pub e2e: LoadSummary,
+    /// Whole-run bucket-exact end-to-end latency histogram.
+    pub histogram: LatencyHistogram,
+    /// The control trajectory: one sample per interval plus scale events.
+    pub trajectory: ControlTrajectory,
+    /// Router placement statistics at the end of the run.
+    pub router: RouterStats,
+    /// Admission-gate statistics, when the spec configured a gate.
+    pub admission: Option<AdmissionStats>,
+    /// Retry-budget statistics, when the spec configured a budget.
+    pub budget: Option<RetryBudgetStats>,
+    /// Instructions replayed analytically by the fast path.
+    pub fastforward_iterations: u64,
+    /// Observability report, when [`ShardedTestbed::obs`] enabled any.
+    pub obs: Option<ObsReport>,
+}
 
 impl ShardedTestbed {
     /// A tier of platform-A machines driven from a platform-C client.
@@ -126,6 +185,7 @@ impl ShardedTestbed {
             window: SimDuration::from_millis(200),
             qps_per_shard: 2_000.0,
             connections,
+            client_timeout: SimDuration::from_millis(1_000),
             obs: ObsConfig::default(),
         }
     }
@@ -192,6 +252,31 @@ impl ShardedTestbed {
         plan: &FaultPlan,
     ) -> ShardedOutcome {
         self.run_tier(false, Some(plan), &mut |cluster, spec, nodes, router| {
+            deploy_cloned_tier(pipeline, roles, cluster, spec, nodes, router)
+        })
+    }
+
+    /// Runs the original tier under closed-loop control (autoscaler,
+    /// per-interval sampling), optionally with a chaos plan.
+    pub fn run_original_controlled(
+        &self,
+        control: &ControlConfig,
+        faults: Option<&FaultPlan>,
+    ) -> ControlledOutcome {
+        self.run_tier_controlled(control, faults, &mut |cluster, spec, nodes, router| {
+            deploy_sharded_tier(cluster, spec, nodes, router)
+        })
+    }
+
+    /// Runs the cloned tier under the same closed-loop control.
+    pub fn run_clone_controlled(
+        &self,
+        pipeline: &TierPipeline,
+        roles: &RoleProfiles,
+        control: &ControlConfig,
+        faults: Option<&FaultPlan>,
+    ) -> ControlledOutcome {
+        self.run_tier_controlled(control, faults, &mut |cluster, spec, nodes, router| {
             deploy_cloned_tier(pipeline, roles, cluster, spec, nodes, router)
         })
     }
@@ -275,6 +360,7 @@ impl ShardedTestbed {
 
         let mut cfg = OpenLoopConfig::new(router_node, tier.router_port, self.total_qps());
         cfg.connections = self.connections;
+        cfg.timeout = self.client_timeout;
         cfg.spawn(&mut cluster, client_node, recorder.tier());
         cluster.run_for(self.warmup);
 
@@ -320,6 +406,118 @@ impl ShardedTestbed {
             router: tier.handler.stats(),
             router_metrics,
             profiles,
+            fastforward_iterations: cluster.fastforward_iterations(),
+            obs,
+        }
+    }
+
+    /// The closed-loop variant of [`ShardedTestbed::run_tier`]: identical
+    /// deployment, warmup and load, but the measurement phase steps one
+    /// control interval at a time. At each interval close the harness
+    /// snapshots the windowed client summary plus the router/admission
+    /// deltas into a [`ControlSample`], then (when configured) lets the
+    /// [`Autoscaler`] move the active-replica count — a topology-stable
+    /// scale event on [`RouterHandler::set_active_replicas`]. The control
+    /// loop lives *outside* simulated time: decisions land exactly on
+    /// interval boundaries, so the decision sequence depends only on the
+    /// deterministic samples, never on host scheduling.
+    fn run_tier_controlled(
+        &self,
+        control: &ControlConfig,
+        faults: Option<&FaultPlan>,
+        deploy: &mut TierDeployFn<'_>,
+    ) -> ControlledOutcome {
+        let pool = self.spec.pool_size() as usize;
+        let router_node = NodeId(pool as u32);
+        let client_node = NodeId(pool as u32 + 1);
+        let sink = ObsSink::new(&self.obs);
+        if self.obs.self_profile {
+            selfprof::set_enabled(true);
+        }
+        let mut machines = vec![self.platform.clone(); pool + 1];
+        machines.push(self.client.clone());
+        let mut cluster = Cluster::new(machines, self.seed);
+        cluster.set_obs(sink.clone());
+
+        let backend_nodes: Vec<NodeId> = (0..pool as u32).map(NodeId).collect();
+        let tier = deploy(&mut cluster, &self.spec, &backend_nodes, router_node);
+
+        let recorder = TierRecorder::new(&tier.shard_names());
+        tier.handler.set_observer(recorder.observer());
+
+        cluster.run_for(SimDuration::from_millis(10));
+        if let Some(plan) = faults {
+            cluster.install_faults(plan);
+        }
+
+        let mut cfg = OpenLoopConfig::new(router_node, tier.router_port, self.total_qps());
+        cfg.connections = self.connections;
+        cfg.timeout = self.client_timeout;
+        cfg.spawn(&mut cluster, client_node, recorder.tier());
+        cluster.run_for(self.warmup);
+
+        let mut scaler = control.autoscaler.map(Autoscaler::new);
+        let mut trajectory = ControlTrajectory::new(control.interval);
+        let mut agg = LoadAggregate::new();
+        let mut active = tier.handler.active_replicas();
+        let (mut prev_routed, mut prev_retries) = {
+            let rs = tier.handler.stats();
+            (rs.total_routed(), rs.retries)
+        };
+        for i in 0..control.intervals {
+            recorder.start_window(cluster.now());
+            cluster.run_for(control.interval);
+            recorder.end_window(cluster.now());
+            let s = recorder.summary(control.interval);
+            agg.add(&s, &recorder.tier().histogram(), control.interval);
+
+            let rs = tier.handler.stats();
+            let adm = tier.admission.as_ref().map(|a| a.stats());
+            let sample = ControlSample {
+                interval: i,
+                end_ns: cluster.now().as_nanos(),
+                sent: s.sent,
+                received: s.received,
+                degraded: s.degraded,
+                rejected: s.rejected,
+                timeouts: s.timeouts,
+                errors: s.errors,
+                p99_ns: s.latency.p99.as_nanos(),
+                queue_depth: adm.map(|a| a.depth).unwrap_or(0),
+                depth_peak: adm.map(|a| a.depth_peak).unwrap_or(0),
+                retries: rs.retries - prev_retries,
+                routed: rs.total_routed() - prev_routed,
+                active_replicas: active,
+            };
+            prev_retries = rs.retries;
+            prev_routed = rs.total_routed();
+            trajectory.push(sample);
+
+            if let Some(scaler) = &mut scaler {
+                let next = scaler.decide(active, &sample);
+                if next != active {
+                    tier.handler.set_active_replicas(next);
+                    trajectory.note_scale(i, cluster.now(), active, next);
+                    active = next;
+                }
+            }
+        }
+
+        let obs = sink.finish().map(|mut r| {
+            r.stages = selfprof::take_report();
+            r
+        });
+        if self.obs.self_profile {
+            selfprof::set_enabled(false);
+        }
+
+        ControlledOutcome {
+            e2e: agg.summary(),
+            histogram: agg.histogram().clone(),
+            trajectory,
+            router: tier.handler.stats(),
+            admission: tier.admission.as_ref().map(|a| a.stats()),
+            budget: tier.retry_budget.as_ref().map(|b| b.stats()),
             fastforward_iterations: cluster.fastforward_iterations(),
             obs,
         }
@@ -435,6 +633,60 @@ mod tests {
         assert!(out.e2e.received > 50, "clone served {} requests", out.e2e.received);
         assert_eq!(out.e2e.degraded, 0);
         assert!(out.router.total_routed() > 0);
+    }
+
+    #[test]
+    fn controlled_run_samples_intervals_and_replays_bit_identically() {
+        use ditto_app::admission::AdmissionConfig;
+        use ditto_app::resilience::RetryBudgetConfig;
+        let run = || {
+            let spec = ShardedTierSpec {
+                shards: 2,
+                replicas: 2,
+                initial_active: Some(1),
+                admission: Some(AdmissionConfig::drop_tail(256)),
+                retry_budget: Some(RetryBudgetConfig::new(2_000, 100)),
+                ..ShardedTierSpec::default()
+            };
+            let mut bed = ShardedTestbed::new(spec, 45);
+            bed.warmup = SimDuration::from_millis(20);
+            bed.qps_per_shard = 1_500.0;
+            let control = ControlConfig {
+                interval: SimDuration::from_millis(20),
+                intervals: 4,
+                // p99_high at one nanosecond: every interval reads as
+                // overloaded, so the scale-out schedule is known exactly
+                // (out at interval 0, cooldown at 1, capped after).
+                autoscaler: Some(AutoscalerConfig {
+                    min_active: 1,
+                    max_active: 2,
+                    p99_high: SimDuration::from_nanos(1),
+                    p99_low: SimDuration::ZERO,
+                    shed_high_permille: 1_000,
+                    cooldown_intervals: 1,
+                }),
+            };
+            bed.run_original_controlled(&control, None)
+        };
+        let out = run();
+        assert_eq!(out.trajectory.samples.len(), 4, "one sample per interval");
+        assert!(out.e2e.received > 50, "tier served {}", out.e2e.received);
+        assert_eq!(
+            out.trajectory.events.len(),
+            1,
+            "single scale-out 1→2: {:?}",
+            out.trajectory.events
+        );
+        let ev = out.trajectory.events[0];
+        assert_eq!((ev.interval, ev.from, ev.to), (0, 1, 2));
+        assert_eq!(out.trajectory.samples[0].active_replicas, 1);
+        assert_eq!(out.trajectory.samples[1].active_replicas, 2);
+        assert_eq!(out.router.active_replicas, 2);
+        assert!(out.admission.is_some() && out.budget.is_some());
+        // The trajectory is raw counts: a replay must be bit-identical.
+        let again = run();
+        assert_eq!(out.trajectory, again.trajectory);
+        assert_eq!(out.histogram, again.histogram);
     }
 
     #[test]

@@ -23,7 +23,8 @@ pub struct MsgMeta {
     /// Parent span id within the trace.
     pub span_id: u64,
     /// Response status: 0 = ok, 1 = degraded (partial result under
-    /// failure), 2 = error. Requests carry 0.
+    /// failure), 2 = error, 3 = rejected by admission control (load
+    /// shed before any work was done). Requests carry 0.
     pub status: u8,
 }
 
@@ -34,6 +35,10 @@ impl MsgMeta {
     pub const STATUS_DEGRADED: u8 = 1;
     /// Status value for an error response.
     pub const STATUS_ERROR: u8 = 2;
+    /// Status value for a response shed by admission control: the
+    /// request was turned away at the service's front door (bounded
+    /// queue full or deadline-infeasible) without executing its plan.
+    pub const STATUS_REJECTED: u8 = 3;
 }
 
 /// A message queued on a socket.

@@ -1,0 +1,415 @@
+//! Control-plane trajectory capture.
+//!
+//! Clone fidelity for a *closed-loop* system is more than matching a
+//! steady-state latency histogram: the original and the clone must make
+//! the same control decisions at the same times — scale out in the same
+//! interval, shed comparable fractions of load, recover from a fault on
+//! the same schedule. A [`ControlTrajectory`] records exactly that: one
+//! [`ControlSample`] of raw counters per control interval plus every
+//! [`ScaleEvent`] the autoscaler emitted. Samples store only integers
+//! (counts and nanoseconds), so a trajectory is `Eq`-comparable for the
+//! bit-identity suites and mergeable across repeated trials; the derived
+//! rates (shed rate, availability, retry amplification) are computed on
+//! demand and never stored.
+//!
+//! [`ControlTrajectory::compare`] implements the agreement criterion the
+//! metastability experiment asserts: scale events aligned within one
+//! control interval, drop-rate (shed + degraded + lost) curves within an
+//! absolute band, peak p99 within a relative band. Drop rate rather than
+//! shed rate alone because the *split* between shedding at admission and
+//! degrading after a spent retry budget sits on a queue-depth razor's
+//! edge — the work the tier refuses is faithfully reproducible, which
+//! door refused it is not. Peak rather than per-interval p99 because a
+//! healthy interval's p99 over a few hundred requests is order-statistic
+//! noise; the storm peak is pinned by the RPC deadline and retry policy.
+
+use ditto_sim::time::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// One autoscaler decision (only emitted when the target changed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ScaleEvent {
+    /// Control interval whose close triggered the decision.
+    pub interval: u32,
+    /// Simulated time of the decision, in nanoseconds.
+    pub at_ns: u64,
+    /// Active replicas per shard before.
+    pub from: u32,
+    /// Active replicas per shard after.
+    pub to: u32,
+}
+
+/// One control interval's observations, raw counters only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Default)]
+pub struct ControlSample {
+    /// Interval index (0-based).
+    pub interval: u32,
+    /// Simulated time the interval closed, in nanoseconds.
+    pub end_ns: u64,
+    /// Requests sent by clients during the interval.
+    pub sent: u64,
+    /// Responses received (excluding rejected) during the interval.
+    pub received: u64,
+    /// Responses the service degraded.
+    pub degraded: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// Client-side timeouts.
+    pub timeouts: u64,
+    /// Client-side errors.
+    pub errors: u64,
+    /// p99 latency over the interval, in nanoseconds (0 = no samples).
+    pub p99_ns: u64,
+    /// Admission queue depth when the interval closed.
+    pub queue_depth: u64,
+    /// Deepest the admission queue has been so far.
+    pub depth_peak: u64,
+    /// Retry RPCs the router was granted during the interval.
+    pub retries: u64,
+    /// Requests the router routed during the interval.
+    pub routed: u64,
+    /// Active replicas per shard while the interval ran.
+    pub active_replicas: u32,
+}
+
+impl ControlSample {
+    /// Completed attempts: everything a client got an answer for.
+    pub fn attempts(&self) -> u64 {
+        self.received + self.rejected + self.timeouts + self.errors
+    }
+
+    /// Fraction of completed attempts shed by admission control.
+    pub fn shed_rate(&self) -> f64 {
+        let attempts = self.attempts();
+        if attempts == 0 {
+            return 0.0;
+        }
+        self.rejected as f64 / attempts as f64
+    }
+
+    /// Fraction of completed attempts the tier refused or lost: shed,
+    /// degraded, timed out or errored. `1 − availability()`.
+    pub fn drop_rate(&self) -> f64 {
+        1.0 - self.availability()
+    }
+
+    /// Fraction of completed attempts fully served.
+    pub fn availability(&self) -> f64 {
+        let attempts = self.attempts();
+        if attempts == 0 {
+            return 1.0;
+        }
+        self.received.saturating_sub(self.degraded) as f64 / attempts as f64
+    }
+
+    /// Downstream send amplification over the interval: `(routed +
+    /// retries) / routed`, 1.0 when nothing was routed.
+    pub fn amplification(&self) -> f64 {
+        if self.routed == 0 {
+            return 1.0;
+        }
+        (self.routed + self.retries) as f64 / self.routed as f64
+    }
+}
+
+/// How two trajectories (original vs clone) agree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ControlAgreement {
+    /// Both sides emitted the same scale transitions (`from → to`, in
+    /// order) and each pair of matching events is at most one control
+    /// interval apart.
+    pub scale_events_aligned: bool,
+    /// Largest interval distance between matching scale events.
+    pub max_scale_skew: u32,
+    /// Largest absolute per-interval drop-rate difference (rates are in
+    /// `[0, 1]`, so this is an absolute band, not relative).
+    pub drop_rate_max_err: f64,
+    /// Relative error between the runs' peak interval p99s, percent
+    /// (0 when neither run measured a p99).
+    pub p99_peak_err_pct: f64,
+}
+
+impl ControlAgreement {
+    /// The experiment's acceptance test: events within one interval,
+    /// drop-rate curves within `band_pct` percentage points, peak p99
+    /// within `band_pct` percent.
+    pub fn within(&self, band_pct: f64) -> bool {
+        self.scale_events_aligned
+            && self.drop_rate_max_err <= band_pct / 100.0
+            && self.p99_peak_err_pct <= band_pct
+    }
+}
+
+/// A metastability episode read off a trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Outage {
+    /// First interval with availability below the threshold.
+    pub first_bad: u32,
+    /// Last interval with availability below the threshold.
+    pub last_bad: u32,
+    /// Intervals below the threshold in total (the episode may have
+    /// gaps).
+    pub bad_intervals: u32,
+    /// Whether the run ended healthy (the last interval was at or above
+    /// the threshold).
+    pub recovered: bool,
+}
+
+/// The recorded control trajectory of one run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ControlTrajectory {
+    /// Control interval length, in nanoseconds.
+    pub interval_ns: u64,
+    /// One sample per elapsed control interval, in order.
+    pub samples: Vec<ControlSample>,
+    /// Scale events, in order (only actual changes).
+    pub events: Vec<ScaleEvent>,
+}
+
+impl ControlTrajectory {
+    /// An empty trajectory on the given control interval.
+    pub fn new(interval: SimDuration) -> Self {
+        ControlTrajectory { interval_ns: interval.as_nanos(), samples: Vec::new(), events: Vec::new() }
+    }
+
+    /// Appends one interval's sample.
+    pub fn push(&mut self, sample: ControlSample) {
+        self.samples.push(sample);
+    }
+
+    /// Records a scale decision; `from == to` (no change) is dropped.
+    pub fn note_scale(&mut self, interval: u32, at: SimTime, from: u32, to: u32) {
+        if from != to {
+            self.events.push(ScaleEvent { interval, at_ns: at.as_nanos(), from, to });
+        }
+    }
+
+    /// Whole-run totals: counters summed, `p99_ns`/`queue_depth` and the
+    /// peak taken as maxima, `active_replicas` from the last interval.
+    pub fn total(&self) -> ControlSample {
+        let mut t = ControlSample::default();
+        for s in &self.samples {
+            t.sent += s.sent;
+            t.received += s.received;
+            t.degraded += s.degraded;
+            t.rejected += s.rejected;
+            t.timeouts += s.timeouts;
+            t.errors += s.errors;
+            t.retries += s.retries;
+            t.routed += s.routed;
+            t.p99_ns = t.p99_ns.max(s.p99_ns);
+            t.queue_depth = t.queue_depth.max(s.queue_depth);
+            t.depth_peak = t.depth_peak.max(s.depth_peak);
+            t.end_ns = s.end_ns;
+            t.active_replicas = s.active_replicas;
+            t.interval = s.interval;
+        }
+        t
+    }
+
+    /// Merges a repeated trial taken over the same interval grid:
+    /// counters sum per interval, gauges (`p99_ns`, depths) take the
+    /// maximum. Scale events must match exactly — merging is for trials
+    /// of the *same* configuration, where a diverging event sequence is
+    /// a determinism bug the caller wants to hear about.
+    ///
+    /// # Panics
+    ///
+    /// Panics if interval grids or scale-event sequences differ.
+    pub fn merge_from(&mut self, other: &ControlTrajectory) {
+        assert_eq!(self.interval_ns, other.interval_ns, "mismatched control intervals");
+        assert_eq!(self.samples.len(), other.samples.len(), "mismatched interval grids");
+        assert_eq!(self.events, other.events, "diverging scale events in a merge");
+        for (a, b) in self.samples.iter_mut().zip(&other.samples) {
+            a.sent += b.sent;
+            a.received += b.received;
+            a.degraded += b.degraded;
+            a.rejected += b.rejected;
+            a.timeouts += b.timeouts;
+            a.errors += b.errors;
+            a.retries += b.retries;
+            a.routed += b.routed;
+            a.p99_ns = a.p99_ns.max(b.p99_ns);
+            a.queue_depth = a.queue_depth.max(b.queue_depth);
+            a.depth_peak = a.depth_peak.max(b.depth_peak);
+        }
+    }
+
+    /// The metastability episode below `threshold` availability, if any.
+    pub fn outage(&self, threshold: f64) -> Option<Outage> {
+        let bad: Vec<u32> = self
+            .samples
+            .iter()
+            .filter(|s| s.availability() < threshold)
+            .map(|s| s.interval)
+            .collect();
+        let (&first, &last) = (bad.first()?, bad.last()?);
+        let recovered =
+            self.samples.last().map(|s| s.availability() >= threshold).unwrap_or(false);
+        Some(Outage { first_bad: first, last_bad: last, bad_intervals: bad.len() as u32, recovered })
+    }
+
+    /// Peak per-interval retry amplification over the run.
+    pub fn peak_amplification(&self) -> f64 {
+        self.samples.iter().map(|s| s.amplification()).fold(1.0, f64::max)
+    }
+
+    /// Compares against another run's trajectory (original vs clone).
+    /// Curves are compared per interval over the shorter of the two
+    /// runs; p99 only where both sides measured one.
+    pub fn compare(&self, other: &ControlTrajectory) -> ControlAgreement {
+        let mut aligned = self.events.len() == other.events.len();
+        let mut skew = 0u32;
+        for (a, b) in self.events.iter().zip(&other.events) {
+            if (a.from, a.to) != (b.from, b.to) {
+                aligned = false;
+            }
+            let d = a.interval.abs_diff(b.interval);
+            skew = skew.max(d);
+            if d > 1 {
+                aligned = false;
+            }
+        }
+        let mut drop_err = 0.0f64;
+        for (a, b) in self.samples.iter().zip(&other.samples) {
+            drop_err = drop_err.max((a.drop_rate() - b.drop_rate()).abs());
+        }
+        let (pa, pb) = (self.total().p99_ns, other.total().p99_ns);
+        let p99_err = if pa == 0 && pb == 0 {
+            0.0
+        } else {
+            (pa as f64 - pb as f64).abs() / (pa.max(1) as f64) * 100.0
+        };
+        ControlAgreement {
+            scale_events_aligned: aligned,
+            max_scale_skew: skew,
+            drop_rate_max_err: drop_err,
+            p99_peak_err_pct: p99_err,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(interval: u32, received: u64, rejected: u64, p99: u64) -> ControlSample {
+        ControlSample {
+            interval,
+            end_ns: (interval as u64 + 1) * 1_000,
+            sent: received + rejected,
+            received,
+            rejected,
+            routed: received,
+            p99_ns: p99,
+            active_replicas: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn rates_derive_from_raw_counts() {
+        let mut s = sample(0, 80, 20, 5_000);
+        s.timeouts = 0;
+        assert!((s.shed_rate() - 0.2).abs() < 1e-12);
+        assert!((s.availability() - 0.8).abs() < 1e-12);
+        s.retries = 40;
+        assert!((s.amplification() - 1.5).abs() < 1e-12);
+        let empty = ControlSample::default();
+        assert_eq!(empty.shed_rate(), 0.0);
+        assert_eq!(empty.availability(), 1.0);
+        assert_eq!(empty.amplification(), 1.0);
+    }
+
+    #[test]
+    fn identical_trajectories_agree_and_are_eq() {
+        let mut a = ControlTrajectory::new(SimDuration::from_millis(100));
+        a.push(sample(0, 100, 0, 4_000));
+        a.note_scale(0, SimTime::from_nanos(1_000), 2, 3);
+        a.push(sample(1, 90, 10, 6_000));
+        let b = a.clone();
+        assert_eq!(a, b, "raw-count trajectories are bit-comparable");
+        let agree = a.compare(&b);
+        assert!(agree.scale_events_aligned);
+        assert_eq!(agree.max_scale_skew, 0);
+        assert_eq!(agree.drop_rate_max_err, 0.0);
+        assert_eq!(agree.p99_peak_err_pct, 0.0);
+        assert!(agree.within(10.0));
+    }
+
+    #[test]
+    fn scale_events_may_skew_one_interval_but_not_two() {
+        let mut a = ControlTrajectory::new(SimDuration::from_millis(100));
+        let mut b = ControlTrajectory::new(SimDuration::from_millis(100));
+        a.note_scale(3, SimTime::from_nanos(300), 2, 3);
+        b.note_scale(4, SimTime::from_nanos(400), 2, 3);
+        assert!(a.compare(&b).scale_events_aligned, "one interval of skew is allowed");
+        assert_eq!(a.compare(&b).max_scale_skew, 1);
+        let mut c = ControlTrajectory::new(SimDuration::from_millis(100));
+        c.note_scale(5, SimTime::from_nanos(500), 2, 3);
+        assert!(!a.compare(&c).scale_events_aligned, "two intervals is divergence");
+        let mut d = ControlTrajectory::new(SimDuration::from_millis(100));
+        d.note_scale(3, SimTime::from_nanos(300), 2, 2);
+        assert!(d.events.is_empty(), "no-change decisions are not events");
+    }
+
+    #[test]
+    fn drop_band_is_absolute_and_p99_band_relative() {
+        let mut a = ControlTrajectory::new(SimDuration::from_millis(100));
+        let mut b = ControlTrajectory::new(SimDuration::from_millis(100));
+        a.push(sample(0, 80, 20, 10_000)); // drop 0.20
+        b.push(sample(0, 95, 5, 10_800)); // drop 0.05, peak p99 +8%
+        let agree = a.compare(&b);
+        assert!((agree.drop_rate_max_err - 0.15).abs() < 1e-12);
+        assert!((agree.p99_peak_err_pct - 8.0).abs() < 1e-9);
+        assert!(!agree.within(10.0), "15-point drop gap breaks the 10% band");
+        assert!(agree.within(20.0));
+        // Degrades count into the drop curve exactly like sheds: moving
+        // 15 points of refused work between the two doors changes nothing.
+        let mut c = ControlTrajectory::new(SimDuration::from_millis(100));
+        let mut s = sample(0, 95, 5, 10_000);
+        s.degraded = 15;
+        c.push(s);
+        assert!(a.compare(&c).drop_rate_max_err < 1e-12, "shed/degrade split is invisible");
+    }
+
+    #[test]
+    fn merge_sums_counters_and_keeps_gauge_maxima() {
+        let mut a = ControlTrajectory::new(SimDuration::from_millis(100));
+        a.push(sample(0, 100, 10, 4_000));
+        let mut b = ControlTrajectory::new(SimDuration::from_millis(100));
+        b.push(sample(0, 50, 30, 9_000));
+        a.merge_from(&b);
+        let s = a.samples[0];
+        assert_eq!((s.received, s.rejected), (150, 40));
+        assert_eq!(s.p99_ns, 9_000, "gauges take the max");
+        let t = a.total();
+        assert_eq!(t.received, 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverging scale events")]
+    fn merge_rejects_diverging_events() {
+        let mut a = ControlTrajectory::new(SimDuration::from_millis(100));
+        let mut b = ControlTrajectory::new(SimDuration::from_millis(100));
+        a.note_scale(1, SimTime::from_nanos(100), 2, 3);
+        b.note_scale(2, SimTime::from_nanos(200), 2, 3);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn outage_reports_the_episode_and_recovery() {
+        let mut t = ControlTrajectory::new(SimDuration::from_millis(100));
+        t.push(sample(0, 100, 0, 1_000)); // healthy
+        t.push(sample(1, 20, 80, 1_000)); // collapsed
+        t.push(sample(2, 30, 70, 1_000)); // collapsed
+        t.push(sample(3, 99, 1, 1_000)); // recovered
+        let o = t.outage(0.9).expect("episode exists");
+        assert_eq!((o.first_bad, o.last_bad, o.bad_intervals), (1, 2, 2));
+        assert!(o.recovered);
+        assert!(t.outage(0.05).is_none(), "never below 5%");
+        let mut never = ControlTrajectory::new(SimDuration::from_millis(100));
+        never.push(sample(0, 100, 0, 1_000));
+        assert!(never.outage(0.9).is_none());
+    }
+}

@@ -13,11 +13,13 @@
 //!   measurement window.
 
 pub mod closed_loop;
+pub mod control;
 pub mod open_loop;
 pub mod recorder;
 pub mod tier;
 
 pub use closed_loop::ClosedLoopConfig;
+pub use control::{ControlAgreement, ControlSample, ControlTrajectory, Outage, ScaleEvent};
 pub use open_loop::OpenLoopConfig;
 pub use recorder::{LoadAggregate, LoadSummary, Recorder};
 pub use tier::{TierObserver, TierRecorder};

@@ -172,6 +172,23 @@ struct OpenLoopReceiver {
     timeout: SimDuration,
 }
 
+impl OpenLoopReceiver {
+    /// Retires every pending request older than the client deadline as
+    /// a timeout.
+    fn sweep_stale(&self, now: SimTime) {
+        let mut p = self.pending.lock();
+        let stale: Vec<u64> = p
+            .iter()
+            .filter(|(_, &sent)| now.saturating_since(sent) >= self.timeout)
+            .map(|(&tag, _)| tag)
+            .collect();
+        for tag in stale {
+            p.remove(&tag);
+            self.recorder.note_timeout(now);
+        }
+    }
+}
+
 impl ThreadBody for OpenLoopReceiver {
     fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
         match &ctx.last {
@@ -179,22 +196,18 @@ impl ThreadBody for OpenLoopReceiver {
                 if let Some(sent) = self.pending.lock().remove(&msg.meta.tag) {
                     self.recorder.record_status(sent, ctx.now, msg.meta.status);
                 }
+                // Enforce the client deadline on every wakeup, not only
+                // when the connection goes fully silent: during a partial
+                // outage a trickle of completions keeps arriving while
+                // other requests sit in a saturated queue forever, and
+                // those must surface as timeouts, not vanish.
+                self.sweep_stale(ctx.now);
             }
             SysResult::Err(Errno::TimedOut) => {
-                // Nothing arrived for a full deadline: sweep requests that
-                // are now past it (lost on the wire or stuck on a dead
-                // server) so they count as timeouts, not as missing data.
-                let now = ctx.now;
-                let mut p = self.pending.lock();
-                let stale: Vec<u64> = p
-                    .iter()
-                    .filter(|(_, &sent)| now.saturating_since(sent) >= self.timeout)
-                    .map(|(&tag, _)| tag)
-                    .collect();
-                for tag in stale {
-                    p.remove(&tag);
-                    self.recorder.note_timeout(now);
-                }
+                // Nothing arrived for a full deadline: everything past
+                // the deadline is lost on the wire or stuck on a dead
+                // server.
+                self.sweep_stale(ctx.now);
             }
             SysResult::Err(_) => {
                 // Connection reset/closed: everything outstanding is lost.

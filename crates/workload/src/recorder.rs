@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use ditto_kernel::MsgMeta;
 use ditto_sim::stats::{LatencyHistogram, LatencySummary};
 use ditto_sim::time::{SimDuration, SimTime};
 use parking_lot::Mutex;
@@ -12,6 +13,7 @@ struct Inner {
     sent: u64,
     received: u64,
     degraded: u64,
+    rejected: u64,
     timeouts: u64,
     errors: u64,
     window_start: SimTime,
@@ -47,6 +49,7 @@ impl Recorder {
                 sent: 0,
                 received: 0,
                 degraded: 0,
+                rejected: 0,
                 timeouts: 0,
                 errors: 0,
                 window_start: SimTime::ZERO,
@@ -64,6 +67,7 @@ impl Recorder {
         i.sent = 0;
         i.received = 0;
         i.degraded = 0;
+        i.rejected = 0;
         i.timeouts = 0;
         i.errors = 0;
     }
@@ -90,16 +94,31 @@ impl Recorder {
         self.record_status(sent, now, 0);
     }
 
-    /// Records a completed request with the response's wire status byte
-    /// (0 = ok, non-zero = degraded/partial).
+    /// Records a completed request with the response's wire status byte.
+    /// `STATUS_REJECTED` responses land in the distinct `rejected`
+    /// bucket — never in `received`, never as a latency sample — so a
+    /// shed request can't masquerade as a fast success; any other
+    /// non-zero status counts as degraded.
     pub fn record_status(&self, sent: SimTime, now: SimTime, status: u8) {
         let mut i = self.inner.lock();
         if Self::in_window(&i, now) && sent >= i.window_start {
+            if status == MsgMeta::STATUS_REJECTED {
+                i.rejected += 1;
+                return;
+            }
             i.received += 1;
             if status != 0 {
                 i.degraded += 1;
             }
             i.hist.record(now.saturating_since(sent));
+        }
+    }
+
+    /// Notes a request shed by admission control at `t`.
+    pub fn note_rejected(&self, t: SimTime) {
+        let mut i = self.inner.lock();
+        if Self::in_window(&i, t) {
+            i.rejected += 1;
         }
     }
 
@@ -137,6 +156,7 @@ impl Recorder {
         i.sent += o.sent;
         i.received += o.received;
         i.degraded += o.degraded;
+        i.rejected += o.rejected;
         i.timeouts += o.timeouts;
         i.errors += o.errors;
     }
@@ -151,6 +171,7 @@ impl Recorder {
             sent: i.sent,
             received: i.received,
             degraded: i.degraded,
+            rejected: i.rejected,
             timeouts: i.timeouts,
             errors: i.errors,
             throughput_qps: if secs > 0.0 { i.received as f64 / secs } else { 0.0 },
@@ -176,6 +197,8 @@ pub struct LoadSummary {
     pub received: u64,
     /// Responses marked degraded (a downstream failed past its budget).
     pub degraded: u64,
+    /// Requests shed by admission control (`STATUS_REJECTED` responses).
+    pub rejected: u64,
     /// Requests that exceeded the client deadline.
     pub timeouts: u64,
     /// Errors observed (resets, refused connections).
@@ -199,6 +222,7 @@ pub struct LoadAggregate {
     sent: u64,
     received: u64,
     degraded: u64,
+    rejected: u64,
     timeouts: u64,
     errors: u64,
     window: SimDuration,
@@ -217,6 +241,7 @@ impl LoadAggregate {
         self.sent += summary.sent;
         self.received += summary.received;
         self.degraded += summary.degraded;
+        self.rejected += summary.rejected;
         self.timeouts += summary.timeouts;
         self.errors += summary.errors;
         self.window += window;
@@ -242,6 +267,7 @@ impl LoadAggregate {
             sent: self.sent,
             received: self.received,
             degraded: self.degraded,
+            rejected: self.rejected,
             timeouts: self.timeouts,
             errors: self.errors,
             throughput_qps: if secs > 0.0 { self.received as f64 / secs } else { 0.0 },
@@ -252,14 +278,20 @@ impl LoadAggregate {
 
 impl LoadSummary {
     /// Fraction of completed attempts that succeeded (full result, within
-    /// deadline): `(received - degraded) / (received + timeouts + errors)`.
-    /// 1.0 when nothing completed in the window.
+    /// deadline): `(received - degraded) / (received + rejected +
+    /// timeouts + errors)`. 1.0 when nothing completed in the window.
+    ///
+    /// Shed requests count against availability — the client asked and
+    /// was turned away — but as their own `rejected` category, distinct
+    /// from timeouts and errors, because shedding is the *controlled*
+    /// failure mode: cheap, immediate, and bounded, where a timeout is
+    /// neither.
     ///
     /// The denominator is completed attempts, not `sent`: `sent` counts
     /// offered load at send time, so requests still in flight when the
     /// window closes would otherwise be silently charged as failures.
     pub fn availability(&self) -> f64 {
-        let attempts = self.received + self.timeouts + self.errors;
+        let attempts = self.received + self.rejected + self.timeouts + self.errors;
         if attempts == 0 {
             return 1.0;
         }
@@ -328,6 +360,38 @@ mod tests {
         assert!((s.availability() - 7.0 / 11.0).abs() < 1e-9, "{}", s.availability());
         assert!((s.goodput_qps - 7.0).abs() < 1e-9);
         assert!((s.throughput_qps - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejected_is_its_own_category_and_dents_availability() {
+        // Regression: a STATUS_REJECTED response used to land in
+        // `received` with a (tiny) latency sample, so shedding half the
+        // offered load read as 100% availability with a *better* p99.
+        let r = Recorder::new();
+        for i in 0..8u64 {
+            r.note_sent(SimTime::from_nanos(i));
+            let status =
+                if i < 2 { MsgMeta::STATUS_REJECTED } else { MsgMeta::STATUS_OK };
+            r.record_status(SimTime::from_nanos(i), SimTime::from_nanos(i + 100), status);
+        }
+        r.note_rejected(SimTime::from_nanos(50));
+        let s = r.summary(SimDuration::from_secs(1));
+        assert_eq!(s.received, 6, "rejected responses are not received");
+        assert_eq!(s.rejected, 3);
+        assert_eq!(s.latency.count, 6, "no latency sample for a shed request");
+        // 6 successes over 9 completed attempts (6 received + 3 rejected).
+        assert!((s.availability() - 6.0 / 9.0).abs() < 1e-12, "{}", s.availability());
+        assert!((s.goodput_qps - 6.0).abs() < 1e-9, "goodput excludes shed requests");
+        // Merge and aggregate both carry the category.
+        let other = Recorder::new();
+        other.note_rejected(SimTime::ZERO);
+        r.merge_from(&other);
+        assert_eq!(r.summary(SimDuration::from_secs(1)).rejected, 4);
+        let mut agg = LoadAggregate::new();
+        let w = SimDuration::from_secs(1);
+        agg.add(&r.summary(w), &r.histogram(), w);
+        agg.add(&r.summary(w), &r.histogram(), w);
+        assert_eq!(agg.summary().rejected, 8);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Property tests for [`RpcPolicy::backoff`], the equal-jitter
+//! exponential backoff behind every retry in the tier.
+//!
+//! The backoff schedule is control-plane state: the metastability
+//! experiment replays retry storms and asserts bit-identity, so the
+//! schedule must be (a) capped — a runaway exponent would park workers
+//! for simulated hours, (b) exact when jitter is off — the doubling
+//! sequence is part of the clone contract, and (c) a pure function of
+//! the RNG stream — the surrounding rayon pool must never leak into the
+//! draws. Inputs come from seeded [`SimRng`] streams (no proptest in
+//! this environment); failures print the case index for exact replay.
+
+use ditto::app::RpcPolicy;
+use ditto::sim::rng::{stream_seed, SimRng};
+use ditto::sim::time::SimDuration;
+
+/// A random-but-reproducible policy for case `i`.
+fn gen_policy(rng: &mut SimRng) -> RpcPolicy {
+    let base = rng.range(1, 5_000_000); // up to 5ms
+    let cap = rng.range(base, 100_000_000); // up to 100ms, ≥ base
+    RpcPolicy {
+        deadline: SimDuration::from_millis(50),
+        max_retries: rng.range(0, 10) as u32,
+        backoff_base: SimDuration::from_nanos(base),
+        backoff_cap: SimDuration::from_nanos(cap),
+        jitter: (rng.range(0, 101) as f64) / 100.0,
+    }
+}
+
+/// The nominal (pre-jitter) backoff: capped doubling with a saturated
+/// exponent.
+fn nominal(p: &RpcPolicy, attempt: u32) -> u64 {
+    let exp = attempt.saturating_sub(1).min(16);
+    p.backoff_base.as_nanos().saturating_mul(1u64 << exp).min(p.backoff_cap.as_nanos())
+}
+
+/// Every backoff respects the cap, lands inside the equal-jitter window
+/// `[(1 − jitter) · nominal, nominal]`, and never overflows even at
+/// absurd attempt counts.
+#[test]
+fn backoff_is_capped_and_jitter_bounded() {
+    let mut rng = SimRng::seed(0xB0FF_0001);
+    for case in 0..256 {
+        let p = gen_policy(&mut rng);
+        let mut draws = SimRng::seed(stream_seed(0xD12A4, case));
+        for attempt in [1u32, 2, 3, 5, 8, 16, 17, 63, u32::MAX] {
+            let b = p.backoff(attempt, &mut draws).as_nanos();
+            let nom = nominal(&p, attempt);
+            assert!(b <= p.backoff_cap.as_nanos(), "case {case} attempt {attempt}: over cap");
+            assert!(b <= nom, "case {case} attempt {attempt}: {b} above nominal {nom}");
+            // f64 rounding may shave at most a handful of nanoseconds
+            // off the fixed share; one per mille of slack covers it.
+            let floor = ((nom as f64) * (1.0 - p.jitter)).floor() as u64;
+            assert!(
+                b >= floor.saturating_sub(nom / 1_000 + 1),
+                "case {case} attempt {attempt}: {b} below jitter floor {floor}"
+            );
+        }
+    }
+}
+
+/// With jitter off the schedule is exactly the capped doubling sequence
+/// — no RNG draw may perturb (or even be consumed by) it — and it is
+/// monotone non-decreasing in the attempt number.
+#[test]
+fn zero_jitter_schedule_is_exact_and_monotone() {
+    let mut rng = SimRng::seed(0xB0FF_0002);
+    for case in 0..256 {
+        let mut p = gen_policy(&mut rng);
+        p.jitter = 0.0;
+        let mut draws = SimRng::seed(case);
+        let mut prev = 0u64;
+        for attempt in 1..=20u32 {
+            let b = p.backoff(attempt, &mut draws).as_nanos();
+            assert_eq!(b, nominal(&p, attempt), "case {case} attempt {attempt}");
+            assert!(b >= prev, "case {case} attempt {attempt}: schedule regressed");
+            prev = b;
+        }
+        assert_eq!(draws.draws(), 0, "case {case}: zero-jitter backoff consumed RNG draws");
+    }
+}
+
+/// Identical seeds produce identical jittered schedules no matter how
+/// many rayon threads surround the computation: the schedule is a pure
+/// function of the policy and the RNG stream, with no hidden global.
+#[test]
+fn identical_seeds_give_identical_schedules_across_pool_sizes() {
+    let schedule = |seed: u64| -> Vec<Vec<u64>> {
+        let mut policy_rng = SimRng::seed(0xB0FF_0003);
+        (0..32)
+            .map(|case| {
+                let p = gen_policy(&mut policy_rng);
+                let mut draws = SimRng::seed(stream_seed(seed, case));
+                (1..=8u32).map(|a| p.backoff(a, &mut draws).as_nanos()).collect()
+            })
+            .collect()
+    };
+    let baseline = schedule(0x5EED);
+    assert!(
+        baseline.iter().flatten().any(|&b| b > 0),
+        "vacuous baseline: every backoff was zero"
+    );
+    for threads in [1usize, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("build thread pool");
+        let run = pool.install(|| schedule(0x5EED));
+        assert_eq!(run, baseline, "schedule diverged inside a {threads}-thread pool");
+    }
+    assert_ne!(schedule(0x5EED + 1), baseline, "seed does not reach the jitter draws");
+}
