@@ -21,9 +21,12 @@ use std::time::Instant;
 
 use ditto_app::handlers::BehaviorHandler;
 use ditto_app::service::{NetworkModel, ServiceSpec};
+use ditto_app::sharded::ShardedTierSpec;
 use ditto_app::RpcPolicy;
 use ditto_bench::AppId;
 use ditto_core::harness::{LoadKind, RunOutcome, Testbed};
+use ditto_core::scale::ShardedTestbed;
+use ditto_sim::executor::SimExecutor;
 use ditto_hw::codegen::BodyParams;
 use ditto_hw::core_model::set_fastpath_enabled;
 use ditto_hw::isa::{BranchBehavior, InstrClass};
@@ -49,12 +52,26 @@ struct CellReport {
     slow: SideReport,
 }
 
+/// Wall time of an identical wide-tier run on the sequential engine vs a
+/// worker gang — the engine-level analogue of the fast-path cells above.
+#[derive(Serialize)]
+struct PdesReport {
+    shards: u32,
+    nodes: usize,
+    workers: usize,
+    sequential_wall_ms: f64,
+    parallel_wall_ms: f64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
 #[derive(Serialize)]
 struct Report {
     bench: String,
     mode: String,
     platform: String,
     cells: Vec<CellReport>,
+    pdes: PdesReport,
 }
 
 /// A loop-heavy compute service: one hot cache line of data, a
@@ -196,11 +213,51 @@ fn main() {
         );
     }
 
+    // PDES cell: a 16-shard tier (34 LPs) run once sequentially and once
+    // on an 8-worker gang, same seed, same everything. Bit-identity is
+    // asserted here; the ≥2× speedup gate lives in `scale_sweep`, whose
+    // 64-shard cell gives the gang enough width to amortise handoff.
+    let pdes_workers = 8usize;
+    let spec = ShardedTierSpec { shards: 16, replicas: 1, ..ShardedTierSpec::default() };
+    let mut pdes_bed = ShardedTestbed::new(spec, 0xBE7C_9DE5);
+    pdes_bed.warmup = warmup;
+    pdes_bed.window = window;
+    pdes_bed.qps_per_shard = 500.0;
+
+    pdes_bed.executor = SimExecutor::Sequential;
+    let t_seq = Instant::now();
+    let seq = pdes_bed.run_original();
+    let seq_wall = t_seq.elapsed().as_secs_f64();
+
+    pdes_bed.executor = SimExecutor::Parallel { workers: pdes_workers };
+    let t_par = Instant::now();
+    let par = pdes_bed.run_original();
+    let par_wall = t_par.elapsed().as_secs_f64();
+
+    let pdes_identical = seq.histogram == par.histogram
+        && seq.router == par.router
+        && seq.e2e.received == par.e2e.received;
+    assert!(pdes_identical, "pdes: parallel engine diverged from sequential");
+    let pdes = PdesReport {
+        shards: 16,
+        nodes: pdes_bed.spec.node_count() + 1,
+        workers: pdes_workers,
+        sequential_wall_ms: seq_wall * 1e3,
+        parallel_wall_ms: par_wall * 1e3,
+        speedup: seq_wall / par_wall.max(1e-9),
+        bit_identical: pdes_identical,
+    };
+    eprintln!(
+        "[perf] pdes 16-shard tier: sequential {:>8.1} ms vs {}-worker {:>8.1} ms — {:.2}x",
+        pdes.sequential_wall_ms, pdes.workers, pdes.parallel_wall_ms, pdes.speedup
+    );
+
     let report = Report {
         bench: "perf_baseline".into(),
         mode: if quick { "quick" } else { "full" }.into(),
         platform: "A".into(),
         cells,
+        pdes,
     };
     let out_path = std::env::var("BENCH_PERF_OUT").unwrap_or_else(|_| {
         format!("{}/../../BENCH_perf.json", env!("CARGO_MANIFEST_DIR"))

@@ -13,6 +13,7 @@ use ditto_hw::platform::PlatformSpec;
 use ditto_kernel::{Cluster, NodeId};
 use ditto_obs::{ObsConfig, ObsReport, ObsSink};
 use ditto_profile::{AppProfile, MetricSet, Profiler};
+use ditto_sim::executor::SimExecutor;
 use ditto_sim::time::SimDuration;
 use ditto_trace::{ServiceGraph, TraceCollector};
 use ditto_workload::{LoadSummary, OpenLoopConfig, Recorder};
@@ -105,7 +106,22 @@ pub fn run_original_traced(
     profile: bool,
     obs: &ObsConfig,
 ) -> (SocialRun, Option<ObsReport>) {
+    run_original_on(server, qps, seed, profile, obs, SimExecutor::Sequential)
+}
+
+/// Like [`run_original_traced`], with an explicit cluster execution
+/// strategy — the PDES differential suite runs the same experiment
+/// sequentially and on worker gangs and compares outputs byte-for-byte.
+pub fn run_original_on(
+    server: &PlatformSpec,
+    qps: f64,
+    seed: u64,
+    profile: bool,
+    obs: &ObsConfig,
+    executor: SimExecutor,
+) -> (SocialRun, Option<ObsReport>) {
     let mut cluster = cluster_for(server, seed);
+    cluster.set_executor(executor);
     let sink = ObsSink::new(obs);
     // Install before deploy so every tier builds its probe handles.
     cluster.set_obs(sink.clone());

@@ -1,0 +1,198 @@
+//! Differential suite for the parallel engine: every service, the
+//! multi-tier Social Network, and a 16-shard tier, run sequentially and
+//! on worker gangs of 2 and 8 threads, must produce byte-identical
+//! measured outputs — hardware metrics (including raw `PerfCounters`
+//! deltas), bucket-exact latency histograms, load aggregates, fast-path
+//! engagement, and the exported observability trace.
+//!
+//! This is the determinism contract of the conservative-window engine
+//! (see `ditto-kernel`'s cluster module): both executors run the same
+//! windowed algorithm; parallelism only changes which OS thread advances
+//! a logical process, never what it computes. A final negative control
+//! perturbs the seed and asserts the comparison would catch divergence.
+
+use ditto_app::sharded::ShardedTierSpec;
+use ditto_bench::social_experiment::run_original_on;
+use ditto_bench::AppId;
+use ditto_core::harness::{RunOutcome, Testbed};
+use ditto_core::scale::{ShardedOutcome, ShardedTestbed};
+use ditto_obs::ObsConfig;
+use ditto_sim::executor::SimExecutor;
+use ditto_sim::time::SimDuration;
+
+/// Worker counts exercised against the sequential reference. 1 pins the
+/// gang's single-worker inline path; 2 probes real inter-thread handoff;
+/// 8 oversubscribes small clusters (and most CI hosts), probing the
+/// gang's claim/park protocol under contention.
+const GANGS: [usize; 3] = [1, 2, 8];
+
+fn bed(app: AppId, executor: SimExecutor) -> Testbed {
+    Testbed {
+        warmup: SimDuration::from_millis(20),
+        window: SimDuration::from_millis(100),
+        obs: ObsConfig::full(),
+        executor,
+        ..Testbed::default_ab(0x9DE5 ^ app.name().len() as u64)
+    }
+}
+
+fn run(app: AppId, executor: SimExecutor) -> RunOutcome {
+    bed(app, executor).run(|c, n| app.deploy(c, n), &app.medium_load(), false)
+}
+
+fn assert_outcomes_identical(name: &str, workers: usize, seq: &RunOutcome, par: &RunOutcome) {
+    assert_eq!(
+        seq.metrics, par.metrics,
+        "{name}@{workers}w: MetricSet (incl. raw PerfCounters) diverged"
+    );
+    assert_eq!(
+        seq.histogram, par.histogram,
+        "{name}@{workers}w: bucket-exact latency histogram diverged"
+    );
+    assert_eq!(seq.load.sent, par.load.sent, "{name}@{workers}w: sent diverged");
+    assert_eq!(seq.load.received, par.load.received, "{name}@{workers}w: received diverged");
+    assert_eq!(seq.load.timeouts, par.load.timeouts, "{name}@{workers}w: timeouts diverged");
+    assert_eq!(seq.load.errors, par.load.errors, "{name}@{workers}w: errors diverged");
+    assert_eq!(
+        seq.fastforward_iterations, par.fastforward_iterations,
+        "{name}@{workers}w: fast-path engagement diverged"
+    );
+    let seq_trace =
+        seq.obs.as_ref().map(|r| r.trace.to_chrome_json()).expect("sequential obs report");
+    let par_trace =
+        par.obs.as_ref().map(|r| r.trace.to_chrome_json()).expect("parallel obs report");
+    assert_eq!(seq_trace, par_trace, "{name}@{workers}w: exported obs trace diverged");
+}
+
+fn differential(app: AppId) {
+    let seq = run(app, SimExecutor::Sequential);
+    assert!(seq.fastforward_iterations > 0, "{}: fast path never engaged", app.name());
+    for workers in GANGS {
+        let par = run(app, SimExecutor::Parallel { workers });
+        assert_outcomes_identical(app.name(), workers, &seq, &par);
+    }
+}
+
+#[test]
+fn memcached_is_identical_under_parallel_execution() {
+    differential(AppId::Memcached);
+}
+
+#[test]
+fn nginx_is_identical_under_parallel_execution() {
+    differential(AppId::Nginx);
+}
+
+#[test]
+fn mongodb_is_identical_under_parallel_execution() {
+    differential(AppId::MongoDb);
+}
+
+#[test]
+fn redis_is_identical_under_parallel_execution() {
+    differential(AppId::Redis);
+}
+
+fn run_sharded(executor: SimExecutor, seed: u64) -> ShardedOutcome {
+    // 16 shards × 1 replica + router + client = 18 logical processes —
+    // wide enough that every gang size leaves multiple LPs per worker.
+    let spec = ShardedTierSpec { shards: 16, replicas: 1, ..ShardedTierSpec::default() };
+    let mut bed = ShardedTestbed::new(spec, seed);
+    bed.warmup = SimDuration::from_millis(20);
+    bed.window = SimDuration::from_millis(60);
+    bed.qps_per_shard = 1_000.0;
+    bed.executor = executor;
+    bed.run_original()
+}
+
+/// The 16-shard tier: e2e and per-shard outputs, router counters, routing
+/// decisions and fast-path engagement are byte-identical at every gang
+/// size.
+#[test]
+fn sharded_tier_is_identical_under_parallel_execution() {
+    const SEED: u64 = 0x16_5EED;
+    let seq = run_sharded(SimExecutor::Sequential, SEED);
+    assert!(seq.e2e.received > 0, "sharded: no traffic served");
+    for workers in GANGS {
+        let par = run_sharded(SimExecutor::Parallel { workers }, SEED);
+        assert_eq!(seq.histogram, par.histogram, "sharded@{workers}w: e2e histogram diverged");
+        assert_eq!(
+            seq.router_metrics, par.router_metrics,
+            "sharded@{workers}w: router MetricSet diverged"
+        );
+        assert_eq!(seq.router, par.router, "sharded@{workers}w: routing decisions diverged");
+        assert_eq!(seq.e2e.sent, par.e2e.sent, "sharded@{workers}w: sent diverged");
+        assert_eq!(seq.e2e.received, par.e2e.received, "sharded@{workers}w: received diverged");
+        assert_eq!(
+            seq.e2e.latency, par.e2e.latency,
+            "sharded@{workers}w: e2e latency summary diverged"
+        );
+        assert_eq!(
+            seq.rollup.latency, par.rollup.latency,
+            "sharded@{workers}w: shard rollup diverged"
+        );
+        for ((name, f), (_, s)) in seq.shards.iter().zip(&par.shards) {
+            assert_eq!(f.received, s.received, "{name}@{workers}w: per-shard received diverged");
+            assert_eq!(f.latency, s.latency, "{name}@{workers}w: per-shard latency diverged");
+        }
+        assert_eq!(
+            seq.fastforward_iterations, par.fastforward_iterations,
+            "sharded@{workers}w: fast-path engagement diverged"
+        );
+    }
+}
+
+/// The multi-tier Social Network (4 nodes, cross-tier RPC fan-out):
+/// end-to-end load summary and per-tier metrics are byte-identical at
+/// every gang size.
+#[test]
+fn social_network_is_identical_under_parallel_execution() {
+    const QPS: f64 = 500.0;
+    const SEED: u64 = 0x50C_1A1;
+    let server = ditto_hw::platform::PlatformSpec::a();
+    let (seq, _) =
+        run_original_on(&server, QPS, SEED, false, &ObsConfig::default(), SimExecutor::Sequential);
+    assert!(seq.e2e.received > 0, "social: no traffic served");
+    for workers in GANGS {
+        let (par, _) = run_original_on(
+            &server,
+            QPS,
+            SEED,
+            false,
+            &ObsConfig::default(),
+            SimExecutor::Parallel { workers },
+        );
+        assert_eq!(seq.e2e.sent, par.e2e.sent, "social@{workers}w: sent diverged");
+        assert_eq!(seq.e2e.received, par.e2e.received, "social@{workers}w: received diverged");
+        assert_eq!(
+            seq.e2e.latency, par.e2e.latency,
+            "social@{workers}w: e2e latency summary diverged"
+        );
+        for (tier, metrics) in &seq.tier_metrics {
+            assert_eq!(
+                Some(metrics),
+                par.tier_metrics.get(tier),
+                "{tier}@{workers}w: tier metrics diverged"
+            );
+        }
+    }
+}
+
+/// Negative control: the identity assertions above are only meaningful if
+/// the comparison is sensitive. A perturbed run (different seed, same
+/// everything else) must NOT equal the reference — if it did, the
+/// comparisons would be vacuous and the whole suite worthless.
+#[test]
+fn perturbed_run_is_detected() {
+    let a = run_sharded(SimExecutor::Parallel { workers: 2 }, 0x16_5EED);
+    let b = run_sharded(SimExecutor::Parallel { workers: 2 }, 0x16_5EEE);
+    assert_ne!(
+        a.histogram, b.histogram,
+        "negative control: perturbed seed produced an identical histogram — \
+         the differential comparison is not sensitive"
+    );
+    assert!(
+        a.e2e.received != b.e2e.received || a.router != b.router || a.rollup.latency != b.rollup.latency,
+        "negative control: perturbed seed left every aggregate unchanged"
+    );
+}

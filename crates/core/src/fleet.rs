@@ -24,6 +24,7 @@ use std::sync::Arc;
 use ditto_app::service::ServiceSpec;
 use ditto_hw::platform::PlatformSpec;
 use ditto_kernel::{Cluster, NodeId};
+use ditto_sim::executor::SimExecutor;
 use ditto_sim::rng::stream_seed;
 use ditto_sim::time::SimDuration;
 use parking_lot::Mutex;
@@ -274,6 +275,10 @@ pub struct MatrixConfig {
     pub tuner: FineTuner,
     /// Worker count override (see [`Fleet`]).
     pub threads: Option<usize>,
+    /// Per-cell cluster execution strategy (sequential by default — the
+    /// fleet already parallelises across cells; an in-cell gang helps
+    /// when cells are few and clusters wide).
+    pub executor: SimExecutor,
 }
 
 impl MatrixConfig {
@@ -288,6 +293,7 @@ impl MatrixConfig {
             window: SimDuration::from_millis(200),
             tuner: FineTuner { max_iterations: 4, tolerance_pct: 8.0, gain: 0.6 },
             threads: None,
+            executor: SimExecutor::default(),
         }
     }
 
@@ -404,6 +410,7 @@ pub fn run_fidelity_matrix(
             warmup: cfg.warmup,
             window: cfg.window,
             obs: Default::default(),
+            executor: cfg.executor,
         };
         let (profile_name, profile_load) = &svc.profile_load;
         let key = CacheKey::new(&svc.name, &platform.name, profile_load, seed);

@@ -11,6 +11,7 @@ use ditto_hw::platform::PlatformSpec;
 use ditto_kernel::{Cluster, NodeId, Pid};
 use ditto_obs::{selfprof, ObsConfig, ObsReport, ObsSink};
 use ditto_profile::{AppProfile, MetricSet, Profiler};
+use ditto_sim::executor::SimExecutor;
 use ditto_sim::rng::stream_seed;
 use ditto_sim::stats::LatencyHistogram;
 use ditto_sim::time::SimDuration;
@@ -77,6 +78,10 @@ pub struct Testbed {
     /// self-profiling). Defaults to fully off; measured outputs are
     /// byte-identical either way.
     pub obs: ObsConfig,
+    /// How the cluster executes its logical processes (sequential or a
+    /// parallel worker gang). Measured outputs are byte-identical under
+    /// either strategy; this only trades wall-clock time.
+    pub executor: SimExecutor,
 }
 
 impl Testbed {
@@ -89,6 +94,7 @@ impl Testbed {
             warmup: SimDuration::from_millis(40),
             window: SimDuration::from_millis(200),
             obs: ObsConfig::default(),
+            executor: SimExecutor::default(),
         }
     }
 }
@@ -147,6 +153,7 @@ impl Testbed {
         }
         let mut cluster =
             Cluster::new(vec![self.server.clone(), self.client.clone()], self.seed);
+        cluster.set_executor(self.executor);
         // Install the sink before deploy so services build their probe
         // handles from it.
         cluster.set_obs(sink.clone());

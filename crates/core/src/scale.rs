@@ -23,6 +23,7 @@ use ditto_hw::platform::PlatformSpec;
 use ditto_kernel::{Cluster, FaultPlan, NodeId};
 use ditto_obs::{selfprof, ObsConfig, ObsReport, ObsSink};
 use ditto_profile::{AppProfile, MetricSet, Profiler};
+use ditto_sim::executor::SimExecutor;
 use ditto_sim::stats::LatencyHistogram;
 use ditto_sim::time::SimDuration;
 use ditto_workload::{
@@ -118,6 +119,9 @@ pub struct ShardedTestbed {
     /// Observability configuration (off by default; measured outputs are
     /// byte-identical either way).
     pub obs: ObsConfig,
+    /// Cluster execution strategy. Byte-identical outputs under either;
+    /// a parallel gang pays off on wide tiers (one LP per machine).
+    pub executor: SimExecutor,
 }
 
 /// Deploys a tier (original or cloned) onto the prepared cluster:
@@ -187,6 +191,7 @@ impl ShardedTestbed {
             connections,
             client_timeout: SimDuration::from_millis(1_000),
             obs: ObsConfig::default(),
+            executor: SimExecutor::default(),
         }
     }
 
@@ -326,6 +331,9 @@ impl ShardedTestbed {
             warmup: self.warmup,
             window: self.window,
             obs: ObsConfig::default(),
+            // Role profiling runs on a two-node bed where the gang has
+            // nothing to win; keep it sequential.
+            executor: SimExecutor::Sequential,
         }
     }
 
@@ -345,6 +353,7 @@ impl ShardedTestbed {
         let mut machines = vec![self.platform.clone(); pool + 1];
         machines.push(self.client.clone());
         let mut cluster = Cluster::new(machines, self.seed);
+        cluster.set_executor(self.executor);
         cluster.set_obs(sink.clone());
 
         let backend_nodes: Vec<NodeId> = (0..pool as u32).map(NodeId).collect();
@@ -437,6 +446,7 @@ impl ShardedTestbed {
         let mut machines = vec![self.platform.clone(); pool + 1];
         machines.push(self.client.clone());
         let mut cluster = Cluster::new(machines, self.seed);
+        cluster.set_executor(self.executor);
         cluster.set_obs(sink.clone());
 
         let backend_nodes: Vec<NodeId> = (0..pool as u32).map(NodeId).collect();

@@ -115,7 +115,6 @@ impl Body {
     /// non-positive total weight.
     pub fn new(params: &BodyParams) -> Self {
         assert!(!params.mix.is_empty(), "empty instruction mix");
-        let mut rng = SimRng::seed(params.seed);
         let mix = Discrete::new(params.mix.clone()).expect("invalid mix weights");
         let branch_rates = if params.branch_rates.is_empty() {
             Discrete::new(vec![(BranchBehavior::new(0.5, 0.25), 1.0)]).unwrap()
@@ -149,6 +148,13 @@ impl Body {
             let footprint_instrs = (ws_bytes / 4).max(16);
             let static_instrs =
                 footprint_instrs.min(MAX_STATIC_INSTRS).min(dyn_execs.ceil() as u64) as usize;
+            // Each segment draws from a stream keyed by its window size,
+            // not from one body-wide sequence: re-weighting the
+            // instruction working sets (the frontend tuning knob) must not
+            // reshuffle the data-side choices of unrelated segments, or
+            // the fine-tuner's knob groups couple with random sign.
+            let mut seg_rng =
+                SimRng::seed(params.seed ^ ws_bytes.wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let block = build_block(
                 pc,
                 static_instrs,
@@ -157,7 +163,7 @@ impl Body {
                 &branch_rates,
                 &data_ws,
                 &dep,
-                &mut rng,
+                &mut seg_rng,
             );
             pc += block.code_bytes().max(64);
             let mean_iters = dyn_execs / static_instrs as f64;
@@ -217,13 +223,21 @@ fn build_block(
     rng: &mut SimRng,
 ) -> CodeBlock {
     let mut block = CodeBlock::new(pc_base);
+    // Independent streams per concern, so a block that grows or shrinks
+    // (frontend knobs change the static budget) extends each stream's
+    // prefix instead of reshuffling every later draw: the class sequence,
+    // the data-window choices and the operand distances stay stable for
+    // the instructions both block sizes share.
+    let mut class_rng = rng.split("classes");
+    let mut mem_rng = rng.split("mem-windows");
+    let mut op_rng = rng.split("operands");
     // Per data-working-set bookkeeping: how many static memory slots have
     // been placed in this block for each window, to lay out consecutive
     // lines (Figure 4's sequential walk).
     let mut ws_slots: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
     let mut classes = Vec::with_capacity(n);
     for _ in 0..n {
-        classes.push(*mix.sample(rng));
+        classes.push(*mix.sample(&mut class_rng));
     }
 
     // Pass 1: count memory slots per sampled window so strides cover the
@@ -231,9 +245,9 @@ fn build_block(
     let mut mem_choices: Vec<Option<(u64, bool, bool)>> = Vec::with_capacity(n);
     for class in &classes {
         if class.is_memory() {
-            let ws = *data_ws.sample(rng);
-            let shared = rng.chance(params.shared_fraction);
-            let chased = *class == InstrClass::Load && rng.chance(params.chase_fraction);
+            let ws = *data_ws.sample(&mut mem_rng);
+            let shared = mem_rng.chance(params.shared_fraction);
+            let chased = *class == InstrClass::Load && mem_rng.chance(params.chase_fraction);
             *ws_slots.entry(ws).or_insert(0) += 1;
             mem_choices.push(Some((ws, shared, chased)));
         } else {
@@ -288,12 +302,12 @@ fn build_block(
 
         let instr = match class {
             InstrClass::CondBranch => {
-                let b = *branch_rates.sample(rng);
+                let b = *branch_rates.sample(&mut op_rng);
                 let idx = block.add_branch(b);
                 Instr::cond_branch(idx)
             }
             InstrClass::Load => {
-                let raw_d = *dep.sample(rng);
+                let raw_d = *dep.sample(&mut op_rng);
                 let dst = pick_reg(pool.clone(), t_pos - raw_d as i64, &last_write);
                 last_write[dst.0 as usize] = t_pos;
                 let mut i = Instr::load(dst, mem.unwrap());
@@ -303,7 +317,7 @@ fn build_block(
                 i
             }
             InstrClass::Store => {
-                let raw_d = *dep.sample(rng);
+                let raw_d = *dep.sample(&mut op_rng);
                 let src = pick_reg(pool.clone(), t_pos - raw_d as i64, &last_write);
                 Instr::store(src, mem.unwrap())
             }
@@ -336,9 +350,9 @@ fn build_block(
             _ => {
                 // ALU-like: two sources at sampled RAW distances, one dest
                 // at a sampled WAW distance.
-                let raw1 = *dep.sample(rng);
-                let raw2 = *dep.sample(rng);
-                let waw = *dep.sample(rng);
+                let raw1 = *dep.sample(&mut op_rng);
+                let raw2 = *dep.sample(&mut op_rng);
+                let waw = *dep.sample(&mut op_rng);
                 let src1 = pick_reg(pool.clone(), t_pos - raw1 as i64, &last_write);
                 let src2 = pick_reg(pool.clone(), t_pos - raw2 as i64, &last_write);
                 let dst = pick_reg(pool.clone(), t_pos - waw as i64, &last_write);

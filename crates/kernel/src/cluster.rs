@@ -1,35 +1,87 @@
 //! The cluster: machines, the network fabric, and the event loop.
 //!
-//! Scheduling uses a run-to-block slice executor: when a thread is
-//! dispatched onto a logical CPU, its actions are simulated synchronously
-//! (compute on the core model, syscalls through the kernel paths) until it
-//! blocks, exits, or exhausts its quantum; the CPU is then busy until the
-//! accumulated local time, and side effects (message deliveries, disk
-//! completions, timer wakes) were emitted as future events along the way.
+//! # Logical-process decomposition
+//!
+//! Each machine is an independent logical process (LP) owning its own
+//! event queue, connection endpoints, fault RNG stream and spawn-seed
+//! counter. Cross-node messages are the *only* inter-LP edges: a send,
+//! SYN or FIN targeting another node goes into the sending LP's outbox
+//! and is merged into the destination LP's queue at the next window
+//! barrier, stamped with the sender's node id so same-instant arrivals
+//! from different nodes have a total order independent of the executor.
+//!
+//! # Conservative windows
+//!
+//! The run loop advances in windows `[T0, T0 + W)` where `T0` is the
+//! earliest pending event anywhere and `W` is the conservative lookahead:
+//! the minimum NIC link latency over the cluster. Any event executing
+//! inside the window can only schedule cross-LP work at or after the
+//! window's end (every cross edge adds at least `W`), so all LPs may
+//! drain their own queues up to the window end with no coordination.
+//! Zero-latency edges degenerate to single-nanosecond windows — a global
+//! barrier per instant, exactly the sequential event loop. Fault-plan
+//! transitions are control-plane epochs: they cap the window and are
+//! applied by the coordinator between windows, so fault state is
+//! immutable while LPs run.
+//!
+//! # Determinism contract
+//!
+//! Sequential and parallel execution run the *same* windowed loop; the
+//! parallel executor only changes which OS thread drains an LP. All
+//! merges (outboxes, fault counters, observability samples) happen on
+//! the coordinating thread in LP-index order at window boundaries, and
+//! every per-LP decision draws only on LP-local state plus the frozen
+//! fault/control state. Counters, histograms and traces are therefore
+//! byte-identical at any worker count.
+//!
+//! Scheduling within a machine is unchanged: a run-to-block slice
+//! executor dispatches a thread onto a logical CPU and simulates it
+//! synchronously (compute on the core model, syscalls through the kernel
+//! paths) until it blocks, exits, or exhausts its quantum.
+
+use std::collections::VecDeque;
 
 use ditto_hw::platform::PlatformSpec;
 use ditto_obs::series::{ClusterSample, NodeSample};
 use ditto_obs::trace::{FAULT_TRACK, NET_TRACK};
 use ditto_obs::ObsSink;
 use ditto_sim::engine::EventQueue;
+use ditto_sim::executor::{conservative_lookahead, run_windows, window_end, SimExecutor};
+use ditto_sim::rng::SimRng;
 use ditto_sim::time::{SimDuration, SimTime};
 
-use crate::fault::{Delivery, Fault, FaultInjector, FaultPlan, LinkFault};
+use crate::fault::{Delivery, Fault, FaultInjector, FaultPlan, LinkFault, ScheduledFault};
 use crate::ids::{ConnId, Fd, NodeId, Pid, Tid};
 use crate::machine::{BlockReason, FdObj, ListenerState, Machine, Thread};
+use crate::net::{Endpoint, NodeNet};
 use crate::probe::{SyscallRecord, ThreadEvent};
-use crate::thread::{Action, Errno, MsgMeta, Syscall, SysResult, ThreadBody, ThreadCtx};
-use crate::net::NetState;
+use crate::thread::{Action, Errno, Msg, MsgMeta, Syscall, SysResult, ThreadBody, ThreadCtx};
 
-/// Events in the global queue.
+/// Events in a logical process's queue. The queue identifies the node,
+/// so events no longer carry one.
 #[derive(Debug)]
 enum Event {
-    SliceDone { node: NodeId, cpu: usize },
+    /// A CPU finished its slice busy window.
+    SliceDone { cpu: usize },
+    /// A message reached side `end` of `conn` on this node.
     DeliverMsg { conn: ConnId, end: usize, bytes: u64, meta: MsgMeta },
-    ConnArrive { node: NodeId, port: u16, conn: ConnId },
-    Wake { node: NodeId, tid: Tid, token: u64 },
-    DiskDone { node: NodeId, tid: Tid, token: u64 },
-    FaultAt { fault: Fault },
+    /// A SYN from `from` reached the listener on `port`.
+    ConnArrive { port: u16, conn: ConnId, from: NodeId },
+    /// The remote side of `conn` closed (`reset: false`) or died
+    /// (`reset: true`); `end` is the *local* side to mark.
+    PeerShutdown { conn: ConnId, end: usize, reset: bool },
+    /// A timer wake for `tid` (sleep, recv/epoll timeout).
+    Wake { tid: Tid, token: u64 },
+    /// A disk request completed for `tid`.
+    DiskDone { tid: Tid, token: u64 },
+}
+
+/// A cross-LP event waiting for the next window barrier.
+#[derive(Debug)]
+struct Outgoing {
+    dest: NodeId,
+    at: SimTime,
+    ev: Event,
 }
 
 enum SliceOutcome {
@@ -44,17 +96,14 @@ enum Flow {
     Yielded,
 }
 
-/// A cluster of simulated machines connected by a fabric.
-pub struct Cluster {
-    machines: Vec<Machine>,
-    net: NetState,
-    queue: EventQueue<Event>,
-    now: SimTime,
+/// State read (never written) by LPs while a window executes. Mutated
+/// only by the coordinator between windows.
+struct Shared {
     /// One-way latency for same-machine (loopback) messages, covering
     /// softirq and scheduling costs not charged as instructions.
-    pub loopback_latency: SimDuration,
-    seed: u64,
-    spawn_counter: u64,
+    loopback_latency: SimDuration,
+    /// Machine count (for address validation without touching peers).
+    nodes: usize,
     faults: FaultInjector,
     /// Observability sink. Disabled by default; probes are inlined no-ops
     /// then. The sink only *reads* simulation state (clock, counters,
@@ -63,12 +112,44 @@ pub struct Cluster {
     obs: ObsSink,
 }
 
+/// One logical process: a machine plus everything only it touches.
+struct Lp {
+    node: NodeId,
+    machine: Machine,
+    net: NodeNet,
+    queue: EventQueue<Event>,
+    outbox: Vec<Outgoing>,
+    /// Per-node fault-decision stream, split from the plan seed so drop
+    /// decisions don't depend on cross-node event interleaving.
+    fault_rng: SimRng,
+    /// Messages dropped on links out of this node since the last barrier.
+    dropped: u64,
+    /// LP-local spawn counter; seeds stay deterministic per node.
+    spawn_counter: u64,
+    seed_base: u64,
+    /// The LP's local clock: the latest event time it has processed.
+    now: SimTime,
+    /// Exclusive end of the current window, set by the coordinator.
+    window_end: SimTime,
+}
+
+/// A cluster of simulated machines connected by a fabric.
+pub struct Cluster {
+    lps: Vec<Lp>,
+    shared: Shared,
+    /// Pending fault-plan transitions, sorted by time.
+    control: VecDeque<ScheduledFault>,
+    now: SimTime,
+    executor: SimExecutor,
+}
+
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pending: usize = self.lps.iter().map(|lp| lp.queue.len()).sum();
         f.debug_struct("Cluster")
-            .field("machines", &self.machines.len())
+            .field("machines", &self.lps.len())
             .field("now", &self.now)
-            .field("pending_events", &self.queue.len())
+            .field("pending_events", &pending)
             .finish()
     }
 }
@@ -76,22 +157,42 @@ impl std::fmt::Debug for Cluster {
 impl Cluster {
     /// Builds a cluster with one machine per spec.
     pub fn new(specs: Vec<PlatformSpec>, seed: u64) -> Self {
-        let machines: Vec<Machine> = specs
+        let nodes = specs.len();
+        let fault_seed = seed ^ 0x63_68_61_6f_73;
+        let lps: Vec<Lp> = specs
             .into_iter()
             .enumerate()
-            .map(|(i, s)| Machine::new(NodeId(i as u32), s, seed ^ (i as u64).wrapping_mul(0x9E37)))
+            .map(|(i, s)| {
+                let node = NodeId(i as u32);
+                Lp {
+                    node,
+                    machine: Machine::new(node, s, seed ^ (i as u64).wrapping_mul(0x9E37)),
+                    net: NodeNet::new(),
+                    queue: EventQueue::new(),
+                    outbox: Vec::new(),
+                    fault_rng: FaultInjector::node_stream(fault_seed, node),
+                    dropped: 0,
+                    spawn_counter: 0,
+                    // Node 0's base is the cluster seed itself, so threads
+                    // spawned at deploy time on the primary node draw the
+                    // same seeds as the old global-counter engine did.
+                    seed_base: seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+                    now: SimTime::ZERO,
+                    window_end: SimTime::ZERO,
+                }
+            })
             .collect();
-        let nodes = machines.len();
         Cluster {
-            machines,
-            net: NetState::new(),
-            queue: EventQueue::new(),
+            lps,
+            shared: Shared {
+                loopback_latency: SimDuration::from_micros(15),
+                nodes,
+                faults: FaultInjector::new(fault_seed, nodes),
+                obs: ObsSink::Disabled,
+            },
+            control: VecDeque::new(),
             now: SimTime::ZERO,
-            loopback_latency: SimDuration::from_micros(15),
-            seed,
-            spawn_counter: 0,
-            faults: FaultInjector::new(seed ^ 0x63_68_61_6f_73, nodes),
-            obs: ObsSink::Disabled,
+            executor: SimExecutor::default(),
         }
     }
 
@@ -118,106 +219,172 @@ impl Cluster {
 
     /// Number of machines.
     pub fn len(&self) -> usize {
-        self.machines.len()
+        self.lps.len()
     }
 
     /// Whether the cluster has no machines.
     pub fn is_empty(&self) -> bool {
-        self.machines.is_empty()
+        self.lps.is_empty()
+    }
+
+    /// Selects how `run_until` executes its windows. Safe to change
+    /// between runs; the measured outputs are identical either way.
+    pub fn set_executor(&mut self, executor: SimExecutor) {
+        self.executor = executor;
+    }
+
+    /// The current execution strategy.
+    pub fn executor(&self) -> SimExecutor {
+        self.executor
     }
 
     /// Installs an observability sink. Call before deploying services so
     /// they pick it up too.
     pub fn set_obs(&mut self, obs: ObsSink) {
-        self.obs = obs;
+        self.shared.obs = obs;
     }
 
     /// The cluster's observability sink (cheap to clone).
     pub fn obs(&self) -> &ObsSink {
-        &self.obs
+        &self.shared.obs
     }
 
     /// Instructions replayed by the execution fast path, summed over the
     /// whole cluster (diagnostic; zero when `DITTO_NO_FASTPATH` is set).
     pub fn fastforward_iterations(&self) -> u64 {
-        self.machines.iter().map(Machine::fastforward_iterations).sum()
+        self.lps.iter().map(|lp| lp.machine.fastforward_iterations()).sum()
     }
 
     /// Access to a machine.
     pub fn machine(&self, node: NodeId) -> &Machine {
-        &self.machines[node.index()]
+        &self.lps[node.index()].machine
     }
 
     /// Mutable access to a machine.
     pub fn machine_mut(&mut self, node: NodeId) -> &mut Machine {
-        &mut self.machines[node.index()]
+        &mut self.lps[node.index()].machine
     }
 
     /// Creates a process on `node`.
     pub fn spawn_process(&mut self, node: NodeId) -> Pid {
-        self.machines[node.index()].spawn_process()
+        self.lps[node.index()].machine.spawn_process()
     }
 
     /// Creates a runnable thread and dispatches if a CPU is free.
     pub fn spawn_thread(&mut self, node: NodeId, pid: Pid, body: Box<dyn ThreadBody>) -> Tid {
-        self.spawn_counter += 1;
-        let seed = self.seed ^ self.spawn_counter.wrapping_mul(0x517c_c1b7_2722_0a95);
-        let m = &mut self.machines[node.index()];
-        let tid = m.create_thread(pid, body, seed);
-        m.emit_thread_event(self.now, tid, ThreadEvent::Spawned { parent: None });
-        m.run_queue.push_back(tid);
-        self.try_dispatch(node);
+        let now = self.now;
+        let Cluster { lps, shared, .. } = self;
+        let lp = &mut lps[node.index()];
+        if lp.now < now {
+            lp.now = now;
+        }
+        let tid = lp.spawn_thread_at(pid, body, None, lp.now);
+        lp.try_dispatch(shared);
+        merge_outboxes(lps);
+        for lp in lps.iter_mut() {
+            shared.faults.dropped_messages += std::mem::take(&mut lp.dropped);
+        }
         tid
+    }
+
+    /// The conservative lookahead in nanoseconds: the minimum NIC link
+    /// latency over the cluster, or unbounded for a single machine.
+    fn lookahead_ns(&self) -> u64 {
+        if self.lps.len() <= 1 {
+            return u64::MAX;
+        }
+        conservative_lookahead(
+            self.lps.iter().map(|lp| lp.machine.nic.spec().link_latency.as_nanos()),
+        )
     }
 
     /// Runs the event loop until simulated time `t`.
     ///
-    /// Periodic observability samples are taken from this pop loop (a
+    /// Periodic observability samples are taken at window boundaries (a
     /// cursor comparison against the sim clock), never via queue events —
     /// the event stream is identical with sampling on or off.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(ev_time) = self.queue.peek_time() {
-            if ev_time > t {
+        let lookahead_ns = self.lookahead_ns();
+        let workers = self.executor.workers();
+        loop {
+            let next_ev = self.lps.iter().filter_map(|lp| lp.queue.peek_time()).min();
+            let next_ctl = self.control.front().map(|sf| sf.at);
+            if let Some(ca) = next_ctl {
+                // A control transition fires once nothing precedes it;
+                // at equal times control wins so the new fault state
+                // governs same-instant events.
+                if ca <= t && next_ev.is_none_or(|e| ca <= e) {
+                    let sf = self.control.pop_front().expect("peeked");
+                    self.now = self.now.max(sf.at);
+                    if self.shared.obs.sample_due(self.now) {
+                        sample_obs(&self.lps, &self.shared.obs, self.now);
+                    }
+                    self.apply_fault(sf.fault);
+                    continue;
+                }
+            }
+            let Some(ev) = next_ev else { break };
+            if ev > t {
                 break;
             }
-            let (ev_time, ev) = self.queue.pop().expect("peeked");
-            self.now = self.now.max(ev_time);
-            if self.obs.sample_due(self.now) {
-                self.take_obs_sample();
+            let mut cap_ns = t.as_nanos().saturating_add(1);
+            if let Some(ca) = next_ctl {
+                cap_ns = cap_ns.min(ca.as_nanos());
             }
-            self.handle(ev);
+            self.run_span(cap_ns, lookahead_ns, workers);
         }
         self.now = self.now.max(t);
-        if self.obs.sample_due(self.now) {
-            self.take_obs_sample();
+        if self.shared.obs.sample_due(self.now) {
+            sample_obs(&self.lps, &self.shared.obs, self.now);
         }
     }
 
-    /// Snapshots counters, queue depths and network totals into the
-    /// observability time series.
-    fn take_obs_sample(&self) {
-        let nodes = self
-            .machines
-            .iter()
-            .enumerate()
-            .map(|(i, m)| {
-                let (counters, run_queue) = m.obs_snapshot();
-                NodeSample { node: i as u32, counters, run_queue }
-            })
-            .collect();
-        let qs = self.queue.stats();
-        let (net_msgs, net_bytes) = self.net.delivery_stats();
-        self.obs.push_sample(
-            self.now,
-            &ClusterSample {
-                nodes,
-                event_queue_depth: self.queue.len(),
-                event_pushes: qs.pushes,
-                event_pops: qs.pops,
-                net_msgs,
-                net_bytes,
+    /// Drains every event strictly before `cap_ns`, window by window, on
+    /// the configured executor. The coordinator plans each window with
+    /// exclusive access to all LPs; the gang (or the caller's thread)
+    /// drains the active LPs' queues up to the window end.
+    fn run_span(&mut self, cap_ns: u64, lookahead_ns: u64, workers: usize) {
+        let Cluster { lps, shared, now, .. } = self;
+        let shared_ro: &Shared = shared;
+        let mut sim_now = *now;
+        run_windows(
+            lps,
+            workers,
+            |lps| {
+                merge_outboxes(lps);
+                for lp in lps.iter() {
+                    if lp.now > sim_now {
+                        sim_now = lp.now;
+                    }
+                }
+                let t0 = lps.iter().filter_map(|lp| lp.queue.peek_time()).min()?;
+                if t0.as_nanos() >= cap_ns {
+                    return None;
+                }
+                let end = SimTime::from_nanos(window_end(t0.as_nanos(), lookahead_ns, cap_ns));
+                if sim_now < t0 {
+                    sim_now = t0;
+                }
+                if shared_ro.obs.sample_due(sim_now) {
+                    sample_obs(lps, &shared_ro.obs, sim_now);
+                }
+                let mut active = Vec::new();
+                for (i, lp) in lps.iter_mut().enumerate() {
+                    lp.window_end = end;
+                    if lp.queue.peek_time().is_some_and(|pt| pt < end) {
+                        active.push(i);
+                    }
+                }
+                Some(active)
             },
+            |_, lp| lp.run_window(shared_ro),
         );
+        if sim_now > *now {
+            *now = sim_now;
+        }
+        for lp in lps.iter_mut() {
+            shared.faults.dropped_messages += std::mem::take(&mut lp.dropped);
+        }
     }
 
     /// Runs for a duration from the current time.
@@ -226,34 +393,37 @@ impl Cluster {
         self.run_until(t);
     }
 
-    /// Whether any events remain.
+    /// Whether any events (or pending fault transitions) remain.
     pub fn has_pending_events(&self) -> bool {
-        !self.queue.is_empty()
+        !self.control.is_empty() || self.lps.iter().any(|lp| !lp.queue.is_empty())
     }
 
     /// Installs a fault schedule: replaces the injector with one seeded by
-    /// the plan and enqueues every transition at its scheduled time.
-    /// Installing the same plan on identically-seeded clusters produces
-    /// bit-identical fault behaviour.
+    /// the plan, reseeds every LP's fault stream, and queues the
+    /// transitions as control-plane epochs. Installing the same plan on
+    /// identically-seeded clusters produces bit-identical fault behaviour.
     pub fn install_faults(&mut self, plan: &FaultPlan) {
-        self.faults = FaultInjector::new(plan.seed, self.machines.len());
-        for sf in &plan.faults {
-            self.queue.push(sf.at, Event::FaultAt { fault: sf.fault });
+        self.shared.faults = FaultInjector::new(plan.seed, self.lps.len());
+        for lp in &mut self.lps {
+            lp.fault_rng = FaultInjector::node_stream(plan.seed, lp.node);
         }
+        let mut ctl = plan.faults.clone();
+        ctl.sort_by_key(|sf| sf.at);
+        self.control = ctl.into();
     }
 
     /// Whether `node` is currently schedulable (not crashed).
     pub fn node_up(&self, node: NodeId) -> bool {
-        !self.faults.is_down(node)
+        !self.shared.faults.is_down(node)
     }
 
     /// Read access to the fault injector (drop/reset counters, link state).
     pub fn fault_state(&self) -> &FaultInjector {
-        &self.faults
+        &self.shared.faults
     }
 
     fn apply_fault(&mut self, f: Fault) {
-        if self.obs.tracing() {
+        if self.shared.obs.tracing() {
             let name = match f {
                 Fault::NodeCrash { .. } => "node-crash",
                 Fault::NodeRestart { .. } => "node-restart",
@@ -263,37 +433,49 @@ impl Cluster {
                 Fault::DiskDegrade { .. } => "disk-degrade",
                 Fault::CoreOffline { .. } => "core-offline",
             };
-            self.obs.instant(self.now, 0, FAULT_TRACK, "fault", name);
+            self.shared.obs.instant(self.now, 0, FAULT_TRACK, "fault", name);
         }
         match f {
             Fault::NodeCrash { node } => {
-                if self.faults.mark_down(node) {
+                if self.shared.faults.mark_down(node) {
                     self.crash_node(node);
                 }
             }
-            Fault::NodeRestart { node } => self.faults.mark_up(node),
-            Fault::LinkDegrade { a, b, drop_prob, extra_latency, jitter } => self.faults.set_link(
-                a,
-                b,
-                LinkFault { drop_prob, extra_latency, jitter, partitioned: false },
-            ),
-            Fault::Partition { a, b } => {
-                self.faults.set_link(a, b, LinkFault { partitioned: true, ..Default::default() });
+            Fault::NodeRestart { node } => self.shared.faults.mark_up(node),
+            Fault::LinkDegrade { a, b, drop_prob, extra_latency, jitter } => {
+                self.shared.faults.set_link(
+                    a,
+                    b,
+                    LinkFault { drop_prob, extra_latency, jitter, partitioned: false },
+                );
             }
-            Fault::LinkHeal { a, b } => self.faults.set_link(a, b, LinkFault::default()),
-            Fault::DiskDegrade { node, factor } => self.faults.set_disk_factor(node, factor),
+            Fault::Partition { a, b } => {
+                self.shared
+                    .faults
+                    .set_link(a, b, LinkFault { partitioned: true, ..Default::default() });
+            }
+            Fault::LinkHeal { a, b } => self.shared.faults.set_link(a, b, LinkFault::default()),
+            Fault::DiskDegrade { node, factor } => {
+                self.shared.faults.set_disk_factor(node, factor);
+            }
             Fault::CoreOffline { node, cores } => {
-                self.machines[node.index()].set_active_cores(cores);
+                self.lps[node.index()].machine.set_active_cores(cores);
             }
         }
     }
 
     /// Fail-stop crash: kills every process on the node and resets every
-    /// connection touching it, waking remote peers with `ConnReset`.
+    /// connection touching it. Remote peers learn via `PeerShutdown`
+    /// events scheduled at the crash instant — the coordinator walks the
+    /// crashed LP's endpoint table in deterministic key order.
     fn crash_node(&mut self, node: NodeId) {
         let now = self.now;
+        let lp = &mut self.lps[node.index()];
+        if lp.now < now {
+            lp.now = now;
+        }
         {
-            let m = &mut self.machines[node.index()];
+            let m = &mut lp.machine;
             m.run_queue.clear();
             for cpu in m.cpus.iter_mut() {
                 cpu.running = None;
@@ -315,116 +497,251 @@ impl Cluster {
             }
             m.listeners.clear();
         }
-        // Reset connections; collect remote peers to wake outside the
-        // net borrow.
-        let mut wake_err = Vec::new();
-        let mut notify = Vec::new();
-        for id in self.net.conns_touching(node) {
-            let Some(c) = self.net.conn_mut(id) else { continue };
-            if c.ends[0].reset && c.ends[1].reset {
+        let mut resets = 0u64;
+        let mut shutdowns: Vec<(NodeId, Event)> = Vec::new();
+        for (&(conn, end), ep) in lp.net.endpoints_mut() {
+            if ep.reset {
                 continue; // already dead
             }
-            self.faults.reset_connections += 1;
-            for e in 0..2 {
-                let ep = &mut c.ends[e];
-                ep.reset = true;
-                ep.rx.clear();
-                let waiter = ep.recv_waiter.take();
-                if ep.node == node {
-                    continue; // local side died with its process
+            ep.reset = true;
+            ep.rx.clear();
+            ep.recv_waiter = None;
+            if ep.peer_node == node {
+                // Loopback: both ends die here; count the pair once.
+                if end == 0 {
+                    resets += 1;
                 }
-                if let Some(w) = waiter {
-                    wake_err.push((ep.node, w));
-                } else if let (Some(pid), Some(fd)) = (ep.pid, ep.fd) {
-                    notify.push((ep.node, pid, fd));
-                }
+            } else {
+                resets += 1;
+                shutdowns.push((
+                    ep.peer_node,
+                    Event::PeerShutdown { conn, end: 1 - end, reset: true },
+                ));
             }
         }
-        for (n, tid) in wake_err {
-            self.wake_thread(n, tid, SysResult::Err(Errno::ConnReset));
-            self.try_dispatch(n);
+        self.shared.faults.reset_connections += resets;
+        for (dest, ev) in shutdowns {
+            self.lps[dest.index()].queue.push_from(now, node.0, ev);
         }
-        for (n, pid, fd) in notify {
-            self.notify_epoll(n, pid, fd);
-            self.try_dispatch(n);
+    }
+}
+
+/// Moves every LP's outbox into the destination queues, in LP-index
+/// order, stamping the sender's node id for stable tie-breaking. Runs on
+/// the coordinator with exclusive access.
+fn merge_outboxes(lps: &mut [Lp]) {
+    for i in 0..lps.len() {
+        if lps[i].outbox.is_empty() {
+            continue;
+        }
+        let src = lps[i].node.0;
+        let mut out = std::mem::take(&mut lps[i].outbox);
+        for Outgoing { dest, at, ev } in out.drain(..) {
+            lps[dest.index()].queue.push_from(at, src, ev);
+        }
+        lps[i].outbox = out; // keep the allocation
+    }
+}
+
+/// Snapshots counters, queue depths and network totals into the
+/// observability time series.
+fn sample_obs(lps: &[Lp], obs: &ObsSink, now: SimTime) {
+    let mut depth = 0usize;
+    let mut pushes = 0u64;
+    let mut pops = 0u64;
+    let mut net_msgs = 0u64;
+    let mut net_bytes = 0u64;
+    let nodes = lps
+        .iter()
+        .map(|lp| {
+            let (counters, run_queue) = lp.machine.obs_snapshot();
+            depth += lp.queue.len();
+            let qs = lp.queue.stats();
+            pushes += qs.pushes;
+            pops += qs.pops;
+            let (m, b) = lp.net.delivery_stats();
+            net_msgs += m;
+            net_bytes += b;
+            NodeSample { node: lp.node.0, counters, run_queue }
+        })
+        .collect();
+    obs.push_sample(
+        now,
+        &ClusterSample {
+            nodes,
+            event_queue_depth: depth,
+            event_pushes: pushes,
+            event_pops: pops,
+            net_msgs,
+            net_bytes,
+        },
+    );
+}
+
+impl Lp {
+    /// Schedules an event in this LP's own queue.
+    fn push_local(&mut self, at: SimTime, ev: Event) {
+        let src = self.node.0;
+        self.queue.push_from(at, src, ev);
+    }
+
+    /// Drains every local event strictly before the planned window end.
+    /// Events pushed *during* the window that still fall inside it (same
+    /// LP only — cross-LP pushes can't, by the lookahead argument) are
+    /// drained too, exactly as the sequential loop would.
+    fn run_window(&mut self, shared: &Shared) {
+        let end = self.window_end;
+        while let Some(pt) = self.queue.peek_time() {
+            if pt >= end {
+                break;
+            }
+            let (tev, ev) = self.queue.pop().expect("peeked");
+            if tev > self.now {
+                self.now = tev;
+            }
+            self.handle(shared, ev);
         }
     }
 
-    fn handle(&mut self, ev: Event) {
+    fn spawn_thread_at(
+        &mut self,
+        pid: Pid,
+        body: Box<dyn ThreadBody>,
+        parent: Option<Tid>,
+        at: SimTime,
+    ) -> Tid {
+        self.spawn_counter += 1;
+        let seed = self.seed_base ^ self.spawn_counter.wrapping_mul(0x517c_c1b7_2722_0a95);
+        let tid = self.machine.create_thread(pid, body, seed);
+        self.machine.emit_thread_event(at, tid, ThreadEvent::Spawned { parent });
+        self.machine.run_queue.push_back(tid);
+        tid
+    }
+
+    fn handle(&mut self, shared: &Shared, ev: Event) {
         match ev {
-            Event::SliceDone { node, cpu } => {
-                let m = &mut self.machines[node.index()];
-                // The slice may have been superseded if the thread ran again;
-                // only clear if the busy window has elapsed.
-                if m.cpus[cpu].busy_until <= self.now {
-                    m.cpus[cpu].running = None;
+            Event::SliceDone { cpu } => {
+                // The slice may have been superseded if the thread ran
+                // again; only clear if the busy window has elapsed.
+                if self.machine.cpus[cpu].busy_until <= self.now {
+                    self.machine.cpus[cpu].running = None;
                 }
-                self.try_dispatch(node);
+                self.try_dispatch(shared);
             }
             Event::DeliverMsg { conn, end, bytes, meta } => {
+                if shared.faults.is_down(self.node) {
+                    return;
+                }
                 let arrived = self.now;
-                let Some(c) = self.net.conn_mut(conn) else { return };
-                let ep = &mut c.ends[end];
-                if ep.reset || self.faults.is_down(ep.node) {
+                let Some(ep) = self.net.endpoint_mut(conn, end) else { return };
+                if ep.reset {
                     // Destination endpoint died between send and delivery.
                     return;
                 }
-                ep.rx.push_back(crate::thread::Msg { bytes, meta, arrived });
-                let node = ep.node;
+                ep.rx.push_back(Msg { bytes, meta, arrived });
                 let waiter = ep.recv_waiter.take();
                 let notify = (ep.pid, ep.fd);
                 self.net.note_delivered(bytes);
-                self.obs.instant(arrived, node.0, NET_TRACK, "net", "deliver");
+                shared.obs.instant(arrived, self.node.0, NET_TRACK, "net", "deliver");
                 if let Some(tid) = waiter {
                     let msg = self
                         .net
-                        .conn_mut(conn)
-                        .and_then(|c| c.ends[end].rx.pop_front())
+                        .endpoint_mut(conn, end)
+                        .and_then(|e| e.rx.pop_front())
                         .expect("just pushed");
-                    self.wake_thread(node, tid, SysResult::Msg(msg));
+                    self.wake_thread(tid, SysResult::Msg(msg));
                 } else if let (Some(pid), Some(fd)) = notify {
-                    self.notify_epoll(node, pid, fd);
+                    self.notify_epoll(pid, fd);
                 }
-                self.try_dispatch(node);
+                self.try_dispatch(shared);
             }
-            Event::ConnArrive { node, port, conn } => {
-                if self.faults.is_down(node) {
+            Event::ConnArrive { port, conn, from } => {
+                let node = self.node;
+                let loopback = from == node;
+                if shared.faults.is_down(node) {
                     // The target crashed while the SYN was in flight.
-                    if let Some(c) = self.net.conn_mut(conn) {
-                        c.ends[0].reset = true;
+                    if loopback {
+                        if let Some(ep) = self.net.endpoint_mut(conn, 0) {
+                            ep.reset = true;
+                        }
+                    } else {
+                        let at = self.now + self.machine.nic.spec().link_latency;
+                        self.outbox.push(Outgoing {
+                            dest: from,
+                            at,
+                            ev: Event::PeerShutdown { conn, end: 0, reset: true },
+                        });
                     }
                     return;
                 }
-                let m = &mut self.machines[node.index()];
-                let Some(listener) = m.listeners.get_mut(&port) else {
+                if !self.machine.listeners.contains_key(&port) {
                     // Listener vanished: refuse.
-                    if let Some(c) = self.net.conn_mut(conn) {
-                        c.ends[0].peer_closed = true;
+                    if loopback {
+                        if let Some(ep) = self.net.endpoint_mut(conn, 0) {
+                            ep.peer_closed = true;
+                        }
+                    } else {
+                        let at = self.now + self.machine.nic.spec().link_latency;
+                        self.outbox.push(Outgoing {
+                            dest: from,
+                            at,
+                            ev: Event::PeerShutdown { conn, end: 0, reset: false },
+                        });
                     }
                     return;
+                }
+                if !loopback {
+                    // The accepting side materialises on SYN arrival
+                    // (loopback created both ends at connect).
+                    self.net.insert(conn, 1, Endpoint::new(from));
+                }
+                let (lpid, lfd, waiter) = {
+                    let l = self.machine.listeners.get_mut(&port).expect("checked");
+                    (l.pid, l.fd, l.waiting.pop_front())
                 };
-                let lpid = listener.pid;
-                let lfd = listener.fd;
-                if let Some(tid) = listener.waiting.pop_front() {
-                    let fd = {
-                        let p = m.process_mut(lpid);
-                        p.insert_fd(FdObj::Sock { conn, end: 1 })
-                    };
-                    if let Some(c) = self.net.conn_mut(conn) {
-                        let ep = &mut c.ends[1];
+                if let Some(tid) = waiter {
+                    let fd = self.machine.process_mut(lpid).insert_fd(FdObj::Sock { conn, end: 1 });
+                    if let Some(ep) = self.net.endpoint_mut(conn, 1) {
                         ep.pid = Some(lpid);
                         ep.fd = Some(fd);
                     }
-                    self.wake_thread(node, tid, SysResult::Fd(fd));
+                    self.wake_thread(tid, SysResult::Fd(fd));
                 } else {
-                    listener.pending.push_back(conn);
-                    self.notify_epoll(node, lpid, lfd);
+                    self.machine
+                        .listeners
+                        .get_mut(&port)
+                        .expect("checked")
+                        .pending
+                        .push_back(conn);
+                    self.notify_epoll(lpid, lfd);
                 }
-                self.try_dispatch(node);
+                self.try_dispatch(shared);
             }
-            Event::Wake { node, tid, token } => {
-                let m = &mut self.machines[node.index()];
-                let Some(thread) = m.threads.get_mut(tid.index()).and_then(|t| t.as_mut()) else {
+            Event::PeerShutdown { conn, end, reset } => {
+                let Some(ep) = self.net.endpoint_mut(conn, end) else { return };
+                if reset {
+                    if ep.reset {
+                        return;
+                    }
+                    ep.reset = true;
+                    ep.rx.clear();
+                } else {
+                    ep.peer_closed = true;
+                }
+                let waiter = ep.recv_waiter.take();
+                let notify = (ep.pid, ep.fd);
+                let err = if reset { Errno::ConnReset } else { Errno::ConnClosed };
+                if let Some(tid) = waiter {
+                    self.wake_thread(tid, SysResult::Err(err));
+                } else if let (Some(pid), Some(fd)) = notify {
+                    self.notify_epoll(pid, fd);
+                }
+                self.try_dispatch(shared);
+            }
+            Event::Wake { tid, token } => {
+                let Some(thread) =
+                    self.machine.threads.get_mut(tid.index()).and_then(|t| t.as_mut())
+                else {
                     return;
                 };
                 let matches = matches!(&thread.block, Some((_, t)) if *t == token);
@@ -432,37 +749,37 @@ impl Cluster {
                     return;
                 }
                 let (reason, _) = thread.block.take().expect("matched above");
+                let pid = thread.pid;
                 let result = match reason {
                     BlockReason::Sleep => SysResult::None,
                     BlockReason::Epoll { ep } => {
-                        let pid = thread.pid;
-                        let p = m.process_mut(pid);
+                        let p = self.machine.process_mut(pid);
                         p.epoll_waiters.remove(&ep);
                         let watched = match p.fds.get(&ep) {
                             Some(FdObj::Epoll { watched }) => watched.clone(),
                             _ => Vec::new(),
                         };
-                        let ready = self.ready_fds(node, pid, &watched);
-                        SysResult::Ready(ready)
+                        SysResult::Ready(self.ready_fds(pid, &watched))
                     }
                     BlockReason::Recv { conn, end } => {
                         // Receive timeout fired: deregister the waiter so a
                         // late delivery can't wake a thread that moved on.
-                        if let Some(c) = self.net.conn_mut(conn) {
-                            if c.ends[end].recv_waiter == Some(tid) {
-                                c.ends[end].recv_waiter = None;
+                        if let Some(ep) = self.net.endpoint_mut(conn, end) {
+                            if ep.recv_waiter == Some(tid) {
+                                ep.recv_waiter = None;
                             }
                         }
                         SysResult::Err(Errno::TimedOut)
                     }
                     _ => SysResult::None,
                 };
-                self.wake_thread(node, tid, result);
-                self.try_dispatch(node);
+                self.wake_thread(tid, result);
+                self.try_dispatch(shared);
             }
-            Event::DiskDone { node, tid, token } => {
-                let m = &mut self.machines[node.index()];
-                let Some(thread) = m.threads.get_mut(tid.index()).and_then(|t| t.as_mut()) else {
+            Event::DiskDone { tid, token } => {
+                let Some(thread) =
+                    self.machine.threads.get_mut(tid.index()).and_then(|t| t.as_mut())
+                else {
                     return;
                 };
                 let bytes = match &thread.block {
@@ -470,26 +787,24 @@ impl Cluster {
                     _ => return,
                 };
                 thread.block = None;
-                self.wake_thread(node, tid, SysResult::Bytes(bytes));
-                self.try_dispatch(node);
+                self.wake_thread(tid, SysResult::Bytes(bytes));
+                self.try_dispatch(shared);
             }
-            Event::FaultAt { fault } => self.apply_fault(fault),
         }
     }
 
-    fn ready_fds(&self, node: NodeId, pid: Pid, watched: &[Fd]) -> Vec<Fd> {
-        let m = &self.machines[node.index()];
-        let p = m.process(pid);
+    fn ready_fds(&self, pid: Pid, watched: &[Fd]) -> Vec<Fd> {
+        let p = self.machine.process(pid);
         let mut ready = Vec::new();
         for &fd in watched {
             match p.fds.get(&fd) {
                 Some(FdObj::Sock { conn, end })
-                    if self.net.conn(*conn).is_some_and(|c| c.ends[*end].readable()) =>
+                    if self.net.endpoint(*conn, *end).is_some_and(Endpoint::readable) =>
                 {
                     ready.push(fd);
                 }
                 Some(FdObj::Listener { port })
-                    if m.listeners.get(port).is_some_and(|l| !l.pending.is_empty()) =>
+                    if self.machine.listeners.get(port).is_some_and(|l| !l.pending.is_empty()) =>
                 {
                     ready.push(fd);
                 }
@@ -499,46 +814,39 @@ impl Cluster {
         ready
     }
 
-    fn wake_thread(&mut self, node: NodeId, tid: Tid, result: SysResult) {
-        let m = &mut self.machines[node.index()];
+    fn wake_thread(&mut self, tid: Tid, result: SysResult) {
+        let now = self.now;
+        let m = &mut self.machine;
         if let Some(thread) = m.threads.get_mut(tid.index()).and_then(|t| t.as_mut()) {
             thread.block = None;
             thread.pending = result;
             m.run_queue.push_back(tid);
-            m.emit_thread_event(self.now, tid, ThreadEvent::Woken);
+            m.emit_thread_event(now, tid, ThreadEvent::Woken);
         }
     }
 
-    fn notify_epoll(&mut self, node: NodeId, pid: Pid, fd: Fd) {
-        let eps: Vec<Fd> = {
-            let m = &self.machines[node.index()];
-            m.process(pid).watch_index.get(&fd).cloned().unwrap_or_default()
-        };
+    fn notify_epoll(&mut self, pid: Pid, fd: Fd) {
+        let eps: Vec<Fd> =
+            self.machine.process(pid).watch_index.get(&fd).cloned().unwrap_or_default();
         for ep in eps {
-            let waiter = {
-                let m = &mut self.machines[node.index()];
-                m.process_mut(pid).epoll_waiters.remove(&ep)
-            };
+            let waiter = self.machine.process_mut(pid).epoll_waiters.remove(&ep);
             if let Some(tid) = waiter {
-                let watched = {
-                    let m = &self.machines[node.index()];
-                    match m.process(pid).fds.get(&ep) {
-                        Some(FdObj::Epoll { watched }) => watched.clone(),
-                        _ => Vec::new(),
-                    }
+                let watched = match self.machine.process(pid).fds.get(&ep) {
+                    Some(FdObj::Epoll { watched }) => watched.clone(),
+                    _ => Vec::new(),
                 };
-                let ready = self.ready_fds(node, pid, &watched);
-                self.wake_thread(node, tid, SysResult::Ready(ready));
+                let ready = self.ready_fds(pid, &watched);
+                self.wake_thread(tid, SysResult::Ready(ready));
             }
         }
     }
 
-    fn try_dispatch(&mut self, node: NodeId) {
-        if self.faults.is_down(node) {
+    fn try_dispatch(&mut self, shared: &Shared) {
+        if shared.faults.is_down(self.node) {
             return;
         }
         loop {
-            let m = &mut self.machines[node.index()];
+            let m = &mut self.machine;
             let Some(cpu) = m.pick_free_cpu() else { break };
             let Some(tid) = m.run_queue.pop_front() else { break };
             // Skip stale queue entries (exited or re-blocked threads).
@@ -551,34 +859,33 @@ impl Cluster {
             if !ok {
                 continue;
             }
-            self.run_slice(node, cpu, tid);
+            self.run_slice(shared, cpu, tid);
         }
     }
 
-    fn run_slice(&mut self, node: NodeId, cpu: usize, tid: Tid) {
+    fn run_slice(&mut self, shared: &Shared, cpu: usize, tid: Tid) {
         let start = self.now;
-        let ni = node.index();
-        let mut thread = match self.machines[ni].threads[tid.index()].take() {
+        let mut thread = match self.machine.threads[tid.index()].take() {
             Some(t) => t,
             None => return,
         };
-        let prev = self.machines[ni].cpus[cpu].last_thread;
-        self.machines[ni].cpus[cpu].running = Some(tid);
-        let quantum = self.machines[ni].quantum;
+        let prev = self.machine.cpus[cpu].last_thread;
+        self.machine.cpus[cpu].running = Some(tid);
+        let quantum = self.machine.quantum;
         let mut t_local = start;
 
         if prev != Some(tid) {
-            let m = &mut self.machines[ni];
+            let m = &mut self.machine;
             let prog = m.kcode.context_switch_program(&mut thread.rng);
             t_local += m.exec_on_cpu(cpu, &mut thread, &prog, true);
             m.emit_context_switch(start, cpu, prev, tid);
         }
-        self.machines[ni].emit_thread_event_detached(start, &thread, ThreadEvent::Dispatched { cpu });
-        let tracing = self.obs.tracing();
+        self.machine.emit_thread_event_detached(start, &thread, ThreadEvent::Dispatched { cpu });
+        let tracing = shared.obs.tracing();
         if tracing {
-            self.obs.begin(start, node.0, cpu as u32, "sched", thread.body.label());
+            shared.obs.begin(start, self.node.0, cpu as u32, "sched", thread.body.label());
         }
-        let ff_before = if tracing { self.machines[ni].fastforward_iterations() } else { 0 };
+        let ff_before = if tracing { self.machine.fastforward_iterations() } else { 0 };
 
         let mut steps = 0u32;
         let outcome = loop {
@@ -594,25 +901,26 @@ impl Cluster {
             };
             match action {
                 Action::Compute(prog) => {
-                    let m = &mut self.machines[ni];
-                    t_local += m.exec_on_cpu(cpu, &mut thread, &prog, false);
+                    t_local += self.machine.exec_on_cpu(cpu, &mut thread, &prog, false);
                 }
-                Action::Syscall(sc) => match self.do_syscall(node, cpu, &mut thread, sc, &mut t_local) {
-                    Flow::Continue => {}
-                    Flow::Blocked => break SliceOutcome::Blocked,
-                    Flow::Yielded => break SliceOutcome::Preempted,
-                },
+                Action::Syscall(sc) => {
+                    match self.do_syscall(shared, cpu, &mut thread, sc, &mut t_local) {
+                        Flow::Continue => {}
+                        Flow::Blocked => break SliceOutcome::Blocked,
+                        Flow::Yielded => break SliceOutcome::Preempted,
+                    }
+                }
                 Action::Exit => break SliceOutcome::Exited,
             }
         };
 
         if tracing {
-            if self.machines[ni].fastforward_iterations() > ff_before {
-                self.obs.instant(t_local, node.0, cpu as u32, "fastpath", "engage");
+            if self.machine.fastforward_iterations() > ff_before {
+                shared.obs.instant(t_local, self.node.0, cpu as u32, "fastpath", "engage");
             }
-            self.obs.end(t_local, node.0, cpu as u32);
+            shared.obs.end(t_local, self.node.0, cpu as u32);
         }
-        let m = &mut self.machines[ni];
+        let m = &mut self.machine;
         m.cpus[cpu].busy_until = t_local;
         m.cpus[cpu].last_thread = Some(tid);
         match outcome {
@@ -630,23 +938,23 @@ impl Cluster {
             }
         }
         m.threads[tid.index()] = Some(thread);
-        self.queue.push(t_local, Event::SliceDone { node, cpu });
+        self.push_local(t_local, Event::SliceDone { cpu });
     }
 
-    #[allow(clippy::too_many_lines)]
     fn do_syscall(
         &mut self,
-        node: NodeId,
+        shared: &Shared,
         cpu: usize,
         thread: &mut Thread,
         sc: Syscall,
         t_local: &mut SimTime,
     ) -> Flow {
-        let ni = node.index();
         let pid = thread.pid;
         let name = sc.name();
         let copy_bytes = match &sc {
-            Syscall::Read { bytes, .. } | Syscall::Write { bytes, .. } | Syscall::Send { bytes, .. } => *bytes,
+            Syscall::Read { bytes, .. }
+            | Syscall::Write { bytes, .. }
+            | Syscall::Send { bytes, .. } => *bytes,
             _ => 0,
         };
         let offset_arg = match &sc {
@@ -656,13 +964,13 @@ impl Cluster {
 
         // Charge the kernel path's instructions on this CPU.
         {
-            let m = &mut self.machines[ni];
+            let m = &mut self.machine;
             let prog = m.kcode.program_for(name, copy_bytes, 0, &mut thread.rng);
             *t_local += m.exec_on_cpu(cpu, thread, &prog, true);
         }
 
         let mut blocked = false;
-        let flow = self.syscall_semantics(node, thread, sc, t_local, &mut blocked);
+        let flow = self.syscall_semantics(shared, thread, sc, t_local, &mut blocked);
 
         let rec = SyscallRecord {
             time: *t_local,
@@ -673,25 +981,26 @@ impl Cluster {
             offset: offset_arg,
             blocked,
         };
-        self.machines[ni].emit_syscall(&rec);
-        self.obs.instant(*t_local, node.0, cpu as u32, "syscall", name);
+        self.machine.emit_syscall(&rec);
+        shared.obs.instant(*t_local, self.node.0, cpu as u32, "syscall", name);
         flow
     }
 
+    #[allow(clippy::too_many_lines)]
     fn syscall_semantics(
         &mut self,
-        node: NodeId,
+        shared: &Shared,
         thread: &mut Thread,
         sc: Syscall,
         t_local: &mut SimTime,
         blocked: &mut bool,
     ) -> Flow {
-        let ni = node.index();
+        let node = self.node;
         let pid = thread.pid;
         let tid = thread.tid;
         match sc {
             Syscall::Open { file } => {
-                let m = &mut self.machines[ni];
+                let m = &mut self.machine;
                 if m.fs.size(file).is_some() {
                     let fd = m.process_mut(pid).insert_fd(FdObj::File { file, pos: 0 });
                     thread.pending = SysResult::Fd(fd);
@@ -701,7 +1010,7 @@ impl Cluster {
                 Flow::Continue
             }
             Syscall::Read { fd, bytes, offset } => {
-                let m = &mut self.machines[ni];
+                let m = &mut self.machine;
                 let (file, pos) = match m.process(pid).fds.get(&fd) {
                     Some(FdObj::File { file, pos }) => (*file, *pos),
                     _ => {
@@ -721,14 +1030,13 @@ impl Cluster {
                 }
                 if plan.miss_pages > 0 {
                     let mut done = m.disk.submit(*t_local, plan.miss_bytes());
-                    let factor = self.faults.disk_factor(node);
+                    let factor = shared.faults.disk_factor(node);
                     if factor > 1.0 {
                         done = *t_local + done.saturating_since(*t_local) * factor;
                     }
-                    let m = &mut self.machines[ni];
-                    let token = m.next_wake_token();
+                    let token = self.machine.next_wake_token();
                     thread.block = Some((BlockReason::Disk { bytes: plan.bytes }, token));
-                    self.queue.push(done, Event::DiskDone { node, tid, token });
+                    self.push_local(done, Event::DiskDone { tid, token });
                     *blocked = true;
                     Flow::Blocked
                 } else {
@@ -737,7 +1045,7 @@ impl Cluster {
                 }
             }
             Syscall::Write { fd, bytes } => {
-                let m = &mut self.machines[ni];
+                let m = &mut self.machine;
                 let file = match m.process(pid).fds.get(&fd) {
                     Some(FdObj::File { file, .. }) => *file,
                     _ => {
@@ -750,25 +1058,40 @@ impl Cluster {
                 Flow::Continue
             }
             Syscall::Close { fd } => {
-                let m = &mut self.machines[ni];
-                let obj = m.process_mut(pid).fds.remove(&fd);
+                let obj = self.machine.process_mut(pid).fds.remove(&fd);
                 match obj {
                     Some(FdObj::Sock { conn, end }) => {
-                        if let Some(c) = self.net.conn_mut(conn) {
-                            let peer = &mut c.ends[1 - end];
-                            peer.peer_closed = true;
-                            let peer_node = peer.node;
-                            let waiter = peer.recv_waiter.take();
-                            let notify = (peer.pid, peer.fd);
-                            if let Some(w) = waiter {
-                                self.wake_thread(peer_node, w, SysResult::Err(Errno::ConnClosed));
-                            } else if let (Some(ppid), Some(pfd)) = notify {
-                                self.notify_epoll(peer_node, ppid, pfd);
+                        let peer_node = self.net.endpoint(conn, end).map(|e| e.peer_node);
+                        if peer_node == Some(node) {
+                            // Loopback FIN is synchronous, like the local
+                            // kernel path it models.
+                            let mut waiter = None;
+                            let mut notify = None;
+                            if let Some(peer) = self.net.endpoint_mut(conn, 1 - end) {
+                                peer.peer_closed = true;
+                                waiter = peer.recv_waiter.take();
+                                if waiter.is_none() {
+                                    if let (Some(p), Some(f)) = (peer.pid, peer.fd) {
+                                        notify = Some((p, f));
+                                    }
+                                }
                             }
+                            if let Some(w) = waiter {
+                                self.wake_thread(w, SysResult::Err(Errno::ConnClosed));
+                            } else if let Some((p, f)) = notify {
+                                self.notify_epoll(p, f);
+                            }
+                        } else if let Some(dest) = peer_node {
+                            let at = *t_local + self.machine.nic.spec().link_latency;
+                            self.outbox.push(Outgoing {
+                                dest,
+                                at,
+                                ev: Event::PeerShutdown { conn, end: 1 - end, reset: false },
+                            });
                         }
                     }
                     Some(FdObj::Listener { port }) => {
-                        self.machines[ni].listeners.remove(&port);
+                        self.machine.listeners.remove(&port);
                     }
                     _ => {}
                 }
@@ -776,7 +1099,7 @@ impl Cluster {
                 Flow::Continue
             }
             Syscall::Listen { port } => {
-                let m = &mut self.machines[ni];
+                let m = &mut self.machine;
                 if m.listeners.contains_key(&port) {
                     thread.pending = SysResult::Err(Errno::AddrInUse);
                     return Flow::Continue;
@@ -787,7 +1110,7 @@ impl Cluster {
                 Flow::Continue
             }
             Syscall::Accept { listener } => {
-                let m = &mut self.machines[ni];
+                let m = &mut self.machine;
                 let port = match m.process(pid).fds.get(&listener) {
                     Some(FdObj::Listener { port }) => *port,
                     _ => {
@@ -798,8 +1121,7 @@ impl Cluster {
                 let l = m.listeners.get_mut(&port).expect("listener table in sync");
                 if let Some(conn) = l.pending.pop_front() {
                     let fd = m.process_mut(pid).insert_fd(FdObj::Sock { conn, end: 1 });
-                    if let Some(c) = self.net.conn_mut(conn) {
-                        let ep = &mut c.ends[1];
+                    if let Some(ep) = self.net.endpoint_mut(conn, 1) {
                         ep.pid = Some(pid);
                         ep.fd = Some(fd);
                     }
@@ -814,103 +1136,130 @@ impl Cluster {
                 }
             }
             Syscall::Connect { node: target, port } => {
-                if target.index() >= self.machines.len()
-                    || !self.machines[target.index()].listeners.contains_key(&port)
-                {
+                if target.index() >= shared.nodes {
                     thread.pending = SysResult::Err(Errno::ConnRefused);
                     return Flow::Continue;
                 }
-                if !self.faults.reachable(node, target) {
+                if target == node {
+                    // Loopback keeps the synchronous listener check and
+                    // creates both endpoints immediately.
+                    if !self.machine.listeners.contains_key(&port) {
+                        thread.pending = SysResult::Err(Errno::ConnRefused);
+                        return Flow::Continue;
+                    }
+                    let conn = self.net.alloc_conn(node);
+                    let fd = self.machine.process_mut(pid).insert_fd(FdObj::Sock { conn, end: 0 });
+                    let mut ep = Endpoint::new(node);
+                    ep.pid = Some(pid);
+                    ep.fd = Some(fd);
+                    self.net.insert(conn, 0, ep);
+                    self.net.insert(conn, 1, Endpoint::new(node));
+                    self.push_local(
+                        *t_local + shared.loopback_latency,
+                        Event::ConnArrive { port, conn, from: node },
+                    );
+                    thread.pending = SysResult::Fd(fd);
+                    return Flow::Continue;
+                }
+                // Cross-node: only checks against local and control-plane
+                // state are synchronous; the SYN itself is a scheduled
+                // message, and refusal comes back as a PeerShutdown.
+                if shared.faults.is_down(target) {
+                    thread.pending = SysResult::Err(Errno::ConnRefused);
+                    return Flow::Continue;
+                }
+                if !shared.faults.reachable(node, target) {
                     // Partitioned: the SYN never arrives and the handshake
                     // times out (distinct from refusal — the host is alive).
                     thread.pending = SysResult::Err(Errno::TimedOut);
                     return Flow::Continue;
                 }
-                let conn = self.net.create(node, target);
-                let m = &mut self.machines[ni];
-                let fd = m.process_mut(pid).insert_fd(FdObj::Sock { conn, end: 0 });
-                if let Some(c) = self.net.conn_mut(conn) {
-                    let ep = &mut c.ends[0];
-                    ep.pid = Some(pid);
-                    ep.fd = Some(fd);
-                }
-                let latency = if target == node {
-                    self.loopback_latency
-                } else {
-                    self.machines[ni].nic.spec().link_latency
-                };
-                self.queue.push(*t_local + latency, Event::ConnArrive { node: target, port, conn });
+                let conn = self.net.alloc_conn(node);
+                let fd = self.machine.process_mut(pid).insert_fd(FdObj::Sock { conn, end: 0 });
+                let mut ep = Endpoint::new(target);
+                ep.pid = Some(pid);
+                ep.fd = Some(fd);
+                self.net.insert(conn, 0, ep);
+                let at = *t_local + self.machine.nic.spec().link_latency;
+                self.outbox.push(Outgoing {
+                    dest: target,
+                    at,
+                    ev: Event::ConnArrive { port, conn, from: node },
+                });
                 thread.pending = SysResult::Fd(fd);
                 Flow::Continue
             }
             Syscall::Send { fd, bytes, meta } => {
-                let (conn, end) = match self.machines[ni].process(pid).fds.get(&fd) {
+                let (conn, end) = match self.machine.process(pid).fds.get(&fd) {
                     Some(FdObj::Sock { conn, end }) => (*conn, *end),
                     _ => {
                         thread.pending = SysResult::Err(Errno::BadFd);
                         return Flow::Continue;
                     }
                 };
-                let Some(c) = self.net.conn(conn) else {
+                let Some(ep) = self.net.endpoint(conn, end) else {
                     thread.pending = SysResult::Err(Errno::BadFd);
                     return Flow::Continue;
                 };
-                if c.ends[end].reset {
+                if ep.reset {
                     thread.pending = SysResult::Err(Errno::ConnReset);
                     return Flow::Continue;
                 }
-                if c.ends[end].peer_closed {
+                if ep.peer_closed {
                     thread.pending = SysResult::Err(Errno::ConnClosed);
                     return Flow::Continue;
                 }
-                let loopback = c.is_loopback();
-                let to_node = c.ends[1 - end].node;
-                let arrival = if loopback {
-                    *t_local + self.loopback_latency
+                let to_node = ep.peer_node;
+                if to_node == node {
+                    let arrival = *t_local + shared.loopback_latency;
+                    self.push_local(
+                        arrival,
+                        Event::DeliverMsg { conn, end: 1 - end, bytes, meta },
+                    );
                 } else {
-                    match self.faults.deliver(node, to_node) {
+                    match shared.faults.decide(&mut self.fault_rng, node, to_node) {
                         // Lost on the wire: the sender still sees success
                         // (TCP buffers it); the stall surfaces at the
                         // application as a receive timeout.
                         Delivery::Drop => {
+                            self.dropped += 1;
                             thread.pending = SysResult::Bytes(bytes);
                             return Flow::Continue;
                         }
                         Delivery::After(extra) => {
-                            self.machines[ni].nic.transmit(*t_local, bytes) + extra
+                            let arrival = self.machine.nic.transmit(*t_local, bytes) + extra;
+                            self.outbox.push(Outgoing {
+                                dest: to_node,
+                                at: arrival,
+                                ev: Event::DeliverMsg { conn, end: 1 - end, bytes, meta },
+                            });
                         }
                     }
-                };
-                self.queue.push(arrival, Event::DeliverMsg { conn, end: 1 - end, bytes, meta });
+                }
                 thread.pending = SysResult::Bytes(bytes);
                 Flow::Continue
             }
             Syscall::Recv { fd, timeout } => {
-                let (conn, end) = match self.machines[ni].process(pid).fds.get(&fd) {
+                let (conn, end) = match self.machine.process(pid).fds.get(&fd) {
                     Some(FdObj::Sock { conn, end }) => (*conn, *end),
                     _ => {
                         thread.pending = SysResult::Err(Errno::BadFd);
                         return Flow::Continue;
                     }
                 };
-                let Some(c) = self.net.conn_mut(conn) else {
+                let Some(ep) = self.net.endpoint_mut(conn, end) else {
                     thread.pending = SysResult::Err(Errno::BadFd);
                     return Flow::Continue;
                 };
-                let ep = &mut c.ends[end];
                 if let Some(msg) = ep.rx.pop_front() {
                     // Charge the inbound copy.
-                    let m = &mut self.machines[ni];
+                    let m = &mut self.machine;
                     let prog = ditto_hw::codegen::copy_program(
                         crate::kcode::KERNEL_PC_BASE + 0x0B00_0000,
                         crate::kcode::KERNEL_REGION,
                         msg.bytes,
                     );
-                    let cpu = m
-                        .cpus
-                        .iter()
-                        .position(|c| c.running == Some(tid))
-                        .unwrap_or(0);
+                    let cpu = m.cpus.iter().position(|c| c.running == Some(tid)).unwrap_or(0);
                     *t_local += m.exec_on_cpu(cpu, thread, &prog, true);
                     thread.pending = SysResult::Msg(msg);
                     Flow::Continue
@@ -922,23 +1271,23 @@ impl Cluster {
                     Flow::Continue
                 } else {
                     ep.recv_waiter = Some(tid);
-                    let token = self.machines[ni].next_wake_token();
+                    let token = self.machine.next_wake_token();
                     thread.block = Some((BlockReason::Recv { conn, end }, token));
                     if let Some(to) = timeout {
-                        self.queue.push(*t_local + to, Event::Wake { node, tid, token });
+                        self.push_local(*t_local + to, Event::Wake { tid, token });
                     }
                     *blocked = true;
                     Flow::Blocked
                 }
             }
             Syscall::EpollCreate => {
-                let m = &mut self.machines[ni];
+                let m = &mut self.machine;
                 let fd = m.process_mut(pid).insert_fd(FdObj::Epoll { watched: Vec::new() });
                 thread.pending = SysResult::Fd(fd);
                 Flow::Continue
             }
             Syscall::EpollCtl { ep, watch } => {
-                let m = &mut self.machines[ni];
+                let m = &mut self.machine;
                 let p = m.process_mut(pid);
                 match p.fds.get_mut(&ep) {
                     Some(FdObj::Epoll { watched }) => {
@@ -954,8 +1303,7 @@ impl Cluster {
             }
             Syscall::EpollWait { ep, timeout } => {
                 let watched = {
-                    let m = &self.machines[ni];
-                    match m.process(pid).fds.get(&ep) {
+                    match self.machine.process(pid).fds.get(&ep) {
                         Some(FdObj::Epoll { watched }) => watched.clone(),
                         _ => {
                             thread.pending = SysResult::Err(Errno::BadFd);
@@ -963,33 +1311,28 @@ impl Cluster {
                         }
                     }
                 };
-                let ready = self.ready_fds(node, pid, &watched);
+                let ready = self.ready_fds(pid, &watched);
                 if !ready.is_empty() {
                     thread.pending = SysResult::Ready(ready);
                     return Flow::Continue;
                 }
-                let m = &mut self.machines[ni];
+                let m = &mut self.machine;
                 let token = m.next_wake_token();
                 m.process_mut(pid).epoll_waiters.insert(ep, tid);
                 thread.block = Some((BlockReason::Epoll { ep }, token));
                 if let Some(to) = timeout {
-                    self.queue.push(*t_local + to, Event::Wake { node, tid, token });
+                    self.push_local(*t_local + to, Event::Wake { tid, token });
                 }
                 *blocked = true;
                 Flow::Blocked
             }
             Syscall::Spawn { body } => {
-                self.spawn_counter += 1;
-                let seed = self.seed ^ self.spawn_counter.wrapping_mul(0x517c_c1b7_2722_0a95);
-                let m = &mut self.machines[ni];
-                let child = m.create_thread(pid, body, seed);
-                m.run_queue.push_back(child);
-                m.emit_thread_event(*t_local, child, ThreadEvent::Spawned { parent: Some(tid) });
+                let child = self.spawn_thread_at(pid, body, Some(tid), *t_local);
                 thread.pending = SysResult::Thread(child);
                 Flow::Continue
             }
             Syscall::FutexWait { key } => {
-                let m = &mut self.machines[ni];
+                let m = &mut self.machine;
                 let token = m.next_wake_token();
                 m.process_mut(pid).futexes.entry(key).or_default().push_back(tid);
                 thread.block = Some((BlockReason::Futex { key }, token));
@@ -998,27 +1341,26 @@ impl Cluster {
             }
             Syscall::FutexWake { key, n } => {
                 let waiters: Vec<Tid> = {
-                    let m = &mut self.machines[ni];
+                    let m = &mut self.machine;
                     let q = m.process_mut(pid).futexes.entry(key).or_default();
                     (0..n).filter_map(|_| q.pop_front()).collect()
                 };
                 let woken = waiters.len() as u64;
                 for w in waiters {
-                    self.wake_thread(node, w, SysResult::None);
+                    self.wake_thread(w, SysResult::None);
                 }
                 thread.pending = SysResult::Bytes(woken);
                 Flow::Continue
             }
             Syscall::Nanosleep { dur } => {
-                let m = &mut self.machines[ni];
-                let token = m.next_wake_token();
+                let token = self.machine.next_wake_token();
                 thread.block = Some((BlockReason::Sleep, token));
-                self.queue.push(*t_local + dur, Event::Wake { node, tid, token });
+                self.push_local(*t_local + dur, Event::Wake { tid, token });
                 *blocked = true;
                 Flow::Blocked
             }
             Syscall::Mmap { bytes } => {
-                let region = self.machines[ni].alloc_region(pid, bytes);
+                let region = self.machine.alloc_region(pid, bytes);
                 thread.pending = SysResult::Region(region);
                 Flow::Continue
             }
@@ -1034,8 +1376,8 @@ impl Cluster {
 mod tests {
     use super::*;
     use ditto_hw::codegen::{Body, BodyParams};
-    use std::sync::Arc;
     use parking_lot::Mutex;
+    use std::sync::Arc;
 
     fn cluster() -> Cluster {
         Cluster::single(PlatformSpec::c(), 42)
@@ -1135,7 +1477,11 @@ mod tests {
         let pid = c.spawn_process(NodeId(0));
         let (s, results) = Script::new(vec![
             ScriptStep::Sys(|| Syscall::Open { file: crate::ids::FileId(0) }),
-            ScriptStep::Sys(|| Syscall::Read { fd: Fd(3), bytes: 4096, offset: Some(512 * 1024 * 1024) }),
+            ScriptStep::Sys(|| Syscall::Read {
+                fd: Fd(3),
+                bytes: 4096,
+                offset: Some(512 * 1024 * 1024),
+            }),
         ]);
         c.spawn_thread(NodeId(0), pid, Box::new(s));
         // HDD access is ~6ms; after 1ms the read is still blocked.
@@ -1247,7 +1593,11 @@ mod tests {
         let (s, results) = Script::new(vec![
             ScriptStep::Sys(|| Syscall::Nanosleep { dur: SimDuration::from_millis(1) }),
             ScriptStep::Sys(|| Syscall::Open { file: crate::ids::FileId(0) }),
-            ScriptStep::Sys(|| Syscall::Read { fd: Fd(3), bytes: 4096, offset: Some(512 * 1024 * 1024) }),
+            ScriptStep::Sys(|| Syscall::Read {
+                fd: Fd(3),
+                bytes: 4096,
+                offset: Some(512 * 1024 * 1024),
+            }),
         ]);
         c.spawn_thread(NodeId(0), pid, Box::new(s));
         let plan = FaultPlan::new(7)
@@ -1258,5 +1608,58 @@ mod tests {
         assert_eq!(results.lock().len(), 2, "read still in flight under degrade");
         c.run_for(SimDuration::from_millis(60));
         assert!(matches!(results.lock()[2], SysResult::Bytes(4096)));
+    }
+
+    /// The windowed parallel executor must reproduce the sequential run
+    /// bit for bit: same syscall results, same counters, same drop and
+    /// reset totals, at several worker counts, under a fault plan.
+    #[test]
+    fn parallel_engine_matches_sequential() {
+        use crate::fault::{Fault, FaultPlan};
+
+        fn run(executor: SimExecutor) -> (Vec<String>, u64, u64, u64, u64) {
+            let mut c = two_node_cluster();
+            c.set_executor(executor);
+            spawn_silent_server(&mut c, NodeId(1));
+            let pid = c.spawn_process(NodeId(0));
+            let (s, results) = Script::new(vec![
+                ScriptStep::Sys(|| Syscall::Connect { node: NodeId(1), port: 80 }),
+                ScriptStep::Sys(|| Syscall::Send {
+                    fd: Fd(3),
+                    bytes: 512,
+                    meta: MsgMeta::default(),
+                }),
+                ScriptStep::Sys(|| Syscall::Recv {
+                    fd: Fd(3),
+                    timeout: Some(SimDuration::from_millis(2)),
+                }),
+                ScriptStep::Compute(10_000),
+                ScriptStep::Sys(|| Syscall::Recv { fd: Fd(3), timeout: None }),
+            ]);
+            c.spawn_thread(NodeId(0), pid, Box::new(s));
+            let plan = FaultPlan::new(7).push(
+                SimTime::ZERO + SimDuration::from_millis(8),
+                Fault::NodeCrash { node: NodeId(1) },
+            );
+            c.install_faults(&plan);
+            c.run_for(SimDuration::from_millis(20));
+            let log: Vec<String> = results.lock().iter().map(|r| format!("{r:?}")).collect();
+            let instr = c.machine(NodeId(0)).counters().instructions
+                + c.machine(NodeId(1)).counters().instructions;
+            (
+                log,
+                instr,
+                c.now().as_nanos(),
+                c.fault_state().reset_connections,
+                c.fault_state().dropped_messages,
+            )
+        }
+
+        let reference = run(SimExecutor::Sequential);
+        assert!(reference.0.iter().any(|r| r.contains("ConnReset")), "{:?}", reference.0);
+        for workers in [2usize, 8] {
+            let got = run(SimExecutor::Parallel { workers });
+            assert_eq!(got, reference, "diverged at {workers} workers");
+        }
     }
 }

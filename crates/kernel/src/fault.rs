@@ -243,29 +243,52 @@ impl FaultInjector {
         self.disk_factor.get(node.index()).copied().unwrap_or(1.0)
     }
 
-    /// Decides the fate of one message from `from` to `to`. Consumes RNG
+    /// Decides the fate of one message from `from` to `to`, drawing any
+    /// probabilistic verdicts from the *caller's* RNG stream. Consumes
     /// draws only when the link actually has faults, so a clean link
     /// leaves the stream untouched.
-    pub fn deliver(&mut self, from: NodeId, to: NodeId) -> Delivery {
+    ///
+    /// This is the parallel-engine entry point: each logical process owns
+    /// a plan-seeded stream and counts its own drops, so verdicts depend
+    /// only on that node's deterministic send order — never on how
+    /// machines interleave across worker threads.
+    pub fn decide(&self, rng: &mut SimRng, from: NodeId, to: NodeId) -> Delivery {
         if self.is_down(to) {
-            self.dropped_messages += 1;
             return Delivery::Drop;
         }
         let link = self.link(from, to);
         if link.partitioned {
-            self.dropped_messages += 1;
             return Delivery::Drop;
         }
-        if link.drop_prob > 0.0 && self.rng.chance(link.drop_prob) {
-            self.dropped_messages += 1;
+        if link.drop_prob > 0.0 && rng.chance(link.drop_prob) {
             return Delivery::Drop;
         }
         let mut extra = link.extra_latency;
         if link.jitter > SimDuration::ZERO {
-            let j = (link.jitter.as_nanos() as f64 * self.rng.f64()) as u64;
+            let j = (link.jitter.as_nanos() as f64 * rng.f64()) as u64;
             extra += SimDuration::from_nanos(j);
         }
         Delivery::After(extra)
+    }
+
+    /// Decides the fate of one message using the injector's own stream and
+    /// counting drops inline (single-stream convenience used by the fault
+    /// unit tests; the cluster uses [`FaultInjector::decide`]).
+    pub fn deliver(&mut self, from: NodeId, to: NodeId) -> Delivery {
+        let mut rng = std::mem::replace(&mut self.rng, SimRng::seed(0));
+        let verdict = self.decide(&mut rng, from, to);
+        self.rng = rng;
+        if verdict == Delivery::Drop {
+            self.dropped_messages += 1;
+        }
+        verdict
+    }
+
+    /// Deterministic per-node RNG stream for [`FaultInjector::decide`],
+    /// derived from the same seed that built this injector.
+    pub fn node_stream(seed: u64, node: NodeId) -> SimRng {
+        SimRng::seed(seed ^ u64::from(node.0).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .split("fault-injector")
     }
 }
 

@@ -44,9 +44,34 @@ id_type!(
     FileId
 );
 id_type!(
-    /// A connection in the cluster-wide connection table.
+    /// A connection id. Globally unique without global coordination: the
+    /// top bits carry the *originating* (client) node, the low bits a
+    /// per-node counter, so each logical process allocates independently.
     ConnId
 );
+
+impl ConnId {
+    /// Bits reserved for the per-node connection counter.
+    pub const COUNTER_BITS: u32 = 20;
+
+    /// Packs an originating node and its local counter into a globally
+    /// unique id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` exceeds 12 bits or `counter` exceeds 20 bits
+    /// (4096 nodes × ~1M connections per node).
+    pub fn compose(node: NodeId, counter: u32) -> ConnId {
+        assert!(node.0 < (1 << (32 - Self::COUNTER_BITS)), "node id {} out of range", node.0);
+        assert!(counter < (1 << Self::COUNTER_BITS), "conn counter {counter} out of range");
+        ConnId((node.0 << Self::COUNTER_BITS) | counter)
+    }
+
+    /// The node that originated (allocated) this connection id.
+    pub fn origin(self) -> NodeId {
+        NodeId(self.0 >> Self::COUNTER_BITS)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -58,5 +83,14 @@ mod tests {
         assert_ne!(Fd(1), Fd(2));
         assert_eq!(Tid(7).index(), 7);
         assert_eq!(format!("{}", NodeId(2)), "NodeId(2)");
+    }
+
+    #[test]
+    fn conn_ids_pack_node_and_counter() {
+        let c = ConnId::compose(NodeId(3), 17);
+        assert_eq!(c.origin(), NodeId(3));
+        assert_eq!(c.0 & ((1 << ConnId::COUNTER_BITS) - 1), 17);
+        // Different nodes never collide, whatever their counters.
+        assert_ne!(ConnId::compose(NodeId(1), 0), ConnId::compose(NodeId(2), 0));
     }
 }

@@ -1,25 +1,33 @@
-//! Cluster-wide connection state.
+//! Per-node connection state.
 //!
 //! Connections are byte-stream channels delivering discrete messages
 //! (the kernel's framing unit). Each has two endpoints; delivery timing is
 //! decided by the cluster (loopback latency or NIC serialization + link
 //! latency), and arrival pushes into the receiving endpoint's queue.
 //!
+//! The table is sharded per machine so each logical process of the
+//! parallel engine owns exactly the endpoints that live on its node: a
+//! cross-node connection has its client end in one [`NodeNet`] and its
+//! server end in another, and the only way to touch the remote end is a
+//! scheduled cross-node event. Connection ids stay globally unique
+//! without global coordination because [`ConnId::compose`] prefixes the
+//! originating node.
+//!
 //! Lookups return `Option` rather than panicking: under fault injection a
-//! connection id can outlive its connection (a crashed node's table entry
-//! is torn down while peers still hold fds), and the syscall layer maps a
-//! missing connection to an errno instead of aborting the simulation.
+//! connection id can outlive its endpoints (a crashed node's state is
+//! torn down while peers still hold fds), and the syscall layer maps a
+//! missing endpoint to an errno instead of aborting the simulation.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
-use crate::ids::{ConnId, Fd, NodeId, Pid};
+use crate::ids::{ConnId, Fd, NodeId, Pid, Tid};
 use crate::thread::Msg;
 
-/// One side of a connection.
+/// One side of a connection, held by the node it lives on.
 #[derive(Debug)]
 pub struct Endpoint {
-    /// Machine this endpoint lives on.
-    pub node: NodeId,
+    /// The node holding the *other* end (equal to the owner for loopback).
+    pub peer_node: NodeId,
     /// Owning process (set when the fd is materialised).
     pub pid: Option<Pid>,
     /// Descriptor in the owning process (None until accepted).
@@ -32,13 +40,14 @@ pub struct Endpoint {
     /// tore it down). Pending rx data is discarded on reset.
     pub reset: bool,
     /// Thread blocked in `recv` on this endpoint, if any (machine-local tid).
-    pub recv_waiter: Option<crate::ids::Tid>,
+    pub recv_waiter: Option<Tid>,
 }
 
 impl Endpoint {
-    fn new(node: NodeId) -> Self {
+    /// A fresh endpoint whose peer lives on `peer_node`.
+    pub fn new(peer_node: NodeId) -> Self {
         Endpoint {
-            node,
+            peer_node,
             pid: None,
             fd: None,
             rx: VecDeque::new(),
@@ -54,37 +63,24 @@ impl Endpoint {
     }
 }
 
-/// A two-endpoint connection.
-#[derive(Debug)]
-pub struct Connection {
-    /// `ends[0]` is the connecting (client) side, `ends[1]` the accepting side.
-    pub ends: [Endpoint; 2],
-}
-
-impl Connection {
-    /// Whether both ends are on the same machine.
-    pub fn is_loopback(&self) -> bool {
-        self.ends[0].node == self.ends[1].node
-    }
-
-    /// Whether either end touches `node`.
-    pub fn touches(&self, node: NodeId) -> bool {
-        self.ends[0].node == node || self.ends[1].node == node
-    }
-}
-
-/// The cluster-wide connection table.
+/// The endpoints living on one node, keyed by `(connection, end)` where
+/// end 0 is the connecting (client) side and end 1 the accepting side.
+///
+/// A `BTreeMap` keeps iteration order deterministic — crash teardown
+/// walks it, and that walk must not depend on hash seeds or insertion
+/// races.
 #[derive(Debug, Default)]
-pub struct NetState {
-    conns: Vec<Connection>,
+pub struct NodeNet {
+    endpoints: BTreeMap<(ConnId, usize), Endpoint>,
+    next_conn: u32,
     msgs_delivered: u64,
     bytes_delivered: u64,
 }
 
-impl NetState {
+impl NodeNet {
     /// Creates an empty table.
     pub fn new() -> Self {
-        NetState::default()
+        NodeNet::default()
     }
 
     /// Counts one delivered message of `bytes` (observability counter;
@@ -94,48 +90,53 @@ impl NetState {
         self.bytes_delivered += bytes;
     }
 
-    /// Cumulative `(messages, bytes)` delivered by the fabric.
+    /// Cumulative `(messages, bytes)` delivered to this node.
     pub fn delivery_stats(&self) -> (u64, u64) {
         (self.msgs_delivered, self.bytes_delivered)
     }
 
-    /// Creates a connection between `client_node` and `server_node`.
-    pub fn create(&mut self, client_node: NodeId, server_node: NodeId) -> ConnId {
-        let id = ConnId(self.conns.len() as u32);
-        self.conns.push(Connection {
-            ends: [Endpoint::new(client_node), Endpoint::new(server_node)],
-        });
+    /// Allocates a connection id originating on `node` (this node).
+    pub fn alloc_conn(&mut self, node: NodeId) -> ConnId {
+        let id = ConnId::compose(node, self.next_conn);
+        self.next_conn += 1;
         id
     }
 
-    /// Shared access to a connection, `None` if the id is stale.
-    pub fn conn(&self, id: ConnId) -> Option<&Connection> {
-        self.conns.get(id.index())
+    /// Installs `ep` as side `end` of `conn`. Overwrites any stale entry.
+    pub fn insert(&mut self, conn: ConnId, end: usize, ep: Endpoint) {
+        self.endpoints.insert((conn, end), ep);
     }
 
-    /// Mutable access to a connection, `None` if the id is stale.
-    pub fn conn_mut(&mut self, id: ConnId) -> Option<&mut Connection> {
-        self.conns.get_mut(id.index())
+    /// Removes side `end` of `conn`, returning it if present.
+    pub fn remove(&mut self, conn: ConnId, end: usize) -> Option<Endpoint> {
+        self.endpoints.remove(&(conn, end))
     }
 
-    /// Ids of all connections with an endpoint on `node`.
-    pub fn conns_touching(&self, node: NodeId) -> Vec<ConnId> {
-        self.conns
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.touches(node))
-            .map(|(i, _)| ConnId(i as u32))
-            .collect()
+    /// Shared access to an endpoint, `None` if the id is stale.
+    pub fn endpoint(&self, conn: ConnId, end: usize) -> Option<&Endpoint> {
+        self.endpoints.get(&(conn, end))
     }
 
-    /// Number of connections ever created.
+    /// Mutable access to an endpoint, `None` if the id is stale.
+    pub fn endpoint_mut(&mut self, conn: ConnId, end: usize) -> Option<&mut Endpoint> {
+        self.endpoints.get_mut(&(conn, end))
+    }
+
+    /// All endpoints on this node in deterministic key order.
+    pub fn endpoints_mut(
+        &mut self,
+    ) -> impl Iterator<Item = (&(ConnId, usize), &mut Endpoint)> {
+        self.endpoints.iter_mut()
+    }
+
+    /// Number of endpoints ever materialised and still tracked.
     pub fn len(&self) -> usize {
-        self.conns.len()
+        self.endpoints.len()
     }
 
-    /// Whether no connections exist.
+    /// Whether no endpoints exist.
     pub fn is_empty(&self) -> bool {
-        self.conns.is_empty()
+        self.endpoints.is_empty()
     }
 }
 
@@ -146,43 +147,48 @@ mod tests {
     use ditto_sim::time::SimTime;
 
     #[test]
-    fn create_and_access() {
-        let mut net = NetState::new();
-        let c = net.create(NodeId(0), NodeId(1));
-        assert!(!net.conn(c).unwrap().is_loopback());
-        let c2 = net.create(NodeId(2), NodeId(2));
-        assert!(net.conn(c2).unwrap().is_loopback());
-        assert_eq!(net.len(), 2);
-        assert!(net.conn(ConnId(99)).is_none(), "stale ids are not fatal");
+    fn alloc_and_access() {
+        let mut net = NodeNet::new();
+        let c = net.alloc_conn(NodeId(0));
+        net.insert(c, 0, Endpoint::new(NodeId(1)));
+        assert_eq!(net.endpoint(c, 0).unwrap().peer_node, NodeId(1));
+        assert!(net.endpoint(c, 1).is_none(), "remote end lives on the peer node");
+        let c2 = net.alloc_conn(NodeId(0));
+        assert_ne!(c, c2, "counters advance");
+        assert!(net.endpoint(ConnId::compose(NodeId(3), 7), 0).is_none(), "stale ids are not fatal");
     }
 
     #[test]
     fn readability_tracks_queue_close_and_reset() {
-        let mut net = NetState::new();
-        let c = net.create(NodeId(0), NodeId(0));
-        assert!(!net.conn(c).unwrap().ends[1].readable());
-        net.conn_mut(c).unwrap().ends[1].rx.push_back(Msg {
+        let mut net = NodeNet::new();
+        let c = net.alloc_conn(NodeId(0));
+        net.insert(c, 1, Endpoint::new(NodeId(0)));
+        assert!(!net.endpoint(c, 1).unwrap().readable());
+        net.endpoint_mut(c, 1).unwrap().rx.push_back(Msg {
             bytes: 10,
             meta: MsgMeta::default(),
             arrived: SimTime::ZERO,
         });
-        assert!(net.conn(c).unwrap().ends[1].readable());
-        net.conn_mut(c).unwrap().ends[1].rx.clear();
-        net.conn_mut(c).unwrap().ends[1].peer_closed = true;
-        assert!(net.conn(c).unwrap().ends[1].readable());
-        let c2 = net.create(NodeId(0), NodeId(1));
-        net.conn_mut(c2).unwrap().ends[0].reset = true;
-        assert!(net.conn(c2).unwrap().ends[0].readable(), "reset endpoints are readable (error)");
+        assert!(net.endpoint(c, 1).unwrap().readable());
+        net.endpoint_mut(c, 1).unwrap().rx.clear();
+        net.endpoint_mut(c, 1).unwrap().peer_closed = true;
+        assert!(net.endpoint(c, 1).unwrap().readable());
+        let c2 = net.alloc_conn(NodeId(0));
+        net.insert(c2, 0, Endpoint::new(NodeId(1)));
+        net.endpoint_mut(c2, 0).unwrap().reset = true;
+        assert!(net.endpoint(c2, 0).unwrap().readable(), "reset endpoints are readable (error)");
     }
 
     #[test]
-    fn conns_touching_filters_by_node() {
-        let mut net = NetState::new();
-        let a = net.create(NodeId(0), NodeId(1));
-        let b = net.create(NodeId(1), NodeId(2));
-        let c = net.create(NodeId(0), NodeId(2));
-        assert_eq!(net.conns_touching(NodeId(1)), vec![a, b]);
-        assert_eq!(net.conns_touching(NodeId(0)), vec![a, c]);
-        assert!(net.conns_touching(NodeId(7)).is_empty());
+    fn iteration_order_is_deterministic() {
+        let mut net = NodeNet::new();
+        let b = ConnId::compose(NodeId(1), 5);
+        let a = ConnId::compose(NodeId(0), 9);
+        net.insert(b, 1, Endpoint::new(NodeId(2)));
+        net.insert(a, 0, Endpoint::new(NodeId(1)));
+        let keys: Vec<(ConnId, usize)> = net.endpoints_mut().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![(a, 0), (b, 1)], "BTreeMap order, not insertion order");
+        assert_eq!(net.len(), 2);
+        assert!(!net.is_empty());
     }
 }

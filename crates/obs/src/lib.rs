@@ -73,9 +73,12 @@ pub struct ObsInner {
     next_sample_ns: u64,
     /// Current gauge values, indexed by gauge id.
     gauges: Vec<i64>,
-    /// Interned service-track labels; track id is
-    /// `SERVICE_TRACK_BASE + index`.
-    service_tracks: Vec<String>,
+    /// Interned `(node, service)` pairs; a service's worker-track block
+    /// starts at `SERVICE_TRACK_BASE + index * WORKER_TRACK_STRIDE`.
+    /// Populated at deploy time (single-threaded), so intern indices —
+    /// and therefore every worker tid — are identical whichever executor
+    /// later runs the cluster.
+    service_tracks: Vec<(u32, String)>,
 }
 
 /// The observability sink threaded through the cluster and services.
@@ -176,20 +179,36 @@ impl ObsSink {
         }
     }
 
-    /// Interns a named service track on node `pid`, returning its tid.
+    /// Interns `service` on node `pid` and returns its base (worker 0)
+    /// track id. Returns 0 when tracing is off.
+    pub fn service_track(&self, pid: u32, service: &str) -> u32 {
+        self.worker_track(pid, service, 0)
+    }
+
+    /// The track id for worker `index` of `service` on node `pid`:
+    /// `base + index mod WORKER_TRACK_STRIDE`, where `base` comes from
+    /// the service's intern index. Call at deploy time at least once per
+    /// `(pid, service)` (e.g. via [`ServiceObs::for_service`]) so the
+    /// intern table is complete before the simulation runs; later calls
+    /// only look the index up, keeping tids executor-independent.
     /// Returns 0 when tracing is off.
-    pub fn service_track(&self, pid: u32, label: &str) -> u32 {
+    pub fn worker_track(&self, pid: u32, service: &str, index: usize) -> u32 {
         let ObsSink::Recording { inner, tracing: true, .. } = self else { return 0 };
         let mut inner = inner.lock();
-        let idx = match inner.service_tracks.iter().position(|t| t == label) {
+        let idx = match inner
+            .service_tracks
+            .iter()
+            .position(|(p, s)| *p == pid && s == service)
+        {
             Some(i) => i,
             None => {
-                inner.service_tracks.push(label.to_string());
+                inner.service_tracks.push((pid, service.to_string()));
                 inner.service_tracks.len() - 1
             }
         };
-        let tid = SERVICE_TRACK_BASE + idx as u32;
-        inner.trace.name_track(pid, tid, label.to_string());
+        let lane = (index as u32) % trace::WORKER_TRACK_STRIDE;
+        let tid = SERVICE_TRACK_BASE + (idx as u32) * trace::WORKER_TRACK_STRIDE + lane;
+        inner.trace.name_track(pid, tid, format!("{service}#{lane}"));
         tid
     }
 
@@ -307,17 +326,20 @@ impl ServiceObs {
         }
         let gauge =
             sink.sampling().then(|| sink.gauge(&format!("{service}.inflight")));
-        let track = sink.service_track(node, &format!("{service}#0"));
+        let track = sink.service_track(node, service);
         ServiceObs { sink: sink.clone(), pid: node, service: Arc::from(service), track, gauge }
     }
 
     /// The handle for worker `index` — its own track (so concurrent
-    /// requests on different workers nest correctly), same gauge.
+    /// requests on different workers nest correctly), same gauge. The
+    /// track id is arithmetic on the service's deploy-time base, so
+    /// workers spawned at runtime (thread-per-connection acceptors) get
+    /// the same tid under any executor.
     pub fn worker(&self, index: usize) -> Self {
         if !self.sink.enabled() || index == 0 {
             return self.clone();
         }
-        let track = self.sink.service_track(self.pid, &format!("{}#{index}", self.service));
+        let track = self.sink.worker_track(self.pid, &self.service, index);
         ServiceObs { track, ..self.clone() }
     }
 

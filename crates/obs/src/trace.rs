@@ -12,10 +12,16 @@ use serde::{Serialize, Value};
 /// First track id used for per-service request tracks (below this the tid
 /// is a logical CPU index).
 pub const SERVICE_TRACK_BASE: u32 = 1_000;
+/// Track ids per interned service: a service's workers occupy the block
+/// `[base, base + stride)`, so a worker's tid is pure arithmetic on the
+/// service's deploy-time intern index and never depends on the runtime
+/// order in which workers first record (which the parallel engine does
+/// not determinise).
+pub const WORKER_TRACK_STRIDE: u32 = 4_096;
 /// Track for network delivery instants.
-pub const NET_TRACK: u32 = 90_000;
+pub const NET_TRACK: u32 = 2_000_000_000;
 /// Track for fault-injection instants.
-pub const FAULT_TRACK: u32 = 95_000;
+pub const FAULT_TRACK: u32 = 2_000_000_100;
 
 /// Event phase, mirroring the Chrome trace-event `ph` field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,13 +108,17 @@ impl TraceBuffer {
     /// Renders the buffer as Chrome trace-event JSON (`{"traceEvents":
     /// [...]}`), suitable for `chrome://tracing` or the Perfetto UI.
     ///
-    /// Events are sorted by timestamp (stably, so same-instant events keep
-    /// recording order) and any span still open at the end of the run is
-    /// closed at the final timestamp, guaranteeing balanced begin/end
-    /// pairs on every track.
+    /// Events are sorted by `(timestamp, node)` — stably, so same-instant
+    /// events on one node keep recording order — and any span still open
+    /// at the end of the run is closed at the final timestamp,
+    /// guaranteeing balanced begin/end pairs on every track. The node in
+    /// the sort key matters for the parallel engine: each logical process
+    /// appends its own events in a deterministic order, but the
+    /// interleaving *between* nodes inside a window depends on worker
+    /// scheduling, so the export order must not inherit it.
     pub fn to_chrome_json(&self) -> String {
         let mut sorted: Vec<&TraceEvent> = self.events.iter().collect();
-        sorted.sort_by_key(|e| e.ts_ns);
+        sorted.sort_by_key(|e| (e.ts_ns, e.pid));
         let max_ts = sorted.last().map_or(0, |e| e.ts_ns);
 
         let mut out: Vec<Value> = Vec::new();

@@ -1,9 +1,15 @@
 //! The discrete-event queue.
 //!
-//! The simulator is organised as one big state machine (the kernel's
-//! `Machine`/`Cluster`) driven by an [`EventQueue`]. Ordering is by
-//! `(time, sequence)`: events scheduled for the same instant pop in
-//! insertion order, which keeps whole-system runs deterministic.
+//! The simulator is organised as per-machine state machines (the kernel's
+//! `Machine`/`Cluster`) driven by [`EventQueue`]s. Ordering is by
+//! `(time, src, sequence)`: events scheduled for the same instant pop in
+//! source order, then insertion order within a source. The `src` component
+//! is the scheduling node's id, which makes same-timestamp cross-node
+//! deliveries a *total* order independent of the merge order the parallel
+//! engine happened to produce — a queue that only tie-broke on insertion
+//! sequence would make the pop order depend on which worker finished its
+//! window first. [`EventQueue::push`] (src 0) keeps single-source callers
+//! working unchanged; the cluster uses [`EventQueue::push_from`].
 //!
 //! Internally the queue is a two-lane structure: a bucketed near-future
 //! calendar (64 buckets × 1 µs, one horizon ahead of the pop cursor)
@@ -11,8 +17,8 @@
 //! completions, message deliveries, wakeups — in O(1) per push, while a
 //! binary heap backstops everything beyond the horizon (and anything
 //! scheduled at or before the cursor). Pops compare the two lane heads by
-//! `(time, seq)`, so the merged order is exactly the order the plain heap
-//! produced; the split is invisible to callers.
+//! `(time, src, seq)`, so the merged order is exactly the order the plain
+//! heap produced; the split is invisible to callers.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -25,15 +31,25 @@ const BUCKET_NS: u64 = 1024;
 /// `BUCKET_COUNT * BUCKET_NS` ≈ 65 µs.
 const BUCKET_COUNT: usize = 64;
 
+/// The total-order key of a queue entry: `(time, src, seq)`.
+type Key = (SimTime, u32, u64);
+
 struct Entry<E> {
     time: SimTime,
+    src: u32,
     seq: u64,
     event: E,
 }
 
+impl<E> Entry<E> {
+    fn key(&self) -> Key {
+        (self.time, self.src, self.seq)
+    }
+}
+
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -47,10 +63,7 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key().cmp(&self.key())
     }
 }
 
@@ -93,9 +106,9 @@ pub struct EventQueue<E> {
     /// earliest entry.
     buckets: Vec<Vec<Entry<E>>>,
     bucketed: usize,
-    /// `(time, seq)` of the earliest bucketed entry; `None` iff the lane is
-    /// empty. Maintained incrementally on push, rebuilt on pop.
-    bucket_head: Option<(SimTime, u64)>,
+    /// `(time, src, seq)` of the earliest bucketed entry; `None` iff the
+    /// lane is empty. Maintained incrementally on push, rebuilt on pop.
+    bucket_head: Option<Key>,
     /// Time of the most recent pop; all pending entries are at or after it.
     cursor: SimTime,
     seq: u64,
@@ -131,17 +144,27 @@ impl<E> EventQueue<E> {
                 < BUCKET_COUNT as u64
     }
 
-    /// Schedules `event` at absolute time `time`.
+    /// Schedules `event` at absolute time `time` from source 0 — the
+    /// single-source form; see [`EventQueue::push_from`].
     pub fn push(&mut self, time: SimTime, event: E) {
+        self.push_from(time, 0, event);
+    }
+
+    /// Schedules `event` at absolute time `time` on behalf of scheduling
+    /// source `src` (the node id in the cluster). Entries order by
+    /// `(time, src, seq)`, so same-timestamp events from different sources
+    /// pop in source order no matter which order they were merged in.
+    pub fn push_from(&mut self, time: SimTime, src: u32, event: E) {
         let seq = self.seq;
         self.seq += 1;
         self.stats.pushes += 1;
-        let entry = Entry { time, seq, event };
+        let entry = Entry { time, src, seq, event };
         if self.in_window(time) {
+            let key = entry.key();
             self.buckets[Self::bucket_of(time)].push(entry);
             self.bucketed += 1;
-            if self.bucket_head.is_none_or(|(t, s)| (time, seq) < (t, s)) {
-                self.bucket_head = Some((time, seq));
+            if self.bucket_head.is_none_or(|h| key < h) {
+                self.bucket_head = Some(key);
             }
         } else {
             self.heap.push(entry);
@@ -149,33 +172,34 @@ impl<E> EventQueue<E> {
         self.stats.high_water = self.stats.high_water.max(self.len());
     }
 
-    /// Finds the `(time, seq)` of the earliest bucketed entry by scanning
-    /// buckets in slot order from the cursor's bucket.
-    fn scan_bucket_head(&self) -> Option<(SimTime, u64)> {
+    /// Finds the `(time, src, seq)` of the earliest bucketed entry by
+    /// scanning buckets in slot order from the cursor's bucket.
+    fn scan_bucket_head(&self) -> Option<Key> {
         if self.bucketed == 0 {
             return None;
         }
         let start = Self::bucket_of(self.cursor);
         for i in 0..BUCKET_COUNT {
             let b = &self.buckets[(start + i) % BUCKET_COUNT];
-            if let Some(head) = b.iter().map(|e| (e.time, e.seq)).min() {
+            if let Some(head) = b.iter().map(Entry::key).min() {
                 return Some(head);
             }
         }
         unreachable!("bucketed count positive but no bucket entry found");
     }
 
-    /// Removes and returns the earliest event, if any. Ties pop FIFO.
+    /// Removes and returns the earliest event, if any. Ties pop in
+    /// `(src, insertion)` order.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let take_bucket = match (self.bucket_head, self.heap.peek()) {
-            (Some(bh), Some(hh)) => bh < (hh.time, hh.seq),
+            (Some(bh), Some(hh)) => bh < hh.key(),
             (Some(_), None) => true,
             (None, Some(_)) => false,
             (None, None) => return None,
         };
         self.stats.pops += 1;
         if take_bucket {
-            let (time, seq) = self.bucket_head.expect("bucket lane head");
+            let (time, _, seq) = self.bucket_head.expect("bucket lane head");
             let bucket = &mut self.buckets[Self::bucket_of(time)];
             let idx = bucket
                 .iter()
@@ -199,7 +223,7 @@ impl<E> EventQueue<E> {
 
     /// Returns the time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        let heap_head = self.heap.peek().map(|e| (e.time, e.seq));
+        let heap_head = self.heap.peek().map(Entry::key);
         match (self.bucket_head, heap_head) {
             (Some(b), Some(h)) => Some(b.min(h).0),
             (Some(b), None) => Some(b.0),
@@ -341,11 +365,11 @@ mod tests {
 
     #[test]
     fn matches_reference_heap_on_random_workload() {
-        // Drive the two-lane queue and a plain (time, seq) reference
+        // Drive the two-lane queue and a plain (time, src, seq) reference
         // model with an identical deterministic push/pop script spanning
-        // bucket widths, horizon boundaries, and ties.
+        // bucket widths, horizon boundaries, sources, and ties.
         let mut q = EventQueue::new();
-        let mut reference: Vec<(u64, u64, u32)> = Vec::new(); // (time, seq, id)
+        let mut reference: Vec<(u64, u32, u64, u32)> = Vec::new(); // (time, src, seq, id)
         let mut seq = 0u64;
         let mut now = 0u64;
         let mut state = 0x1234_5678_9abc_def0u64;
@@ -358,7 +382,7 @@ mod tests {
         for id in 0..20_000u32 {
             if next() % 3 != 0 {
                 // Push at now + a mix of sub-bucket, sub-horizon, and
-                // beyond-horizon offsets.
+                // beyond-horizon offsets, from a handful of sources.
                 let off = match next() % 4 {
                     0 => next() % 100,
                     1 => next() % (BUCKET_NS * 3),
@@ -366,14 +390,15 @@ mod tests {
                     _ => 0,
                 };
                 let t = now + off;
-                q.push(SimTime::from_nanos(t), id);
-                reference.push((t, seq, id));
+                let src = (next() % 5) as u32;
+                q.push_from(SimTime::from_nanos(t), src, id);
+                reference.push((t, src, seq, id));
                 seq += 1;
             } else if !reference.is_empty() {
                 let min_idx = (0..reference.len())
-                    .min_by_key(|&i| (reference[i].0, reference[i].1))
+                    .min_by_key(|&i| (reference[i].0, reference[i].1, reference[i].2))
                     .unwrap();
-                let (t, _, id) = reference.remove(min_idx);
+                let (t, _, _, id) = reference.remove(min_idx);
                 let (qt, qid) = q.pop().expect("queue agrees non-empty");
                 assert_eq!((qt.as_nanos(), qid), (t, id));
                 now = t;
@@ -382,11 +407,54 @@ mod tests {
         }
         while let Some((t, id)) = q.pop() {
             let min_idx = (0..reference.len())
-                .min_by_key(|&i| (reference[i].0, reference[i].1))
+                .min_by_key(|&i| (reference[i].0, reference[i].1, reference[i].2))
                 .unwrap();
-            let (rt, _, rid) = reference.remove(min_idx);
+            let (rt, _, _, rid) = reference.remove(min_idx);
             assert_eq!((t.as_nanos(), id), (rt, rid));
         }
         assert!(reference.is_empty());
+    }
+
+    /// Regression (PR 7 satellite): same-timestamp events from *different*
+    /// sources pop in source order regardless of push order — the property
+    /// that makes cross-node deliveries independent of which worker merged
+    /// its outbox first in the parallel engine.
+    #[test]
+    fn same_time_cross_source_events_pop_in_source_order() {
+        let t = SimTime::from_nanos(4_096);
+        // Push in scrambled source order, twice per source.
+        let mut a = EventQueue::new();
+        for &src in &[3u32, 0, 2, 1, 3, 1, 0, 2] {
+            a.push_from(t, src, (src, a.len()));
+        }
+        // Push the same multiset in a different (merge) order.
+        let mut b = EventQueue::new();
+        for &src in &[0u32, 0, 1, 1, 2, 2, 3, 3] {
+            b.push_from(t, src, (src, b.len()));
+        }
+        let srcs_a: Vec<u32> = std::iter::from_fn(|| a.pop().map(|(_, (s, _))| s)).collect();
+        let srcs_b: Vec<u32> = std::iter::from_fn(|| b.pop().map(|(_, (s, _))| s)).collect();
+        assert_eq!(srcs_a, [0, 0, 1, 1, 2, 2, 3, 3]);
+        assert_eq!(srcs_a, srcs_b, "pop order must not depend on merge order");
+        // Within one source, insertion order still wins.
+        let mut c = EventQueue::new();
+        c.push_from(t, 7, 'x');
+        c.push_from(t, 7, 'y');
+        assert_eq!(c.pop().unwrap().1, 'x');
+        assert_eq!(c.pop().unwrap().1, 'y');
+    }
+
+    /// The same-timestamp / cross-lane property holds when the sources
+    /// land in different lanes (heap vs calendar).
+    #[test]
+    fn cross_source_order_holds_across_lanes() {
+        let mut q = EventQueue::new();
+        let far = SimTime::from_nanos(BUCKET_NS * BUCKET_COUNT as u64 + 500);
+        q.push_from(far, 2, "heap-src2"); // beyond horizon → heap
+        q.push_from(SimTime::from_nanos(10), 0, "early");
+        assert_eq!(q.pop().unwrap().1, "early"); // cursor: 10, `far` now in window
+        q.push_from(far, 1, "bucket-src1"); // → calendar lane
+        assert_eq!(q.pop().unwrap().1, "bucket-src1", "src 1 before src 2 across lanes");
+        assert_eq!(q.pop().unwrap().1, "heap-src2");
     }
 }

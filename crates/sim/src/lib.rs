@@ -32,12 +32,14 @@
 
 pub mod dist;
 pub mod engine;
+pub mod executor;
 pub mod quant;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::EventQueue;
+pub use executor::SimExecutor;
 pub use rng::SimRng;
 pub use stats::LatencyHistogram;
 pub use time::{SimDuration, SimTime};

@@ -8,6 +8,7 @@
 use ditto_app::apps;
 use ditto_hw::platform::PlatformSpec;
 use ditto_kernel::{Cluster, Fault, FaultPlan, NodeId};
+use ditto_sim::executor::SimExecutor;
 use ditto_sim::stats::LatencyHistogram;
 use ditto_sim::time::{SimDuration, SimTime};
 use ditto_workload::{ClosedLoopConfig, OpenLoopConfig, Recorder};
@@ -50,7 +51,12 @@ struct RunFingerprint {
 }
 
 fn run_once(closed_loop: bool) -> RunFingerprint {
+    run_once_on(closed_loop, SimExecutor::Sequential)
+}
+
+fn run_once_on(closed_loop: bool, executor: SimExecutor) -> RunFingerprint {
     let mut cluster = Cluster::new(vec![PlatformSpec::a(), PlatformSpec::c()], 0xB0B0);
+    cluster.set_executor(executor);
     let spec = if closed_loop { apps::redis(9000) } else { apps::memcached(9000) };
     spec.deploy(&mut cluster, NodeId(0));
     cluster.install_faults(&chaos_plan());
@@ -104,6 +110,29 @@ fn same_seed_same_plan_is_bit_identical_closed_loop() {
     assert!(a.sent > 0, "load ran: {a:?}");
     assert!(a.reset_connections > 0, "crash reset connections: {a:?}");
     assert_eq!(a, b);
+}
+
+/// The full chaos schedule — lossy link, partition, disk degrade, crash —
+/// replayed on the parallel engine at 1-, 2- and 8-worker gangs must be
+/// bit-identical to the sequential run. Fault epochs are barrier points
+/// for the conservative windows, and the crash lands mid-window, so this
+/// exercises exactly the path where an optimistic engine would diverge.
+#[test]
+fn chaos_plan_is_bit_identical_on_the_parallel_engine() {
+    for closed_loop in [false, true] {
+        let baseline = run_once(closed_loop);
+        assert!(
+            baseline.reset_connections > 0,
+            "scenario lost its crash — the parallel comparison is vacuous: {baseline:?}"
+        );
+        for workers in [1usize, 2, 8] {
+            let run = run_once_on(closed_loop, SimExecutor::Parallel { workers });
+            assert_eq!(
+                run, baseline,
+                "chaos replay diverged on a {workers}-worker gang (closed_loop={closed_loop})"
+            );
+        }
+    }
 }
 
 #[test]

@@ -25,6 +25,7 @@ fn small_bed(seed: u64) -> Testbed {
         warmup: SimDuration::from_millis(5),
         window: SimDuration::from_millis(30),
         obs: Default::default(),
+        executor: Default::default(),
     }
 }
 

@@ -42,6 +42,7 @@ fn golden_bed() -> Testbed {
         warmup: SimDuration::from_millis(10),
         window: SimDuration::from_millis(60),
         obs: Default::default(),
+        executor: Default::default(),
     }
 }
 

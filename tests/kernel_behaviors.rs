@@ -153,6 +153,11 @@ fn cross_node_ping_pong_round_trips() {
     assert!(first.as_nanos() > 40_000, "RTT too fast: {first}");
 }
 
+/// Cross-node connect is optimistic, like a non-blocking TCP connect:
+/// the syscall returns an fd immediately while the SYN travels, and a
+/// missing listener surfaces as `ConnClosed` on the first operation
+/// after the refusal round-trips. (Only control-plane refusals — the
+/// target node down or unreachable — fail the connect synchronously.)
 #[test]
 fn connect_to_missing_listener_is_refused() {
     let mut c = cluster2();
@@ -160,18 +165,34 @@ fn connect_to_missing_listener_is_refused() {
     struct TryConnect(Arc<Mutex<Vec<SysResult>>>, u8);
     impl ThreadBody for TryConnect {
         fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
-            if self.1 == 0 {
-                self.1 = 1;
-                return Action::Syscall(Syscall::Connect { node: NodeId(1), port: 5999 });
+            match self.1 {
+                0 => {
+                    self.1 = 1;
+                    Action::Syscall(Syscall::Connect { node: NodeId(1), port: 5999 })
+                }
+                1 => {
+                    self.1 = 2;
+                    self.0.lock().push(ctx.last.clone());
+                    let fd = ctx.last.fd().expect("optimistic connect yields an fd");
+                    Action::Syscall(Syscall::Recv { fd, timeout: None })
+                }
+                _ => {
+                    self.0.lock().push(ctx.last.clone());
+                    Action::Exit
+                }
             }
-            self.0.lock().push(ctx.last.clone());
-            Action::Exit
         }
     }
     let pid = c.spawn_process(NodeId(0));
     c.spawn_thread(NodeId(0), pid, Box::new(TryConnect(results.clone(), 0)));
     c.run_for(SimDuration::from_millis(5));
-    assert!(matches!(results.lock()[0], SysResult::Err(Errno::ConnRefused)));
+    let r = results.lock();
+    assert!(matches!(r[0], SysResult::Fd(_)), "connect is optimistic: {:?}", r[0]);
+    assert!(
+        matches!(r[1], SysResult::Err(Errno::ConnClosed)),
+        "refusal surfaces on first use: {:?}",
+        r[1]
+    );
 }
 
 #[test]

@@ -10,6 +10,7 @@ use ditto_app::sharded::ShardedTierSpec;
 use ditto_app::AdmissionConfig;
 use ditto_core::scale::{ShardedOutcome, ShardedTestbed};
 use ditto_kernel::{Fault, FaultPlan};
+use ditto_sim::executor::SimExecutor;
 use ditto_sim::stats::{LatencyHistogram, LatencySummary};
 use ditto_sim::time::{SimDuration, SimTime};
 
@@ -176,5 +177,25 @@ fn faulted_run_is_bit_identical_across_rayon_pool_sizes() {
             .expect("build thread pool");
         let run = pool.install(|| fingerprint(&bed.run_original_with_faults(&plan)));
         assert_eq!(run, baseline, "faulted run diverged inside a {threads}-thread pool");
+    }
+}
+
+/// The mid-window replica kill replayed on the parallel engine: the
+/// 10-node faulted tier must fingerprint bit-identically whether the
+/// cluster's logical processes advance on one thread or on 1-, 2- or
+/// 8-worker gangs. The crash epoch forces a window barrier exactly at
+/// the fault time, so every gang size sees the replica die at the same
+/// simulated instant.
+#[test]
+fn faulted_run_is_bit_identical_on_the_parallel_engine() {
+    let mut bed = bed();
+    let plan = crash_plan(&bed);
+    let baseline = fingerprint(&bed.run_original_with_faults(&plan));
+    assert!(baseline.reroutes > 0, "scenario lost its fault — determinism check is vacuous");
+
+    for workers in [1usize, 2, 8] {
+        bed.executor = SimExecutor::Parallel { workers };
+        let run = fingerprint(&bed.run_original_with_faults(&plan));
+        assert_eq!(run, baseline, "faulted replay diverged on a {workers}-worker gang");
     }
 }
