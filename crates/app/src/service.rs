@@ -511,6 +511,7 @@ impl EpollWorker {
                     trace_id: req.span.trace_id,
                     span_id: req.span.span_id,
                     status: 0,
+                    user: req.meta.user,
                 };
                 self.rpc =
                     Some(RpcInFlight { downstream, bytes, meta, attempt: 0, started: now });
@@ -936,6 +937,7 @@ impl ConnWorker {
                     trace_id: req.span.trace_id,
                     span_id: req.span.span_id,
                     status: 0,
+                    user: req.meta.user,
                 };
                 self.rpc =
                     Some(RpcInFlight { downstream, bytes, meta, attempt: 0, started: now });

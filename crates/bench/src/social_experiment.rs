@@ -68,7 +68,7 @@ fn drive(
     let mut cfg = OpenLoopConfig::new(frontend.0, frontend.1, qps);
     cfg.connections = 8;
     cfg.collector = collector;
-    cfg.spawn(cluster, CLIENT_NODE, &recorder);
+    cfg.spawn(cluster, CLIENT_NODE, &recorder).expect("valid open-loop config");
     cluster.run_for(warmup);
 
     for node in [MAIN_NODE, TEXT_NODE, GRAPH_NODE] {

@@ -1,0 +1,189 @@
+//! Differential suite for the hybrid load engine: a traffic scenario's
+//! request timeline is a pure function of (plan, seed) — bit-identical
+//! across rayon fleet thread counts, PDES worker gangs, and with the
+//! observability pipeline on or off. Extends the `pdes_differential`
+//! pattern to the aggregated arrival process: every draw (exponential
+//! gap, thinning coin, user rank) rides the client node's deterministic
+//! stream, so nothing about host scheduling can reorder it.
+//!
+//! A final negative control perturbs the seed and asserts the
+//! comparisons would catch divergence.
+
+use std::sync::Arc;
+
+use ditto_app::sharded::ShardedTierSpec;
+use ditto_bench::AppId;
+use ditto_core::fleet::{Fleet, ScenarioSpec};
+use ditto_core::harness::{ScenarioOutcome, Testbed};
+use ditto_core::scale::{ScenarioTierOutcome, ShardedTestbed};
+use ditto_obs::ObsConfig;
+use ditto_sim::executor::SimExecutor;
+use ditto_sim::time::SimDuration;
+use ditto_workload::{LoadPhase, LoadPlan, LoadSource, RateFn};
+
+/// Worker counts exercised against the single-thread reference.
+const GANGS: [usize; 2] = [1, 8];
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// A small diurnal wave: 50k modeled users over four 30 ms phases.
+fn plan() -> LoadPlan {
+    LoadPlan::diurnal(50_000, 500.0, 2_000.0, SimDuration::from_millis(30))
+}
+
+fn bed(seed: u64, obs: ObsConfig, executor: SimExecutor) -> Testbed {
+    Testbed {
+        warmup: SimDuration::from_millis(20),
+        obs,
+        executor,
+        ..Testbed::default_ab(seed)
+    }
+}
+
+fn assert_scenarios_identical(label: &str, a: &ScenarioOutcome, b: &ScenarioOutcome) {
+    assert_eq!(a.histogram, b.histogram, "{label}: whole-scenario histogram diverged");
+    assert_eq!(a.overall.sent, b.overall.sent, "{label}: sent diverged");
+    assert_eq!(a.overall.received, b.overall.received, "{label}: received diverged");
+    assert_eq!(a.overall.latency, b.overall.latency, "{label}: latency summary diverged");
+    assert_eq!(a.phases.len(), b.phases.len(), "{label}: phase count diverged");
+    for (pa, pb) in a.phases.iter().zip(&b.phases) {
+        assert_eq!(pa.name, pb.name, "{label}: phase order diverged");
+        let (sa, sb) = (&pa.summary, &pb.summary);
+        assert_eq!(sa.sent, sb.sent, "{label}/{}: phase sent diverged", pa.name);
+        assert_eq!(sa.received, sb.received, "{label}/{}: phase received diverged", pa.name);
+        assert_eq!(sa.timeouts, sb.timeouts, "{label}/{}: phase timeouts diverged", pa.name);
+        assert_eq!(sa.errors, sb.errors, "{label}/{}: phase errors diverged", pa.name);
+        assert_eq!(sa.latency, sb.latency, "{label}/{}: phase latency diverged", pa.name);
+    }
+    assert_eq!(
+        a.fastforward_iterations, b.fastforward_iterations,
+        "{label}: fast-path engagement diverged"
+    );
+}
+
+/// The same scenario fleet run at 1, 2 and 8 rayon workers returns
+/// byte-identical outcomes in spec order.
+#[test]
+fn scenario_fleet_is_identical_across_thread_counts() {
+    let specs: Vec<ScenarioSpec> = [AppId::Memcached, AppId::Redis]
+        .into_iter()
+        .map(|app| ScenarioSpec {
+            label: app.name().into(),
+            testbed: bed(0x10AD ^ app.name().len() as u64, ObsConfig::default(), SimExecutor::Sequential),
+            plan: plan(),
+            deploy: Arc::new(move |c, n| app.deploy(c, n)),
+        })
+        .collect();
+    let reference = Fleet::with_threads(1).run_scenarios(&specs);
+    for out in &reference {
+        assert!(out.overall.received > 100, "fleet reference served {}", out.overall.received);
+    }
+    for threads in &THREADS[1..] {
+        let run = Fleet::with_threads(*threads).run_scenarios(&specs);
+        for (spec, (a, b)) in specs.iter().zip(reference.iter().zip(&run)) {
+            assert_scenarios_identical(&format!("{}@{threads}t", spec.label), a, b);
+        }
+    }
+}
+
+/// Observability on vs off: tracing must observe the run, never steer
+/// it — the scenario's measured outputs are identical either way.
+#[test]
+fn scenario_is_identical_with_observability_enabled() {
+    let app = AppId::Memcached;
+    let p = plan();
+    let off = bed(0x0B5, ObsConfig::default(), SimExecutor::Sequential)
+        .run_scenario(|c, n| app.deploy(c, n), &p);
+    let on = bed(0x0B5, ObsConfig::full(), SimExecutor::Sequential)
+        .run_scenario(|c, n| app.deploy(c, n), &p);
+    assert!(off.overall.received > 100, "served {}", off.overall.received);
+    assert!(on.obs.is_some(), "full obs config produced no report");
+    assert_scenarios_identical("obs-on-vs-off", &off, &on);
+}
+
+/// The multi-sender shard path: 1M users at 60k qps trips the auto
+/// policy into three sender threads on the client node. Their
+/// interleaving rides the node's deterministic scheduler, so outcomes
+/// must stay identical under a worker gang with observability on.
+#[test]
+fn multi_sender_scenario_is_identical() {
+    let plan = LoadPlan {
+        name: "steady-60k".into(),
+        phases: vec![LoadPhase {
+            name: "steady".into(),
+            duration: SimDuration::from_millis(30),
+        }],
+        sources: vec![LoadSource {
+            name: "population".into(),
+            users: 1_000_000,
+            user_skew: 0.99,
+            user_base: 0,
+            rate: RateFn::constant(60_000.0),
+        }],
+    };
+    let app = AppId::Memcached;
+    let reference = bed(0x60AD, ObsConfig::default(), SimExecutor::Sequential)
+        .run_scenario(|c, n| app.deploy(c, n), &plan);
+    assert!(
+        reference.overall.received > 1_000,
+        "multi-sender reference served only {}",
+        reference.overall.received
+    );
+    let par = bed(0x60AD, ObsConfig::full(), SimExecutor::Parallel { workers: 2 })
+        .run_scenario(|c, n| app.deploy(c, n), &plan);
+    assert_scenarios_identical("multi-sender", &reference, &par);
+}
+
+fn run_sharded_scenario(executor: SimExecutor, seed: u64) -> ScenarioTierOutcome {
+    let spec = ShardedTierSpec { shards: 16, replicas: 1, ..ShardedTierSpec::default() };
+    let mut bed = ShardedTestbed::new(spec, seed);
+    bed.warmup = SimDuration::from_millis(20);
+    bed.executor = executor;
+    bed.run_original_scenario(&plan(), None)
+}
+
+/// The 16-shard tier scenario: per-phase summaries, the whole-scenario
+/// histogram, routing decisions and the control trajectory are
+/// byte-identical at every PDES gang size.
+#[test]
+fn sharded_scenario_is_identical_under_parallel_execution() {
+    const SEED: u64 = 0x10AD_5EED;
+    let seq = run_sharded_scenario(SimExecutor::Sequential, SEED);
+    assert!(seq.overall.received > 100, "sharded scenario served {}", seq.overall.received);
+    for workers in GANGS {
+        let par = run_sharded_scenario(SimExecutor::Parallel { workers }, SEED);
+        assert_eq!(seq.histogram, par.histogram, "sharded@{workers}w: histogram diverged");
+        assert_eq!(seq.router, par.router, "sharded@{workers}w: routing diverged");
+        assert_eq!(
+            seq.router_metrics, par.router_metrics,
+            "sharded@{workers}w: router MetricSet diverged"
+        );
+        for ((name, f), (_, s)) in seq.phases.iter().zip(&par.phases) {
+            assert_eq!(f.received, s.received, "{name}@{workers}w: phase received diverged");
+            assert_eq!(f.latency, s.latency, "{name}@{workers}w: phase latency diverged");
+        }
+        assert_eq!(
+            seq.trajectory, par.trajectory,
+            "sharded@{workers}w: control trajectory diverged"
+        );
+        assert_eq!(
+            seq.fastforward_iterations, par.fastforward_iterations,
+            "sharded@{workers}w: fast-path engagement diverged"
+        );
+    }
+}
+
+/// Negative control: a perturbed seed must NOT reproduce the reference,
+/// or every comparison above is vacuous.
+#[test]
+fn perturbed_scenario_seed_is_detected() {
+    let a = run_sharded_scenario(SimExecutor::Parallel { workers: 2 }, 0x10AD_5EED);
+    let b = run_sharded_scenario(SimExecutor::Parallel { workers: 2 }, 0x10AD_5EEE);
+    assert_ne!(
+        a.histogram, b.histogram,
+        "negative control: perturbed seed produced an identical scenario histogram"
+    );
+    assert!(
+        a.overall.received != b.overall.received || a.router != b.router,
+        "negative control: perturbed seed left every aggregate unchanged"
+    );
+}

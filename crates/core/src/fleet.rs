@@ -30,8 +30,10 @@ use ditto_sim::time::SimDuration;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 
+use ditto_workload::LoadPlan;
+
 use crate::clone::Ditto;
-use crate::harness::{LoadKind, RunOutcome, Testbed};
+use crate::harness::{LoadKind, RunOutcome, ScenarioOutcome, Testbed};
 use crate::tuner::{FineTuner, TuneResult};
 
 /// A shareable service deployment: receives the cluster (for dataset and
@@ -139,6 +141,46 @@ impl Fleet {
     /// returns outcomes in spec order.
     pub fn run(&self, specs: &[ExperimentSpec]) -> Vec<RunOutcome> {
         self.map(specs, |i, spec| spec.run(stream_seed(spec.testbed.seed, i as u64)))
+    }
+
+    /// Runs every scenario cell (a service under a [`LoadPlan`]) with
+    /// the same isolation and seed-stream discipline as [`Fleet::run`]:
+    /// outcomes come back in spec order, bit-identical at any worker
+    /// count.
+    pub fn run_scenarios(&self, specs: &[ScenarioSpec]) -> Vec<ScenarioOutcome> {
+        self.map(specs, |i, spec| {
+            let bed = Testbed {
+                seed: stream_seed(spec.testbed.seed, i as u64),
+                ..spec.testbed.clone()
+            };
+            let deploy = Arc::clone(&spec.deploy);
+            bed.run_scenario(move |c, n| deploy(c, n), &spec.plan)
+        })
+    }
+}
+
+/// One scenario cell of work for the fleet: a service played through a
+/// traffic scenario on a testbed.
+#[derive(Clone)]
+pub struct ScenarioSpec {
+    /// Human-readable label carried into reports.
+    pub label: String,
+    /// The two-machine testbed (its `seed` is the base seed — the fleet
+    /// XORs in a splitmix64 stream per spec index).
+    pub testbed: Testbed,
+    /// The traffic scenario to play.
+    pub plan: LoadPlan,
+    /// Service deployment.
+    pub deploy: DeployFn,
+}
+
+impl std::fmt::Debug for ScenarioSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioSpec")
+            .field("label", &self.label)
+            .field("seed", &self.testbed.seed)
+            .field("plan", &self.plan.name)
+            .finish_non_exhaustive()
     }
 }
 

@@ -15,7 +15,9 @@ use ditto_sim::executor::SimExecutor;
 use ditto_sim::rng::stream_seed;
 use ditto_sim::stats::LatencyHistogram;
 use ditto_sim::time::SimDuration;
-use ditto_workload::{ClosedLoopConfig, LoadSummary, OpenLoopConfig, Recorder};
+use ditto_workload::{
+    ClosedLoopConfig, LoadAggregate, LoadPlan, LoadSummary, OpenLoopConfig, Recorder,
+};
 
 use crate::body_gen::TuneKnobs;
 use crate::clone::Ditto;
@@ -50,7 +52,7 @@ impl LoadKind {
             LoadKind::OpenLoop { qps, connections } => {
                 let mut cfg = OpenLoopConfig::new(server, SERVICE_PORT, qps);
                 cfg.connections = connections;
-                cfg.spawn(cluster, client, recorder);
+                cfg.spawn(cluster, client, recorder).expect("valid open-loop config");
             }
             LoadKind::ClosedLoop { connections, think } => {
                 let mut cfg = ClosedLoopConfig::new(server, SERVICE_PORT, connections);
@@ -119,6 +121,33 @@ pub struct RunOutcome {
     pub fastforward_iterations: u64,
     /// What the run recorded about itself (trace, time series, pipeline
     /// stage profile). `None` unless [`Testbed::obs`] enabled something.
+    pub obs: Option<ObsReport>,
+}
+
+/// One scenario phase's measured load.
+#[derive(Debug, Clone)]
+pub struct PhaseSummary {
+    /// Phase name from the [`LoadPlan`].
+    pub name: String,
+    /// Load summary over the phase's window.
+    pub summary: LoadSummary,
+}
+
+/// The measured outcome of one scenario run: per-phase windows plus a
+/// bucket-exact whole-scenario aggregate.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// One summary per plan phase, in plan order.
+    pub phases: Vec<PhaseSummary>,
+    /// Whole-scenario aggregate (histograms merged bucket-exactly).
+    pub overall: LoadSummary,
+    /// The merged whole-scenario latency histogram.
+    pub histogram: LatencyHistogram,
+    /// Hardware metrics over the whole scenario.
+    pub metrics: MetricSet,
+    /// Fast-path engagement diagnostic (see [`RunOutcome`]).
+    pub fastforward_iterations: u64,
+    /// Observability report, when enabled.
     pub obs: Option<ObsReport>,
 }
 
@@ -196,6 +225,75 @@ impl Testbed {
             fastforward_iterations: cluster.fastforward_iterations(),
             obs,
         }
+    }
+
+    /// Plays a traffic scenario against the service: every
+    /// [`LoadPlan`] source is spawned as a hybrid generator (its rate
+    /// curve led in through the warmup), and each plan phase becomes
+    /// its own recorder window with its own [`LoadSummary`], alongside
+    /// a bucket-exact whole-scenario aggregate.
+    ///
+    /// Phase boundaries are anchored at warmup end; the generator
+    /// anchors scenario time when its pool finishes dialing, a few
+    /// network round-trips after spawn — negligible against the warmup,
+    /// and identical for original and clone.
+    pub fn run_scenario<F>(&self, deploy: F, plan: &LoadPlan) -> ScenarioOutcome
+    where
+        F: FnOnce(&mut Cluster, NodeId) -> ServiceSpec,
+    {
+        let server = NodeId(0);
+        let client = NodeId(1);
+        let sink = ObsSink::new(&self.obs);
+        let mut cluster =
+            Cluster::new(vec![self.server.clone(), self.client.clone()], self.seed);
+        cluster.set_executor(self.executor);
+        cluster.set_obs(sink.clone());
+        let spec = deploy(&mut cluster, server);
+        let pid: Pid = spec.deploy(&mut cluster, server);
+        cluster.run_for(SimDuration::from_millis(10));
+
+        let recorder = Recorder::new();
+        for source in &plan.sources {
+            source
+                .to_config(server, SERVICE_PORT, self.warmup)
+                .spawn(&mut cluster, client, &recorder)
+                .expect("valid scenario source");
+        }
+        cluster.run_for(self.warmup);
+
+        MetricSet::begin(&mut cluster, server);
+        let mut agg = LoadAggregate::new();
+        let mut phases = Vec::with_capacity(plan.phases.len());
+        for phase in &plan.phases {
+            recorder.start_window(cluster.now());
+            cluster.run_for(phase.duration);
+            recorder.end_window(cluster.now());
+            let summary = recorder.summary(phase.duration);
+            agg.add(&summary, &recorder.histogram(), phase.duration);
+            phases.push(PhaseSummary { name: phase.name.clone(), summary });
+        }
+        let metrics = MetricSet::end_for_pid(&cluster, server, pid, plan.total_duration());
+        ScenarioOutcome {
+            phases,
+            overall: agg.summary(),
+            histogram: agg.histogram().clone(),
+            metrics,
+            fastforward_iterations: cluster.fastforward_iterations(),
+            obs: sink.finish(),
+        }
+    }
+
+    /// Runs the generated clone of `profile` through the same scenario.
+    pub fn run_scenario_clone(
+        &self,
+        ditto: &Ditto,
+        profile: &AppProfile,
+        plan: &LoadPlan,
+    ) -> ScenarioOutcome {
+        self.run_scenario(
+            |cluster, node| ditto.clone_service(cluster, node, SERVICE_PORT, profile),
+            plan,
+        )
     }
 
     /// Runs the generated clone of `profile` under the same load.

@@ -32,12 +32,12 @@ pub use body_gen::{generate_body_params, GeneratorConfig, TuneKnobs};
 pub use clone::Ditto;
 pub use fleet::{
     run_fidelity_matrix, CacheKey, DeployFn, ExperimentSpec, FidelityCell, FidelityMatrix, Fleet,
-    MatrixConfig, ProfileCache, ServiceEntry,
+    MatrixConfig, ProfileCache, ScenarioSpec, ServiceEntry,
 };
-pub use harness::{LoadKind, RunOutcome, Testbed};
+pub use harness::{LoadKind, PhaseSummary, RunOutcome, ScenarioOutcome, Testbed};
 pub use scale::{
     clone_router_response_bytes, deploy_cloned_tier, ControlConfig, ControlledOutcome,
-    RoleProfiles, ShardedOutcome, ShardedTestbed, TierPipeline,
+    RoleProfiles, ScenarioTierOutcome, ShardedOutcome, ShardedTestbed, TierPipeline,
 };
 pub use skeleton::generate_network_model;
 pub use stages::GeneratorStages;

@@ -27,7 +27,8 @@ use ditto_sim::executor::SimExecutor;
 use ditto_sim::stats::LatencyHistogram;
 use ditto_sim::time::SimDuration;
 use ditto_workload::{
-    ControlSample, ControlTrajectory, LoadAggregate, LoadSummary, OpenLoopConfig, TierRecorder,
+    ControlSample, ControlTrajectory, LoadAggregate, LoadPlan, LoadSummary, OpenLoopConfig,
+    TierRecorder,
 };
 
 use crate::autoscaler::{Autoscaler, AutoscalerConfig};
@@ -152,6 +153,31 @@ impl ControlConfig {
     pub fn total_window(&self) -> SimDuration {
         SimDuration::from_nanos(self.interval.as_nanos() * u64::from(self.intervals))
     }
+}
+
+/// The measured outcome of one scenario run on a sharded tier: one
+/// recorder window per [`LoadPlan`] phase, a bucket-exact
+/// whole-scenario aggregate, and (when an autoscaler was attached) the
+/// per-phase control trajectory with its scale events.
+#[derive(Debug, Clone)]
+pub struct ScenarioTierOutcome {
+    /// Per-phase `(name, client-facing summary)` rows, in plan order.
+    pub phases: Vec<(String, LoadSummary)>,
+    /// Whole-scenario client-facing aggregate.
+    pub overall: LoadSummary,
+    /// Whole-scenario bucket-exact latency histogram.
+    pub histogram: LatencyHistogram,
+    /// Router placement statistics at the end of the run.
+    pub router: RouterStats,
+    /// Hardware metrics of the router process over the scenario.
+    pub router_metrics: MetricSet,
+    /// One [`ControlSample`] per phase plus any scale events (empty
+    /// event list when no autoscaler was attached).
+    pub trajectory: ControlTrajectory,
+    /// Instructions replayed analytically by the fast path.
+    pub fastforward_iterations: u64,
+    /// Observability report, when [`ShardedTestbed::obs`] enabled any.
+    pub obs: Option<ObsReport>,
 }
 
 /// The measured outcome of one controlled run.
@@ -286,6 +312,36 @@ impl ShardedTestbed {
         })
     }
 
+    /// Plays a traffic scenario against the original tier: every
+    /// [`LoadPlan`] source runs as a hybrid (population-multiplexed)
+    /// generator against the router, each plan phase becomes its own
+    /// measurement window, and — when `autoscaler` is given — the
+    /// control loop makes one decision per phase boundary (the
+    /// flash-crowd + autoscaler experiment of ROADMAP item 3).
+    pub fn run_original_scenario(
+        &self,
+        plan: &LoadPlan,
+        autoscaler: Option<AutoscalerConfig>,
+    ) -> ScenarioTierOutcome {
+        self.run_tier_scenario(plan, autoscaler, &mut |cluster, spec, nodes, router| {
+            deploy_sharded_tier(cluster, spec, nodes, router)
+        })
+    }
+
+    /// Plays the same scenario against the cloned tier re-assembled
+    /// from per-role profiles.
+    pub fn run_clone_scenario(
+        &self,
+        pipeline: &TierPipeline,
+        roles: &RoleProfiles,
+        plan: &LoadPlan,
+        autoscaler: Option<AutoscalerConfig>,
+    ) -> ScenarioTierOutcome {
+        self.run_tier_scenario(plan, autoscaler, &mut |cluster, spec, nodes, router| {
+            deploy_cloned_tier(pipeline, roles, cluster, spec, nodes, router)
+        })
+    }
+
     /// Fine-tunes the replica role on a single-tier testbed at the
     /// per-replica share of the tier load (§4.5 applied per role).
     pub fn tune_replica_role(
@@ -370,7 +426,7 @@ impl ShardedTestbed {
         let mut cfg = OpenLoopConfig::new(router_node, tier.router_port, self.total_qps());
         cfg.connections = self.connections;
         cfg.timeout = self.client_timeout;
-        cfg.spawn(&mut cluster, client_node, recorder.tier());
+        cfg.spawn(&mut cluster, client_node, recorder.tier()).expect("valid open-loop config");
         cluster.run_for(self.warmup);
 
         let profilers = profile_roles.then(|| {
@@ -463,7 +519,7 @@ impl ShardedTestbed {
         let mut cfg = OpenLoopConfig::new(router_node, tier.router_port, self.total_qps());
         cfg.connections = self.connections;
         cfg.timeout = self.client_timeout;
-        cfg.spawn(&mut cluster, client_node, recorder.tier());
+        cfg.spawn(&mut cluster, client_node, recorder.tier()).expect("valid open-loop config");
         cluster.run_for(self.warmup);
 
         let mut scaler = control.autoscaler.map(Autoscaler::new);
@@ -528,6 +584,122 @@ impl ShardedTestbed {
             router: tier.handler.stats(),
             admission: tier.admission.as_ref().map(|a| a.stats()),
             budget: tier.retry_budget.as_ref().map(|b| b.stats()),
+            fastforward_iterations: cluster.fastforward_iterations(),
+            obs,
+        }
+    }
+
+    /// The scenario variant of [`ShardedTestbed::run_tier`]: hybrid
+    /// sources instead of the per-connection generator, one window per
+    /// plan phase, and an optional per-phase autoscaler. The testbed's
+    /// `connections` budget is split across the plan's sources as their
+    /// multiplexed pool sizes, so a million-user plan still dials only a
+    /// handful of router connections.
+    fn run_tier_scenario(
+        &self,
+        plan: &LoadPlan,
+        autoscaler: Option<AutoscalerConfig>,
+        deploy: &mut TierDeployFn<'_>,
+    ) -> ScenarioTierOutcome {
+        assert!(!plan.phases.is_empty(), "scenario needs at least one phase");
+        let pool = self.spec.pool_size() as usize;
+        let router_node = NodeId(pool as u32);
+        let client_node = NodeId(pool as u32 + 1);
+        let sink = ObsSink::new(&self.obs);
+        if self.obs.self_profile {
+            selfprof::set_enabled(true);
+        }
+        let mut machines = vec![self.platform.clone(); pool + 1];
+        machines.push(self.client.clone());
+        let mut cluster = Cluster::new(machines, self.seed);
+        cluster.set_executor(self.executor);
+        cluster.set_obs(sink.clone());
+
+        let backend_nodes: Vec<NodeId> = (0..pool as u32).map(NodeId).collect();
+        let tier = deploy(&mut cluster, &self.spec, &backend_nodes, router_node);
+
+        let recorder = TierRecorder::new(&tier.shard_names());
+        tier.handler.set_observer(recorder.observer());
+
+        cluster.run_for(SimDuration::from_millis(10));
+
+        let pool_per_source = (self.connections / plan.sources.len().max(1)).max(2);
+        for source in &plan.sources {
+            let mut cfg = source.to_config(router_node, tier.router_port, self.warmup);
+            cfg.pool = pool_per_source;
+            cfg.timeout = self.client_timeout;
+            cfg.spawn(&mut cluster, client_node, recorder.tier())
+                .expect("valid scenario source");
+        }
+        cluster.run_for(self.warmup);
+
+        MetricSet::begin(&mut cluster, router_node);
+        let mut scaler = autoscaler.map(Autoscaler::new);
+        let mut trajectory = ControlTrajectory::new(plan.phases[0].duration);
+        let mut agg = LoadAggregate::new();
+        let mut phases = Vec::with_capacity(plan.phases.len());
+        let mut active = tier.handler.active_replicas();
+        let (mut prev_routed, mut prev_retries) = {
+            let rs = tier.handler.stats();
+            (rs.total_routed(), rs.retries)
+        };
+        for (i, phase) in plan.phases.iter().enumerate() {
+            recorder.start_window(cluster.now());
+            cluster.run_for(phase.duration);
+            recorder.end_window(cluster.now());
+            let s = recorder.summary(phase.duration);
+            agg.add(&s, &recorder.tier().histogram(), phase.duration);
+            phases.push((phase.name.clone(), s));
+
+            let rs = tier.handler.stats();
+            let adm = tier.admission.as_ref().map(|a| a.stats());
+            let sample = ControlSample {
+                interval: i as u32,
+                end_ns: cluster.now().as_nanos(),
+                sent: s.sent,
+                received: s.received,
+                degraded: s.degraded,
+                rejected: s.rejected,
+                timeouts: s.timeouts,
+                errors: s.errors,
+                p99_ns: s.latency.p99.as_nanos(),
+                queue_depth: adm.map(|a| a.depth).unwrap_or(0),
+                depth_peak: adm.map(|a| a.depth_peak).unwrap_or(0),
+                retries: rs.retries - prev_retries,
+                routed: rs.total_routed() - prev_routed,
+                active_replicas: active,
+            };
+            prev_retries = rs.retries;
+            prev_routed = rs.total_routed();
+            trajectory.push(sample);
+
+            if let Some(scaler) = &mut scaler {
+                let next = scaler.decide(active, &sample);
+                if next != active {
+                    tier.handler.set_active_replicas(next);
+                    trajectory.note_scale(i as u32, cluster.now(), active, next);
+                    active = next;
+                }
+            }
+        }
+        let router_metrics =
+            MetricSet::end_for_pid(&cluster, router_node, tier.router_pid, plan.total_duration());
+
+        let obs = sink.finish().map(|mut r| {
+            r.stages = selfprof::take_report();
+            r
+        });
+        if self.obs.self_profile {
+            selfprof::set_enabled(false);
+        }
+
+        ScenarioTierOutcome {
+            phases,
+            overall: agg.summary(),
+            histogram: agg.histogram().clone(),
+            router: tier.handler.stats(),
+            router_metrics,
+            trajectory,
             fastforward_iterations: cluster.fastforward_iterations(),
             obs,
         }

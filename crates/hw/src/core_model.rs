@@ -297,6 +297,16 @@ pub struct Core {
     id: usize,
     counters: PerfCounters,
     ff: FastForwardStats,
+    /// Detection ring, allocated on the first eligible quiescent iteration
+    /// and reused across `execute` calls (reallocated if the ROB capacity
+    /// changes). Persisting it here keeps the fast path allocation-free in
+    /// steady state.
+    ff_ring: Vec<FfRingEntry>,
+    /// Base PCs of blocks this core has executed at least once. The fast
+    /// path only fingerprints a block from its second execution onwards:
+    /// short-lived blocks that run once never pay the per-iteration ring
+    /// maintenance, which otherwise costs more than it can save.
+    ff_seen: std::collections::HashSet<u64>,
 }
 
 const NCLASS: usize = InstrClass::ALL.len();
@@ -318,6 +328,10 @@ const FF_MAX_ATTEMPTS: u32 = 128;
 const FF_MAX_PERIOD: usize = 8;
 /// Ring capacity: end-states up to FF_MAX_PERIOD iterations back.
 const FF_RING: usize = FF_MAX_PERIOD + 1;
+/// Cap on the seen-block set. Once full, unseen blocks stay ineligible
+/// for fast-forwarding — a performance (never correctness) backstop that
+/// bounds per-core memory under pathological code-generation churn.
+const FF_SEEN_CAP: usize = 4096;
 
 /// Pipeline state at the end of a loop iteration, expressed relative to
 /// the current cycle. If the end-states of iterations `i` and `i - P`
@@ -352,6 +366,7 @@ struct PipeRel {
 }
 
 /// One remembered end-of-iteration state in the detection ring.
+#[derive(Debug, Clone)]
 struct FfRingEntry {
     rel: PipeRel,
     cycle: u64,
@@ -414,7 +429,14 @@ fn block_addresses_iteration_invariant(block: &crate::isa::CodeBlock) -> bool {
 impl Core {
     /// Creates core number `id` with the given spec.
     pub fn new(id: usize, spec: CoreSpec) -> Self {
-        Core { spec, id, counters: PerfCounters::new(), ff: FastForwardStats::default() }
+        Core {
+            spec,
+            id,
+            counters: PerfCounters::new(),
+            ff: FastForwardStats::default(),
+            ff_ring: Vec::new(),
+            ff_seen: std::collections::HashSet::new(),
+        }
     }
 
     /// This core's index in the machine.
@@ -443,8 +465,26 @@ impl Core {
     }
 
     /// Resets the counters to zero.
+    ///
+    /// The fingerprint gate's seen-block set is deliberately preserved:
+    /// it is a performance cache keyed on code identity, not a counter.
     pub fn reset_counters(&mut self) {
         self.counters = PerfCounters::new();
+    }
+
+    /// Records that this core has executed the block at `base_pc`,
+    /// returning whether it had been executed before. First sight returns
+    /// `false`: the fast path skips fingerprinting entirely on a block's
+    /// first execution and only starts paying ring maintenance once the
+    /// block demonstrably recurs.
+    fn ff_note_block(&mut self, base_pc: u64) -> bool {
+        if self.ff_seen.contains(&base_pc) {
+            return true;
+        }
+        if self.ff_seen.len() < FF_SEEN_CAP {
+            self.ff_seen.insert(base_pc);
+        }
+        false
     }
 
     /// Converts a cycle count to wall-clock simulated time at this core's
@@ -515,6 +555,13 @@ impl Core {
     /// invalidation or fill *during* a slice shows up in the mutation
     /// odometers and blocks engagement. An attached tracer disables the
     /// fast path entirely (it must observe every retirement).
+    ///
+    /// Fingerprinting itself is gated: a block only becomes eligible from
+    /// its *second* execution on this core onwards. Short-lived blocks —
+    /// request handlers that run once and never recur — skip the
+    /// per-iteration end-state capture entirely instead of paying ring
+    /// maintenance that can never amortise. The gate affects timing-of-
+    /// engagement only; results are bit-identical either way.
     pub fn execute(&mut self, program: &Program, env: &mut ExecEnv<'_>) -> ExecResult {
         let width = if env.smt_contended {
             (self.spec.issue_width / 2).max(1)
@@ -544,16 +591,20 @@ impl Core {
         let counters = &mut d;
 
         let ff_allowed = fastpath_enabled() && env.tracer.is_none();
-        // Ring of recent end-of-iteration states, allocated lazily on the
-        // first eligible run and reused across runs.
-        let mut ff_ring: Option<Vec<FfRingEntry>> = None;
 
         for run in &program.runs {
             let block = &*run.block;
             let phase = run.phase;
             let ilen = block.instrs.len();
 
+            // Fingerprint gate: note the block regardless of whether the
+            // fast path is enabled (so priming works either way), and only
+            // fingerprint blocks that have executed before. Engagement is
+            // output-invariant, so the gate changes performance and ff
+            // diagnostics only — never simulated results.
+            let seen_before = self.ff_note_block(block.base_pc);
             let mut ff_active = ff_allowed
+                && seen_before
                 && run.iterations >= FF_MIN_ITERS
                 && ilen > 0
                 && block_addresses_iteration_invariant(block);
@@ -729,12 +780,13 @@ impl Core {
                         && env.branch_states.mutations() == marks.branch_mutations;
                     if quiescent {
                         ff_streak += 1;
-                        let ring = ff_ring.get_or_insert_with(|| {
-                            (0..FF_RING).map(|_| FfRingEntry::new(rob_cap)).collect()
-                        });
+                        if self.ff_ring.is_empty() || self.ff_ring[0].rel.rob.len() != rob_cap {
+                            self.ff_ring =
+                                (0..FF_RING).map(|_| FfRingEntry::new(rob_cap)).collect();
+                        }
                         let slot = raw_iter as usize % FF_RING;
                         {
-                            let e = &mut ring[slot];
+                            let e = &mut self.ff_ring[slot];
                             for (rel, abs) in e.rel.reg.iter_mut().zip(&reg_ready) {
                                 *rel = abs.saturating_sub(cycle);
                             }
@@ -759,14 +811,19 @@ impl Core {
                         }
                         // Find the smallest period P whose end-state P
                         // iterations ago matches, with the whole window
-                        // quiescent (streak ≥ P + 1 states captured).
+                        // quiescent (streak ≥ P + 1 states captured). The
+                        // streak bound also keeps entries persisted from
+                        // earlier runs (or earlier `execute` calls) out of
+                        // reach: only states written within the current
+                        // streak are ever compared.
                         let max_p = FF_MAX_PERIOD.min(ff_streak.saturating_sub(1) as usize);
                         for p in 1..=max_p {
-                            let prev = &ring[(raw_iter as usize + FF_RING - p) % FF_RING];
+                            let prev =
+                                &self.ff_ring[(raw_iter as usize + FF_RING - p) % FF_RING];
                             if !prev.valid || prev.raw_iter != raw_iter - p as u32 {
                                 continue;
                             }
-                            if ring[slot].rel != prev.rel {
+                            if self.ff_ring[slot].rel != prev.rel {
                                 continue;
                             }
                             let remaining = u64::from(run.iterations - 1 - raw_iter);
@@ -790,7 +847,7 @@ impl Core {
                             // (rel 0) land exactly at `cycle`, which every
                             // consumer treats the same as any other value
                             // ≤ cycle.
-                            let cur = &ring[slot].rel;
+                            let cur = &self.ff_ring[slot].rel;
                             for (abs, rel) in reg_ready.iter_mut().zip(&cur.reg) {
                                 *abs = cycle + rel;
                             }
@@ -1176,12 +1233,20 @@ mod tests {
         p: &Program,
         seed: u64,
     ) -> (ExecResult, PerfCounters, FastForwardStats, ExecResult, PerfCounters) {
+        // Prime the fingerprint gate symmetrically on both cores: a block
+        // is only fast-forward-eligible from its second execution, so run
+        // the program once on a throwaway environment first and measure
+        // the re-execution.
         set_fastpath_enabled(true);
         let mut cf = Core::new(0, CoreSpec::default());
+        Env::with_seed(seed).exec(&mut cf, p);
+        cf.reset_counters();
         let mut envf = Env::with_seed(seed);
         let rf = envf.exec(&mut cf, p);
         set_fastpath_enabled(false);
         let mut cs = Core::new(0, CoreSpec::default());
+        Env::with_seed(seed).exec(&mut cs, p);
+        cs.reset_counters();
         let mut envs = Env::with_seed(seed);
         let rs = envs.exec(&mut cs, p);
         set_fastpath_enabled(true);
@@ -1210,6 +1275,37 @@ mod tests {
             ff.fastforward_iterations > 45_000,
             "most iterations must be skipped: {ff:?}"
         );
+    }
+
+    #[test]
+    fn fingerprint_gate_requires_reexecution() {
+        let _guard = ff_lock();
+        set_fastpath_enabled(true);
+        // The same steady-state block as the engagement test: eligible in
+        // every static respect, so only the seen-before gate can hold the
+        // fast path off.
+        let mut b = CodeBlock::new(0x1000);
+        let br = b.add_branch(BranchBehavior::new(1.0, 0.0));
+        for i in 0..4u8 {
+            b.instrs.push(Instr::alu(InstrClass::IntAlu, Reg(i % 8), Reg::NONE, Reg::NONE));
+        }
+        b.instrs.push(Instr::load(Reg(5), MemRef::read(0, 128)));
+        b.instrs.push(Instr::cond_branch(br));
+        let p = program_of(b, 50_000);
+
+        let mut core = Core::new(0, CoreSpec::default());
+        let mut env1 = Env::new();
+        env1.exec(&mut core, &p);
+        assert_eq!(
+            core.fastforward_stats(),
+            FastForwardStats::default(),
+            "a block's first execution must not be fingerprinted"
+        );
+        let mut env2 = Env::new();
+        env2.exec(&mut core, &p);
+        let ff = core.fastforward_stats();
+        assert!(ff.engagements >= 1, "re-executed block must engage: {ff:?}");
+        assert!(ff.fastforward_iterations > 45_000, "most iterations skipped: {ff:?}");
     }
 
     #[test]

@@ -26,6 +26,12 @@ pub struct MsgMeta {
     /// failure), 2 = error, 3 = rejected by admission control (load
     /// shed before any work was done). Requests carry 0.
     pub status: u8,
+    /// Synthetic user id of the request's originator (0 = anonymous).
+    /// Load generators that multiplex a large modeled population over a
+    /// small connection pool stamp each request with the drawn user so
+    /// services and traces can attribute work per user; servers echo it
+    /// on responses and propagate it on downstream RPCs.
+    pub user: u64,
 }
 
 impl MsgMeta {

@@ -123,7 +123,9 @@ mod tests {
         cluster.run_for(SimDuration::from_millis(10));
 
         let recorder = Recorder::new();
-        OpenLoopConfig::new(NodeId(0), 9000, 3_000.0).spawn(&mut cluster, NodeId(1), &recorder);
+        OpenLoopConfig::new(NodeId(0), 9000, 3_000.0)
+            .spawn(&mut cluster, NodeId(1), &recorder)
+            .expect("valid open-loop config");
         cluster.run_for(SimDuration::from_millis(50));
 
         let profiler = Profiler::attach(&mut cluster, NodeId(0), pid);

@@ -128,7 +128,7 @@ impl ThreadBody for ClosedLoopWorker {
                 Action::Syscall(Syscall::Send {
                     fd: self.fd.expect("connected"),
                     bytes: self.cfg.request_bytes,
-                    meta: MsgMeta { tag, trace_id: span.trace_id, span_id: 0, status: 0 },
+                    meta: MsgMeta { tag, trace_id: span.trace_id, span_id: 0, status: 0, user: 0 },
                 })
             }
             State::Await => {

@@ -1,0 +1,531 @@
+//! Hybrid load generation: a large modeled user population multiplexed
+//! over a small connection pool.
+//!
+//! The per-connection open-loop generator ties one sender/receiver
+//! thread pair and one Poisson event stream to every connection, so the
+//! modeled user count is capped by thread count rather than by the
+//! engine. The hybrid engine decouples them: a handful of sender threads
+//! per (client node, traffic source) draw arrivals from *aggregated*
+//! non-homogeneous Poisson processes — the superposition of all modeled
+//! users' individual processes — and fan the accepted arrivals out over
+//! a fixed pool of pre-dialed connections. Per-request cost is O(1) in
+//! the population size: one exponential gap, one thinning coin, one Zipf
+//! draw for the user identity.
+//!
+//! Arrival sampling is Lewis–Shedler thinning: candidate events are
+//! generated at the rate function's maximum `λ_max` via exponential
+//! gaps, and each candidate is accepted with probability
+//! `rate(t) / λ_max`. Candidates live on an absolute timeline (each is
+//! the previous candidate's time plus the drawn gap), so the cost of
+//! processing one arrival never pushes the next one later — the realised
+//! rate tracks the offered rate instead of drifting by the per-candidate
+//! overhead. Both draws come from the client node's deterministic
+//! [`SimRng`] stream in a fixed order, so the request timeline is a pure
+//! function of (seed, sim time) — bit-identical across rayon pools, PDES
+//! worker counts, and observability on/off.
+//!
+//! One sender thread serialises its candidates on one simulated CPU,
+//! which caps it near 1/(per-candidate kernel cost) arrivals per sim
+//! second. Past [`SENDER_TARGET_QPS`] the population is therefore
+//! sharded across several senders — like the threads of a real load
+//! generator — each owning a disjoint user-id slice, a proportional
+//! share of the rate curve, and a private slice of the connection pool,
+//! so session affinity (user → connection) still holds exactly.
+//!
+//! [`SimRng`]: ditto_sim::rng::SimRng
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ditto_kernel::{
+    Action, Cluster, Fd, MsgMeta, NodeId, Syscall, ThreadBody, ThreadCtx,
+};
+use ditto_sim::dist::{Exponential, Sample, Zipf};
+use ditto_sim::rng::splitmix64_mix;
+use ditto_sim::time::{SimDuration, SimTime};
+use ditto_trace::TraceCollector;
+use parking_lot::Mutex;
+
+use crate::open_loop::{LoadConfigError, OpenLoopReceiver};
+use crate::recorder::Recorder;
+
+/// A piecewise-linear request-rate function of scenario time.
+///
+/// Breakpoints are `(offset, qps)` pairs with non-decreasing offsets;
+/// the rate interpolates linearly between neighbours and clamps to the
+/// first/last value outside the covered span. A `RateFn` is plain data —
+/// evaluating it draws no randomness — so the scenarios built from it
+/// stay pure functions of (seed, sim time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateFn {
+    points: Vec<(SimDuration, f64)>,
+}
+
+impl RateFn {
+    /// A flat rate, forever.
+    pub fn constant(qps: f64) -> Self {
+        RateFn::from_points(vec![(SimDuration::ZERO, qps)])
+    }
+
+    /// Builds a rate function from explicit breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// On an empty list, non-finite or negative rates, or offsets that
+    /// go backwards — all programming errors in scenario construction.
+    pub fn from_points(points: Vec<(SimDuration, f64)>) -> Self {
+        assert!(!points.is_empty(), "RateFn needs at least one breakpoint");
+        for w in points.windows(2) {
+            assert!(w[0].0 <= w[1].0, "RateFn breakpoints must be time-ordered");
+        }
+        for &(_, r) in &points {
+            assert!(r.is_finite() && r >= 0.0, "RateFn rates must be finite and non-negative");
+        }
+        RateFn { points }
+    }
+
+    /// The rate at scenario-time offset `t`.
+    pub fn rate_at(&self, t: SimDuration) -> f64 {
+        let pts = &self.points;
+        if t <= pts[0].0 {
+            return pts[0].1;
+        }
+        if t >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Linear interpolation inside the covered span.
+        for w in pts.windows(2) {
+            let ((t0, r0), (t1, r1)) = (w[0], w[1]);
+            if t >= t0 && t <= t1 {
+                let span = (t1 - t0).as_secs_f64();
+                if span <= 0.0 {
+                    return r1;
+                }
+                let frac = (t - t0).as_secs_f64() / span;
+                return r0 + (r1 - r0) * frac;
+            }
+        }
+        pts[pts.len() - 1].1
+    }
+
+    /// The maximum rate anywhere — `λ_max` of the thinning sampler.
+    /// Piecewise-linear, so the max is attained at a breakpoint.
+    pub fn max_rate(&self) -> f64 {
+        self.points.iter().map(|&(_, r)| r).fold(0.0, f64::max)
+    }
+
+    /// Offset of the last breakpoint (the rate is flat past it).
+    pub fn end(&self) -> SimDuration {
+        self.points[self.points.len() - 1].0
+    }
+
+    /// Prepends a hold at the initial rate for `lead`, shifting the rest
+    /// of the curve right — how a harness plays the scenario's opening
+    /// rate through its warmup before the measurement windows start.
+    pub fn with_lead_in(&self, lead: SimDuration) -> RateFn {
+        if lead == SimDuration::ZERO {
+            return self.clone();
+        }
+        let mut pts = Vec::with_capacity(self.points.len() + 1);
+        pts.push((SimDuration::ZERO, self.points[0].1));
+        for &(t, r) in &self.points {
+            pts.push((lead + t, r));
+        }
+        RateFn::from_points(pts)
+    }
+
+    /// The same shape scaled by `factor` (e.g. splitting one scenario
+    /// rate across client nodes).
+    pub fn scaled(&self, factor: f64) -> RateFn {
+        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be finite and >= 0");
+        RateFn::from_points(self.points.iter().map(|&(t, r)| (t, r * factor)).collect())
+    }
+}
+
+/// Peak per-sender candidate rate the auto-sharding policy aims for.
+///
+/// A sender's candidate loop costs a few simulated microseconds of
+/// client CPU per arrival (nanosleep + send kernel paths), so one thread
+/// saturates in the low hundreds of thousands of candidates per second.
+/// 25k per sender keeps each thread's duty cycle low enough that the
+/// pool never becomes the bottleneck under study.
+pub const SENDER_TARGET_QPS: f64 = 25_000.0;
+
+/// Configuration of a hybrid (population-multiplexed) generator.
+///
+/// Models `users` clients whose superposed arrivals follow `rate`,
+/// multiplexed over `pool` connections. Each accepted arrival draws its
+/// originating user from a Zipf(`user_skew`) popularity distribution —
+/// matching the key-popularity model the services themselves use — and
+/// is stamped with `user_base + user_rank + 1` in [`MsgMeta::user`].
+/// Requests of the same user always ride the same pooled connection
+/// (session affinity), chosen by a splitmix hash of the user id so hot
+/// users spread across the pool.
+#[derive(Debug, Clone)]
+pub struct HybridLoadConfig {
+    /// Server machine.
+    pub server: NodeId,
+    /// Server port.
+    pub port: u16,
+    /// Modeled user population size.
+    pub users: u64,
+    /// Zipf exponent of user activity (0 = uniform).
+    pub user_skew: f64,
+    /// Offset added to every emitted user id, so multiple sources
+    /// (e.g. regions) occupy disjoint id ranges.
+    pub user_base: u64,
+    /// Multiplexed connection pool size.
+    pub pool: usize,
+    /// Sender threads to shard the arrival process across. `0` (the
+    /// default) auto-sizes from the peak rate: one sender per
+    /// [`SENDER_TARGET_QPS`], never more than `pool` or `users`. Each
+    /// sender owns a disjoint user-id slice with a proportional share of
+    /// the rate curve, so the superposed arrival process is unchanged.
+    pub senders: usize,
+    /// Aggregate arrival-rate function (scenario time starts when the
+    /// pool finishes dialing).
+    pub rate: RateFn,
+    /// Request payload bytes.
+    pub request_bytes: u64,
+    /// Optional distributed-trace collector to tag requests with.
+    pub collector: Option<TraceCollector>,
+    /// Client-side deadline (see [`crate::OpenLoopConfig::timeout`]).
+    pub timeout: SimDuration,
+}
+
+impl HybridLoadConfig {
+    /// A generator modeling `users` clients at a flat aggregate `qps`
+    /// over the default 8-connection pool.
+    pub fn new(server: NodeId, port: u16, users: u64, qps: f64) -> Self {
+        HybridLoadConfig {
+            server,
+            port,
+            users,
+            user_skew: 0.99,
+            user_base: 0,
+            pool: 8,
+            senders: 0,
+            rate: RateFn::constant(qps),
+            request_bytes: 128,
+            collector: None,
+            timeout: SimDuration::from_secs(1),
+        }
+    }
+
+    /// Validates the configuration: a non-empty population, a non-empty
+    /// pool, and a rate curve that is somewhere positive.
+    pub fn validate(&self) -> Result<(), LoadConfigError> {
+        if self.pool == 0 {
+            return Err(LoadConfigError::NoConnections);
+        }
+        if self.users == 0 || self.rate.max_rate() <= 0.0 {
+            return Err(LoadConfigError::RateTooThin {
+                qps: self.rate.max_rate(),
+                connections: self.pool,
+            });
+        }
+        Ok(())
+    }
+
+    /// The sender-thread count this configuration will actually run:
+    /// the explicit `senders` knob, or the auto policy (one sender per
+    /// [`SENDER_TARGET_QPS`] of peak rate), clamped to the pool and the
+    /// population so every sender owns at least one connection and one
+    /// user.
+    pub fn sender_count(&self) -> usize {
+        let n = if self.senders == 0 {
+            (self.rate.max_rate() / SENDER_TARGET_QPS).ceil() as usize
+        } else {
+            self.senders
+        };
+        n.clamp(1, self.pool.max(1)).min(self.users.max(1) as usize)
+    }
+
+    /// Spawns the sender shards (plus one receiver per pooled
+    /// connection) on `client_node`, reporting into `recorder`.
+    pub fn spawn(
+        &self,
+        cluster: &mut Cluster,
+        client_node: NodeId,
+        recorder: &Recorder,
+    ) -> Result<(), LoadConfigError> {
+        self.validate()?;
+        let n = self.sender_count();
+        let pid = cluster.spawn_process(client_node);
+        let tags = Arc::new(AtomicU64::new(1));
+        let mut user_off = 0u64;
+        for i in 0..n {
+            // Remainders distribute one-per-shard from the front, so the
+            // slices tile the population and the pool exactly.
+            let users_i = self.users / n as u64 + u64::from((i as u64) < self.users % n as u64);
+            let pool_i = self.pool / n + usize::from(i < self.pool % n);
+            let mut cfg = self.clone();
+            cfg.users = users_i;
+            cfg.user_base = self.user_base + user_off;
+            cfg.pool = pool_i;
+            // Thinned Poisson processes superpose exactly: each shard
+            // carries its population share of the aggregate rate.
+            cfg.rate = self.rate.scaled(users_i as f64 / self.users as f64);
+            user_off += users_i;
+            let body = HybridSender {
+                lambda_max: cfg.rate.max_rate(),
+                users: Zipf::new(cfg.users as usize, cfg.user_skew),
+                state: HybridState::Dial(0),
+                setup_done: false,
+                anchor: None,
+                next_candidate: None,
+                fds: vec![None; pool_i],
+                pending: (0..pool_i).map(|_| Arc::new(Mutex::new(HashMap::new()))).collect(),
+                recorder: recorder.clone(),
+                tags: tags.clone(),
+                last_sent: None,
+                cfg,
+            };
+            cluster.spawn_thread(client_node, pid, Box::new(body));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HybridState {
+    /// Dial pool slot `i`.
+    Dial(usize),
+    /// Read slot `i`'s connect result and spawn its receiver.
+    Spawn(usize),
+    /// Receiver for slot `i` spawned; continue setup or start arrivals.
+    Next(usize),
+    /// Woken at a candidate arrival: thin, and maybe send.
+    Fire,
+    /// A send was issued; check its result, then sleep the next gap.
+    Gap,
+}
+
+/// One aggregated-arrival sender shard: all modeled users of its
+/// population slice share this thread's candidate stream.
+struct HybridSender {
+    cfg: HybridLoadConfig,
+    lambda_max: f64,
+    users: Zipf,
+    state: HybridState,
+    /// Initial pool dialing finished; `Next` resumes arrivals afterwards.
+    setup_done: bool,
+    /// Sim time when scenario time zero was anchored (pool ready).
+    anchor: Option<SimTime>,
+    /// Absolute time of the candidate most recently scheduled, so gaps
+    /// chain candidate-to-candidate rather than wake-to-wake.
+    next_candidate: Option<SimTime>,
+    fds: Vec<Option<Fd>>,
+    /// Per-connection outstanding requests, shared with that
+    /// connection's receiver.
+    pending: Vec<Arc<Mutex<HashMap<u64, SimTime>>>>,
+    recorder: Recorder,
+    tags: Arc<AtomicU64>,
+    /// Most recent send `(tag, slot)`, retired if the send bounces.
+    last_sent: Option<(u64, usize)>,
+}
+
+impl HybridSender {
+    /// Schedules the next candidate arrival and sleeps until it. The
+    /// candidate timeline is absolute — previous candidate plus drawn
+    /// gap — so per-arrival processing cost shortens the sleep instead
+    /// of delaying every later arrival (no rate drift); a sender that
+    /// falls behind fires immediately until it catches up.
+    fn sleep_gap(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        self.state = HybridState::Fire;
+        let gap = Exponential::new(self.lambda_max.max(1e-9)).sample(ctx.rng);
+        let next = self.next_candidate.unwrap_or(ctx.now) + SimDuration::from_secs_f64(gap);
+        self.next_candidate = Some(next);
+        Action::Syscall(Syscall::Nanosleep { dur: next.saturating_since(ctx.now) })
+    }
+
+    /// Re-dials `slot` after its connection died, re-entering the normal
+    /// `Spawn`/`Next` chain (with `setup_done` set, `Next` resumes
+    /// arrivals instead of dialing further slots).
+    fn redial(&mut self, slot: usize) -> Action {
+        self.fds[slot] = None;
+        self.state = HybridState::Spawn(slot);
+        Action::Syscall(Syscall::Connect { node: self.cfg.server, port: self.cfg.port })
+    }
+}
+
+impl ThreadBody for HybridSender {
+    fn step(&mut self, ctx: &mut ThreadCtx<'_>) -> Action {
+        match self.state {
+            HybridState::Dial(slot) => {
+                self.state = HybridState::Spawn(slot);
+                Action::Syscall(Syscall::Connect { node: self.cfg.server, port: self.cfg.port })
+            }
+            HybridState::Spawn(slot) => {
+                let Some(fd) = ctx.last.fd() else {
+                    // Connection refused (server still booting or slot's
+                    // backend crashed): back off and re-dial this slot.
+                    self.state = HybridState::Dial(slot);
+                    return Action::Syscall(Syscall::Nanosleep {
+                        dur: SimDuration::from_millis(10),
+                    });
+                };
+                self.fds[slot] = Some(fd);
+                self.state = HybridState::Next(slot);
+                Action::Syscall(Syscall::Spawn {
+                    body: Box::new(OpenLoopReceiver {
+                        fd,
+                        pending: self.pending[slot].clone(),
+                        recorder: self.recorder.clone(),
+                        timeout: self.cfg.timeout,
+                    }),
+                })
+            }
+            HybridState::Next(slot) => {
+                if !self.setup_done && slot + 1 < self.cfg.pool {
+                    self.state = HybridState::Spawn(slot + 1);
+                    return Action::Syscall(Syscall::Connect {
+                        node: self.cfg.server,
+                        port: self.cfg.port,
+                    });
+                }
+                if self.anchor.is_none() {
+                    // Scenario time zero: the pool is ready. Harnesses
+                    // account for dial time by playing the opening rate
+                    // through their warmup (`RateFn::with_lead_in`).
+                    self.anchor = Some(ctx.now);
+                }
+                self.setup_done = true;
+                self.sleep_gap(ctx)
+            }
+            HybridState::Fire => {
+                // Thinning: accept this λ_max candidate with probability
+                // rate(t)/λ_max. Both draws (the coin here, the user
+                // below) happen in fixed order on the node's stream.
+                let t = ctx.now.saturating_since(self.anchor.expect("anchored"));
+                let p = self.cfg.rate.rate_at(t) / self.lambda_max.max(1e-9);
+                if !ctx.rng.chance(p) {
+                    return self.sleep_gap(ctx);
+                }
+                let rank = self.users.index(ctx.rng) as u64;
+                let user = self.cfg.user_base + rank + 1;
+                // Session affinity with pool balance: same user → same
+                // slot, but ranks (and so hot users) spread by hash.
+                let slot = (splitmix64_mix(user) % self.cfg.pool as u64) as usize;
+                let Some(fd) = self.fds[slot] else {
+                    // The slot is mid-redial; this arrival is lost.
+                    self.recorder.note_error(ctx.now);
+                    return self.sleep_gap(ctx);
+                };
+                let tag = self.tags.fetch_add(1, Ordering::Relaxed);
+                let span = self
+                    .cfg
+                    .collector
+                    .as_ref()
+                    .map(|c| c.start_trace())
+                    .unwrap_or_default();
+                self.pending[slot].lock().insert(tag, ctx.now);
+                self.last_sent = Some((tag, slot));
+                self.recorder.note_sent(ctx.now);
+                self.state = HybridState::Gap;
+                Action::Syscall(Syscall::Send {
+                    fd,
+                    bytes: self.cfg.request_bytes,
+                    meta: MsgMeta {
+                        tag,
+                        trace_id: span.trace_id,
+                        span_id: 0,
+                        status: 0,
+                        user,
+                    },
+                })
+            }
+            HybridState::Gap => {
+                if ctx.last.is_err() {
+                    // The send bounced: retire its tag, count the error,
+                    // and re-dial the dead slot. The slot's receiver has
+                    // already drained its pending map and exited.
+                    let (tag, slot) = self.last_sent.take().expect("send preceded Gap");
+                    self.pending[slot].lock().remove(&tag);
+                    self.recorder.note_error(ctx.now);
+                    return self.redial(slot);
+                }
+                self.sleep_gap(ctx)
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "hybrid-loadgen"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs_f64(s)
+    }
+
+    #[test]
+    fn rate_fn_interpolates_and_clamps() {
+        let r = RateFn::from_points(vec![(secs(1.0), 100.0), (secs(3.0), 300.0)]);
+        assert_eq!(r.rate_at(SimDuration::ZERO), 100.0, "clamps before the first point");
+        assert_eq!(r.rate_at(secs(1.0)), 100.0);
+        assert!((r.rate_at(secs(2.0)) - 200.0).abs() < 1e-9, "midpoint interpolates");
+        assert_eq!(r.rate_at(secs(3.0)), 300.0);
+        assert_eq!(r.rate_at(secs(9.0)), 300.0, "clamps after the last point");
+        assert_eq!(r.max_rate(), 300.0);
+        assert_eq!(r.end(), secs(3.0));
+    }
+
+    #[test]
+    fn rate_fn_lead_in_holds_the_opening_rate() {
+        let r = RateFn::from_points(vec![(SimDuration::ZERO, 50.0), (secs(1.0), 150.0)]);
+        let led = r.with_lead_in(secs(2.0));
+        assert_eq!(led.rate_at(SimDuration::ZERO), 50.0);
+        assert_eq!(led.rate_at(secs(1.9)), 50.0, "still holding during the lead-in");
+        assert_eq!(led.rate_at(secs(2.0)), 50.0);
+        assert!((led.rate_at(secs(2.5)) - 100.0).abs() < 1e-9, "curve resumes, shifted");
+        assert_eq!(led.rate_at(secs(3.0)), 150.0);
+        assert_eq!(r.with_lead_in(SimDuration::ZERO), r);
+    }
+
+    #[test]
+    fn rate_fn_scaling_scales_every_point() {
+        let r = RateFn::from_points(vec![(SimDuration::ZERO, 100.0), (secs(1.0), 200.0)]);
+        let half = r.scaled(0.5);
+        assert_eq!(half.rate_at(SimDuration::ZERO), 50.0);
+        assert_eq!(half.max_rate(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rate_fn_rejects_backwards_time() {
+        RateFn::from_points(vec![(secs(2.0), 1.0), (secs(1.0), 1.0)]);
+    }
+
+    #[test]
+    fn sender_auto_policy_shards_by_peak_rate() {
+        let mut c = HybridLoadConfig::new(NodeId(0), 80, 1_000_000, 100_000.0);
+        c.pool = 64;
+        assert_eq!(c.sender_count(), 4, "100k qps → one sender per 25k");
+        c.rate = RateFn::constant(2_000.0);
+        assert_eq!(c.sender_count(), 1, "light rates stay on a single sender");
+        c.senders = 3;
+        assert_eq!(c.sender_count(), 3, "explicit knob wins over auto");
+        c.senders = 0;
+        c.rate = RateFn::constant(10_000_000.0);
+        assert_eq!(c.sender_count(), 64, "never more senders than connections");
+        c.users = 2;
+        assert_eq!(c.sender_count(), 2, "never more senders than users");
+    }
+
+    #[test]
+    fn hybrid_config_validation() {
+        let mut c = HybridLoadConfig::new(NodeId(0), 80, 1_000_000, 1000.0);
+        assert_eq!(c.validate(), Ok(()));
+        c.pool = 0;
+        assert_eq!(c.validate(), Err(LoadConfigError::NoConnections));
+        c.pool = 8;
+        c.rate = RateFn::constant(0.0);
+        assert!(matches!(c.validate(), Err(LoadConfigError::RateTooThin { .. })));
+    }
+}

@@ -9,17 +9,27 @@
 //!   optional think time (YCSB), used for MongoDB and Redis — this is why
 //!   those services' latency plateaus at high load in Figure 5, a shape
 //!   the harness reproduces;
+//! - [`hybrid`] — a large modeled population multiplexed over a small
+//!   connection pool via one aggregated (thinned non-homogeneous
+//!   Poisson) arrival process, O(1) per request in population size;
+//! - [`scenario`] — the deterministic traffic scenario library
+//!   ([`LoadPlan`]): diurnal waves, flash crowds, regional failovers,
+//!   slow ramps, each replayed as a pure function of (seed, sim time);
 //! - [`recorder`] — shared latency/throughput collection with a
 //!   measurement window.
 
 pub mod closed_loop;
 pub mod control;
+pub mod hybrid;
 pub mod open_loop;
 pub mod recorder;
+pub mod scenario;
 pub mod tier;
 
 pub use closed_loop::ClosedLoopConfig;
 pub use control::{ControlAgreement, ControlSample, ControlTrajectory, Outage, ScaleEvent};
-pub use open_loop::OpenLoopConfig;
+pub use hybrid::{HybridLoadConfig, RateFn};
+pub use open_loop::{LoadConfigError, OpenLoopConfig};
 pub use recorder::{LoadAggregate, LoadSummary, Recorder};
+pub use scenario::{LoadPhase, LoadPlan, LoadSource};
 pub use tier::{TierObserver, TierRecorder};

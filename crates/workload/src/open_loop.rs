@@ -21,7 +21,56 @@ use parking_lot::Mutex;
 
 use crate::recorder::Recorder;
 
+/// A load-generator configuration that cannot be driven as asked.
+///
+/// Returned instead of silently degrading: a generator that accepts any
+/// parameters and quietly emits near-zero traffic produces vacuously
+/// green experiments, which is worse than failing loudly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadConfigError {
+    /// `connections` was zero — there is no thread to carry the load.
+    NoConnections,
+    /// `qps / connections` fell below 1 request/second: the per-connection
+    /// Poisson process would have a mean inter-arrival gap over a second,
+    /// so most sender threads spin near-idle while contributing nothing
+    /// measurable to the window. Lower `connections` or raise `qps`.
+    RateTooThin {
+        /// Requested aggregate rate.
+        qps: f64,
+        /// Requested connection count.
+        connections: usize,
+    },
+}
+
+impl std::fmt::Display for LoadConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadConfigError::NoConnections => {
+                write!(f, "open-loop generator configured with zero connections")
+            }
+            LoadConfigError::RateTooThin { qps, connections } => write!(
+                f,
+                "open-loop generator degenerates: {qps} qps across {connections} connections \
+                 is {:.3} qps/connection (< 1); lower `connections` or raise `qps`",
+                qps / *connections as f64
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LoadConfigError {}
+
 /// Configuration of an open-loop generator.
+///
+/// # Contract
+///
+/// The aggregate `qps` is split **evenly** across `connections`
+/// independent Poisson processes; [`OpenLoopConfig::spawn`] rejects
+/// configurations where the per-connection share falls below one request
+/// per second (see [`LoadConfigError::RateTooThin`]) rather than spinning
+/// near-idle sender threads. To model a large population over few
+/// connections at any rate shape, use
+/// [`HybridLoadConfig`](crate::hybrid::HybridLoadConfig) instead.
 #[derive(Debug, Clone)]
 pub struct OpenLoopConfig {
     /// Server machine.
@@ -32,7 +81,8 @@ pub struct OpenLoopConfig {
     pub qps: f64,
     /// Request payload bytes.
     pub request_bytes: u64,
-    /// Number of connections (QPS is split evenly).
+    /// Number of connections (QPS is split evenly; `qps / connections`
+    /// must stay ≥ 1).
     pub connections: usize,
     /// Optional distributed-trace collector to tag requests with.
     pub collector: Option<TraceCollector>,
@@ -56,15 +106,37 @@ impl OpenLoopConfig {
         }
     }
 
+    /// Validates the split contract: at least one connection, and at
+    /// least 1 qps per connection.
+    pub fn validate(&self) -> Result<(), LoadConfigError> {
+        if self.connections == 0 {
+            return Err(LoadConfigError::NoConnections);
+        }
+        if self.qps / (self.connections as f64) < 1.0 {
+            return Err(LoadConfigError::RateTooThin {
+                qps: self.qps,
+                connections: self.connections,
+            });
+        }
+        Ok(())
+    }
+
     /// Spawns the generator threads on `client_node` inside `cluster`,
-    /// reporting into `recorder`.
-    pub fn spawn(&self, cluster: &mut Cluster, client_node: NodeId, recorder: &Recorder) {
+    /// reporting into `recorder`. Fails (spawning nothing) when the
+    /// configuration violates [`OpenLoopConfig::validate`].
+    pub fn spawn(
+        &self,
+        cluster: &mut Cluster,
+        client_node: NodeId,
+        recorder: &Recorder,
+    ) -> Result<(), LoadConfigError> {
+        self.validate()?;
         let pid = cluster.spawn_process(client_node);
         let tags = Arc::new(AtomicU64::new(1));
-        for _conn in 0..self.connections.max(1) {
+        for _conn in 0..self.connections {
             let body = OpenLoopSender {
                 cfg: self.clone(),
-                per_conn_qps: self.qps / self.connections.max(1) as f64,
+                per_conn_qps: self.qps / self.connections as f64,
                 state: SenderState::Connect,
                 fd: None,
                 pending: Arc::new(Mutex::new(HashMap::new())),
@@ -74,6 +146,7 @@ impl OpenLoopConfig {
             };
             cluster.spawn_thread(client_node, pid, Box::new(body));
         }
+        Ok(())
     }
 }
 
@@ -154,7 +227,7 @@ impl ThreadBody for OpenLoopSender {
                 Action::Syscall(Syscall::Send {
                     fd: self.fd.expect("connected"),
                     bytes: self.cfg.request_bytes,
-                    meta: MsgMeta { tag, trace_id: span.trace_id, span_id: 0, status: 0 },
+                    meta: MsgMeta { tag, trace_id: span.trace_id, span_id: 0, status: 0, user: 0 },
                 })
             }
         }
@@ -165,11 +238,14 @@ impl ThreadBody for OpenLoopSender {
     }
 }
 
-struct OpenLoopReceiver {
-    fd: Fd,
-    pending: Arc<Mutex<HashMap<u64, SimTime>>>,
-    recorder: Recorder,
-    timeout: SimDuration,
+/// Blocking receive loop shared by the per-connection open-loop sender
+/// and the hybrid engine's multiplexed pool: matches response tags to
+/// send times, records latency/status, and sweeps the client deadline.
+pub(crate) struct OpenLoopReceiver {
+    pub(crate) fd: Fd,
+    pub(crate) pending: Arc<Mutex<HashMap<u64, SimTime>>>,
+    pub(crate) recorder: Recorder,
+    pub(crate) timeout: SimDuration,
 }
 
 impl OpenLoopReceiver {
@@ -257,5 +333,21 @@ mod tests {
         assert_eq!(c.connections, 4);
         assert_eq!(c.request_bytes, 128);
         assert!(c.collector.is_none());
+    }
+
+    #[test]
+    fn degenerate_splits_are_rejected() {
+        let mut c = OpenLoopConfig::new(NodeId(0), 80, 1000.0);
+        assert_eq!(c.validate(), Ok(()));
+        // Exactly 1 qps/connection is the floor of the contract.
+        c.connections = 1000;
+        assert_eq!(c.validate(), Ok(()));
+        // Below it, each sender's mean gap exceeds a second: reject.
+        c.connections = 1001;
+        assert!(matches!(c.validate(), Err(LoadConfigError::RateTooThin { .. })));
+        c.connections = 0;
+        assert_eq!(c.validate(), Err(LoadConfigError::NoConnections));
+        let msg = LoadConfigError::RateTooThin { qps: 10.0, connections: 100 }.to_string();
+        assert!(msg.contains("0.100 qps/connection"), "{msg}");
     }
 }

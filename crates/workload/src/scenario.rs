@@ -1,0 +1,323 @@
+//! Deterministic traffic scenario library.
+//!
+//! A [`LoadPlan`] is to traffic what a `FaultPlan` is to failures: a
+//! declarative, seed-free schedule built before the run, replayed as a
+//! pure function of sim time. It combines named measurement *phases*
+//! (each becoming its own recorder window) with one or more traffic
+//! *sources* (each a [`HybridLoadConfig`] population with its own
+//! [`RateFn`]). Because the plan itself contains no randomness — all
+//! draws happen on the client node's seeded stream at run time — two
+//! runs of the same (plan, seed) are bit-identical regardless of rayon
+//! pool size, PDES worker count, or observability settings.
+//!
+//! The canned constructors cover the four traffic shapes cloud services
+//! are validated against: diurnal waves, flash crowds, regional
+//! failover shifts, and slow ramps. Curved segments (the diurnal sine,
+//! the flash-crowd decay) are pre-sampled into piecewise-linear
+//! breakpoints at plan-construction time, so replay never evaluates a
+//! transcendental per request.
+
+use ditto_sim::time::SimDuration;
+
+use crate::hybrid::{HybridLoadConfig, RateFn};
+
+/// One named measurement window within a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadPhase {
+    /// Phase label, carried into per-phase summaries and reports.
+    pub name: String,
+    /// Window length.
+    pub duration: SimDuration,
+}
+
+/// One traffic source: a modeled user population with a rate shape.
+/// Sources in a plan occupy disjoint user-id ranges via `user_base`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSource {
+    /// Source label (e.g. a region).
+    pub name: String,
+    /// Modeled population size.
+    pub users: u64,
+    /// Zipf exponent of user activity.
+    pub user_skew: f64,
+    /// User-id offset keeping this source's ids disjoint from others.
+    pub user_base: u64,
+    /// Aggregate arrival rate over scenario time.
+    pub rate: RateFn,
+}
+
+impl LoadSource {
+    /// Instantiates this source as a hybrid generator config against
+    /// `(server, port)`, with the plan's rate led in by `warmup` so the
+    /// opening rate plays while the harness warms up.
+    pub fn to_config(
+        &self,
+        server: ditto_kernel::NodeId,
+        port: u16,
+        warmup: SimDuration,
+    ) -> HybridLoadConfig {
+        let mut cfg = HybridLoadConfig::new(server, port, self.users, 1.0);
+        cfg.user_skew = self.user_skew;
+        cfg.user_base = self.user_base;
+        cfg.rate = self.rate.with_lead_in(warmup);
+        cfg
+    }
+}
+
+/// A deterministic traffic scenario: phases to measure, sources to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadPlan {
+    /// Scenario name (report label).
+    pub name: String,
+    /// Measurement phases, played back-to-back after warmup.
+    pub phases: Vec<LoadPhase>,
+    /// Traffic sources running for the whole scenario.
+    pub sources: Vec<LoadSource>,
+}
+
+/// Breakpoints per curved segment. 8 points keep the piecewise-linear
+/// approximation of a half-sine within ~1% of the true curve, far below
+/// the 10% clone-fidelity band.
+const CURVE_POINTS: usize = 8;
+
+/// Samples `f` over `[start, start+len]` into `CURVE_POINTS` linear
+/// segments, appending to `pts`.
+fn sample_curve(
+    pts: &mut Vec<(SimDuration, f64)>,
+    start: SimDuration,
+    len: SimDuration,
+    f: impl Fn(f64) -> f64,
+) {
+    for i in 1..=CURVE_POINTS {
+        let frac = i as f64 / CURVE_POINTS as f64;
+        pts.push((start + SimDuration::from_secs_f64(len.as_secs_f64() * frac), f(frac)));
+    }
+}
+
+impl LoadPlan {
+    /// Total scenario length (sum of phase windows).
+    pub fn total_duration(&self) -> SimDuration {
+        self.phases.iter().fold(SimDuration::ZERO, |acc, p| acc + p.duration)
+    }
+
+    /// Total modeled user population across sources.
+    pub fn modeled_users(&self) -> u64 {
+        self.sources.iter().map(|s| s.users).sum()
+    }
+
+    /// Peak aggregate offered rate (sum of per-source maxima — sources
+    /// peak together in every canned scenario).
+    pub fn peak_qps(&self) -> f64 {
+        self.sources.iter().map(|s| s.rate.max_rate()).sum()
+    }
+
+    /// A diurnal wave: trough hold, half-sine rise, peak hold, half-sine
+    /// fall — one day compressed into four equal phases of `phase` each.
+    pub fn diurnal(users: u64, trough_qps: f64, peak_qps: f64, phase: SimDuration) -> Self {
+        assert!(peak_qps >= trough_qps, "diurnal peak must be >= trough");
+        let mut pts = vec![(SimDuration::ZERO, trough_qps)];
+        // Trough hold.
+        pts.push((phase, trough_qps));
+        // Rise: half-sine from trough to peak.
+        let swing = peak_qps - trough_qps;
+        sample_curve(&mut pts, phase, phase, |f| {
+            trough_qps + swing * (0.5 - 0.5 * (std::f64::consts::PI * f).cos())
+        });
+        // Peak hold.
+        pts.push((phase + phase + phase, peak_qps));
+        // Fall: half-sine back down.
+        let fall_start = phase + phase + phase;
+        sample_curve(&mut pts, fall_start, phase, |f| {
+            peak_qps - swing * (0.5 - 0.5 * (std::f64::consts::PI * f).cos())
+        });
+        LoadPlan {
+            name: "diurnal".into(),
+            phases: ["trough", "rise", "peak", "fall"]
+                .into_iter()
+                .map(|n| LoadPhase { name: n.into(), duration: phase })
+                .collect(),
+            sources: vec![LoadSource {
+                name: "population".into(),
+                users,
+                user_skew: 0.99,
+                user_base: 0,
+                rate: RateFn::from_points(pts),
+            }],
+        }
+    }
+
+    /// A flash crowd: steady base load, an instantaneous spike to
+    /// `spike_qps`, an exponential-shaped decay back, then recovery.
+    pub fn flash_crowd(users: u64, base_qps: f64, spike_qps: f64, phase: SimDuration) -> Self {
+        assert!(spike_qps >= base_qps, "flash crowd must spike above base");
+        let mut pts = vec![(SimDuration::ZERO, base_qps)];
+        // Steady, then a step up at the phase boundary.
+        pts.push((phase, base_qps));
+        pts.push((phase, spike_qps));
+        // Spike hold.
+        pts.push((phase + phase, spike_qps));
+        // Decay: exponential-shaped fall (3 time constants over the
+        // phase), normalised to land exactly on base so the recovered
+        // tail — the clamp past the last breakpoint — holds base rate.
+        let swing = spike_qps - base_qps;
+        let floor = (-3.0f64).exp();
+        sample_curve(&mut pts, phase + phase, phase, |f| {
+            base_qps + swing * ((-3.0 * f).exp() - floor) / (1.0 - floor)
+        });
+        LoadPlan {
+            name: "flash_crowd".into(),
+            phases: ["steady", "spike", "decay", "recovered"]
+                .into_iter()
+                .map(|n| LoadPhase { name: n.into(), duration: phase })
+                .collect(),
+            sources: vec![LoadSource {
+                name: "crowd".into(),
+                users,
+                user_skew: 0.99,
+                user_base: 0,
+                rate: RateFn::from_points(pts),
+            }],
+        }
+    }
+
+    /// A regional failover: two regions each carrying half of `qps`;
+    /// mid-scenario region A drains linearly to zero while region B
+    /// absorbs its traffic, holding total offered load constant.
+    pub fn failover(users: u64, qps: f64, phase: SimDuration) -> Self {
+        let half = qps / 2.0;
+        let users_a = users / 2;
+        let users_b = users - users_a;
+        let shift_start = phase;
+        let shift_end = phase + phase;
+        let drain = RateFn::from_points(vec![
+            (SimDuration::ZERO, half),
+            (shift_start, half),
+            (shift_end, 0.0),
+        ]);
+        let absorb = RateFn::from_points(vec![
+            (SimDuration::ZERO, half),
+            (shift_start, half),
+            (shift_end, qps),
+        ]);
+        LoadPlan {
+            name: "failover".into(),
+            phases: ["steady", "shift", "failed_over"]
+                .into_iter()
+                .map(|n| LoadPhase { name: n.into(), duration: phase })
+                .collect(),
+            sources: vec![
+                LoadSource {
+                    name: "region_a".into(),
+                    users: users_a,
+                    user_skew: 0.99,
+                    user_base: 0,
+                    rate: drain,
+                },
+                LoadSource {
+                    name: "region_b".into(),
+                    users: users_b,
+                    user_skew: 0.99,
+                    // Disjoint id range: region B's user k is id
+                    // users_a + k, never colliding with region A.
+                    user_base: users_a,
+                    rate: absorb,
+                },
+            ],
+        }
+    }
+
+    /// A slow ramp: hold at `start_qps`, climb linearly to `end_qps`
+    /// over the middle phase, hold at the top.
+    pub fn ramp(users: u64, start_qps: f64, end_qps: f64, phase: SimDuration) -> Self {
+        let rate = RateFn::from_points(vec![
+            (SimDuration::ZERO, start_qps),
+            (phase, start_qps),
+            (phase + phase, end_qps),
+        ]);
+        LoadPlan {
+            name: "ramp".into(),
+            phases: ["low", "climb", "high"]
+                .into_iter()
+                .map(|n| LoadPhase { name: n.into(), duration: phase })
+                .collect(),
+            sources: vec![LoadSource {
+                name: "population".into(),
+                users,
+                user_skew: 0.99,
+                user_base: 0,
+                rate,
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn diurnal_wave_shape() {
+        let p = LoadPlan::diurnal(1_000_000, 100.0, 1000.0, ms(100));
+        assert_eq!(p.phases.len(), 4);
+        assert_eq!(p.total_duration(), ms(400));
+        assert_eq!(p.modeled_users(), 1_000_000);
+        let r = &p.sources[0].rate;
+        assert_eq!(r.rate_at(SimDuration::ZERO), 100.0);
+        assert_eq!(r.rate_at(ms(50)), 100.0, "trough holds");
+        let mid_rise = r.rate_at(ms(150));
+        assert!(mid_rise > 300.0 && mid_rise < 800.0, "rising at mid-rise: {mid_rise}");
+        assert_eq!(r.rate_at(ms(250)), 1000.0, "peak holds");
+        assert!((p.peak_qps() - 1000.0).abs() < 1e-9);
+        let mid_fall = r.rate_at(ms(350));
+        assert!(mid_fall > 200.0 && mid_fall < 700.0, "falling at mid-fall: {mid_fall}");
+        assert_eq!(r.rate_at(ms(400)), 100.0, "back at trough");
+    }
+
+    #[test]
+    fn flash_crowd_steps_and_decays() {
+        let p = LoadPlan::flash_crowd(500_000, 200.0, 2000.0, ms(100));
+        let r = &p.sources[0].rate;
+        assert_eq!(r.rate_at(ms(50)), 200.0);
+        assert_eq!(r.rate_at(ms(150)), 2000.0, "spike holds");
+        let decaying = r.rate_at(ms(250));
+        assert!(decaying > 200.0 && decaying < 2000.0, "decaying: {decaying}");
+        let recovered = r.rate_at(ms(350));
+        assert!(recovered < 200.0 * 1.1, "recovered to ~base: {recovered}");
+    }
+
+    #[test]
+    fn failover_conserves_total_load_and_splits_users() {
+        let p = LoadPlan::failover(1_000_001, 1000.0, ms(100));
+        assert_eq!(p.sources.len(), 2);
+        assert_eq!(p.modeled_users(), 1_000_001);
+        let (a, b) = (&p.sources[0], &p.sources[1]);
+        assert_eq!(b.user_base, a.users, "id ranges are disjoint");
+        for t in [0u64, 50, 100, 150, 200, 250] {
+            let total = a.rate.rate_at(ms(t)) + b.rate.rate_at(ms(t));
+            assert!((total - 1000.0).abs() < 1e-9, "offered load conserved at {t}ms: {total}");
+        }
+        assert_eq!(a.rate.rate_at(ms(250)), 0.0, "region A fully drained");
+    }
+
+    #[test]
+    fn ramp_is_linear_in_the_middle() {
+        let p = LoadPlan::ramp(10_000, 100.0, 500.0, ms(100));
+        let r = &p.sources[0].rate;
+        assert_eq!(r.rate_at(ms(50)), 100.0);
+        assert!((r.rate_at(ms(150)) - 300.0).abs() < 1e-9, "midpoint of the climb");
+        assert_eq!(r.rate_at(ms(250)), 500.0);
+    }
+
+    #[test]
+    fn source_configs_lead_in_through_warmup() {
+        let p = LoadPlan::ramp(10_000, 100.0, 500.0, ms(100));
+        let cfg = p.sources[0].to_config(ditto_kernel::NodeId(0), 9000, ms(40));
+        assert_eq!(cfg.users, 10_000);
+        assert_eq!(cfg.rate.rate_at(ms(20)), 100.0, "warmup plays the opening rate");
+        assert!((cfg.rate.rate_at(ms(190)) - 300.0).abs() < 1e-9, "curve shifted by warmup");
+    }
+}

@@ -70,7 +70,7 @@ fn run_once_on(closed_loop: bool, executor: SimExecutor) -> RunFingerprint {
     } else {
         let mut cfg = OpenLoopConfig::new(NodeId(0), 9000, 5_000.0);
         cfg.timeout = SimDuration::from_millis(20);
-        cfg.spawn(&mut cluster, NodeId(1), &recorder);
+        cfg.spawn(&mut cluster, NodeId(1), &recorder).expect("valid open-loop config");
     }
     cluster.run_for(SimDuration::from_millis(95));
 
@@ -148,7 +148,7 @@ fn different_plan_seed_diverges() {
     let recorder = Recorder::new();
     let mut cfg = OpenLoopConfig::new(NodeId(0), 9000, 5_000.0);
     cfg.timeout = SimDuration::from_millis(20);
-    cfg.spawn(&mut cluster, NodeId(1), &recorder);
+    cfg.spawn(&mut cluster, NodeId(1), &recorder).expect("valid open-loop config");
     cluster.run_for(SimDuration::from_millis(95));
     assert_ne!(recorder.histogram(), base.hist);
 }

@@ -19,7 +19,7 @@ fn run_load_open(cluster: &mut Cluster, qps: f64, warmup_ms: u64, run_ms: u64) -
     let recorder = Recorder::new();
     let mut cfg = OpenLoopConfig::new(NodeId(0), 9000, qps);
     cfg.connections = 4;
-    cfg.spawn(cluster, NodeId(1), &recorder);
+    cfg.spawn(cluster, NodeId(1), &recorder).expect("valid open-loop config");
     cluster.run_for(SimDuration::from_millis(warmup_ms));
     recorder.start_window(cluster.now());
     cluster.run_for(SimDuration::from_millis(run_ms));
@@ -108,7 +108,7 @@ fn social_network_end_to_end_with_tracing() {
     let mut cfg = OpenLoopConfig::new(sn.frontend.0, sn.frontend.1, 300.0);
     cfg.connections = 4;
     cfg.collector = Some(collector.clone());
-    cfg.spawn(&mut cluster, NodeId(1), &recorder);
+    cfg.spawn(&mut cluster, NodeId(1), &recorder).expect("valid open-loop config");
     cluster.run_for(SimDuration::from_millis(100));
     recorder.start_window(cluster.now());
     cluster.run_for(SimDuration::from_millis(500));
