@@ -1,0 +1,250 @@
+//! Trace-in, clone-out round trip: run each original with tracing on,
+//! export its spans through the Chrome-trace renderer, re-ingest the
+//! JSON as if it came from a foreign tracing system, rebuild the
+//! workload, synthesize + calibrate a clone from the trace alone, and
+//! drive it at the trace's offered load. Fidelity deltas and the
+//! normalization counters are written machine-readable to
+//! `BENCH_ingest.json` at the repository root.
+//!
+//! Cells: the four single-tier framework services (memcached, nginx,
+//! mongodb, redis — each exercising arrival-model replay on its own
+//! load shape) and the 18-tier Social Network (topology reconstruction
+//! from spans alone).
+//!
+//! Gates: goodput and p50 within the golden 10% band in both modes;
+//! p99 within 25% in full mode only — tail percentiles of a loaded
+//! queueing system are properties of the two largest order statistics
+//! until the window holds thousands of requests, and `--quick` (the CI
+//! smoke job) runs windows far below that.
+
+use std::time::Instant;
+
+use ditto_bench::social_experiment::run_original_windowed;
+use ditto_bench::AppId;
+use ditto_core::harness::{LoadKind, SERVICE_PORT};
+use ditto_core::ingest::{clone_from_trace, run_trace_clone_windowed, TraceCloneConfig};
+use ditto_hw::platform::PlatformSpec;
+use ditto_kernel::{Cluster, NodeId};
+use ditto_sim::time::SimDuration;
+use ditto_trace::ingest::{build_workload, IngestedWorkload};
+use ditto_trace::{parse_spans, spans_to_chrome, Span, TraceCollector};
+use ditto_workload::{ClosedLoopConfig, LoadSummary, OpenLoopConfig, Recorder};
+use serde::Serialize;
+
+const SEED: u64 = 0x1261_2357;
+const BAND_PCT: f64 = 10.0;
+const P99_BAND_PCT: f64 = 25.0;
+const SOCIAL_QPS: f64 = 2_000.0;
+
+#[derive(Serialize)]
+struct SideReport {
+    p50_ms: f64,
+    p99_ms: f64,
+    goodput_qps: f64,
+}
+
+#[derive(Serialize)]
+struct Cell {
+    service: String,
+    raw_spans: usize,
+    tiers: usize,
+    traces: u64,
+    root_qps: f64,
+    arrival: String,
+    duplicates_dropped: usize,
+    orphans_promoted: usize,
+    skew_clamped: usize,
+    original: SideReport,
+    clone: SideReport,
+    p50_err_pct: f64,
+    p99_err_pct: f64,
+    goodput_err_pct: f64,
+    wall_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    mode: String,
+    band_pct: f64,
+    p99_band_pct: f64,
+    cells: Vec<Cell>,
+}
+
+fn side(s: &LoadSummary) -> SideReport {
+    SideReport {
+        p50_ms: s.latency.p50.as_millis_f64(),
+        p99_ms: s.latency.p99.as_millis_f64(),
+        goodput_qps: s.goodput_qps,
+    }
+}
+
+fn rel_err_pct(actual: f64, synthetic: f64) -> f64 {
+    if actual.abs() < 1e-12 {
+        return 0.0;
+    }
+    100.0 * (synthetic - actual).abs() / actual
+}
+
+/// The differential step: render to Chrome-trace JSON and parse it back
+/// through the foreign-trace frontend, so the clone is always built from
+/// re-ingested bytes, never from the in-memory spans.
+fn reingest(spans: &[Span]) -> Vec<Span> {
+    parse_spans(&spans_to_chrome(spans)).expect("re-ingest own export")
+}
+
+/// Runs a framework service's original with tracing on and returns the
+/// measured load plus its spans.
+fn run_traced_original(
+    app: AppId,
+    load: &LoadKind,
+    window: SimDuration,
+) -> (LoadSummary, Vec<Span>) {
+    let server = NodeId(0);
+    let client = NodeId(1);
+    let mut cluster = Cluster::new(vec![PlatformSpec::a(), PlatformSpec::c()], SEED);
+    let collector = TraceCollector::new(1.0, SEED);
+    let mut spec = app.deploy(&mut cluster, server);
+    spec.collector = Some(collector.clone());
+    spec.deploy(&mut cluster, server);
+    cluster.run_for(SimDuration::from_millis(10));
+
+    let recorder = Recorder::new();
+    match *load {
+        LoadKind::OpenLoop { qps, connections } => {
+            let mut cfg = OpenLoopConfig::new(server, SERVICE_PORT, qps);
+            cfg.connections = connections;
+            cfg.collector = Some(collector.clone());
+            cfg.spawn(&mut cluster, client, &recorder).expect("valid open-loop config");
+        }
+        LoadKind::ClosedLoop { connections, think } => {
+            let mut cfg = ClosedLoopConfig::new(server, SERVICE_PORT, connections);
+            cfg.think = think;
+            cfg.collector = Some(collector.clone());
+            cfg.spawn(&mut cluster, client, &recorder);
+        }
+    }
+    cluster.run_for(SimDuration::from_millis(40));
+    recorder.start_window(cluster.now());
+    cluster.run_for(window);
+    recorder.end_window(cluster.now());
+    (recorder.summary(window), collector.spans())
+}
+
+/// Ingest → clone → drive, shared by every cell.
+fn clone_cell(
+    service: &str,
+    original: &LoadSummary,
+    spans: &[Span],
+    window: SimDuration,
+    quick: bool,
+    t0: Instant,
+) -> Cell {
+    let raw_spans = spans.len();
+    let w: IngestedWorkload = build_workload(reingest(spans)).expect("ingest succeeds");
+    let qps = w.root_qps;
+    let arrival = format!("{:?}", w.arrival_model());
+    let (tiers, traces) = (w.tiers.len(), w.traces);
+    let (dups, orphans, skew) = (
+        w.report.duplicates_dropped,
+        w.report.orphans_promoted,
+        w.report.skew_clamped,
+    );
+
+    let clone = clone_from_trace(w, &TraceCloneConfig::default(), SEED);
+    let out = run_trace_clone_windowed(&clone, qps, SEED, None, window);
+
+    let p50_err = rel_err_pct(
+        original.latency.p50.as_nanos() as f64,
+        out.e2e.latency.p50.as_nanos() as f64,
+    );
+    let p99_err = rel_err_pct(
+        original.latency.p99.as_nanos() as f64,
+        out.e2e.latency.p99.as_nanos() as f64,
+    );
+    let goodput_err = rel_err_pct(original.goodput_qps, out.e2e.goodput_qps);
+    let wall = t0.elapsed();
+    eprintln!(
+        "[ingest] {service:<15} ({tiers:>2} tiers, {raw_spans:>6} spans): p50 {} -> {} \
+         ({p50_err:.1}%), p99 {} -> {} ({p99_err:.1}%), goodput {:.0} -> {:.0} qps \
+         ({goodput_err:.1}%), {wall:.2?}",
+        original.latency.p50,
+        out.e2e.latency.p50,
+        original.latency.p99,
+        out.e2e.latency.p99,
+        original.goodput_qps,
+        out.e2e.goodput_qps,
+    );
+
+    assert!(
+        goodput_err <= BAND_PCT,
+        "{service}: goodput error {goodput_err:.1}% outside band"
+    );
+    assert!(p50_err <= BAND_PCT, "{service}: p50 error {p50_err:.1}% outside band");
+    if !quick {
+        assert!(
+            p99_err <= P99_BAND_PCT,
+            "{service}: p99 error {p99_err:.1}% outside band"
+        );
+    }
+
+    Cell {
+        service: service.to_string(),
+        raw_spans,
+        tiers,
+        traces,
+        root_qps: qps,
+        arrival,
+        duplicates_dropped: dups,
+        orphans_promoted: orphans,
+        skew_clamped: skew,
+        original: side(original),
+        clone: side(&out.e2e),
+        p50_err_pct: p50_err,
+        p99_err_pct: p99_err,
+        goodput_err_pct: goodput_err,
+        wall_ms: wall.as_secs_f64() * 1e3,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // The framework cells' wall cost is calibration, not simulated time,
+    // so `--quick` leaves their windows alone (shrinking the trace window
+    // also starves the arrival-model inference of samples) and shortens
+    // only the Social Network's.
+    let framework_window = SimDuration::from_millis(200);
+    let clone_window = SimDuration::from_millis(400);
+    let social_window = SimDuration::from_millis(if quick { 300 } else { 600 });
+
+    let mut cells = Vec::new();
+    for app in [AppId::Memcached, AppId::Nginx, AppId::MongoDb, AppId::Redis] {
+        let t0 = Instant::now();
+        let (original, spans) = run_traced_original(app, &app.ingest_load(), framework_window);
+        cells.push(clone_cell(app.name(), &original, &spans, clone_window, quick, t0));
+    }
+
+    let t0 = Instant::now();
+    let original = run_original_windowed(&PlatformSpec::a(), SOCIAL_QPS, SEED, social_window);
+    cells.push(clone_cell(
+        "social-network",
+        &original.e2e,
+        &original.spans,
+        social_window,
+        quick,
+        t0,
+    ));
+
+    let report = Report {
+        bench: "ingest_roundtrip".into(),
+        mode: if quick { "quick" } else { "full" }.into(),
+        band_pct: BAND_PCT,
+        p99_band_pct: P99_BAND_PCT,
+        cells,
+    };
+    let out_path = std::env::var("BENCH_INGEST_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_ingest.json", env!("CARGO_MANIFEST_DIR")));
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_ingest.json");
+    eprintln!("[ingest] wrote {out_path}");
+}

@@ -46,6 +46,10 @@ pub struct SocialRun {
     pub profiles: HashMap<String, AppProfile>,
     /// The traced dependency graph (when profiling was requested).
     pub graph: Option<ServiceGraph>,
+    /// Raw spans from the run's trace collector (empty for synthetic
+    /// runs, which are driven untraced) — the ingestion frontend's
+    /// round-trip input.
+    pub spans: Vec<ditto_trace::Span>,
 }
 
 fn cluster_for(server: &PlatformSpec, seed: u64) -> Cluster {
@@ -120,6 +124,40 @@ pub fn run_original_on(
     obs: &ObsConfig,
     executor: SimExecutor,
 ) -> (SocialRun, Option<ObsReport>) {
+    run_original_windowed_on(server, qps, seed, profile, obs, executor, SimDuration::from_millis(300))
+}
+
+/// Like [`run_original`], with an explicit measurement window. Tail
+/// percentiles of a loaded queueing system are sampling noise until the
+/// window holds thousands of requests; fidelity experiments that compare
+/// p99s should run much longer than the default 300 ms.
+pub fn run_original_windowed(
+    server: &PlatformSpec,
+    qps: f64,
+    seed: u64,
+    window: SimDuration,
+) -> SocialRun {
+    run_original_windowed_on(
+        server,
+        qps,
+        seed,
+        false,
+        &ObsConfig::default(),
+        SimExecutor::Sequential,
+        window,
+    )
+    .0
+}
+
+fn run_original_windowed_on(
+    server: &PlatformSpec,
+    qps: f64,
+    seed: u64,
+    profile: bool,
+    obs: &ObsConfig,
+    executor: SimExecutor,
+    window: SimDuration,
+) -> (SocialRun, Option<ObsReport>) {
     let mut cluster = cluster_for(server, seed);
     cluster.set_executor(executor);
     let sink = ObsSink::new(obs);
@@ -148,14 +186,15 @@ pub fn run_original_on(
         sn.frontend,
         qps,
         SimDuration::from_millis(60),
-        SimDuration::from_millis(300),
+        window,
         Some(collector.clone()),
         profilers,
     );
 
     let graph = profile.then(|| ServiceGraph::from_spans(&collector.spans()));
     let report = sink.finish();
-    (SocialRun { e2e, tier_metrics, profiles, graph }, report)
+    let spans = collector.spans();
+    (SocialRun { e2e, tier_metrics, profiles, graph, spans }, report)
 }
 
 /// Deploys the fully synthetic Social Network (every tier replaced by its
@@ -191,7 +230,13 @@ pub fn run_synthetic(
     );
     // Rename keys to the tier names for symmetric comparison.
     let renamed: HashMap<String, MetricSet> = std::mem::take(&mut tier_metrics);
-    SocialRun { e2e, tier_metrics: renamed, profiles: HashMap::new(), graph: None }
+    SocialRun {
+        e2e,
+        tier_metrics: renamed,
+        profiles: HashMap::new(),
+        graph: None,
+        spans: Vec::new(),
+    }
 }
 
 /// Runs the original Social Network at every `(qps, seed)` point across

@@ -1,0 +1,330 @@
+//! Differential suite for the trace ingestion frontend: obs-export →
+//! ingest → re-clone, for the four single-tier framework services and
+//! the Social Network.
+//!
+//! The loop under test is the full external path: run the original with
+//! tracing on, render its spans through the Chrome-trace exporter
+//! (`spans_to_chrome`), re-ingest the JSON with `parse_spans` as if it
+//! came from a foreign system, reconstruct the workload, synthesize and
+//! calibrate a trace-only clone, and drive it at the trace's offered
+//! load. The clone must keep up with the traced goodput and land its
+//! latency near the original's — with *no* profile ever shared.
+//!
+//! A perturbed negative control (all span durations stretched) checks
+//! the band actually discriminates.
+
+use ditto_bench::social_experiment::run_original_windowed;
+use ditto_bench::AppId;
+use ditto_core::harness::{LoadKind, SERVICE_PORT};
+use ditto_core::ingest::{
+    clone_from_trace, run_trace_clone, run_trace_clone_windowed, TraceCloneConfig,
+};
+use ditto_hw::platform::PlatformSpec;
+use ditto_kernel::{Cluster, NodeId};
+use ditto_sim::time::{SimDuration, SimTime};
+use ditto_trace::ingest::build_workload;
+use ditto_trace::{parse_spans, spans_to_chrome, Span, TraceCollector};
+use ditto_workload::{ClosedLoopConfig, LoadSummary, OpenLoopConfig, Recorder};
+
+const SEED: u64 = 0x1261_2357;
+
+/// Runs a framework service's original with tracing enabled and returns
+/// the measured load plus the collected spans.
+fn run_traced_original(app: AppId, load: &LoadKind, seed: u64) -> (LoadSummary, Vec<Span>) {
+    let server = NodeId(0);
+    let client = NodeId(1);
+    let mut cluster = Cluster::new(vec![PlatformSpec::a(), PlatformSpec::c()], seed);
+    let collector = TraceCollector::new(1.0, seed);
+    let mut spec = app.deploy(&mut cluster, server);
+    spec.collector = Some(collector.clone());
+    spec.deploy(&mut cluster, server);
+    cluster.run_for(SimDuration::from_millis(10));
+
+    let recorder = Recorder::new();
+    match *load {
+        LoadKind::OpenLoop { qps, connections } => {
+            let mut cfg = OpenLoopConfig::new(server, SERVICE_PORT, qps);
+            cfg.connections = connections;
+            cfg.collector = Some(collector.clone());
+            cfg.spawn(&mut cluster, client, &recorder).expect("valid open-loop config");
+        }
+        LoadKind::ClosedLoop { connections, think } => {
+            let mut cfg = ClosedLoopConfig::new(server, SERVICE_PORT, connections);
+            cfg.think = think;
+            cfg.collector = Some(collector.clone());
+            cfg.spawn(&mut cluster, client, &recorder);
+        }
+    }
+    cluster.run_for(SimDuration::from_millis(40));
+    recorder.start_window(cluster.now());
+    cluster.run_for(SimDuration::from_millis(200));
+    recorder.end_window(cluster.now());
+    (recorder.summary(SimDuration::from_millis(200)), collector.spans())
+}
+
+fn pct_delta(original: f64, clone: f64) -> f64 {
+    if original == 0.0 {
+        return if clone == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (clone - original).abs() / original * 100.0
+}
+
+/// Round-trips spans through the obs export and the foreign-trace parser
+/// — the step that makes this suite *differential* (the clone is built
+/// from re-ingested JSON, never from the in-memory spans).
+fn reingest(spans: &[Span]) -> Vec<Span> {
+    let json = spans_to_chrome(spans);
+    ditto_obs::trace::validate_chrome_trace(&json).expect("export validates");
+    parse_spans(&json).expect("re-ingest")
+}
+
+fn assert_in_band(service: &str, original: &LoadSummary, clone: &LoadSummary) {
+    let p50 = pct_delta(
+        original.latency.p50.as_nanos() as f64,
+        clone.latency.p50.as_nanos() as f64,
+    );
+    let p99 = pct_delta(
+        original.latency.p99.as_nanos() as f64,
+        clone.latency.p99.as_nanos() as f64,
+    );
+    let goodput = pct_delta(original.goodput_qps, clone.goodput_qps);
+    eprintln!(
+        "[{service}] p50 {} -> {} ({p50:.1}%), p99 {} -> {} ({p99:.1}%), \
+         goodput {:.0} -> {:.0} ({goodput:.1}%)",
+        original.latency.p50,
+        clone.latency.p50,
+        original.latency.p99,
+        clone.latency.p99,
+        original.goodput_qps,
+        clone.goodput_qps,
+    );
+    assert!(goodput <= 10.0, "{service}: goodput delta {goodput:.1}% out of band");
+    assert!(p50 <= 10.0, "{service}: p50 delta {p50:.1}% out of band");
+    assert!(p99 <= 25.0, "{service}: p99 delta {p99:.1}% out of band");
+}
+
+fn roundtrip_app(app: AppId) {
+    let load = app.ingest_load();
+    let (original, spans) = run_traced_original(app, &load, SEED);
+    assert!(!spans.is_empty(), "{}: traced no spans", app.name());
+
+    let w = build_workload(reingest(&spans)).expect("ingest succeeds");
+    assert_eq!(w.graph.services.len(), 1, "single tier: {:?}", w.graph.services);
+    for t in &w.tiers {
+        eprintln!(
+            "[{}] tier {}: spans {} self {:.0}ns total {:.0}ns conc {}",
+            app.name(),
+            t.service,
+            t.spans,
+            t.mean_self_ns,
+            t.mean_total_ns,
+            t.concurrency
+        );
+    }
+    let qps = w.root_qps;
+    let clone = clone_from_trace(w, &TraceCloneConfig::default(), SEED);
+    for c in &clone.calibration {
+        eprintln!(
+            "[{}] calib {}: target {:.0}ns measured [{:.0}, {:.0}] fitted ipr {:.0}",
+            app.name(),
+            c.service,
+            c.target_self_ns,
+            c.measured_ns[0],
+            c.measured_ns[1],
+            c.fitted_ipr
+        );
+    }
+    let out = run_trace_clone(&clone, qps, SEED, None);
+    assert_in_band(app.name(), &original, &out.e2e);
+}
+
+#[test]
+fn memcached_roundtrip_lands_in_band() {
+    roundtrip_app(AppId::Memcached);
+}
+
+#[test]
+fn nginx_roundtrip_lands_in_band() {
+    roundtrip_app(AppId::Nginx);
+}
+
+#[test]
+fn mongodb_roundtrip_lands_in_band() {
+    roundtrip_app(AppId::MongoDb);
+}
+
+#[test]
+fn redis_roundtrip_lands_in_band() {
+    roundtrip_app(AppId::Redis);
+}
+
+#[test]
+fn social_network_roundtrip_lands_in_band() {
+    // Below the saturation knee: at-capacity operating points are
+    // chaotic under open-loop arrivals and no fidelity comparison is
+    // meaningful there (the single-tier suite covers the closed-loop
+    // saturated case via arrival-model replay). Both sides run a long
+    // measurement window — the p99 of a ρ≈0.7 queueing system needs
+    // thousands of samples before the comparison beats sampling noise.
+    let server = PlatformSpec::a();
+    let original =
+        run_original_windowed(&server, 2_000.0, SEED, SimDuration::from_millis(600));
+    assert!(!original.spans.is_empty(), "social run traced no spans");
+
+    let w = build_workload(reingest(&original.spans)).expect("ingest succeeds");
+    assert!(
+        w.graph.services.len() >= 5,
+        "social topology reconstructed: {:?}",
+        w.graph.services
+    );
+    // The reconstructed entry tier must be the frontend.
+    let roots = w.graph.roots();
+    assert_eq!(roots.len(), 1, "one entry tier: {roots:?}");
+    assert_eq!(w.graph.services[roots[0]], "frontend");
+
+    for t in &w.tiers {
+        eprintln!(
+            "[social] tier {}: spans {} self {:.0}ns total {:.0}ns p50 {:.0}ns conc {}",
+            t.service, t.spans, t.mean_self_ns, t.mean_total_ns, t.p50_total_ns, t.concurrency
+        );
+    }
+    let qps = w.root_qps;
+    let clone = clone_from_trace(w, &TraceCloneConfig::default(), SEED);
+    for c in &clone.calibration {
+        eprintln!(
+            "[social] calib {}: target {:.0}ns measured [{:.0}, {:.0}] fitted ipr {:.0}",
+            c.service, c.target_self_ns, c.measured_ns[0], c.measured_ns[1], c.fitted_ipr
+        );
+    }
+    let clone_collector = TraceCollector::new(1.0, SEED);
+    let out = run_trace_clone_windowed(
+        &clone,
+        qps,
+        SEED,
+        Some(clone_collector.clone()),
+        SimDuration::from_millis(600),
+    );
+    let mut per_service: std::collections::HashMap<String, Vec<u64>> =
+        std::collections::HashMap::new();
+    for s in clone_collector.spans() {
+        per_service
+            .entry(s.service.clone())
+            .or_default()
+            .push(s.end.saturating_since(s.start).as_nanos());
+    }
+    for (svc, durs) in &mut per_service {
+        durs.sort_unstable();
+        let mean = durs.iter().sum::<u64>() as f64 / durs.len() as f64;
+        let q = |p: f64| durs[((durs.len() - 1) as f64 * p) as usize];
+        eprintln!(
+            "[social] clone tier {svc}: spans {} mean {mean:.0}ns p50 {} p90 {} p99 {}",
+            durs.len(),
+            q(0.50),
+            q(0.90),
+            q(0.99),
+        );
+    }
+    let mut orig_front: Vec<u64> = original
+        .spans
+        .iter()
+        .filter(|s| s.service == "frontend")
+        .map(|s| s.end.saturating_since(s.start).as_nanos())
+        .collect();
+    orig_front.sort_unstable();
+    let q = |p: f64| orig_front[((orig_front.len() - 1) as f64 * p) as usize];
+    eprintln!(
+        "[social] orig tier frontend: spans {} p50 {} p90 {} p99 {}",
+        orig_front.len(),
+        q(0.50),
+        q(0.90),
+        q(0.99),
+    );
+    eprintln!(
+        "[social] e2e orig p50 {} p95 {} p99 {} | clone p50 {} p95 {} p99 {}",
+        original.e2e.latency.p50,
+        original.e2e.latency.p95,
+        original.e2e.latency.p99,
+        out.e2e.latency.p50,
+        out.e2e.latency.p95,
+        out.e2e.latency.p99,
+    );
+    assert_in_band("social-network", &original.e2e, &out.e2e);
+}
+
+/// Negative control: a trace whose durations are stretched 3× must
+/// produce a clone *outside* the band — otherwise the band proves
+/// nothing.
+#[test]
+fn perturbed_trace_falls_out_of_band() {
+    let app = AppId::Memcached;
+    let (original, spans) = run_traced_original(app, &app.ingest_load(), SEED);
+
+    let perturbed: Vec<Span> = spans
+        .iter()
+        .map(|s| {
+            let mut p = s.clone();
+            let dur = s.end.saturating_since(s.start).as_nanos();
+            p.end = SimTime::from_nanos(s.start.as_nanos() + dur * 3);
+            p
+        })
+        .collect();
+
+    let w = build_workload(reingest(&perturbed)).expect("ingest succeeds");
+    let qps = w.root_qps;
+    let clone = clone_from_trace(w, &TraceCloneConfig::default(), SEED);
+    let out = run_trace_clone(&clone, qps, SEED, None);
+    let p50 = pct_delta(
+        original.latency.p50.as_nanos() as f64,
+        out.e2e.latency.p50.as_nanos() as f64,
+    );
+    eprintln!("[perturbed] p50 delta {p50:.1}%");
+    assert!(
+        p50 > 10.0,
+        "perturbed trace still landed in band (p50 delta {p50:.1}%) — band is vacuous"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Curated foreign fixtures
+// ---------------------------------------------------------------------------
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/../../tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn jaeger_fixture_parses_into_runnable_clone() {
+    let spans = parse_spans(&fixture("ingest_jaeger_hotel.json")).expect("jaeger parses");
+    let w = build_workload(spans).expect("workload builds");
+    assert!(w.graph.services.len() >= 4, "{:?}", w.graph.services);
+    assert_eq!(w.graph.services[w.graph.roots()[0]], "frontend");
+
+    // Runnable: deploy the cloned tier and serve real load end to end.
+    let cfg = TraceCloneConfig { calibrate: false, ..TraceCloneConfig::default() };
+    let clone = clone_from_trace(w, &cfg, SEED);
+    let out = run_trace_clone(&clone, 2_000.0, SEED, None);
+    assert!(out.e2e.goodput_qps > 1_000.0, "{:?}", out.e2e);
+}
+
+#[test]
+fn otel_fixture_parses_into_runnable_clone() {
+    let spans = parse_spans(&fixture("ingest_otel_media.json")).expect("otlp parses");
+    let w = build_workload(spans).expect("workload builds");
+    assert!(w.graph.services.len() >= 2, "{:?}", w.graph.services);
+
+    let cfg = TraceCloneConfig { calibrate: false, ..TraceCloneConfig::default() };
+    let clone = clone_from_trace(w, &cfg, SEED);
+    let out = run_trace_clone(&clone, 2_000.0, SEED, None);
+    assert!(out.e2e.goodput_qps > 1_000.0, "{:?}", out.e2e);
+}
+
+#[test]
+fn malformed_fixture_is_rejected_with_typed_error() {
+    let spans = parse_spans(&fixture("ingest_malformed_dup.json")).expect("json parses");
+    let err = build_workload(spans).expect_err("conflicting duplicates must be rejected");
+    assert!(
+        matches!(err, ditto_trace::IngestError::DuplicateSpanId { .. }),
+        "{err:?}"
+    );
+}

@@ -22,6 +22,7 @@ pub mod body_gen;
 pub mod clone;
 pub mod fleet;
 pub mod harness;
+pub mod ingest;
 pub mod scale;
 pub mod skeleton;
 pub mod stages;
@@ -35,6 +36,10 @@ pub use fleet::{
     MatrixConfig, ProfileCache, ScenarioSpec, ServiceEntry,
 };
 pub use harness::{LoadKind, PhaseSummary, RunOutcome, ScenarioOutcome, Testbed};
+pub use ingest::{
+    clone_from_trace, deploy_trace_clone, run_trace_clone, synthesize_profile, TierCalibration,
+    TraceClone, TraceCloneConfig, TraceRunOutcome, TRACE_CLONE_PORT,
+};
 pub use scale::{
     clone_router_response_bytes, deploy_cloned_tier, ControlConfig, ControlledOutcome,
     RoleProfiles, ScenarioTierOutcome, ShardedOutcome, ShardedTestbed, TierPipeline,

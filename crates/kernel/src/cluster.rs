@@ -61,8 +61,13 @@ use crate::thread::{Action, Errno, Msg, MsgMeta, Syscall, SysResult, ThreadBody,
 /// so events no longer carry one.
 #[derive(Debug)]
 enum Event {
-    /// A CPU finished its slice busy window.
-    SliceDone { cpu: usize },
+    /// A CPU finished its slice busy window. `requeue` carries a thread
+    /// that was preempted mid-run: it only becomes runnable *now*, at the
+    /// slice's end time. Requeueing synchronously instead would let an
+    /// earlier event dispatch the thread onto another CPU before this
+    /// slice's virtual time has elapsed — overlapping the thread with
+    /// itself and handing out results from the future.
+    SliceDone { cpu: usize, requeue: Option<Tid> },
     /// A message reached side `end` of `conn` on this node.
     DeliverMsg { conn: ConnId, end: usize, bytes: u64, meta: MsgMeta },
     /// A SYN from `from` reached the listener on `port`.
@@ -620,11 +625,25 @@ impl Lp {
 
     fn handle(&mut self, shared: &Shared, ev: Event) {
         match ev {
-            Event::SliceDone { cpu } => {
+            Event::SliceDone { cpu, requeue } => {
                 // The slice may have been superseded if the thread ran
                 // again; only clear if the busy window has elapsed.
                 if self.machine.cpus[cpu].busy_until <= self.now {
                     self.machine.cpus[cpu].running = None;
+                }
+                if let Some(tid) = requeue {
+                    // The thread may have been killed (node crash) while
+                    // this event was in flight.
+                    let runnable = self
+                        .machine
+                        .threads
+                        .get(tid.index())
+                        .and_then(|t| t.as_ref())
+                        .map(|t| !t.exited && t.block.is_none())
+                        .unwrap_or(false);
+                    if runnable {
+                        self.machine.run_queue.push_back(tid);
+                    }
                 }
                 self.try_dispatch(shared);
             }
@@ -864,11 +883,14 @@ impl Lp {
     }
 
     fn run_slice(&mut self, shared: &Shared, cpu: usize, tid: Tid) {
-        let start = self.now;
         let mut thread = match self.machine.threads[tid.index()].take() {
             Some(t) => t,
             None => return,
         };
+        // Never start a slice before the thread's own virtual time: its
+        // previous slice may have run ahead of the event clock, and a
+        // wake that raced into that gap must not rewind the thread.
+        let start = self.now.max(thread.local_clock);
         let prev = self.machine.cpus[cpu].last_thread;
         self.machine.cpus[cpu].running = Some(tid);
         let quantum = self.machine.quantum;
@@ -923,10 +945,14 @@ impl Lp {
         let m = &mut self.machine;
         m.cpus[cpu].busy_until = t_local;
         m.cpus[cpu].last_thread = Some(tid);
+        let mut requeue = None;
         match outcome {
             SliceOutcome::Preempted => {
                 m.emit_thread_event_detached(t_local, &thread, ThreadEvent::Preempted);
-                m.run_queue.push_back(tid);
+                // Requeued by the SliceDone event at `t_local`, not here:
+                // the thread stays off the run queue until its slice's
+                // virtual time has actually elapsed.
+                requeue = Some(tid);
             }
             SliceOutcome::Blocked => {
                 m.emit_thread_event_detached(t_local, &thread, ThreadEvent::Blocked);
@@ -937,8 +963,9 @@ impl Lp {
                 m.emit_thread_event_detached(t_local, &thread, ThreadEvent::Exited);
             }
         }
+        thread.local_clock = t_local;
         m.threads[tid.index()] = Some(thread);
-        self.push_local(t_local, Event::SliceDone { cpu });
+        self.push_local(t_local, Event::SliceDone { cpu, requeue });
     }
 
     fn do_syscall(

@@ -80,6 +80,13 @@ pub struct Thread {
     pub cpu_time: SimDuration,
     /// Whether the thread has exited.
     pub exited: bool,
+    /// Virtual time this thread has observed up to — the `t_local` its
+    /// last slice ended at. Slices run ahead of the machine's event
+    /// clock (a blocking syscall issued mid-slice registers its block
+    /// immediately, at event-clock time), so a wake can arrive while
+    /// the event clock is still behind this point; the next slice must
+    /// not start before it or the thread sees time run backward.
+    pub local_clock: SimTime,
 }
 
 impl std::fmt::Debug for Thread {
@@ -319,6 +326,7 @@ impl Machine {
             label,
             cpu_time: SimDuration::ZERO,
             exited: false,
+            local_clock: SimTime::ZERO,
         }));
         self.processes[pid.index()].live_threads += 1;
         tid

@@ -151,7 +151,15 @@ impl ObsSink {
 
     fn push(&self, ts: SimTime, pid: u32, tid: u32, ph: Ph, cat: &'static str, name: String) {
         if let ObsSink::Recording { inner, tracing: true, .. } = self {
-            inner.lock().trace.push(TraceEvent { ts_ns: ts.as_nanos(), pid, tid, ph, cat, name });
+            inner.lock().trace.push(TraceEvent {
+                ts_ns: ts.as_nanos(),
+                pid,
+                tid,
+                ph,
+                cat,
+                name,
+                args: Vec::new(),
+            });
         }
     }
 

@@ -34,6 +34,20 @@ pub enum Ph {
     Instant,
 }
 
+/// A value carried in an event's `args` object. The Chrome format's
+/// free-form `args` is the only channel that survives export, so anything
+/// ingestion needs back — span identity, status, service names — rides
+/// here. Integers stay `u64` end to end (the JSON layer prints and
+/// re-parses them exactly), never `f64`, so 64-bit span ids round-trip
+/// without mantissa loss.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned integer (exact through JSON).
+    U64(u64),
+    /// A string.
+    Str(String),
+}
+
 /// One recorded event.
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
@@ -50,6 +64,10 @@ pub struct TraceEvent {
     /// Event name. `End` events carry an empty name; the viewer closes
     /// the innermost open span on the track.
     pub name: String,
+    /// Structured payload exported as the Chrome `args` object (empty for
+    /// events with nothing to carry — the common case; the exporter then
+    /// omits the field entirely, keeping the old wire shape).
+    pub args: Vec<(&'static str, ArgValue)>,
 }
 
 /// An append-only buffer of trace events plus track-name metadata.
@@ -162,6 +180,7 @@ impl TraceBuffer {
                     ph: Ph::End,
                     cat: "sched",
                     name: String::new(),
+                    args: Vec::new(),
                 }));
             }
         }
@@ -210,6 +229,20 @@ fn emit_event(e: &TraceEvent) -> Value {
     ];
     if e.ph == Ph::Instant {
         fields.push(("s".to_string(), Value::Str("t".to_string())));
+    }
+    if !e.args.is_empty() {
+        let args = e
+            .args
+            .iter()
+            .map(|(k, v)| {
+                let val = match v {
+                    ArgValue::U64(n) => Value::U64(*n),
+                    ArgValue::Str(s) => Value::Str(s.clone()),
+                };
+                (k.to_string(), val)
+            })
+            .collect();
+        fields.push(("args".to_string(), Value::Obj(args)));
     }
     Value::Obj(fields)
 }
@@ -319,7 +352,15 @@ mod tests {
     use super::*;
 
     fn ev(ts_ns: u64, tid: u32, ph: Ph, name: &str) -> TraceEvent {
-        TraceEvent { ts_ns, pid: 0, tid, ph, cat: "test", name: name.to_string() }
+        TraceEvent {
+            ts_ns,
+            pid: 0,
+            tid,
+            ph,
+            cat: "test",
+            name: name.to_string(),
+            args: Vec::new(),
+        }
     }
 
     #[test]
@@ -360,6 +401,24 @@ mod tests {
         buf.push(ev(120, 1, Ph::Begin, "b"));
         buf.push(ev(140, 1, Ph::End, ""));
         validate_chrome_trace(&buf.to_chrome_json()).expect("sorted on export");
+    }
+
+    #[test]
+    fn args_survive_export_exactly() {
+        let mut buf = TraceBuffer::new();
+        let mut begin = ev(10, 0, Ph::Begin, "handle");
+        // A 64-bit id above 2^53: must survive as an exact integer, not a
+        // lossy double.
+        begin.args = vec![
+            ("span_id", ArgValue::U64(0xDEAD_BEEF_0000_0001)),
+            ("service", ArgValue::Str("frontend".to_string())),
+        ];
+        buf.push(begin);
+        buf.push(ev(20, 0, Ph::End, ""));
+        let json = buf.to_chrome_json();
+        validate_chrome_trace(&json).expect("args do not break validation");
+        assert!(json.contains(&0xDEAD_BEEF_0000_0001u64.to_string()), "{json}");
+        assert!(json.contains("\"service\":\"frontend\""), "{json}");
     }
 
     #[test]

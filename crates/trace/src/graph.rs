@@ -88,6 +88,54 @@ impl ServiceGraph {
         ServiceGraph { services, edges }
     }
 
+    /// Strict extraction for foreign traces: validates the span set
+    /// before building the graph, rejecting malformations that
+    /// [`ServiceGraph::from_spans`] would absorb as silently wrong call
+    /// ratios — duplicate span ids (a parent's span count doubles),
+    /// orphan parents (the child's edge vanishes), and non-positive
+    /// durations (service-time statistics divide by zero downstream).
+    ///
+    /// Live collector output is well-formed by construction and keeps
+    /// using the lenient path; ingested traces should be repaired with
+    /// [`crate::ingest::normalize_spans`] first, after which the only
+    /// remaining rejection is a *conflicting* duplicate id.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::DuplicateSpanId`], [`IngestError::OrphanSpan`] or
+    /// [`IngestError::ZeroOrNegativeDuration`] on the first violation.
+    pub fn try_from_spans(spans: &[Span]) -> Result<Self, crate::ingest::IngestError> {
+        use crate::ingest::IngestError;
+        let mut seen: HashMap<(u64, u64), ()> = HashMap::new();
+        for s in spans {
+            if s.end <= s.start {
+                return Err(IngestError::ZeroOrNegativeDuration {
+                    trace_id: s.trace_id,
+                    span_id: s.span_id,
+                });
+            }
+            if seen.insert((s.trace_id, s.span_id), ()).is_some() {
+                return Err(IngestError::DuplicateSpanId {
+                    trace_id: s.trace_id,
+                    span_id: s.span_id,
+                });
+            }
+        }
+        for s in spans {
+            if s.parent_id != 0
+                && (s.parent_id == s.span_id
+                    || !seen.contains_key(&(s.trace_id, s.parent_id)))
+            {
+                return Err(IngestError::OrphanSpan {
+                    trace_id: s.trace_id,
+                    span_id: s.span_id,
+                    parent_id: s.parent_id,
+                });
+            }
+        }
+        Ok(Self::from_spans(spans))
+    }
+
     /// Index of a service by name.
     pub fn index_of(&self, service: &str) -> Option<usize> {
         self.services.iter().position(|s| s == service)

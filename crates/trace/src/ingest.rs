@@ -1,0 +1,1207 @@
+//! External trace ingestion — "trace-in, clone-out".
+//!
+//! Ditto's stated end-use is cloning services you *don't* author: hand the
+//! tool a distributed trace, get a runnable proxy back. This module is the
+//! entry point for that path. It parses foreign traces —
+//! Jaeger/OpenTelemetry JSON (DeathStarBench's native format) and the
+//! `ditto-obs` Chrome-trace export — into the internal [`Span`] model,
+//! normalizes the usual real-world damage (orphan spans, clock-skewed
+//! children, duplicate ids, epoch-scale timestamps, µs-vs-ns units), and
+//! reconstructs everything the cloning pipeline needs from spans alone:
+//! the service dependency DAG with per-edge call ratios and error rates,
+//! per-tier span populations, exclusive (self) service times, and a
+//! concurrency-based skeleton estimate.
+//!
+//! The strict extraction path ([`ServiceGraph::try_from_spans`]) rejects
+//! malformed input with a typed [`IngestError`]; [`normalize_spans`]
+//! repairs what is repairable first, so
+//! `parse → normalize → try_from_spans` is the canonical frontend.
+
+use std::collections::HashMap;
+
+use ditto_obs::trace::{ArgValue, Ph, TraceBuffer, TraceEvent, SERVICE_TRACK_BASE};
+use ditto_sim::time::{SimDuration, SimTime};
+use serde::Value;
+
+use crate::graph::ServiceGraph;
+use crate::span::{Span, SpanStatus};
+
+/// Typed failure of trace ingestion or strict graph extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The document is not parseable as any supported trace format.
+    Parse(String),
+    /// The document parsed but matches none of the supported layouts
+    /// (Jaeger `data`, OTLP `resourceSpans`, Chrome `traceEvents`).
+    UnsupportedFormat,
+    /// A required field is missing or has the wrong shape.
+    Malformed {
+        /// Where in the document.
+        context: String,
+        /// What was wrong.
+        problem: String,
+    },
+    /// Two spans share `(trace_id, span_id)` but differ in content —
+    /// ratio extraction would silently double-count the service.
+    DuplicateSpanId {
+        /// Trace the collision occurred in.
+        trace_id: u64,
+        /// The colliding span id.
+        span_id: u64,
+    },
+    /// A span references a parent that is absent from its trace.
+    OrphanSpan {
+        /// Trace of the orphan.
+        trace_id: u64,
+        /// The orphan span.
+        span_id: u64,
+        /// The missing parent id.
+        parent_id: u64,
+    },
+    /// A span ends before it starts, or spans no time at all — duration
+    /// statistics would be meaningless.
+    ZeroOrNegativeDuration {
+        /// Trace of the offending span.
+        trace_id: u64,
+        /// The offending span.
+        span_id: u64,
+    },
+    /// The trace set contains no spans at all.
+    EmptyTrace,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Parse(e) => write!(f, "unparseable trace document: {e}"),
+            IngestError::UnsupportedFormat => {
+                write!(f, "unrecognized trace format (expected Jaeger, OTLP or Chrome JSON)")
+            }
+            IngestError::Malformed { context, problem } => {
+                write!(f, "malformed trace ({context}): {problem}")
+            }
+            IngestError::DuplicateSpanId { trace_id, span_id } => {
+                write!(f, "conflicting duplicate span id {span_id:#x} in trace {trace_id:#x}")
+            }
+            IngestError::OrphanSpan { trace_id, span_id, parent_id } => write!(
+                f,
+                "span {span_id:#x} in trace {trace_id:#x} references missing parent {parent_id:#x}"
+            ),
+            IngestError::ZeroOrNegativeDuration { trace_id, span_id } => {
+                write!(f, "span {span_id:#x} in trace {trace_id:#x} has no positive duration")
+            }
+            IngestError::EmptyTrace => write!(f, "trace set contains no spans"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+fn malformed(context: impl Into<String>, problem: impl Into<String>) -> IngestError {
+    IngestError::Malformed { context: context.into(), problem: problem.into() }
+}
+
+// ---------------------------------------------------------------------------
+// Format detection and shared JSON helpers
+// ---------------------------------------------------------------------------
+
+/// Parses a foreign trace document in any supported format, sniffing the
+/// layout from its top-level keys: Jaeger (`data`), OTLP
+/// (`resourceSpans`) or the `ditto-obs` Chrome-trace export
+/// (`traceEvents`).
+///
+/// # Errors
+///
+/// [`IngestError::Parse`] for broken JSON, [`IngestError::UnsupportedFormat`]
+/// for an unknown layout, and the parser-specific errors otherwise.
+pub fn parse_spans(json: &str) -> Result<Vec<Span>, IngestError> {
+    let doc = parse_doc(json)?;
+    if doc.get("data").is_some() {
+        jaeger_spans(&doc)
+    } else if doc.get("resourceSpans").is_some() {
+        otel_spans(&doc)
+    } else if doc.get("traceEvents").is_some() {
+        chrome_spans(&doc)
+    } else {
+        Err(IngestError::UnsupportedFormat)
+    }
+}
+
+/// Parses a value-tree out of raw JSON (the shim's `Value` has no blanket
+/// `Deserialize`, so wrap it).
+struct RawVal(Value);
+
+impl serde::Deserialize for RawVal {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        Ok(RawVal(v.clone()))
+    }
+}
+
+fn parse_doc(json: &str) -> Result<Value, IngestError> {
+    let RawVal(doc) =
+        serde_json::from_str(json).map_err(|e| IngestError::Parse(e.to_string()))?;
+    Ok(doc)
+}
+
+/// Decodes a Jaeger/OTel id: a hex string whose low 64 bits become the
+/// internal id (128-bit trace ids keep their low half, like most
+/// exporters do on the wire).
+fn hex_id(s: &str, context: &str) -> Result<u64, IngestError> {
+    let t = s.trim_start_matches("0x");
+    if t.is_empty() {
+        return Ok(0);
+    }
+    let low = if t.len() > 16 { &t[t.len() - 16..] } else { t };
+    u64::from_str_radix(low, 16)
+        .map_err(|_| malformed(context, format!("invalid hex id {s:?}")))
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) if *n >= 0 => Some(*n as u64),
+        Value::F64(f) if *f >= 0.0 && f.fract() == 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+/// A timestamp field that may be a JSON number or (OTLP-style) a decimal
+/// string of nanoseconds.
+fn as_u64_or_string(v: &Value, context: &str) -> Result<u64, IngestError> {
+    if let Some(n) = as_u64(v) {
+        return Ok(n);
+    }
+    if let Some(s) = v.as_str() {
+        return s.parse::<u64>().map_err(|_| malformed(context, format!("bad number {s:?}")));
+    }
+    Err(malformed(context, "expected number or numeric string"))
+}
+
+// ---------------------------------------------------------------------------
+// Jaeger JSON (µs timestamps)
+// ---------------------------------------------------------------------------
+
+fn jaeger_spans(doc: &Value) -> Result<Vec<Span>, IngestError> {
+    let traces = doc
+        .get("data")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| malformed("jaeger", "`data` is not an array"))?;
+    let mut out = Vec::new();
+    for (ti, trace) in traces.iter().enumerate() {
+        let ctx = format!("jaeger trace {ti}");
+        // processID → serviceName.
+        let mut services: HashMap<&str, &str> = HashMap::new();
+        if let Some(procs) = trace.get("processes").and_then(Value::as_obj) {
+            for (pid, proc_val) in procs {
+                let name = proc_val
+                    .get("serviceName")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| malformed(&ctx, format!("process {pid} has no serviceName")))?;
+                services.insert(pid.as_str(), name);
+            }
+        }
+        let spans = trace
+            .get("spans")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| malformed(&ctx, "`spans` is not an array"))?;
+        for sv in spans {
+            let sctx = format!("{ctx} span");
+            let trace_id = hex_id(
+                sv.get("traceID").and_then(Value::as_str).ok_or_else(|| {
+                    malformed(&sctx, "missing traceID")
+                })?,
+                &sctx,
+            )?;
+            let span_id = hex_id(
+                sv.get("spanID").and_then(Value::as_str).ok_or_else(|| {
+                    malformed(&sctx, "missing spanID")
+                })?,
+                &sctx,
+            )?;
+            let operation = sv
+                .get("operationName")
+                .and_then(Value::as_str)
+                .unwrap_or("op")
+                .to_string();
+            // Jaeger times are µs since epoch; durations µs.
+            let start_us = sv
+                .get("startTime")
+                .map(|v| as_u64_or_string(v, &sctx))
+                .transpose()?
+                .ok_or_else(|| malformed(&sctx, "missing startTime"))?;
+            let dur_us = sv
+                .get("duration")
+                .map(|v| as_u64_or_string(v, &sctx))
+                .transpose()?
+                .ok_or_else(|| malformed(&sctx, "missing duration"))?;
+            // First CHILD_OF reference is the parent; roots have none.
+            let mut parent_id = 0u64;
+            if let Some(refs) = sv.get("references").and_then(Value::as_arr) {
+                for r in refs {
+                    let kind = r.get("refType").and_then(Value::as_str).unwrap_or("CHILD_OF");
+                    if kind == "CHILD_OF" {
+                        if let Some(pid) = r.get("spanID").and_then(Value::as_str) {
+                            parent_id = hex_id(pid, &sctx)?;
+                            break;
+                        }
+                    }
+                }
+            }
+            // Status: the `error=true` tag, or an OTel status-code tag.
+            let mut status = SpanStatus::Ok;
+            if let Some(tags) = sv.get("tags").and_then(Value::as_arr) {
+                for tag in tags {
+                    let key = tag.get("key").and_then(Value::as_str).unwrap_or("");
+                    let val = tag.get("value");
+                    match key {
+                        "error"
+                            if matches!(val, Some(Value::Bool(true)))
+                                || val.and_then(Value::as_str) == Some("true") =>
+                        {
+                            status = SpanStatus::Error;
+                        }
+                        "otel.status_code" if val.and_then(Value::as_str) == Some("ERROR") => {
+                            status = SpanStatus::Error;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let service = sv
+                .get("processID")
+                .and_then(Value::as_str)
+                .and_then(|p| services.get(p).copied())
+                .or_else(|| {
+                    sv.get("process")
+                        .and_then(|p| p.get("serviceName"))
+                        .and_then(Value::as_str)
+                })
+                .ok_or_else(|| malformed(&sctx, "span resolves to no serviceName"))?
+                .to_string();
+            out.push(Span {
+                trace_id,
+                span_id,
+                parent_id,
+                service,
+                operation,
+                start: SimTime::from_nanos(start_us.saturating_mul(1_000)),
+                end: SimTime::from_nanos(start_us.saturating_add(dur_us).saturating_mul(1_000)),
+                status,
+            });
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// OTLP JSON (ns timestamps, often as strings)
+// ---------------------------------------------------------------------------
+
+fn otel_spans(doc: &Value) -> Result<Vec<Span>, IngestError> {
+    let resources = doc
+        .get("resourceSpans")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| malformed("otlp", "`resourceSpans` is not an array"))?;
+    let mut out = Vec::new();
+    for (ri, res) in resources.iter().enumerate() {
+        let ctx = format!("otlp resource {ri}");
+        let service = res
+            .get("resource")
+            .and_then(|r| r.get("attributes"))
+            .and_then(Value::as_arr)
+            .and_then(|attrs| {
+                attrs.iter().find_map(|a| {
+                    (a.get("key").and_then(Value::as_str) == Some("service.name"))
+                        .then(|| a.get("value")?.get("stringValue")?.as_str())
+                        .flatten()
+                })
+            })
+            .ok_or_else(|| malformed(&ctx, "no service.name resource attribute"))?
+            .to_string();
+        let scopes = res
+            .get("scopeSpans")
+            .or_else(|| res.get("instrumentationLibrarySpans"))
+            .and_then(Value::as_arr)
+            .ok_or_else(|| malformed(&ctx, "no scopeSpans"))?;
+        for scope in scopes {
+            let Some(spans) = scope.get("spans").and_then(Value::as_arr) else { continue };
+            for sv in spans {
+                let sctx = format!("{ctx} span");
+                let trace_id = hex_id(
+                    sv.get("traceId")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| malformed(&sctx, "missing traceId"))?,
+                    &sctx,
+                )?;
+                let span_id = hex_id(
+                    sv.get("spanId")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| malformed(&sctx, "missing spanId"))?,
+                    &sctx,
+                )?;
+                let parent_id = match sv.get("parentSpanId").and_then(Value::as_str) {
+                    Some(p) if !p.is_empty() => hex_id(p, &sctx)?,
+                    _ => 0,
+                };
+                let start = sv
+                    .get("startTimeUnixNano")
+                    .map(|v| as_u64_or_string(v, &sctx))
+                    .transpose()?
+                    .ok_or_else(|| malformed(&sctx, "missing startTimeUnixNano"))?;
+                let end = sv
+                    .get("endTimeUnixNano")
+                    .map(|v| as_u64_or_string(v, &sctx))
+                    .transpose()?
+                    .ok_or_else(|| malformed(&sctx, "missing endTimeUnixNano"))?;
+                // OTel status code 2 = ERROR (there is no "degraded").
+                let status = match sv
+                    .get("status")
+                    .and_then(|s| s.get("code"))
+                    .and_then(as_u64)
+                {
+                    Some(2) => SpanStatus::Error,
+                    _ => SpanStatus::Ok,
+                };
+                out.push(Span {
+                    trace_id,
+                    span_id,
+                    parent_id,
+                    service: service.clone(),
+                    operation: sv
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .unwrap_or("op")
+                        .to_string(),
+                    start: SimTime::from_nanos(start),
+                    end: SimTime::from_nanos(end),
+                    status,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace JSON — the ditto-obs export, identity carried in `args`
+// ---------------------------------------------------------------------------
+
+/// Renders distributed spans through the `ditto-obs` Chrome-trace
+/// exporter. Each service becomes a Chrome process; overlapping spans of
+/// one service are spread over non-overlapping lanes (mirroring
+/// [`ditto_obs::ServiceObs`] worker tracks) so begin/end pairs follow
+/// strict stack discipline on every track. Span identity, parentage,
+/// status and service name ride in each begin event's `args` — the fields
+/// the bare Chrome format drops — so [`parse_spans`] reconstructs the
+/// exact span set and the export/ingest cycle is a fixed point.
+///
+/// Output is independent of span order: services are interned sorted by
+/// name and spans laid out sorted by `(start, trace, span)`.
+pub fn spans_to_chrome(spans: &[Span]) -> String {
+    let mut buf = TraceBuffer::new();
+    let mut services: Vec<&str> = spans.iter().map(|s| s.service.as_str()).collect();
+    services.sort_unstable();
+    services.dedup();
+
+    let mut order: Vec<&Span> = spans.iter().collect();
+    order.sort_by_key(|s| (s.start, s.trace_id, s.span_id));
+
+    // Greedy lane assignment per service: first lane whose last span
+    // ended at or before this span's start.
+    let mut lanes: HashMap<usize, Vec<u64>> = HashMap::new();
+    for span in order {
+        let pid = services
+            .binary_search(&span.service.as_str())
+            .expect("service was interned") as u32;
+        let free = lanes.entry(pid as usize).or_default();
+        let lane = match free.iter().position(|&end| end <= span.start.as_nanos()) {
+            Some(l) => {
+                free[l] = span.end.as_nanos();
+                l
+            }
+            None => {
+                free.push(span.end.as_nanos());
+                free.len() - 1
+            }
+        };
+        let tid = SERVICE_TRACK_BASE + lane as u32;
+        buf.name_track(pid, tid, format!("{}#{lane}", span.service));
+        buf.push(TraceEvent {
+            ts_ns: span.start.as_nanos(),
+            pid,
+            tid,
+            ph: Ph::Begin,
+            cat: "span",
+            name: span.operation.clone(),
+            args: vec![
+                ("trace_id", ArgValue::U64(span.trace_id)),
+                ("span_id", ArgValue::U64(span.span_id)),
+                ("parent_id", ArgValue::U64(span.parent_id)),
+                ("status", ArgValue::U64(status_byte(span.status))),
+                ("service", ArgValue::Str(span.service.clone())),
+            ],
+        });
+        buf.push(TraceEvent {
+            ts_ns: span.end.as_nanos(),
+            pid,
+            tid,
+            ph: Ph::End,
+            cat: "",
+            name: String::new(),
+            args: Vec::new(),
+        });
+    }
+    buf.to_chrome_json()
+}
+
+fn status_byte(s: SpanStatus) -> u64 {
+    match s {
+        SpanStatus::Ok => 0,
+        SpanStatus::Degraded => 1,
+        SpanStatus::Error => 2,
+    }
+}
+
+/// Reconstructs spans from a Chrome-trace export. Only begin events whose
+/// `args` carry span identity (the [`spans_to_chrome`] contract) open a
+/// span; other events (instants, obs-native scheduler slices) are
+/// ignored. Timestamps arrive as fractional µs and are rounded back to
+/// integer ns — exact for any simulation-scale clock. A begin left open
+/// (the exporter closes those at the final timestamp) adopts the matching
+/// synthetic end event like any other.
+fn chrome_spans(doc: &Value) -> Result<Vec<Span>, IngestError> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| malformed("chrome", "`traceEvents` is not an array"))?;
+    let mut out = Vec::new();
+    // Per-(pid,tid) stack of open spans; E closes the innermost.
+    let mut open: HashMap<(u64, u64), Vec<Option<Span>>> = HashMap::new();
+    let mut last_ts_ns = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = format!("chrome event {i}");
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| malformed(&ctx, "missing ph"))?;
+        if ph == "M" {
+            continue;
+        }
+        let pid = ev.get("pid").and_then(as_u64).ok_or_else(|| malformed(&ctx, "missing pid"))?;
+        let tid = ev.get("tid").and_then(as_u64).ok_or_else(|| malformed(&ctx, "missing tid"))?;
+        let ts_ns = match ev.get("ts") {
+            Some(Value::F64(us)) => (us * 1_000.0).round() as u64,
+            Some(v) => as_u64(v)
+                .map(|us| us * 1_000)
+                .ok_or_else(|| malformed(&ctx, "bad ts"))?,
+            None => return Err(malformed(&ctx, "missing ts")),
+        };
+        last_ts_ns = last_ts_ns.max(ts_ns);
+        match ph {
+            "B" => {
+                let span = ev.get("args").and_then(|args| {
+                    Some(Span {
+                        trace_id: as_u64(args.get("trace_id")?)?,
+                        span_id: as_u64(args.get("span_id")?)?,
+                        parent_id: as_u64(args.get("parent_id")?)?,
+                        service: args.get("service")?.as_str()?.to_string(),
+                        operation: ev.get("name")?.as_str()?.to_string(),
+                        start: SimTime::from_nanos(ts_ns),
+                        end: SimTime::from_nanos(ts_ns),
+                        status: SpanStatus::from_wire(
+                            as_u64(args.get("status")?)? as u8,
+                        ),
+                    })
+                });
+                open.entry((pid, tid)).or_default().push(span);
+            }
+            "E" => {
+                let stack = open.entry((pid, tid)).or_default();
+                let Some(top) = stack.pop() else {
+                    return Err(malformed(&ctx, "end without begin"));
+                };
+                if let Some(mut span) = top {
+                    span.end = SimTime::from_nanos(ts_ns);
+                    out.push(span);
+                }
+            }
+            _ => {} // instants and counters carry no span state
+        }
+    }
+    // Tolerate truncated documents: close anything still open at the last
+    // timestamp, mirroring the exporter's dangling-span close.
+    for (_, stack) in open {
+        for span in stack.into_iter().flatten() {
+            let mut span = span;
+            span.end = SimTime::from_nanos(last_ts_ns.max(span.start.as_nanos()));
+            out.push(span);
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Normalization
+// ---------------------------------------------------------------------------
+
+/// What [`normalize_spans`] repaired, for reporting and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NormalizationReport {
+    /// Spans in the normalized output.
+    pub spans: usize,
+    /// Exact duplicate spans dropped (retransmitted exporter batches).
+    pub duplicates_dropped: usize,
+    /// Spans whose parent was absent and were promoted to roots.
+    pub orphans_promoted: usize,
+    /// Child spans clamped into their parent's window (clock skew).
+    pub skew_clamped: usize,
+    /// Spans widened to the 1 ns duration floor.
+    pub zero_duration_floored: usize,
+    /// Nanoseconds subtracted from every timestamp (epoch rebase).
+    pub rebase_ns: u64,
+}
+
+/// Repairs the malformations foreign traces routinely carry, returning
+/// the cleaned spans (deterministically ordered) and a report of what was
+/// done:
+///
+/// 1. **Rebase**: all timestamps shift so the earliest span starts at
+///    t=0 — epoch-scale µs clocks survive the f64 µs of the Chrome
+///    format only near the origin.
+/// 2. **Dedup**: byte-identical duplicates collapse; *conflicting*
+///    duplicates are left for [`ServiceGraph::try_from_spans`] to reject.
+/// 3. **Orphan promotion**: a span whose parent id is absent from its
+///    trace becomes a root (its subtree still contributes edges).
+/// 4. **Skew clamp**: children are clamped into their parent's window
+///    top-down, so per-span self-times stay non-negative when services
+///    disagree about wall time.
+/// 5. **Duration floor**: zero-duration spans are widened to 1 ns so
+///    rate and concurrency sweeps never divide by zero.
+pub fn normalize_spans(mut spans: Vec<Span>) -> (Vec<Span>, NormalizationReport) {
+    let mut report = NormalizationReport::default();
+    if spans.is_empty() {
+        return (spans, report);
+    }
+
+    // 1. Rebase to t=0.
+    let base = spans.iter().map(|s| s.start.as_nanos().min(s.end.as_nanos())).min().unwrap_or(0);
+    if base > 0 {
+        report.rebase_ns = base;
+        for s in &mut spans {
+            s.start = SimTime::from_nanos(s.start.as_nanos() - base);
+            s.end = SimTime::from_nanos(s.end.as_nanos().saturating_sub(base));
+        }
+    }
+
+    // Deterministic order for everything downstream.
+    spans.sort_by(|a, b| {
+        (a.trace_id, a.start, a.span_id, a.service.as_str())
+            .cmp(&(b.trace_id, b.start, b.span_id, b.service.as_str()))
+    });
+
+    // 2. Exact-duplicate collapse.
+    let before = spans.len();
+    spans.dedup();
+    report.duplicates_dropped = before - spans.len();
+
+    // 3. Orphan promotion (per trace). A self-parented span counts as an
+    // orphan too: its claimed parent does not exist as a distinct span.
+    let known: std::collections::HashSet<(u64, u64)> =
+        spans.iter().map(|s| (s.trace_id, s.span_id)).collect();
+    for s in &mut spans {
+        if s.parent_id != 0
+            && (s.parent_id == s.span_id || !known.contains(&(s.trace_id, s.parent_id)))
+        {
+            s.parent_id = 0;
+            report.orphans_promoted += 1;
+        }
+    }
+
+    // 4. Top-down skew clamp: children into the parent window. Walk each
+    // trace from its roots so multi-level skew resolves in one pass.
+    let mut children: HashMap<(u64, u64), Vec<usize>> = HashMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.parent_id == 0 {
+            roots.push(i);
+        } else {
+            children.entry((s.trace_id, s.parent_id)).or_default().push(i);
+        }
+    }
+    let mut stack = roots;
+    while let Some(i) = stack.pop() {
+        let (trace_id, span_id, pstart, pend) =
+            (spans[i].trace_id, spans[i].span_id, spans[i].start, spans[i].end);
+        if let Some(kids) = children.get(&(trace_id, span_id)) {
+            for &k in kids {
+                let c = &mut spans[k];
+                let start = c.start.clamp(pstart, pend);
+                let end = c.end.clamp(start, pend);
+                if start != c.start || end != c.end {
+                    report.skew_clamped += 1;
+                    c.start = start;
+                    c.end = end;
+                }
+                stack.push(k);
+            }
+        }
+    }
+    // Spans that never entered the traversal (cycles between conflicting
+    // duplicates) can still be inverted; repair those too.
+    for s in &mut spans {
+        if s.end < s.start {
+            s.end = s.start;
+        }
+    }
+
+    // 5. Duration floor.
+    for s in &mut spans {
+        if s.end == s.start {
+            s.end = s.start + SimDuration::from_nanos(1);
+            report.zero_duration_floored += 1;
+        }
+    }
+
+    report.spans = spans.len();
+    (spans, report)
+}
+
+// ---------------------------------------------------------------------------
+// Workload reconstruction
+// ---------------------------------------------------------------------------
+
+/// Per-service statistics reconstructed from spans alone — the profile
+/// surrogate the clone synthesizer consumes when no live profiling run
+/// exists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierStats {
+    /// Service name (index-aligned with the workload's graph).
+    pub service: String,
+    /// Spans observed for this service.
+    pub spans: u64,
+    /// Mean exclusive time per span: duration minus the time covered by
+    /// direct children (the paper's per-tier service time).
+    pub mean_self_ns: f64,
+    /// Mean wall duration per span (includes downstream waits).
+    pub mean_total_ns: f64,
+    /// Median wall duration per span — the robust center used when a
+    /// measured clone is compared back against the trace (means are
+    /// skewed by queueing-burst tails).
+    pub p50_total_ns: f64,
+    /// Peak concurrently-open spans — the skeleton's worker estimate.
+    pub concurrency: usize,
+    /// Fraction of spans that did not end `Ok`.
+    pub error_rate: f64,
+}
+
+/// Everything the cloning pipeline needs, reconstructed from a foreign
+/// trace set: the dependency DAG with call ratios, per-tier statistics,
+/// the observation window and the offered root rate.
+#[derive(Debug, Clone)]
+pub struct IngestedWorkload {
+    /// The service dependency DAG (strictly validated).
+    pub graph: ServiceGraph,
+    /// Per-service stats, index-aligned with `graph.services`.
+    pub tiers: Vec<TierStats>,
+    /// Observation window (first span start to last span end).
+    pub window: SimDuration,
+    /// Distinct traces observed.
+    pub traces: u64,
+    /// Root spans per second over the window — the offered load to drive
+    /// a regenerated clone with.
+    pub root_qps: f64,
+    /// What normalization repaired on the way in.
+    pub report: NormalizationReport,
+}
+
+/// The arrival process a regenerated clone should be driven with, as
+/// inferred from the trace itself.
+///
+/// A trace records *achieved* throughput, which is not the same thing as
+/// offered load. If the source was concurrency-limited — a closed loop of
+/// `C` callers, each with one outstanding request — then replaying its
+/// achieved rate open-loop parks the clone exactly at its capacity, where
+/// open-loop queueing diverges and no fidelity comparison is possible.
+/// The trace distinguishes the two cases: under a closed loop the root
+/// tier's *mean* in-flight span count (Little's law: `λ·W`) sits pinned
+/// at its *peak* concurrency, while open-loop arrivals leave mean ≪ peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Arrivals were not limited by caller concurrency: replay open-loop
+    /// at the observed root rate.
+    Open {
+        /// Observed root spans per second.
+        qps: f64,
+    },
+    /// The source was a closed loop: replay with the observed connection
+    /// count and the residual per-request think time
+    /// (`C/λ − mean residence`).
+    Closed {
+        /// Concurrent connections, from the root tier's peak overlap.
+        connections: usize,
+        /// Think time between a response and the next request.
+        think: SimDuration,
+    },
+}
+
+/// Mean-to-peak concurrency ratio above which arrivals are classified as
+/// closed-loop. Saturated closed loops sit at ~1.0; open-loop workloads
+/// measured so far sit below 0.35.
+const CLOSED_LOOP_RATIO: f64 = 0.7;
+
+impl IngestedWorkload {
+    /// Stats for a service by name.
+    pub fn tier(&self, service: &str) -> Option<&TierStats> {
+        self.tiers.iter().find(|t| t.service == service)
+    }
+
+    /// Infers the [`ArrivalModel`] from the entry tier's statistics.
+    ///
+    /// Multi-root graphs fall back to open-loop replay: peak overlap per
+    /// root tier cannot be attributed to a single caller pool.
+    pub fn arrival_model(&self) -> ArrivalModel {
+        let open = ArrivalModel::Open { qps: self.root_qps };
+        let roots = self.graph.roots();
+        let [root] = roots[..] else { return open };
+        let Some(tier) = self.tiers.get(root) else { return open };
+
+        let rate = tier.spans as f64 / self.window.as_secs_f64();
+        let mean_inflight = rate * tier.mean_total_ns * 1e-9;
+        let peak = tier.concurrency;
+        if peak == 0 || mean_inflight < CLOSED_LOOP_RATIO * peak as f64 {
+            return open;
+        }
+        let think_ns = (peak as f64 / rate - tier.mean_total_ns * 1e-9) * 1e9;
+        ArrivalModel::Closed {
+            connections: peak,
+            think: SimDuration::from_nanos(think_ns.max(0.0) as u64),
+        }
+    }
+}
+
+/// Builds the full ingested workload from raw (just-parsed) spans:
+/// normalize, strictly extract the graph, and reconstruct per-tier
+/// statistics.
+///
+/// # Errors
+///
+/// [`IngestError::EmptyTrace`] for an empty span set, and whatever
+/// [`ServiceGraph::try_from_spans`] rejects after normalization
+/// (conflicting duplicate ids survive normalization by design).
+pub fn build_workload(raw: Vec<Span>) -> Result<IngestedWorkload, IngestError> {
+    if raw.is_empty() {
+        return Err(IngestError::EmptyTrace);
+    }
+    let (spans, report) = normalize_spans(raw);
+    let graph = ServiceGraph::try_from_spans(&spans)?;
+
+    let n = graph.services.len();
+    let mut spans_per = vec![0u64; n];
+    let mut self_ns = vec![0.0f64; n];
+    let mut total_ns = vec![0.0f64; n];
+    let mut failures = vec![0u64; n];
+    let mut intervals: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+    let mut durations: Vec<Vec<u64>> = vec![Vec::new(); n];
+
+    // Child cover per parent, for exclusive time. Children were clamped
+    // into the parent window by normalization, so a simple union of child
+    // intervals inside the parent is exact.
+    let mut child_windows: HashMap<(u64, u64), Vec<(u64, u64)>> = HashMap::new();
+    for s in &spans {
+        if s.parent_id != 0 {
+            child_windows
+                .entry((s.trace_id, s.parent_id))
+                .or_default()
+                .push((s.start.as_nanos(), s.end.as_nanos()));
+        }
+    }
+
+    let mut traces: Vec<u64> = Vec::new();
+    let mut roots = 0u64;
+    for s in &spans {
+        let ix = graph.index_of(&s.service).expect("graph indexed every service");
+        spans_per[ix] += 1;
+        if s.status.is_failure() {
+            failures[ix] += 1;
+        }
+        let dur = s.end.saturating_since(s.start).as_nanos();
+        total_ns[ix] += dur as f64;
+        durations[ix].push(dur);
+        let covered = child_windows
+            .get(&(s.trace_id, s.span_id))
+            .map(|kids| union_len(kids))
+            .unwrap_or(0);
+        self_ns[ix] += dur.saturating_sub(covered) as f64;
+        intervals[ix].push((s.start.as_nanos(), s.end.as_nanos()));
+        if s.parent_id == 0 {
+            roots += 1;
+        }
+        if let Err(at) = traces.binary_search(&s.trace_id) {
+            traces.insert(at, s.trace_id);
+        }
+    }
+
+    let first = spans.iter().map(|s| s.start.as_nanos()).min().unwrap_or(0);
+    let last = spans.iter().map(|s| s.end.as_nanos()).max().unwrap_or(0);
+    let window = SimDuration::from_nanos(last.saturating_sub(first).max(1));
+
+    let tiers = (0..n)
+        .map(|ix| TierStats {
+            service: graph.services[ix].clone(),
+            spans: spans_per[ix],
+            mean_self_ns: self_ns[ix] / spans_per[ix].max(1) as f64,
+            mean_total_ns: total_ns[ix] / spans_per[ix].max(1) as f64,
+            p50_total_ns: median_ns(&mut durations[ix]),
+            concurrency: peak_overlap(&mut intervals[ix]),
+            error_rate: failures[ix] as f64 / spans_per[ix].max(1) as f64,
+        })
+        .collect();
+
+    Ok(IngestedWorkload {
+        graph,
+        tiers,
+        window,
+        traces: traces.len() as u64,
+        root_qps: roots as f64 / window.as_secs_f64(),
+        report,
+    })
+}
+
+/// Median of a duration sample (0 for an empty one). Sorts in place.
+fn median_ns(durations: &mut [u64]) -> f64 {
+    if durations.is_empty() {
+        return 0.0;
+    }
+    durations.sort_unstable();
+    let mid = durations.len() / 2;
+    if durations.len() % 2 == 1 {
+        durations[mid] as f64
+    } else {
+        (durations[mid - 1] + durations[mid]) as f64 / 2.0
+    }
+}
+
+/// Total length covered by a union of intervals.
+fn union_len(windows: &[(u64, u64)]) -> u64 {
+    let mut sorted = windows.to_vec();
+    sorted.sort_unstable();
+    let mut covered = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (s, e) in sorted {
+        match cur {
+            Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+            Some((cs, ce)) => {
+                covered += ce - cs;
+                cur = Some((s, e));
+            }
+            None => cur = Some((s, e)),
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        covered += ce - cs;
+    }
+    covered
+}
+
+/// Peak number of simultaneously-open intervals (ends processed before
+/// starts at ties; durations have a 1 ns floor, so back-to-back spans
+/// never count as overlap).
+fn peak_overlap(intervals: &mut [(u64, u64)]) -> usize {
+    let mut events: Vec<(u64, i32)> = Vec::with_capacity(intervals.len() * 2);
+    for &(s, e) in intervals.iter() {
+        events.push((s, 1));
+        events.push((e, -1));
+    }
+    events.sort_unstable_by_key(|&(t, d)| (t, d));
+    let (mut cur, mut peak) = (0i64, 0i64);
+    for (_, d) in events {
+        cur += i64::from(d);
+        peak = peak.max(cur);
+    }
+    peak.max(0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, id: u64, parent: u64, svc: &str, start: u64, end: u64) -> Span {
+        Span {
+            trace_id: trace,
+            span_id: id,
+            parent_id: parent,
+            service: svc.into(),
+            operation: "op".into(),
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+            status: SpanStatus::Ok,
+        }
+    }
+
+    // --- normalization ---
+
+    #[test]
+    fn normalize_rebases_epoch_timestamps() {
+        let epoch = 1_700_000_000_000_000_000u64; // ns since 1970
+        let spans = vec![span(1, 1, 0, "a", epoch, epoch + 1_000)];
+        let (out, report) = normalize_spans(spans);
+        assert_eq!(report.rebase_ns, epoch);
+        assert_eq!(out[0].start.as_nanos(), 0);
+        assert_eq!(out[0].end.as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn normalize_promotes_orphans_and_floors_durations() {
+        let spans = vec![
+            span(1, 1, 0, "a", 0, 100),
+            span(1, 2, 99, "b", 10, 20), // parent 99 never appears
+            span(1, 3, 1, "c", 50, 50),  // zero duration
+        ];
+        let (out, report) = normalize_spans(spans);
+        assert_eq!(report.orphans_promoted, 1);
+        assert_eq!(report.zero_duration_floored, 1);
+        let b = out.iter().find(|s| s.service == "b").unwrap();
+        assert_eq!(b.parent_id, 0, "orphan promoted to root");
+        let c = out.iter().find(|s| s.service == "c").unwrap();
+        assert_eq!(c.end.as_nanos() - c.start.as_nanos(), 1);
+    }
+
+    #[test]
+    fn normalize_clamps_clock_skewed_children() {
+        let spans = vec![
+            span(1, 1, 0, "a", 100, 200),
+            // Child claims to start before its parent and end after it —
+            // a classic cross-host clock skew artifact.
+            span(1, 2, 1, "b", 60, 260),
+        ];
+        let (out, report) = normalize_spans(spans);
+        assert_eq!(report.skew_clamped, 1);
+        // Rebase shifts everything by the (skewed) earliest start; the
+        // invariant is containment in the parent, not absolute times.
+        let a = out.iter().find(|s| s.service == "a").unwrap();
+        let b = out.iter().find(|s| s.service == "b").unwrap();
+        assert!(b.start >= a.start && b.end <= a.end, "{b:?} not inside {a:?}");
+    }
+
+    #[test]
+    fn normalize_drops_exact_duplicates_only() {
+        let a = span(1, 1, 0, "a", 0, 10);
+        let spans = vec![a.clone(), a.clone(), span(1, 2, 1, "b", 2, 4)];
+        let (out, report) = normalize_spans(spans);
+        assert_eq!(report.duplicates_dropped, 1);
+        assert_eq!(out.len(), 2);
+    }
+
+    // --- workload reconstruction ---
+
+    #[test]
+    fn workload_reconstructs_ratios_and_self_time() {
+        // Two traces: a(0..100) -> b(20..60); a(1000..1100) alone.
+        let spans = vec![
+            span(1, 1, 0, "a", 0, 100),
+            span(1, 2, 1, "b", 20, 60),
+            span(2, 3, 0, "a", 1_000, 1_100),
+        ];
+        let w = build_workload(spans).expect("valid");
+        assert_eq!(w.graph.services.len(), 2);
+        assert_eq!(w.traces, 2);
+        let ab = &w.graph.edges[0];
+        assert!((ab.calls_per_request - 0.5).abs() < 1e-12);
+        let a = w.tier("a").unwrap();
+        // Span 1 self = 100 - 40 (child cover), span 3 self = 100.
+        assert!((a.mean_self_ns - 80.0).abs() < 1e-9, "{}", a.mean_self_ns);
+        assert!((a.mean_total_ns - 100.0).abs() < 1e-9);
+        assert_eq!(a.concurrency, 1);
+        // Window 0..1100 → ~1.8e6 roots/s; just check consistency.
+        assert!((w.root_qps - 2.0 / w.window.as_secs_f64()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn workload_measures_peak_concurrency() {
+        let spans = vec![
+            span(1, 1, 0, "a", 0, 100),
+            span(2, 2, 0, "a", 50, 150),
+            span(3, 3, 0, "a", 140, 160),
+        ];
+        let w = build_workload(spans).expect("valid");
+        assert_eq!(w.tier("a").unwrap().concurrency, 2);
+    }
+
+    #[test]
+    fn empty_input_is_a_typed_error() {
+        assert_eq!(build_workload(Vec::new()).unwrap_err(), IngestError::EmptyTrace);
+    }
+
+    #[test]
+    fn saturated_back_to_back_spans_classify_as_closed_loop() {
+        // Two callers, each issuing the next request the moment the last
+        // one finishes: mean in-flight == peak == 2, think == 0.
+        let mut spans = Vec::new();
+        for conn in 0..2u64 {
+            for i in 0..20u64 {
+                let start = i * 1_000;
+                let id = conn * 100 + i + 1;
+                spans.push(span(id, id, 0, "db", start, start + 1_000));
+            }
+        }
+        let w = build_workload(spans).expect("valid");
+        match w.arrival_model() {
+            ArrivalModel::Closed { connections, think } => {
+                assert_eq!(connections, 2);
+                assert!(think.as_nanos() < 100, "{think:?}");
+            }
+            open => panic!("expected closed-loop, got {open:?}"),
+        }
+    }
+
+    #[test]
+    fn idle_closed_loop_replays_open_at_observed_rate() {
+        // One caller, 1 µs of service followed by 9 µs idle: mean
+        // in-flight 1.0 during service, peak 1 → closed, think ≈ 9 µs.
+        let spans: Vec<Span> = (0..10u64)
+            .map(|i| span(i + 1, i + 1, 0, "db", i * 10_000, i * 10_000 + 1_000))
+            .collect();
+        let w = build_workload(spans).expect("valid");
+        // Rate ≈ 10 / 91 µs, residence 1 µs → L ≈ 0.11 < 0.7 → open.
+        assert!(
+            matches!(w.arrival_model(), ArrivalModel::Open { .. }),
+            "idle caller must not classify as saturated: {:?}",
+            w.arrival_model()
+        );
+    }
+
+    #[test]
+    fn sparse_arrivals_classify_as_open_loop() {
+        // Peak overlap 2 but mean in-flight far below it.
+        let spans = vec![
+            span(1, 1, 0, "api", 0, 100),
+            span(2, 2, 0, "api", 50, 150),
+            span(3, 3, 0, "api", 10_000, 10_100),
+            span(4, 4, 0, "api", 20_000, 20_100),
+        ];
+        let w = build_workload(spans).expect("valid");
+        match w.arrival_model() {
+            ArrivalModel::Open { qps } => assert!((qps - w.root_qps).abs() < 1e-9),
+            closed => panic!("expected open-loop, got {closed:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_duplicate_ids_survive_normalization_and_error() {
+        let spans = vec![
+            span(1, 1, 0, "a", 0, 100),
+            span(1, 7, 1, "b", 10, 20),
+            span(1, 7, 1, "c", 30, 40), // same id, different content
+        ];
+        let err = build_workload(spans).unwrap_err();
+        assert!(
+            matches!(err, IngestError::DuplicateSpanId { trace_id: 1, span_id: 7 }),
+            "{err:?}"
+        );
+    }
+
+    // --- chrome round-trip ---
+
+    #[test]
+    fn chrome_export_reingests_to_identical_spans() {
+        let spans = vec![
+            span(1, 1, 0, "frontend", 0, 5_000),
+            span(1, 2, 1, "backend", 1_000, 3_000),
+            span(2, 3, 0, "frontend", 2_500, 7_000), // overlaps span 1
+        ];
+        let json = spans_to_chrome(&spans);
+        ditto_obs::trace::validate_chrome_trace(&json).expect("export is valid chrome");
+        let mut back = parse_spans(&json).expect("reingest");
+        back.sort_by_key(|s| (s.trace_id, s.span_id));
+        assert_eq!(back, spans);
+    }
+
+    #[test]
+    fn chrome_roundtrip_is_a_byte_identical_fixed_point() {
+        let mut spans = vec![
+            span(3, 10, 0, "web", 100, 900),
+            span(3, 11, 10, "db", 200, 400),
+            span(3, 12, 10, "db", 500, 800),
+            span(4, 13, 0, "web", 250, 600),
+        ];
+        spans[1].status = SpanStatus::Error;
+        spans[3].status = SpanStatus::Degraded;
+        let export1 = spans_to_chrome(&spans);
+        let back = parse_spans(&export1).expect("reingest");
+        let export2 = spans_to_chrome(&back);
+        assert_eq!(export1, export2, "export → ingest → export must be a fixed point");
+        // Status survived the wire (the field the bare format drops).
+        let db = back
+            .iter()
+            .find(|s| s.span_id == 11)
+            .expect("span 11 present");
+        assert_eq!(db.status, SpanStatus::Error);
+    }
+
+    #[test]
+    fn chrome_export_uses_64bit_exact_ids() {
+        let spans = vec![span(u64::MAX - 1, u64::MAX - 2, 0, "svc", 0, 10)];
+        let back = parse_spans(&spans_to_chrome(&spans)).expect("reingest");
+        assert_eq!(back[0].trace_id, u64::MAX - 1);
+        assert_eq!(back[0].span_id, u64::MAX - 2);
+    }
+
+    // --- jaeger / otel parsing ---
+
+    #[test]
+    fn jaeger_document_parses_with_unit_conversion() {
+        let json = r#"{"data":[{"traceID":"abc123","spans":[
+            {"traceID":"abc123","spanID":"1","operationName":"GET /home",
+             "references":[],"startTime":1000,"duration":500,
+             "processID":"p1","tags":[]},
+            {"traceID":"abc123","spanID":"2","operationName":"lookup",
+             "references":[{"refType":"CHILD_OF","traceID":"abc123","spanID":"1"}],
+             "startTime":1100,"duration":200,"processID":"p2",
+             "tags":[{"key":"error","type":"bool","value":true}]}],
+          "processes":{"p1":{"serviceName":"frontend"},"p2":{"serviceName":"backend"}}}]}"#;
+        let spans = parse_spans(json).expect("jaeger parses");
+        assert_eq!(spans.len(), 2);
+        let root = &spans[0];
+        assert_eq!(root.service, "frontend");
+        assert_eq!(root.operation, "GET /home");
+        // µs → ns.
+        assert_eq!(root.start.as_nanos(), 1_000_000);
+        assert_eq!(root.end.as_nanos(), 1_500_000);
+        assert_eq!(root.parent_id, 0);
+        let child = &spans[1];
+        assert_eq!(child.parent_id, root.span_id);
+        assert_eq!(child.status, SpanStatus::Error);
+        // Full pipeline works on it.
+        let w = build_workload(spans).expect("workload");
+        assert_eq!(w.graph.services, vec!["frontend", "backend"]);
+        assert!((w.graph.edges[0].error_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn otel_document_parses_ns_string_timestamps() {
+        let json = r#"{"resourceSpans":[
+          {"resource":{"attributes":[{"key":"service.name","value":{"stringValue":"geo"}}]},
+           "scopeSpans":[{"spans":[
+             {"traceId":"0af7651916cd43dd8448eb211c80319c","spanId":"b7ad6b7169203331",
+              "parentSpanId":"","name":"Nearby",
+              "startTimeUnixNano":"1000000","endTimeUnixNano":"2500000",
+              "status":{"code":2}}]}]}]}"#;
+        let spans = parse_spans(json).expect("otlp parses");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].service, "geo");
+        assert_eq!(spans[0].start.as_nanos(), 1_000_000);
+        assert_eq!(spans[0].end.as_nanos(), 2_500_000);
+        assert_eq!(spans[0].status, SpanStatus::Error);
+        // 128-bit trace id keeps its low 64 bits.
+        assert_eq!(spans[0].trace_id, 0x8448eb211c80319c);
+    }
+
+    #[test]
+    fn unknown_layouts_and_broken_json_are_typed_errors() {
+        assert!(matches!(parse_spans("{nope"), Err(IngestError::Parse(_))));
+        assert_eq!(parse_spans("{\"x\":1}").unwrap_err(), IngestError::UnsupportedFormat);
+        let bad = r#"{"data":[{"spans":[{"traceID":"zz--","spanID":"1","startTime":1,
+            "duration":1,"processID":"p1"}],"processes":{"p1":{"serviceName":"s"}}}]}"#;
+        assert!(matches!(parse_spans(bad), Err(IngestError::Malformed { .. })));
+    }
+}

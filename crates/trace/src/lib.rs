@@ -6,7 +6,12 @@
 //! consumes (the `A→B 1.0, B→D 0.5` annotations of Figure 3).
 
 pub mod graph;
+pub mod ingest;
 pub mod span;
 
 pub use graph::ServiceGraph;
+pub use ingest::{
+    build_workload, normalize_spans, parse_spans, spans_to_chrome, ArrivalModel,
+    IngestError, IngestedWorkload, NormalizationReport, TierStats,
+};
 pub use span::{Span, SpanContext, SpanStatus, TraceCollector, TraceHandle};

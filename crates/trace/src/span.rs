@@ -99,6 +99,9 @@ struct CollectorInner {
 pub struct TraceCollector {
     inner: Arc<Mutex<CollectorInner>>,
     next_id: Arc<AtomicU64>,
+    /// Root traces started so far, counted separately from id allocation
+    /// so the sampling phase never depends on the seed's bits.
+    started: Arc<AtomicU64>,
     sample_rate: f64,
 }
 
@@ -112,6 +115,7 @@ impl TraceCollector {
         TraceCollector {
             inner: Arc::new(Mutex::new(CollectorInner::default())),
             next_id: Arc::new(AtomicU64::new(seed.wrapping_mul(1 << 32) | 1)),
+            started: Arc::new(AtomicU64::new(0)),
             sample_rate: sample_rate.clamp(0.0, 1.0),
         }
     }
@@ -121,13 +125,22 @@ impl TraceCollector {
     }
 
     /// Starts a new root trace; returns an unsampled context according to
-    /// the sampling rate (deterministic striding, not random, so sampled
-    /// request counts are exact).
+    /// the sampling rate (deterministic error-diffusion over the stream of
+    /// started traces, not random, so sampled request counts are exact).
+    ///
+    /// The decision is a Bresenham accumulator: trace `n` is sampled iff
+    /// `floor((n+1)·rate) > floor(n·rate)`, which realises exactly
+    /// `floor(N·rate)` or `ceil(N·rate)` sampled traces out of any `N` for
+    /// *any* rate in `[0, 1]` — including rates in `(2/3, 1)`, where the
+    /// old reciprocal-stride rule `id % round(1/rate) == 1` rounded the
+    /// stride to 1 and silently sampled nothing. Counting positions in the
+    /// start stream (not id values) also makes the phase independent of
+    /// the seed folded into the id allocator's high bits.
     pub fn start_trace(&self) -> SpanContext {
         let id = self.fresh_id();
-        if self.sample_rate >= 1.0
-            || (self.sample_rate > 0.0 && id % (1.0 / self.sample_rate).round() as u64 == 1)
-        {
+        let n = self.started.fetch_add(1, Ordering::Relaxed);
+        let quota = |k: u64| (k as f64 * self.sample_rate).floor() as u64;
+        if self.sample_rate > 0.0 && quota(n + 1) > quota(n) {
             SpanContext { trace_id: id, span_id: id }
         } else {
             SpanContext::default()
@@ -228,6 +241,59 @@ mod tests {
         let c = TraceCollector::new(0.25, 0);
         let sampled = (0..1000).filter(|_| c.start_trace().is_sampled()).count();
         assert!((200..300).contains(&sampled), "sampled {sampled}");
+    }
+
+    /// Pinning test for the stride-sampling dropout: for every configured
+    /// rate the realised sample fraction must land within 2% of the rate.
+    /// The old `id % round(1/rate) == 1` rule sampled *zero* traces for
+    /// any rate in (2/3, 1) — 0.8 is the regression witness.
+    #[test]
+    fn realised_sample_fraction_tracks_configured_rate() {
+        for rate in [0.25, 0.5, 0.8, 1.0] {
+            let c = TraceCollector::new(rate, 7);
+            let n = 10_000u64;
+            let sampled = (0..n).filter(|_| c.start_trace().is_sampled()).count() as f64;
+            let realised = sampled / n as f64;
+            assert!(
+                (realised - rate).abs() <= 0.02,
+                "rate {rate}: realised {realised}"
+            );
+        }
+    }
+
+    /// The sampling decision stream must not depend on the seed folded
+    /// into the id allocator's high bits: every seed sees the identical
+    /// sampled/unsampled pattern, not just the same total.
+    #[test]
+    fn sampling_pattern_is_seed_invariant() {
+        for rate in [0.25, 0.5, 0.8] {
+            let pattern = |seed: u64| -> Vec<bool> {
+                let c = TraceCollector::new(rate, seed);
+                (0..1000).map(|_| c.start_trace().is_sampled()).collect()
+            };
+            let reference = pattern(0);
+            for seed in [1, 3, 0xFFFF_FFFF, u64::MAX >> 1] {
+                assert_eq!(pattern(seed), reference, "rate {rate} seed {seed:#x}");
+            }
+        }
+    }
+
+    /// Exactness: out of any N starts, the realised count is within one
+    /// of N·rate (error diffusion never drifts).
+    #[test]
+    fn sampled_count_never_drifts_from_quota() {
+        let c = TraceCollector::new(0.8, 1);
+        let mut sampled = 0u64;
+        for n in 1..=5_000u64 {
+            if c.start_trace().is_sampled() {
+                sampled += 1;
+            }
+            let quota = n as f64 * 0.8;
+            assert!(
+                (sampled as f64 - quota).abs() <= 1.0,
+                "after {n}: sampled {sampled} vs quota {quota}"
+            );
+        }
     }
 
     #[test]
