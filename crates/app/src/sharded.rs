@@ -15,9 +15,11 @@
 //! least-loaded surviving replica — graceful degradation instead of a
 //! degraded response, as long as one replica of the shard survives.
 
+use std::ops::Range;
 use std::sync::Arc;
 
 use ditto_hw::codegen::{Body, BodyParams};
+use ditto_hw::platform::PlatformSpec;
 use ditto_hw::isa::{BranchBehavior, InstrClass};
 use ditto_kernel::{Cluster, NodeId, Pid};
 use ditto_sim::dist::Zipf;
@@ -41,6 +43,117 @@ pub enum ShardBackend {
     Memcached,
     /// Redis-style (single-threaded, 1 KB values).
     Redis,
+}
+
+/// Which hardware platform each node of a sharded tier runs on.
+///
+/// The paper's cross-platform claim (Platforms A/B/C, Table 1) is that a
+/// clone re-tuned per platform stays representative on hardware it was
+/// not written for — which only matters once a tier can actually mix
+/// hardware. An assignment maps the tier's *fixed* node layout (replica
+/// `(shard, r)` on node `shard × replicas + r`, router on the next node)
+/// onto concrete [`PlatformSpec`]s: a default pool platform, shard-range
+/// overrides modelling old/new hardware pools, and an optional distinct
+/// router box. Only the hardware under each node changes — the layout,
+/// and therefore every chaos-plan and autoscaler target, does not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformAssignment {
+    /// Platform of every replica whose shard no pool override covers.
+    pub default: PlatformSpec,
+    /// Shard-range overrides: replicas of shards in `range` run on the
+    /// pool's platform. Later entries win on overlap.
+    pub pools: Vec<(Range<u32>, PlatformSpec)>,
+    /// Router platform (`None` = the default pool platform).
+    pub router: Option<PlatformSpec>,
+}
+
+impl Default for PlatformAssignment {
+    /// Everything on Platform A — the homogeneous tier every pre-existing
+    /// spec deployed.
+    fn default() -> Self {
+        Self::uniform(PlatformSpec::a())
+    }
+}
+
+impl PlatformAssignment {
+    /// Every tier node (replica pools and router) on one platform.
+    pub fn uniform(platform: PlatformSpec) -> Self {
+        PlatformAssignment { default: platform, pools: Vec::new(), router: None }
+    }
+
+    /// Two hardware pools: shards `0..boundary` on `first`, the rest
+    /// (and the router, unless [`Self::with_router`] moves it) on
+    /// `rest` — the old-pool/new-pool shape of the paper's
+    /// cross-platform experiments.
+    pub fn split(first: PlatformSpec, boundary: u32, rest: PlatformSpec) -> Self {
+        PlatformAssignment { default: rest, pools: vec![(0..boundary, first)], router: None }
+    }
+
+    /// The same assignment with the router pinned to its own platform.
+    pub fn with_router(mut self, platform: PlatformSpec) -> Self {
+        self.router = Some(platform);
+        self
+    }
+
+    /// The platform every replica of `shard` runs on.
+    pub fn replica_platform(&self, shard: u32) -> &PlatformSpec {
+        self.pools
+            .iter()
+            .rev()
+            .find(|(range, _)| range.contains(&shard))
+            .map(|(_, p)| p)
+            .unwrap_or(&self.default)
+    }
+
+    /// The router's platform.
+    pub fn router_platform(&self) -> &PlatformSpec {
+        self.router.as_ref().unwrap_or(&self.default)
+    }
+
+    /// Distinct replica-pool platforms in first-shard order — the order
+    /// per-platform profiling and tuning walk them.
+    pub fn distinct_replica_platforms(&self, shards: u32) -> Vec<&PlatformSpec> {
+        let mut out: Vec<&PlatformSpec> = Vec::new();
+        for shard in 0..shards {
+            let p = self.replica_platform(shard);
+            if !out.iter().any(|q| q.name == p.name) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Looks a platform up by name anywhere in the assignment (pools,
+    /// default, or router).
+    pub fn platform_named(&self, name: &str) -> Option<&PlatformSpec> {
+        if self.default.name == name {
+            return Some(&self.default);
+        }
+        self.pools
+            .iter()
+            .map(|(_, p)| p)
+            .chain(self.router.as_ref())
+            .find(|p| p.name == name)
+    }
+
+    /// True when the replica pool spans more than one platform.
+    pub fn is_mixed(&self, shards: u32) -> bool {
+        self.distinct_replica_platforms(shards).len() > 1
+    }
+
+    /// The tier's machine list in node-layout order: one entry per
+    /// replica (shard-major) followed by the router. Testbeds append the
+    /// client machine after these.
+    pub fn machines(&self, shards: u32, replicas: u32) -> Vec<PlatformSpec> {
+        let mut out = Vec::with_capacity((shards * replicas) as usize + 1);
+        for shard in 0..shards {
+            for _ in 0..replicas {
+                out.push(self.replica_platform(shard).clone());
+            }
+        }
+        out.push(self.router_platform().clone());
+        out
+    }
 }
 
 /// Configuration of a sharded tier.
@@ -84,6 +197,10 @@ pub struct ShardedTierSpec {
     /// queue depth to observe: a single-threaded router never holds
     /// more than one admitted request, so it can never shed.
     pub router_workers: usize,
+    /// Hardware under each tier node (replica pools + router). The
+    /// default keeps every pre-existing spec on a homogeneous
+    /// Platform-A tier.
+    pub assignment: PlatformAssignment,
 }
 
 impl Default for ShardedTierSpec {
@@ -105,6 +222,7 @@ impl Default for ShardedTierSpec {
             retry_budget: None,
             initial_active: None,
             router_workers: 0,
+            assignment: PlatformAssignment::default(),
         }
     }
 }
@@ -758,6 +876,53 @@ mod tests {
         let st = h.stats();
         assert_eq!(st.retries, 20);
         assert!((st.amplification() - 3.0).abs() < 1e-9, "10 routed + 20 retries");
+    }
+
+    #[test]
+    fn assignment_defaults_are_uniform_platform_a() {
+        let a = PlatformAssignment::default();
+        assert!(!a.is_mixed(8));
+        assert_eq!(a.replica_platform(3).name, "A");
+        assert_eq!(a.router_platform().name, "A");
+        let machines = a.machines(2, 2);
+        assert_eq!(machines.len(), 5, "4 replicas + router");
+        assert!(machines.iter().all(|m| m.name == "A"));
+    }
+
+    #[test]
+    fn split_assignment_partitions_shards_and_pins_router() {
+        let a = PlatformAssignment::split(PlatformSpec::b(), 2, PlatformSpec::a())
+            .with_router(PlatformSpec::c());
+        assert_eq!(a.replica_platform(0).name, "B");
+        assert_eq!(a.replica_platform(1).name, "B");
+        assert_eq!(a.replica_platform(2).name, "A");
+        assert_eq!(a.replica_platform(7).name, "A");
+        assert_eq!(a.router_platform().name, "C");
+        assert!(a.is_mixed(4));
+        assert!(!a.is_mixed(2), "only the B pool in range: homogeneous");
+        let names: Vec<&str> =
+            a.distinct_replica_platforms(4).iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["B", "A"], "first-shard order");
+        assert_eq!(a.platform_named("C").unwrap().name, "C", "router is findable by name");
+        assert!(a.platform_named("Z").is_none());
+    }
+
+    #[test]
+    fn assignment_machines_follow_the_node_layout() {
+        let a = PlatformAssignment::split(PlatformSpec::b(), 1, PlatformSpec::a())
+            .with_router(PlatformSpec::c());
+        let machines = a.machines(2, 2);
+        let names: Vec<&str> = machines.iter().map(|m| m.name.as_str()).collect();
+        // Shard-major: shard0 replicas (B), shard1 replicas (A), router (C).
+        assert_eq!(names, ["B", "B", "A", "A", "C"]);
+    }
+
+    #[test]
+    fn overlapping_pools_last_match_wins() {
+        let mut a = PlatformAssignment::split(PlatformSpec::b(), 4, PlatformSpec::a());
+        a.pools.push((0..1, PlatformSpec::c()));
+        assert_eq!(a.replica_platform(0).name, "C");
+        assert_eq!(a.replica_platform(1).name, "B");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use std::sync::Mutex;
 
-use ditto_app::sharded::ShardedTierSpec;
+use ditto_app::sharded::{PlatformAssignment, ShardedTierSpec};
 use ditto_app::{AdmissionConfig, RetryBudgetConfig, RpcPolicy};
 use ditto_bench::AppId;
 use ditto_core::harness::{RunOutcome, Testbed};
@@ -100,23 +100,36 @@ fn sharded_bed() -> ShardedTestbed {
     bed
 }
 
-fn run_sharded(fast: bool) -> ShardedOutcome {
+/// A 4×2 tier split across hardware pools: shards 0–1 on Platform B,
+/// shards 2–3 on Platform A, router on Platform C — the heterogeneous
+/// shape `PlatformAssignment` exists for.
+fn mixed_bed() -> ShardedTestbed {
+    let spec = ShardedTierSpec {
+        shards: 4,
+        replicas: 2,
+        assignment: PlatformAssignment::split(
+            ditto_hw::platform::PlatformSpec::b(),
+            2,
+            ditto_hw::platform::PlatformSpec::a(),
+        )
+        .with_router(ditto_hw::platform::PlatformSpec::c()),
+        ..ShardedTierSpec::default()
+    };
+    let mut bed = ShardedTestbed::new(spec, 0xD1FF_A1B2);
+    bed.warmup = SimDuration::from_millis(20);
+    bed.window = SimDuration::from_millis(60);
+    bed.qps_per_shard = 1_500.0;
+    bed
+}
+
+fn run_sharded(bed: &ShardedTestbed, fast: bool) -> ShardedOutcome {
     set_fastpath_enabled(fast);
-    let out = sharded_bed().run_original();
+    let out = bed.run_original();
     set_fastpath_enabled(true);
     out
 }
 
-/// The 10-node sharded tier (router + 4×2 replicas under open-loop load)
-/// must be byte-identical with fast-forwarding on and off: e2e histogram
-/// and load, router hardware counters, per-shard rollup, and every
-/// routing decision (spills, reroutes, per-shard routed counts).
-#[test]
-fn sharded_tier_fast_and_slow_paths_agree() {
-    let _guard = FASTPATH_SWITCH.lock().unwrap_or_else(|e| e.into_inner());
-    let fast = run_sharded(true);
-    let slow = run_sharded(false);
-
+fn assert_sharded_identical(fast: &ShardedOutcome, slow: &ShardedOutcome) {
     assert_eq!(fast.histogram, slow.histogram, "sharded: e2e latency histogram diverged");
     assert_eq!(fast.router_metrics, slow.router_metrics, "sharded: router MetricSet diverged");
     assert_eq!(fast.router, slow.router, "sharded: routing decisions diverged");
@@ -131,9 +144,51 @@ fn sharded_tier_fast_and_slow_paths_agree() {
         assert_eq!(f.received, s.received, "{name}: per-shard received diverged");
         assert_eq!(f.latency, s.latency, "{name}: per-shard latency diverged");
     }
+    assert_eq!(
+        fast.platforms.len(),
+        slow.platforms.len(),
+        "sharded: per-platform rollup shape diverged"
+    );
+    for ((name, f), (_, s)) in fast.platforms.iter().zip(&slow.platforms) {
+        assert_eq!(f.received, s.received, "platform {name}: received diverged");
+        assert_eq!(f.latency, s.latency, "platform {name}: latency diverged");
+    }
 
     assert!(fast.fastforward_iterations > 0, "sharded: fast path never engaged");
     assert_eq!(slow.fastforward_iterations, 0, "sharded: fast path engaged while disabled");
+}
+
+/// The 10-node sharded tier (router + 4×2 replicas under open-loop load)
+/// must be byte-identical with fast-forwarding on and off: e2e histogram
+/// and load, router hardware counters, per-shard rollup, and every
+/// routing decision (spills, reroutes, per-shard routed counts).
+#[test]
+fn sharded_tier_fast_and_slow_paths_agree() {
+    let _guard = FASTPATH_SWITCH.lock().unwrap_or_else(|e| e.into_inner());
+    let bed = sharded_bed();
+    let fast = run_sharded(&bed, true);
+    let slow = run_sharded(&bed, false);
+    assert_sharded_identical(&fast, &slow);
+}
+
+/// The same identity on a tier that mixes hardware pools (B + A
+/// replicas, C router): the fast path's analytic replay must be exact
+/// per platform, not just on the homogeneous testbed — including the
+/// per-platform rollup rows the mixed tier introduces.
+#[test]
+fn mixed_platform_tier_fast_and_slow_paths_agree() {
+    let _guard = FASTPATH_SWITCH.lock().unwrap_or_else(|e| e.into_inner());
+    let bed = mixed_bed();
+    let fast = run_sharded(&bed, true);
+    let slow = run_sharded(&bed, false);
+    assert_sharded_identical(&fast, &slow);
+    // The rollup really is mixed: one row per pool platform, in
+    // first-shard order, each having carried traffic.
+    let names: Vec<&str> = fast.platforms.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, ["B", "A"], "mixed tier must roll up both pool platforms");
+    for (name, agg) in &fast.platforms {
+        assert!(agg.received > 0, "platform {name} pool carried no traffic");
+    }
 }
 
 /// A small closed-loop storm: one active replica per shard, the active

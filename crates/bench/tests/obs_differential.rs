@@ -98,14 +98,18 @@ fn redis_is_identical_with_observability_on() {
     differential(AppId::Redis);
 }
 
-fn run_sharded(obs: ObsConfig) -> ShardedOutcome {
-    let spec = ShardedTierSpec { shards: 4, replicas: 2, ..ShardedTierSpec::default() };
-    let mut bed = ShardedTestbed::new(spec, 0x0B5_5CA1);
+fn run_sharded_spec(spec: ShardedTierSpec, seed: u64, obs: ObsConfig) -> ShardedOutcome {
+    let mut bed = ShardedTestbed::new(spec, seed);
     bed.warmup = SimDuration::from_millis(20);
     bed.window = SimDuration::from_millis(60);
     bed.qps_per_shard = 1_500.0;
     bed.obs = obs;
     bed.run_original()
+}
+
+fn run_sharded(obs: ObsConfig) -> ShardedOutcome {
+    let spec = ShardedTierSpec { shards: 4, replicas: 2, ..ShardedTierSpec::default() };
+    run_sharded_spec(spec, 0x0B5_5CA1, obs)
 }
 
 /// The sharded tier under full observability: e2e and per-shard outputs,
@@ -141,6 +145,47 @@ fn sharded_tier_is_identical_with_observability_on() {
         .expect("sharded tier trace must validate");
     assert_eq!(stats.begins, stats.ends, "sharded: unbalanced spans");
     assert!(stats.events > 0, "sharded: trace has no events");
+}
+
+/// The same identity on a tier that mixes hardware pools (B + A
+/// replicas, C router): turning full observability on across a
+/// heterogeneous cluster — where each platform's sink sees different
+/// event densities — must not perturb any measured output, including
+/// the per-platform rollup rows the mixed tier introduces.
+#[test]
+fn mixed_platform_tier_is_identical_with_observability_on() {
+    use ditto_app::sharded::PlatformAssignment;
+    let spec = || ShardedTierSpec {
+        shards: 4,
+        replicas: 2,
+        assignment: PlatformAssignment::split(PlatformSpec::b(), 2, PlatformSpec::a())
+            .with_router(PlatformSpec::c()),
+        ..ShardedTierSpec::default()
+    };
+    let off = run_sharded_spec(spec(), 0x0B5_A1B2, ObsConfig::default());
+    let on = run_sharded_spec(spec(), 0x0B5_A1B2, ObsConfig::full());
+
+    assert_eq!(off.histogram, on.histogram, "mixed: e2e histogram diverged with obs on");
+    assert_eq!(off.router_metrics, on.router_metrics, "mixed: router MetricSet diverged");
+    assert_eq!(off.router, on.router, "mixed: routing decisions diverged");
+    assert_eq!(off.e2e.latency, on.e2e.latency, "mixed: e2e latency summary diverged");
+    assert_eq!(off.platforms.len(), on.platforms.len(), "mixed: rollup shape diverged");
+    for ((name, f), (_, s)) in off.platforms.iter().zip(&on.platforms) {
+        assert_eq!(f.received, s.received, "platform {name}: received diverged with obs on");
+        assert_eq!(f.latency, s.latency, "platform {name}: latency diverged with obs on");
+    }
+    let names: Vec<&str> = on.platforms.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, ["B", "A"], "mixed tier must roll up both pool platforms");
+    assert_eq!(
+        off.fastforward_iterations, on.fastforward_iterations,
+        "mixed: fast-path engagement diverged with obs on"
+    );
+
+    let report = on.obs.expect("mixed instrumented run must produce a report");
+    let stats = validate_chrome_trace(&report.trace.to_chrome_json())
+        .expect("mixed tier trace must validate");
+    assert_eq!(stats.begins, stats.ends, "mixed: unbalanced spans");
+    assert!(stats.events > 0, "mixed: trace has no events");
 }
 
 /// A small closed-loop storm (one active replica per shard, the active

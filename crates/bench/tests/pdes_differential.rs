@@ -142,6 +142,64 @@ fn sharded_tier_is_identical_under_parallel_execution() {
     }
 }
 
+fn run_mixed(executor: SimExecutor, seed: u64) -> ShardedOutcome {
+    use ditto_app::sharded::PlatformAssignment;
+    use ditto_hw::platform::PlatformSpec;
+    // A mixed-pool tier: shards 0–1 on Platform B, 2–3 on Platform A,
+    // router on Platform C. Heterogeneous per-LP instruction costs skew
+    // how far each logical process runs ahead inside a conservative
+    // window, so this probes window negotiation under asymmetric LPs.
+    let spec = ShardedTierSpec {
+        shards: 4,
+        replicas: 2,
+        assignment: PlatformAssignment::split(PlatformSpec::b(), 2, PlatformSpec::a())
+            .with_router(PlatformSpec::c()),
+        ..ShardedTierSpec::default()
+    };
+    let mut bed = ShardedTestbed::new(spec, seed);
+    bed.warmup = SimDuration::from_millis(20);
+    bed.window = SimDuration::from_millis(60);
+    bed.qps_per_shard = 1_500.0;
+    bed.executor = executor;
+    bed.run_original()
+}
+
+/// The mixed-platform tier (B + A pools, C router): all measured outputs
+/// — including the per-platform rollup rows — are byte-identical at
+/// every gang size, even though the gang's workers advance logical
+/// processes with very different per-instruction costs.
+#[test]
+fn mixed_platform_tier_is_identical_under_parallel_execution() {
+    const SEED: u64 = 0xA1B2_5EED;
+    let seq = run_mixed(SimExecutor::Sequential, SEED);
+    assert!(seq.e2e.received > 0, "mixed: no traffic served");
+    let names: Vec<&str> = seq.platforms.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, ["B", "A"], "mixed tier must roll up both pool platforms");
+    for workers in GANGS {
+        let par = run_mixed(SimExecutor::Parallel { workers }, SEED);
+        assert_eq!(seq.histogram, par.histogram, "mixed@{workers}w: e2e histogram diverged");
+        assert_eq!(
+            seq.router_metrics, par.router_metrics,
+            "mixed@{workers}w: router MetricSet diverged"
+        );
+        assert_eq!(seq.router, par.router, "mixed@{workers}w: routing decisions diverged");
+        assert_eq!(seq.e2e.latency, par.e2e.latency, "mixed@{workers}w: e2e latency diverged");
+        assert_eq!(
+            seq.platforms.len(),
+            par.platforms.len(),
+            "mixed@{workers}w: rollup shape diverged"
+        );
+        for ((name, f), (_, s)) in seq.platforms.iter().zip(&par.platforms) {
+            assert_eq!(f.received, s.received, "{name}@{workers}w: platform received diverged");
+            assert_eq!(f.latency, s.latency, "{name}@{workers}w: platform latency diverged");
+        }
+        assert_eq!(
+            seq.fastforward_iterations, par.fastforward_iterations,
+            "mixed@{workers}w: fast-path engagement diverged"
+        );
+    }
+}
+
 /// The multi-tier Social Network (4 nodes, cross-tier RPC fan-out):
 /// end-to-end load summary and per-tier metrics are byte-identical at
 /// every gang size.

@@ -1,0 +1,260 @@
+//! Clone-based capacity planning over heterogeneous tiers.
+//!
+//! Given a traffic scenario and a set of candidate tier configurations
+//! (shard count × replication factor × platform mix), the planner runs
+//! each candidate as a *clone* — the "what-if without the real cluster"
+//! use case — attaches per-platform cost weights, and picks the cheapest
+//! configuration whose p99 meets the SLO. This module holds the pure
+//! parts the `capacity_plan` bench drives: the cost model, the Pareto
+//! pruning and selection rules, and the closed-form M/M/c sanity model
+//! whose monotonicity the property suite pins.
+
+use ditto_app::sharded::ShardedTierSpec;
+use serde::Serialize;
+
+/// Relative cost per node-hour of each platform.
+#[derive(Debug, Clone, Serialize)]
+pub struct CostModel {
+    /// `(platform name, relative $/node-hour)` rows.
+    pub weights: Vec<(String, f64)>,
+}
+
+impl CostModel {
+    /// Cost weights for the paper's Table 1 fleet, anchored at Platform
+    /// A = 1.00 (22-core Skylake, SSD, 10 GbE). The 10-core Haswell B
+    /// box at 0.55 and the 4-core E3 C box at 0.30 roughly track core
+    /// count and I/O generation; the *shape* of the trade-off, not the
+    /// absolute dollars, is what the planner exercises.
+    pub fn table1() -> Self {
+        CostModel {
+            weights: vec![
+                ("A".to_string(), 1.0),
+                ("B".to_string(), 0.55),
+                ("C".to_string(), 0.30),
+            ],
+        }
+    }
+
+    /// The relative cost of one node of `platform`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a platform the model has no weight for.
+    pub fn node_cost(&self, platform: &str) -> f64 {
+        self.weights
+            .iter()
+            .find(|(n, _)| n == platform)
+            .map(|&(_, w)| w)
+            .unwrap_or_else(|| panic!("no cost weight for platform {platform}"))
+    }
+
+    /// Total relative cost of a tier: every replica node plus the router
+    /// node, each priced at its assignment's platform.
+    pub fn tier_cost(&self, spec: &ShardedTierSpec) -> f64 {
+        let mut cost = 0.0;
+        for shard in 0..spec.shards {
+            cost += self.node_cost(&spec.assignment.replica_platform(shard).name)
+                * f64::from(spec.replicas);
+        }
+        cost + self.node_cost(&spec.assignment.router_platform().name)
+    }
+}
+
+/// One swept configuration with its clone-measured (or modeled)
+/// performance.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PlanPoint {
+    /// Human-readable configuration label (unique per sweep).
+    pub label: String,
+    /// Shard count.
+    pub shards: u32,
+    /// Replicas per shard.
+    pub replicas: u32,
+    /// Platform mix description (e.g. `B|A` for a split pool).
+    pub mix: String,
+    /// Relative cost of the configuration (see [`CostModel`]).
+    pub cost: f64,
+    /// p99 latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Goodput in requests per second.
+    pub goodput_qps: f64,
+}
+
+/// Indices of the Pareto frontier on `(cost, p99)`: a point survives
+/// unless some other point is at least as cheap *and* at least as fast,
+/// and strictly better on one axis (exact duplicates both survive).
+/// Order-stable: surviving indices come back in input order.
+pub fn prune_dominated(points: &[PlanPoint]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points.iter().enumerate().any(|(j, q)| {
+                j != i
+                    && q.cost <= points[i].cost
+                    && q.p99_ns <= points[i].p99_ns
+                    && (q.cost < points[i].cost || q.p99_ns < points[i].p99_ns)
+            })
+        })
+        .collect()
+}
+
+/// The index of the cheapest point whose p99 meets `slo_p99_ns`. Ties
+/// break on lower p99, then label — so the winning *configuration* is a
+/// pure function of the point set, independent of sweep order, and
+/// Pareto pruning can never change it (the winner is on the frontier:
+/// anything dominating it would be at least as cheap and as fast, and
+/// would win instead).
+pub fn cheapest_meeting_slo(points: &[PlanPoint], slo_p99_ns: u64) -> Option<usize> {
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.p99_ns <= slo_p99_ns)
+        .min_by(|(_, a), (_, b)| {
+            a.cost.total_cmp(&b.cost).then(a.p99_ns.cmp(&b.p99_ns)).then(a.label.cmp(&b.label))
+        })
+        .map(|(i, _)| i)
+}
+
+/// Closed-form sanity model of a sharded tier's p99: `shards`
+/// independent M/M/c pools (`c = replicas`) each fed `qps / shards`
+/// Poisson arrivals with exponential service of mean `service_ns`; the
+/// p99 approximation is `ln(100) × (service + mean queueing wait)`.
+///
+/// This is not the simulator — it is the cheap pre-ranking model the
+/// capacity planner uses to reason about obviously-infeasible
+/// configurations, and its one load-bearing property — adding replicas
+/// at fixed load never worsens p99 — is pinned by the property suite.
+/// Saturated pools (ρ ≥ 1) return a divergence sentinel that grows with
+/// ρ, and stable pools are clamped strictly below it, so the ordering
+/// stays monotone across the stability boundary.
+pub fn modeled_p99_ns(qps: f64, shards: u32, replicas: u32, service_ns: f64) -> f64 {
+    assert!(shards >= 1 && replicas >= 1, "tier needs at least one pool and one server");
+    assert!(qps >= 0.0 && service_ns > 0.0, "load and service time must be sane");
+    let lambda = qps / f64::from(shards); // per-pool arrivals, 1/s
+    let mu = 1e9 / service_ns; // per-server service rate, 1/s
+    let c = f64::from(replicas);
+    let rho = lambda / (c * mu);
+    let ln100 = 100f64.ln();
+    if rho >= 1.0 {
+        // Unstable queue: no steady state. ~1e18 ns × ρ stays ordered in
+        // ρ and strictly above every stable pool's clamp below.
+        return 1e18 * rho;
+    }
+    let offered = lambda / mu; // Erlang offered load a = λ/μ
+    let wait_s = erlang_c(replicas, offered) / (c * mu - lambda);
+    let p99 = ln100 * (service_ns + wait_s * 1e9);
+    p99.min(1e17)
+}
+
+/// Erlang-C: the probability an arrival queues in an M/M/c pool at
+/// offered load `a = λ/μ < c`, via the numerically stable Erlang-B
+/// recursion `B(k) = a·B(k−1) / (k + a·B(k−1))`.
+fn erlang_c(c: u32, a: f64) -> f64 {
+    let mut b = 1.0; // Erlang-B with zero servers
+    for k in 1..=c {
+        b = a * b / (f64::from(k) + a * b);
+    }
+    let cf = f64::from(c);
+    cf * b / (cf - a * (1.0 - b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ditto_app::sharded::PlatformAssignment;
+    use ditto_hw::platform::PlatformSpec;
+
+    fn point(label: &str, cost: f64, p99_ns: u64) -> PlanPoint {
+        PlanPoint {
+            label: label.into(),
+            shards: 2,
+            replicas: 1,
+            mix: "A".into(),
+            cost,
+            p99_ns,
+            goodput_qps: 1000.0,
+        }
+    }
+
+    #[test]
+    fn table1_costs_order_platforms_by_size() {
+        let m = CostModel::table1();
+        assert!(m.node_cost("A") > m.node_cost("B"));
+        assert!(m.node_cost("B") > m.node_cost("C"));
+    }
+
+    #[test]
+    fn tier_cost_prices_each_pool_at_its_platform() {
+        let spec = ShardedTierSpec {
+            shards: 4,
+            replicas: 2,
+            assignment: PlatformAssignment::split(PlatformSpec::b(), 2, PlatformSpec::a())
+                .with_router(PlatformSpec::c()),
+            ..ShardedTierSpec::default()
+        };
+        let m = CostModel::table1();
+        // 2 shards × 2 replicas on B, 2 × 2 on A, router on C.
+        let expected = 4.0 * 0.55 + 4.0 * 1.0 + 0.30;
+        assert!((m.tier_cost(&spec) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruning_keeps_exactly_the_frontier() {
+        let pts = vec![
+            point("cheap_slow", 1.0, 900),
+            point("dominated", 2.0, 900), // same p99, dearer than cheap_slow
+            point("mid", 2.0, 500),
+            point("fast_dear", 4.0, 200),
+            point("strictly_worse", 5.0, 600), // mid beats it on both axes
+        ];
+        let kept = prune_dominated(&pts);
+        assert_eq!(kept, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn cheapest_meeting_slo_trades_cost_for_feasibility() {
+        let pts = vec![
+            point("cheap_slow", 1.0, 900),
+            point("mid", 2.0, 500),
+            point("fast_dear", 4.0, 200),
+        ];
+        assert_eq!(cheapest_meeting_slo(&pts, 1_000), Some(0));
+        assert_eq!(cheapest_meeting_slo(&pts, 600), Some(1));
+        assert_eq!(cheapest_meeting_slo(&pts, 300), Some(2));
+        assert_eq!(cheapest_meeting_slo(&pts, 100), None);
+    }
+
+    #[test]
+    fn equal_cost_ties_break_on_p99_then_label() {
+        let pts = vec![point("b", 1.0, 500), point("a", 1.0, 500), point("c", 1.0, 400)];
+        // c is fastest at equal cost; between a and b the label decides.
+        assert_eq!(cheapest_meeting_slo(&pts, 1_000), Some(2));
+        let no_c = &pts[..2];
+        assert_eq!(cheapest_meeting_slo(no_c, 1_000), Some(1), "label tie-break");
+    }
+
+    #[test]
+    fn modeled_p99_decreases_in_replicas_across_saturation() {
+        // 20k qps over 2 pools, 100 µs service: 1 replica is saturated
+        // (ρ = 1.0), 2 replicas are at ρ = 0.5.
+        let qps = 20_000.0;
+        let service = 100_000.0;
+        let mut last = f64::INFINITY;
+        for replicas in 1..=8 {
+            let p99 = modeled_p99_ns(qps, 2, replicas, service);
+            assert!(
+                p99 <= last,
+                "p99 must not rise with replicas: {replicas} gave {p99} after {last}"
+            );
+            last = p99;
+        }
+        assert!(modeled_p99_ns(qps, 2, 1, service) >= 1e18, "saturated sentinel");
+        assert!(modeled_p99_ns(qps, 2, 2, service) < 1e17, "stable pool below the clamp");
+    }
+
+    #[test]
+    fn modeled_p99_approaches_service_floor_when_idle() {
+        let p99 = modeled_p99_ns(10.0, 4, 4, 100_000.0);
+        let floor = 100f64.ln() * 100_000.0;
+        assert!((p99 - floor).abs() / floor < 0.01, "idle tier ~ ln(100)·service: {p99}");
+    }
+}

@@ -34,6 +34,7 @@ use ditto_workload::LoadPlan;
 
 use crate::clone::Ditto;
 use crate::harness::{LoadKind, RunOutcome, ScenarioOutcome, Testbed};
+use crate::scale::RoleProfiles;
 use crate::tuner::{FineTuner, TuneResult};
 
 /// A shareable service deployment: receives the cluster (for dataset and
@@ -222,6 +223,7 @@ impl CacheKey {
 pub struct ProfileCache {
     profiles: Mutex<HashMap<CacheKey, Arc<RunOutcome>>>,
     tunes: Mutex<HashMap<CacheKey, Arc<(Ditto, TuneResult)>>>,
+    roles: Mutex<HashMap<CacheKey, Arc<RoleProfiles>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -264,6 +266,19 @@ impl ProfileCache {
         Self::memo(&self.tunes, &self.hits, &self.misses, key, compute)
     }
 
+    /// Returns the cached per-(role, platform) tier profiles for `key`,
+    /// computing them on miss. This is what keeps heterogeneous capacity
+    /// sweeps cache-hot: the key's platform field names the *assignment
+    /// mix* of the profiling tier, so every candidate configuration that
+    /// draws on the same hardware pools shares one profiling run.
+    pub fn role_profiles(
+        &self,
+        key: &CacheKey,
+        compute: impl FnOnce() -> RoleProfiles,
+    ) -> Arc<RoleProfiles> {
+        Self::memo(&self.roles, &self.hits, &self.misses, key, compute)
+    }
+
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -274,9 +289,9 @@ impl ProfileCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of memoized entries (profiles + tunes).
+    /// Number of memoized entries (profiles + tunes + role profiles).
     pub fn len(&self) -> usize {
-        self.profiles.lock().len() + self.tunes.lock().len()
+        self.profiles.lock().len() + self.tunes.lock().len() + self.roles.lock().len()
     }
 
     /// True when nothing is cached.

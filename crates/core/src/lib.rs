@@ -19,6 +19,7 @@
 
 pub mod autoscaler;
 pub mod body_gen;
+pub mod capacity;
 pub mod clone;
 pub mod fleet;
 pub mod harness;
@@ -30,6 +31,7 @@ pub mod tuner;
 
 pub use autoscaler::{Autoscaler, AutoscalerConfig};
 pub use body_gen::{generate_body_params, GeneratorConfig, TuneKnobs};
+pub use capacity::{cheapest_meeting_slo, modeled_p99_ns, prune_dominated, CostModel, PlanPoint};
 pub use clone::Ditto;
 pub use fleet::{
     run_fidelity_matrix, CacheKey, DeployFn, ExperimentSpec, FidelityCell, FidelityMatrix, Fleet,
@@ -42,7 +44,8 @@ pub use ingest::{
 };
 pub use scale::{
     clone_router_response_bytes, deploy_cloned_tier, ControlConfig, ControlledOutcome,
-    RoleProfiles, ScenarioTierOutcome, ShardedOutcome, ShardedTestbed, TierPipeline,
+    PlatformAssignment, RoleProfiles, ScenarioTierOutcome, ShardedOutcome, ShardedTestbed,
+    TierPipeline,
 };
 pub use skeleton::generate_network_model;
 pub use stages::GeneratorStages;

@@ -5,8 +5,10 @@
 //!
 //! Scaling out does not change Ditto's unit of work: a sharded tier has
 //! exactly two distinct binaries — the router and the backend replica —
-//! so the pipeline profiles each role once and stamps the clones out
-//! across the pool. Tier topology (shard count, replication factor, ring
+//! so the pipeline profiles each *(role, platform)* pair once and stamps
+//! the clones out across the pool (a heterogeneous pool multiplies the
+//! replica role by its distinct hardware platforms, never by node
+//! count). Tier topology (shard count, replication factor, ring
 //! parameters, replica policy) is treated like the traced RPC graph in
 //! multi-tier cloning: observable structure that is reproduced exactly,
 //! not inferred from counters.
@@ -19,6 +21,7 @@ use ditto_app::sharded::{
     deploy_sharded_tier, deploy_sharded_tier_with, RouterHandler, RouterStats, ServiceSpecParts,
     ShardedTier, ShardedTierSpec, ROUTER_RPC_BYTES,
 };
+pub use ditto_app::sharded::PlatformAssignment;
 use ditto_hw::platform::PlatformSpec;
 use ditto_kernel::{Cluster, FaultPlan, NodeId};
 use ditto_obs::{selfprof, ObsConfig, ObsReport, ObsSink};
@@ -38,29 +41,79 @@ use crate::harness::{LoadKind, Testbed};
 use crate::skeleton::generate_network_model;
 use crate::tuner::{FineTuner, TuneResult};
 
-/// The per-role profiles a sharded tier reduces to.
+/// The per-(role, platform) profiles a sharded tier reduces to.
+///
+/// The router is one binary on one box, but replicas — while all running
+/// the same binary — may sit on different hardware pools on a mixed
+/// tier, and a profile is a measurement of a *(binary, platform)* pair,
+/// not of the binary alone (the same code has a different IPC, miss
+/// rates and syscall timing on a Haswell HDD box than on a Skylake SSD
+/// one). So the replica role carries one profile per distinct pool
+/// platform, keyed by platform name in first-shard order.
 #[derive(Debug, Clone)]
 pub struct RoleProfiles {
-    /// The consistent-hash router's profile.
+    /// The consistent-hash router's profile (on its router platform).
     pub router: AppProfile,
-    /// One backend replica's profile (all replicas run the same binary).
-    pub replica: AppProfile,
+    /// One replica profile per distinct pool platform:
+    /// `(platform name, profile)`, in first-shard order.
+    pub replica: Vec<(String, AppProfile)>,
 }
 
-/// Per-role generation pipelines: fine-tuning is per binary (§4.5), so
-/// the router and the replica each carry their own knob set.
+impl RoleProfiles {
+    /// The replica profile measured on `platform`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tier was never profiled on that platform.
+    pub fn replica_for(&self, platform: &str) -> &AppProfile {
+        self.replica
+            .iter()
+            .find(|(n, _)| n == platform)
+            .map(|(_, p)| p)
+            .unwrap_or_else(|| panic!("no replica profile for platform {platform}"))
+    }
+
+    /// Convenience for homogeneous tiers: the sole replica profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pool spans several platforms — call
+    /// [`RoleProfiles::replica_for`] instead.
+    pub fn sole_replica(&self) -> &AppProfile {
+        assert_eq!(self.replica.len(), 1, "pool spans {} platforms", self.replica.len());
+        &self.replica[0].1
+    }
+}
+
+/// Per-role generation pipelines: fine-tuning is per binary (§4.5) *per
+/// platform* — knobs calibrated against Platform-A counters reproduce
+/// Platform-A behaviour, so a mixed pool needs one tuned replica
+/// pipeline per hardware pool (sharing knobs across platforms breaks
+/// the band the same way sharing them across roles did, DESIGN §10).
 #[derive(Debug, Clone, Default)]
 pub struct TierPipeline {
     /// Pipeline generating the synthetic router.
     pub router: Ditto,
-    /// Pipeline generating every synthetic replica.
-    pub replica: Ditto,
+    /// Per-platform replica pipelines `(platform name, pipeline)`. A
+    /// platform with no entry falls back to knob defaults, so
+    /// [`TierPipeline::new`] still means "everything untuned".
+    pub replica: Vec<(String, Ditto)>,
 }
 
 impl TierPipeline {
-    /// Both roles at stage/knob defaults.
+    /// Both roles at stage/knob defaults on every platform.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The replica pipeline tuned for `platform` (knob defaults when the
+    /// platform was never tuned).
+    pub fn replica_for(&self, platform: &str) -> Ditto {
+        self.replica
+            .iter()
+            .find(|(n, _)| n == platform)
+            .map(|(_, d)| d.clone())
+            .unwrap_or_default()
     }
 }
 
@@ -75,6 +128,10 @@ pub struct ShardedOutcome {
     pub shards: Vec<(String, LoadSummary)>,
     /// Exact roll-up of all shard recorders (server-side tier view).
     pub rollup: LoadSummary,
+    /// Per-platform roll-up of the shard recorders: `(platform name,
+    /// summary)` in first-shard order — one row on homogeneous tiers,
+    /// one per hardware pool on mixed ones.
+    pub platforms: Vec<(String, LoadSummary)>,
     /// Router placement statistics at the end of the run.
     pub router: RouterStats,
     /// Hardware metrics of the router process over the window.
@@ -93,12 +150,13 @@ pub struct ShardedOutcome {
 /// Node layout is fixed and public so chaos plans can target it:
 /// replica `(shard, r)` lives on `NodeId(shard * replicas + r)`, the
 /// router on `NodeId(pool_size)`, the client on `NodeId(pool_size + 1)`.
+/// The hardware under each tier node comes from the spec's
+/// [`PlatformAssignment`] — a mixed assignment changes the machines,
+/// never the layout.
 #[derive(Debug, Clone)]
 pub struct ShardedTestbed {
-    /// Tier shape and routing parameters.
+    /// Tier shape, routing parameters and per-node platform assignment.
     pub spec: ShardedTierSpec,
-    /// Platform of every tier node (router + replicas).
-    pub platform: PlatformSpec,
     /// Platform of the client machine.
     pub client: PlatformSpec,
     /// Experiment seed.
@@ -203,12 +261,12 @@ pub struct ControlledOutcome {
 }
 
 impl ShardedTestbed {
-    /// A tier of platform-A machines driven from a platform-C client.
+    /// A testbed over the spec's platform assignment (platform-A tier
+    /// nodes by default), driven from a platform-C client.
     pub fn new(spec: ShardedTierSpec, seed: u64) -> Self {
         let connections = (spec.shards as usize * 4).max(8);
         ShardedTestbed {
             spec,
-            platform: PlatformSpec::a(),
             client: PlatformSpec::c(),
             seed,
             warmup: SimDuration::from_millis(40),
@@ -242,6 +300,22 @@ impl ShardedTestbed {
         NodeId(self.spec.pool_size() + 1)
     }
 
+    /// Every machine of the testbed in node-layout order: the
+    /// assignment's replica pools and router, then the client box.
+    fn machines(&self) -> Vec<PlatformSpec> {
+        let mut machines = self.spec.assignment.machines(self.spec.shards, self.spec.replicas);
+        machines.push(self.client.clone());
+        machines
+    }
+
+    /// Platform name under each shard's replicas, in shard order (the
+    /// grouping key for per-platform roll-ups).
+    fn shard_platform_names(&self) -> Vec<String> {
+        (0..self.spec.shards)
+            .map(|s| self.spec.assignment.replica_platform(s).name.clone())
+            .collect()
+    }
+
     /// Runs the original tier without profiling.
     pub fn run_original(&self) -> ShardedOutcome {
         self.run_tier(false, None, &mut |cluster, spec, nodes, router| {
@@ -258,7 +332,8 @@ impl ShardedTestbed {
     }
 
     /// Runs the original tier with profilers attached to the router and
-    /// to replica `(0, 0)` — the two role binaries — and returns the
+    /// to the first replica of each distinct pool platform — one
+    /// profiling target per (role, platform) pair — and returns the
     /// per-role profiles alongside the run outcome.
     pub fn profile_roles(&self) -> (ShardedOutcome, RoleProfiles) {
         let outcome = self.run_tier(true, None, &mut |cluster, spec, nodes, router| {
@@ -342,26 +417,37 @@ impl ShardedTestbed {
         })
     }
 
-    /// Fine-tunes the replica role on a single-tier testbed at the
-    /// per-replica share of the tier load (§4.5 applied per role).
+    /// Fine-tunes the replica role *for one pool platform* on a
+    /// single-tier testbed whose server is that platform, at the
+    /// per-replica share of the tier load (§4.5 applied per role, per
+    /// platform). Tuning against counters measured on a different box
+    /// than the one the clone will run on is exactly the shortcut that
+    /// breaks the band on mixed tiers.
     pub fn tune_replica_role(
         &self,
         base: &Ditto,
         roles: &RoleProfiles,
         tuner: &FineTuner,
+        platform: &str,
     ) -> (Ditto, TuneResult) {
         let load = LoadKind::OpenLoop {
             qps: self.qps_per_shard / f64::from(self.spec.replicas),
             connections: 4,
         };
-        self.role_testbed().tune_clone(base, &roles.replica, &load, tuner)
+        let server = self
+            .spec
+            .assignment
+            .platform_named(platform)
+            .unwrap_or_else(|| panic!("platform {platform} not in the tier's assignment"))
+            .clone();
+        self.role_testbed(server).tune_clone(base, roles.replica_for(platform), &load, tuner)
     }
 
     /// Fine-tunes the router role against its profiled counters on a
-    /// single-tier testbed at the tier's aggregate load. The router body
-    /// is calibrated as a leaf service: its hardware-counter signature is
-    /// body-dominated, and the knobs transfer to the re-assembled tier's
-    /// router unchanged.
+    /// single-tier testbed whose server is the router's platform, at the
+    /// tier's aggregate load. The router body is calibrated as a leaf
+    /// service: its hardware-counter signature is body-dominated, and the
+    /// knobs transfer to the re-assembled tier's router unchanged.
     pub fn tune_router_role(
         &self,
         base: &Ditto,
@@ -369,19 +455,28 @@ impl ShardedTestbed {
         tuner: &FineTuner,
     ) -> (Ditto, TuneResult) {
         let load = LoadKind::OpenLoop { qps: self.total_qps(), connections: self.connections };
-        self.role_testbed().tune_clone(base, &roles.router, &load, tuner)
+        let server = self.spec.assignment.router_platform().clone();
+        self.role_testbed(server).tune_clone(base, &roles.router, &load, tuner)
     }
 
-    /// Fine-tunes both roles and assembles the tier pipeline.
+    /// Fine-tunes the router plus the replica role on every profiled
+    /// pool platform, and assembles the tier pipeline.
     pub fn tune_roles(&self, roles: &RoleProfiles, tuner: &FineTuner) -> TierPipeline {
         let (router, _) = self.tune_router_role(&Ditto::new(), roles, tuner);
-        let (replica, _) = self.tune_replica_role(&Ditto::new(), roles, tuner);
+        let replica = roles
+            .replica
+            .iter()
+            .map(|(name, _)| {
+                let (tuned, _) = self.tune_replica_role(&Ditto::new(), roles, tuner, name);
+                (name.clone(), tuned)
+            })
+            .collect();
         TierPipeline { router, replica }
     }
 
-    fn role_testbed(&self) -> Testbed {
+    fn role_testbed(&self, server: PlatformSpec) -> Testbed {
         Testbed {
-            server: self.platform.clone(),
+            server,
             client: self.client.clone(),
             seed: self.seed,
             warmup: self.warmup,
@@ -406,9 +501,7 @@ impl ShardedTestbed {
         if self.obs.self_profile {
             selfprof::set_enabled(true);
         }
-        let mut machines = vec![self.platform.clone(); pool + 1];
-        machines.push(self.client.clone());
-        let mut cluster = Cluster::new(machines, self.seed);
+        let mut cluster = Cluster::new(self.machines(), self.seed);
         cluster.set_executor(self.executor);
         cluster.set_obs(sink.clone());
 
@@ -430,11 +523,19 @@ impl ShardedTestbed {
         cluster.run_for(self.warmup);
 
         let profilers = profile_roles.then(|| {
-            let rep = &tier.replicas[0];
-            (
-                Profiler::attach(&mut cluster, router_node, tier.router_pid),
-                Profiler::attach(&mut cluster, rep.node, rep.pid),
-            )
+            let router_prof = Profiler::attach(&mut cluster, router_node, tier.router_pid);
+            // One replica profiler per distinct pool platform, attached
+            // to the first replica of the first shard on that platform.
+            let mut replica_profs = Vec::new();
+            for platform in self.spec.assignment.distinct_replica_platforms(self.spec.shards) {
+                let shard = (0..self.spec.shards)
+                    .find(|&s| self.spec.assignment.replica_platform(s).name == platform.name)
+                    .expect("distinct platform comes from some shard");
+                let rep = &tier.replicas[(shard * self.spec.replicas) as usize];
+                replica_profs
+                    .push((platform.name.clone(), Profiler::attach(&mut cluster, rep.node, rep.pid)));
+            }
+            (router_prof, replica_profs)
         });
         if profilers.is_none() {
             MetricSet::begin(&mut cluster, router_node);
@@ -444,9 +545,12 @@ impl ShardedTestbed {
         recorder.end_window(cluster.now());
 
         let (router_metrics, profiles) = match profilers {
-            Some((router_prof, replica_prof)) => {
+            Some((router_prof, replica_profs)) => {
                 let router = router_prof.finish(&mut cluster);
-                let replica = replica_prof.finish(&mut cluster);
+                let replica = replica_profs
+                    .into_iter()
+                    .map(|(name, prof)| (name, prof.finish(&mut cluster)))
+                    .collect();
                 (router.metrics, Some(RoleProfiles { router, replica }))
             }
             None => (
@@ -468,6 +572,11 @@ impl ShardedTestbed {
             histogram: recorder.tier().histogram(),
             shards: recorder.shard_summaries(self.window),
             rollup: recorder.shard_rollup(self.window).summary(),
+            platforms: recorder
+                .grouped_rollup(&self.shard_platform_names(), self.window)
+                .into_iter()
+                .map(|(name, agg)| (name, agg.summary()))
+                .collect(),
             router: tier.handler.stats(),
             router_metrics,
             profiles,
@@ -499,9 +608,7 @@ impl ShardedTestbed {
         if self.obs.self_profile {
             selfprof::set_enabled(true);
         }
-        let mut machines = vec![self.platform.clone(); pool + 1];
-        machines.push(self.client.clone());
-        let mut cluster = Cluster::new(machines, self.seed);
+        let mut cluster = Cluster::new(self.machines(), self.seed);
         cluster.set_executor(self.executor);
         cluster.set_obs(sink.clone());
 
@@ -609,9 +716,7 @@ impl ShardedTestbed {
         if self.obs.self_profile {
             selfprof::set_enabled(true);
         }
-        let mut machines = vec![self.platform.clone(); pool + 1];
-        machines.push(self.client.clone());
-        let mut cluster = Cluster::new(machines, self.seed);
+        let mut cluster = Cluster::new(self.machines(), self.seed);
         cluster.set_executor(self.executor);
         cluster.set_obs(sink.clone());
 
@@ -716,10 +821,12 @@ pub fn clone_router_response_bytes(router: &AppProfile) -> u64 {
 }
 
 /// Re-assembles the cloned tier on `cluster`: synthetic replicas stamped
-/// from the replica-role profile (one [`Ditto::clone_service`] spec per
-/// pool slot, renamed), fronted by a synthetic router whose compute body
-/// comes from the router-role profile and whose ring/policy topology is
-/// copied from the spec.
+/// from the replica-role profile *of each shard's platform* (one
+/// [`Ditto::clone_service`] spec per pool slot, renamed), fronted by a
+/// synthetic router whose compute body comes from the router-role
+/// profile and whose ring/policy topology is copied from the spec. On a
+/// mixed tier the per-shard platform lookup routes every pool slot to
+/// the profile and tuned pipeline measured on its own hardware.
 pub fn deploy_cloned_tier(
     pipeline: &TierPipeline,
     roles: &RoleProfiles,
@@ -751,8 +858,10 @@ pub fn deploy_cloned_tier(
         handler,
         parts,
         &mut |cluster, node, shard, r| {
+            let platform = &spec.assignment.replica_platform(shard).name;
+            let ditto = pipeline.replica_for(platform);
             let mut s =
-                pipeline.replica.clone_service(cluster, node, spec.backend_port, &roles.replica);
+                ditto.clone_service(cluster, node, spec.backend_port, roles.replica_for(platform));
             s.name = format!("synthetic-s{shard}-r{r}");
             s
         },
@@ -797,14 +906,55 @@ mod tests {
         let (out, roles) = bed.profile_roles();
         assert!(out.e2e.received > 0);
         assert!(roles.router.requests > 0, "router profile saw requests");
-        assert!(roles.replica.requests > 0, "replica profile saw requests");
+        let replica = roles.sole_replica();
+        assert_eq!(roles.replica[0].0, "A", "homogeneous tier profiles one platform");
+        assert!(replica.requests > 0, "replica profile saw requests");
         // The router body (~2.8k instr) is much lighter than redis (~14k).
         assert!(
-            roles.router.instructions_per_request() < roles.replica.instructions_per_request(),
+            roles.router.instructions_per_request() < replica.instructions_per_request(),
             "router {} vs replica {}",
             roles.router.instructions_per_request(),
-            roles.replica.instructions_per_request()
+            replica.instructions_per_request()
         );
+    }
+
+    #[test]
+    fn mixed_tier_profiles_every_pool_platform_and_clone_serves() {
+        let spec = ShardedTierSpec {
+            shards: 2,
+            replicas: 2,
+            assignment: PlatformAssignment::split(
+                PlatformSpec::b(),
+                1,
+                PlatformSpec::a(),
+            )
+            .with_router(PlatformSpec::c()),
+            ..ShardedTierSpec::default()
+        };
+        let mut bed = ShardedTestbed::new(spec, 46);
+        bed.warmup = SimDuration::from_millis(20);
+        bed.window = SimDuration::from_millis(60);
+        bed.qps_per_shard = 1_500.0;
+
+        let (out, roles) = bed.profile_roles();
+        assert!(out.e2e.received > 50, "mixed tier served {}", out.e2e.received);
+        let names: Vec<&str> = roles.replica.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["B", "A"], "one replica profile per pool, first-shard order");
+        assert!(roles.replica_for("A").requests > 0 && roles.replica_for("B").requests > 0);
+
+        let rows: Vec<&str> = out.platforms.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(rows, ["B", "A"], "per-platform roll-up rows");
+        let served: u64 = out.platforms.iter().map(|(_, s)| s.received).sum();
+        assert_eq!(served, out.rollup.received, "platform rows partition the roll-up");
+        assert!(
+            out.platforms.iter().all(|(_, s)| s.received > 0),
+            "both hardware pools carried traffic: {:?}",
+            out.platforms.iter().map(|(n, s)| (n.clone(), s.received)).collect::<Vec<_>>()
+        );
+
+        let clone = bed.run_clone(&TierPipeline::new(), &roles);
+        assert!(clone.e2e.received > 50, "mixed clone served {}", clone.e2e.received);
+        assert!(clone.platforms.iter().all(|(_, s)| s.received > 0));
     }
 
     #[test]

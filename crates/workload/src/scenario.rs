@@ -180,6 +180,63 @@ impl LoadPlan {
         }
     }
 
+    /// A compressed day with an incident: the diurnal wave (trough hold,
+    /// half-sine rise, peak hold, half-sine fall) followed immediately by
+    /// a flash crowd (instantaneous step to `spike_qps`, hold,
+    /// exponential decay back to trough, recovered hold) — seven equal
+    /// phases of `phase` each. This is the capacity-planning scenario: a
+    /// configuration must ride out both the sustained peak and the
+    /// transient spike to meet its SLO.
+    pub fn diurnal_flash(
+        users: u64,
+        trough_qps: f64,
+        peak_qps: f64,
+        spike_qps: f64,
+        phase: SimDuration,
+    ) -> Self {
+        assert!(peak_qps >= trough_qps, "diurnal peak must be >= trough");
+        assert!(spike_qps >= trough_qps, "flash crowd must spike above trough");
+        let p = |n: u64| SimDuration::from_nanos(phase.as_nanos() * n);
+        let mut pts = vec![(SimDuration::ZERO, trough_qps)];
+        // Trough hold, then half-sine rise to the peak.
+        pts.push((p(1), trough_qps));
+        let swing = peak_qps - trough_qps;
+        sample_curve(&mut pts, p(1), phase, |f| {
+            trough_qps + swing * (0.5 - 0.5 * (std::f64::consts::PI * f).cos())
+        });
+        // Peak hold, then half-sine fall back to the trough.
+        pts.push((p(3), peak_qps));
+        sample_curve(&mut pts, p(3), phase, |f| {
+            peak_qps - swing * (0.5 - 0.5 * (std::f64::consts::PI * f).cos())
+        });
+        // The incident: step to the spike at the phase boundary, hold.
+        pts.push((p(4), trough_qps));
+        pts.push((p(4), spike_qps));
+        pts.push((p(5), spike_qps));
+        // Exponential-shaped decay (3 time constants) normalised to land
+        // exactly on the trough, which the clamp past the last
+        // breakpoint then holds through the recovered phase.
+        let spike_swing = spike_qps - trough_qps;
+        let floor = (-3.0f64).exp();
+        sample_curve(&mut pts, p(5), phase, |f| {
+            trough_qps + spike_swing * ((-3.0 * f).exp() - floor) / (1.0 - floor)
+        });
+        LoadPlan {
+            name: "diurnal_flash".into(),
+            phases: ["trough", "rise", "peak", "fall", "spike", "decay", "recovered"]
+                .into_iter()
+                .map(|n| LoadPhase { name: n.into(), duration: phase })
+                .collect(),
+            sources: vec![LoadSource {
+                name: "population".into(),
+                users,
+                user_skew: 0.99,
+                user_base: 0,
+                rate: RateFn::from_points(pts),
+            }],
+        }
+    }
+
     /// A regional failover: two regions each carrying half of `qps`;
     /// mid-scenario region A drains linearly to zero while region B
     /// absorbs its traffic, holding total offered load constant.
@@ -287,6 +344,26 @@ mod tests {
         assert!(decaying > 200.0 && decaying < 2000.0, "decaying: {decaying}");
         let recovered = r.rate_at(ms(350));
         assert!(recovered < 200.0 * 1.1, "recovered to ~base: {recovered}");
+    }
+
+    #[test]
+    fn diurnal_flash_chains_wave_and_incident() {
+        let p = LoadPlan::diurnal_flash(500_000, 100.0, 600.0, 1500.0, ms(100));
+        assert_eq!(p.phases.len(), 7);
+        assert_eq!(p.total_duration(), ms(700));
+        let r = &p.sources[0].rate;
+        assert_eq!(r.rate_at(ms(50)), 100.0, "trough holds");
+        let mid_rise = r.rate_at(ms(150));
+        assert!(mid_rise > 150.0 && mid_rise < 550.0, "rising: {mid_rise}");
+        assert_eq!(r.rate_at(ms(250)), 600.0, "peak holds");
+        let mid_fall = r.rate_at(ms(350));
+        assert!(mid_fall > 150.0 && mid_fall < 550.0, "falling: {mid_fall}");
+        assert_eq!(r.rate_at(ms(450)), 1500.0, "spike holds");
+        let decaying = r.rate_at(ms(550));
+        assert!(decaying > 100.0 && decaying < 1500.0, "decaying: {decaying}");
+        let recovered = r.rate_at(ms(680));
+        assert!(recovered < 110.0, "recovered to trough: {recovered}");
+        assert!((p.peak_qps() - 1500.0).abs() < 1e-9, "spike is the scenario peak");
     }
 
     #[test]

@@ -110,6 +110,34 @@ impl TierRecorder {
         }
         agg
     }
+
+    /// Bucket-exact roll-up of the shard recorders grouped by a label
+    /// per shard (e.g. the hardware platform its replicas run on):
+    /// `(label, aggregate)` rows in first-appearance order. The rows
+    /// partition [`TierRecorder::shard_rollup`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one label per shard is given.
+    pub fn grouped_rollup(
+        &self,
+        groups: &[String],
+        window: SimDuration,
+    ) -> Vec<(String, LoadAggregate)> {
+        assert_eq!(groups.len(), self.shards.len(), "one group label per shard");
+        let mut out: Vec<(String, LoadAggregate)> = Vec::new();
+        for (label, (_, r)) in groups.iter().zip(&self.shards) {
+            let agg = match out.iter_mut().find(|(l, _)| l == label) {
+                Some((_, agg)) => agg,
+                None => {
+                    out.push((label.clone(), LoadAggregate::new()));
+                    &mut out.last_mut().expect("just pushed").1
+                }
+            };
+            agg.add(&r.summary(window), &r.histogram(), window);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +194,44 @@ mod tests {
         assert_eq!(roll.histogram(), &joint.histogram(), "bucket-exact merge");
         assert_eq!(roll.summary().received, 10);
         assert_eq!(roll.window(), SimDuration::from_secs(2), "windows sum per shard");
+    }
+
+    #[test]
+    fn grouped_rollup_partitions_the_full_rollup() {
+        let tr = TierRecorder::new(&names(4));
+        let obs = tr.observer();
+        for i in 0..20u64 {
+            let sent = SimTime::from_nanos(i * 10);
+            let done = SimTime::from_nanos(i * 10 + 100 + i * 7);
+            obs((i % 4) as u32, sent, done, true);
+        }
+        obs(1, SimTime::ZERO, SimTime::from_nanos(5), false);
+        let w = SimDuration::from_secs(1);
+        // Shards 0 and 1 on "B", shards 2 and 3 on "A".
+        let groups: Vec<String> = ["B", "B", "A", "A"].map(String::from).into();
+        let rows = tr.grouped_rollup(&groups, w);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "B", "first-appearance order");
+        assert_eq!(rows[1].0, "A");
+        assert_eq!(rows[0].1.summary().received, 10);
+        assert_eq!(rows[0].1.summary().errors, 1);
+        assert_eq!(rows[1].1.summary().received, 10);
+        // The group histograms merge back to the full roll-up exactly.
+        let full = tr.shard_rollup(w);
+        let merged: u64 = rows.iter().map(|(_, a)| a.summary().received).sum();
+        assert_eq!(merged, full.summary().received);
+        assert_eq!(
+            rows[0].1.window() + rows[1].1.window(),
+            full.window(),
+            "windows sum per shard within each group"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one group label per shard")]
+    fn grouped_rollup_rejects_wrong_label_count() {
+        let tr = TierRecorder::new(&names(3));
+        tr.grouped_rollup(&["A".to_string()], SimDuration::from_secs(1));
     }
 
     #[test]

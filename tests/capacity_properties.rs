@@ -1,0 +1,159 @@
+//! Property-based tests for the clone-based capacity planner.
+//!
+//! Inputs are generated from seeded [`SimRng`] streams rather than a
+//! shrinking framework (the build environment has no registry access, so
+//! proptest is unavailable); every case is deterministic, and failures
+//! print the case index so they can be replayed exactly.
+//!
+//! Three load-bearing properties of `ditto::core::capacity` are pinned:
+//! the closed-form M/M/c p99 never rises when replicas are added at
+//! fixed load; Pareto pruning never removes the SLO-optimal point; and
+//! the chosen configuration is invariant under reordering of the sweep —
+//! so the planner's answer is a function of the candidate set, not of
+//! sweep order or RNG seed.
+
+use ditto::core::capacity::{cheapest_meeting_slo, modeled_p99_ns, prune_dominated, PlanPoint};
+use ditto::sim::rng::SimRng;
+
+fn gen_point(rng: &mut SimRng, ix: usize) -> PlanPoint {
+    let shards = 1 + rng.below(8) as u32;
+    let replicas = 1 + rng.below(4) as u32;
+    let mix = ["A", "B", "C", "B|A"][rng.below(4) as usize];
+    PlanPoint {
+        // Labels must be unique per sweep; the planner tie-breaks on them.
+        label: format!("{shards}x{replicas}-{mix}-#{ix}"),
+        shards,
+        replicas,
+        mix: mix.to_string(),
+        cost: (rng.below(2_000) as f64 + 1.0) / 100.0,
+        p99_ns: 10_000 + rng.below(10_000_000),
+        goodput_qps: 100.0 + rng.f64() * 10_000.0,
+    }
+}
+
+fn gen_points(rng: &mut SimRng, max_len: u64) -> Vec<PlanPoint> {
+    let len = 1 + rng.below(max_len) as usize;
+    (0..len).map(|ix| gen_point(rng, ix)).collect()
+}
+
+/// Fisher–Yates driven by the seeded stream.
+fn shuffled(points: &[PlanPoint], rng: &mut SimRng) -> Vec<PlanPoint> {
+    let mut v = points.to_vec();
+    for i in (1..v.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+/// Adding replicas at fixed load never worsens the modeled p99 — across
+/// random loads, shard counts, and service times, including sweeps that
+/// start saturated (ρ ≥ 1) and cross into stability.
+#[test]
+fn modeled_p99_is_monotone_nonincreasing_in_replicas() {
+    let mut rng = SimRng::seed(0xCAFA_0001);
+    for case in 0..256 {
+        let qps = 100.0 + rng.f64() * 200_000.0;
+        let shards = 1 + rng.below(16) as u32;
+        let service_ns = 1_000.0 + rng.f64() * 1_000_000.0;
+        let mut last = f64::INFINITY;
+        for replicas in 1..=12 {
+            let p99 = modeled_p99_ns(qps, shards, replicas, service_ns);
+            assert!(
+                p99 <= last,
+                "case {case}: p99 rose with replicas at qps={qps:.0} shards={shards} \
+                 service={service_ns:.0}ns: {replicas} replicas gave {p99} after {last}"
+            );
+            assert!(p99.is_finite() && p99 > 0.0, "case {case}: degenerate p99 {p99}");
+            last = p99;
+        }
+    }
+}
+
+/// Pareto pruning never removes the SLO-optimal point: for every random
+/// point set and every random SLO that leaves at least one feasible
+/// configuration, `cheapest_meeting_slo`'s winner survives
+/// `prune_dominated`, and selecting among only the survivors returns the
+/// same configuration.
+#[test]
+fn pruning_never_removes_the_slo_winner() {
+    let mut rng = SimRng::seed(0xCAFA_0002);
+    let mut exercised = 0;
+    for case in 0..256 {
+        let points = gen_points(&mut rng, 40);
+        let slo = 10_000 + rng.below(10_000_000);
+        let Some(winner) = cheapest_meeting_slo(&points, slo) else { continue };
+        exercised += 1;
+        let kept = prune_dominated(&points);
+        assert!(
+            kept.contains(&winner),
+            "case {case}: pruning dropped the SLO winner {} (cost {}, p99 {})",
+            points[winner].label,
+            points[winner].cost,
+            points[winner].p99_ns
+        );
+        let frontier: Vec<PlanPoint> = kept.iter().map(|&i| points[i].clone()).collect();
+        let on_frontier = cheapest_meeting_slo(&frontier, slo).expect("winner survived pruning");
+        assert_eq!(
+            frontier[on_frontier].label, points[winner].label,
+            "case {case}: pruning changed the chosen configuration"
+        );
+    }
+    assert!(exercised > 128, "only {exercised}/256 cases had a feasible point — weak generator");
+}
+
+/// The chosen configuration is a pure function of the candidate set:
+/// shuffling the sweep order with independent seeds never changes which
+/// *label* wins, with or without pruning in between.
+#[test]
+fn chosen_config_is_invariant_under_sweep_order() {
+    let mut rng = SimRng::seed(0xCAFA_0003);
+    for case in 0..128 {
+        let points = gen_points(&mut rng, 40);
+        let slo = 10_000 + rng.below(10_000_000);
+        let reference = cheapest_meeting_slo(&points, slo).map(|i| points[i].label.clone());
+        for shuffle in 0..8u64 {
+            let mut shuffle_rng = rng.split(&format!("shuffle-{case}-{shuffle}"));
+            let permuted = shuffled(&points, &mut shuffle_rng);
+            let got = cheapest_meeting_slo(&permuted, slo).map(|i| permuted[i].label.clone());
+            assert_eq!(
+                reference, got,
+                "case {case} shuffle {shuffle}: winner depends on sweep order"
+            );
+            let kept = prune_dominated(&permuted);
+            let frontier: Vec<PlanPoint> = kept.iter().map(|&i| permuted[i].clone()).collect();
+            let pruned_got =
+                cheapest_meeting_slo(&frontier, slo).map(|i| frontier[i].label.clone());
+            assert_eq!(
+                reference, pruned_got,
+                "case {case} shuffle {shuffle}: pruning + reorder changed the winner"
+            );
+        }
+    }
+}
+
+/// Duplicated points (same cost and p99 under different labels) both
+/// survive pruning, and the label tie-break still yields one
+/// deterministic winner.
+#[test]
+fn exact_duplicates_survive_and_tiebreak_deterministically() {
+    let mut rng = SimRng::seed(0xCAFA_0004);
+    for case in 0..64 {
+        let mut points = gen_points(&mut rng, 20);
+        let ix = rng.below(points.len() as u64) as usize;
+        let mut twin = points[ix].clone();
+        twin.label = format!("{}-twin", twin.label);
+        points.push(twin);
+        let kept = prune_dominated(&points);
+        let twin_ix = points.len() - 1;
+        assert_eq!(
+            kept.contains(&ix),
+            kept.contains(&twin_ix),
+            "case {case}: exact duplicates were pruned asymmetrically"
+        );
+        if let Some(w) = cheapest_meeting_slo(&points, u64::MAX) {
+            let rerun = cheapest_meeting_slo(&points, u64::MAX).unwrap();
+            assert_eq!(w, rerun, "case {case}: selection is not deterministic");
+        }
+    }
+}

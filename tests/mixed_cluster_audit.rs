@@ -1,0 +1,146 @@
+//! Latent-assumption audit: no "all nodes share one spec" shortcuts.
+//!
+//! Before per-node platform assignment, the sharded harness hard-coded
+//! one `PlatformSpec` for every tier node — a shortcut that silently
+//! survives refactors because homogeneous tests can't see it. This suite
+//! pins the heterogeneous behaviour on a mixed cluster (B-pool shards,
+//! A-pool shards, C router):
+//!
+//! 1. the materialised machine layout carries each node's own platform,
+//! 2. the *same* service profiled on the A-pool and the B-pool yields
+//!    measurably different hardware counters (per-node specs reach the
+//!    core model, not just the topology),
+//! 3. fine-tuning calibrates a *different* knob vector per platform, and
+//! 4. the per-platform rollup rows of a real run order the pools the way
+//!    the hardware does (the slower B box is slower end-to-end).
+//!
+//! A regression to a shared-spec shortcut breaks every one of these.
+
+use std::sync::OnceLock;
+
+use ditto::app::sharded::{PlatformAssignment, ShardedTierSpec};
+use ditto::core::scale::{RoleProfiles, ShardedTestbed, TierPipeline};
+use ditto::core::FineTuner;
+use ditto::hw::platform::PlatformSpec;
+use ditto::sim::time::SimDuration;
+
+const SEED: u64 = 0xA0D1_7AA1;
+
+/// 4 shards × 2 replicas: shards 0–1 on Platform B, shards 2–3 on
+/// Platform A, router on Platform C.
+fn mixed_bed() -> ShardedTestbed {
+    let spec = ShardedTierSpec {
+        shards: 4,
+        replicas: 2,
+        assignment: PlatformAssignment::split(PlatformSpec::b(), 2, PlatformSpec::a())
+            .with_router(PlatformSpec::c()),
+        ..ShardedTierSpec::default()
+    };
+    let mut bed = ShardedTestbed::new(spec, SEED);
+    bed.warmup = SimDuration::from_millis(20);
+    bed.window = SimDuration::from_millis(80);
+    bed.qps_per_shard = 1_500.0;
+    bed
+}
+
+/// Profile + tune once per process; every audit below reads from here.
+fn ctx() -> &'static (ShardedTestbed, RoleProfiles, TierPipeline) {
+    static CTX: OnceLock<(ShardedTestbed, RoleProfiles, TierPipeline)> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let bed = mixed_bed();
+        let (_, roles) = bed.profile_roles();
+        let tuner = FineTuner { max_iterations: 4, tolerance_pct: 2.0, gain: 0.6 };
+        let pipeline = bed.tune_roles(&roles, &tuner);
+        (bed, roles, pipeline)
+    })
+}
+
+/// Audit 1: the materialised machine list is per-node, not one spec
+/// fanned out — replica nodes 0–3 are B boxes, 4–7 are A boxes, the
+/// router node is a C box, and the B/A specs really differ (cores, NIC).
+#[test]
+fn machine_layout_carries_each_nodes_own_platform() {
+    let bed = mixed_bed();
+    let machines = bed.spec.assignment.machines(bed.spec.shards, bed.spec.replicas);
+    assert_eq!(machines.len(), 9, "4 shards × 2 replicas + router");
+    for (node, machine) in machines.iter().enumerate().take(4) {
+        assert_eq!(machine.name, "B", "replica node {node} must be a B box");
+    }
+    for (node, machine) in machines.iter().enumerate().take(8).skip(4) {
+        assert_eq!(machine.name, "A", "replica node {node} must be an A box");
+    }
+    assert_eq!(machines[8].name, "C", "router node must be a C box");
+    let (b, a) = (&machines[0], &machines[4]);
+    assert!(
+        b.cores != a.cores,
+        "B and A specs are indistinguishable — a shared-spec shortcut would go unnoticed"
+    );
+}
+
+/// Audit 2: the identical replica service, profiled simultaneously on
+/// the A-pool and the B-pool of one cluster, yields different hardware
+/// counters. If every node silently shared one spec, both profiles would
+/// be statistically identical and per-platform tuning would be vacuous.
+#[test]
+fn identical_services_profile_differently_across_platforms() {
+    let (_, roles, _) = ctx();
+    let names: Vec<&str> = roles.replica.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, ["B", "A"], "one replica profile per pool platform, first-shard order");
+    let b = roles.replica_for("B");
+    let a = roles.replica_for("A");
+    assert!(b.requests > 0 && a.requests > 0, "both pool profilers must see traffic");
+    assert!(
+        (b.metrics.ipc - a.metrics.ipc).abs() > 1e-6,
+        "same service, different hardware, identical IPC ({} vs {}) — per-node specs are not \
+         reaching the core model",
+        b.metrics.ipc,
+        a.metrics.ipc
+    );
+    assert!(
+        b.metrics.counters.cycles != a.metrics.counters.cycles,
+        "identical cycle counts across platforms — profiling ignored the per-node spec"
+    );
+}
+
+/// Audit 3: fine-tuning is per (role, platform): the knob vectors
+/// calibrated for the A-pool and the B-pool replicas differ. Sharing one
+/// tuned clone across platforms is exactly the shortcut that breaks the
+/// 10% band on mixed tiers.
+#[test]
+fn tuned_replica_knobs_differ_between_platforms() {
+    let (_, _, pipeline) = ctx();
+    let a = pipeline.replica_for("A");
+    let b = pipeline.replica_for("B");
+    assert!(
+        a.knobs != b.knobs,
+        "fine-tuning produced identical knob vectors for platforms A and B — tuning is not \
+         per-platform: {:?}",
+        a.knobs
+    );
+}
+
+/// Audit 4: a real mixed run's per-platform rollups reflect the
+/// hardware. The 10-core/1 GbE B pool must be slower end-to-end than
+/// the 22-core/10 GbE A pool; equal rows mean the per-node specs never
+/// reached execution.
+#[test]
+fn per_platform_rollups_reflect_the_hardware() {
+    let (bed, _, _) = ctx();
+    let out = bed.run_original();
+    let names: Vec<&str> = out.platforms.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, ["B", "A"], "per-platform rollups in first-shard order");
+    let b = &out.platforms[0].1;
+    let a = &out.platforms[1].1;
+    assert!(b.received > 0 && a.received > 0, "both pools must carry traffic");
+    assert!(
+        b.latency.p50 > a.latency.p50,
+        "B pool (10-core, 1 GbE) should be slower than the A pool (22-core, 10 GbE): \
+         B p50 {:?} vs A p50 {:?}",
+        b.latency.p50,
+        a.latency.p50
+    );
+    assert!(
+        b.latency.mean != a.latency.mean,
+        "statistically identical pools on different hardware — shared-spec shortcut"
+    );
+}
